@@ -1,0 +1,73 @@
+//! Benchmarks of the five §VI studies at reduced scale (Criterion runs
+//! each body many times; the default configs are for the `repro` binary).
+
+use casekit_experiments::{exp_a, exp_b, exp_c, exp_d, exp_e};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_exp_a(c: &mut Criterion) {
+    let config = exp_a::Config {
+        per_arm: 8,
+        arguments: 2,
+        hazards: 5,
+        seed: 0xA,
+    };
+    c.bench_function("exp_a_review_study", |b| {
+        b.iter(|| exp_a::run(black_box(&config)))
+    });
+}
+
+fn bench_exp_b(c: &mut Criterion) {
+    let config = exp_b::Config {
+        sizes: vec![10, 20],
+        per_background: 4,
+        seed: 0xB,
+    };
+    c.bench_function("exp_b_formalisation_effort", |b| {
+        b.iter(|| exp_b::run(black_box(&config)))
+    });
+}
+
+fn bench_exp_c(c: &mut Criterion) {
+    let config = exp_c::Config {
+        per_cell: 8,
+        words: 800,
+        questions: 8,
+        seed: 0xC,
+    };
+    c.bench_function("exp_c_reading_audience", |b| {
+        b.iter(|| exp_c::run(black_box(&config)))
+    });
+}
+
+fn bench_exp_d(c: &mut Criterion) {
+    let config = exp_d::Config {
+        instantiations: 4,
+        per_arm: 8,
+        seed: 0xD,
+    };
+    c.bench_function("exp_d_pattern_instantiation", |b| {
+        b.iter(|| exp_d::run(black_box(&config)))
+    });
+}
+
+fn bench_exp_e(c: &mut Criterion) {
+    let config = exp_e::Config {
+        per_arm: 6,
+        leaves: 8,
+        seed: 0xE,
+    };
+    c.bench_function("exp_e_sufficiency_judgments", |b| {
+        b.iter(|| exp_e::run(black_box(&config)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_exp_a,
+    bench_exp_b,
+    bench_exp_c,
+    bench_exp_d,
+    bench_exp_e
+);
+criterion_main!(benches);

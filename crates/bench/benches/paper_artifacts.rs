@@ -1,0 +1,74 @@
+//! Benchmarks that regenerate the paper's own exhibits: Table I, the
+//! claim aggregates, Figure 1, the Haley proof, and the Greenwell counts.
+//! Each iteration runs the full generating pipeline, so these double as
+//! end-to-end smoke tests under measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table_i(c: &mut Criterion) {
+    c.bench_function("table_i_full_pipeline", |b| {
+        b.iter(|| {
+            let pool = casekit_survey::corpus::raw_pool();
+            let phase1 = casekit_survey::selection::phase1(black_box(&pool));
+            casekit_survey::tables::table_i(&phase1)
+        })
+    });
+}
+
+fn bench_claims(c: &mut Criterion) {
+    c.bench_function("claims_aggregates", |b| {
+        b.iter(casekit_survey::characterise::aggregates)
+    });
+}
+
+fn bench_figure_1(c: &mut Criterion) {
+    let kb = casekit_logic::fol::desert_bank_kb();
+    let goal = casekit_logic::fol::parse_query("adjacent(desert_bank, river)").unwrap();
+    c.bench_function("figure_1_derivation", |b| {
+        b.iter(|| black_box(&kb).proves(black_box(&goal)))
+    });
+    c.bench_function("figure_1_sort_lints", |b| {
+        b.iter(|| {
+            (
+                casekit_logic::sorts::SortRegistry::infer_conflicts(black_box(&kb)),
+                casekit_logic::sorts::SortRegistry::infer_conflicts_linked(black_box(&kb)),
+            )
+        })
+    });
+}
+
+fn bench_haley(c: &mut Criterion) {
+    c.bench_function("haley_build_and_check", |b| {
+        b.iter(|| {
+            let proof = casekit_logic::nd::Proof::haley_example();
+            proof.check().map(|()| proof.len())
+        })
+    });
+}
+
+fn bench_greenwell(c: &mut Criterion) {
+    c.bench_function("greenwell_reconstruction_and_check", |b| {
+        b.iter(|| {
+            let cases = casekit_experiments::generator::greenwell_case_studies();
+            cases
+                .iter()
+                .map(|cs| {
+                    casekit_fallacies::checker::check_argument(&cs.argument)
+                        .findings
+                        .len()
+                })
+                .sum::<usize>()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_table_i,
+    bench_claims,
+    bench_figure_1,
+    bench_haley,
+    bench_greenwell
+);
+criterion_main!(benches);

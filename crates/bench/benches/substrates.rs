@@ -1,0 +1,150 @@
+//! Micro-benchmarks of the substrates: SAT, resolution, natural deduction,
+//! unification/SLD, LTL checking, pattern instantiation, DSL parsing, and
+//! query evaluation. These bound the cost of "mechanical validation" that
+//! the paper's cost-benefit question turns on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn chain_formula(n: usize) -> casekit_logic::prop::Formula {
+    let mut src = String::from("a0");
+    for i in 0..n {
+        src.push_str(&format!(" & (a{} -> a{})", i, i + 1));
+    }
+    src.push_str(&format!(" & ~a{n}"));
+    casekit_logic::prop::parse(&src).expect("static formula")
+}
+
+fn bench_sat(c: &mut Criterion) {
+    let unsat = chain_formula(40);
+    c.bench_function("dpll_chain_40_unsat", |b| {
+        b.iter(|| casekit_logic::prop::dpll(black_box(&unsat)))
+    });
+    let wide = casekit_logic::prop::parse(
+        "(a | b | c) & (~a | d) & (~b | d) & (~c | d) & (d -> e & f) & (~e | ~g) & (g | h)",
+    )
+    .unwrap();
+    c.bench_function("dpll_wide_sat", |b| {
+        b.iter(|| casekit_logic::prop::dpll(black_box(&wide)))
+    });
+}
+
+fn bench_resolution(c: &mut Criterion) {
+    let cs = chain_formula(10).to_cnf();
+    c.bench_function("resolution_chain_10", |b| {
+        b.iter(|| casekit_logic::prop::resolution_refute(black_box(&cs), 100_000))
+    });
+}
+
+fn bench_nd(c: &mut Criterion) {
+    let proof = casekit_logic::nd::Proof::haley_example();
+    c.bench_function("nd_check_haley", |b| {
+        b.iter(|| black_box(&proof).check())
+    });
+}
+
+fn bench_sld(c: &mut Criterion) {
+    let kb = casekit_logic::fol::parse_program(
+        "parent(a0, a1). parent(a1, a2). parent(a2, a3). parent(a3, a4).\n\
+         parent(a4, a5). parent(a5, a6). parent(a6, a7). parent(a7, a8).\n\
+         ancestor(X, Y) :- parent(X, Y).\n\
+         ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).",
+    )
+    .unwrap();
+    let goal = casekit_logic::fol::parse_query("ancestor(a0, a8)").unwrap();
+    c.bench_function("sld_ancestor_depth_8", |b| {
+        b.iter(|| black_box(&kb).proves(black_box(&goal)))
+    });
+    let desert = casekit_logic::fol::desert_bank_kb();
+    let bank_goal = casekit_logic::fol::parse_query("adjacent(desert_bank, river)").unwrap();
+    c.bench_function("sld_desert_bank", |b| {
+        b.iter(|| black_box(&desert).proves(black_box(&bank_goal)))
+    });
+}
+
+fn bench_ltl(c: &mut Criterion) {
+    use casekit_logic::ltl::{parse_ltl, Kripke};
+    let mut k = Kripke::new();
+    let states: Vec<_> = (0..8)
+        .map(|i| {
+            if i == 7 {
+                k.add_state(vec!["grant"])
+            } else if i == 0 {
+                k.add_state(vec!["request"])
+            } else {
+                k.add_state(Vec::<&str>::new())
+            }
+        })
+        .collect();
+    for w in states.windows(2) {
+        k.add_transition(w[0], w[1]);
+    }
+    k.add_transition(states[7], states[0]);
+    k.add_initial(states[0]);
+    let f = parse_ltl("G (request -> F grant)").unwrap();
+    c.bench_function("ltl_check_ring_8", |b| {
+        b.iter(|| black_box(&k).check_bounded(black_box(&f), 16))
+    });
+}
+
+fn bench_patterns(c: &mut Criterion) {
+    use casekit_patterns::{library, Binding, ParamValue};
+    let pattern = library::hazard_directed_breakdown();
+    let binding = Binding::new().with("system", "UAV").with(
+        "hazards",
+        ParamValue::List((0..20).map(|i| format!("hazard {i}").into()).collect()),
+    );
+    c.bench_function("pattern_instantiate_20_hazards", |b| {
+        b.iter(|| black_box(&pattern).instantiate(black_box(&binding)))
+    });
+}
+
+fn bench_dsl_and_query(c: &mut Criterion) {
+    // A 60-node argument in DSL form.
+    let mut src = String::from("argument \"big\" {\n goal g_top \"top\" {\n");
+    for i in 0..20 {
+        src.push_str(&format!(
+            "goal g{i} \"hazard {i} handled\" {{ solution e{i} \"evidence {i}\" }}\n"
+        ));
+    }
+    src.push_str("}\n}\n");
+    c.bench_function("dsl_parse_60_nodes", |b| {
+        b.iter(|| casekit_core::dsl::parse_argument(black_box(&src)))
+    });
+
+    let arg = casekit_core::dsl::parse_argument(&src).unwrap();
+    let mut ontology = casekit_query::Ontology::new();
+    ontology.declare_enum("severity", ["catastrophic", "major", "minor"]);
+    ontology.declare_attribute(
+        "hazard",
+        [("severity", casekit_query::FieldType::Enum("severity".into()))],
+    );
+    let mut store = casekit_query::AnnotationStore::new(ontology);
+    for i in 0..20 {
+        let sev = ["catastrophic", "major", "minor"][i % 3];
+        store
+            .annotate(&arg, &format!("g{i}"), "hazard", [("severity", sev)])
+            .unwrap();
+    }
+    let q =
+        casekit_query::parse_query("select goals where hazard.severity = catastrophic").unwrap();
+    c.bench_function("query_20_annotated_goals", |b| {
+        b.iter_batched(
+            || (),
+            |()| black_box(&q).run(black_box(&arg), black_box(&store)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sat,
+    bench_resolution,
+    bench_nd,
+    bench_sld,
+    bench_ltl,
+    bench_patterns,
+    bench_dsl_and_query
+);
+criterion_main!(benches);

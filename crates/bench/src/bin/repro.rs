@@ -1,0 +1,37 @@
+//! `repro` — regenerates every table and figure of Graydon (DSN 2015).
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [table1 | claims | figure1 | haley | greenwell |
+//!        exp-a | exp-b | exp-c | exp-d | exp-e | all]
+//! ```
+//!
+//! With no argument, prints everything.
+
+use casekit_bench as bench;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let output = match arg.as_str() {
+        "table1" => bench::table_i(),
+        "claims" => bench::claims_summary(),
+        "figure1" => bench::figure_1(),
+        "haley" => bench::haley_proof(),
+        "greenwell" => bench::greenwell_table(),
+        "exp-a" => bench::experiment_a(),
+        "exp-b" => bench::experiment_b(),
+        "exp-c" => bench::experiment_c(),
+        "exp-d" => bench::experiment_d(),
+        "exp-e" => bench::experiment_e(),
+        "all" => bench::all(),
+        other => {
+            eprintln!(
+                "unknown artefact `{other}`; expected table1, claims, figure1, haley, \
+                 greenwell, exp-a..exp-e, or all"
+            );
+            std::process::exit(2);
+        }
+    };
+    print!("{output}");
+}

@@ -1,0 +1,198 @@
+//! # casekit-bench
+//!
+//! The reproduction harness: renderers for every table and figure of
+//! Graydon (DSN 2015), shared by the `repro` binary and the Criterion
+//! benches. See EXPERIMENTS.md for the paper-vs-measured record.
+
+use casekit_experiments::{exp_a, exp_b, exp_c, exp_d, exp_e};
+use casekit_fallacies::checker::check_argument;
+use casekit_fallacies::taxonomy::InformalFallacy;
+use casekit_logic::fol::{desert_bank_kb, parse_query};
+use casekit_logic::nd::Proof;
+use casekit_logic::sorts::SortRegistry;
+use std::fmt::Write as _;
+
+/// Reproduces Table I (survey phase-1 selection counts).
+pub fn table_i() -> String {
+    let pool = casekit_survey::corpus::raw_pool();
+    let phase1 = casekit_survey::selection::phase1(&pool);
+    casekit_survey::tables::table_i(&phase1).render()
+}
+
+/// Reproduces the §IV/§V/§VI in-text aggregate claims.
+pub fn claims_summary() -> String {
+    casekit_survey::tables::render_claims_summary()
+}
+
+/// Reproduces Figure 1: the desert-bank argument passes formal validation
+/// yet equivocates; the sort lints show what can and cannot be caught.
+pub fn figure_1() -> String {
+    let kb = desert_bank_kb();
+    let goal = parse_query("adjacent(desert_bank, river)").expect("static query");
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 1: a flawed argument that passes formal validation");
+    let _ = writeln!(out, "From these premises:");
+    for clause in kb.clauses() {
+        let _ = writeln!(out, "  {clause}");
+    }
+    let proved = kb.proves(&goal);
+    let _ = writeln!(out, "We can 'prove' that:\n  {goal}.   [derivable: {proved}]");
+    let strict = SortRegistry::infer_conflicts(&kb);
+    let linked = SortRegistry::infer_conflicts_linked(&kb);
+    let _ = writeln!(
+        out,
+        "Strict per-position sort lint flags: {:?} (true positive, but unsound in general)",
+        strict.keys().collect::<Vec<_>>()
+    );
+    let _ = writeln!(
+        out,
+        "Variable-linked sort inference flags: {:?} (the licensing rule dissolves the distinction)",
+        linked.keys().collect::<Vec<_>>()
+    );
+    out
+}
+
+/// Reproduces the Haley et al. eleven-line natural-deduction proof
+/// (§III-K) and its mechanical check.
+pub fn haley_proof() -> String {
+    let proof = Proof::haley_example();
+    let checked = proof.check().is_ok();
+    let mut out = String::new();
+    let _ = writeln!(out, "Haley et al. outer argument (Graydon §III-K):");
+    out.push_str(&proof.render());
+    let _ = writeln!(out, "mechanical check: {}", if checked { "PASS" } else { "FAIL" });
+    out
+}
+
+/// Reproduces the Greenwell fallacy counts (§V-B): seeded ground truth vs
+/// what the machine checker finds.
+pub fn greenwell_table() -> String {
+    let cases = casekit_experiments::generator::greenwell_case_studies();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Greenwell et al. fallacy counts across three safety arguments (§V-B):"
+    );
+    let _ = writeln!(
+        out,
+        "  {:<34} {:>6} {:>6} {:>6} {:>6} {:>15}",
+        "fallacy kind", "arg1", "arg2", "arg3", "total", "machine-found"
+    );
+    let mut grand = 0usize;
+    for kind in InformalFallacy::GREENWELL_KINDS {
+        let per: Vec<usize> = cases
+            .iter()
+            .map(|c| c.counts().get(&kind).copied().unwrap_or(0))
+            .collect();
+        let total: usize = per.iter().sum();
+        grand += total;
+        // The machine checker cannot, by construction, report informal
+        // fallacies; the column is computed, not asserted.
+        let machine_found = cases
+            .iter()
+            .map(|c| check_argument(&c.argument).findings.len())
+            .sum::<usize>();
+        let _ = writeln!(
+            out,
+            "  {:<34} {:>6} {:>6} {:>6} {:>6} {:>15}",
+            kind.to_string(),
+            per[0],
+            per[1],
+            per[2],
+            total,
+            machine_found
+        );
+    }
+    let _ = writeln!(out, "  {:<34} {:>27} {:>15}", "all kinds", grand, 0);
+    let _ = writeln!(
+        out,
+        "  (none of the seven kinds is strictly formal; the checker returns 0 findings)"
+    );
+    out
+}
+
+/// Runs and renders experiment A.
+pub fn experiment_a() -> String {
+    exp_a::run(&exp_a::Config::default()).render()
+}
+
+/// Runs and renders experiment B.
+pub fn experiment_b() -> String {
+    exp_b::run(&exp_b::Config::default()).render()
+}
+
+/// Runs and renders experiment C.
+pub fn experiment_c() -> String {
+    exp_c::run(&exp_c::Config::default()).render()
+}
+
+/// Runs and renders experiment D.
+pub fn experiment_d() -> String {
+    exp_d::run(&exp_d::Config::default()).render()
+}
+
+/// Runs and renders experiment E.
+pub fn experiment_e() -> String {
+    exp_e::run(&exp_e::Config::default()).render()
+}
+
+/// Every artefact, concatenated (the `repro all` output).
+pub fn all() -> String {
+    let mut out = String::new();
+    for section in [
+        table_i(),
+        claims_summary(),
+        figure_1(),
+        haley_proof(),
+        greenwell_table(),
+        experiment_a(),
+        experiment_b(),
+        experiment_c(),
+        experiment_d(),
+        experiment_e(),
+    ] {
+        out.push_str(&section);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_renders_published_numbers() {
+        let t = table_i();
+        assert!(t.contains("Unique results (72 total)"));
+        assert!(t.contains("12"));
+        assert!(t.contains("24"));
+    }
+
+    #[test]
+    fn figure_1_proves_and_flags() {
+        let f = figure_1();
+        assert!(f.contains("derivable: true"));
+        assert!(f.contains("\"bank\""));
+    }
+
+    #[test]
+    fn haley_renders_pass() {
+        let h = haley_proof();
+        assert!(h.contains("mechanical check: PASS"));
+        assert!(h.contains("Conclusion, 5"));
+    }
+
+    #[test]
+    fn greenwell_table_totals() {
+        let g = greenwell_table();
+        assert!(g.contains("16"), "{g}");
+        assert!(g.contains("45"), "{g}");
+    }
+
+    #[test]
+    fn experiment_sections_render() {
+        assert!(experiment_b().contains("Experiment B"));
+        assert!(experiment_d().contains("Experiment D"));
+    }
+}

@@ -1,0 +1,512 @@
+//! The argument graph: nodes, edges, construction, and traversal.
+
+use crate::node::{EdgeKind, Node, NodeId, NodeKind};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// A directed edge from a supported/contextualised node to its child.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// The parent (the node being supported or put in context).
+    pub from: NodeId,
+    /// The child (the supporting or contextual node).
+    pub to: NodeId,
+    /// The relationship kind.
+    pub kind: EdgeKind,
+}
+
+/// Errors from building or mutating an argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgumentError {
+    /// A node id was added twice.
+    DuplicateId(NodeId),
+    /// An edge referenced a node that does not exist.
+    UnknownNode(NodeId),
+    /// An edge was added twice.
+    DuplicateEdge(NodeId, NodeId),
+    /// An edge from a node to itself.
+    SelfLoop(NodeId),
+}
+
+impl fmt::Display for ArgumentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgumentError::DuplicateId(id) => write!(f, "duplicate node id `{id}`"),
+            ArgumentError::UnknownNode(id) => write!(f, "unknown node `{id}`"),
+            ArgumentError::DuplicateEdge(a, b) => write!(f, "duplicate edge `{a}` -> `{b}`"),
+            ArgumentError::SelfLoop(id) => write!(f, "self-loop on `{id}`"),
+        }
+    }
+}
+
+impl std::error::Error for ArgumentError {}
+
+/// An assurance argument: a named directed graph of [`Node`]s.
+///
+/// The graph structure is deliberately permissive — notation-specific
+/// well-formedness lives in [`crate::gsn`] and [`crate::cae`], because the
+/// paper's point about "formalised syntax" is precisely that the rules are
+/// a layer one chooses (and different formalisations disagree; see
+/// [`crate::gsn::check_denney_pai`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Argument {
+    name: String,
+    nodes: BTreeMap<NodeId, Node>,
+    edges: Vec<Edge>,
+}
+
+impl Argument {
+    /// Starts a builder for an argument with the given name.
+    pub fn builder(name: impl Into<String>) -> ArgumentBuilder {
+        ArgumentBuilder {
+            arg: Argument {
+                name: name.into(),
+                nodes: BTreeMap::new(),
+                edges: Vec::new(),
+            },
+            error: None,
+        }
+    }
+
+    /// The argument's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the argument has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node with the given id, if present.
+    pub fn node(&self, id: &NodeId) -> Option<&Node> {
+        self.nodes.get(id)
+    }
+
+    /// All nodes in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.values()
+    }
+
+    /// All edges in insertion order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Children of `id` along edges of `kind`.
+    pub fn children(&self, id: &NodeId, kind: EdgeKind) -> Vec<&Node> {
+        self.edges
+            .iter()
+            .filter(|e| &e.from == id && e.kind == kind)
+            .filter_map(|e| self.nodes.get(&e.to))
+            .collect()
+    }
+
+    /// All children of `id` regardless of edge kind.
+    pub fn all_children(&self, id: &NodeId) -> Vec<&Node> {
+        self.edges
+            .iter()
+            .filter(|e| &e.from == id)
+            .filter_map(|e| self.nodes.get(&e.to))
+            .collect()
+    }
+
+    /// Parents of `id` (nodes with an edge into `id`).
+    pub fn parents(&self, id: &NodeId) -> Vec<&Node> {
+        self.edges
+            .iter()
+            .filter(|e| &e.to == id)
+            .filter_map(|e| self.nodes.get(&e.from))
+            .collect()
+    }
+
+    /// Root nodes: nodes with no incoming edges.
+    pub fn roots(&self) -> Vec<&Node> {
+        let targets: BTreeSet<&NodeId> = self.edges.iter().map(|e| &e.to).collect();
+        self.nodes
+            .values()
+            .filter(|n| !targets.contains(&n.id))
+            .collect()
+    }
+
+    /// Leaf nodes: nodes with no outgoing `SupportedBy` edges.
+    pub fn support_leaves(&self) -> Vec<&Node> {
+        let sources: BTreeSet<&NodeId> = self
+            .edges
+            .iter()
+            .filter(|e| e.kind == EdgeKind::SupportedBy)
+            .map(|e| &e.from)
+            .collect();
+        self.nodes
+            .values()
+            .filter(|n| !sources.contains(&n.id))
+            .collect()
+    }
+
+    /// All nodes reachable from `id` (excluding `id` itself), breadth-first.
+    pub fn descendants(&self, id: &NodeId) -> Vec<&Node> {
+        let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+        let mut queue: VecDeque<NodeId> = VecDeque::new();
+        queue.push_back(id.clone());
+        let mut out = Vec::new();
+        while let Some(current) = queue.pop_front() {
+            for edge in self.edges.iter().filter(|e| e.from == current) {
+                if seen.insert(edge.to.clone()) {
+                    if let Some(n) = self.nodes.get(&edge.to) {
+                        out.push(n);
+                    }
+                    queue.push_back(edge.to.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the `SupportedBy` subgraph is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        // Kahn's algorithm over SupportedBy edges.
+        let mut indegree: BTreeMap<&NodeId, usize> =
+            self.nodes.keys().map(|id| (id, 0)).collect();
+        for e in self.edges.iter().filter(|e| e.kind == EdgeKind::SupportedBy) {
+            *indegree.get_mut(&e.to).expect("edge target exists") += 1;
+        }
+        let mut queue: VecDeque<&NodeId> = indegree
+            .iter()
+            .filter(|(_, d)| **d == 0)
+            .map(|(id, _)| *id)
+            .collect();
+        let mut visited = 0usize;
+        while let Some(id) = queue.pop_front() {
+            visited += 1;
+            for e in self
+                .edges
+                .iter()
+                .filter(|e| e.kind == EdgeKind::SupportedBy && &e.from == id)
+            {
+                let d = indegree.get_mut(&e.to).expect("edge target exists");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push_back(&e.to);
+                }
+            }
+        }
+        visited == self.nodes.len()
+    }
+
+    /// Depth of the support tree from `id` (a leaf has depth 1).
+    ///
+    /// Returns `None` when the support graph below `id` has a cycle.
+    pub fn support_depth(&self, id: &NodeId) -> Option<usize> {
+        self.depth_rec(id, &mut BTreeSet::new())
+    }
+
+    fn depth_rec(&self, id: &NodeId, on_path: &mut BTreeSet<NodeId>) -> Option<usize> {
+        if !on_path.insert(id.clone()) {
+            return None; // cycle
+        }
+        let children = self.children(id, EdgeKind::SupportedBy);
+        let result = if children.is_empty() {
+            Some(1)
+        } else {
+            let mut best = 0usize;
+            let mut ok = true;
+            for c in children {
+                match self.depth_rec(&c.id, on_path) {
+                    Some(d) => best = best.max(d),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                Some(best + 1)
+            } else {
+                None
+            }
+        };
+        on_path.remove(id);
+        result
+    }
+
+    /// Nodes of a given kind, in id order.
+    pub fn nodes_of_kind(&self, kind: NodeKind) -> Vec<&Node> {
+        self.nodes.values().filter(|n| n.kind == kind).collect()
+    }
+
+    /// Number of nodes carrying formal payloads.
+    pub fn formalised_count(&self) -> usize {
+        self.nodes.values().filter(|n| n.is_formalised()).count()
+    }
+
+    /// Mutable access to a node (for annotation-style edits).
+    pub fn node_mut(&mut self, id: &NodeId) -> Option<&mut Node> {
+        self.nodes.get_mut(id)
+    }
+}
+
+/// Builder for [`Argument`]; errors are deferred to [`ArgumentBuilder::build`]
+/// so construction chains read cleanly.
+#[derive(Debug, Clone)]
+pub struct ArgumentBuilder {
+    arg: Argument,
+    error: Option<ArgumentError>,
+}
+
+impl ArgumentBuilder {
+    /// Adds a node.
+    pub fn node(mut self, node: Node) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        if self.arg.nodes.contains_key(&node.id) {
+            self.error = Some(ArgumentError::DuplicateId(node.id.clone()));
+            return self;
+        }
+        self.arg.nodes.insert(node.id.clone(), node);
+        self
+    }
+
+    /// Convenience: adds a node by parts.
+    pub fn add(self, id: &str, kind: NodeKind, text: &str) -> Self {
+        self.node(Node::new(id, kind, text))
+    }
+
+    /// Adds a `SupportedBy` edge from `parent` to `child`.
+    pub fn supported_by(self, parent: &str, child: &str) -> Self {
+        self.edge(parent, child, EdgeKind::SupportedBy)
+    }
+
+    /// Adds an `InContextOf` edge from `node` to `context`.
+    pub fn in_context_of(self, node: &str, context: &str) -> Self {
+        self.edge(node, context, EdgeKind::InContextOf)
+    }
+
+    /// Adds an edge of the given kind.
+    pub fn edge(mut self, from: &str, to: &str, kind: EdgeKind) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        let from = NodeId::new(from);
+        let to = NodeId::new(to);
+        if from == to {
+            self.error = Some(ArgumentError::SelfLoop(from));
+            return self;
+        }
+        if !self.arg.nodes.contains_key(&from) {
+            self.error = Some(ArgumentError::UnknownNode(from));
+            return self;
+        }
+        if !self.arg.nodes.contains_key(&to) {
+            self.error = Some(ArgumentError::UnknownNode(to));
+            return self;
+        }
+        if self
+            .arg
+            .edges
+            .iter()
+            .any(|e| e.from == from && e.to == to && e.kind == kind)
+        {
+            self.error = Some(ArgumentError::DuplicateEdge(from, to));
+            return self;
+        }
+        self.arg.edges.push(Edge { from, to, kind });
+        self
+    }
+
+    /// Finishes construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first construction error (duplicate id, unknown node,
+    /// duplicate edge, or self-loop).
+    pub fn build(self) -> Result<Argument, ArgumentError> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(self.arg),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Argument {
+        Argument::builder("sample")
+            .add("g1", NodeKind::Goal, "System is safe")
+            .add("s1", NodeKind::Strategy, "Argue over hazards")
+            .add("g2", NodeKind::Goal, "H1 mitigated")
+            .add("g3", NodeKind::Goal, "H2 mitigated")
+            .add("e1", NodeKind::Solution, "Test report")
+            .add("e2", NodeKind::Solution, "Analysis")
+            .add("c1", NodeKind::Context, "Operating role")
+            .supported_by("g1", "s1")
+            .supported_by("s1", "g2")
+            .supported_by("s1", "g3")
+            .supported_by("g2", "e1")
+            .supported_by("g3", "e2")
+            .in_context_of("g1", "c1")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_and_basic_queries() {
+        let a = sample();
+        assert_eq!(a.len(), 7);
+        assert_eq!(a.name(), "sample");
+        assert!(!a.is_empty());
+        assert_eq!(a.edges().len(), 6);
+        assert!(a.node(&"g1".into()).is_some());
+        assert!(a.node(&"zz".into()).is_none());
+    }
+
+    #[test]
+    fn children_respect_edge_kind() {
+        let a = sample();
+        let g1 = NodeId::new("g1");
+        assert_eq!(a.children(&g1, EdgeKind::SupportedBy).len(), 1);
+        assert_eq!(a.children(&g1, EdgeKind::InContextOf).len(), 1);
+        assert_eq!(a.all_children(&g1).len(), 2);
+    }
+
+    #[test]
+    fn roots_and_leaves() {
+        let a = sample();
+        let roots: Vec<_> = a.roots().iter().map(|n| n.id.as_str().to_string()).collect();
+        assert_eq!(roots, vec!["g1"]);
+        let leaves: BTreeSet<_> = a
+            .support_leaves()
+            .iter()
+            .map(|n| n.id.as_str().to_string())
+            .collect();
+        // Everything without outgoing SupportedBy: solutions and context.
+        assert!(leaves.contains("e1") && leaves.contains("e2") && leaves.contains("c1"));
+    }
+
+    #[test]
+    fn descendants_bfs() {
+        let a = sample();
+        let d = a.descendants(&"g1".into());
+        assert_eq!(d.len(), 6);
+        let d = a.descendants(&"g2".into());
+        assert_eq!(d.len(), 1);
+        assert!(a.descendants(&"e1".into()).is_empty());
+    }
+
+    #[test]
+    fn parents_inverse_of_children() {
+        let a = sample();
+        let parents = a.parents(&"g2".into());
+        assert_eq!(parents.len(), 1);
+        assert_eq!(parents[0].id.as_str(), "s1");
+    }
+
+    #[test]
+    fn acyclicity_and_depth() {
+        let a = sample();
+        assert!(a.is_acyclic());
+        assert_eq!(a.support_depth(&"g1".into()), Some(4));
+        assert_eq!(a.support_depth(&"e1".into()), Some(1));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let a = Argument::builder("cyclic")
+            .add("g1", NodeKind::Goal, "A")
+            .add("g2", NodeKind::Goal, "B")
+            .supported_by("g1", "g2")
+            .supported_by("g2", "g1")
+            .build()
+            .unwrap();
+        assert!(!a.is_acyclic());
+        assert_eq!(a.support_depth(&"g1".into()), None);
+    }
+
+    #[test]
+    fn duplicate_id_rejected() {
+        let err = Argument::builder("x")
+            .add("g1", NodeKind::Goal, "A")
+            .add("g1", NodeKind::Goal, "B")
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ArgumentError::DuplicateId("g1".into()));
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let err = Argument::builder("x")
+            .add("g1", NodeKind::Goal, "A")
+            .supported_by("g1", "nope")
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ArgumentError::UnknownNode("nope".into()));
+        let err = Argument::builder("x")
+            .add("g1", NodeKind::Goal, "A")
+            .supported_by("nope", "g1")
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ArgumentError::UnknownNode("nope".into()));
+    }
+
+    #[test]
+    fn duplicate_edge_and_self_loop_rejected() {
+        let err = Argument::builder("x")
+            .add("g1", NodeKind::Goal, "A")
+            .add("g2", NodeKind::Goal, "B")
+            .supported_by("g1", "g2")
+            .supported_by("g1", "g2")
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ArgumentError::DuplicateEdge("g1".into(), "g2".into()));
+        let err = Argument::builder("x")
+            .add("g1", NodeKind::Goal, "A")
+            .supported_by("g1", "g1")
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ArgumentError::SelfLoop("g1".into()));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ArgumentError::DuplicateId("a".into())
+            .to_string()
+            .contains("duplicate"));
+        assert!(ArgumentError::SelfLoop("a".into()).to_string().contains("self-loop"));
+    }
+
+    #[test]
+    fn builder_keeps_first_error() {
+        let err = Argument::builder("x")
+            .add("g1", NodeKind::Goal, "A")
+            .add("g1", NodeKind::Goal, "B") // first error
+            .supported_by("g1", "missing") // would be second
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ArgumentError::DuplicateId("g1".into()));
+    }
+
+    #[test]
+    fn nodes_of_kind_and_formalised_count() {
+        let a = sample();
+        assert_eq!(a.nodes_of_kind(NodeKind::Goal).len(), 3);
+        assert_eq!(a.nodes_of_kind(NodeKind::Solution).len(), 2);
+        assert_eq!(a.formalised_count(), 0);
+    }
+
+    #[test]
+    fn node_mut_allows_enrichment() {
+        let mut a = sample();
+        use casekit_logic::prop::parse;
+        a.node_mut(&"g2".into()).unwrap().formal =
+            Some(crate::node::FormalPayload::Prop(parse("h1_mitigated").unwrap()));
+        assert_eq!(a.formalised_count(), 1);
+    }
+}

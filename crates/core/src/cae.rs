@@ -1,0 +1,254 @@
+//! Claims-Argument-Evidence (CAE) well-formedness, after Bishop &
+//! Bloomfield's methodology (Graydon §II-B).
+//!
+//! CAE alternates claims and argument nodes: a *claim* is supported by an
+//! *argument* (the warrant describing how support works), which is in turn
+//! supported by sub-claims and/or *evidence*.
+
+use crate::argument::Argument;
+use crate::node::{EdgeKind, NodeId, NodeKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A CAE well-formedness finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaeIssue {
+    /// The rule violated.
+    pub rule: CaeRule,
+    /// Where.
+    pub at: NodeId,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl fmt::Display for CaeIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] at `{}`: {}", self.rule, self.at, self.detail)
+    }
+}
+
+/// The CAE rules checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CaeRule {
+    /// Only CAE node kinds may appear.
+    CaeVocabulary,
+    /// Claims are supported only by argument nodes (or directly by
+    /// evidence, in the common shorthand).
+    ClaimSupport,
+    /// Argument nodes are supported by claims or evidence.
+    ArgumentSupport,
+    /// Evidence is a leaf.
+    EvidenceIsLeaf,
+    /// The graph is acyclic with at least one root claim.
+    Shape,
+}
+
+impl fmt::Display for CaeRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            CaeRule::CaeVocabulary => "cae-vocabulary",
+            CaeRule::ClaimSupport => "claim-support",
+            CaeRule::ArgumentSupport => "argument-support",
+            CaeRule::EvidenceIsLeaf => "evidence-is-leaf",
+            CaeRule::Shape => "shape",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Checks `argument` against the CAE rules; empty result = well-formed.
+pub fn check(argument: &Argument) -> Vec<CaeIssue> {
+    let mut issues = Vec::new();
+
+    for node in argument.nodes() {
+        if !node.kind.is_cae() {
+            issues.push(CaeIssue {
+                rule: CaeRule::CaeVocabulary,
+                at: node.id.clone(),
+                detail: format!("`{}` is not a CAE node kind", node.kind),
+            });
+        }
+    }
+
+    for edge in argument.edges() {
+        if edge.kind != EdgeKind::SupportedBy {
+            continue; // CAE has no context edges; GSN vocabulary check
+                      // will already have fired for non-CAE nodes.
+        }
+        let from = match argument.node(&edge.from) {
+            Some(n) => n,
+            None => continue,
+        };
+        let to = match argument.node(&edge.to) {
+            Some(n) => n,
+            None => continue,
+        };
+        match from.kind {
+            NodeKind::Claim
+                if !matches!(to.kind, NodeKind::ArgumentNode | NodeKind::Evidence) => {
+                    issues.push(CaeIssue {
+                        rule: CaeRule::ClaimSupport,
+                        at: from.id.clone(),
+                        detail: format!(
+                            "claim `{}` supported by {} `{}`; expected argument or evidence",
+                            from.id, to.kind, to.id
+                        ),
+                    });
+                }
+            NodeKind::ArgumentNode
+                if !matches!(to.kind, NodeKind::Claim | NodeKind::Evidence) => {
+                    issues.push(CaeIssue {
+                        rule: CaeRule::ArgumentSupport,
+                        at: from.id.clone(),
+                        detail: format!(
+                            "argument `{}` supported by {} `{}`; expected claim or evidence",
+                            from.id, to.kind, to.id
+                        ),
+                    });
+                }
+            NodeKind::Evidence => {
+                issues.push(CaeIssue {
+                    rule: CaeRule::EvidenceIsLeaf,
+                    at: from.id.clone(),
+                    detail: "evidence must not be supported by anything".into(),
+                });
+            }
+            _ => {} // non-CAE kinds already flagged
+        }
+    }
+
+    let has_root_claim = argument.roots().iter().any(|n| n.kind == NodeKind::Claim);
+    if !argument.is_empty() && (!argument.is_acyclic() || !has_root_claim) {
+        let at = argument
+            .nodes()
+            .next()
+            .map(|n| n.id.clone())
+            .unwrap_or_else(|| NodeId::new("?"));
+        issues.push(CaeIssue {
+            rule: CaeRule::Shape,
+            at,
+            detail: "CAE arguments need an acyclic graph rooted in a claim".into(),
+        });
+    }
+
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn well_formed() -> Argument {
+        Argument::builder("cae")
+            .add("c1", NodeKind::Claim, "System is secure")
+            .add("a1", NodeKind::ArgumentNode, "Argument over attack surface")
+            .add("c2", NodeKind::Claim, "Network surface hardened")
+            .add("ev1", NodeKind::Evidence, "Pen-test report")
+            .add("ev2", NodeKind::Evidence, "Code review minutes")
+            .supported_by("c1", "a1")
+            .supported_by("a1", "c2")
+            .supported_by("a1", "ev2")
+            .supported_by("c2", "ev1")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn well_formed_cae_passes() {
+        assert!(check(&well_formed()).is_empty());
+    }
+
+    #[test]
+    fn claim_supported_directly_by_claim_flagged() {
+        let a = Argument::builder("bad")
+            .add("c1", NodeKind::Claim, "Top")
+            .add("c2", NodeKind::Claim, "Sub")
+            .add("ev", NodeKind::Evidence, "E")
+            .supported_by("c1", "c2")
+            .supported_by("c2", "ev")
+            .build()
+            .unwrap();
+        let issues = check(&a);
+        assert!(issues.iter().any(|i| i.rule == CaeRule::ClaimSupport));
+    }
+
+    #[test]
+    fn claim_directly_on_evidence_is_accepted_shorthand() {
+        let a = Argument::builder("short")
+            .add("c1", NodeKind::Claim, "Top")
+            .add("ev", NodeKind::Evidence, "E")
+            .supported_by("c1", "ev")
+            .build()
+            .unwrap();
+        assert!(check(&a).is_empty());
+    }
+
+    #[test]
+    fn argument_supported_by_argument_flagged() {
+        let a = Argument::builder("bad")
+            .add("c1", NodeKind::Claim, "Top")
+            .add("a1", NodeKind::ArgumentNode, "Arg1")
+            .add("a2", NodeKind::ArgumentNode, "Arg2")
+            .add("ev", NodeKind::Evidence, "E")
+            .supported_by("c1", "a1")
+            .supported_by("a1", "a2")
+            .supported_by("a2", "ev")
+            .build()
+            .unwrap();
+        let issues = check(&a);
+        assert!(issues.iter().any(|i| i.rule == CaeRule::ArgumentSupport));
+    }
+
+    #[test]
+    fn evidence_with_children_flagged() {
+        let a = Argument::builder("bad")
+            .add("c1", NodeKind::Claim, "Top")
+            .add("ev", NodeKind::Evidence, "E")
+            .add("c2", NodeKind::Claim, "Sub")
+            .add("ev2", NodeKind::Evidence, "E2")
+            .supported_by("c1", "ev")
+            .supported_by("ev", "c2")
+            .supported_by("c2", "ev2")
+            .build()
+            .unwrap();
+        let issues = check(&a);
+        assert!(issues.iter().any(|i| i.rule == CaeRule::EvidenceIsLeaf));
+    }
+
+    #[test]
+    fn gsn_nodes_flagged_in_cae_check() {
+        let a = Argument::builder("mixed")
+            .add("c1", NodeKind::Claim, "Top")
+            .add("g1", NodeKind::Goal, "A GSN goal")
+            .add("ev", NodeKind::Evidence, "E")
+            .supported_by("c1", "ev")
+            .build()
+            .unwrap();
+        let issues = check(&a);
+        assert!(issues.iter().any(|i| i.rule == CaeRule::CaeVocabulary));
+    }
+
+    #[test]
+    fn rootless_or_cyclic_shape_flagged() {
+        let a = Argument::builder("cyc")
+            .add("c1", NodeKind::Claim, "A")
+            .add("a1", NodeKind::ArgumentNode, "B")
+            .supported_by("c1", "a1")
+            .supported_by("a1", "c1")
+            .build()
+            .unwrap();
+        let issues = check(&a);
+        assert!(issues.iter().any(|i| i.rule == CaeRule::Shape));
+    }
+
+    #[test]
+    fn issue_display() {
+        let a = Argument::builder("cyc")
+            .add("ev", NodeKind::Evidence, "floating evidence")
+            .build()
+            .unwrap();
+        let issues = check(&a);
+        assert!(issues.iter().any(|i| i.rule == CaeRule::Shape));
+        assert!(issues[0].to_string().contains("at `"));
+    }
+}

@@ -1,0 +1,307 @@
+//! Quantitative confidence propagation over arguments.
+//!
+//! Graydon §V-B mentions that "argument confidence is assessed mechanically
+//! (e.g., through BBN modelling)" in some proposals (his ref [34] surveys
+//! the mechanisms and finds none adequate in all cases). This module
+//! implements two of the simplest, clearly-labelled models so that the
+//! evidence-sufficiency experiment (§VI-E) can compare judgment procedures:
+//!
+//! * **Noisy-AND**: a node's confidence is the product of its children's,
+//!   discounted by a per-step inference weight — the usual independence
+//!   assumption.
+//! * **Weakest link**: a node's confidence is the minimum of its
+//!   children's, discounted likewise.
+//!
+//! Neither model is endorsed; both inherit the paper's caveat that the
+//! numbers are only as good as the leaf assessments and independence
+//! assumptions, which are informal judgments.
+
+use crate::argument::Argument;
+use crate::node::{EdgeKind, NodeId};
+use std::collections::BTreeMap;
+
+/// Aggregation rule for child confidences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregation {
+    /// Product of child confidences (independence assumption).
+    NoisyAnd,
+    /// Minimum of child confidences.
+    WeakestLink,
+}
+
+/// A confidence assessment over an argument.
+#[derive(Debug, Clone)]
+pub struct Assessment {
+    /// Per-node confidence in [0, 1].
+    values: BTreeMap<NodeId, f64>,
+}
+
+impl Assessment {
+    /// The confidence assigned to `id`, if computed.
+    pub fn confidence(&self, id: &NodeId) -> Option<f64> {
+        self.values.get(id).copied()
+    }
+
+    /// All node confidences in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (&NodeId, f64)> {
+        self.values.iter().map(|(k, v)| (k, *v))
+    }
+}
+
+/// Propagates leaf confidences up the support graph.
+///
+/// * `leaf_confidence` supplies a value in [0, 1] for each support leaf
+///   (nodes without `SupportedBy` children); missing leaves default to
+///   `default_leaf`.
+/// * `step_weight` multiplies each inference step (1.0 = lossless
+///   deduction; lower models inductive discount).
+///
+/// # Panics
+///
+/// Panics if the support graph is cyclic, if any supplied confidence is
+/// outside [0, 1], or if `step_weight` is outside [0, 1].
+pub fn propagate(
+    argument: &Argument,
+    leaf_confidence: &BTreeMap<NodeId, f64>,
+    default_leaf: f64,
+    step_weight: f64,
+    aggregation: Aggregation,
+) -> Assessment {
+    assert!(
+        argument.is_acyclic(),
+        "confidence propagation requires an acyclic support graph"
+    );
+    assert!(
+        (0.0..=1.0).contains(&step_weight),
+        "step weight must be in [0, 1]"
+    );
+    assert!(
+        (0.0..=1.0).contains(&default_leaf),
+        "default leaf confidence must be in [0, 1]"
+    );
+    for (id, v) in leaf_confidence {
+        assert!(
+            (0.0..=1.0).contains(v),
+            "confidence for `{id}` must be in [0, 1]"
+        );
+    }
+    let mut values = BTreeMap::new();
+    for node in argument.nodes() {
+        compute(
+            argument,
+            &node.id,
+            leaf_confidence,
+            default_leaf,
+            step_weight,
+            aggregation,
+            &mut values,
+        );
+    }
+    Assessment { values }
+}
+
+fn compute(
+    argument: &Argument,
+    id: &NodeId,
+    leaf_confidence: &BTreeMap<NodeId, f64>,
+    default_leaf: f64,
+    step_weight: f64,
+    aggregation: Aggregation,
+    values: &mut BTreeMap<NodeId, f64>,
+) -> f64 {
+    if let Some(v) = values.get(id) {
+        return *v;
+    }
+    let children = argument.children(id, EdgeKind::SupportedBy);
+    let value = if children.is_empty() {
+        leaf_confidence.get(id).copied().unwrap_or(default_leaf)
+    } else {
+        let child_values: Vec<f64> = children
+            .iter()
+            .map(|c| {
+                compute(
+                    argument,
+                    &c.id,
+                    leaf_confidence,
+                    default_leaf,
+                    step_weight,
+                    aggregation,
+                    values,
+                )
+            })
+            .collect();
+        let combined = match aggregation {
+            Aggregation::NoisyAnd => child_values.iter().product::<f64>(),
+            Aggregation::WeakestLink => child_values
+                .iter()
+                .copied()
+                .fold(f64::INFINITY, f64::min),
+        };
+        combined * step_weight
+    };
+    values.insert(id.clone(), value);
+    value
+}
+
+/// The *impact* of a leaf on the root: root confidence with the leaf at
+/// its assessed value minus root confidence with the leaf forced to zero.
+///
+/// This is the graph-tracing evidence-sufficiency judgment GSN is said to
+/// ease (Graydon §VI-E), computed mechanically for comparison against
+/// probing (see [`crate::semantics::probe_argument`]).
+///
+/// Returns `None` if the argument has no root.
+pub fn leaf_impact(
+    argument: &Argument,
+    leaf_confidence: &BTreeMap<NodeId, f64>,
+    default_leaf: f64,
+    step_weight: f64,
+    aggregation: Aggregation,
+    leaf: &NodeId,
+) -> Option<f64> {
+    let root = argument.roots().first().map(|n| n.id.clone())?;
+    let baseline = propagate(
+        argument,
+        leaf_confidence,
+        default_leaf,
+        step_weight,
+        aggregation,
+    )
+    .confidence(&root)?;
+    let mut zeroed = leaf_confidence.clone();
+    zeroed.insert(leaf.clone(), 0.0);
+    let without = propagate(argument, &zeroed, default_leaf, step_weight, aggregation)
+        .confidence(&root)?;
+    Some(baseline - without)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::parse_argument;
+
+    fn sample() -> Argument {
+        parse_argument(
+            r#"argument "conf" {
+                goal g1 "Top" {
+                  strategy s1 "split" {
+                    goal g2 "A" { solution e1 "ev1" }
+                    goal g3 "B" { solution e2 "ev2" }
+                  }
+                }
+            }"#,
+        )
+        .unwrap()
+    }
+
+    fn leaves(pairs: &[(&str, f64)]) -> BTreeMap<NodeId, f64> {
+        pairs
+            .iter()
+            .map(|(id, v)| (NodeId::new(id), *v))
+            .collect()
+    }
+
+    #[test]
+    fn noisy_and_multiplies_up_the_tree() {
+        let a = sample();
+        let lc = leaves(&[("e1", 0.9), ("e2", 0.8)]);
+        let assess = propagate(&a, &lc, 1.0, 1.0, Aggregation::NoisyAnd);
+        assert_eq!(assess.confidence(&"e1".into()), Some(0.9));
+        assert!((assess.confidence(&"g2".into()).unwrap() - 0.9).abs() < 1e-12);
+        // s1 = 0.9 * 0.8; g1 = s1.
+        let g1 = assess.confidence(&"g1".into()).unwrap();
+        assert!((g1 - 0.72).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weakest_link_takes_minimum() {
+        let a = sample();
+        let lc = leaves(&[("e1", 0.9), ("e2", 0.5)]);
+        let assess = propagate(&a, &lc, 1.0, 1.0, Aggregation::WeakestLink);
+        assert!((assess.confidence(&"g1".into()).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_weight_discounts_each_level() {
+        let a = sample();
+        let lc = leaves(&[("e1", 1.0), ("e2", 1.0)]);
+        let assess = propagate(&a, &lc, 1.0, 0.9, Aggregation::NoisyAnd);
+        // Four inference levels: g2/g3 (0.9), s1 (0.9 * 0.81=0.9*0.9*0.9),
+        // g1 adds another 0.9.
+        let g1 = assess.confidence(&"g1".into()).unwrap();
+        let expected = 0.9 * (0.9 * (0.9 * 1.0) * (0.9 * 1.0));
+        assert!((g1 - expected).abs() < 1e-12, "got {g1}, want {expected}");
+    }
+
+    #[test]
+    fn missing_leaves_use_default() {
+        let a = sample();
+        let assess = propagate(&a, &BTreeMap::new(), 0.5, 1.0, Aggregation::NoisyAnd);
+        assert_eq!(assess.confidence(&"e1".into()), Some(0.5));
+        assert!((assess.confidence(&"g1".into()).unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leaf_impact_reflects_criticality() {
+        let a = sample();
+        let lc = leaves(&[("e1", 0.9), ("e2", 0.8)]);
+        let impact_e1 = leaf_impact(&a, &lc, 1.0, 1.0, Aggregation::NoisyAnd, &"e1".into())
+            .unwrap();
+        // Zeroing e1 zeroes the root (product): impact = 0.72.
+        assert!((impact_e1 - 0.72).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_covers_all_nodes() {
+        let a = sample();
+        let assess = propagate(&a, &BTreeMap::new(), 1.0, 1.0, Aggregation::NoisyAnd);
+        assert_eq!(assess.iter().count(), a.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "acyclic")]
+    fn cyclic_argument_panics() {
+        use crate::node::NodeKind;
+        let a = Argument::builder("cyc")
+            .add("g1", NodeKind::Goal, "A")
+            .add("g2", NodeKind::Goal, "B")
+            .supported_by("g1", "g2")
+            .supported_by("g2", "g1")
+            .build()
+            .unwrap();
+        let _ = propagate(&a, &BTreeMap::new(), 1.0, 1.0, Aggregation::NoisyAnd);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn out_of_range_confidence_panics() {
+        let a = sample();
+        let lc = leaves(&[("e1", 1.5)]);
+        let _ = propagate(&a, &lc, 1.0, 1.0, Aggregation::NoisyAnd);
+    }
+
+    #[test]
+    #[should_panic(expected = "step weight")]
+    fn out_of_range_step_weight_panics() {
+        let a = sample();
+        let _ = propagate(&a, &BTreeMap::new(), 1.0, 1.2, Aggregation::NoisyAnd);
+    }
+
+    #[test]
+    fn context_nodes_do_not_enter_support_math() {
+        let a = parse_argument(
+            r#"argument "ctx" {
+                goal g1 "Top" {
+                  context c1 "scope"
+                  solution e1 "ev"
+                }
+            }"#,
+        )
+        .unwrap();
+        let lc = leaves(&[("e1", 0.8)]);
+        let assess = propagate(&a, &lc, 0.1, 1.0, Aggregation::NoisyAnd);
+        // c1 is a leaf of the *support* graph but not a support child of
+        // g1, so g1 = 0.8 regardless of c1's default.
+        assert!((assess.confidence(&"g1".into()).unwrap() - 0.8).abs() < 1e-12);
+    }
+}

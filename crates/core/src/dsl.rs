@@ -1,0 +1,566 @@
+//! A text DSL for writing assurance arguments.
+//!
+//! The grammar (comments run `//` or `#` to end of line):
+//!
+//! ```text
+//! argument ::= "argument" STRING "{" node* "}"
+//! node     ::= KIND IDENT STRING modifier* ( "{" child* "}" )?
+//! child    ::= node | "ref" IDENT
+//! modifier ::= "formal" STRING          -- propositional payload
+//!            | "temporal" STRING        -- LTL payload
+//!            | "undeveloped"
+//! KIND     ::= "goal" | "strategy" | "solution" | "context"
+//!            | "assumption" | "justification"
+//!            | "claim" | "argnode" | "evidence"
+//! ```
+//!
+//! Nesting encodes edges: contexts, assumptions, and justifications attach
+//! to their parent with `InContextOf`; all other kinds with `SupportedBy`.
+//! `ref` adds an edge to an already-declared node, allowing DAGs.
+//!
+//! ```
+//! use casekit_core::dsl::parse_argument;
+//! let arg = parse_argument(r#"
+//!   argument "demo" {
+//!     goal g1 "Top" {
+//!       solution e1 "Evidence"
+//!     }
+//!   }
+//! "#).unwrap();
+//! assert_eq!(arg.len(), 2);
+//! ```
+
+use crate::argument::{Argument, ArgumentBuilder};
+use crate::node::{EdgeKind, FormalPayload, Node, NodeKind};
+use casekit_logic::{ltl::parse_ltl, prop, ParseError, Span};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),
+    Str(String),
+    LBrace,
+    RBrace,
+}
+
+#[derive(Debug, Clone)]
+struct Lexed {
+    tok: Tok,
+    span: Span,
+}
+
+fn lex(input: &str) -> Result<Vec<Lexed>, ParseError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut offsets: Vec<usize> = input.char_indices().map(|(i, _)| i).collect();
+    offsets.push(input.len());
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && bytes.get(i + 1) == Some(&'/') || c == '#' {
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+        } else if c == '{' {
+            out.push(Lexed {
+                tok: Tok::LBrace,
+                span: Span::new(offsets[i], offsets[i + 1]),
+            });
+            i += 1;
+        } else if c == '}' {
+            out.push(Lexed {
+                tok: Tok::RBrace,
+                span: Span::new(offsets[i], offsets[i + 1]),
+            });
+            i += 1;
+        } else if c == '"' {
+            let start = i;
+            i += 1;
+            let mut s = String::new();
+            let mut closed = false;
+            while i < bytes.len() {
+                match bytes[i] {
+                    '"' => {
+                        closed = true;
+                        i += 1;
+                        break;
+                    }
+                    '\\' if matches!(bytes.get(i + 1), Some('"') | Some('\\')) => {
+                        s.push(bytes[i + 1]);
+                        i += 2;
+                    }
+                    other => {
+                        s.push(other);
+                        i += 1;
+                    }
+                }
+            }
+            if !closed {
+                return Err(ParseError::new(
+                    "unterminated string literal",
+                    Span::new(offsets[start], input.len()),
+                ));
+            }
+            out.push(Lexed {
+                tok: Tok::Str(s),
+                span: Span::new(offsets[start], offsets[i]),
+            });
+        } else if c.is_alphanumeric() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+            }
+            let word: String = bytes[start..i].iter().collect();
+            out.push(Lexed {
+                tok: Tok::Word(word),
+                span: Span::new(offsets[start], offsets[i]),
+            });
+        } else {
+            return Err(ParseError::new(
+                format!("unexpected character `{c}`"),
+                Span::new(offsets[i], offsets[i + 1]),
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn kind_of(word: &str) -> Option<NodeKind> {
+    match word {
+        "goal" => Some(NodeKind::Goal),
+        "strategy" => Some(NodeKind::Strategy),
+        "solution" => Some(NodeKind::Solution),
+        "context" => Some(NodeKind::Context),
+        "assumption" => Some(NodeKind::Assumption),
+        "justification" => Some(NodeKind::Justification),
+        "claim" => Some(NodeKind::Claim),
+        "argnode" => Some(NodeKind::ArgumentNode),
+        "evidence" => Some(NodeKind::Evidence),
+        _ => None,
+    }
+}
+
+fn edge_kind_for(kind: NodeKind) -> EdgeKind {
+    match kind {
+        NodeKind::Context | NodeKind::Assumption | NodeKind::Justification => {
+            EdgeKind::InContextOf
+        }
+        _ => EdgeKind::SupportedBy,
+    }
+}
+
+struct Parser {
+    toks: Vec<Lexed>,
+    pos: usize,
+    end: usize,
+}
+
+impl Parser {
+    fn here(&self) -> Span {
+        self.toks
+            .get(self.pos)
+            .map(|l| l.span)
+            .unwrap_or(Span::point(self.end))
+    }
+
+    fn next(&mut self) -> Option<Lexed> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|l| &l.tok)
+    }
+
+    fn expect_word(&mut self, expected: &str) -> Result<(), ParseError> {
+        let span = self.here();
+        match self.next().map(|l| l.tok) {
+            Some(Tok::Word(w)) if w == expected => Ok(()),
+            _ => Err(ParseError::new(format!("expected `{expected}`"), span)),
+        }
+    }
+
+    fn expect_string(&mut self, what: &str) -> Result<String, ParseError> {
+        let span = self.here();
+        match self.next().map(|l| l.tok) {
+            Some(Tok::Str(s)) => Ok(s),
+            _ => Err(ParseError::new(format!("expected {what} string"), span)),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        let span = self.here();
+        match self.next().map(|l| l.tok) {
+            Some(Tok::Word(w)) if kind_of(&w).is_none() && w != "ref" => Ok(w),
+            _ => Err(ParseError::new("expected a node identifier", span)),
+        }
+    }
+
+    fn expect_lbrace(&mut self) -> Result<(), ParseError> {
+        let span = self.here();
+        match self.next().map(|l| l.tok) {
+            Some(Tok::LBrace) => Ok(()),
+            _ => Err(ParseError::new("expected `{`", span)),
+        }
+    }
+
+    /// Parses one node (and its nested children) into the builder, adding
+    /// an edge from `parent` if there is one. Returns the updated builder.
+    fn node(
+        &mut self,
+        mut builder: ArgumentBuilder,
+        parent: Option<(&str, NodeKind)>,
+    ) -> Result<ArgumentBuilder, ParseError> {
+        let span = self.here();
+        let kind_word = match self.next().map(|l| l.tok) {
+            Some(Tok::Word(w)) => w,
+            _ => return Err(ParseError::new("expected a node kind", span)),
+        };
+
+        if kind_word == "ref" {
+            let target = self.expect_ident()?;
+            let (parent_id, _) = parent.ok_or_else(|| {
+                ParseError::new("`ref` is only allowed inside a node body", span)
+            })?;
+            // Edge kind depends on the *referenced* node's kind, which the
+            // builder may not know yet; we default to SupportedBy — a ref
+            // to a context node should use nesting instead.
+            builder = builder.edge(parent_id, &target, EdgeKind::SupportedBy);
+            return Ok(builder);
+        }
+
+        let kind = kind_of(&kind_word).ok_or_else(|| {
+            ParseError::new(format!("unknown node kind `{kind_word}`"), span)
+        })?;
+        let id = self.expect_ident()?;
+        let text = self.expect_string("node text")?;
+
+        let mut node = Node::new(id.as_str(), kind, text);
+
+        // Modifiers.
+        loop {
+            match self.peek() {
+                Some(Tok::Word(w)) if w == "formal" => {
+                    self.next();
+                    let span = self.here();
+                    let src = self.expect_string("formula")?;
+                    let formula = prop::parse(&src).map_err(|e| {
+                        ParseError::new(
+                            format!("in formal payload of `{id}`: {}", e.message),
+                            span,
+                        )
+                    })?;
+                    node.formal = Some(FormalPayload::Prop(formula));
+                }
+                Some(Tok::Word(w)) if w == "temporal" => {
+                    self.next();
+                    let span = self.here();
+                    let src = self.expect_string("LTL formula")?;
+                    let formula = parse_ltl(&src).map_err(|e| {
+                        ParseError::new(
+                            format!("in temporal payload of `{id}`: {}", e.message),
+                            span,
+                        )
+                    })?;
+                    node.formal = Some(FormalPayload::Temporal(formula));
+                }
+                Some(Tok::Word(w)) if w == "undeveloped" => {
+                    self.next();
+                    node.undeveloped = true;
+                }
+                _ => break,
+            }
+        }
+
+        builder = builder.node(node);
+        if let Some((parent_id, _)) = parent {
+            builder = builder.edge(parent_id, &id, edge_kind_for(kind));
+        }
+
+        // Optional body.
+        if matches!(self.peek(), Some(Tok::LBrace)) {
+            self.next();
+            while !matches!(self.peek(), Some(Tok::RBrace)) {
+                if self.peek().is_none() {
+                    return Err(ParseError::new("expected `}`", self.here()));
+                }
+                builder = self.node(builder, Some((&id, kind)))?;
+            }
+            self.next(); // consume `}`
+        }
+        Ok(builder)
+    }
+}
+
+/// Parses an argument from the DSL.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for syntax errors (with a span into `input`)
+/// or for structural errors surfaced by the builder (duplicate ids,
+/// dangling `ref`s), reported at the end of input.
+pub fn parse_argument(input: &str) -> Result<Argument, ParseError> {
+    let toks = lex(input)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        end: input.len(),
+    };
+    p.expect_word("argument")?;
+    let name = p.expect_string("argument name")?;
+    p.expect_lbrace()?;
+    let mut builder = Argument::builder(name);
+    while !matches!(p.peek(), Some(Tok::RBrace)) {
+        if p.peek().is_none() {
+            return Err(ParseError::new("expected `}`", p.here()));
+        }
+        builder = p.node(builder, None)?;
+    }
+    p.next(); // final `}`
+    if let Some(extra) = p.toks.get(p.pos) {
+        return Err(ParseError::new("unexpected trailing input", extra.span));
+    }
+    builder
+        .build()
+        .map_err(|e| ParseError::new(e.to_string(), Span::point(input.len())))
+}
+
+/// Renders an argument back into DSL text (single-parent tree shape only:
+/// extra edges are emitted as `ref` children).
+pub fn render_dsl(argument: &Argument) -> String {
+    let mut out = format!("argument \"{}\" {{\n", escape(argument.name()));
+    let mut emitted: std::collections::BTreeSet<crate::node::NodeId> =
+        std::collections::BTreeSet::new();
+    for root in argument.roots() {
+        render_node(argument, &root.id, 1, &mut out, &mut emitted);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn keyword(kind: NodeKind) -> &'static str {
+    match kind {
+        NodeKind::Goal => "goal",
+        NodeKind::Strategy => "strategy",
+        NodeKind::Solution => "solution",
+        NodeKind::Context => "context",
+        NodeKind::Assumption => "assumption",
+        NodeKind::Justification => "justification",
+        NodeKind::Claim => "claim",
+        NodeKind::ArgumentNode => "argnode",
+        NodeKind::Evidence => "evidence",
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn render_node(
+    argument: &Argument,
+    id: &crate::node::NodeId,
+    indent: usize,
+    out: &mut String,
+    emitted: &mut std::collections::BTreeSet<crate::node::NodeId>,
+) {
+    let node = match argument.node(id) {
+        Some(n) => n,
+        None => return,
+    };
+    let pad = "  ".repeat(indent);
+    if !emitted.insert(id.clone()) {
+        out.push_str(&format!("{pad}ref {id}\n"));
+        return;
+    }
+    out.push_str(&format!(
+        "{pad}{} {} \"{}\"",
+        keyword(node.kind),
+        node.id,
+        escape(&node.text)
+    ));
+    match &node.formal {
+        Some(FormalPayload::Prop(f)) => out.push_str(&format!(" formal \"{f}\"")),
+        Some(FormalPayload::Temporal(f)) => out.push_str(&format!(" temporal \"{f}\"")),
+        None => {}
+    }
+    if node.undeveloped {
+        out.push_str(" undeveloped");
+    }
+    let children = argument.all_children(id);
+    if children.is_empty() {
+        out.push('\n');
+        return;
+    }
+    out.push_str(" {\n");
+    for child in children {
+        render_node(argument, &child.id, indent + 1, out, emitted);
+    }
+    out.push_str(&format!("{pad}}}\n"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+        // A small UAV argument.
+        argument "uav" {
+          goal g1 "UAV operations are acceptably safe" {
+            context c1 "Segregated airspace ops"
+            assumption a1 "Ground crew follows procedures"
+            strategy s1 "Argue over identified hazards" {
+              justification j1 "Hazard log reviewed by panel"
+              goal g2 "Mid-air collision risk mitigated"
+                formal "below_min -> avoiding" {
+                solution e1 "Detect-and-avoid test campaign"
+              }
+              goal g3 "Loss-of-link handled" undeveloped
+            }
+          }
+        }
+    "#;
+
+    #[test]
+    fn parses_sample() {
+        let a = parse_argument(SAMPLE).unwrap();
+        assert_eq!(a.name(), "uav");
+        assert_eq!(a.len(), 8);
+        assert_eq!(a.edges().len(), 7);
+        assert!(crate::gsn::check(&a).is_empty());
+        let g2 = a.node(&"g2".into()).unwrap();
+        assert!(g2.is_formalised());
+        let g3 = a.node(&"g3".into()).unwrap();
+        assert!(g3.undeveloped);
+    }
+
+    #[test]
+    fn nesting_chooses_edge_kinds() {
+        let a = parse_argument(SAMPLE).unwrap();
+        use crate::node::EdgeKind;
+        let g1 = crate::node::NodeId::new("g1");
+        assert_eq!(a.children(&g1, EdgeKind::InContextOf).len(), 2);
+        assert_eq!(a.children(&g1, EdgeKind::SupportedBy).len(), 1);
+    }
+
+    #[test]
+    fn temporal_payload() {
+        let a = parse_argument(
+            r#"argument "t" {
+                goal g1 "always ok" temporal "G (req -> F grant)" {
+                  solution e1 "model checking log"
+                }
+            }"#,
+        )
+        .unwrap();
+        let g1 = a.node(&"g1".into()).unwrap();
+        assert!(matches!(g1.formal, Some(FormalPayload::Temporal(_))));
+    }
+
+    #[test]
+    fn ref_creates_dag() {
+        let a = parse_argument(
+            r#"argument "dag" {
+                goal g1 "top" {
+                  goal g2 "shared" {
+                    solution e1 "shared evidence"
+                  }
+                  strategy s1 "also uses shared" {
+                    ref g2
+                  }
+                }
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(a.parents(&"g2".into()).len(), 2);
+    }
+
+    #[test]
+    fn bad_formula_error_carries_node_id() {
+        let err = parse_argument(
+            r#"argument "x" { goal g1 "t" formal "p ->" { solution e "s" } }"#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("g1"));
+    }
+
+    #[test]
+    fn syntax_errors_located() {
+        assert!(parse_argument("").is_err());
+        assert!(parse_argument(r#"argument "x" {"#).is_err());
+        assert!(parse_argument(r#"argument "x" { widget w "t" }"#)
+            .unwrap_err()
+            .message
+            .contains("widget"));
+        assert!(parse_argument(r#"argument "x" { goal "missing id" }"#).is_err());
+        let err = parse_argument(r#"argument "x" { goal g1 }"#).unwrap_err();
+        assert!(err.message.contains("text"));
+    }
+
+    #[test]
+    fn unterminated_string_reported() {
+        let err = parse_argument(r#"argument "x" { goal g1 "unterminated }"#).unwrap_err();
+        assert!(err.message.contains("unterminated") || err.message.contains("expected"));
+    }
+
+    #[test]
+    fn duplicate_id_surfaces_as_parse_error() {
+        let err = parse_argument(
+            r#"argument "x" {
+                goal g1 "a" { solution e1 "s" }
+                goal g1 "b" { solution e2 "s" }
+            }"#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn ref_at_top_level_rejected() {
+        let err = parse_argument(r#"argument "x" { ref g9 }"#).unwrap_err();
+        assert!(err.message.contains("ref"));
+    }
+
+    #[test]
+    fn escaped_quotes_in_strings() {
+        let a = parse_argument(
+            r#"argument "q" { goal g1 "the \"safe\" state" { solution e1 "s" } }"#,
+        )
+        .unwrap();
+        assert_eq!(a.node(&"g1".into()).unwrap().text, "the \"safe\" state");
+    }
+
+    #[test]
+    fn round_trip_through_render() {
+        let a = parse_argument(SAMPLE).unwrap();
+        let rendered = render_dsl(&a);
+        let b = parse_argument(&rendered).unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.edges().len(), b.edges().len());
+        for node in a.nodes() {
+            let other = b.node(&node.id).expect("node survives round trip");
+            assert_eq!(node.text, other.text);
+            assert_eq!(node.kind, other.kind);
+            assert_eq!(node.undeveloped, other.undeveloped);
+        }
+    }
+
+    #[test]
+    fn comments_and_hash_comments_skipped() {
+        let a = parse_argument(
+            "argument \"c\" {\n# hash comment\ngoal g1 \"t\" { // slash comment\n solution e1 \"s\" }\n}",
+        )
+        .unwrap();
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let err = parse_argument(r#"argument "x" { goal g1 "t" undeveloped } extra"#)
+            .unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+}

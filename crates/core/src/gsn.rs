@@ -1,0 +1,440 @@
+//! GSN well-formedness: the Community Standard rules and the deviating
+//! Denney–Pai formalisation.
+//!
+//! Graydon §III-I notes that Denney & Pai's formal syntax includes the rule
+//! "(n → m) ∧ [l(n) = g] ⇒ l(m) ∈ {s, e, a, j, c}" — i.e. goals cannot
+//! support goals — *even though GSN explicitly allows goals to support
+//! other goals*. Both rule sets are implemented here so the discrepancy is
+//! executable: [`check`] follows the GSN Community Standard, while
+//! [`check_denney_pai`] follows the published formalisation, and the two
+//! disagree on any argument with a goal-to-goal support edge.
+
+use crate::argument::Argument;
+use crate::node::{EdgeKind, NodeId, NodeKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A well-formedness finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Issue {
+    /// The rule that was violated.
+    pub rule: Rule,
+    /// The node (or edge source) where the violation was detected.
+    pub at: NodeId,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl fmt::Display for Issue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] at `{}`: {}", self.rule, self.at, self.detail)
+    }
+}
+
+/// The GSN well-formedness rules checked by this module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Rule {
+    /// Only GSN node kinds may appear in a GSN argument.
+    GsnVocabulary,
+    /// `SupportedBy` may only leave goals and strategies.
+    SupportSource,
+    /// `SupportedBy` may only arrive at goals, strategies, and solutions.
+    SupportTarget,
+    /// `InContextOf` may only leave goals and strategies.
+    ContextSource,
+    /// `InContextOf` may only arrive at contexts, assumptions, and
+    /// justifications.
+    ContextTarget,
+    /// Solutions must not have outgoing edges.
+    SolutionIsLeaf,
+    /// The support graph must be acyclic.
+    Acyclic,
+    /// There must be at least one root goal.
+    RootGoal,
+    /// Goals and strategies need support or an `undeveloped` mark.
+    Developed,
+    /// An undeveloped node must not have supporting children.
+    UndevelopedHasNoSupport,
+    /// Denney–Pai only: goals may not directly support goals.
+    DenneyPaiNoGoalToGoal,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Rule::GsnVocabulary => "gsn-vocabulary",
+            Rule::SupportSource => "support-source",
+            Rule::SupportTarget => "support-target",
+            Rule::ContextSource => "context-source",
+            Rule::ContextTarget => "context-target",
+            Rule::SolutionIsLeaf => "solution-is-leaf",
+            Rule::Acyclic => "acyclic",
+            Rule::RootGoal => "root-goal",
+            Rule::Developed => "developed",
+            Rule::UndevelopedHasNoSupport => "undeveloped-has-no-support",
+            Rule::DenneyPaiNoGoalToGoal => "denney-pai-no-goal-to-goal",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Checks `argument` against the GSN Community Standard rules.
+///
+/// Returns all issues found (empty = well-formed). Goal-to-goal support is
+/// **allowed**, per the standard.
+pub fn check(argument: &Argument) -> Vec<Issue> {
+    check_impl(argument, false)
+}
+
+/// Checks `argument` against Denney & Pai's formalised syntax, which
+/// additionally forbids goal-to-goal support (a documented deviation from
+/// the standard; see the module docs).
+pub fn check_denney_pai(argument: &Argument) -> Vec<Issue> {
+    check_impl(argument, true)
+}
+
+fn check_impl(argument: &Argument, denney_pai: bool) -> Vec<Issue> {
+    let mut issues = Vec::new();
+
+    for node in argument.nodes() {
+        if !node.kind.is_gsn() {
+            issues.push(Issue {
+                rule: Rule::GsnVocabulary,
+                at: node.id.clone(),
+                detail: format!("`{}` is not a GSN node kind", node.kind),
+            });
+        }
+    }
+
+    for edge in argument.edges() {
+        let from = match argument.node(&edge.from) {
+            Some(n) => n,
+            None => continue,
+        };
+        let to = match argument.node(&edge.to) {
+            Some(n) => n,
+            None => continue,
+        };
+        match edge.kind {
+            EdgeKind::SupportedBy => {
+                if !matches!(from.kind, NodeKind::Goal | NodeKind::Strategy) {
+                    issues.push(Issue {
+                        rule: Rule::SupportSource,
+                        at: from.id.clone(),
+                        detail: format!("a {} cannot be supported", from.kind),
+                    });
+                }
+                if !matches!(
+                    to.kind,
+                    NodeKind::Goal | NodeKind::Strategy | NodeKind::Solution
+                ) {
+                    issues.push(Issue {
+                        rule: Rule::SupportTarget,
+                        at: to.id.clone(),
+                        detail: format!("a {} cannot provide support", to.kind),
+                    });
+                }
+                if denney_pai && from.kind == NodeKind::Goal && to.kind == NodeKind::Goal {
+                    issues.push(Issue {
+                        rule: Rule::DenneyPaiNoGoalToGoal,
+                        at: from.id.clone(),
+                        detail: format!(
+                            "goal `{}` directly supports goal `{}` (allowed by the GSN \
+                             standard, rejected by the Denney–Pai formalisation)",
+                            from.id, to.id
+                        ),
+                    });
+                }
+            }
+            EdgeKind::InContextOf => {
+                if !matches!(from.kind, NodeKind::Goal | NodeKind::Strategy) {
+                    issues.push(Issue {
+                        rule: Rule::ContextSource,
+                        at: from.id.clone(),
+                        detail: format!("a {} cannot have context", from.kind),
+                    });
+                }
+                if !matches!(
+                    to.kind,
+                    NodeKind::Context | NodeKind::Assumption | NodeKind::Justification
+                ) {
+                    issues.push(Issue {
+                        rule: Rule::ContextTarget,
+                        at: to.id.clone(),
+                        detail: format!("a {} cannot serve as context", to.kind),
+                    });
+                }
+            }
+        }
+    }
+
+    // Solutions are leaves.
+    for node in argument.nodes_of_kind(NodeKind::Solution) {
+        if !argument.all_children(&node.id).is_empty() {
+            issues.push(Issue {
+                rule: Rule::SolutionIsLeaf,
+                at: node.id.clone(),
+                detail: "solutions must not have outgoing edges".into(),
+            });
+        }
+    }
+
+    // Acyclicity.
+    if !argument.is_acyclic() {
+        let at = argument
+            .nodes()
+            .next()
+            .map(|n| n.id.clone())
+            .unwrap_or_else(|| NodeId::new("?"));
+        issues.push(Issue {
+            rule: Rule::Acyclic,
+            at,
+            detail: "the support graph contains a cycle".into(),
+        });
+    }
+
+    // Root goal.
+    let has_root_goal = argument.roots().iter().any(|n| n.kind == NodeKind::Goal);
+    if !argument.is_empty() && !has_root_goal {
+        let at = argument
+            .nodes()
+            .next()
+            .map(|n| n.id.clone())
+            .unwrap_or_else(|| NodeId::new("?"));
+        issues.push(Issue {
+            rule: Rule::RootGoal,
+            at,
+            detail: "no root goal (every goal is supported by something else)".into(),
+        });
+    }
+
+    // Development status.
+    for node in argument.nodes() {
+        let needs_support = matches!(node.kind, NodeKind::Goal | NodeKind::Strategy);
+        if !needs_support {
+            continue;
+        }
+        let supported = !argument.children(&node.id, EdgeKind::SupportedBy).is_empty();
+        if node.undeveloped && supported {
+            issues.push(Issue {
+                rule: Rule::UndevelopedHasNoSupport,
+                at: node.id.clone(),
+                detail: "node is marked undeveloped yet has supporting children".into(),
+            });
+        }
+        if !node.undeveloped && !supported {
+            issues.push(Issue {
+                rule: Rule::Developed,
+                at: node.id.clone(),
+                detail: format!(
+                    "{} has no support and is not marked undeveloped",
+                    node.kind
+                ),
+            });
+        }
+    }
+
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Node;
+
+    fn well_formed() -> Argument {
+        Argument::builder("ok")
+            .add("g1", NodeKind::Goal, "Safe")
+            .add("s1", NodeKind::Strategy, "By hazards")
+            .add("g2", NodeKind::Goal, "H1 ok")
+            .add("e1", NodeKind::Solution, "Tests")
+            .add("c1", NodeKind::Context, "Scope")
+            .add("a1", NodeKind::Assumption, "Independent failures")
+            .add("j1", NodeKind::Justification, "Accepted practice")
+            .supported_by("g1", "s1")
+            .supported_by("s1", "g2")
+            .supported_by("g2", "e1")
+            .in_context_of("g1", "c1")
+            .in_context_of("s1", "j1")
+            .in_context_of("g2", "a1")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn well_formed_argument_passes() {
+        assert!(check(&well_formed()).is_empty());
+    }
+
+    #[test]
+    fn goal_to_goal_allowed_by_standard_rejected_by_denney_pai() {
+        let a = Argument::builder("g2g")
+            .add("g1", NodeKind::Goal, "Top")
+            .add("g2", NodeKind::Goal, "Sub")
+            .add("e1", NodeKind::Solution, "Evidence")
+            .supported_by("g1", "g2")
+            .supported_by("g2", "e1")
+            .build()
+            .unwrap();
+        assert!(check(&a).is_empty(), "standard allows goal->goal");
+        let issues = check_denney_pai(&a);
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].rule, Rule::DenneyPaiNoGoalToGoal);
+        assert!(issues[0].detail.contains("deviat") || issues[0].detail.contains("rejected"));
+    }
+
+    #[test]
+    fn solution_cannot_support() {
+        let a = Argument::builder("bad")
+            .add("g1", NodeKind::Goal, "Top")
+            .add("e1", NodeKind::Solution, "Evidence")
+            .add("g2", NodeKind::Goal, "Sub")
+            .add("e2", NodeKind::Solution, "More evidence")
+            .supported_by("g1", "e1")
+            .supported_by("e1", "g2")
+            .supported_by("g2", "e2")
+            .build()
+            .unwrap();
+        let issues = check(&a);
+        assert!(issues.iter().any(|i| i.rule == Rule::SupportSource));
+        assert!(issues.iter().any(|i| i.rule == Rule::SolutionIsLeaf));
+    }
+
+    #[test]
+    fn context_cannot_be_support_target() {
+        let a = Argument::builder("bad")
+            .add("g1", NodeKind::Goal, "Top")
+            .add("c1", NodeKind::Context, "Scope")
+            .supported_by("g1", "c1")
+            .build()
+            .unwrap();
+        let issues = check(&a);
+        assert!(issues.iter().any(|i| i.rule == Rule::SupportTarget));
+    }
+
+    #[test]
+    fn solution_cannot_have_context() {
+        let a = Argument::builder("bad")
+            .add("g1", NodeKind::Goal, "Top")
+            .add("e1", NodeKind::Solution, "Evidence")
+            .add("c1", NodeKind::Context, "Scope")
+            .supported_by("g1", "e1")
+            .in_context_of("e1", "c1")
+            .build()
+            .unwrap();
+        let issues = check(&a);
+        assert!(issues.iter().any(|i| i.rule == Rule::ContextSource));
+        assert!(issues.iter().any(|i| i.rule == Rule::SolutionIsLeaf));
+    }
+
+    #[test]
+    fn goal_cannot_serve_as_context() {
+        let a = Argument::builder("bad")
+            .add("g1", NodeKind::Goal, "Top")
+            .add("g2", NodeKind::Goal, "Other")
+            .add("e1", NodeKind::Solution, "E")
+            .add("e2", NodeKind::Solution, "E2")
+            .supported_by("g1", "e1")
+            .supported_by("g2", "e2")
+            .in_context_of("g1", "g2")
+            .build()
+            .unwrap();
+        let issues = check(&a);
+        assert!(issues.iter().any(|i| i.rule == Rule::ContextTarget));
+    }
+
+    #[test]
+    fn cae_nodes_flagged_in_gsn_check() {
+        let a = Argument::builder("mixed")
+            .add("g1", NodeKind::Goal, "Top")
+            .add("cl1", NodeKind::Claim, "CAE claim")
+            .supported_by("g1", "cl1")
+            .build()
+            .unwrap();
+        let issues = check(&a);
+        assert!(issues.iter().any(|i| i.rule == Rule::GsnVocabulary));
+    }
+
+    #[test]
+    fn undeveloped_goal_accepted_developed_goal_without_support_flagged() {
+        let a = Argument::builder("dev")
+            .node(Node::new("g1", NodeKind::Goal, "Top"))
+            .node(Node::new("g2", NodeKind::Goal, "Sub").undeveloped())
+            .supported_by("g1", "g2")
+            .build()
+            .unwrap();
+        assert!(check(&a).is_empty());
+
+        let a = Argument::builder("dev")
+            .add("g1", NodeKind::Goal, "Top")
+            .add("g2", NodeKind::Goal, "Sub")
+            .supported_by("g1", "g2")
+            .build()
+            .unwrap();
+        let issues = check(&a);
+        assert!(issues
+            .iter()
+            .any(|i| i.rule == Rule::Developed && i.at == "g2".into()));
+    }
+
+    #[test]
+    fn undeveloped_with_children_flagged() {
+        let a = Argument::builder("dev")
+            .node(Node::new("g1", NodeKind::Goal, "Top").undeveloped())
+            .add("e1", NodeKind::Solution, "E")
+            .supported_by("g1", "e1")
+            .build()
+            .unwrap();
+        let issues = check(&a);
+        assert!(issues.iter().any(|i| i.rule == Rule::UndevelopedHasNoSupport));
+    }
+
+    #[test]
+    fn cycle_flagged() {
+        let a = Argument::builder("cyc")
+            .add("g1", NodeKind::Goal, "A")
+            .add("g2", NodeKind::Goal, "B")
+            .supported_by("g1", "g2")
+            .supported_by("g2", "g1")
+            .build()
+            .unwrap();
+        let issues = check(&a);
+        assert!(issues.iter().any(|i| i.rule == Rule::Acyclic));
+        // A cyclic argument also has no root goal.
+        assert!(issues.iter().any(|i| i.rule == Rule::RootGoal));
+    }
+
+    #[test]
+    fn no_root_goal_flagged_when_root_is_strategy() {
+        let a = Argument::builder("bad-root")
+            .add("s1", NodeKind::Strategy, "Orphan strategy")
+            .add("g1", NodeKind::Goal, "Sub")
+            .add("e1", NodeKind::Solution, "E")
+            .supported_by("s1", "g1")
+            .supported_by("g1", "e1")
+            .build()
+            .unwrap();
+        let issues = check(&a);
+        assert!(issues.iter().any(|i| i.rule == Rule::RootGoal));
+    }
+
+    #[test]
+    fn issue_display_mentions_rule_and_node() {
+        let a = Argument::builder("cyc")
+            .add("g1", NodeKind::Goal, "A")
+            .add("g2", NodeKind::Goal, "B")
+            .supported_by("g1", "g2")
+            .supported_by("g2", "g1")
+            .build()
+            .unwrap();
+        let issues = check(&a);
+        let text = issues[0].to_string();
+        assert!(text.contains("at `"));
+    }
+
+    #[test]
+    fn empty_argument_is_trivially_well_formed() {
+        let a = Argument::builder("empty").build().unwrap();
+        assert!(check(&a).is_empty());
+    }
+}

@@ -1,0 +1,240 @@
+//! Hierarchical cases ("hicases"): collapsible views of arguments, after
+//! Denney, Pai & Whiteside (Graydon §III-I).
+//!
+//! A [`View`] tracks which nodes are collapsed; rendering shows a collapsed
+//! node as a summary line with the count of hidden descendants, letting a
+//! reader "evaluat[e] a smaller, abstract argument structure … instead of
+//! its larger concrete instantiation".
+
+use crate::argument::Argument;
+use crate::node::NodeId;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// A collapsible view over an argument.
+#[derive(Debug, Clone)]
+pub struct View<'a> {
+    argument: &'a Argument,
+    collapsed: BTreeSet<NodeId>,
+}
+
+impl<'a> View<'a> {
+    /// A fully expanded view.
+    pub fn new(argument: &'a Argument) -> Self {
+        View {
+            argument,
+            collapsed: BTreeSet::new(),
+        }
+    }
+
+    /// A view with every internal node collapsed (roots visible).
+    pub fn fully_collapsed(argument: &'a Argument) -> Self {
+        let mut view = View::new(argument);
+        for root in argument.roots() {
+            view.collapse(&root.id);
+        }
+        view
+    }
+
+    /// The underlying argument.
+    pub fn argument(&self) -> &Argument {
+        self.argument
+    }
+
+    /// Collapses `id` (its descendants become hidden).
+    ///
+    /// Collapsing an unknown id is a no-op: views are UI state, not
+    /// validators.
+    pub fn collapse(&mut self, id: &NodeId) {
+        if self.argument.node(id).is_some() {
+            self.collapsed.insert(id.clone());
+        }
+    }
+
+    /// Expands `id`.
+    pub fn expand(&mut self, id: &NodeId) {
+        self.collapsed.remove(id);
+    }
+
+    /// Expands every node.
+    pub fn expand_all(&mut self) {
+        self.collapsed.clear();
+    }
+
+    /// Whether `id` is collapsed.
+    pub fn is_collapsed(&self, id: &NodeId) -> bool {
+        self.collapsed.contains(id)
+    }
+
+    /// Ids of nodes currently visible (roots, plus children of expanded
+    /// visible nodes).
+    pub fn visible(&self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut seen = BTreeSet::new();
+        for root in self.argument.roots() {
+            self.visit(&root.id, &mut out, &mut seen);
+        }
+        out
+    }
+
+    fn visit(&self, id: &NodeId, out: &mut Vec<NodeId>, seen: &mut BTreeSet<NodeId>) {
+        if !seen.insert(id.clone()) {
+            return;
+        }
+        out.push(id.clone());
+        if self.collapsed.contains(id) {
+            return;
+        }
+        for child in self.argument.all_children(id) {
+            self.visit(&child.id, out, seen);
+        }
+    }
+
+    /// Number of nodes hidden by the current collapse state.
+    pub fn hidden_count(&self) -> usize {
+        self.argument.len().saturating_sub(self.visible().len())
+    }
+
+    /// Renders the view as an ASCII tree; collapsed nodes show a
+    /// `[+N hidden]` marker.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.argument.name());
+        let mut seen = BTreeSet::new();
+        let roots = self.argument.roots();
+        for (i, root) in roots.iter().enumerate() {
+            self.render_node(&root.id, "", i + 1 == roots.len(), &mut out, &mut seen);
+        }
+        out
+    }
+
+    fn render_node(
+        &self,
+        id: &NodeId,
+        prefix: &str,
+        last: bool,
+        out: &mut String,
+        seen: &mut BTreeSet<NodeId>,
+    ) {
+        let node = match self.argument.node(id) {
+            Some(n) => n,
+            None => return,
+        };
+        let connector = if last { "`-- " } else { "|-- " };
+        if !seen.insert(id.clone()) {
+            let _ = writeln!(out, "{prefix}{connector}(see {id})");
+            return;
+        }
+        let mut label = format!("[{}] {}: {}", node.id, node.kind, node.text);
+        if self.collapsed.contains(id) {
+            let hidden = self.argument.descendants(id).len();
+            if hidden > 0 {
+                let _ = write!(label, " [+{hidden} hidden]");
+            }
+            let _ = writeln!(out, "{prefix}{connector}{label}");
+            return;
+        }
+        let _ = writeln!(out, "{prefix}{connector}{label}");
+        let child_prefix = format!("{prefix}{}", if last { "    " } else { "|   " });
+        let children = self.argument.all_children(id);
+        for (i, child) in children.iter().enumerate() {
+            self.render_node(&child.id, &child_prefix, i + 1 == children.len(), out, seen);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::parse_argument;
+
+    fn sample() -> Argument {
+        parse_argument(
+            r#"argument "hi" {
+                goal g1 "Top" {
+                  strategy s1 "Over hazards" {
+                    goal g2 "H1" { solution e1 "ev1" }
+                    goal g3 "H2" { solution e2 "ev2" }
+                  }
+                }
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fully_expanded_shows_everything() {
+        let a = sample();
+        let v = View::new(&a);
+        assert_eq!(v.visible().len(), a.len());
+        assert_eq!(v.hidden_count(), 0);
+        assert!(!v.is_collapsed(&"g1".into()));
+        assert_eq!(v.argument().name(), "hi");
+    }
+
+    #[test]
+    fn collapsing_hides_descendants() {
+        let a = sample();
+        let mut v = View::new(&a);
+        v.collapse(&"s1".into());
+        let visible = v.visible();
+        assert_eq!(visible.len(), 2); // g1, s1
+        assert_eq!(v.hidden_count(), 4);
+        let r = v.render();
+        assert!(r.contains("[+4 hidden]"));
+        assert!(!r.contains("ev1"));
+    }
+
+    #[test]
+    fn expand_restores() {
+        let a = sample();
+        let mut v = View::new(&a);
+        v.collapse(&"s1".into());
+        v.expand(&"s1".into());
+        assert_eq!(v.hidden_count(), 0);
+        v.collapse(&"g2".into());
+        v.collapse(&"g3".into());
+        assert_eq!(v.hidden_count(), 2);
+        v.expand_all();
+        assert_eq!(v.hidden_count(), 0);
+    }
+
+    #[test]
+    fn fully_collapsed_shows_only_roots() {
+        let a = sample();
+        let v = View::fully_collapsed(&a);
+        assert_eq!(v.visible().len(), 1);
+        assert!(v.render().contains("[+5 hidden]"));
+    }
+
+    #[test]
+    fn collapsing_unknown_id_is_noop() {
+        let a = sample();
+        let mut v = View::new(&a);
+        v.collapse(&"zz".into());
+        assert_eq!(v.hidden_count(), 0);
+    }
+
+    #[test]
+    fn collapsed_leaf_shows_no_marker() {
+        let a = sample();
+        let mut v = View::new(&a);
+        v.collapse(&"e1".into());
+        let r = v.render();
+        assert!(r.contains("[e1]"));
+        assert!(!r.contains("+0 hidden"));
+    }
+
+    #[test]
+    fn nested_collapse_inside_collapsed_region_is_moot() {
+        let a = sample();
+        let mut v = View::new(&a);
+        v.collapse(&"g2".into());
+        v.collapse(&"s1".into());
+        // g2's collapse state is irrelevant while s1 is collapsed.
+        assert_eq!(v.visible().len(), 2);
+        v.expand(&"s1".into());
+        // Now g2's collapse matters again.
+        assert_eq!(v.visible().len(), 5); // g1 s1 g2 g3 e2
+    }
+}

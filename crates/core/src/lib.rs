@@ -1,0 +1,60 @@
+//! # casekit-core
+//!
+//! The assurance-argument model: nodes, edges, notations, a text DSL,
+//! renderers, hierarchical views, and bridges to formal logic.
+//!
+//! An *assurance case* comprises evidence and a structured argument
+//! explaining how that evidence supports an assurance claim (Graydon §I).
+//! This crate models the argument part in the notations the paper surveys:
+//!
+//! * [`Argument`] — the common graph model (GSN node kinds plus CAE's),
+//!   built with [`ArgumentBuilder`] or parsed from the [`dsl`];
+//! * [`gsn`] — well-formedness rules from the GSN Community Standard, and
+//!   the stricter (deviating) Denney–Pai formalised variant;
+//! * [`cae`] — Claims-Argument-Evidence rules;
+//! * [`toulmin`] — Toulmin's model, including the extended textual form
+//!   used for Haley et al.'s "inner" arguments;
+//! * [`formality`] — the paper's three dimensions of argument formality;
+//! * [`render`] — ASCII-tree, GraphViz DOT, and prose renderers;
+//! * [`hicase`] — hierarchical (collapsible) views after Denney, Pai &
+//!   Whiteside;
+//! * [`semantics`] — compiling formal node payloads into a logical theory
+//!   and checking deductive support relations;
+//! * [`confidence`] — simple quantitative confidence propagation (the
+//!   BBN-style modelling the paper's ref [34] discusses).
+//!
+//! ```
+//! use casekit_core::dsl::parse_argument;
+//!
+//! let arg = parse_argument(r#"
+//!     argument "thrust reverser" {
+//!       goal g1 "Thrust reversers are safe" {
+//!         context c1 "Aircraft operating context"
+//!         strategy s1 "Argue over interlock conditions" {
+//!           goal g2 "Reversers inhibited in flight" formal "~on_grnd -> ~threv_en" {
+//!             solution e1 "Interlock test results"
+//!           }
+//!         }
+//!       }
+//!     }
+//! "#).unwrap();
+//! assert_eq!(arg.len(), 5);
+//! assert!(casekit_core::gsn::check(&arg).is_empty());
+//! ```
+
+pub mod autogen;
+pub mod cae;
+pub mod confidence;
+pub mod dsl;
+pub mod formality;
+pub mod gsn;
+pub mod hicase;
+pub mod render;
+pub mod semantics;
+pub mod toulmin;
+
+mod argument;
+mod node;
+
+pub use argument::{Argument, ArgumentBuilder, ArgumentError, Edge};
+pub use node::{EdgeKind, FormalPayload, Node, NodeId, NodeKind};

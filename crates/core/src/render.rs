@@ -1,0 +1,305 @@
+//! Renderers: ASCII tree, GraphViz DOT, and prose.
+//!
+//! The paper (§II-B, citing Holloway) notes that opinions differ on whether
+//! graphical or textual presentations communicate best; providing all three
+//! lets the reading-audience experiment (§VI-C) vary notation as a
+//! treatment.
+
+use crate::argument::Argument;
+use crate::node::{EdgeKind, FormalPayload, NodeId, NodeKind};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Renders the argument as an ASCII tree from its roots.
+///
+/// Nodes reachable by several paths are printed once; later occurrences
+/// are abbreviated `(see <id>)`.
+pub fn ascii_tree(argument: &Argument) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", argument.name());
+    let mut seen = BTreeSet::new();
+    let roots = argument.roots();
+    for (i, root) in roots.iter().enumerate() {
+        tree_node(
+            argument,
+            &root.id,
+            "",
+            i + 1 == roots.len(),
+            &mut out,
+            &mut seen,
+        );
+    }
+    out
+}
+
+fn tree_node(
+    argument: &Argument,
+    id: &NodeId,
+    prefix: &str,
+    last: bool,
+    out: &mut String,
+    seen: &mut BTreeSet<NodeId>,
+) {
+    let node = match argument.node(id) {
+        Some(n) => n,
+        None => return,
+    };
+    let connector = if last { "`-- " } else { "|-- " };
+    let mut label = format!("[{}] {}: {}", node.id, node.kind, node.text);
+    if let Some(p) = &node.formal {
+        let _ = write!(label, "  ⟦{p}⟧");
+    }
+    if node.undeveloped {
+        label.push_str("  (undeveloped)");
+    }
+    if !seen.insert(id.clone()) {
+        let _ = writeln!(out, "{prefix}{connector}(see {id})");
+        return;
+    }
+    let _ = writeln!(out, "{prefix}{connector}{label}");
+    let child_prefix = format!("{prefix}{}", if last { "    " } else { "|   " });
+    let children = argument.all_children(id);
+    for (i, child) in children.iter().enumerate() {
+        tree_node(
+            argument,
+            &child.id,
+            &child_prefix,
+            i + 1 == children.len(),
+            out,
+            seen,
+        );
+    }
+}
+
+/// Renders the argument as GraphViz DOT, with GSN-conventional shapes
+/// (goals as boxes, strategies as parallelograms, solutions as circles,
+/// context as rounded boxes).
+pub fn dot(argument: &Argument) -> String {
+    let mut out = String::from("digraph argument {\n  rankdir=TB;\n");
+    for node in argument.nodes() {
+        let shape = match node.kind {
+            NodeKind::Goal | NodeKind::Claim => "box",
+            NodeKind::Strategy | NodeKind::ArgumentNode => "parallelogram",
+            NodeKind::Solution | NodeKind::Evidence => "circle",
+            NodeKind::Context => "box",
+            NodeKind::Assumption | NodeKind::Justification => "ellipse",
+        };
+        let style = match node.kind {
+            NodeKind::Context => ", style=rounded",
+            _ => "",
+        };
+        let mut label = format!("{}\\n{}", node.id, escape_dot(&node.text));
+        if let Some(p) = &node.formal {
+            let _ = write!(label, "\\n{}", escape_dot(&p.render()));
+        }
+        let _ = writeln!(
+            out,
+            "  {} [shape={shape}{style}, label=\"{label}\"];",
+            node.id
+        );
+    }
+    for edge in argument.edges() {
+        let attrs = match edge.kind {
+            EdgeKind::SupportedBy => "[arrowhead=normal]",
+            EdgeKind::InContextOf => "[arrowhead=empty, style=dashed]",
+        };
+        let _ = writeln!(out, "  {} -> {} {attrs};", edge.from, edge.to);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape_dot(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the argument as structured prose, one paragraph per goal —
+/// the presentation Holloway's "non-graphically inclined" readers prefer.
+pub fn prose(argument: &Argument) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Argument: {}\n", argument.name());
+    for root in argument.roots() {
+        prose_node(argument, &root.id, 0, &mut out, &mut BTreeSet::new());
+    }
+    out
+}
+
+fn prose_node(
+    argument: &Argument,
+    id: &NodeId,
+    depth: usize,
+    out: &mut String,
+    seen: &mut BTreeSet<NodeId>,
+) {
+    let node = match argument.node(id) {
+        Some(n) => n,
+        None => return,
+    };
+    if !seen.insert(id.clone()) {
+        return;
+    }
+    let number = "  ".repeat(depth);
+    match node.kind {
+        NodeKind::Goal | NodeKind::Claim => {
+            let _ = write!(out, "{number}We claim that {} ({}).", node.text, node.id);
+            if let Some(FormalPayload::Prop(f)) = &node.formal {
+                let _ = write!(out, " Formally: {f}.");
+            }
+            if let Some(FormalPayload::Temporal(f)) = &node.formal {
+                let _ = write!(out, " Formally (LTL): {f}.");
+            }
+            let contexts = argument.children(id, EdgeKind::InContextOf);
+            for c in &contexts {
+                let _ = write!(out, " {} {} ({}).", prose_context_lead(c.kind), c.text, c.id);
+            }
+            let support = argument.children(id, EdgeKind::SupportedBy);
+            if support.is_empty() {
+                if node.undeveloped {
+                    let _ = writeln!(out, " This claim is not yet developed.");
+                } else {
+                    let _ = writeln!(out);
+                }
+            } else {
+                let _ = writeln!(out, " This is supported as follows.");
+                for s in support {
+                    prose_node(argument, &s.id, depth + 1, out, seen);
+                }
+            }
+        }
+        NodeKind::Strategy | NodeKind::ArgumentNode => {
+            let _ = writeln!(out, "{number}Arguing {} ({}):", node.text, node.id);
+            for s in argument.children(id, EdgeKind::SupportedBy) {
+                prose_node(argument, &s.id, depth + 1, out, seen);
+            }
+        }
+        NodeKind::Solution | NodeKind::Evidence => {
+            let _ = writeln!(out, "{number}Evidence: {} ({}).", node.text, node.id);
+        }
+        NodeKind::Context | NodeKind::Assumption | NodeKind::Justification => {
+            let _ = writeln!(
+                out,
+                "{number}{} {} ({}).",
+                prose_context_lead(node.kind),
+                node.text,
+                node.id
+            );
+        }
+    }
+}
+
+fn prose_context_lead(kind: NodeKind) -> &'static str {
+    match kind {
+        NodeKind::Context => "In the context of",
+        NodeKind::Assumption => "Assuming that",
+        NodeKind::Justification => "This approach is justified because",
+        _ => "Note:",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::parse_argument;
+
+    fn sample() -> Argument {
+        parse_argument(
+            r#"argument "demo" {
+                goal g1 "System is safe" formal "h1 & h2" {
+                  context c1 "Operational role"
+                  strategy s1 "Argue over hazards" {
+                    goal g2 "H1 mitigated" formal "h1" {
+                      solution e1 "Fault tree analysis"
+                    }
+                    goal g3 "H2 mitigated" undeveloped
+                  }
+                }
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ascii_tree_shape() {
+        let t = ascii_tree(&sample());
+        assert!(t.starts_with("demo\n"));
+        assert!(t.contains("`-- [g1] goal: System is safe"));
+        assert!(t.contains("⟦h1 & h2⟧"));
+        assert!(t.contains("(undeveloped)"));
+        // g2 and g3 are siblings under s1; the non-last uses |--.
+        assert!(t.contains("|-- [g2]"));
+        assert!(t.contains("`-- [g3]"));
+    }
+
+    #[test]
+    fn ascii_tree_handles_dags() {
+        let a = parse_argument(
+            r#"argument "dag" {
+                goal g1 "top" {
+                  goal g2 "shared" { solution e1 "ev" }
+                  strategy s1 "reuse" { ref g2 }
+                }
+            }"#,
+        )
+        .unwrap();
+        let t = ascii_tree(&a);
+        assert!(t.contains("(see g2)"));
+    }
+
+    #[test]
+    fn dot_contains_nodes_edges_and_styles() {
+        let d = dot(&sample());
+        assert!(d.starts_with("digraph"));
+        assert!(d.contains("g1 [shape=box"));
+        assert!(d.contains("s1 [shape=parallelogram"));
+        assert!(d.contains("e1 [shape=circle"));
+        assert!(d.contains("c1 [shape=box, style=rounded"));
+        assert!(d.contains("g1 -> s1 [arrowhead=normal]"));
+        assert!(d.contains("g1 -> c1 [arrowhead=empty, style=dashed]"));
+        assert!(d.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let a = parse_argument(
+            r#"argument "q" { goal g1 "say \"hi\"" { solution e1 "s" } }"#,
+        )
+        .unwrap();
+        let d = dot(&a);
+        assert!(d.contains("say \\\"hi\\\""));
+    }
+
+    #[test]
+    fn prose_reads_top_down() {
+        let p = prose(&sample());
+        assert!(p.contains("We claim that System is safe (g1). Formally: h1 & h2."));
+        assert!(p.contains("In the context of Operational role (c1)."));
+        assert!(p.contains("Arguing Argue over hazards (s1):"));
+        assert!(p.contains("Evidence: Fault tree analysis (e1)."));
+        assert!(p.contains("This claim is not yet developed."));
+    }
+
+    #[test]
+    fn prose_mentions_assumptions_and_justifications() {
+        let a = parse_argument(
+            r#"argument "aj" {
+                goal g1 "claim" {
+                  assumption a1 "failures independent"
+                  justification j1 "standard practice"
+                  solution e1 "data"
+                }
+            }"#,
+        )
+        .unwrap();
+        let p = prose(&a);
+        assert!(p.contains("Assuming that failures independent (a1)."));
+        assert!(p.contains("This approach is justified because standard practice (j1)."));
+    }
+
+    #[test]
+    fn empty_argument_renders() {
+        let a = Argument::builder("empty").build().unwrap();
+        assert_eq!(ascii_tree(&a), "empty\n");
+        assert!(dot(&a).contains("digraph"));
+        assert!(prose(&a).contains("Argument: empty"));
+    }
+}

@@ -1,0 +1,240 @@
+//! Bridging arguments to formal logic: compiling formal payloads into a
+//! theory and checking deductive support, in the style of Rushby's
+//! "formalise what lends itself to the process" (Graydon §III-M).
+//!
+//! Only nodes with [`FormalPayload::Prop`] payloads participate; everything
+//! else remains informal — which is the paper's partial-formalisation
+//! setting. The checks here answer precisely the question mechanical
+//! verification can answer (does the symbol structure entail the
+//! conclusion?) and none of the questions it cannot (do the premises
+//! describe the world?).
+
+use crate::argument::Argument;
+use crate::node::{EdgeKind, FormalPayload, NodeId, NodeKind};
+use casekit_logic::probe::{probe, ProbeReport};
+use casekit_logic::prop::Formula;
+
+/// The formal premises of an argument: the propositional payloads of its
+/// formalised support *leaves* (solutions/evidence are cited through their
+/// parent goals' payloads, so leaves here means "formalised nodes with no
+/// formalised descendants providing support").
+pub fn formal_premises(argument: &Argument) -> Vec<Formula> {
+    argument
+        .nodes()
+        .filter(|n| {
+            n.is_formalised()
+                && formalised_support_children(argument, &n.id).is_empty()
+        })
+        .filter_map(|n| match &n.formal {
+            Some(FormalPayload::Prop(f)) => Some(f.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The formal conclusion: the propositional payload of the (first) root
+/// goal, if it has one.
+pub fn formal_conclusion(argument: &Argument) -> Option<Formula> {
+    argument.roots().into_iter().find_map(|n| match &n.formal {
+        Some(FormalPayload::Prop(f)) => Some(f.clone()),
+        _ => None,
+    })
+}
+
+/// Formalised children supporting `id` (transitively skipping unformalised
+/// strategies, which GSN interposes between goals).
+fn formalised_support_children<'a>(
+    argument: &'a Argument,
+    id: &NodeId,
+) -> Vec<&'a crate::node::Node> {
+    let mut out = Vec::new();
+    for child in argument.children(id, EdgeKind::SupportedBy) {
+        if child.is_formalised() {
+            out.push(child);
+        } else if child.kind == NodeKind::Strategy {
+            out.extend(formalised_support_children(argument, &child.id));
+        }
+    }
+    out
+}
+
+/// Whether the support step into `id` is deductively valid: the
+/// conjunction of the formalised supporting children's payloads entails
+/// `id`'s payload.
+///
+/// Returns `None` when the step is not checkable (the node or all of its
+/// support lacks propositional payloads).
+pub fn step_is_deductive(argument: &Argument, id: &NodeId) -> Option<bool> {
+    let node = argument.node(id)?;
+    let target = match &node.formal {
+        Some(FormalPayload::Prop(f)) => f.clone(),
+        _ => return None,
+    };
+    let children = formalised_support_children(argument, id);
+    if children.is_empty() {
+        return None;
+    }
+    let premises: Vec<Formula> = children
+        .iter()
+        .filter_map(|c| match &c.formal {
+            Some(FormalPayload::Prop(f)) => Some(f.clone()),
+            _ => None,
+        })
+        .collect();
+    if premises.is_empty() {
+        return None;
+    }
+    Some(Formula::conj(premises).entails(&target))
+}
+
+/// Every non-deductive formalised step in the argument (node ids whose
+/// support fails entailment). An empty result means the formalised skeleton
+/// is free of *formal* fallacies of consequence — and nothing more.
+pub fn non_deductive_steps(argument: &Argument) -> Vec<NodeId> {
+    argument
+        .nodes()
+        .filter(|n| step_is_deductive(argument, &n.id) == Some(false))
+        .map(|n| n.id.clone())
+        .collect()
+}
+
+/// Runs Rushby's what-if probe over the argument's formal skeleton:
+/// premises = formal leaf payloads, conclusion = root payload.
+///
+/// Returns `None` when the argument has no formal conclusion.
+pub fn probe_argument(argument: &Argument) -> Option<ProbeReport> {
+    let conclusion = formal_conclusion(argument)?;
+    let premises = formal_premises(argument);
+    Some(probe(&premises, &conclusion))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Node;
+    use casekit_logic::prop::parse;
+
+    fn payload(src: &str) -> FormalPayload {
+        FormalPayload::Prop(parse(src).unwrap())
+    }
+
+    /// g1 ⟦q⟧ ← s1 ← { g2 ⟦p -> q⟧, g3 ⟦p⟧ }, each on a solution.
+    fn deductive_case() -> Argument {
+        Argument::builder("mp")
+            .node(Node::new("g1", NodeKind::Goal, "q").with_formal(payload("q")))
+            .add("s1", NodeKind::Strategy, "deduce")
+            .node(Node::new("g2", NodeKind::Goal, "rule").with_formal(payload("p -> q")))
+            .node(Node::new("g3", NodeKind::Goal, "fact").with_formal(payload("p")))
+            .add("e1", NodeKind::Solution, "review")
+            .add("e2", NodeKind::Solution, "measurement")
+            .supported_by("g1", "s1")
+            .supported_by("s1", "g2")
+            .supported_by("s1", "g3")
+            .supported_by("g2", "e1")
+            .supported_by("g3", "e2")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn deductive_step_through_strategy() {
+        let a = deductive_case();
+        assert_eq!(step_is_deductive(&a, &"g1".into()), Some(true));
+        assert!(non_deductive_steps(&a).is_empty());
+    }
+
+    #[test]
+    fn premises_and_conclusion_extraction() {
+        let a = deductive_case();
+        let premises = formal_premises(&a);
+        assert_eq!(premises.len(), 2);
+        assert_eq!(formal_conclusion(&a), Some(parse("q").unwrap()));
+    }
+
+    #[test]
+    fn non_deductive_step_detected() {
+        // The paper's §V-B example: code_reviewed & unit_tests_passed does
+        // NOT entail meets_deadlines, however confidently asserted.
+        let a = Argument::builder("wrong-reasons")
+            .node(
+                Node::new("g1", NodeKind::Goal, "deadlines met")
+                    .with_formal(payload("meets_deadlines")),
+            )
+            .node(
+                Node::new("g2", NodeKind::Goal, "quality signals")
+                    .with_formal(payload("code_reviewed & unit_tests_passed")),
+            )
+            .add("e1", NodeKind::Solution, "review minutes")
+            .supported_by("g1", "g2")
+            .supported_by("g2", "e1")
+            .build()
+            .unwrap();
+        assert_eq!(step_is_deductive(&a, &"g1".into()), Some(false));
+        assert_eq!(non_deductive_steps(&a), vec![NodeId::new("g1")]);
+    }
+
+    #[test]
+    fn unformalised_steps_not_checkable() {
+        let a = Argument::builder("informal")
+            .add("g1", NodeKind::Goal, "Safe")
+            .add("e1", NodeKind::Solution, "Tests")
+            .supported_by("g1", "e1")
+            .build()
+            .unwrap();
+        assert_eq!(step_is_deductive(&a, &"g1".into()), None);
+        assert!(non_deductive_steps(&a).is_empty());
+        assert!(probe_argument(&a).is_none());
+    }
+
+    #[test]
+    fn probe_argument_finds_idle_premise() {
+        // Root q; leaves: p, p -> q, and an irrelevant premise r.
+        let a = Argument::builder("probe")
+            .node(Node::new("g1", NodeKind::Goal, "q").with_formal(payload("q")))
+            .node(Node::new("g2", NodeKind::Goal, "p").with_formal(payload("p")))
+            .node(Node::new("g3", NodeKind::Goal, "rule").with_formal(payload("p -> q")))
+            .node(Node::new("g4", NodeKind::Goal, "red herring").with_formal(payload("r")))
+            .add("e1", NodeKind::Solution, "a")
+            .add("e2", NodeKind::Solution, "b")
+            .add("e3", NodeKind::Solution, "c")
+            .supported_by("g1", "g2")
+            .supported_by("g1", "g3")
+            .supported_by("g1", "g4")
+            .supported_by("g2", "e1")
+            .supported_by("g3", "e2")
+            .supported_by("g4", "e3")
+            .build()
+            .unwrap();
+        let report = probe_argument(&a).unwrap();
+        assert!(report.entailed);
+        // Premises are ordered by node id: g2 (p), g3 (p->q), g4 (r).
+        assert_eq!(report.idle_indices(), vec![2]);
+        assert_eq!(report.critical_indices(), vec![0, 1]);
+    }
+
+    #[test]
+    fn formal_premise_with_formalised_ancestor_not_a_leaf() {
+        let a = deductive_case();
+        // g1 has formalised support (g2, g3 via s1), so its payload is a
+        // conclusion, not a premise.
+        let premises = formal_premises(&a);
+        assert!(!premises.contains(&parse("q").unwrap()));
+    }
+
+    #[test]
+    fn temporal_payloads_are_skipped_by_propositional_checks() {
+        use casekit_logic::ltl::parse_ltl;
+        let a = Argument::builder("ltl")
+            .node(
+                Node::new("g1", NodeKind::Goal, "always ok")
+                    .with_formal(FormalPayload::Temporal(parse_ltl("G ok").unwrap())),
+            )
+            .add("e1", NodeKind::Solution, "model check log")
+            .supported_by("g1", "e1")
+            .build()
+            .unwrap();
+        assert_eq!(step_is_deductive(&a, &"g1".into()), None);
+        assert!(formal_premises(&a).is_empty());
+        assert!(formal_conclusion(&a).is_none());
+    }
+}

@@ -1,0 +1,318 @@
+//! Toulmin's model of argument, including the extended textual rendering
+//! used for Haley et al.'s "inner" arguments (Graydon §III-K).
+//!
+//! A Toulmin argument moves from *grounds* to a *claim* licensed by a
+//! *warrant*; the warrant may rest on *backing*, the move may carry a
+//! *qualifier* ("presumably"), and *rebuttals* record the conditions under
+//! which the claim fails. Warrants can themselves be argued: Haley et al.
+//! nest `warranted by (given grounds … thus claim …)` blocks, which we
+//! model by letting a warrant be either text or a nested argument.
+
+use crate::argument::Argument;
+use crate::node::{Node, NodeKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A warrant: the license for the grounds-to-claim step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Warrant {
+    /// A plain textual warrant.
+    Text(String),
+    /// A warrant established by a nested Toulmin argument
+    /// (Haley et al.'s `warranted by ( … )`).
+    Nested(Box<ToulminArgument>),
+}
+
+/// A Toulmin-model argument.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ToulminArgument {
+    /// The claim being argued for.
+    pub claim: String,
+    /// The grounds (data) offered.
+    pub grounds: Vec<String>,
+    /// Warrants licensing the step from grounds to claim.
+    pub warrants: Vec<Warrant>,
+    /// Backing for the warrants, if stated.
+    pub backing: Option<String>,
+    /// Qualifier (e.g. "presumably", "almost certainly"), if stated.
+    pub qualifier: Option<String>,
+    /// Conditions of rebuttal.
+    pub rebuttals: Vec<String>,
+}
+
+impl ToulminArgument {
+    /// Starts building an argument for `claim`.
+    pub fn new(claim: impl Into<String>) -> Self {
+        ToulminArgument {
+            claim: claim.into(),
+            grounds: Vec::new(),
+            warrants: Vec::new(),
+            backing: None,
+            qualifier: None,
+            rebuttals: Vec::new(),
+        }
+    }
+
+    /// Adds a ground.
+    pub fn ground(mut self, text: impl Into<String>) -> Self {
+        self.grounds.push(text.into());
+        self
+    }
+
+    /// Adds a textual warrant.
+    pub fn warrant(mut self, text: impl Into<String>) -> Self {
+        self.warrants.push(Warrant::Text(text.into()));
+        self
+    }
+
+    /// Adds a nested-argument warrant.
+    pub fn warranted_by(mut self, nested: ToulminArgument) -> Self {
+        self.warrants.push(Warrant::Nested(Box::new(nested)));
+        self
+    }
+
+    /// Sets the backing.
+    pub fn backing(mut self, text: impl Into<String>) -> Self {
+        self.backing = Some(text.into());
+        self
+    }
+
+    /// Sets the qualifier.
+    pub fn qualifier(mut self, text: impl Into<String>) -> Self {
+        self.qualifier = Some(text.into());
+        self
+    }
+
+    /// Adds a rebuttal.
+    pub fn rebutted_by(mut self, text: impl Into<String>) -> Self {
+        self.rebuttals.push(text.into());
+        self
+    }
+
+    /// Total number of elements (claim + grounds + warrants, recursively +
+    /// backing + qualifier + rebuttals) — a size metric for effort models.
+    pub fn element_count(&self) -> usize {
+        1 + self.grounds.len()
+            + self
+                .warrants
+                .iter()
+                .map(|w| match w {
+                    Warrant::Text(_) => 1,
+                    Warrant::Nested(n) => n.element_count(),
+                })
+                .sum::<usize>()
+            + usize::from(self.backing.is_some())
+            + usize::from(self.qualifier.is_some())
+            + self.rebuttals.len()
+    }
+
+    /// Renders in the extended textual notation of Haley et al.
+    /// (`given grounds … warranted by … thus claim … rebutted by …`).
+    pub fn render_extended(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        for (i, g) in self.grounds.iter().enumerate() {
+            let keyword = if i == 0 { "given grounds" } else { "and grounds" };
+            out.push_str(&format!("{pad}{keyword} \"{g}\"\n"));
+        }
+        for w in &self.warrants {
+            match w {
+                Warrant::Text(t) => {
+                    out.push_str(&format!("{pad}warranted by \"{t}\"\n"));
+                }
+                Warrant::Nested(n) => {
+                    out.push_str(&format!("{pad}warranted by (\n"));
+                    n.render_into(out, indent + 1);
+                    out.push_str(&format!("{pad})\n"));
+                }
+            }
+        }
+        if let Some(b) = &self.backing {
+            out.push_str(&format!("{pad}on backing \"{b}\"\n"));
+        }
+        match &self.qualifier {
+            Some(q) => out.push_str(&format!("{pad}thus, {q}, claim \"{}\"\n", self.claim)),
+            None => out.push_str(&format!("{pad}thus claim \"{}\"\n", self.claim)),
+        }
+        for r in &self.rebuttals {
+            out.push_str(&format!("{pad}rebutted by \"{r}\"\n"));
+        }
+    }
+
+    /// Converts to the common graph model: the claim becomes a goal, each
+    /// ground a solution, each warrant a justification (nested warrants
+    /// become supporting sub-goals), rebuttals become context nodes
+    /// prefixed "Rebuttal:".
+    ///
+    /// Ids are generated as `t<N>`.
+    pub fn to_argument(&self, name: impl Into<String>) -> Argument {
+        let mut builder = Argument::builder(name);
+        let mut counter = 0usize;
+        builder = self.add_to(&mut counter, builder).0;
+        builder.build().expect("generated ids are unique")
+    }
+
+    fn add_to(
+        &self,
+        counter: &mut usize,
+        mut builder: crate::argument::ArgumentBuilder,
+    ) -> (crate::argument::ArgumentBuilder, String) {
+        let fresh = |prefix: &str, counter: &mut usize| {
+            let id = format!("{prefix}{counter}");
+            *counter += 1;
+            id
+        };
+        let goal_id = fresh("t", counter);
+        builder = builder.node(Node::new(
+            goal_id.as_str(),
+            NodeKind::Goal,
+            self.claim.clone(),
+        ));
+        for g in &self.grounds {
+            let gid = fresh("t", counter);
+            builder = builder
+                .node(Node::new(gid.as_str(), NodeKind::Solution, g.clone()))
+                .supported_by(&goal_id, &gid);
+        }
+        for w in &self.warrants {
+            match w {
+                Warrant::Text(t) => {
+                    let wid = fresh("t", counter);
+                    builder = builder
+                        .node(Node::new(wid.as_str(), NodeKind::Justification, t.clone()))
+                        .in_context_of(&goal_id, &wid);
+                }
+                Warrant::Nested(n) => {
+                    let (b, sub_id) = n.add_to(counter, builder);
+                    builder = b.supported_by(&goal_id, &sub_id);
+                }
+            }
+        }
+        for r in &self.rebuttals {
+            let rid = fresh("t", counter);
+            builder = builder
+                .node(Node::new(
+                    rid.as_str(),
+                    NodeKind::Context,
+                    format!("Rebuttal: {r}"),
+                ))
+                .in_context_of(&goal_id, &rid);
+        }
+        (builder, goal_id)
+    }
+
+    /// Builds the inner argument from Haley et al. 2008 as reproduced in
+    /// Graydon §III-K (claim P2 about HR credentials).
+    pub fn haley_inner_example() -> ToulminArgument {
+        ToulminArgument::new("HR credentials provided --> HR member")
+            .ground("Valid credentials are given only to HR members")
+            .warranted_by(
+                ToulminArgument::new("Credential administration is correct")
+                    .ground("Credentials are given in person")
+                    .warrant("Credential administrators are honest and reliable"),
+            )
+            .rebutted_by("HR member is dishonest")
+    }
+}
+
+impl fmt::Display for ToulminArgument {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_extended())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_elements() {
+        let t = ToulminArgument::new("Socrates is mortal")
+            .ground("Socrates is a man")
+            .warrant("All men are mortal")
+            .backing("Millennia of observed mortality")
+            .qualifier("certainly")
+            .rebutted_by("Socrates is a god in disguise");
+        assert_eq!(t.grounds.len(), 1);
+        assert_eq!(t.warrants.len(), 1);
+        assert!(t.backing.is_some());
+        // claim + ground + warrant + backing + qualifier + rebuttal.
+        assert_eq!(t.element_count(), 6);
+    }
+
+    #[test]
+    fn extended_rendering_matches_haley_shape() {
+        let t = ToulminArgument::haley_inner_example();
+        let r = t.render_extended();
+        assert!(r.contains("given grounds \"Valid credentials are given only to HR members\""));
+        assert!(r.contains("warranted by ("));
+        assert!(r.contains("given grounds \"Credentials are given in person\""));
+        assert!(r.contains("warranted by \"Credential administrators are honest and reliable\""));
+        assert!(r.contains("thus claim \"Credential administration is correct\""));
+        assert!(r.contains("thus claim \"HR credentials provided --> HR member\""));
+        assert!(r.contains("rebutted by \"HR member is dishonest\""));
+        // Nested content is indented deeper than outer content.
+        let nested_line = r
+            .lines()
+            .find(|l| l.contains("given in person"))
+            .unwrap();
+        assert!(nested_line.starts_with("  "));
+    }
+
+    #[test]
+    fn display_is_extended_rendering() {
+        let t = ToulminArgument::haley_inner_example();
+        assert_eq!(t.to_string(), t.render_extended());
+    }
+
+    #[test]
+    fn qualifier_appears_in_claim_line() {
+        let t = ToulminArgument::new("C").ground("G").qualifier("presumably");
+        assert!(t.render_extended().contains("thus, presumably, claim \"C\""));
+    }
+
+    #[test]
+    fn element_count_recurses_into_nested_warrants() {
+        let t = ToulminArgument::haley_inner_example();
+        // Outer: claim + 1 ground + 1 rebuttal = 3; nested: claim + ground
+        // + warrant = 3. Total 6.
+        assert_eq!(t.element_count(), 6);
+    }
+
+    #[test]
+    fn conversion_to_graph_model() {
+        let t = ToulminArgument::haley_inner_example();
+        let a = t.to_argument("haley-inner");
+        // Outer goal + outer ground + nested goal + nested ground +
+        // nested warrant (justification) + rebuttal (context) = 6 nodes.
+        assert_eq!(a.len(), 6);
+        let roots = a.roots();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].kind, NodeKind::Goal);
+        // The nested warrant-argument supports the outer goal.
+        let support = a.children(&roots[0].id, crate::node::EdgeKind::SupportedBy);
+        assert_eq!(support.len(), 2); // ground + nested goal
+        // And the conversion is GSN-well-formed.
+        assert!(crate::gsn::check(&a).is_empty());
+    }
+
+    #[test]
+    fn deeply_nested_warrants_convert() {
+        let t = ToulminArgument::new("L0")
+            .ground("g0")
+            .warranted_by(
+                ToulminArgument::new("L1").ground("g1").warranted_by(
+                    ToulminArgument::new("L2").ground("g2").warrant("w2"),
+                ),
+            );
+        let a = t.to_argument("deep");
+        assert_eq!(a.len(), 7);
+        assert!(crate::gsn::check(&a).is_empty());
+        assert_eq!(a.support_depth(&a.roots()[0].id.clone()), Some(4));
+    }
+}

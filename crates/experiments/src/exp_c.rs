@@ -1,0 +1,269 @@
+//! Experiment C (§VI-C): does formalisation restrict the reading audience?
+//!
+//! Subjects from each stakeholder background read the same argument in one
+//! of two notations — informal prose (the control) or a symbolic,
+//! deductive rendering — and answer comprehension questions. The model:
+//! prose comprehension depends mildly on background; symbolic
+//! comprehension depends strongly on formal-logic skill. Reading time also
+//! rises for symbolic text at low skill (decoding cost).
+
+use crate::population::{generate as generate_pool, Background, PoolConfig, Subject};
+use crate::stats::{cohens_d, describe, Descriptives};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// The notation a subject reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Notation {
+    /// Informal natural-language argument (control).
+    Informal,
+    /// Symbolic, deductive rendering.
+    Symbolic,
+}
+
+/// Configuration for experiment C.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Config {
+    /// Subjects per background per notation.
+    pub per_cell: usize,
+    /// Argument length in words (prose form).
+    pub words: usize,
+    /// Comprehension questions asked.
+    pub questions: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            per_cell: 25,
+            words: 1200,
+            questions: 10,
+            seed: 0xC,
+        }
+    }
+}
+
+/// Per-background × notation cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// The background.
+    pub background: Background,
+    /// The notation read.
+    pub notation: Notation,
+    /// Comprehension scores (fraction of questions correct).
+    pub comprehension: Descriptives,
+    /// Reading minutes.
+    pub minutes: Descriptives,
+}
+
+/// Results of experiment C.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// All cells (backgrounds × notations).
+    pub cells: Vec<Cell>,
+    /// Effect size (Cohen's d) of notation on comprehension for the
+    /// lowest-skill background (managers) — the paper's headline worry.
+    pub manager_effect: f64,
+    /// Same for software engineers — expected near zero.
+    pub engineer_effect: f64,
+}
+
+fn comprehension_probability(subject: &Subject, notation: Notation) -> f64 {
+    match notation {
+        // Prose: high floor, mild skill effect.
+        Notation::Informal => 0.70 + 0.15 * subject.logic_skill,
+        // Symbols: driven by logic skill.
+        Notation::Symbolic => 0.15 + 0.75 * subject.logic_skill,
+    }
+}
+
+fn reading_minutes(subject: &Subject, notation: Notation, words: usize, rng: &mut impl Rng) -> f64 {
+    let base = words as f64 / subject.reading_wpm;
+    let decode_penalty = match notation {
+        Notation::Informal => 1.0,
+        // Low skill: up to 2.5× slower decoding symbols.
+        Notation::Symbolic => 1.0 + 1.5 * (1.0 - subject.logic_skill),
+    };
+    let noise = 1.0 + 0.1 * crate::population::standard_normal(rng);
+    (base * decode_penalty * noise).max(0.5)
+}
+
+/// Runs experiment C.
+pub fn run(config: &Config) -> Report {
+    let pool = generate_pool(&PoolConfig {
+        per_background: config.per_cell * 2,
+        seed: config.seed ^ 0xCAFE,
+        ..PoolConfig::default()
+    });
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut cells = Vec::new();
+    let mut manager_scores: (Vec<f64>, Vec<f64>) = (Vec::new(), Vec::new());
+    let mut engineer_scores: (Vec<f64>, Vec<f64>) = (Vec::new(), Vec::new());
+
+    for background in Background::ALL {
+        for notation in [Notation::Informal, Notation::Symbolic] {
+            let subjects: Vec<&Subject> = pool
+                .iter()
+                .filter(|s| s.background == background)
+                .skip(if notation == Notation::Informal {
+                    0
+                } else {
+                    config.per_cell
+                })
+                .take(config.per_cell)
+                .collect();
+            let mut scores = Vec::new();
+            let mut minutes = Vec::new();
+            for subject in subjects {
+                let p = comprehension_probability(subject, notation).clamp(0.0, 1.0);
+                let correct = (0..config.questions)
+                    .filter(|_| rng.gen_bool(p))
+                    .count();
+                let score = correct as f64 / config.questions as f64;
+                scores.push(score);
+                minutes.push(reading_minutes(subject, notation, config.words, &mut rng));
+                match (background, notation) {
+                    (Background::Manager, Notation::Informal) => manager_scores.0.push(score),
+                    (Background::Manager, Notation::Symbolic) => manager_scores.1.push(score),
+                    (Background::SoftwareEngineer, Notation::Informal) => {
+                        engineer_scores.0.push(score)
+                    }
+                    (Background::SoftwareEngineer, Notation::Symbolic) => {
+                        engineer_scores.1.push(score)
+                    }
+                    _ => {}
+                }
+            }
+            cells.push(Cell {
+                background,
+                notation,
+                comprehension: describe(&scores),
+                minutes: describe(&minutes),
+            });
+        }
+    }
+
+    Report {
+        cells,
+        manager_effect: cohens_d(&manager_scores.0, &manager_scores.1),
+        engineer_effect: cohens_d(&engineer_scores.0, &engineer_scores.1),
+    }
+}
+
+impl Report {
+    /// The cell for a background/notation pair.
+    pub fn cell(&self, background: Background, notation: Notation) -> &Cell {
+        self.cells
+            .iter()
+            .find(|c| c.background == background && c.notation == notation)
+            .expect("all cells populated")
+    }
+
+    /// Renders the results table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "Experiment C: restriction of the reading audience (§VI-C)");
+        let _ = writeln!(
+            out,
+            "  {:<22} {:>18} {:>18}",
+            "background", "prose score", "symbolic score"
+        );
+        for background in Background::ALL {
+            let prose = self.cell(background, Notation::Informal);
+            let symbolic = self.cell(background, Notation::Symbolic);
+            let _ = writeln!(
+                out,
+                "  {:<22} {:>12.2} ± {:<4.2} {:>12.2} ± {:<4.2}",
+                background.to_string(),
+                prose.comprehension.mean,
+                prose.comprehension.ci95,
+                symbolic.comprehension.mean,
+                symbolic.comprehension.ci95,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  notation effect (Cohen's d): managers {:.2}, software engineers {:.2}",
+            self.manager_effect, self.engineer_effect
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prose_is_read_adequately_by_everyone() {
+        let r = run(&Config::default());
+        for background in Background::ALL {
+            let c = r.cell(background, Notation::Informal);
+            assert!(
+                c.comprehension.mean > 0.6,
+                "{background} prose score {}",
+                c.comprehension.mean
+            );
+        }
+    }
+
+    #[test]
+    fn symbolic_notation_hurts_low_skill_backgrounds() {
+        let r = run(&Config::default());
+        let manager = r.cell(Background::Manager, Notation::Symbolic);
+        let engineer = r.cell(Background::SoftwareEngineer, Notation::Symbolic);
+        assert!(manager.comprehension.mean < 0.5);
+        assert!(engineer.comprehension.mean > 0.6);
+    }
+
+    #[test]
+    fn effect_size_concentrated_on_non_logicians() {
+        let r = run(&Config::default());
+        assert!(
+            r.manager_effect > 1.0,
+            "large manager effect, got {}",
+            r.manager_effect
+        );
+        assert!(
+            r.engineer_effect < r.manager_effect / 2.0,
+            "engineer effect {} should be much smaller",
+            r.engineer_effect
+        );
+    }
+
+    #[test]
+    fn symbols_slow_down_unskilled_readers() {
+        let r = run(&Config::default());
+        let m_prose = r.cell(Background::Manager, Notation::Informal).minutes.mean;
+        let m_sym = r.cell(Background::Manager, Notation::Symbolic).minutes.mean;
+        assert!(m_sym > m_prose * 1.5);
+        let e_prose = r
+            .cell(Background::SoftwareEngineer, Notation::Informal)
+            .minutes
+            .mean;
+        let e_sym = r
+            .cell(Background::SoftwareEngineer, Notation::Symbolic)
+            .minutes
+            .mean;
+        assert!(e_sym < e_prose * 1.6, "skilled readers decode cheaply");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(run(&Config::default()), run(&Config::default()));
+    }
+
+    #[test]
+    fn render_covers_all_backgrounds() {
+        let text = run(&Config::default()).render();
+        for background in Background::ALL {
+            assert!(text.contains(&background.to_string()));
+        }
+        assert!(text.contains("Cohen's d"));
+    }
+}

@@ -1,0 +1,382 @@
+//! Synthetic argument generation with seeded fallacies.
+//!
+//! The experiments need arguments whose defects are *known*: formal
+//! fallacies the machine checker provably can or cannot find, and informal
+//! fallacies only (simulated) humans can find. The generator builds
+//! hazard-breakdown GSN arguments with formal payloads and injects both
+//! kinds. It also reconstructs the three Greenwell et al. case-study
+//! arguments with exactly the published fallacy counts (3, 10, 2, 4, 5,
+//! 5, 16 across the seven kinds — DESIGN.md §5 records the substitution).
+
+use casekit_core::{Argument, FormalPayload, Node, NodeId, NodeKind};
+use casekit_fallacies::informal::{CaseStudy, Seeded};
+use casekit_fallacies::taxonomy::InformalFallacy;
+use casekit_logic::prop::Formula;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A machine-detectable defect seeded into the formal skeleton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SeededFormal {
+    /// A leaf restates the root conclusion (begging the question).
+    Begging,
+    /// Two leaves contradict (incompatible premises).
+    Incompatible,
+    /// A hazard named in the root has no supporting leaf (conclusion not
+    /// entailed).
+    MissingSupport,
+}
+
+impl SeededFormal {
+    /// Whether `finding` is the detection of this seeded defect.
+    pub fn matches(&self, finding: &casekit_fallacies::MachineFinding) -> bool {
+        use casekit_fallacies::taxonomy::FormalFallacy;
+        use casekit_fallacies::MachineFinding as MF;
+        match self {
+            SeededFormal::Begging => matches!(
+                finding,
+                MF::Fallacy {
+                    fallacy: FormalFallacy::BeggingTheQuestion,
+                    ..
+                }
+            ),
+            SeededFormal::Incompatible => matches!(
+                finding,
+                MF::Fallacy {
+                    fallacy: FormalFallacy::IncompatiblePremises,
+                    ..
+                }
+            ),
+            SeededFormal::MissingSupport => {
+                matches!(finding, MF::ConclusionNotEntailed)
+            }
+        }
+    }
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Number of hazard sub-goals.
+    pub hazards: usize,
+    /// Formal defects to seed.
+    pub formal: Vec<SeededFormal>,
+    /// Informal fallacies to seed (attached to nodes round-robin).
+    pub informal: Vec<InformalFallacy>,
+    /// RNG seed (controls which nodes receive informal seeds).
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            hazards: 8,
+            formal: Vec::new(),
+            informal: Vec::new(),
+            seed: 1,
+        }
+    }
+}
+
+/// A generated argument with its ground truth.
+#[derive(Debug, Clone)]
+pub struct Generated {
+    /// The argument plus seeded informal fallacies.
+    pub case: CaseStudy,
+    /// Seeded formal defects.
+    pub formal: Vec<SeededFormal>,
+}
+
+/// Generates a hazard-breakdown argument with the requested defects.
+pub fn generate(config: &GeneratorConfig) -> Generated {
+    assert!(config.hazards >= 2, "need at least two hazards");
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let hazard_atoms: Vec<String> = (0..config.hazards).map(|i| format!("h{i}")).collect();
+
+    // Root claims every hazard handled; one seeded MissingSupport removes
+    // a leaf while keeping the root claim.
+    let root_formula = Formula::conj(hazard_atoms.iter().map(Formula::atom));
+    let missing = config
+        .formal
+        .iter()
+        .filter(|f| **f == SeededFormal::MissingSupport)
+        .count();
+
+    let mut builder = Argument::builder(format!("generated-{}", config.seed))
+        .node(
+            Node::new("g_root", NodeKind::Goal, "All identified hazards are mitigated")
+                .with_formal(FormalPayload::Prop(root_formula.clone())),
+        )
+        .add("s_haz", NodeKind::Strategy, "Argue over each identified hazard")
+        .supported_by("g_root", "s_haz");
+
+    for (i, atom) in hazard_atoms.iter().enumerate() {
+        // Seed MissingSupport by omitting the last `missing` hazard goals.
+        if i + missing >= config.hazards {
+            continue;
+        }
+        let gid = format!("g_h{i}");
+        let eid = format!("e_h{i}");
+        builder = builder
+            .node(
+                Node::new(
+                    gid.as_str(),
+                    NodeKind::Goal,
+                    format!("Hazard {i} is mitigated"),
+                )
+                .with_formal(FormalPayload::Prop(Formula::atom(atom))),
+            )
+            .supported_by("s_haz", &gid)
+            .node(Node::new(
+                eid.as_str(),
+                NodeKind::Solution,
+                format!("Mitigation evidence for hazard {i}"),
+            ))
+            .supported_by(&gid, &eid);
+    }
+
+    // Begging: a leaf goal restating the root conclusion.
+    if config.formal.contains(&SeededFormal::Begging) {
+        builder = builder
+            .node(
+                Node::new("g_beg", NodeKind::Goal, "Safety is assured (assertion)")
+                    .with_formal(FormalPayload::Prop(root_formula)),
+            )
+            .supported_by("s_haz", "g_beg")
+            .add("e_beg", NodeKind::Solution, "Management assertion")
+            .supported_by("g_beg", "e_beg");
+    }
+
+    // Incompatible premises: a leaf claiming ~h0.
+    if config.formal.contains(&SeededFormal::Incompatible) {
+        builder = builder
+            .node(
+                Node::new(
+                    "g_neg",
+                    NodeKind::Goal,
+                    "Hazard 0 cannot be mitigated (legacy analysis)",
+                )
+                .with_formal(FormalPayload::Prop(Formula::atom("h0").not())),
+            )
+            .supported_by("s_haz", "g_neg")
+            .add("e_neg", NodeKind::Solution, "Legacy analysis memo")
+            .supported_by("g_neg", "e_neg");
+    }
+
+    let argument = builder.build().expect("generated ids are unique");
+
+    // Attach informal seeds to shuffled candidate nodes.
+    let mut candidates: Vec<NodeId> = argument.nodes().map(|n| n.id.clone()).collect();
+    candidates.shuffle(&mut rng);
+    let seeded = config
+        .informal
+        .iter()
+        .enumerate()
+        .map(|(i, kind)| {
+            let node = candidates[i % candidates.len()].clone();
+            Seeded::new(*kind, node.as_str(), format!("seeded {kind}"))
+        })
+        .collect();
+
+    Generated {
+        case: CaseStudy::new(argument, seeded),
+        formal: config.formal.clone(),
+    }
+}
+
+/// Reconstructions of the three case-study arguments of Greenwell et al.
+/// with exactly the published per-kind counts (column sums 3, 10, 2, 4,
+/// 5, 5, 16).
+pub fn greenwell_case_studies() -> Vec<CaseStudy> {
+    // Per-argument seeding plan: rows = case studies, columns =
+    // GREENWELL_KINDS order. Column sums match GREENWELL_COUNTS.
+    const PLAN: [[usize; 7]; 3] = [
+        [1, 4, 0, 2, 2, 1, 5],
+        [1, 3, 1, 1, 2, 2, 5],
+        [1, 3, 1, 1, 1, 2, 6],
+    ];
+    PLAN.iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let mut informal = Vec::new();
+            for (kind, count) in InformalFallacy::GREENWELL_KINDS.iter().zip(row) {
+                informal.extend(std::iter::repeat_n(*kind, *count));
+            }
+            let generated = generate(&GeneratorConfig {
+                hazards: 10,
+                formal: Vec::new(),
+                informal,
+                seed: 0xB10C + i as u64,
+            });
+            generated.case
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casekit_fallacies::checker::check_argument;
+
+    #[test]
+    fn clean_generation_passes_machine_check() {
+        let g = generate(&GeneratorConfig::default());
+        let report = check_argument(&g.case.argument);
+        assert!(report.is_clean(), "{:?}", report.findings);
+        assert!(casekit_core::gsn::check(&g.case.argument).is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = GeneratorConfig {
+            informal: vec![InformalFallacy::RedHerring],
+            ..GeneratorConfig::default()
+        };
+        let a = generate(&config);
+        let b = generate(&config);
+        assert_eq!(a.case, b.case);
+    }
+
+    #[test]
+    fn begging_seed_is_machine_detected() {
+        let g = generate(&GeneratorConfig {
+            formal: vec![SeededFormal::Begging],
+            ..GeneratorConfig::default()
+        });
+        let report = check_argument(&g.case.argument);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| SeededFormal::Begging.matches(f)));
+    }
+
+    #[test]
+    fn incompatible_seed_is_machine_detected() {
+        let g = generate(&GeneratorConfig {
+            formal: vec![SeededFormal::Incompatible],
+            ..GeneratorConfig::default()
+        });
+        let report = check_argument(&g.case.argument);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| SeededFormal::Incompatible.matches(f)));
+    }
+
+    #[test]
+    fn missing_support_seed_is_machine_detected() {
+        let g = generate(&GeneratorConfig {
+            formal: vec![SeededFormal::MissingSupport],
+            ..GeneratorConfig::default()
+        });
+        let report = check_argument(&g.case.argument);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| SeededFormal::MissingSupport.matches(f)));
+    }
+
+    #[test]
+    fn incompatible_premises_mask_missing_support() {
+        // A logically honest subtlety: once the premises are inconsistent
+        // they entail *everything*, so `ConclusionNotEntailed` cannot fire.
+        // Combining the two seeds therefore hides the missing support —
+        // the reason the experiments seed one defect kind per argument.
+        let g = generate(&GeneratorConfig {
+            hazards: 6,
+            formal: vec![SeededFormal::Incompatible, SeededFormal::MissingSupport],
+            informal: vec![InformalFallacy::Equivocation],
+            seed: 3,
+        });
+        let report = check_argument(&g.case.argument);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| SeededFormal::Incompatible.matches(f)));
+        assert!(!report
+            .findings
+            .iter()
+            .any(|f| SeededFormal::MissingSupport.matches(f)));
+    }
+
+    #[test]
+    fn each_seed_detected_in_isolation() {
+        for seed_kind in [
+            SeededFormal::Begging,
+            SeededFormal::Incompatible,
+            SeededFormal::MissingSupport,
+        ] {
+            let g = generate(&GeneratorConfig {
+                hazards: 6,
+                formal: vec![seed_kind],
+                informal: vec![InformalFallacy::Equivocation],
+                seed: 3,
+            });
+            let report = check_argument(&g.case.argument);
+            assert!(
+                report.findings.iter().any(|f| seed_kind.matches(f)),
+                "seed {seed_kind:?} missed in isolation"
+            );
+        }
+    }
+
+    #[test]
+    fn machine_never_reports_seeded_informal_fallacies() {
+        // The §IV-C theorem, at the system level: whatever informal
+        // fallacies are seeded, the machine report's findings relate only
+        // to the formal skeleton — here, a formally clean one.
+        let g = generate(&GeneratorConfig {
+            informal: vec![
+                InformalFallacy::RedHerring,
+                InformalFallacy::Equivocation,
+                InformalFallacy::HastyInductiveGeneralisation,
+                InformalFallacy::OmissionOfKeyEvidence,
+            ],
+            ..GeneratorConfig::default()
+        });
+        let report = check_argument(&g.case.argument);
+        assert!(report.is_clean());
+        assert_eq!(g.case.seeded.len(), 4);
+    }
+
+    #[test]
+    fn greenwell_counts_reproduced() {
+        let cases = greenwell_case_studies();
+        assert_eq!(cases.len(), 3);
+        let mut totals = std::collections::BTreeMap::new();
+        for case in &cases {
+            for (kind, count) in case.counts() {
+                *totals.entry(kind).or_insert(0usize) += count;
+            }
+        }
+        for (kind, expected) in InformalFallacy::GREENWELL_KINDS
+            .iter()
+            .zip(InformalFallacy::GREENWELL_COUNTS)
+        {
+            assert_eq!(totals[kind], expected, "count mismatch for {kind}");
+        }
+        let grand: usize = totals.values().sum();
+        assert_eq!(grand, 45);
+    }
+
+    #[test]
+    fn greenwell_arguments_are_formally_clean() {
+        // None of Greenwell's 45 findings was a formal fallacy; our
+        // reconstructions honour that — the machine finds nothing.
+        for case in greenwell_case_studies() {
+            let report = check_argument(&case.argument);
+            assert!(report.is_clean());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn too_few_hazards_panics() {
+        let _ = generate(&GeneratorConfig {
+            hazards: 1,
+            ..GeneratorConfig::default()
+        });
+    }
+}

@@ -1,0 +1,32 @@
+//! # casekit-experiments
+//!
+//! Simulated versions of the five experimental studies Graydon sketches in
+//! §VI of *Formal Assurance Arguments: A Solution In Search of a Problem?*
+//! (DSN 2015), plus the statistics substrate needed to analyse them.
+//!
+//! **Substitution note** (DESIGN.md §5): the paper calls for studies with
+//! human volunteers; none were run. Here, *simulated subjects* with
+//! parameterised skill/background/speed distributions stand in, so that
+//! the entire experimental pipeline — treatment assignment, measurement,
+//! significance testing, agreement analysis — is executable and the
+//! hypothesised effect *shapes* can be demonstrated and stress-tested.
+//! Every run is deterministic given its seed.
+//!
+//! * [`stats`] — descriptives, Welch's t-test, Mann–Whitney U, Cohen's
+//!   kappa and d.
+//! * [`population`] — simulated subject pools.
+//! * [`generator`] — synthetic GSN arguments with seeded formal and
+//!   informal fallacies, including reconstructions of the three Greenwell
+//!   case-study arguments with the published fallacy counts.
+//! * [`reviewer`] — the simulated human reviewer model.
+//! * [`exp_a`]–[`exp_e`] — the five studies.
+
+pub mod exp_a;
+pub mod exp_b;
+pub mod exp_c;
+pub mod exp_d;
+pub mod exp_e;
+pub mod generator;
+pub mod population;
+pub mod reviewer;
+pub mod stats;

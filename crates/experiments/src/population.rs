@@ -1,0 +1,208 @@
+//! Simulated subject populations.
+//!
+//! §VI-C: "Subjects should be selected from the backgrounds that might be
+//! expected of an argument reader" — the stakeholder list of §II-A. Each
+//! subject carries a formal-logic skill (the treatment-relevant trait),
+//! reading speed, and diligence, drawn from per-background distributions.
+//! All sampling is deterministic given the seed.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The reader backgrounds from Graydon §II-A/§VI-C.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Background {
+    /// Software engineer (taught symbolic logic at university).
+    SoftwareEngineer,
+    /// Safety engineer / assessor.
+    SafetyAssessor,
+    /// Certification authority staff.
+    Certifier,
+    /// Engineering manager.
+    Manager,
+    /// Mechanical engineer.
+    MechanicalEngineer,
+    /// System operator.
+    Operator,
+}
+
+impl Background {
+    /// All backgrounds.
+    pub const ALL: [Background; 6] = [
+        Background::SoftwareEngineer,
+        Background::SafetyAssessor,
+        Background::Certifier,
+        Background::Manager,
+        Background::MechanicalEngineer,
+        Background::Operator,
+    ];
+
+    /// Mean formal-logic skill in [0, 1] for the background. The ordering
+    /// encodes the paper's premise: "software engineers learn symbolic,
+    /// deductive logics at university, this is not necessarily true of
+    /// managers, mechanical engineers, or safety assessors".
+    pub fn mean_logic_skill(self) -> f64 {
+        match self {
+            Background::SoftwareEngineer => 0.80,
+            Background::SafetyAssessor => 0.45,
+            Background::Certifier => 0.40,
+            Background::MechanicalEngineer => 0.35,
+            Background::Manager => 0.20,
+            Background::Operator => 0.15,
+        }
+    }
+}
+
+impl fmt::Display for Background {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Background::SoftwareEngineer => "software engineer",
+            Background::SafetyAssessor => "safety assessor",
+            Background::Certifier => "certifier",
+            Background::Manager => "manager",
+            Background::MechanicalEngineer => "mechanical engineer",
+            Background::Operator => "operator",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One simulated subject.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Subject {
+    /// Stable id within the pool.
+    pub id: usize,
+    /// Background.
+    pub background: Background,
+    /// Formal-logic skill in [0, 1].
+    pub logic_skill: f64,
+    /// Reading speed in words per minute (plain prose).
+    pub reading_wpm: f64,
+    /// Diligence in [0, 1]: scales detection probabilities.
+    pub diligence: f64,
+}
+
+/// Pool-generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoolConfig {
+    /// Subjects per background.
+    pub per_background: usize,
+    /// Skill standard deviation around the background mean.
+    pub skill_sd: f64,
+    /// Mean reading speed (wpm) and its sd.
+    pub wpm_mean: f64,
+    /// Reading-speed standard deviation.
+    pub wpm_sd: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            per_background: 20,
+            skill_sd: 0.10,
+            wpm_mean: 220.0,
+            wpm_sd: 40.0,
+            seed: 0xCA5E,
+        }
+    }
+}
+
+/// Samples a standard normal via Box–Muller.
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Generates a subject pool, deterministic in the seed.
+pub fn generate(config: &PoolConfig) -> Vec<Subject> {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut out = Vec::new();
+    let mut id = 0usize;
+    for background in Background::ALL {
+        for _ in 0..config.per_background {
+            let skill = (background.mean_logic_skill()
+                + config.skill_sd * standard_normal(&mut rng))
+            .clamp(0.0, 1.0);
+            let wpm = (config.wpm_mean + config.wpm_sd * standard_normal(&mut rng)).max(60.0);
+            let diligence = (0.75 + 0.15 * standard_normal(&mut rng)).clamp(0.3, 1.0);
+            out.push(Subject {
+                id,
+                background,
+                logic_skill: skill,
+                reading_wpm: wpm,
+                diligence,
+            });
+            id += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_size_and_determinism() {
+        let config = PoolConfig::default();
+        let a = generate(&config);
+        let b = generate(&config);
+        assert_eq!(a.len(), 6 * 20);
+        assert_eq!(a, b, "same seed must reproduce the pool");
+        let other = generate(&PoolConfig {
+            seed: 99,
+            ..config
+        });
+        assert_ne!(a, other, "different seed should differ");
+    }
+
+    #[test]
+    fn skills_reflect_background_ordering() {
+        let pool = generate(&PoolConfig {
+            per_background: 200,
+            ..PoolConfig::default()
+        });
+        let mean = |bg: Background| {
+            let xs: Vec<f64> = pool
+                .iter()
+                .filter(|s| s.background == bg)
+                .map(|s| s.logic_skill)
+                .collect();
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        assert!(mean(Background::SoftwareEngineer) > mean(Background::SafetyAssessor));
+        assert!(mean(Background::SafetyAssessor) > mean(Background::Manager));
+        assert!(mean(Background::Manager) > mean(Background::Operator) - 0.1);
+    }
+
+    #[test]
+    fn values_within_bounds() {
+        for s in generate(&PoolConfig::default()) {
+            assert!((0.0..=1.0).contains(&s.logic_skill));
+            assert!(s.reading_wpm >= 60.0);
+            assert!((0.3..=1.0).contains(&s.diligence));
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let xs: Vec<f64> = (0..20_000).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn background_display() {
+        assert_eq!(Background::Manager.to_string(), "manager");
+        assert_eq!(Background::ALL.len(), 6);
+    }
+}

@@ -1,0 +1,213 @@
+//! The simulated human reviewer.
+//!
+//! A reviewer walks an argument looking for fallacies. Detection is
+//! Bernoulli per seeded fallacy with probability
+//! `base(kind) × diligence`, where formal-fallacy bases additionally scale
+//! with the reviewer's formal-logic skill (§V-C: "it is the efficacy of
+//! humans at spotting formal fallacies that is at issue … and this remains
+//! unknown" — the base rates here are *model parameters*, stated in the
+//! open, not empirical claims).
+//!
+//! Review time scales with argument size and reading speed; scanning for
+//! formal fallacies on top of informal ones costs extra minutes per
+//! formalised node.
+
+use crate::generator::SeededFormal;
+use crate::population::Subject;
+use casekit_fallacies::informal::CaseStudy;
+use casekit_fallacies::taxonomy::InformalFallacy;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// What a reviewer is asked to look for (§VI-A's two arms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReviewScope {
+    /// Informal fallacies only (the machine handles formal ones).
+    InformalOnly,
+    /// Both informal and formal fallacies.
+    InformalAndFormal,
+}
+
+/// The outcome of one review.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReviewOutcome {
+    /// Indices into the case study's seeded informal fallacies that the
+    /// reviewer found.
+    pub informal_found: Vec<usize>,
+    /// Indices into the seeded formal defects the reviewer found (empty
+    /// when the scope excluded them).
+    pub formal_found: Vec<usize>,
+    /// Minutes spent.
+    pub minutes: f64,
+}
+
+/// Base detection probability for an informal fallacy kind (model
+/// parameters; see module docs).
+pub fn informal_base_rate(kind: InformalFallacy) -> f64 {
+    match kind {
+        InformalFallacy::DrawingWrongConclusion => 0.55,
+        InformalFallacy::FallaciousUseOfLanguage => 0.40,
+        InformalFallacy::FallacyOfComposition => 0.35,
+        InformalFallacy::HastyInductiveGeneralisation => 0.45,
+        InformalFallacy::OmissionOfKeyEvidence => 0.30,
+        InformalFallacy::RedHerring => 0.50,
+        InformalFallacy::UsingWrongReasons => 0.50,
+        InformalFallacy::Equivocation => 0.30,
+        InformalFallacy::ArgumentFromIgnorance => 0.40,
+    }
+}
+
+/// Base detection probability for a formal defect given logic skill:
+/// unskilled reviewers rarely spot them; skilled ones usually do.
+pub fn formal_base_rate(logic_skill: f64) -> f64 {
+    0.15 + 0.70 * logic_skill
+}
+
+/// Minutes to review `nodes` argument nodes at `wpm` reading speed,
+/// optionally also scanning `formal_nodes` formal payloads.
+pub fn review_minutes(nodes: usize, formal_nodes: usize, wpm: f64, scope: ReviewScope) -> f64 {
+    // ~40 words of prose per node.
+    let base = nodes as f64 * 40.0 / wpm + nodes as f64 * 0.5;
+    match scope {
+        ReviewScope::InformalOnly => base,
+        ReviewScope::InformalAndFormal => base + formal_nodes as f64 * 1.5,
+    }
+}
+
+/// Simulates one review.
+pub fn review(
+    subject: &Subject,
+    case: &CaseStudy,
+    seeded_formal: &[SeededFormal],
+    scope: ReviewScope,
+    rng: &mut impl Rng,
+) -> ReviewOutcome {
+    let mut informal_found = Vec::new();
+    for (i, seeded) in case.seeded.iter().enumerate() {
+        let p = informal_base_rate(seeded.kind) * subject.diligence;
+        if rng.gen_bool(p.clamp(0.0, 1.0)) {
+            informal_found.push(i);
+        }
+    }
+    let mut formal_found = Vec::new();
+    if scope == ReviewScope::InformalAndFormal {
+        for (i, _) in seeded_formal.iter().enumerate() {
+            let p = formal_base_rate(subject.logic_skill) * subject.diligence;
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                formal_found.push(i);
+            }
+        }
+    }
+    let formal_nodes = case.argument.formalised_count();
+    let minutes = review_minutes(
+        case.argument.len(),
+        formal_nodes,
+        subject.reading_wpm,
+        scope,
+    );
+    ReviewOutcome {
+        informal_found,
+        formal_found,
+        minutes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorConfig};
+    use crate::population::{generate as gen_pool, PoolConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn case() -> (CaseStudy, Vec<SeededFormal>) {
+        let g = generate(&GeneratorConfig {
+            hazards: 6,
+            formal: vec![SeededFormal::Begging, SeededFormal::Incompatible],
+            informal: vec![
+                InformalFallacy::RedHerring,
+                InformalFallacy::Equivocation,
+                InformalFallacy::UsingWrongReasons,
+            ],
+            seed: 11,
+        });
+        (g.case, g.formal)
+    }
+
+    #[test]
+    fn scope_controls_formal_hunting() {
+        let (case, formal) = case();
+        let pool = gen_pool(&PoolConfig::default());
+        let subject = &pool[0];
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let outcome = review(subject, &case, &formal, ReviewScope::InformalOnly, &mut rng);
+        assert!(outcome.formal_found.is_empty());
+        assert!(outcome.minutes > 0.0);
+    }
+
+    #[test]
+    fn informal_and_formal_takes_longer() {
+        let (case, formal) = case();
+        let pool = gen_pool(&PoolConfig::default());
+        let subject = &pool[0];
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let a = review(subject, &case, &formal, ReviewScope::InformalOnly, &mut rng);
+        let b = review(
+            subject,
+            &case,
+            &formal,
+            ReviewScope::InformalAndFormal,
+            &mut rng,
+        );
+        assert!(b.minutes > a.minutes);
+    }
+
+    #[test]
+    fn skilled_reviewers_find_more_formal_fallacies() {
+        let (case, formal) = case();
+        let trials = 400usize;
+        let skilled = Subject {
+            id: 0,
+            background: crate::population::Background::SoftwareEngineer,
+            logic_skill: 0.95,
+            reading_wpm: 220.0,
+            diligence: 1.0,
+        };
+        let clueless = Subject {
+            logic_skill: 0.05,
+            ..skilled.clone()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let count = |s: &Subject, rng: &mut ChaCha8Rng| {
+            (0..trials)
+                .map(|_| {
+                    review(s, &case, &formal, ReviewScope::InformalAndFormal, rng)
+                        .formal_found
+                        .len()
+                })
+                .sum::<usize>()
+        };
+        let hi = count(&skilled, &mut rng);
+        let lo = count(&clueless, &mut rng);
+        assert!(hi > lo * 2, "skilled {hi} vs clueless {lo}");
+    }
+
+    #[test]
+    fn detection_rates_are_probability_like() {
+        for kind in InformalFallacy::GREENWELL_KINDS {
+            let p = informal_base_rate(kind);
+            assert!((0.0..=1.0).contains(&p));
+        }
+        assert!(formal_base_rate(0.0) < formal_base_rate(1.0));
+        assert!(formal_base_rate(1.0) <= 1.0);
+    }
+
+    #[test]
+    fn review_minutes_scales_with_size() {
+        let small = review_minutes(10, 5, 220.0, ReviewScope::InformalOnly);
+        let large = review_minutes(40, 20, 220.0, ReviewScope::InformalOnly);
+        assert!(large > small * 3.0);
+        let slow = review_minutes(10, 5, 110.0, ReviewScope::InformalOnly);
+        assert!(slow > small);
+    }
+}

@@ -1,0 +1,376 @@
+//! Statistics for the simulated studies: descriptives, two-sample tests,
+//! agreement, and effect sizes.
+//!
+//! P-values use the standard normal approximation (adequate for the
+//! sample sizes the harness generates, n ≥ 20 per arm); this is stated
+//! rather than hidden because the experiments report the statistic itself
+//! alongside the p-value.
+
+/// Descriptive statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Descriptives {
+    /// Sample size.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator).
+    pub sd: f64,
+    /// Standard error of the mean.
+    pub se: f64,
+    /// 95% confidence half-width (normal approximation).
+    pub ci95: f64,
+}
+
+/// Computes descriptives.
+///
+/// # Panics
+///
+/// Panics on an empty sample.
+pub fn describe(sample: &[f64]) -> Descriptives {
+    assert!(!sample.is_empty(), "cannot describe an empty sample");
+    let n = sample.len();
+    let mean = sample.iter().sum::<f64>() / n as f64;
+    let var = if n > 1 {
+        sample.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    let sd = var.sqrt();
+    let se = sd / (n as f64).sqrt();
+    Descriptives {
+        n,
+        mean,
+        sd,
+        se,
+        ci95: 1.96 * se,
+    }
+}
+
+/// Standard normal cumulative distribution function.
+pub fn normal_cdf(z: f64) -> f64 {
+    // Abramowitz & Stegun 7.1.26 via erf.
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Result of a two-sample test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestResult {
+    /// The test statistic (t or z, per the test).
+    pub statistic: f64,
+    /// Two-sided p-value (normal approximation).
+    pub p_value: f64,
+}
+
+/// Welch's unequal-variance t-test (two-sided, normal-approximated p).
+///
+/// # Panics
+///
+/// Panics if either sample has fewer than two observations.
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> TestResult {
+    assert!(a.len() >= 2 && b.len() >= 2, "need n ≥ 2 per sample");
+    let da = describe(a);
+    let db = describe(b);
+    let se2 = da.sd.powi(2) / da.n as f64 + db.sd.powi(2) / db.n as f64;
+    let t = if se2 == 0.0 {
+        if da.mean == db.mean {
+            0.0
+        } else if da.mean > db.mean {
+            f64::INFINITY
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        (da.mean - db.mean) / se2.sqrt()
+    };
+    let p = if t.is_infinite() {
+        0.0
+    } else {
+        2.0 * (1.0 - normal_cdf(t.abs()))
+    };
+    TestResult {
+        statistic: t,
+        p_value: p.clamp(0.0, 1.0),
+    }
+}
+
+/// Mann–Whitney U test (two-sided, normal approximation with tie-free
+/// variance; ties get midranks).
+///
+/// # Panics
+///
+/// Panics if either sample is empty.
+pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> TestResult {
+    assert!(!a.is_empty() && !b.is_empty(), "need non-empty samples");
+    let n1 = a.len() as f64;
+    let n2 = b.len() as f64;
+    // Midranks over the pooled sample.
+    let mut pooled: Vec<(f64, usize)> = a
+        .iter()
+        .map(|&x| (x, 0usize))
+        .chain(b.iter().map(|&x| (x, 1usize)))
+        .collect();
+    pooled.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("no NaNs in samples"));
+    let mut ranks = vec![0f64; pooled.len()];
+    let mut i = 0;
+    while i < pooled.len() {
+        let mut j = i;
+        while j + 1 < pooled.len() && pooled[j + 1].0 == pooled[i].0 {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for r in ranks.iter_mut().take(j + 1).skip(i) {
+            *r = midrank;
+        }
+        i = j + 1;
+    }
+    let r1: f64 = pooled
+        .iter()
+        .zip(&ranks)
+        .filter(|((_, group), _)| *group == 0)
+        .map(|(_, r)| *r)
+        .sum();
+    let u1 = r1 - n1 * (n1 + 1.0) / 2.0;
+    let mu = n1 * n2 / 2.0;
+    let sigma = (n1 * n2 * (n1 + n2 + 1.0) / 12.0).sqrt();
+    let z = if sigma == 0.0 { 0.0 } else { (u1 - mu) / sigma };
+    TestResult {
+        statistic: z,
+        p_value: (2.0 * (1.0 - normal_cdf(z.abs()))).clamp(0.0, 1.0),
+    }
+}
+
+/// Cohen's d (pooled-SD standardised mean difference).
+///
+/// # Panics
+///
+/// Panics if either sample has fewer than two observations.
+pub fn cohens_d(a: &[f64], b: &[f64]) -> f64 {
+    assert!(a.len() >= 2 && b.len() >= 2, "need n ≥ 2 per sample");
+    let da = describe(a);
+    let db = describe(b);
+    let pooled = (((da.n - 1) as f64 * da.sd.powi(2) + (db.n - 1) as f64 * db.sd.powi(2))
+        / ((da.n + db.n - 2) as f64))
+        .sqrt();
+    if pooled == 0.0 {
+        0.0
+    } else {
+        (da.mean - db.mean) / pooled
+    }
+}
+
+/// Cohen's kappa for two raters over categorical labels.
+///
+/// Returns 1.0 for perfect agreement (including the degenerate
+/// single-category case) and can be negative for worse-than-chance
+/// agreement.
+///
+/// # Panics
+///
+/// Panics if the rating vectors differ in length or are empty.
+pub fn cohens_kappa<T: PartialEq + Clone>(rater_a: &[T], rater_b: &[T]) -> f64 {
+    assert_eq!(rater_a.len(), rater_b.len(), "paired ratings required");
+    assert!(!rater_a.is_empty(), "need at least one item");
+    let n = rater_a.len() as f64;
+    let observed = rater_a
+        .iter()
+        .zip(rater_b)
+        .filter(|(x, y)| x == y)
+        .count() as f64
+        / n;
+    // Category marginals.
+    let mut categories: Vec<T> = Vec::new();
+    for item in rater_a.iter().chain(rater_b) {
+        if !categories.contains(item) {
+            categories.push(item.clone());
+        }
+    }
+    let expected: f64 = categories
+        .iter()
+        .map(|c| {
+            let pa = rater_a.iter().filter(|x| *x == c).count() as f64 / n;
+            let pb = rater_b.iter().filter(|x| *x == c).count() as f64 / n;
+            pa * pb
+        })
+        .sum();
+    if (1.0 - expected).abs() < 1e-12 {
+        if (observed - 1.0).abs() < 1e-12 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        (observed - expected) / (1.0 - expected)
+    }
+}
+
+/// Mean pairwise agreement among k raters over binary judgments: the
+/// fraction of rater pairs agreeing, averaged over items. 1.0 = everyone
+/// always agrees.
+///
+/// # Panics
+///
+/// Panics with fewer than two raters or zero items, or ragged rows.
+pub fn pairwise_agreement(ratings: &[Vec<bool>]) -> f64 {
+    assert!(ratings.len() >= 2, "need at least two raters");
+    let items = ratings[0].len();
+    assert!(items > 0, "need at least one item");
+    assert!(
+        ratings.iter().all(|r| r.len() == items),
+        "ragged rating matrix"
+    );
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..ratings.len() {
+        for j in i + 1..ratings.len() {
+            pairs += 1;
+            let agree = ratings[i]
+                .iter()
+                .zip(&ratings[j])
+                .filter(|(x, y)| x == y)
+                .count();
+            total += agree as f64 / items as f64;
+        }
+    }
+    total / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_basics() {
+        let d = describe(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((d.mean - 5.0).abs() < 1e-12);
+        assert!((d.sd - 2.138089935299395).abs() < 1e-9);
+        assert_eq!(d.n, 8);
+        assert!(d.ci95 > 0.0);
+    }
+
+    #[test]
+    fn describe_single_point() {
+        let d = describe(&[3.0]);
+        assert_eq!(d.mean, 3.0);
+        assert_eq!(d.sd, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn describe_empty_panics() {
+        let _ = describe(&[]);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-6);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(normal_cdf(5.0) > 0.999);
+    }
+
+    #[test]
+    fn welch_distinguishes_separated_samples() {
+        let a: Vec<f64> = (0..30).map(|i| 10.0 + (i % 5) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..30).map(|i| 12.0 + (i % 5) as f64 * 0.1).collect();
+        let r = welch_t_test(&a, &b);
+        assert!(r.statistic < -10.0);
+        assert!(r.p_value < 0.001);
+    }
+
+    #[test]
+    fn welch_accepts_identical_samples() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let r = welch_t_test(&a, &a);
+        assert_eq!(r.statistic, 0.0);
+        assert!(r.p_value > 0.99);
+    }
+
+    #[test]
+    fn welch_zero_variance_distinct_means() {
+        let r = welch_t_test(&[1.0, 1.0], &[2.0, 2.0]);
+        assert!(r.statistic.is_infinite());
+        assert_eq!(r.p_value, 0.0);
+    }
+
+    #[test]
+    fn mann_whitney_detects_shift() {
+        let a: Vec<f64> = (0..25).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..25).map(|i| i as f64 + 30.0).collect();
+        let r = mann_whitney_u(&a, &b);
+        assert!(r.p_value < 0.001);
+    }
+
+    #[test]
+    fn mann_whitney_no_shift() {
+        let a: Vec<f64> = (0..25).map(|i| (i % 7) as f64).collect();
+        let r = mann_whitney_u(&a, &a);
+        assert!(r.p_value > 0.9);
+    }
+
+    #[test]
+    fn mann_whitney_handles_ties() {
+        let a = vec![1.0, 1.0, 2.0, 2.0];
+        let b = vec![1.0, 2.0, 2.0, 2.0];
+        let r = mann_whitney_u(&a, &b);
+        assert!(r.p_value > 0.3);
+    }
+
+    #[test]
+    fn cohens_d_magnitude() {
+        let a = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = vec![3.0, 4.0, 5.0, 6.0, 7.0];
+        let d = cohens_d(&a, &b);
+        assert!((d + 1.2649110640673518).abs() < 1e-9);
+        assert_eq!(cohens_d(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn kappa_perfect_and_chance() {
+        let a = vec!["x", "y", "x", "y"];
+        assert!((cohens_kappa(&a, &a) - 1.0).abs() < 1e-12);
+        // Independent-looking ratings: kappa near zero.
+        let r1 = vec!["x", "x", "y", "y"];
+        let r2 = vec!["x", "y", "x", "y"];
+        let k = cohens_kappa(&r1, &r2);
+        assert!(k.abs() < 1e-12);
+    }
+
+    #[test]
+    fn kappa_worse_than_chance_is_negative() {
+        let r1 = vec![true, false, true, false];
+        let r2 = vec![false, true, false, true];
+        assert!(cohens_kappa(&r1, &r2) < 0.0);
+    }
+
+    #[test]
+    fn kappa_degenerate_single_category() {
+        let r = vec!["same"; 5];
+        assert_eq!(cohens_kappa(&r, &r), 1.0);
+    }
+
+    #[test]
+    fn pairwise_agreement_bounds() {
+        let all_agree = vec![vec![true, false], vec![true, false], vec![true, false]];
+        assert!((pairwise_agreement(&all_agree) - 1.0).abs() < 1e-12);
+        let half = vec![vec![true, true], vec![true, false]];
+        assert!((pairwise_agreement(&half) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "two raters")]
+    fn pairwise_agreement_needs_two() {
+        let _ = pairwise_agreement(&[vec![true]]);
+    }
+}

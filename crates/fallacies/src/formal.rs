@@ -1,0 +1,313 @@
+//! Mechanical detectors for the propositional formal fallacies.
+//!
+//! Each detector works on a list of premises and a conclusion. Detectors
+//! for the two syllogistic fallacies live in [`crate::syllogism`] because
+//! they need term structure.
+//!
+//! Pattern-based fallacies (denying the antecedent, affirming the
+//! consequent, false conversion) are reported only when the conclusion is
+//! *not* independently entailed by the premises: citing `p → q, ¬p ∴ ¬q`
+//! is harmless if some other premise legitimately yields `¬q` (the step is
+//! redundant, not fallacious).
+
+use crate::taxonomy::FormalFallacy;
+use casekit_logic::prop::Formula;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A formal-fallacy finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Which fallacy.
+    pub fallacy: FormalFallacy,
+    /// Premise indices involved (empty when the finding is global).
+    pub premises: Vec<usize>,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.fallacy, self.detail)
+    }
+}
+
+/// Runs every propositional detector.
+pub fn detect_all(premises: &[Formula], conclusion: &Formula) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    findings.extend(begging_the_question(premises, conclusion));
+    findings.extend(incompatible_premises(premises));
+    findings.extend(premise_conclusion_contradiction(premises, conclusion));
+    findings.extend(denying_the_antecedent(premises, conclusion));
+    findings.extend(affirming_the_consequent(premises, conclusion));
+    findings.extend(false_conversion(premises, conclusion));
+    findings
+}
+
+/// The conclusion appears among the premises (syntactically, or as a
+/// logical equivalent — asserting `~~C` to prove `C` still begs).
+pub fn begging_the_question(premises: &[Formula], conclusion: &Formula) -> Vec<Finding> {
+    premises
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| *p == conclusion || p.equivalent(conclusion))
+        .map(|(i, p)| Finding {
+            fallacy: FormalFallacy::BeggingTheQuestion,
+            premises: vec![i],
+            detail: format!("premise {} (`{p}`) restates the conclusion", i + 1),
+        })
+        .collect()
+}
+
+/// The premises are jointly unsatisfiable.
+pub fn incompatible_premises(premises: &[Formula]) -> Vec<Finding> {
+    if premises.is_empty() {
+        return Vec::new();
+    }
+    let all = Formula::conj(premises.iter().cloned());
+    if all.is_contradiction() {
+        // Localise: find a minimal prefix set that is already contradictory
+        // to help the reader (not necessarily minimal overall).
+        let mut involved = Vec::new();
+        let mut acc: Option<Formula> = None;
+        for (i, p) in premises.iter().enumerate() {
+            let next = match &acc {
+                None => p.clone(),
+                Some(a) => a.clone().and(p.clone()),
+            };
+            involved.push(i);
+            if next.is_contradiction() {
+                return vec![Finding {
+                    fallacy: FormalFallacy::IncompatiblePremises,
+                    premises: involved,
+                    detail: "the premises cannot all be true together".into(),
+                }];
+            }
+            acc = Some(next);
+        }
+        unreachable!("conjunction of all premises was contradictory");
+    }
+    Vec::new()
+}
+
+/// Some premise contradicts the conclusion (while the premises themselves
+/// are consistent — otherwise `incompatible_premises` already fires).
+pub fn premise_conclusion_contradiction(
+    premises: &[Formula],
+    conclusion: &Formula,
+) -> Vec<Finding> {
+    if premises.is_empty() {
+        return Vec::new();
+    }
+    let all = Formula::conj(premises.iter().cloned());
+    if all.is_contradiction() {
+        return Vec::new();
+    }
+    premises
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| (*p).clone().and(conclusion.clone()).is_contradiction())
+        .map(|(i, p)| Finding {
+            fallacy: FormalFallacy::PremiseConclusionContradiction,
+            premises: vec![i],
+            detail: format!(
+                "premise {} (`{p}`) cannot be true together with the conclusion",
+                i + 1
+            ),
+        })
+        .collect()
+}
+
+/// From `p → q` and `¬p`, concluding `¬q`.
+pub fn denying_the_antecedent(premises: &[Formula], conclusion: &Formula) -> Vec<Finding> {
+    pattern_fallacy(
+        premises,
+        conclusion,
+        FormalFallacy::DenyingTheAntecedent,
+        |antecedent, consequent, other, conclusion| {
+            other.is_negation_of(antecedent) && conclusion.is_negation_of(consequent)
+        },
+    )
+}
+
+/// From `p → q` and `q`, concluding `p`.
+pub fn affirming_the_consequent(premises: &[Formula], conclusion: &Formula) -> Vec<Finding> {
+    pattern_fallacy(
+        premises,
+        conclusion,
+        FormalFallacy::AffirmingTheConsequent,
+        |antecedent, consequent, other, conclusion| {
+            other == consequent && conclusion == antecedent
+        },
+    )
+}
+
+/// Shared scaffolding: find an implication premise `a → c` and a second
+/// premise `other` such that `matcher(a, c, other, conclusion)` holds, and
+/// the conclusion is not independently entailed.
+fn pattern_fallacy(
+    premises: &[Formula],
+    conclusion: &Formula,
+    fallacy: FormalFallacy,
+    matcher: impl Fn(&Formula, &Formula, &Formula, &Formula) -> bool,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let entailed = Formula::conj(premises.iter().cloned()).entails(conclusion);
+    if entailed {
+        return out;
+    }
+    for (i, p) in premises.iter().enumerate() {
+        let (a, c) = match p {
+            Formula::Implies(a, c) => (a.as_ref(), c.as_ref()),
+            _ => continue,
+        };
+        for (j, other) in premises.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            if matcher(a, c, other, conclusion) {
+                out.push(Finding {
+                    fallacy,
+                    premises: vec![i, j],
+                    detail: format!(
+                        "premises {} (`{p}`) and {} (`{other}`) do not license `{conclusion}`",
+                        i + 1,
+                        j + 1
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// From `p → q`, concluding `q → p`.
+pub fn false_conversion(premises: &[Formula], conclusion: &Formula) -> Vec<Finding> {
+    let entailed = Formula::conj(premises.iter().cloned()).entails(conclusion);
+    if entailed {
+        return Vec::new();
+    }
+    let (ca, cc) = match conclusion {
+        Formula::Implies(a, c) => (a.as_ref(), c.as_ref()),
+        _ => return Vec::new(),
+    };
+    premises
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| match p {
+            Formula::Implies(a, c) => a.as_ref() == cc && c.as_ref() == ca,
+            _ => false,
+        })
+        .map(|(i, p)| Finding {
+            fallacy: FormalFallacy::FalseConversion,
+            premises: vec![i],
+            detail: format!("`{conclusion}` merely converts premise {} (`{p}`)", i + 1),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casekit_logic::prop::parse;
+
+    fn f(s: &str) -> Formula {
+        parse(s).unwrap()
+    }
+
+    #[test]
+    fn begging_detected_syntactic_and_equivalent() {
+        let premises = vec![f("safe"), f("tests_pass")];
+        let found = begging_the_question(&premises, &f("safe"));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].premises, vec![0]);
+        // Equivalent form also begs.
+        let premises = vec![f("~~safe")];
+        assert_eq!(begging_the_question(&premises, &f("safe")).len(), 1);
+        // Unrelated premises don't.
+        assert!(begging_the_question(&[f("p")], &f("q")).is_empty());
+    }
+
+    #[test]
+    fn incompatible_premises_detected_and_localised() {
+        let premises = vec![f("p"), f("q"), f("~p")];
+        let found = incompatible_premises(&premises);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].premises, vec![0, 1, 2]);
+        assert!(incompatible_premises(&[f("p"), f("q")]).is_empty());
+        assert!(incompatible_premises(&[]).is_empty());
+    }
+
+    #[test]
+    fn premise_conclusion_contradiction_detected() {
+        let premises = vec![f("task_runs_forever"), f("cpu_ok")];
+        let found = premise_conclusion_contradiction(&premises, &f("~task_runs_forever"));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].premises, vec![0]);
+        // Not reported when premises are already jointly inconsistent.
+        let premises = vec![f("p"), f("~p")];
+        assert!(premise_conclusion_contradiction(&premises, &f("q")).is_empty());
+    }
+
+    #[test]
+    fn denying_the_antecedent_detected() {
+        let premises = vec![f("on_grnd -> threv_ok"), f("~on_grnd")];
+        let found = denying_the_antecedent(&premises, &f("~threv_ok"));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].premises, vec![0, 1]);
+    }
+
+    #[test]
+    fn denying_the_antecedent_not_reported_when_entailed() {
+        // Extra premise legitimately yields the conclusion: no fallacy.
+        let premises = vec![f("p -> q"), f("~p"), f("~q")];
+        assert!(denying_the_antecedent(&premises, &f("~q")).is_empty());
+    }
+
+    #[test]
+    fn affirming_the_consequent_detected() {
+        let premises = vec![f("fault -> alarm"), f("alarm")];
+        let found = affirming_the_consequent(&premises, &f("fault"));
+        assert_eq!(found.len(), 1);
+        // Valid modus ponens is not flagged.
+        let premises = vec![f("fault -> alarm"), f("fault")];
+        assert!(affirming_the_consequent(&premises, &f("alarm")).is_empty());
+    }
+
+    #[test]
+    fn false_conversion_detected() {
+        let premises = vec![f("verified -> safe")];
+        let found = false_conversion(&premises, &f("safe -> verified"));
+        assert_eq!(found.len(), 1);
+        // A biconditional premise legitimises the conversion.
+        let premises = vec![f("verified -> safe"), f("verified <-> safe")];
+        assert!(false_conversion(&premises, &f("safe -> verified")).is_empty());
+    }
+
+    #[test]
+    fn detect_all_aggregates() {
+        let premises = vec![f("p -> q"), f("~p"), f("r"), f("~r")];
+        let findings = detect_all(&premises, &f("~q"));
+        let kinds: Vec<_> = findings.iter().map(|x| x.fallacy).collect();
+        assert!(kinds.contains(&FormalFallacy::IncompatiblePremises));
+        // Denying-the-antecedent is masked here: inconsistent premises
+        // entail everything, so the conclusion is "entailed".
+        assert!(!kinds.contains(&FormalFallacy::DenyingTheAntecedent));
+    }
+
+    #[test]
+    fn clean_deduction_yields_no_findings() {
+        let premises = vec![f("p -> q"), f("p")];
+        assert!(detect_all(&premises, &f("q")).is_empty());
+        // The Haley proof premises against its conclusion.
+        let premises = vec![f("I -> V"), f("C -> H"), f("Y -> V & C"), f("D -> Y")];
+        assert!(detect_all(&premises, &f("D -> H")).is_empty());
+    }
+
+    #[test]
+    fn finding_display() {
+        let premises = vec![f("p")];
+        let found = begging_the_question(&premises, &f("p"));
+        assert!(found[0].to_string().contains("begging the question"));
+    }
+}

@@ -1,0 +1,29 @@
+//! # casekit-fallacies
+//!
+//! Fallacy taxonomy and detection for assurance arguments, implementing
+//! Graydon §IV–V: the distinction between *formal* fallacies (flaws in
+//! argument form, mechanically detectable) and *informal* fallacies
+//! (flaws of meaning, which form-only analysis cannot see).
+//!
+//! * [`taxonomy`] — Damer's eight formal fallacies and the informal kinds
+//!   Greenwell et al. found in real safety arguments.
+//! * [`formal`] — mechanical detectors over propositional premises and
+//!   conclusions.
+//! * [`syllogism`] — categorical syllogisms with distribution-rule checks
+//!   (undistributed middle, illicit major/minor — the three formal
+//!   fallacies that need term structure).
+//! * [`informal`] — seeded informal fallacies for case studies, plus
+//!   deliberately heuristic lints that demonstrate why soundness and
+//!   completeness are unattainable for meaning-level flaws.
+//! * [`checker`] — the "mechanical validation" pipeline over an argument:
+//!   runs every formal detector; by construction it can never return an
+//!   informal finding (the paper's Figure 1 point, executable).
+
+pub mod checker;
+pub mod formal;
+pub mod informal;
+pub mod syllogism;
+pub mod taxonomy;
+
+pub use checker::{check_argument, MachineFinding};
+pub use taxonomy::{FallacyKind, FormalFallacy, InformalFallacy};

@@ -1,0 +1,487 @@
+//! Categorical syllogisms and the distribution rules.
+//!
+//! Two of Damer's eight formal fallacies — the *undistributed middle* and
+//! *illicit distribution of an end term* — are properties of categorical
+//! syllogisms, not propositional formulas. This module implements the
+//! classical machinery: A/E/I/O propositions over terms, the distribution
+//! table, and rule-based validity checking.
+//!
+//! | form | reading            | subject distributed | predicate distributed |
+//! |------|--------------------|---------------------|-----------------------|
+//! | A    | All S are P        | yes                 | no                    |
+//! | E    | No S are P         | yes                 | yes                   |
+//! | I    | Some S are P       | no                  | no                    |
+//! | O    | Some S are not P   | no                  | yes                   |
+
+use crate::taxonomy::FormalFallacy;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four categorical proposition forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Form {
+    /// Universal affirmative: all S are P.
+    A,
+    /// Universal negative: no S are P.
+    E,
+    /// Particular affirmative: some S are P.
+    I,
+    /// Particular negative: some S are not P.
+    O,
+}
+
+impl Form {
+    /// Whether the form is negative (E or O).
+    pub fn is_negative(self) -> bool {
+        matches!(self, Form::E | Form::O)
+    }
+
+    /// Whether the form is particular (I or O).
+    pub fn is_particular(self) -> bool {
+        matches!(self, Form::I | Form::O)
+    }
+
+    /// Whether the subject term is distributed.
+    pub fn distributes_subject(self) -> bool {
+        matches!(self, Form::A | Form::E)
+    }
+
+    /// Whether the predicate term is distributed.
+    pub fn distributes_predicate(self) -> bool {
+        matches!(self, Form::E | Form::O)
+    }
+}
+
+/// A categorical proposition over two terms.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Proposition {
+    /// The proposition's form.
+    pub form: Form,
+    /// The subject term.
+    pub subject: String,
+    /// The predicate term.
+    pub predicate: String,
+}
+
+impl Proposition {
+    /// Creates a proposition.
+    pub fn new(form: Form, subject: impl Into<String>, predicate: impl Into<String>) -> Self {
+        Proposition {
+            form,
+            subject: subject.into(),
+            predicate: predicate.into(),
+        }
+    }
+
+    /// Whether `term` is distributed in this proposition.
+    ///
+    /// Returns `false` for terms not occurring at all.
+    pub fn distributes(&self, term: &str) -> bool {
+        (self.subject == term && self.form.distributes_subject())
+            || (self.predicate == term && self.form.distributes_predicate())
+    }
+
+    /// Whether `term` occurs in this proposition.
+    pub fn mentions(&self, term: &str) -> bool {
+        self.subject == term || self.predicate == term
+    }
+}
+
+impl fmt::Display for Proposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.form {
+            Form::A => write!(f, "All {} are {}", self.subject, self.predicate),
+            Form::E => write!(f, "No {} are {}", self.subject, self.predicate),
+            Form::I => write!(f, "Some {} are {}", self.subject, self.predicate),
+            Form::O => write!(f, "Some {} are not {}", self.subject, self.predicate),
+        }
+    }
+}
+
+/// A categorical syllogism: two premises and a conclusion.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Syllogism {
+    /// The premise containing the conclusion's predicate (major term).
+    pub major_premise: Proposition,
+    /// The premise containing the conclusion's subject (minor term).
+    pub minor_premise: Proposition,
+    /// The conclusion.
+    pub conclusion: Proposition,
+}
+
+/// A violation of the syllogistic rules.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyllogismIssue {
+    /// The syllogism does not have exactly three terms arranged correctly.
+    MalformedTerms(String),
+    /// The middle term is distributed in neither premise.
+    UndistributedMiddle(String),
+    /// An end term distributed in the conclusion is undistributed in its
+    /// premise. The flag is `true` for the major term.
+    IllicitDistribution {
+        /// The offending term.
+        term: String,
+        /// `true` = illicit major, `false` = illicit minor.
+        major: bool,
+    },
+    /// Two negative premises.
+    ExclusivePremises,
+    /// A negative premise with an affirmative conclusion, or vice versa.
+    NegativityMismatch,
+    /// Two universal premises with a particular conclusion (existential
+    /// import issue — flagged under the modern reading).
+    ExistentialFallacy,
+}
+
+impl fmt::Display for SyllogismIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyllogismIssue::MalformedTerms(d) => write!(f, "malformed syllogism: {d}"),
+            SyllogismIssue::UndistributedMiddle(t) => {
+                write!(f, "middle term `{t}` is distributed in neither premise")
+            }
+            SyllogismIssue::IllicitDistribution { term, major } => write!(
+                f,
+                "illicit {}: `{term}` distributed in conclusion but not in its premise",
+                if *major { "major" } else { "minor" }
+            ),
+            SyllogismIssue::ExclusivePremises => write!(f, "two negative premises"),
+            SyllogismIssue::NegativityMismatch => {
+                write!(f, "negative/affirmative mismatch between premises and conclusion")
+            }
+            SyllogismIssue::ExistentialFallacy => {
+                write!(f, "particular conclusion from two universal premises")
+            }
+        }
+    }
+}
+
+impl SyllogismIssue {
+    /// The corresponding taxonomy entry, where one exists.
+    pub fn fallacy(&self) -> Option<FormalFallacy> {
+        match self {
+            SyllogismIssue::UndistributedMiddle(_) => {
+                Some(FormalFallacy::UndistributedMiddle)
+            }
+            SyllogismIssue::IllicitDistribution { .. } => {
+                Some(FormalFallacy::IllicitDistribution)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl Syllogism {
+    /// The middle term: the term shared by the premises and absent from
+    /// the conclusion, if the syllogism is well-formed.
+    pub fn middle_term(&self) -> Option<String> {
+        let mut terms = Vec::new();
+        for prop in [&self.major_premise, &self.minor_premise] {
+            for term in [&prop.subject, &prop.predicate] {
+                if !self.conclusion.mentions(term) {
+                    terms.push(term.clone());
+                }
+            }
+        }
+        terms.dedup();
+        if terms.len() == 2 && terms[0] == terms[1] {
+            return Some(terms[0].clone());
+        }
+        if terms.len() == 1 {
+            return Some(terms[0].clone());
+        }
+        // Both premise occurrences must be the same single term.
+        let unique: std::collections::BTreeSet<_> = terms.iter().collect();
+        if unique.len() == 1 {
+            Some(terms[0].clone())
+        } else {
+            None
+        }
+    }
+
+    /// Checks the classical rules; empty result = valid syllogism.
+    pub fn check(&self) -> Vec<SyllogismIssue> {
+        let mut issues = Vec::new();
+        let major_term = self.conclusion.predicate.clone();
+        let minor_term = self.conclusion.subject.clone();
+
+        if !self.major_premise.mentions(&major_term) {
+            issues.push(SyllogismIssue::MalformedTerms(format!(
+                "major premise does not mention the conclusion's predicate `{major_term}`"
+            )));
+        }
+        if !self.minor_premise.mentions(&minor_term) {
+            issues.push(SyllogismIssue::MalformedTerms(format!(
+                "minor premise does not mention the conclusion's subject `{minor_term}`"
+            )));
+        }
+        let middle = match self.middle_term() {
+            Some(m) => m,
+            None => {
+                issues.push(SyllogismIssue::MalformedTerms(
+                    "no single middle term shared by both premises".into(),
+                ));
+                return issues;
+            }
+        };
+        if !issues.is_empty() {
+            return issues;
+        }
+
+        // Rule 1: middle distributed at least once.
+        if !self.major_premise.distributes(&middle) && !self.minor_premise.distributes(&middle)
+        {
+            issues.push(SyllogismIssue::UndistributedMiddle(middle.clone()));
+        }
+
+        // Rule 2: end terms distributed in the conclusion must be
+        // distributed in their premise.
+        if self.conclusion.distributes(&major_term)
+            && !self.major_premise.distributes(&major_term)
+        {
+            issues.push(SyllogismIssue::IllicitDistribution {
+                term: major_term.clone(),
+                major: true,
+            });
+        }
+        if self.conclusion.distributes(&minor_term)
+            && !self.minor_premise.distributes(&minor_term)
+        {
+            issues.push(SyllogismIssue::IllicitDistribution {
+                term: minor_term.clone(),
+                major: false,
+            });
+        }
+
+        // Rule 3: no two negative premises.
+        let negatives = usize::from(self.major_premise.form.is_negative())
+            + usize::from(self.minor_premise.form.is_negative());
+        if negatives == 2 {
+            issues.push(SyllogismIssue::ExclusivePremises);
+        }
+
+        // Rule 4: conclusion negative iff exactly one premise negative.
+        if negatives < 2 {
+            let conclusion_negative = self.conclusion.form.is_negative();
+            if conclusion_negative != (negatives == 1) {
+                issues.push(SyllogismIssue::NegativityMismatch);
+            }
+        }
+
+        // Rule 5 (modern reading): no particular conclusion from two
+        // universal premises.
+        if self.conclusion.form.is_particular()
+            && !self.major_premise.form.is_particular()
+            && !self.minor_premise.form.is_particular()
+        {
+            issues.push(SyllogismIssue::ExistentialFallacy);
+        }
+
+        issues
+    }
+
+    /// Whether the syllogism is valid under the modern rules.
+    pub fn is_valid(&self) -> bool {
+        self.check().is_empty()
+    }
+}
+
+impl fmt::Display for Syllogism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}.", self.major_premise)?;
+        writeln!(f, "{}.", self.minor_premise)?;
+        write!(f, "Therefore, {}.", self.conclusion)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prop(form: Form, s: &str, p: &str) -> Proposition {
+        Proposition::new(form, s, p)
+    }
+
+    /// Barbara: All M are P; All S are M; ∴ All S are P.
+    fn barbara() -> Syllogism {
+        Syllogism {
+            major_premise: prop(Form::A, "men", "mortals"),
+            minor_premise: prop(Form::A, "greeks", "men"),
+            conclusion: prop(Form::A, "greeks", "mortals"),
+        }
+    }
+
+    #[test]
+    fn barbara_is_valid() {
+        let s = barbara();
+        assert!(s.is_valid(), "issues: {:?}", s.check());
+        assert_eq!(s.middle_term(), Some("men".into()));
+    }
+
+    #[test]
+    fn celarent_is_valid() {
+        // No M are P; All S are M; ∴ No S are P.
+        let s = Syllogism {
+            major_premise: prop(Form::E, "reptiles", "warm_blooded"),
+            minor_premise: prop(Form::A, "snakes", "reptiles"),
+            conclusion: prop(Form::E, "snakes", "warm_blooded"),
+        };
+        assert!(s.is_valid(), "issues: {:?}", s.check());
+    }
+
+    #[test]
+    fn undistributed_middle_detected() {
+        // All P are M; All S are M; ∴ All S are P. (Classic.)
+        let s = Syllogism {
+            major_premise: prop(Form::A, "dogs", "animals"),
+            minor_premise: prop(Form::A, "cats", "animals"),
+            conclusion: prop(Form::A, "cats", "dogs"),
+        };
+        let issues = s.check();
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, SyllogismIssue::UndistributedMiddle(t) if t == "animals")));
+        assert_eq!(
+            issues[0].fallacy(),
+            Some(FormalFallacy::UndistributedMiddle)
+        );
+    }
+
+    #[test]
+    fn illicit_major_detected() {
+        // All M are P; No S are M; ∴ No S are P.
+        // P is distributed in the conclusion (E) but not in the A premise.
+        let s = Syllogism {
+            major_premise: prop(Form::A, "pilots", "trained"),
+            minor_premise: prop(Form::E, "passengers", "pilots"),
+            conclusion: prop(Form::E, "passengers", "trained"),
+        };
+        let issues = s.check();
+        assert!(issues.iter().any(|i| matches!(
+            i,
+            SyllogismIssue::IllicitDistribution { term, major: true } if term == "trained"
+        )));
+    }
+
+    #[test]
+    fn illicit_minor_detected() {
+        // All M are P; All M are S; ∴ All S are P.
+        let s = Syllogism {
+            major_premise: prop(Form::A, "tests", "passed"),
+            minor_premise: prop(Form::A, "tests", "artifacts"),
+            conclusion: prop(Form::A, "artifacts", "passed"),
+        };
+        let issues = s.check();
+        assert!(issues.iter().any(|i| matches!(
+            i,
+            SyllogismIssue::IllicitDistribution { major: false, .. }
+        )));
+    }
+
+    #[test]
+    fn exclusive_premises_detected() {
+        let s = Syllogism {
+            major_premise: prop(Form::E, "m", "p"),
+            minor_premise: prop(Form::E, "s", "m"),
+            conclusion: prop(Form::E, "s", "p"),
+        };
+        assert!(s
+            .check()
+            .iter()
+            .any(|i| matches!(i, SyllogismIssue::ExclusivePremises)));
+    }
+
+    #[test]
+    fn negativity_mismatch_detected() {
+        // Negative premise, affirmative conclusion.
+        let s = Syllogism {
+            major_premise: prop(Form::E, "m", "p"),
+            minor_premise: prop(Form::A, "s", "m"),
+            conclusion: prop(Form::A, "s", "p"),
+        };
+        assert!(s
+            .check()
+            .iter()
+            .any(|i| matches!(i, SyllogismIssue::NegativityMismatch)));
+    }
+
+    #[test]
+    fn existential_fallacy_detected() {
+        // All M are P; All S are M; ∴ Some S are P (modern reading).
+        let s = Syllogism {
+            major_premise: prop(Form::A, "m", "p"),
+            minor_premise: prop(Form::A, "s", "m"),
+            conclusion: prop(Form::I, "s", "p"),
+        };
+        assert!(s
+            .check()
+            .iter()
+            .any(|i| matches!(i, SyllogismIssue::ExistentialFallacy)));
+    }
+
+    #[test]
+    fn darii_and_ferio_valid() {
+        // Darii: All M are P; Some S are M; ∴ Some S are P.
+        let s = Syllogism {
+            major_premise: prop(Form::A, "m", "p"),
+            minor_premise: prop(Form::I, "s", "m"),
+            conclusion: prop(Form::I, "s", "p"),
+        };
+        assert!(s.is_valid(), "{:?}", s.check());
+        // Ferio: No M are P; Some S are M; ∴ Some S are not P.
+        let s = Syllogism {
+            major_premise: prop(Form::E, "m", "p"),
+            minor_premise: prop(Form::I, "s", "m"),
+            conclusion: prop(Form::O, "s", "p"),
+        };
+        assert!(s.is_valid(), "{:?}", s.check());
+    }
+
+    #[test]
+    fn malformed_four_terms_detected() {
+        let s = Syllogism {
+            major_premise: prop(Form::A, "a", "b"),
+            minor_premise: prop(Form::A, "c", "d"),
+            conclusion: prop(Form::A, "c", "b"),
+        };
+        assert!(s
+            .check()
+            .iter()
+            .any(|i| matches!(i, SyllogismIssue::MalformedTerms(_))));
+    }
+
+    #[test]
+    fn displays() {
+        let s = barbara();
+        let text = s.to_string();
+        assert!(text.contains("All men are mortals."));
+        assert!(text.contains("Therefore, All greeks are mortals."));
+        assert_eq!(
+            prop(Form::O, "s", "p").to_string(),
+            "Some s are not p"
+        );
+        assert_eq!(prop(Form::E, "s", "p").to_string(), "No s are p");
+        assert_eq!(prop(Form::I, "s", "p").to_string(), "Some s are p");
+    }
+
+    #[test]
+    fn distribution_table() {
+        assert!(Form::A.distributes_subject() && !Form::A.distributes_predicate());
+        assert!(Form::E.distributes_subject() && Form::E.distributes_predicate());
+        assert!(!Form::I.distributes_subject() && !Form::I.distributes_predicate());
+        assert!(!Form::O.distributes_subject() && Form::O.distributes_predicate());
+    }
+
+    #[test]
+    fn issue_displays() {
+        assert!(SyllogismIssue::UndistributedMiddle("m".into())
+            .to_string()
+            .contains("`m`"));
+        assert!(SyllogismIssue::IllicitDistribution {
+            term: "p".into(),
+            major: true
+        }
+        .to_string()
+        .contains("illicit major"));
+    }
+}

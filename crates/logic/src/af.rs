@@ -1,0 +1,404 @@
+//! Abstract argumentation frameworks with non-monotonic semantics, after
+//! Tolchinsky et al.'s deliberation dialogues (Graydon §III-O).
+//!
+//! Their on-line decision aid stores claims as symbolic predicates and
+//! uses dialogue games over a non-monotonic logic to decide whether a
+//! proposed safety-critical action (e.g. transplanting a given organ) is
+//! acceptable. The substrate for such systems is Dung's abstract
+//! argumentation: arguments and an *attacks* relation, with acceptability
+//! computed as a fixed point rather than by classical entailment — adding
+//! an argument can *retract* previously-accepted conclusions, which
+//! classical deduction cannot model.
+//!
+//! This module implements the framework with grounded, complete, and
+//! preferred semantics, plus a small [`Deliberation`] layer that mirrors
+//! the dialogue-game usage: a proposed action, pro/con arguments added in
+//! turns, and a verdict that changes non-monotonically as the dialogue
+//! unfolds.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Identifier of an argument within a framework.
+pub type ArgId = usize;
+
+/// A Dung argumentation framework: abstract arguments plus attacks.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Framework {
+    labels: Vec<String>,
+    attacks: BTreeSet<(ArgId, ArgId)>,
+}
+
+impl Framework {
+    /// An empty framework.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an argument with a human-readable label; returns its id.
+    pub fn add_argument(&mut self, label: impl Into<String>) -> ArgId {
+        self.labels.push(label.into());
+        self.labels.len() - 1
+    }
+
+    /// Records that `attacker` attacks `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn add_attack(&mut self, attacker: ArgId, target: ArgId) {
+        assert!(attacker < self.labels.len(), "unknown attacker");
+        assert!(target < self.labels.len(), "unknown target");
+        self.attacks.insert((attacker, target));
+    }
+
+    /// Number of arguments.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the framework is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The label of an argument.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn label(&self, id: ArgId) -> &str {
+        &self.labels[id]
+    }
+
+    /// The attackers of `target`.
+    pub fn attackers(&self, target: ArgId) -> Vec<ArgId> {
+        self.attacks
+            .iter()
+            .filter(|(_, t)| *t == target)
+            .map(|(a, _)| *a)
+            .collect()
+    }
+
+    /// Whether `set` attacks `id`.
+    fn set_attacks(&self, set: &BTreeSet<ArgId>, id: ArgId) -> bool {
+        self.attackers(id).iter().any(|a| set.contains(a))
+    }
+
+    /// Whether `set` *defends* `id`: every attacker of `id` is attacked by
+    /// `set`.
+    pub fn defends(&self, set: &BTreeSet<ArgId>, id: ArgId) -> bool {
+        self.attackers(id)
+            .iter()
+            .all(|&attacker| self.set_attacks(set, attacker))
+    }
+
+    /// Whether `set` is conflict-free.
+    pub fn conflict_free(&self, set: &BTreeSet<ArgId>) -> bool {
+        !self
+            .attacks
+            .iter()
+            .any(|(a, t)| set.contains(a) && set.contains(t))
+    }
+
+    /// Whether `set` is *admissible*: conflict-free and self-defending.
+    pub fn admissible(&self, set: &BTreeSet<ArgId>) -> bool {
+        self.conflict_free(set) && set.iter().all(|&id| self.defends(set, id))
+    }
+
+    /// The grounded extension: the least fixed point of the characteristic
+    /// function — the sceptical core every reasonable semantics accepts.
+    pub fn grounded_extension(&self) -> BTreeSet<ArgId> {
+        let mut current: BTreeSet<ArgId> = BTreeSet::new();
+        loop {
+            let next: BTreeSet<ArgId> = (0..self.labels.len())
+                .filter(|&id| self.defends(&current, id))
+                .collect();
+            if next == current {
+                return current;
+            }
+            current = next;
+        }
+    }
+
+    /// All complete extensions (conflict-free fixpoints of the
+    /// characteristic function). Exponential enumeration — frameworks in
+    /// deliberation dialogues are small.
+    ///
+    /// # Panics
+    ///
+    /// Panics above 16 arguments.
+    pub fn complete_extensions(&self) -> Vec<BTreeSet<ArgId>> {
+        let n = self.labels.len();
+        assert!(n <= 16, "complete-extension enumeration limited to 16 arguments");
+        let mut out = Vec::new();
+        for mask in 0..(1u32 << n) {
+            let set: BTreeSet<ArgId> = (0..n).filter(|i| mask >> i & 1 == 1).collect();
+            if !self.conflict_free(&set) {
+                continue;
+            }
+            // Complete: contains exactly the arguments it defends.
+            let defended: BTreeSet<ArgId> =
+                (0..n).filter(|&id| self.defends(&set, id)).collect();
+            if defended == set {
+                out.push(set);
+            }
+        }
+        out
+    }
+
+    /// The preferred extensions: maximal (by inclusion) complete
+    /// extensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics above 16 arguments (see [`Framework::complete_extensions`]).
+    pub fn preferred_extensions(&self) -> Vec<BTreeSet<ArgId>> {
+        let complete = self.complete_extensions();
+        complete
+            .iter()
+            .filter(|s| {
+                !complete
+                    .iter()
+                    .any(|other| *s != other && s.is_subset(other))
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Whether `id` is sceptically accepted (in the grounded extension).
+    pub fn sceptically_accepted(&self, id: ArgId) -> bool {
+        self.grounded_extension().contains(&id)
+    }
+}
+
+/// The status of a deliberated action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The proposal is sceptically accepted: perform the action.
+    Accepted,
+    /// The proposal is attacked and undefended: do not perform it.
+    Rejected,
+}
+
+/// A deliberation dialogue over one proposed safety-critical action,
+/// mirroring Tolchinsky et al.'s usage: participants submit arguments for
+/// or against, each possibly attacking earlier arguments, and the verdict
+/// is recomputed non-monotonically after every move.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Deliberation {
+    framework: Framework,
+    proposal: ArgId,
+    history: Vec<(ArgId, Verdict)>,
+}
+
+impl Deliberation {
+    /// Opens a deliberation over `proposal` (e.g.
+    /// `treat(r, penicillin)` — the paper's symbolic-claim example).
+    pub fn open(proposal: impl Into<String>) -> Self {
+        let mut framework = Framework::new();
+        let proposal = framework.add_argument(proposal);
+        let mut d = Deliberation {
+            framework,
+            proposal,
+            history: Vec::new(),
+        };
+        d.history.push((proposal, d.verdict()));
+        d
+    }
+
+    /// Submits an argument attacking an earlier one; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is unknown.
+    pub fn object(&mut self, label: impl Into<String>, target: ArgId) -> ArgId {
+        let id = self.framework.add_argument(label);
+        self.framework.add_attack(id, target);
+        self.history.push((id, self.verdict()));
+        id
+    }
+
+    /// The current verdict on the proposal.
+    pub fn verdict(&self) -> Verdict {
+        if self.framework.sceptically_accepted(self.proposal) {
+            Verdict::Accepted
+        } else {
+            Verdict::Rejected
+        }
+    }
+
+    /// The framework built so far.
+    pub fn framework(&self) -> &Framework {
+        &self.framework
+    }
+
+    /// The verdict after each move — the dialogue's non-monotone history.
+    pub fn verdict_history(&self) -> Vec<Verdict> {
+        self.history.iter().map(|(_, v)| *v).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[ArgId]) -> BTreeSet<ArgId> {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn unattacked_argument_is_grounded() {
+        let mut af = Framework::new();
+        let a = af.add_argument("a");
+        assert_eq!(af.grounded_extension(), set(&[a]));
+        assert!(af.sceptically_accepted(a));
+        assert_eq!(af.label(a), "a");
+    }
+
+    #[test]
+    fn simple_attack_defeats() {
+        let mut af = Framework::new();
+        let a = af.add_argument("do it");
+        let b = af.add_argument("objection");
+        af.add_attack(b, a);
+        assert_eq!(af.grounded_extension(), set(&[b]));
+        assert!(!af.sceptically_accepted(a));
+    }
+
+    #[test]
+    fn reinstatement_chain() {
+        // c attacks b attacks a: a is reinstated (defended by c).
+        let mut af = Framework::new();
+        let a = af.add_argument("a");
+        let b = af.add_argument("b");
+        let c = af.add_argument("c");
+        af.add_attack(b, a);
+        af.add_attack(c, b);
+        assert_eq!(af.grounded_extension(), set(&[a, c]));
+    }
+
+    #[test]
+    fn mutual_attack_grounds_to_empty() {
+        let mut af = Framework::new();
+        let a = af.add_argument("a");
+        let b = af.add_argument("b");
+        af.add_attack(a, b);
+        af.add_attack(b, a);
+        assert!(af.grounded_extension().is_empty());
+        // But there are two preferred extensions: {a} and {b}.
+        let preferred = af.preferred_extensions();
+        assert_eq!(preferred.len(), 2);
+        assert!(preferred.contains(&set(&[a])));
+        assert!(preferred.contains(&set(&[b])));
+    }
+
+    #[test]
+    fn self_attacking_argument_never_accepted() {
+        let mut af = Framework::new();
+        let a = af.add_argument("liar");
+        af.add_attack(a, a);
+        assert!(af.grounded_extension().is_empty());
+        assert_eq!(af.preferred_extensions(), vec![BTreeSet::new()]);
+    }
+
+    #[test]
+    fn admissibility_and_conflict_freedom() {
+        let mut af = Framework::new();
+        let a = af.add_argument("a");
+        let b = af.add_argument("b");
+        let c = af.add_argument("c");
+        af.add_attack(b, a);
+        af.add_attack(c, b);
+        assert!(af.conflict_free(&set(&[a, c])));
+        assert!(!af.conflict_free(&set(&[a, b])));
+        assert!(af.admissible(&set(&[a, c])));
+        assert!(!af.admissible(&set(&[a]))); // a cannot defend itself
+        assert!(af.admissible(&set(&[])));
+    }
+
+    #[test]
+    fn grounded_is_subset_of_every_preferred() {
+        let mut af = Framework::new();
+        let a = af.add_argument("a");
+        let b = af.add_argument("b");
+        let c = af.add_argument("c");
+        let d = af.add_argument("d");
+        af.add_attack(a, b);
+        af.add_attack(b, a);
+        af.add_attack(a, c);
+        af.add_attack(b, c);
+        af.add_attack(c, d);
+        let grounded = af.grounded_extension();
+        for preferred in af.preferred_extensions() {
+            assert!(grounded.is_subset(&preferred));
+        }
+    }
+
+    #[test]
+    fn transplant_deliberation_is_non_monotonic() {
+        // The paper's scenario: deliberate a transplant action. The
+        // verdict flips as the dialogue adds information — the
+        // non-monotonicity classical deduction cannot model.
+        let mut d = Deliberation::open("transplant(organ1, recipient_r)");
+        assert_eq!(d.verdict(), Verdict::Accepted);
+
+        let objection = d.object("donor history indicates hepatitis risk", 0);
+        assert_eq!(d.verdict(), Verdict::Rejected);
+
+        let rebuttal = d.object("serology panel rules the risk out", objection);
+        assert_eq!(d.verdict(), Verdict::Accepted);
+
+        d.object("panel used an expired reagent batch", rebuttal);
+        assert_eq!(d.verdict(), Verdict::Rejected);
+
+        assert_eq!(
+            d.verdict_history(),
+            vec![
+                Verdict::Accepted,
+                Verdict::Rejected,
+                Verdict::Accepted,
+                Verdict::Rejected
+            ]
+        );
+        assert_eq!(d.framework().len(), 4);
+    }
+
+    #[test]
+    fn attackers_listed() {
+        let mut af = Framework::new();
+        let a = af.add_argument("a");
+        let b = af.add_argument("b");
+        let c = af.add_argument("c");
+        af.add_attack(b, a);
+        af.add_attack(c, a);
+        assert_eq!(af.attackers(a), vec![b, c]);
+        assert!(af.attackers(b).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown attacker")]
+    fn bad_attack_panics() {
+        let mut af = Framework::new();
+        let a = af.add_argument("a");
+        af.add_attack(9, a);
+    }
+
+    #[test]
+    fn complete_extensions_of_classic_example() {
+        // a <-> b, both attack c: complete extensions are {}, {a}, {b}.
+        let mut af = Framework::new();
+        let a = af.add_argument("a");
+        let b = af.add_argument("b");
+        let c = af.add_argument("c");
+        af.add_attack(a, b);
+        af.add_attack(b, a);
+        af.add_attack(a, c);
+        af.add_attack(b, c);
+        let complete = af.complete_extensions();
+        assert_eq!(complete.len(), 3);
+        assert!(complete.contains(&BTreeSet::new()));
+        assert!(complete.contains(&set(&[a])));
+        assert!(complete.contains(&set(&[b])));
+    }
+}

@@ -1,0 +1,295 @@
+//! A simplified discrete-time event calculus, after Tun et al.'s privacy
+//! arguments (Graydon §III-P).
+//!
+//! The dialect implements the core commonsense-law-of-inertia fragment:
+//!
+//! * `Happens(e, t)` — event `e` occurs at time `t` (given as a narrative);
+//! * `Initiates(e, f)` / `Terminates(e, f)` — domain axioms;
+//! * `InitiallyTrue(f)` — initial state;
+//! * `HoldsAt(f, t)` — derived: a fluent holds at `t` iff it was initiated
+//!   at some `t' < t` (or initially) and not terminated in between.
+//!
+//! Fluents and events are ground first-order terms (from [`crate::fol`]),
+//! so domain axioms can be written with structure, e.g.
+//! `Initiates(tap(user, subject), query_pending(subject))`.
+//!
+//! ```
+//! use casekit_logic::ec::Narrative;
+//! use casekit_logic::fol::parse_term;
+//!
+//! let mut n = Narrative::new();
+//! n.initiates(parse_term("grant(alice)").unwrap(), parse_term("access(alice)").unwrap());
+//! n.terminates(parse_term("revoke(alice)").unwrap(), parse_term("access(alice)").unwrap());
+//! n.happens(parse_term("grant(alice)").unwrap(), 1);
+//! n.happens(parse_term("revoke(alice)").unwrap(), 5);
+//! assert!(!n.holds_at(&parse_term("access(alice)").unwrap(), 1)); // effects take one tick
+//! assert!(n.holds_at(&parse_term("access(alice)").unwrap(), 2));
+//! assert!(!n.holds_at(&parse_term("access(alice)").unwrap(), 6));
+//! ```
+
+use crate::fol::Term;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Discrete time point.
+pub type Time = u64;
+
+/// A domain axiom: the event (possibly with variables, matched by
+/// unification) initiates or terminates the fluent.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct EffectAxiom {
+    event: Term,
+    fluent: Term,
+}
+
+/// An event-calculus narrative: domain axioms plus a timeline of events.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Narrative {
+    initiates: Vec<EffectAxiom>,
+    terminates: Vec<EffectAxiom>,
+    initially: Vec<Term>,
+    happens: Vec<(Term, Time)>,
+}
+
+impl Narrative {
+    /// An empty narrative.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares that `event` initiates `fluent`.
+    ///
+    /// Both may contain variables; an occurring event initiates the fluent
+    /// instance obtained by unifying against the axiom's event pattern.
+    pub fn initiates(&mut self, event: Term, fluent: Term) {
+        self.initiates.push(EffectAxiom { event, fluent });
+    }
+
+    /// Declares that `event` terminates `fluent`.
+    pub fn terminates(&mut self, event: Term, fluent: Term) {
+        self.terminates.push(EffectAxiom { event, fluent });
+    }
+
+    /// Declares that `fluent` holds at time 0.
+    pub fn initially_true(&mut self, fluent: Term) {
+        self.initially.push(fluent);
+    }
+
+    /// Records that `event` happens at `time`.
+    pub fn happens(&mut self, event: Term, time: Time) {
+        self.happens.push((event, time));
+    }
+
+    /// The events that happen at `time`.
+    pub fn events_at(&self, time: Time) -> impl Iterator<Item = &Term> {
+        self.happens
+            .iter()
+            .filter(move |(_, t)| *t == time)
+            .map(|(e, _)| e)
+    }
+
+    /// The latest time at which any event happens (0 if none).
+    pub fn horizon(&self) -> Time {
+        self.happens.iter().map(|(_, t)| *t).max().unwrap_or(0)
+    }
+
+    /// Ground fluent instances affected (initiated or terminated) by
+    /// `event` under the given axiom set.
+    fn effects(axioms: &[EffectAxiom], event: &Term) -> Vec<Term> {
+        use crate::fol::{unify, Substitution};
+        let mut out = Vec::new();
+        for axiom in axioms {
+            // Freshen axiom variables so narrative constants never clash.
+            let ev = axiom.event.rename_variables(usize::MAX);
+            let fl = axiom.fluent.rename_variables(usize::MAX);
+            if let Some(s) = unify(&ev, event, &Substitution::new()) {
+                out.push(s.apply(&fl));
+            }
+        }
+        out
+    }
+
+    /// Whether `fluent` (a ground term) holds at `time`.
+    ///
+    /// Semantics: `HoldsAt(f, 0)` iff `InitiallyTrue(f)`; for `t > 0`,
+    /// effects of events at time `t-1` apply at `t`, with termination
+    /// taking precedence over initiation at the same instant, and inertia
+    /// otherwise.
+    pub fn holds_at(&self, fluent: &Term, time: Time) -> bool {
+        let mut holds = self.initially.contains(fluent);
+        for t in 0..time {
+            let mut initiated = false;
+            let mut terminated = false;
+            for event in self.events_at(t) {
+                if Self::effects(&self.initiates, event).contains(fluent) {
+                    initiated = true;
+                }
+                if Self::effects(&self.terminates, event).contains(fluent) {
+                    terminated = true;
+                }
+            }
+            if terminated {
+                holds = false;
+            } else if initiated {
+                holds = true;
+            }
+            // Otherwise inertia: `holds` is unchanged.
+        }
+        holds
+    }
+
+    /// All ground fluents that hold at `time` (restricted to fluents that
+    /// are mentioned initially or derivable from a happened event).
+    pub fn state_at(&self, time: Time) -> BTreeSet<Term> {
+        let mut candidates: BTreeSet<Term> = self.initially.iter().cloned().collect();
+        for (event, _) in &self.happens {
+            candidates.extend(Self::effects(&self.initiates, event));
+            candidates.extend(Self::effects(&self.terminates, event));
+        }
+        candidates
+            .into_iter()
+            .filter(|f| self.holds_at(f, time))
+            .collect()
+    }
+
+    /// Checks a *policy invariant*: `fluent` never holds at any time in
+    /// `0..=horizon+1`. Returns the first violating time if any.
+    ///
+    /// This is the "denial" check of Tun et al.: e.g. location information
+    /// must never be available to a non-friend.
+    pub fn never_holds(&self, fluent: &Term) -> Result<(), Time> {
+        for t in 0..=self.horizon() + 1 {
+            if self.holds_at(fluent, t) {
+                return Err(t);
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks an *availability* property: `fluent` holds at some time in
+    /// `0..=horizon+1`. Returns the first such time.
+    pub fn eventually_holds(&self, fluent: &Term) -> Option<Time> {
+        (0..=self.horizon() + 1).find(|&t| self.holds_at(fluent, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fol::parse_term;
+
+    fn t(src: &str) -> Term {
+        parse_term(src).unwrap()
+    }
+
+    fn tap_narrative() -> Narrative {
+        // Tun et al.'s example (propositional skeleton): tapping a friend's
+        // icon makes their location available one step later; untap revokes.
+        let mut n = Narrative::new();
+        n.initiates(t("tap(User, Subject)"), t("loc_avail(User, Subject)"));
+        n.terminates(t("untap(User, Subject)"), t("loc_avail(User, Subject)"));
+        n
+    }
+
+    #[test]
+    fn initially_true_holds_at_zero() {
+        let mut n = Narrative::new();
+        n.initially_true(t("friends(alice, bob)"));
+        assert!(n.holds_at(&t("friends(alice, bob)"), 0));
+        assert!(n.holds_at(&t("friends(alice, bob)"), 100)); // inertia
+        assert!(!n.holds_at(&t("friends(bob, carol)"), 0));
+    }
+
+    #[test]
+    fn initiation_takes_effect_next_tick() {
+        let mut n = tap_narrative();
+        n.happens(t("tap(alice, bob)"), 3);
+        let fl = t("loc_avail(alice, bob)");
+        assert!(!n.holds_at(&fl, 3));
+        assert!(n.holds_at(&fl, 4));
+        assert!(n.holds_at(&fl, 10));
+    }
+
+    #[test]
+    fn termination_removes_fluent() {
+        let mut n = tap_narrative();
+        n.happens(t("tap(alice, bob)"), 1);
+        n.happens(t("untap(alice, bob)"), 5);
+        let fl = t("loc_avail(alice, bob)");
+        assert!(n.holds_at(&fl, 2));
+        assert!(n.holds_at(&fl, 5));
+        assert!(!n.holds_at(&fl, 6));
+    }
+
+    #[test]
+    fn termination_wins_simultaneous_conflict() {
+        let mut n = tap_narrative();
+        n.happens(t("tap(alice, bob)"), 2);
+        n.happens(t("untap(alice, bob)"), 2);
+        assert!(!n.holds_at(&t("loc_avail(alice, bob)"), 3));
+    }
+
+    #[test]
+    fn axiom_variables_bind_per_event() {
+        let mut n = tap_narrative();
+        n.happens(t("tap(alice, bob)"), 0);
+        n.happens(t("tap(carol, dave)"), 0);
+        assert!(n.holds_at(&t("loc_avail(alice, bob)"), 1));
+        assert!(n.holds_at(&t("loc_avail(carol, dave)"), 1));
+        assert!(!n.holds_at(&t("loc_avail(alice, dave)"), 1));
+    }
+
+    #[test]
+    fn state_at_collects_holding_fluents() {
+        let mut n = tap_narrative();
+        n.initially_true(t("friends(alice, bob)"));
+        n.happens(t("tap(alice, bob)"), 0);
+        let state = n.state_at(1);
+        assert!(state.contains(&t("friends(alice, bob)")));
+        assert!(state.contains(&t("loc_avail(alice, bob)")));
+        assert_eq!(state.len(), 2);
+    }
+
+    #[test]
+    fn never_holds_policy_check() {
+        let mut n = tap_narrative();
+        n.happens(t("tap(eve, bob)"), 2);
+        // Policy: eve (not a friend) must never see bob's location.
+        // The naive narrative violates it at t=3.
+        assert_eq!(n.never_holds(&t("loc_avail(eve, bob)")), Err(3));
+        // alice never tapped, so the policy holds for her.
+        assert_eq!(n.never_holds(&t("loc_avail(alice, bob)")), Ok(()));
+    }
+
+    #[test]
+    fn eventually_holds_availability_check() {
+        let mut n = tap_narrative();
+        n.happens(t("tap(alice, bob)"), 7);
+        assert_eq!(n.eventually_holds(&t("loc_avail(alice, bob)")), Some(8));
+        assert_eq!(n.eventually_holds(&t("loc_avail(bob, alice)")), None);
+    }
+
+    #[test]
+    fn horizon_and_events_at() {
+        let mut n = Narrative::new();
+        assert_eq!(n.horizon(), 0);
+        n.happens(t("e1"), 4);
+        n.happens(t("e2"), 9);
+        n.happens(t("e3"), 4);
+        assert_eq!(n.horizon(), 9);
+        assert_eq!(n.events_at(4).count(), 2);
+        assert_eq!(n.events_at(5).count(), 0);
+    }
+
+    #[test]
+    fn re_initiation_after_termination() {
+        let mut n = tap_narrative();
+        n.happens(t("tap(alice, bob)"), 0);
+        n.happens(t("untap(alice, bob)"), 2);
+        n.happens(t("tap(alice, bob)"), 4);
+        let fl = t("loc_avail(alice, bob)");
+        assert!(n.holds_at(&fl, 1));
+        assert!(!n.holds_at(&fl, 3));
+        assert!(n.holds_at(&fl, 5));
+    }
+}

@@ -1,0 +1,167 @@
+//! Shared error types for the logic substrates.
+
+use std::fmt;
+
+/// A half-open byte range into a source string, used to locate parse errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character of the offending region.
+    pub start: usize,
+    /// Byte offset one past the last character of the offending region.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// A zero-width span at `pos`, used for end-of-input errors.
+    pub fn point(pos: usize) -> Self {
+        Span {
+            start: pos,
+            end: pos,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// An error produced while parsing a formula, term, proof, or program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Where in the input the problem was detected.
+    pub span: Span,
+}
+
+impl ParseError {
+    /// Creates a parse error with the given message and location.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        ParseError {
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Errors produced by logic-engine operations other than parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogicError {
+    /// A proof step referenced a line that does not exist (or is not yet
+    /// available at that point in the proof).
+    BadLineReference {
+        /// The proof line making the reference.
+        at_line: usize,
+        /// The referenced line number.
+        referenced: usize,
+    },
+    /// A proof step's cited rule does not justify its formula.
+    InvalidStep {
+        /// The offending proof line (1-based, as printed).
+        line: usize,
+        /// Why the step is not justified.
+        reason: String,
+    },
+    /// The resolution/SLD engine exceeded its depth or work budget.
+    BudgetExhausted {
+        /// The budget that was exceeded, in engine-specific units.
+        budget: usize,
+    },
+    /// A symbol was used in a way inconsistent with its declared sort.
+    SortViolation {
+        /// The offending symbol.
+        symbol: String,
+        /// Description of the clash.
+        detail: String,
+    },
+    /// A name was referenced but never declared.
+    Undeclared {
+        /// The undeclared name.
+        name: String,
+    },
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::BadLineReference {
+                at_line,
+                referenced,
+            } => {
+                write!(
+                    f,
+                    "line {at_line} references line {referenced}, which is not available"
+                )
+            }
+            LogicError::InvalidStep { line, reason } => {
+                write!(f, "invalid step at line {line}: {reason}")
+            }
+            LogicError::BudgetExhausted { budget } => {
+                write!(f, "inference budget of {budget} exhausted")
+            }
+            LogicError::SortViolation { symbol, detail } => {
+                write!(f, "sort violation on `{symbol}`: {detail}")
+            }
+            LogicError::Undeclared { name } => write!(f, "`{name}` was not declared"),
+        }
+    }
+}
+
+impl std::error::Error for LogicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_display() {
+        assert_eq!(Span::new(3, 7).to_string(), "3..7");
+        assert_eq!(Span::point(5).to_string(), "5..5");
+    }
+
+    #[test]
+    fn parse_error_display_mentions_span_and_message() {
+        let e = ParseError::new("unexpected token", Span::new(1, 2));
+        let s = e.to_string();
+        assert!(s.contains("1..2"));
+        assert!(s.contains("unexpected token"));
+    }
+
+    #[test]
+    fn logic_error_display() {
+        let e = LogicError::InvalidStep {
+            line: 4,
+            reason: "Detach needs an implication".into(),
+        };
+        assert!(e.to_string().contains("line 4"));
+        let e = LogicError::BudgetExhausted { budget: 100 };
+        assert!(e.to_string().contains("100"));
+        let e = LogicError::SortViolation {
+            symbol: "bank".into(),
+            detail: "used as both Institution and Landform".into(),
+        };
+        assert!(e.to_string().contains("bank"));
+        let e = LogicError::Undeclared { name: "x".into() };
+        assert!(e.to_string().contains("x"));
+        let e = LogicError::BadLineReference {
+            at_line: 6,
+            referenced: 9,
+        };
+        assert!(e.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,38 @@
+//! First-order Horn-clause logic: terms, unification, knowledge bases, and
+//! SLD resolution — a mini-Prolog.
+//!
+//! This substrate reproduces Figure 1 of Graydon (DSN 2015): the *desert
+//! bank* knowledge base whose query `adjacent(desert_bank, river)` succeeds
+//! under formal validation even though the argument equivocates on `bank`.
+//!
+//! ```
+//! use casekit_logic::fol::{KnowledgeBase, parse_program, parse_query};
+//!
+//! let kb: KnowledgeBase = parse_program(
+//!     "is_a(desert_bank, bank).
+//!      adjacent(bank, river).
+//!      adjacent(X, Y) :- is_a(X, Z), adjacent(Z, Y).",
+//! ).unwrap();
+//! let goal = parse_query("adjacent(desert_bank, river)").unwrap();
+//! assert!(kb.proves(&goal));
+//! ```
+
+mod engine;
+mod parser;
+mod term;
+mod unify;
+
+pub use engine::{KnowledgeBase, Solution, SolveConfig, SolveOutcome};
+pub use parser::{parse_program, parse_query, parse_term};
+pub use term::{Clause, Term};
+pub use unify::{unify, Substitution};
+
+/// Builds the exact knowledge base of the paper's Figure 1.
+pub fn desert_bank_kb() -> KnowledgeBase {
+    parse_program(
+        "is_a(desert_bank, bank).\n\
+         adjacent(bank, river).\n\
+         adjacent(X, Y) :- is_a(X, Z), adjacent(Z, Y).",
+    )
+    .expect("static program")
+}

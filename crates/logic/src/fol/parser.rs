@@ -1,0 +1,266 @@
+//! Parser for a Prolog-like surface syntax.
+//!
+//! ```text
+//! program ::= clause*
+//! clause  ::= term ( ":-" term ( "," term )* )? "."
+//! term    ::= ident ( "(" term ( "," term )* ")" )?
+//! ident   ::= [A-Za-z_][A-Za-z0-9_]*  |  [0-9]+
+//! ```
+//!
+//! Identifiers beginning with an uppercase letter or `_` are variables;
+//! others (including integers) are constants or functors. Line comments
+//! start with `%`, as in Prolog.
+
+use super::term::{Clause, Term};
+use crate::error::{ParseError, Span};
+
+struct Cursor<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(input: &'a str) -> Self {
+        Cursor { input, pos: 0 }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            let rest = &self.input[self.pos..];
+            let trimmed = rest.trim_start();
+            self.pos += rest.len() - trimmed.len();
+            if self.input[self.pos..].starts_with('%') {
+                match self.input[self.pos..].find('\n') {
+                    Some(nl) => self.pos += nl + 1,
+                    None => self.pos = self.input.len(),
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_trivia();
+        self.pos >= self.input.len()
+    }
+
+    fn eat(&mut self, expected: &str) -> Result<(), ParseError> {
+        self.skip_trivia();
+        if self.input[self.pos..].starts_with(expected) {
+            self.pos += expected.len();
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                format!("expected `{expected}`"),
+                Span::point(self.pos),
+            ))
+        }
+    }
+
+    fn try_eat(&mut self, expected: &str) -> bool {
+        self.skip_trivia();
+        if self.input[self.pos..].starts_with(expected) {
+            self.pos += expected.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<(String, Span), ParseError> {
+        self.skip_trivia();
+        let start = self.pos;
+        let mut chars = self.input[self.pos..].char_indices();
+        match chars.next() {
+            Some((_, c)) if c.is_alphanumeric() || c == '_' => {}
+            _ => {
+                return Err(ParseError::new(
+                    "expected an identifier",
+                    Span::point(self.pos),
+                ))
+            }
+        }
+        let mut end = self.input.len();
+        for (i, c) in self.input[self.pos..].char_indices() {
+            if !(c.is_alphanumeric() || c == '_') {
+                end = self.pos + i;
+                break;
+            }
+        }
+        let word = self.input[start..end].to_string();
+        self.pos = end;
+        Ok((word, Span::new(start, end)))
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        let (name, span) = self.ident()?;
+        if self.try_eat("(") {
+            let mut args = vec![self.term()?];
+            while self.try_eat(",") {
+                args.push(self.term()?);
+            }
+            self.eat(")")?;
+            if is_variable_name(&name) {
+                return Err(ParseError::new(
+                    format!("variable `{name}` cannot be used as a functor"),
+                    span,
+                ));
+            }
+            Ok(Term::compound(name, args))
+        } else if is_variable_name(&name) {
+            Ok(Term::var(name))
+        } else {
+            Ok(Term::constant(name))
+        }
+    }
+
+    fn clause(&mut self) -> Result<Clause, ParseError> {
+        let head = self.term()?;
+        let mut body = Vec::new();
+        if self.try_eat(":-") {
+            body.push(self.term()?);
+            while self.try_eat(",") {
+                body.push(self.term()?);
+            }
+        }
+        self.eat(".")?;
+        Ok(Clause { head, body })
+    }
+}
+
+fn is_variable_name(name: &str) -> bool {
+    name.chars()
+        .next()
+        .is_some_and(|c| c.is_uppercase() || c == '_')
+}
+
+/// Parses a whole program (sequence of clauses).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] locating the first syntax error.
+pub fn parse_program(input: &str) -> Result<super::KnowledgeBase, ParseError> {
+    let mut cursor = Cursor::new(input);
+    let mut kb = super::KnowledgeBase::new();
+    while !cursor.at_end() {
+        kb.add(cursor.clause()?);
+    }
+    Ok(kb)
+}
+
+/// Parses a single query goal (a term, optionally ending with `.`).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the input is not a single well-formed term.
+pub fn parse_query(input: &str) -> Result<Term, ParseError> {
+    let mut cursor = Cursor::new(input);
+    let term = cursor.term()?;
+    cursor.try_eat(".");
+    if !cursor.at_end() {
+        return Err(ParseError::new(
+            "unexpected trailing input",
+            Span::point(cursor.pos),
+        ));
+    }
+    Ok(term)
+}
+
+/// Parses a single term.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the input is not a single well-formed term.
+pub fn parse_term(input: &str) -> Result<Term, ParseError> {
+    parse_query(input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_facts_and_rules() {
+        let kb = parse_program(
+            "is_a(desert_bank, bank).\n\
+             adjacent(bank, river).\n\
+             adjacent(X, Y) :- is_a(X, Z), adjacent(Z, Y).",
+        )
+        .unwrap();
+        assert_eq!(kb.len(), 3);
+        assert!(kb.clauses()[0].is_fact());
+        assert!(!kb.clauses()[2].is_fact());
+        assert_eq!(kb.clauses()[2].body.len(), 2);
+    }
+
+    #[test]
+    fn variables_vs_constants() {
+        let t = parse_term("p(X, x, _anon, Y2, y2)").unwrap();
+        match t {
+            Term::Compound(_, args) => {
+                assert!(matches!(args[0], Term::Var(_)));
+                assert!(matches!(args[1], Term::Const(_)));
+                assert!(matches!(args[2], Term::Var(_)));
+                assert!(matches!(args[3], Term::Var(_)));
+                assert!(matches!(args[4], Term::Const(_)));
+            }
+            other => panic!("expected compound, got {other}"),
+        }
+    }
+
+    #[test]
+    fn nested_compounds() {
+        let t = parse_term("treat(r, penicillin(dose(high)))").unwrap();
+        assert_eq!(t.to_string(), "treat(r, penicillin(dose(high)))");
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let kb = parse_program(
+            "% the paper's example\n\
+             f(a). % inline trailing\n\
+             % another comment\n\
+             g(b).",
+        )
+        .unwrap();
+        assert_eq!(kb.len(), 2);
+    }
+
+    #[test]
+    fn missing_dot_is_an_error() {
+        let err = parse_program("f(a)").unwrap_err();
+        assert!(err.message.contains('.'));
+    }
+
+    #[test]
+    fn unclosed_paren_is_an_error() {
+        assert!(parse_program("f(a.").is_err());
+        assert!(parse_program("f(a,.").is_err());
+    }
+
+    #[test]
+    fn variable_as_functor_rejected() {
+        let err = parse_program("X(a).").unwrap_err();
+        assert!(err.message.contains("functor"));
+    }
+
+    #[test]
+    fn query_with_trailing_garbage_rejected() {
+        assert!(parse_query("f(a) g").is_err());
+        assert!(parse_query("f(a).").is_ok());
+    }
+
+    #[test]
+    fn numeric_constants() {
+        let t = parse_term("wcet(task_1, 250)").unwrap();
+        assert_eq!(t.to_string(), "wcet(task_1, 250)");
+        assert!(t.is_ground());
+    }
+
+    #[test]
+    fn empty_program_is_empty_kb() {
+        assert!(parse_program("").unwrap().is_empty());
+        assert!(parse_program("  % only a comment\n").unwrap().is_empty());
+    }
+}

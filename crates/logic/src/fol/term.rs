@@ -1,0 +1,272 @@
+//! First-order terms and Horn clauses.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A first-order term.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Term {
+    /// A logic variable, e.g. `X`. Names beginning with an uppercase letter
+    /// or `_` parse as variables.
+    Var(Arc<str>),
+    /// A constant (0-ary functor), e.g. `desert_bank` or `42`.
+    Const(Arc<str>),
+    /// A compound term `f(t1, …, tn)`, n ≥ 1. Predicates and functions use
+    /// the same representation, as in Prolog.
+    Compound(Arc<str>, Vec<Term>),
+}
+
+impl Term {
+    /// A variable term.
+    pub fn var(name: impl AsRef<str>) -> Term {
+        Term::Var(Arc::from(name.as_ref()))
+    }
+
+    /// A constant term.
+    pub fn constant(name: impl AsRef<str>) -> Term {
+        Term::Const(Arc::from(name.as_ref()))
+    }
+
+    /// A compound term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args` is empty: a 0-ary application is a [`Term::Const`].
+    pub fn compound(functor: impl AsRef<str>, args: Vec<Term>) -> Term {
+        assert!(
+            !args.is_empty(),
+            "0-ary compound terms are constants; use Term::constant"
+        );
+        Term::Compound(Arc::from(functor.as_ref()), args)
+    }
+
+    /// The functor name (variable name for variables).
+    pub fn functor(&self) -> &str {
+        match self {
+            Term::Var(n) | Term::Const(n) => n,
+            Term::Compound(f, _) => f,
+        }
+    }
+
+    /// The arity: 0 for variables and constants.
+    pub fn arity(&self) -> usize {
+        match self {
+            Term::Var(_) | Term::Const(_) => 0,
+            Term::Compound(_, args) => args.len(),
+        }
+    }
+
+    /// All variable names in the term.
+    pub fn variables(&self) -> BTreeSet<Arc<str>> {
+        let mut out = BTreeSet::new();
+        self.collect_variables(&mut out);
+        out
+    }
+
+    fn collect_variables(&self, out: &mut BTreeSet<Arc<str>>) {
+        match self {
+            Term::Var(n) => {
+                out.insert(n.clone());
+            }
+            Term::Const(_) => {}
+            Term::Compound(_, args) => {
+                for a in args {
+                    a.collect_variables(out);
+                }
+            }
+        }
+    }
+
+    /// True when the term contains no variables.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Term::Var(_) => false,
+            Term::Const(_) => true,
+            Term::Compound(_, args) => args.iter().all(Term::is_ground),
+        }
+    }
+
+    /// True if the variable `name` occurs in the term.
+    pub fn occurs(&self, name: &str) -> bool {
+        match self {
+            Term::Var(n) => n.as_ref() == name,
+            Term::Const(_) => false,
+            Term::Compound(_, args) => args.iter().any(|a| a.occurs(name)),
+        }
+    }
+
+    /// Renames every variable `V` to `V_<suffix>`; used to freshen clause
+    /// variables before resolution.
+    pub fn rename_variables(&self, suffix: usize) -> Term {
+        match self {
+            Term::Var(n) => Term::var(format!("{n}_{suffix}")),
+            Term::Const(_) => self.clone(),
+            Term::Compound(f, args) => Term::Compound(
+                f.clone(),
+                args.iter().map(|a| a.rename_variables(suffix)).collect(),
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(n) | Term::Const(n) => f.write_str(n),
+            Term::Compound(functor, args) => {
+                write!(f, "{functor}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+/// A Horn clause: `head :- body`. A fact is a clause with an empty body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Clause {
+    /// The clause head (the consequent).
+    pub head: Term,
+    /// The body goals (the antecedents), conjunctive.
+    pub body: Vec<Term>,
+}
+
+impl Clause {
+    /// A fact (empty body).
+    pub fn fact(head: Term) -> Clause {
+        Clause {
+            head,
+            body: Vec::new(),
+        }
+    }
+
+    /// A rule `head :- body`.
+    pub fn rule(head: Term, body: Vec<Term>) -> Clause {
+        Clause { head, body }
+    }
+
+    /// True when the clause has no body.
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// Renames all variables with a freshness suffix.
+    pub fn rename_variables(&self, suffix: usize) -> Clause {
+        Clause {
+            head: self.head.rename_variables(suffix),
+            body: self
+                .body
+                .iter()
+                .map(|t| t.rename_variables(suffix))
+                .collect(),
+        }
+    }
+
+    /// All variable names in head and body.
+    pub fn variables(&self) -> BTreeSet<Arc<str>> {
+        let mut vars = self.head.variables();
+        for goal in &self.body {
+            vars.extend(goal.variables());
+        }
+        vars
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() {
+            f.write_str(" :- ")?;
+            for (i, g) in self.body.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        f.write_str(".")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_terms() {
+        assert_eq!(Term::var("X").to_string(), "X");
+        assert_eq!(Term::constant("river").to_string(), "river");
+        let t = Term::compound("adjacent", vec![Term::constant("bank"), Term::var("Y")]);
+        assert_eq!(t.to_string(), "adjacent(bank, Y)");
+    }
+
+    #[test]
+    #[should_panic(expected = "0-ary")]
+    fn zero_ary_compound_panics() {
+        let _ = Term::compound("f", vec![]);
+    }
+
+    #[test]
+    fn variables_and_groundness() {
+        let t = Term::compound(
+            "f",
+            vec![
+                Term::var("X"),
+                Term::compound("g", vec![Term::var("Y"), Term::constant("c")]),
+            ],
+        );
+        let vars: Vec<_> = t.variables().into_iter().map(|v| v.to_string()).collect();
+        assert_eq!(vars, vec!["X", "Y"]);
+        assert!(!t.is_ground());
+        assert!(Term::constant("c").is_ground());
+        assert!(t.occurs("X"));
+        assert!(!t.occurs("Z"));
+    }
+
+    #[test]
+    fn renaming_freshens_all_occurrences() {
+        let t = Term::compound("f", vec![Term::var("X"), Term::var("X")]);
+        let r = t.rename_variables(3);
+        assert_eq!(r.to_string(), "f(X_3, X_3)");
+    }
+
+    #[test]
+    fn clause_display() {
+        let fact = Clause::fact(Term::compound(
+            "adjacent",
+            vec![Term::constant("bank"), Term::constant("river")],
+        ));
+        assert_eq!(fact.to_string(), "adjacent(bank, river).");
+        assert!(fact.is_fact());
+
+        let rule = Clause::rule(
+            Term::compound("adjacent", vec![Term::var("X"), Term::var("Y")]),
+            vec![
+                Term::compound("is_a", vec![Term::var("X"), Term::var("Z")]),
+                Term::compound("adjacent", vec![Term::var("Z"), Term::var("Y")]),
+            ],
+        );
+        assert_eq!(
+            rule.to_string(),
+            "adjacent(X, Y) :- is_a(X, Z), adjacent(Z, Y)."
+        );
+        assert!(!rule.is_fact());
+        assert_eq!(rule.variables().len(), 3);
+    }
+
+    #[test]
+    fn functor_and_arity() {
+        assert_eq!(Term::var("X").arity(), 0);
+        assert_eq!(Term::constant("a").functor(), "a");
+        let t = Term::compound("p", vec![Term::constant("a"), Term::constant("b")]);
+        assert_eq!(t.functor(), "p");
+        assert_eq!(t.arity(), 2);
+    }
+}

@@ -1,0 +1,246 @@
+//! Syntactic unification with occurs check.
+
+use super::term::Term;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A substitution mapping variable names to terms.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Substitution {
+    map: BTreeMap<Arc<str>, Term>,
+}
+
+impl Substitution {
+    /// The identity substitution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The term bound to `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&Term> {
+        self.map.get(name)
+    }
+
+    /// Binds `name` to `term` without resolving chains (internal building
+    /// block; prefer [`unify`]).
+    pub fn bind(&mut self, name: impl AsRef<str>, term: Term) {
+        self.map.insert(Arc::from(name.as_ref()), term);
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether there are no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The bindings in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Arc<str>, &Term)> {
+        self.map.iter()
+    }
+
+    /// Applies the substitution to a term, resolving chains of variable
+    /// bindings (`X ↦ Y, Y ↦ c` resolves `X` to `c`).
+    pub fn apply(&self, term: &Term) -> Term {
+        match term {
+            Term::Var(n) => match self.map.get(n) {
+                // A bound variable may itself be bound; chase the chain.
+                Some(t) => {
+                    
+                    self.apply(t)
+                }
+                None => term.clone(),
+            },
+            Term::Const(_) => term.clone(),
+            Term::Compound(f, args) => Term::Compound(
+                f.clone(),
+                args.iter().map(|a| self.apply(a)).collect(),
+            ),
+        }
+    }
+
+    /// Restricts the substitution to the given variable names, fully
+    /// resolving each binding. Used to present query answers.
+    pub fn project(&self, names: impl IntoIterator<Item = Arc<str>>) -> Substitution {
+        let mut out = Substitution::new();
+        for name in names {
+            let resolved = self.apply(&Term::Var(name.clone()));
+            if resolved != Term::Var(name.clone()) {
+                out.map.insert(name, resolved);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Substitution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.map.is_empty() {
+            return f.write_str("{}");
+        }
+        f.write_str("{")?;
+        for (i, (name, term)) in self.map.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{name} = {term}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+/// Computes the most general unifier of `a` and `b` under an existing
+/// substitution, or `None` if they do not unify.
+///
+/// The occurs check is performed, so `X` never unifies with `f(X)`; cyclic
+/// "infinite terms" cannot arise.
+pub fn unify(a: &Term, b: &Term, subst: &Substitution) -> Option<Substitution> {
+    let mut s = subst.clone();
+    if unify_into(a, b, &mut s) {
+        Some(s)
+    } else {
+        None
+    }
+}
+
+fn unify_into(a: &Term, b: &Term, s: &mut Substitution) -> bool {
+    let a = s.apply(a);
+    let b = s.apply(b);
+    match (&a, &b) {
+        (Term::Var(x), Term::Var(y)) if x == y => true,
+        (Term::Var(x), other) | (other, Term::Var(x)) => {
+            if other.occurs(x) {
+                false // occurs check
+            } else {
+                s.bind(x.as_ref(), other.clone());
+                true
+            }
+        }
+        (Term::Const(x), Term::Const(y)) => x == y,
+        (Term::Compound(f, fa), Term::Compound(g, ga)) => {
+            if f != g || fa.len() != ga.len() {
+                return false;
+            }
+            fa.iter().zip(ga).all(|(x, y)| unify_into(x, y, s))
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(name: &str) -> Term {
+        Term::constant(name)
+    }
+    fn v(name: &str) -> Term {
+        Term::var(name)
+    }
+
+    #[test]
+    fn unify_constants() {
+        assert!(unify(&c("a"), &c("a"), &Substitution::new()).is_some());
+        assert!(unify(&c("a"), &c("b"), &Substitution::new()).is_none());
+    }
+
+    #[test]
+    fn unify_variable_with_constant() {
+        let s = unify(&v("X"), &c("river"), &Substitution::new()).unwrap();
+        assert_eq!(s.apply(&v("X")), c("river"));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn unify_is_symmetric_in_result() {
+        let s1 = unify(&v("X"), &c("a"), &Substitution::new()).unwrap();
+        let s2 = unify(&c("a"), &v("X"), &Substitution::new()).unwrap();
+        assert_eq!(s1.apply(&v("X")), s2.apply(&v("X")));
+    }
+
+    #[test]
+    fn unify_compound() {
+        let t1 = Term::compound("adjacent", vec![v("X"), c("river")]);
+        let t2 = Term::compound("adjacent", vec![c("bank"), v("Y")]);
+        let s = unify(&t1, &t2, &Substitution::new()).unwrap();
+        assert_eq!(s.apply(&t1), s.apply(&t2));
+        assert_eq!(s.apply(&v("X")), c("bank"));
+        assert_eq!(s.apply(&v("Y")), c("river"));
+    }
+
+    #[test]
+    fn functor_and_arity_mismatch() {
+        let t1 = Term::compound("p", vec![c("a")]);
+        let t2 = Term::compound("q", vec![c("a")]);
+        assert!(unify(&t1, &t2, &Substitution::new()).is_none());
+        let t3 = Term::compound("p", vec![c("a"), c("b")]);
+        assert!(unify(&t1, &t3, &Substitution::new()).is_none());
+    }
+
+    #[test]
+    fn occurs_check_blocks_cyclic_binding() {
+        let t = Term::compound("f", vec![v("X")]);
+        assert!(unify(&v("X"), &t, &Substitution::new()).is_none());
+        assert!(unify(&t, &v("X"), &Substitution::new()).is_none());
+    }
+
+    #[test]
+    fn variable_chains_resolve() {
+        // X = Y, then Y = c: applying to X gives c.
+        let s = unify(&v("X"), &v("Y"), &Substitution::new()).unwrap();
+        let s = unify(&v("Y"), &c("c"), &s).unwrap();
+        assert_eq!(s.apply(&v("X")), c("c"));
+    }
+
+    #[test]
+    fn unification_under_existing_bindings_respects_them() {
+        let s0 = unify(&v("X"), &c("a"), &Substitution::new()).unwrap();
+        // X already bound to a; unifying X with b must fail.
+        assert!(unify(&v("X"), &c("b"), &s0).is_none());
+        // Unifying X with a succeeds and changes nothing.
+        let s1 = unify(&v("X"), &c("a"), &s0).unwrap();
+        assert_eq!(s1.apply(&v("X")), c("a"));
+    }
+
+    #[test]
+    fn mgu_equalises_nested_terms() {
+        let t1 = Term::compound(
+            "f",
+            vec![v("X"), Term::compound("g", vec![v("X"), v("Y")])],
+        );
+        let t2 = Term::compound(
+            "f",
+            vec![c("a"), Term::compound("g", vec![v("Z"), c("b")])],
+        );
+        let s = unify(&t1, &t2, &Substitution::new()).unwrap();
+        assert_eq!(s.apply(&t1), s.apply(&t2));
+        assert_eq!(s.apply(&v("Z")), c("a"));
+    }
+
+    #[test]
+    fn projection_restricts_and_resolves() {
+        let s = unify(&v("X"), &v("Y"), &Substitution::new()).unwrap();
+        let s = unify(&v("Y"), &c("answer"), &s).unwrap();
+        let p = s.project([Arc::from("X")]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.get("X"), Some(&c("answer")));
+        assert!(p.get("Y").is_none());
+    }
+
+    #[test]
+    fn display_substitution() {
+        assert_eq!(Substitution::new().to_string(), "{}");
+        let s = unify(&v("X"), &c("bank"), &Substitution::new()).unwrap();
+        assert_eq!(s.to_string(), "{X = bank}");
+    }
+
+    #[test]
+    fn same_variable_unifies_with_itself_without_binding() {
+        let s = unify(&v("X"), &v("X"), &Substitution::new()).unwrap();
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+//! # casekit-logic
+//!
+//! Symbolic and deductive logic substrates for assurance arguments.
+//!
+//! This crate implements every formalism used by the proposals surveyed in
+//! Graydon, *Formal Assurance Arguments: A Solution In Search of a
+//! Problem?* (DSN 2015):
+//!
+//! * [`prop`] — propositional logic: formulas, a parser, truth-table
+//!   evaluation, CNF conversion, a DPLL SAT solver, and a resolution prover.
+//! * [`nd`] — a Fitch-style natural-deduction proof checker using the rule
+//!   vocabulary of Haley et al. (`Premise`, `Detach`, `Split`, …); it
+//!   verifies the eleven-line `D → H` example reproduced in the paper.
+//! * [`fol`] — first-order terms, unification, Horn knowledge bases, and an
+//!   SLD-resolution engine: a mini-Prolog sufficient to reproduce the
+//!   paper's Figure 1 (the fallacious *desert bank* argument).
+//! * [`ltl`] — linear temporal logic with finite- and lasso-trace semantics
+//!   and explicit-state checking over Kripke structures, after Brunel &
+//!   Cazin's formalised UAV safety argumentation.
+//! * [`ec`] — a simplified discrete-time event calculus
+//!   (`Initiates`/`Terminates`/`Happens`/`HoldsAt` with inertia), after
+//!   Tun et al.'s privacy arguments.
+//! * [`sorts`] — a sort (type) system for predicate symbols; declaring
+//!   sorts is the mechanism that catches the desert-bank equivocation that
+//!   pure formal validation misses.
+//! * [`af`] — Dung-style abstract argumentation with grounded/preferred
+//!   semantics and a deliberation-dialogue layer, after Tolchinsky et
+//!   al.'s safety-critical decision support.
+//! * [`probe`] — Rushby's "what-if" premise probing over propositional
+//!   theories.
+//!
+//! ## Example
+//!
+//! ```
+//! use casekit_logic::prop::parse;
+//! let f = parse("~on_grnd -> ~threv_en").unwrap();
+//! assert!(f.is_satisfiable());
+//! assert!(!f.is_tautology());
+//! ```
+
+pub mod af;
+pub mod ec;
+pub mod fol;
+pub mod ltl;
+pub mod nd;
+pub mod probe;
+pub mod prop;
+pub mod sorts;
+
+mod error;
+pub use error::{LogicError, ParseError, Span};

@@ -1,0 +1,231 @@
+//! LTL formula syntax.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A linear temporal logic formula.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Ltl {
+    /// Constant true.
+    True,
+    /// Constant false.
+    False,
+    /// An atomic proposition.
+    Prop(Arc<str>),
+    /// Negation.
+    Not(Arc<Ltl>),
+    /// Conjunction.
+    And(Arc<Ltl>, Arc<Ltl>),
+    /// Disjunction.
+    Or(Arc<Ltl>, Arc<Ltl>),
+    /// Implication.
+    Implies(Arc<Ltl>, Arc<Ltl>),
+    /// Next: `X p` holds iff `p` holds at the next step.
+    Next(Arc<Ltl>),
+    /// Finally (eventually): `F p`.
+    Finally(Arc<Ltl>),
+    /// Globally (always): `G p`.
+    Globally(Arc<Ltl>),
+    /// Until: `p U q` — `q` eventually holds, and `p` holds until then.
+    Until(Arc<Ltl>, Arc<Ltl>),
+    /// Release: `p R q` — `q` holds up to and including the step where `p`
+    /// first holds; if `p` never holds, `q` holds forever.
+    Release(Arc<Ltl>, Arc<Ltl>),
+}
+
+impl Ltl {
+    /// An atomic proposition.
+    pub fn prop(name: impl AsRef<str>) -> Ltl {
+        Ltl::Prop(Arc::from(name.as_ref()))
+    }
+
+    /// Negation of `self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Ltl {
+        Ltl::Not(Arc::new(self))
+    }
+
+    /// `self & rhs`.
+    pub fn and(self, rhs: Ltl) -> Ltl {
+        Ltl::And(Arc::new(self), Arc::new(rhs))
+    }
+
+    /// `self | rhs`.
+    pub fn or(self, rhs: Ltl) -> Ltl {
+        Ltl::Or(Arc::new(self), Arc::new(rhs))
+    }
+
+    /// `self -> rhs`.
+    pub fn implies(self, rhs: Ltl) -> Ltl {
+        Ltl::Implies(Arc::new(self), Arc::new(rhs))
+    }
+
+    /// `X self`.
+    pub fn next(self) -> Ltl {
+        Ltl::Next(Arc::new(self))
+    }
+
+    /// `F self`.
+    pub fn finally(self) -> Ltl {
+        Ltl::Finally(Arc::new(self))
+    }
+
+    /// `G self`.
+    pub fn globally(self) -> Ltl {
+        Ltl::Globally(Arc::new(self))
+    }
+
+    /// `self U rhs`.
+    pub fn until(self, rhs: Ltl) -> Ltl {
+        Ltl::Until(Arc::new(self), Arc::new(rhs))
+    }
+
+    /// `self R rhs`.
+    pub fn release(self, rhs: Ltl) -> Ltl {
+        Ltl::Release(Arc::new(self), Arc::new(rhs))
+    }
+
+    /// All atomic propositions in the formula.
+    pub fn props(&self) -> BTreeSet<Arc<str>> {
+        let mut out = BTreeSet::new();
+        self.collect_props(&mut out);
+        out
+    }
+
+    fn collect_props(&self, out: &mut BTreeSet<Arc<str>>) {
+        match self {
+            Ltl::True | Ltl::False => {}
+            Ltl::Prop(p) => {
+                out.insert(p.clone());
+            }
+            Ltl::Not(a) | Ltl::Next(a) | Ltl::Finally(a) | Ltl::Globally(a) => {
+                a.collect_props(out)
+            }
+            Ltl::And(a, b)
+            | Ltl::Or(a, b)
+            | Ltl::Implies(a, b)
+            | Ltl::Until(a, b)
+            | Ltl::Release(a, b) => {
+                a.collect_props(out);
+                b.collect_props(out);
+            }
+        }
+    }
+
+    /// Number of syntax-tree nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            Ltl::True | Ltl::False | Ltl::Prop(_) => 1,
+            Ltl::Not(a) | Ltl::Next(a) | Ltl::Finally(a) | Ltl::Globally(a) => 1 + a.size(),
+            Ltl::And(a, b)
+            | Ltl::Or(a, b)
+            | Ltl::Implies(a, b)
+            | Ltl::Until(a, b)
+            | Ltl::Release(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    fn precedence(&self) -> u8 {
+        match self {
+            Ltl::True | Ltl::False | Ltl::Prop(_) => 6,
+            Ltl::Not(_) | Ltl::Next(_) | Ltl::Finally(_) | Ltl::Globally(_) => 5,
+            Ltl::Until(_, _) | Ltl::Release(_, _) => 4,
+            Ltl::And(_, _) => 3,
+            Ltl::Or(_, _) => 2,
+            Ltl::Implies(_, _) => 1,
+        }
+    }
+
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent: u8) -> fmt::Result {
+        let mine = self.precedence();
+        let parens = mine < parent;
+        if parens {
+            f.write_str("(")?;
+        }
+        match self {
+            Ltl::True => f.write_str("true")?,
+            Ltl::False => f.write_str("false")?,
+            Ltl::Prop(p) => f.write_str(p)?,
+            Ltl::Not(a) => {
+                f.write_str("~")?;
+                a.fmt_prec(f, 6)?;
+            }
+            Ltl::Next(a) => {
+                f.write_str("X ")?;
+                a.fmt_prec(f, 6)?;
+            }
+            Ltl::Finally(a) => {
+                f.write_str("F ")?;
+                a.fmt_prec(f, 6)?;
+            }
+            Ltl::Globally(a) => {
+                f.write_str("G ")?;
+                a.fmt_prec(f, 6)?;
+            }
+            Ltl::Until(a, b) => {
+                a.fmt_prec(f, 5)?;
+                f.write_str(" U ")?;
+                b.fmt_prec(f, 5)?;
+            }
+            Ltl::Release(a, b) => {
+                a.fmt_prec(f, 5)?;
+                f.write_str(" R ")?;
+                b.fmt_prec(f, 5)?;
+            }
+            Ltl::And(a, b) => {
+                a.fmt_prec(f, 3)?;
+                f.write_str(" & ")?;
+                b.fmt_prec(f, 4)?;
+            }
+            Ltl::Or(a, b) => {
+                a.fmt_prec(f, 2)?;
+                f.write_str(" | ")?;
+                b.fmt_prec(f, 3)?;
+            }
+            Ltl::Implies(a, b) => {
+                a.fmt_prec(f, 2)?;
+                f.write_str(" -> ")?;
+                b.fmt_prec(f, 1)?;
+            }
+        }
+        if parens {
+            f.write_str(")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Ltl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_temporal_operators() {
+        let f = Ltl::prop("p").until(Ltl::prop("q")).globally();
+        assert_eq!(f.to_string(), "G (p U q)");
+        let f = Ltl::prop("request").implies(Ltl::prop("grant").finally()).globally();
+        assert_eq!(f.to_string(), "G (request -> F grant)");
+    }
+
+    #[test]
+    fn props_collected() {
+        let f = Ltl::prop("a").until(Ltl::prop("b")).and(Ltl::prop("a").next());
+        let names: Vec<_> = f.props().into_iter().map(|p| p.to_string()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let f = Ltl::prop("p").not().finally();
+        assert_eq!(f.size(), 3);
+        assert_eq!(Ltl::True.size(), 1);
+    }
+}

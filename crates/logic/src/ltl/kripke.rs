@@ -1,0 +1,332 @@
+//! Kripke structures and bounded LTL checking by lasso enumeration.
+//!
+//! Brunel & Cazin's proposal validates formalised argument claims against a
+//! system model. We model the system as a Kripke structure (states labelled
+//! with atomic propositions, total transition relation not required) and
+//! check `M ⊨ φ` by enumerating every lasso path up to a bound and
+//! evaluating `φ` on each — bounded model checking in its simplest,
+//! auditable form. A counterexample lasso is returned when found.
+
+use super::ast::Ltl;
+use super::trace::Trace;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Index of a state within a [`Kripke`] structure.
+pub type StateId = usize;
+
+/// The result of a bounded check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckResult {
+    /// Every lasso within the bound satisfies the formula.
+    HoldsWithinBound,
+    /// Some lasso violates the formula; the witness is returned together
+    /// with the state sequence (prefix then loop).
+    CounterExample {
+        /// States along the prefix of the violating lasso.
+        prefix: Vec<StateId>,
+        /// States along the repeating loop.
+        looped: Vec<StateId>,
+    },
+}
+
+impl CheckResult {
+    /// Whether the property held within the bound.
+    pub fn holds(&self) -> bool {
+        matches!(self, CheckResult::HoldsWithinBound)
+    }
+}
+
+/// An explicit-state Kripke structure.
+#[derive(Debug, Clone, Default)]
+pub struct Kripke {
+    labels: Vec<BTreeSet<Arc<str>>>,
+    successors: Vec<Vec<StateId>>,
+    initial: Vec<StateId>,
+}
+
+impl Kripke {
+    /// An empty structure.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a state labelled with the given true propositions; returns its id.
+    pub fn add_state<I, S>(&mut self, props: I) -> StateId
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        self.labels
+            .push(props.into_iter().map(|s| Arc::from(s.as_ref())).collect());
+        self.successors.push(Vec::new());
+        self.labels.len() - 1
+    }
+
+    /// Adds a transition `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either state id is out of range.
+    pub fn add_transition(&mut self, from: StateId, to: StateId) {
+        assert!(from < self.labels.len(), "unknown source state");
+        assert!(to < self.labels.len(), "unknown target state");
+        if !self.successors[from].contains(&to) {
+            self.successors[from].push(to);
+        }
+    }
+
+    /// Marks a state as initial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state id is out of range.
+    pub fn add_initial(&mut self, state: StateId) {
+        assert!(state < self.labels.len(), "unknown state");
+        if !self.initial.contains(&state) {
+            self.initial.push(state);
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the structure has no states.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The labels of a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state id is out of range.
+    pub fn labels_of(&self, state: StateId) -> impl Iterator<Item = &str> {
+        self.labels[state].iter().map(|s| s.as_ref())
+    }
+
+    /// Builds the [`Trace`] corresponding to a lasso path through the
+    /// structure.
+    fn trace_of(&self, prefix: &[StateId], looped: &[StateId]) -> Trace {
+        let state_props = |id: &StateId| -> Vec<String> {
+            self.labels[*id].iter().map(|p| p.to_string()).collect()
+        };
+        Trace::lasso(
+            prefix.iter().map(state_props).collect::<Vec<_>>(),
+            looped.iter().map(state_props).collect::<Vec<_>>(),
+        )
+    }
+
+    /// Checks `φ` on every lasso of total length ≤ `bound` starting from
+    /// each initial state. Returns the first counterexample found.
+    ///
+    /// Deadlocked paths (states with no successors) are treated as lassos
+    /// stuttering on their final state, so finite behaviours are covered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the structure has no initial states.
+    pub fn check_bounded(&self, formula: &Ltl, bound: usize) -> CheckResult {
+        assert!(
+            !self.initial.is_empty(),
+            "Kripke structure needs at least one initial state"
+        );
+        for &init in &self.initial {
+            let mut path = vec![init];
+            if let Some(cex) = self.dfs(formula, &mut path, bound) {
+                return cex;
+            }
+        }
+        CheckResult::HoldsWithinBound
+    }
+
+    /// DFS over paths; at each revisit of a state already on the path, a
+    /// lasso is formed and evaluated.
+    fn dfs(&self, formula: &Ltl, path: &mut Vec<StateId>, bound: usize) -> Option<CheckResult> {
+        let current = *path.last().expect("path non-empty");
+
+        // Deadlock: treat as stuttering lasso on the last state.
+        if self.successors[current].is_empty() {
+            let prefix = &path[..path.len() - 1];
+            let looped = &path[path.len() - 1..];
+            if !self.trace_of(prefix, looped).satisfies(formula) {
+                return Some(CheckResult::CounterExample {
+                    prefix: prefix.to_vec(),
+                    looped: looped.to_vec(),
+                });
+            }
+            return None;
+        }
+
+        for &next in &self.successors[current] {
+            if let Some(loop_pos) = path.iter().position(|&s| s == next) {
+                // Lasso closed: prefix is path[..loop_pos], loop is the rest.
+                let prefix = &path[..loop_pos];
+                let looped = &path[loop_pos..];
+                if !self.trace_of(prefix, looped).satisfies(formula) {
+                    return Some(CheckResult::CounterExample {
+                        prefix: prefix.to_vec(),
+                        looped: looped.to_vec(),
+                    });
+                }
+            } else if path.len() < bound {
+                path.push(next);
+                if let Some(cex) = self.dfs(formula, path, bound) {
+                    return Some(cex);
+                }
+                path.pop();
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parser::parse_ltl;
+    use super::*;
+
+    fn f(src: &str) -> Ltl {
+        parse_ltl(src).unwrap()
+    }
+
+    /// A two-state request/grant machine where every request is granted.
+    fn good_arbiter() -> Kripke {
+        let mut k = Kripke::new();
+        let idle = k.add_state(Vec::<&str>::new());
+        let req = k.add_state(vec!["request"]);
+        let grant = k.add_state(vec!["grant"]);
+        k.add_transition(idle, idle);
+        k.add_transition(idle, req);
+        k.add_transition(req, grant);
+        k.add_transition(grant, idle);
+        k.add_initial(idle);
+        k
+    }
+
+    #[test]
+    fn invariant_holds() {
+        let mut k = Kripke::new();
+        let a = k.add_state(vec!["safe"]);
+        let b = k.add_state(vec!["safe"]);
+        k.add_transition(a, b);
+        k.add_transition(b, a);
+        k.add_initial(a);
+        assert!(k.check_bounded(&f("G safe"), 10).holds());
+    }
+
+    #[test]
+    fn invariant_violation_found_with_witness() {
+        let mut k = Kripke::new();
+        let a = k.add_state(vec!["safe"]);
+        let b = k.add_state(Vec::<&str>::new()); // unsafe state
+        k.add_transition(a, a);
+        k.add_transition(a, b);
+        k.add_transition(b, a);
+        k.add_initial(a);
+        match k.check_bounded(&f("G safe"), 10) {
+            CheckResult::CounterExample { prefix, looped } => {
+                // The witness path must actually visit state b.
+                assert!(prefix.contains(&b) || looped.contains(&b));
+            }
+            CheckResult::HoldsWithinBound => panic!("violation missed"),
+        }
+    }
+
+    #[test]
+    fn response_property() {
+        let k = good_arbiter();
+        assert!(k.check_bounded(&f("G (request -> F grant)"), 12).holds());
+    }
+
+    #[test]
+    fn response_violation_detected() {
+        // A machine that can loop forever in the request state.
+        let mut k = Kripke::new();
+        let idle = k.add_state(Vec::<&str>::new());
+        let req = k.add_state(vec!["request"]);
+        k.add_transition(idle, req);
+        k.add_transition(req, req); // starvation loop
+        k.add_initial(idle);
+        let result = k.check_bounded(&f("G (request -> F grant)"), 12);
+        assert!(!result.holds());
+    }
+
+    #[test]
+    fn deadlock_treated_as_stutter() {
+        let mut k = Kripke::new();
+        let a = k.add_state(vec!["p"]);
+        let end = k.add_state(vec!["p", "done"]);
+        k.add_transition(a, end);
+        k.add_initial(a);
+        assert!(k.check_bounded(&f("G p"), 10).holds());
+        assert!(k.check_bounded(&f("F done"), 10).holds());
+        assert!(k.check_bounded(&f("F G done"), 10).holds());
+        assert!(!k.check_bounded(&f("G done"), 10).holds());
+    }
+
+    #[test]
+    fn detect_and_avoid_model() {
+        // Brunel & Cazin's UAV claim, as a model: once separation drops
+        // below minimum, distance stays non-zero until separation is
+        // restored.
+        let mut k = Kripke::new();
+        let cruise = k.add_state(vec!["above_min", "nonzero"]);
+        let conflict = k.add_state(vec!["below_min", "nonzero"]);
+        let avoiding = k.add_state(vec!["nonzero"]);
+        k.add_transition(cruise, cruise);
+        k.add_transition(cruise, conflict);
+        k.add_transition(conflict, avoiding);
+        k.add_transition(avoiding, cruise);
+        k.add_initial(cruise);
+        let claim = f("G (below_min -> (nonzero U above_min))");
+        assert!(k.check_bounded(&claim, 16).holds());
+
+        // Introduce a collision state and the claim fails.
+        let collision = k.add_state(Vec::<&str>::new());
+        k.add_transition(avoiding, collision);
+        k.add_transition(collision, collision);
+        assert!(!k.check_bounded(&claim, 16).holds());
+    }
+
+    #[test]
+    fn multiple_initial_states_all_checked() {
+        let mut k = Kripke::new();
+        let good = k.add_state(vec!["p"]);
+        let bad = k.add_state(Vec::<&str>::new());
+        k.add_transition(good, good);
+        k.add_transition(bad, bad);
+        k.add_initial(good);
+        assert!(k.check_bounded(&f("G p"), 5).holds());
+        k.add_initial(bad);
+        assert!(!k.check_bounded(&f("G p"), 5).holds());
+    }
+
+    #[test]
+    #[should_panic(expected = "initial state")]
+    fn no_initial_states_panics() {
+        let mut k = Kripke::new();
+        k.add_state(vec!["p"]);
+        let _ = k.check_bounded(&f("p"), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown target")]
+    fn bad_transition_panics() {
+        let mut k = Kripke::new();
+        let a = k.add_state(vec!["p"]);
+        k.add_transition(a, 99);
+    }
+
+    #[test]
+    fn labels_accessible() {
+        let mut k = Kripke::new();
+        let a = k.add_state(vec!["x", "y"]);
+        let labels: Vec<_> = k.labels_of(a).collect();
+        assert_eq!(labels, vec!["x", "y"]);
+        assert_eq!(k.len(), 1);
+        assert!(!k.is_empty());
+    }
+}

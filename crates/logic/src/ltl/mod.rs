@@ -1,0 +1,29 @@
+//! Linear temporal logic, after Brunel & Cazin's formalised safety
+//! argumentation (Graydon §III-G).
+//!
+//! Claims such as *"the Detect-and-Avoid function is correct"* are
+//! formalised as LTL formulas like
+//! `G (below_min -> (nonzero U above_min))` and evaluated over traces of
+//! the system model, or checked over a [`Kripke`] structure by bounded
+//! lasso enumeration.
+//!
+//! ```
+//! use casekit_logic::ltl::{parse_ltl, Trace};
+//!
+//! let f = parse_ltl("G (request -> F grant)").unwrap();
+//! let trace = Trace::lasso(
+//!     vec![vec!["request"], vec![], vec!["grant"]],
+//!     vec![vec![]],
+//! );
+//! assert!(trace.satisfies(&f));
+//! ```
+
+mod ast;
+mod kripke;
+mod parser;
+mod trace;
+
+pub use ast::Ltl;
+pub use kripke::{CheckResult, Kripke, StateId};
+pub use parser::parse_ltl;
+pub use trace::Trace;

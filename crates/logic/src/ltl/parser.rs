@@ -1,0 +1,291 @@
+//! Parser for LTL formulas.
+//!
+//! Grammar (lowest precedence first):
+//!
+//! ```text
+//! implies ::= or ( "->" implies )?
+//! or      ::= and ( "|" and )*
+//! and     ::= until ( "&" until )*
+//! until   ::= unary ( ("U" | "R") unary )*      (left associative)
+//! unary   ::= ("~" | "X" | "F" | "G") unary | "(" implies ")" | atom
+//! ```
+//!
+//! Unicode aliases `¬ ∧ ∨ → ◇ □ ○` are accepted (`◇` = F, `□` = G, `○` = X).
+
+use super::ast::Ltl;
+use crate::error::{ParseError, Span};
+
+struct P<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn skip_ws(&mut self) {
+        let rest = &self.input[self.pos..];
+        let trimmed = rest.trim_start();
+        self.pos += rest.len() - trimmed.len();
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.input[self.pos..].chars().next()
+    }
+
+    fn try_eat(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        if self.input[self.pos..].starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Reads a word `[A-Za-z_][A-Za-z0-9_]*` without consuming it.
+    fn peek_word(&mut self) -> Option<&'a str> {
+        self.skip_ws();
+        let rest = &self.input[self.pos..];
+        let mut end = 0;
+        for (i, c) in rest.char_indices() {
+            if (i == 0 && (c.is_alphabetic() || c == '_'))
+                || (i > 0 && (c.is_alphanumeric() || c == '_'))
+            {
+                end = i + c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if end == 0 {
+            None
+        } else {
+            Some(&rest[..end])
+        }
+    }
+
+    fn eat_word(&mut self) -> Option<&'a str> {
+        let w = self.peek_word()?;
+        self.pos += w.len();
+        Some(w)
+    }
+
+    fn implies(&mut self) -> Result<Ltl, ParseError> {
+        let lhs = self.or()?;
+        if self.try_eat("->") || self.try_eat("→") {
+            let rhs = self.implies()?;
+            return Ok(lhs.implies(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn or(&mut self) -> Result<Ltl, ParseError> {
+        let mut lhs = self.and()?;
+        loop {
+            if self.try_eat("||") || (self.peek() == Some('|') && self.try_eat("|"))
+                || self.try_eat("∨")
+            {
+                let rhs = self.and()?;
+                lhs = lhs.or(rhs);
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<Ltl, ParseError> {
+        let mut lhs = self.until()?;
+        loop {
+            if self.try_eat("&&") || (self.peek() == Some('&') && self.try_eat("&"))
+                || self.try_eat("∧")
+            {
+                let rhs = self.until()?;
+                lhs = lhs.and(rhs);
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn until(&mut self) -> Result<Ltl, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            match self.peek_word() {
+                Some("U") => {
+                    self.eat_word();
+                    let rhs = self.unary()?;
+                    lhs = lhs.until(rhs);
+                }
+                Some("R") => {
+                    self.eat_word();
+                    let rhs = self.unary()?;
+                    lhs = lhs.release(rhs);
+                }
+                _ => break,
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Ltl, ParseError> {
+        self.skip_ws();
+        if self.try_eat("~") || self.try_eat("!") || self.try_eat("¬") {
+            return Ok(self.unary()?.not());
+        }
+        if self.try_eat("◇") {
+            return Ok(self.unary()?.finally());
+        }
+        if self.try_eat("□") {
+            return Ok(self.unary()?.globally());
+        }
+        if self.try_eat("○") {
+            return Ok(self.unary()?.next());
+        }
+        match self.peek_word() {
+            Some("X") => {
+                self.eat_word();
+                return Ok(self.unary()?.next());
+            }
+            Some("F") => {
+                self.eat_word();
+                return Ok(self.unary()?.finally());
+            }
+            Some("G") => {
+                self.eat_word();
+                return Ok(self.unary()?.globally());
+            }
+            Some("true") => {
+                self.eat_word();
+                return Ok(Ltl::True);
+            }
+            Some("false") => {
+                self.eat_word();
+                return Ok(Ltl::False);
+            }
+            _ => {}
+        }
+        if self.try_eat("(") {
+            let inner = self.implies()?;
+            if !self.try_eat(")") {
+                return Err(ParseError::new("expected `)`", Span::point(self.pos)));
+            }
+            return Ok(inner);
+        }
+        match self.eat_word() {
+            Some(w) if !matches!(w, "U" | "R") => Ok(Ltl::prop(w)),
+            _ => Err(ParseError::new(
+                "expected an LTL formula",
+                Span::point(self.pos),
+            )),
+        }
+    }
+}
+
+/// Parses an LTL formula.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] locating the first offending token.
+///
+/// # Examples
+///
+/// ```
+/// use casekit_logic::ltl::parse_ltl;
+/// let f = parse_ltl("G (below_min -> (nonzero U above_min))").unwrap();
+/// assert_eq!(f.to_string(), "G (below_min -> nonzero U above_min)");
+/// ```
+pub fn parse_ltl(input: &str) -> Result<Ltl, ParseError> {
+    let mut p = P { input, pos: 0 };
+    let f = p.implies()?;
+    p.skip_ws();
+    if p.pos < input.len() {
+        return Err(ParseError::new(
+            "unexpected trailing input",
+            Span::point(p.pos),
+        ));
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atoms_and_constants() {
+        assert_eq!(parse_ltl("p").unwrap(), Ltl::prop("p"));
+        assert_eq!(parse_ltl("true").unwrap(), Ltl::True);
+        assert_eq!(parse_ltl("false").unwrap(), Ltl::False);
+    }
+
+    #[test]
+    fn temporal_operators() {
+        assert_eq!(parse_ltl("X p").unwrap(), Ltl::prop("p").next());
+        assert_eq!(parse_ltl("F p").unwrap(), Ltl::prop("p").finally());
+        assert_eq!(parse_ltl("G p").unwrap(), Ltl::prop("p").globally());
+        assert_eq!(
+            parse_ltl("p U q").unwrap(),
+            Ltl::prop("p").until(Ltl::prop("q"))
+        );
+        assert_eq!(
+            parse_ltl("p R q").unwrap(),
+            Ltl::prop("p").release(Ltl::prop("q"))
+        );
+    }
+
+    #[test]
+    fn unicode_operators() {
+        assert_eq!(parse_ltl("□ p").unwrap(), parse_ltl("G p").unwrap());
+        assert_eq!(parse_ltl("◇ p").unwrap(), parse_ltl("F p").unwrap());
+        assert_eq!(parse_ltl("○ p").unwrap(), parse_ltl("X p").unwrap());
+        assert_eq!(parse_ltl("¬p ∧ q").unwrap(), parse_ltl("~p & q").unwrap());
+    }
+
+    #[test]
+    fn brunel_cazin_shape() {
+        // The paper's Detect-and-Avoid formalisation (propositionalised).
+        let f = parse_ltl("G (below_min -> (nonzero U above_min))").unwrap();
+        assert_eq!(f.props().len(), 3);
+    }
+
+    #[test]
+    fn precedence_until_binds_tighter_than_and() {
+        let f = parse_ltl("p U q & r").unwrap();
+        assert_eq!(f, Ltl::prop("p").until(Ltl::prop("q")).and(Ltl::prop("r")));
+    }
+
+    #[test]
+    fn nested_temporal() {
+        let f = parse_ltl("G F p").unwrap();
+        assert_eq!(f, Ltl::prop("p").finally().globally());
+        let f = parse_ltl("~G p").unwrap();
+        assert_eq!(f, Ltl::prop("p").globally().not());
+    }
+
+    #[test]
+    fn operator_names_not_usable_as_props() {
+        assert!(parse_ltl("U").is_err());
+        assert!(parse_ltl("p U").is_err());
+    }
+
+    #[test]
+    fn trailing_input_rejected() {
+        assert!(parse_ltl("p q").is_err());
+        assert!(parse_ltl("(p").is_err());
+    }
+
+    #[test]
+    fn round_trip() {
+        for src in [
+            "G (request -> F grant)",
+            "p U (q R r)",
+            "X X p",
+            "~(p & q) | F r",
+            "G F p -> F G q",
+        ] {
+            let f = parse_ltl(src).unwrap();
+            assert_eq!(parse_ltl(&f.to_string()).unwrap(), f, "round trip {src}");
+        }
+    }
+}

@@ -1,0 +1,729 @@
+//! A Fitch-style natural-deduction proof checker.
+//!
+//! The rule vocabulary follows the example in Haley et al.'s 2008 paper as
+//! reproduced in Graydon §III-K: `Premise`, `Detach` (→-elimination, a.k.a.
+//! modus ponens), `Split` (∧-elimination), and `Conclusion` (conditional
+//! proof, discharging a premise). The usual complement of introduction and
+//! elimination rules is also provided so hand-written proofs need not
+//! contort themselves.
+//!
+//! The checker verifies each line *syntactically* against its cited rule —
+//! this is exactly the "formal validation" whose value the paper questions:
+//! a proof can check while resting on premises that misrepresent the world.
+//!
+//! # Example: the paper's eleven-line proof
+//!
+//! ```
+//! use casekit_logic::nd::{Proof, Rule};
+//! use casekit_logic::prop::parse;
+//!
+//! let mut proof = Proof::new();
+//! proof.add(parse("I -> V").unwrap(), Rule::Premise);          // 1
+//! proof.add(parse("C -> H").unwrap(), Rule::Premise);          // 2
+//! proof.add(parse("Y -> V & C").unwrap(), Rule::Premise);      // 3
+//! proof.add(parse("D -> Y").unwrap(), Rule::Premise);          // 4
+//! proof.add(parse("D").unwrap(), Rule::Premise);               // 5
+//! proof.add(parse("Y").unwrap(), Rule::Detach(4, 5));          // 6
+//! proof.add(parse("V & C").unwrap(), Rule::Detach(3, 6));      // 7
+//! proof.add(parse("V").unwrap(), Rule::Split(7));              // 8
+//! proof.add(parse("C").unwrap(), Rule::Split(7));              // 9
+//! proof.add(parse("H").unwrap(), Rule::Detach(2, 9));          // 10
+//! proof.add(parse("D -> H").unwrap(), Rule::Conclusion(5));    // 11
+//! assert!(proof.check().is_ok());
+//! ```
+
+use crate::error::LogicError;
+use crate::prop::Formula;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The justification cited for a proof line.
+///
+/// Line references are 1-based, matching the printed form of proofs in the
+/// literature (and in Graydon's reproduction of Haley et al.).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Rule {
+    /// An assumed premise.
+    Premise,
+    /// Repeats an earlier line.
+    Reiterate(usize),
+    /// →-elimination (modus ponens): from `X -> Y` at the first line and
+    /// `X` at the second, conclude `Y`. Haley et al. call this `Detach`.
+    Detach(usize, usize),
+    /// ∧-elimination: from `X & Y`, conclude `X` or `Y`.
+    /// Haley et al. call this `Split`.
+    Split(usize),
+    /// ∧-introduction: from `X` and `Y`, conclude `X & Y`.
+    Join(usize, usize),
+    /// ∨-introduction: from `X` (cited line), conclude `X | Y` or `Y | X`.
+    OrIntro(usize),
+    /// ∨-elimination (case analysis): from `X | Y`, `X -> Z`, `Y -> Z`,
+    /// conclude `Z`.
+    OrElim(usize, usize, usize),
+    /// Modus tollens: from `X -> Y` and `~Y`, conclude `~X`.
+    ModusTollens(usize, usize),
+    /// Double-negation elimination: from `~~X`, conclude `X`.
+    DoubleNegElim(usize),
+    /// Double-negation introduction: from `X`, conclude `~~X`.
+    DoubleNegIntro(usize),
+    /// Contradiction introduction: from `X` and `~X`, conclude `F`.
+    ContradictionIntro(usize, usize),
+    /// Ex falso quodlibet: from `F`, conclude anything.
+    ExFalso(usize),
+    /// ↔-introduction: from `X -> Y` and `Y -> X`, conclude `X <-> Y`.
+    IffIntro(usize, usize),
+    /// ↔-elimination: from `X <-> Y`, conclude `X -> Y` or `Y -> X`.
+    IffElim(usize),
+    /// Conditional proof (→-introduction): cites a premise line `i`; the
+    /// current line must read `P_i -> Q` where `Q` is the immediately
+    /// preceding line. Discharges the premise. This is the `Conclusion`
+    /// step of Haley et al.'s outer argument.
+    Conclusion(usize),
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rule::Premise => write!(f, "Premise"),
+            Rule::Reiterate(i) => write!(f, "Reiterate, {i}"),
+            Rule::Detach(i, j) => write!(f, "Detach (-> elimination), {i}, {j}"),
+            Rule::Split(i) => write!(f, "Split ('&' elimination), {i}"),
+            Rule::Join(i, j) => write!(f, "Join ('&' introduction), {i}, {j}"),
+            Rule::OrIntro(i) => write!(f, "OrIntro, {i}"),
+            Rule::OrElim(i, j, k) => write!(f, "OrElim, {i}, {j}, {k}"),
+            Rule::ModusTollens(i, j) => write!(f, "ModusTollens, {i}, {j}"),
+            Rule::DoubleNegElim(i) => write!(f, "DoubleNegElim, {i}"),
+            Rule::DoubleNegIntro(i) => write!(f, "DoubleNegIntro, {i}"),
+            Rule::ContradictionIntro(i, j) => write!(f, "Contradiction, {i}, {j}"),
+            Rule::ExFalso(i) => write!(f, "ExFalso, {i}"),
+            Rule::IffIntro(i, j) => write!(f, "IffIntro, {i}, {j}"),
+            Rule::IffElim(i) => write!(f, "IffElim, {i}"),
+            Rule::Conclusion(i) => write!(f, "Conclusion, {i}"),
+        }
+    }
+}
+
+/// One line of a proof: a formula and its justification.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Line {
+    /// The formula asserted at this line.
+    pub formula: Formula,
+    /// The rule cited to justify it.
+    pub rule: Rule,
+}
+
+/// A linear natural-deduction proof.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Proof {
+    lines: Vec<Line>,
+}
+
+impl Proof {
+    /// An empty proof.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a line; returns its 1-based number.
+    pub fn add(&mut self, formula: Formula, rule: Rule) -> usize {
+        self.lines.push(Line { formula, rule });
+        self.lines.len()
+    }
+
+    /// The lines in order.
+    pub fn lines(&self) -> &[Line] {
+        &self.lines
+    }
+
+    /// Number of lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether the proof has no lines.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// The premises (lines justified by [`Rule::Premise`]).
+    pub fn premises(&self) -> Vec<&Formula> {
+        self.lines
+            .iter()
+            .filter(|l| l.rule == Rule::Premise)
+            .map(|l| &l.formula)
+            .collect()
+    }
+
+    /// The final line's formula, if any.
+    pub fn conclusion(&self) -> Option<&Formula> {
+        self.lines.last().map(|l| &l.formula)
+    }
+
+    /// Checks every line against its cited rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`LogicError`] found: either a bad line reference
+    /// or a step whose formula is not justified by its rule.
+    pub fn check(&self) -> Result<(), LogicError> {
+        for (idx, line) in self.lines.iter().enumerate() {
+            let number = idx + 1;
+            self.check_line(number, line)?;
+        }
+        Ok(())
+    }
+
+    /// Fetches an earlier line (1-based), failing on forward or
+    /// out-of-range references.
+    fn fetch(&self, at: usize, reference: usize) -> Result<&Line, LogicError> {
+        if reference == 0 || reference >= at {
+            return Err(LogicError::BadLineReference {
+                at_line: at,
+                referenced: reference,
+            });
+        }
+        Ok(&self.lines[reference - 1])
+    }
+
+    fn check_line(&self, number: usize, line: &Line) -> Result<(), LogicError> {
+        let fail = |reason: String| {
+            Err(LogicError::InvalidStep {
+                line: number,
+                reason,
+            })
+        };
+        match &line.rule {
+            Rule::Premise => Ok(()),
+            Rule::Reiterate(i) => {
+                let src = self.fetch(number, *i)?;
+                if src.formula == line.formula {
+                    Ok(())
+                } else {
+                    fail(format!(
+                        "Reiterate must repeat line {i} exactly (got `{}`, expected `{}`)",
+                        line.formula, src.formula
+                    ))
+                }
+            }
+            Rule::Detach(i, j) => {
+                let imp = self.fetch(number, *i)?;
+                let ant = self.fetch(number, *j)?;
+                match &imp.formula {
+                    Formula::Implies(l, r) => {
+                        if l.as_ref() != &ant.formula {
+                            fail(format!(
+                                "line {j} (`{}`) is not the antecedent of line {i} (`{}`)",
+                                ant.formula, imp.formula
+                            ))
+                        } else if r.as_ref() != &line.formula {
+                            fail(format!(
+                                "Detach of line {i} yields `{r}`, not `{}`",
+                                line.formula
+                            ))
+                        } else {
+                            Ok(())
+                        }
+                    }
+                    other => fail(format!("line {i} (`{other}`) is not an implication")),
+                }
+            }
+            Rule::Split(i) => {
+                let conj = self.fetch(number, *i)?;
+                match &conj.formula {
+                    Formula::And(l, r) => {
+                        if l.as_ref() == &line.formula || r.as_ref() == &line.formula {
+                            Ok(())
+                        } else {
+                            fail(format!(
+                                "`{}` is not a conjunct of line {i} (`{}`)",
+                                line.formula, conj.formula
+                            ))
+                        }
+                    }
+                    other => fail(format!("line {i} (`{other}`) is not a conjunction")),
+                }
+            }
+            Rule::Join(i, j) => {
+                let a = self.fetch(number, *i)?;
+                let b = self.fetch(number, *j)?;
+                match &line.formula {
+                    Formula::And(l, r)
+                        if l.as_ref() == &a.formula && r.as_ref() == &b.formula =>
+                    {
+                        Ok(())
+                    }
+                    _ => fail(format!(
+                        "Join of lines {i} and {j} yields `{} & {}`, not `{}`",
+                        a.formula, b.formula, line.formula
+                    )),
+                }
+            }
+            Rule::OrIntro(i) => {
+                let src = self.fetch(number, *i)?;
+                match &line.formula {
+                    Formula::Or(l, r)
+                        if l.as_ref() == &src.formula || r.as_ref() == &src.formula =>
+                    {
+                        Ok(())
+                    }
+                    _ => fail(format!(
+                        "`{}` is not a disjunction containing line {i} (`{}`)",
+                        line.formula, src.formula
+                    )),
+                }
+            }
+            Rule::OrElim(i, j, k) => {
+                let disj = self.fetch(number, *i)?;
+                let left_imp = self.fetch(number, *j)?;
+                let right_imp = self.fetch(number, *k)?;
+                let (dl, dr) = match &disj.formula {
+                    Formula::Or(l, r) => (l.as_ref(), r.as_ref()),
+                    other => return fail(format!("line {i} (`{other}`) is not a disjunction")),
+                };
+                let (ll, lr) = match &left_imp.formula {
+                    Formula::Implies(l, r) => (l.as_ref(), r.as_ref()),
+                    other => return fail(format!("line {j} (`{other}`) is not an implication")),
+                };
+                let (rl, rr) = match &right_imp.formula {
+                    Formula::Implies(l, r) => (l.as_ref(), r.as_ref()),
+                    other => return fail(format!("line {k} (`{other}`) is not an implication")),
+                };
+                if ll != dl {
+                    return fail(format!(
+                        "line {j} must discharge the left disjunct `{dl}`"
+                    ));
+                }
+                if rl != dr {
+                    return fail(format!(
+                        "line {k} must discharge the right disjunct `{dr}`"
+                    ));
+                }
+                if lr != &line.formula || rr != &line.formula {
+                    return fail(format!(
+                        "both cases must conclude `{}`",
+                        line.formula
+                    ));
+                }
+                Ok(())
+            }
+            Rule::ModusTollens(i, j) => {
+                let imp = self.fetch(number, *i)?;
+                let negcons = self.fetch(number, *j)?;
+                match &imp.formula {
+                    Formula::Implies(l, r) => {
+                        if !negcons.formula.is_negation_of(r) {
+                            fail(format!(
+                                "line {j} (`{}`) is not the negated consequent of line {i}",
+                                negcons.formula
+                            ))
+                        } else if !line.formula.is_negation_of(l) {
+                            fail(format!(
+                                "ModusTollens of line {i} yields `~({l})`, not `{}`",
+                                line.formula
+                            ))
+                        } else {
+                            Ok(())
+                        }
+                    }
+                    other => fail(format!("line {i} (`{other}`) is not an implication")),
+                }
+            }
+            Rule::DoubleNegElim(i) => {
+                let src = self.fetch(number, *i)?;
+                match &src.formula {
+                    Formula::Not(inner) => match inner.as_ref() {
+                        Formula::Not(body) if body.as_ref() == &line.formula => Ok(()),
+                        _ => fail(format!(
+                            "line {i} (`{}`) is not the double negation of `{}`",
+                            src.formula, line.formula
+                        )),
+                    },
+                    other => fail(format!("line {i} (`{other}`) is not a negation")),
+                }
+            }
+            Rule::DoubleNegIntro(i) => {
+                let src = self.fetch(number, *i)?;
+                let expected = src.formula.clone().not().not();
+                if line.formula == expected {
+                    Ok(())
+                } else {
+                    fail(format!(
+                        "DoubleNegIntro of line {i} yields `{expected}`, not `{}`",
+                        line.formula
+                    ))
+                }
+            }
+            Rule::ContradictionIntro(i, j) => {
+                let a = self.fetch(number, *i)?;
+                let b = self.fetch(number, *j)?;
+                if line.formula != Formula::False {
+                    return fail("Contradiction must conclude `F`".to_string());
+                }
+                if a.formula.is_negation_of(&b.formula) {
+                    Ok(())
+                } else {
+                    fail(format!(
+                        "lines {i} (`{}`) and {j} (`{}`) are not contradictory",
+                        a.formula, b.formula
+                    ))
+                }
+            }
+            Rule::ExFalso(i) => {
+                let src = self.fetch(number, *i)?;
+                if src.formula == Formula::False {
+                    Ok(())
+                } else {
+                    fail(format!("line {i} (`{}`) is not `F`", src.formula))
+                }
+            }
+            Rule::IffIntro(i, j) => {
+                let fwd = self.fetch(number, *i)?;
+                let back = self.fetch(number, *j)?;
+                match (&fwd.formula, &back.formula, &line.formula) {
+                    (
+                        Formula::Implies(a1, b1),
+                        Formula::Implies(b2, a2),
+                        Formula::Iff(a3, b3),
+                    ) if a1 == a2 && b1 == b2 && a1 == a3 && b1 == b3 => Ok(()),
+                    _ => fail(format!(
+                        "IffIntro requires `X -> Y` at {i}, `Y -> X` at {j}, concluding `X <-> Y`"
+                    )),
+                }
+            }
+            Rule::IffElim(i) => {
+                let src = self.fetch(number, *i)?;
+                match &src.formula {
+                    Formula::Iff(l, r) => {
+                        let fwd = Formula::clone(l).implies(Formula::clone(r));
+                        let back = Formula::clone(r).implies(Formula::clone(l));
+                        if line.formula == fwd || line.formula == back {
+                            Ok(())
+                        } else {
+                            fail(format!(
+                                "IffElim of line {i} yields `{fwd}` or `{back}`"
+                            ))
+                        }
+                    }
+                    other => fail(format!("line {i} (`{other}`) is not a biconditional")),
+                }
+            }
+            Rule::Conclusion(i) => {
+                let prem = self.fetch(number, *i)?;
+                if prem.rule != Rule::Premise {
+                    return fail(format!("line {i} is not a premise, so cannot be discharged"));
+                }
+                if number < 2 {
+                    return fail("Conclusion needs a preceding derived line".to_string());
+                }
+                let prev = &self.lines[number - 2];
+                let expected = prem.formula.clone().implies(prev.formula.clone());
+                if line.formula == expected {
+                    Ok(())
+                } else {
+                    fail(format!(
+                        "Conclusion discharging line {i} yields `{expected}`, not `{}`",
+                        line.formula
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Renders the proof in the numbered style used by the paper.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let width = self.lines.len().to_string().len();
+        for (idx, line) in self.lines.iter().enumerate() {
+            out.push_str(&format!(
+                "{:>width$}   {}   ({})\n",
+                idx + 1,
+                line.formula,
+                line.rule,
+                width = width
+            ));
+        }
+        out
+    }
+
+    /// Builds the eleven-line security-requirements proof of Haley et al.
+    /// exactly as reproduced in Graydon §III-K.
+    ///
+    /// The symbols (per the 2008 paper's running example): `I` — valid
+    /// credentials are input; `V` — credentials are verified; `C` —
+    /// credentials are correct; `H` — the requester is an HR member; `Y` —
+    /// the system says yes; `D` — information is displayed.
+    pub fn haley_example() -> Proof {
+        use crate::prop::parse;
+        let f = |s: &str| parse(s).expect("static formula");
+        let mut p = Proof::new();
+        p.add(f("I -> V"), Rule::Premise); // 1
+        p.add(f("C -> H"), Rule::Premise); // 2
+        p.add(f("Y -> V & C"), Rule::Premise); // 3
+        p.add(f("D -> Y"), Rule::Premise); // 4
+        p.add(f("D"), Rule::Premise); // 5
+        p.add(f("Y"), Rule::Detach(4, 5)); // 6
+        p.add(f("V & C"), Rule::Detach(3, 6)); // 7
+        p.add(f("V"), Rule::Split(7)); // 8
+        p.add(f("C"), Rule::Split(7)); // 9
+        p.add(f("H"), Rule::Detach(2, 9)); // 10
+        p.add(f("D -> H"), Rule::Conclusion(5)); // 11
+        p
+    }
+}
+
+impl fmt::Display for Proof {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop::parse;
+
+    fn f(s: &str) -> Formula {
+        parse(s).unwrap()
+    }
+
+    #[test]
+    fn haley_example_checks() {
+        let p = Proof::haley_example();
+        assert_eq!(p.len(), 11);
+        assert!(p.check().is_ok());
+        assert_eq!(p.conclusion().unwrap(), &f("D -> H"));
+        assert_eq!(p.premises().len(), 5);
+    }
+
+    #[test]
+    fn haley_example_render_matches_paper_shape() {
+        let p = Proof::haley_example();
+        let r = p.render();
+        assert!(r.contains("Detach (-> elimination), 4, 5"));
+        assert!(r.contains("Split ('&' elimination), 7"));
+        assert!(r.contains("Conclusion, 5"));
+        assert_eq!(r.lines().count(), 11);
+    }
+
+    #[test]
+    fn detach_rejects_wrong_antecedent() {
+        let mut p = Proof::new();
+        p.add(f("a -> b"), Rule::Premise);
+        p.add(f("c"), Rule::Premise);
+        p.add(f("b"), Rule::Detach(1, 2));
+        let err = p.check().unwrap_err();
+        assert!(matches!(err, LogicError::InvalidStep { line: 3, .. }));
+    }
+
+    #[test]
+    fn detach_rejects_non_implication() {
+        let mut p = Proof::new();
+        p.add(f("a & b"), Rule::Premise);
+        p.add(f("a"), Rule::Premise);
+        p.add(f("b"), Rule::Detach(1, 2));
+        assert!(p.check().is_err());
+    }
+
+    #[test]
+    fn detach_rejects_wrong_consequent() {
+        let mut p = Proof::new();
+        p.add(f("a -> b"), Rule::Premise);
+        p.add(f("a"), Rule::Premise);
+        p.add(f("c"), Rule::Detach(1, 2));
+        assert!(p.check().is_err());
+    }
+
+    #[test]
+    fn forward_references_rejected() {
+        let mut p = Proof::new();
+        p.add(f("a"), Rule::Reiterate(2));
+        p.add(f("a"), Rule::Premise);
+        let err = p.check().unwrap_err();
+        assert!(matches!(err, LogicError::BadLineReference { .. }));
+    }
+
+    #[test]
+    fn zero_and_self_references_rejected() {
+        let mut p = Proof::new();
+        p.add(f("a"), Rule::Reiterate(0));
+        assert!(matches!(
+            p.check().unwrap_err(),
+            LogicError::BadLineReference { .. }
+        ));
+        let mut p = Proof::new();
+        p.add(f("a"), Rule::Reiterate(1));
+        assert!(p.check().is_err());
+    }
+
+    #[test]
+    fn split_accepts_both_conjuncts_and_rejects_others() {
+        let mut p = Proof::new();
+        p.add(f("a & b"), Rule::Premise);
+        p.add(f("a"), Rule::Split(1));
+        p.add(f("b"), Rule::Split(1));
+        assert!(p.check().is_ok());
+        let mut p = Proof::new();
+        p.add(f("a & b"), Rule::Premise);
+        p.add(f("c"), Rule::Split(1));
+        assert!(p.check().is_err());
+    }
+
+    #[test]
+    fn join_order_matters() {
+        let mut p = Proof::new();
+        p.add(f("a"), Rule::Premise);
+        p.add(f("b"), Rule::Premise);
+        p.add(f("a & b"), Rule::Join(1, 2));
+        assert!(p.check().is_ok());
+        let mut p = Proof::new();
+        p.add(f("a"), Rule::Premise);
+        p.add(f("b"), Rule::Premise);
+        p.add(f("b & a"), Rule::Join(1, 2));
+        assert!(p.check().is_err());
+    }
+
+    #[test]
+    fn or_intro_and_elim() {
+        let mut p = Proof::new();
+        p.add(f("a"), Rule::Premise);
+        p.add(f("a | b"), Rule::OrIntro(1));
+        p.add(f("c | a"), Rule::OrIntro(1));
+        assert!(p.check().is_ok());
+
+        let mut p = Proof::new();
+        p.add(f("a | b"), Rule::Premise);
+        p.add(f("a -> c"), Rule::Premise);
+        p.add(f("b -> c"), Rule::Premise);
+        p.add(f("c"), Rule::OrElim(1, 2, 3));
+        assert!(p.check().is_ok());
+
+        // Wrong case order rejected.
+        let mut p = Proof::new();
+        p.add(f("a | b"), Rule::Premise);
+        p.add(f("b -> c"), Rule::Premise);
+        p.add(f("a -> c"), Rule::Premise);
+        p.add(f("c"), Rule::OrElim(1, 2, 3));
+        assert!(p.check().is_err());
+    }
+
+    #[test]
+    fn modus_tollens() {
+        let mut p = Proof::new();
+        p.add(f("a -> b"), Rule::Premise);
+        p.add(f("~b"), Rule::Premise);
+        p.add(f("~a"), Rule::ModusTollens(1, 2));
+        assert!(p.check().is_ok());
+    }
+
+    #[test]
+    fn double_negation_rules() {
+        let mut p = Proof::new();
+        p.add(f("~~a"), Rule::Premise);
+        p.add(f("a"), Rule::DoubleNegElim(1));
+        p.add(f("~~a"), Rule::DoubleNegIntro(2));
+        assert!(p.check().is_ok());
+        let mut p = Proof::new();
+        p.add(f("~a"), Rule::Premise);
+        p.add(f("a"), Rule::DoubleNegElim(1));
+        assert!(p.check().is_err());
+    }
+
+    #[test]
+    fn contradiction_and_ex_falso() {
+        let mut p = Proof::new();
+        p.add(f("a"), Rule::Premise);
+        p.add(f("~a"), Rule::Premise);
+        p.add(f("F"), Rule::ContradictionIntro(1, 2));
+        p.add(f("anything_at_all"), Rule::ExFalso(3));
+        assert!(p.check().is_ok());
+        // Contradiction must conclude F.
+        let mut p = Proof::new();
+        p.add(f("a"), Rule::Premise);
+        p.add(f("~a"), Rule::Premise);
+        p.add(f("b"), Rule::ContradictionIntro(1, 2));
+        assert!(p.check().is_err());
+    }
+
+    #[test]
+    fn iff_rules() {
+        let mut p = Proof::new();
+        p.add(f("a -> b"), Rule::Premise);
+        p.add(f("b -> a"), Rule::Premise);
+        p.add(f("a <-> b"), Rule::IffIntro(1, 2));
+        p.add(f("a -> b"), Rule::IffElim(3));
+        p.add(f("b -> a"), Rule::IffElim(3));
+        assert!(p.check().is_ok());
+    }
+
+    #[test]
+    fn conclusion_requires_discharging_a_premise() {
+        let mut p = Proof::new();
+        p.add(f("a & b"), Rule::Premise);
+        p.add(f("a"), Rule::Split(1));
+        p.add(f("a -> a"), Rule::Conclusion(2)); // line 2 is not a premise
+        assert!(p.check().is_err());
+    }
+
+    #[test]
+    fn conclusion_formula_must_match() {
+        let mut p = Proof::new();
+        p.add(f("a"), Rule::Premise);
+        p.add(f("a | b"), Rule::OrIntro(1));
+        p.add(f("a -> b"), Rule::Conclusion(1)); // should be a -> (a | b)
+        assert!(p.check().is_err());
+        let mut p = Proof::new();
+        p.add(f("a"), Rule::Premise);
+        p.add(f("a | b"), Rule::OrIntro(1));
+        p.add(f("a -> a | b"), Rule::Conclusion(1));
+        assert!(p.check().is_ok());
+    }
+
+    #[test]
+    fn checked_proofs_are_semantically_sound() {
+        // Every line of a checked proof is entailed by the premises — the
+        // guarantee formal validation actually provides (Graydon §IV-A).
+        let p = Proof::haley_example();
+        p.check().unwrap();
+        let premises = Formula::conj(p.premises().into_iter().cloned());
+        for line in p.lines() {
+            assert!(
+                premises.entails(&line.formula),
+                "line `{}` not entailed",
+                line.formula
+            );
+        }
+    }
+
+    #[test]
+    fn mutated_haley_proof_rejected() {
+        // Flip one line reference of the known-good proof and the checker
+        // must catch it — the "mechanical verification" capability.
+        let good = Proof::haley_example();
+        for i in 0..good.len() {
+            let mut mutated = good.clone();
+            let line = &mut mutated.lines[i];
+            let new_rule = match &line.rule {
+                Rule::Detach(a, b) => Rule::Detach(*b, *a),
+                Rule::Split(a) => Rule::Split(a - 1),
+                Rule::Conclusion(a) => Rule::Conclusion(a - 1),
+                Rule::Premise => continue,
+                other => other.clone(),
+            };
+            line.rule = new_rule;
+            assert!(mutated.check().is_err(), "mutation at line {} passed", i + 1);
+        }
+    }
+
+    #[test]
+    fn display_is_render() {
+        let p = Proof::haley_example();
+        assert_eq!(p.to_string(), p.render());
+    }
+
+    #[test]
+    fn empty_proof_checks_vacuously() {
+        assert!(Proof::new().check().is_ok());
+        assert!(Proof::new().is_empty());
+        assert!(Proof::new().conclusion().is_none());
+    }
+}

@@ -1,0 +1,208 @@
+//! "What-if" exploration of formalised arguments, after Rushby.
+//!
+//! Graydon §III-M quotes Rushby's proposal that evaluators should "actively
+//! probe the argument using 'what-if' exploration (e.g., temporarily remove
+//! or change an assumption and observe how the proof fails)". This module
+//! implements that interaction against the propositional substrate: given a
+//! theory (premises) and a conclusion, it reports which premises are
+//! *critical* (removing them breaks entailment), which are *idle*
+//! (entailment survives without them), and what the counterexample looks
+//! like when entailment fails.
+
+use crate::prop::{dpll, Formula, SatResult, Valuation};
+
+/// The effect of removing one premise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PremiseImpact {
+    /// The conclusion is still entailed without this premise.
+    Idle,
+    /// Removing the premise breaks entailment; the valuation witnesses
+    /// premises-without-it true and the conclusion false.
+    Critical(Valuation),
+}
+
+impl PremiseImpact {
+    /// Whether this premise is critical to the conclusion.
+    pub fn is_critical(&self) -> bool {
+        matches!(self, PremiseImpact::Critical(_))
+    }
+}
+
+/// A probe report over a whole theory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeReport {
+    /// Whether the full premise set entails the conclusion.
+    pub entailed: bool,
+    /// Per-premise impact, in premise order (empty when `entailed` is
+    /// false — there is nothing to probe).
+    pub impacts: Vec<PremiseImpact>,
+}
+
+impl ProbeReport {
+    /// Indices of the critical premises.
+    pub fn critical_indices(&self) -> Vec<usize> {
+        self.impacts
+            .iter()
+            .enumerate()
+            .filter(|(_, imp)| imp.is_critical())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of the idle premises (those whose removal changes nothing —
+    /// Rushby's candidates for "red herring" premises).
+    pub fn idle_indices(&self) -> Vec<usize> {
+        self.impacts
+            .iter()
+            .enumerate()
+            .filter(|(_, imp)| !imp.is_critical())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Checks whether `premises ⊢ conclusion` and, if so, probes each premise
+/// by removal.
+pub fn probe(premises: &[Formula], conclusion: &Formula) -> ProbeReport {
+    if !entails(premises, conclusion, None) {
+        return ProbeReport {
+            entailed: false,
+            impacts: Vec::new(),
+        };
+    }
+    let impacts = (0..premises.len())
+        .map(|skip| {
+            match counterexample(premises, conclusion, Some(skip)) {
+                None => PremiseImpact::Idle,
+                Some(v) => PremiseImpact::Critical(v),
+            }
+        })
+        .collect();
+    ProbeReport {
+        entailed: true,
+        impacts,
+    }
+}
+
+/// What-if for a single premise: does entailment survive without premise
+/// `index`?
+///
+/// # Panics
+///
+/// Panics if `index` is out of range.
+pub fn what_if_removed(premises: &[Formula], conclusion: &Formula, index: usize) -> PremiseImpact {
+    assert!(index < premises.len(), "premise index out of range");
+    match counterexample(premises, conclusion, Some(index)) {
+        None => PremiseImpact::Idle,
+        Some(v) => PremiseImpact::Critical(v),
+    }
+}
+
+fn entails(premises: &[Formula], conclusion: &Formula, skip: Option<usize>) -> bool {
+    counterexample(premises, conclusion, skip).is_none()
+}
+
+/// A valuation satisfying the (possibly reduced) premises but not the
+/// conclusion, if entailment fails.
+fn counterexample(
+    premises: &[Formula],
+    conclusion: &Formula,
+    skip: Option<usize>,
+) -> Option<Valuation> {
+    let kept = premises
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| Some(*i) != skip)
+        .map(|(_, f)| f.clone());
+    let theory = Formula::conj(kept).and(conclusion.clone().not());
+    match dpll(&theory) {
+        SatResult::Sat(v) => Some(v),
+        SatResult::Unsat => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop::parse;
+
+    fn f(s: &str) -> Formula {
+        parse(s).unwrap()
+    }
+
+    #[test]
+    fn haley_premises_probe() {
+        // From the paper's eleven-line proof: which premises does D -> H
+        // actually need? I -> V turns out to be idle (V is never used to
+        // reach H) — exactly the insight Rushby says probing surfaces.
+        let premises = vec![
+            f("I -> V"),
+            f("C -> H"),
+            f("Y -> V & C"),
+            f("D -> Y"),
+        ];
+        let report = probe(&premises, &f("D -> H"));
+        assert!(report.entailed);
+        assert_eq!(report.idle_indices(), vec![0]);
+        assert_eq!(report.critical_indices(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn critical_impact_carries_counterexample() {
+        let premises = vec![f("p -> q"), f("p")];
+        let report = probe(&premises, &f("q"));
+        assert!(report.entailed);
+        for (i, impact) in report.impacts.iter().enumerate() {
+            match impact {
+                PremiseImpact::Critical(v) => {
+                    // Witness: remaining premises hold, conclusion fails.
+                    let remaining: Vec<_> = premises
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != i)
+                        .map(|(_, p)| p.clone())
+                        .collect();
+                    assert!(Formula::conj(remaining).eval(v));
+                    assert!(!f("q").eval(v));
+                }
+                PremiseImpact::Idle => panic!("both premises are critical here"),
+            }
+        }
+    }
+
+    #[test]
+    fn non_entailed_theory_reports_flat_failure() {
+        let report = probe(&[f("p")], &f("q"));
+        assert!(!report.entailed);
+        assert!(report.impacts.is_empty());
+    }
+
+    #[test]
+    fn duplicate_premises_are_individually_idle() {
+        let premises = vec![f("p"), f("p")];
+        let report = probe(&premises, &f("p"));
+        assert!(report.entailed);
+        assert_eq!(report.idle_indices(), vec![0, 1]);
+    }
+
+    #[test]
+    fn what_if_single() {
+        let premises = vec![f("a"), f("a -> b")];
+        assert!(what_if_removed(&premises, &f("b"), 0).is_critical());
+        assert!(what_if_removed(&premises, &f("a"), 1) == PremiseImpact::Idle);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn what_if_out_of_range_panics() {
+        let _ = what_if_removed(&[f("p")], &f("p"), 3);
+    }
+
+    #[test]
+    fn tautological_conclusion_makes_all_premises_idle() {
+        let premises = vec![f("p"), f("q")];
+        let report = probe(&premises, &f("r | ~r"));
+        assert!(report.entailed);
+        assert_eq!(report.idle_indices(), vec![0, 1]);
+    }
+}

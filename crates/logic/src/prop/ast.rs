@@ -1,0 +1,304 @@
+//! Propositional formula abstract syntax.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A propositional atom: a named proposition such as `on_grnd`.
+///
+/// Atoms are interned behind an [`Arc`] so that formulas sharing atoms are
+/// cheap to clone.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Atom(Arc<str>);
+
+impl Atom {
+    /// Creates an atom with the given name.
+    ///
+    /// Names are free-form; the parser restricts them to
+    /// `[A-Za-z_][A-Za-z0-9_']*` but programmatic construction does not.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Atom(Arc::from(name.as_ref()))
+    }
+
+    /// The atom's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Atom {
+    fn from(s: &str) -> Self {
+        Atom::new(s)
+    }
+}
+
+/// A propositional formula.
+///
+/// Connectives are the usual ones; `Implies` and `Iff` are primitive (rather
+/// than derived) because natural-deduction rules refer to them directly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Formula {
+    /// The constant true, `T`.
+    True,
+    /// The constant false, `F`.
+    False,
+    /// An atomic proposition.
+    Atom(Atom),
+    /// Negation, `~p`.
+    Not(Arc<Formula>),
+    /// Conjunction, `p & q`.
+    And(Arc<Formula>, Arc<Formula>),
+    /// Disjunction, `p | q`.
+    Or(Arc<Formula>, Arc<Formula>),
+    /// Material implication, `p -> q`.
+    Implies(Arc<Formula>, Arc<Formula>),
+    /// Biconditional, `p <-> q`.
+    Iff(Arc<Formula>, Arc<Formula>),
+}
+
+impl Formula {
+    /// Shorthand for an atomic formula.
+    pub fn atom(name: impl AsRef<str>) -> Self {
+        Formula::Atom(Atom::new(name))
+    }
+
+    /// Negation of `self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Formula::Not(Arc::new(self))
+    }
+
+    /// Conjunction `self & rhs`.
+    pub fn and(self, rhs: Formula) -> Self {
+        Formula::And(Arc::new(self), Arc::new(rhs))
+    }
+
+    /// Disjunction `self | rhs`.
+    pub fn or(self, rhs: Formula) -> Self {
+        Formula::Or(Arc::new(self), Arc::new(rhs))
+    }
+
+    /// Implication `self -> rhs`.
+    pub fn implies(self, rhs: Formula) -> Self {
+        Formula::Implies(Arc::new(self), Arc::new(rhs))
+    }
+
+    /// Biconditional `self <-> rhs`.
+    pub fn iff(self, rhs: Formula) -> Self {
+        Formula::Iff(Arc::new(self), Arc::new(rhs))
+    }
+
+    /// Conjunction of an iterator of formulas; `True` when empty.
+    pub fn conj<I: IntoIterator<Item = Formula>>(items: I) -> Self {
+        let mut iter = items.into_iter();
+        match iter.next() {
+            None => Formula::True,
+            Some(first) => iter.fold(first, |acc, f| acc.and(f)),
+        }
+    }
+
+    /// Disjunction of an iterator of formulas; `False` when empty.
+    pub fn disj<I: IntoIterator<Item = Formula>>(items: I) -> Self {
+        let mut iter = items.into_iter();
+        match iter.next() {
+            None => Formula::False,
+            Some(first) => iter.fold(first, |acc, f| acc.or(f)),
+        }
+    }
+
+    /// All atoms occurring in the formula, in sorted order.
+    pub fn atoms(&self) -> BTreeSet<Atom> {
+        let mut set = BTreeSet::new();
+        self.collect_atoms(&mut set);
+        set
+    }
+
+    fn collect_atoms(&self, out: &mut BTreeSet<Atom>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom(a) => {
+                out.insert(a.clone());
+            }
+            Formula::Not(inner) => inner.collect_atoms(out),
+            Formula::And(l, r)
+            | Formula::Or(l, r)
+            | Formula::Implies(l, r)
+            | Formula::Iff(l, r) => {
+                l.collect_atoms(out);
+                r.collect_atoms(out);
+            }
+        }
+    }
+
+    /// The number of connective and atom nodes in the syntax tree.
+    ///
+    /// Used as a crude "formalisation effort" size metric by the
+    /// experiments crate.
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::Atom(_) => 1,
+            Formula::Not(inner) => 1 + inner.size(),
+            Formula::And(l, r)
+            | Formula::Or(l, r)
+            | Formula::Implies(l, r)
+            | Formula::Iff(l, r) => 1 + l.size() + r.size(),
+        }
+    }
+
+    /// Structural depth of the syntax tree (an atom has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::Atom(_) => 1,
+            Formula::Not(inner) => 1 + inner.depth(),
+            Formula::And(l, r)
+            | Formula::Or(l, r)
+            | Formula::Implies(l, r)
+            | Formula::Iff(l, r) => 1 + l.depth().max(r.depth()),
+        }
+    }
+
+    /// True if this formula is syntactically the negation of `other`
+    /// (in either direction): `p` vs `~p`.
+    pub fn is_negation_of(&self, other: &Formula) -> bool {
+        match (self, other) {
+            (Formula::Not(inner), _) => inner.as_ref() == other,
+            (_, Formula::Not(inner)) => inner.as_ref() == self,
+            _ => false,
+        }
+    }
+
+    fn precedence(&self) -> u8 {
+        match self {
+            Formula::True | Formula::False | Formula::Atom(_) => 5,
+            Formula::Not(_) => 4,
+            Formula::And(_, _) => 3,
+            Formula::Or(_, _) => 2,
+            Formula::Implies(_, _) => 1,
+            Formula::Iff(_, _) => 0,
+        }
+    }
+
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent: u8) -> fmt::Result {
+        let mine = self.precedence();
+        let needs_parens = mine < parent;
+        if needs_parens {
+            f.write_str("(")?;
+        }
+        match self {
+            Formula::True => f.write_str("T")?,
+            Formula::False => f.write_str("F")?,
+            Formula::Atom(a) => write!(f, "{a}")?,
+            Formula::Not(inner) => {
+                f.write_str("~")?;
+                inner.fmt_prec(f, 4)?;
+            }
+            Formula::And(l, r) => {
+                // Left-associative: the left child may print at our level.
+                l.fmt_prec(f, 3)?;
+                f.write_str(" & ")?;
+                r.fmt_prec(f, 4)?;
+            }
+            Formula::Or(l, r) => {
+                l.fmt_prec(f, 2)?;
+                f.write_str(" | ")?;
+                r.fmt_prec(f, 3)?;
+            }
+            Formula::Implies(l, r) => {
+                // Right-associative.
+                l.fmt_prec(f, 2)?;
+                f.write_str(" -> ")?;
+                r.fmt_prec(f, 1)?;
+            }
+            Formula::Iff(l, r) => {
+                // Left-associative, matching the parser.
+                l.fmt_prec(f, 0)?;
+                f.write_str(" <-> ")?;
+                r.fmt_prec(f, 1)?;
+            }
+        }
+        if needs_parens {
+            f.write_str(")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> Formula {
+        Formula::atom("p")
+    }
+    fn q() -> Formula {
+        Formula::atom("q")
+    }
+    fn r() -> Formula {
+        Formula::atom("r")
+    }
+
+    #[test]
+    fn display_respects_precedence() {
+        let f = p().or(q()).and(r());
+        assert_eq!(f.to_string(), "(p | q) & r");
+        let g = p().or(q().and(r()));
+        assert_eq!(g.to_string(), "p | q & r");
+        let h = p().implies(q()).implies(r());
+        assert_eq!(h.to_string(), "(p -> q) -> r");
+        // Right-associativity means the inner implication needs no parens.
+        let i = p().implies(q().implies(r()));
+        assert_eq!(i.to_string(), "p -> q -> r");
+    }
+
+    #[test]
+    fn display_negation() {
+        assert_eq!(p().not().to_string(), "~p");
+        assert_eq!(p().and(q()).not().to_string(), "~(p & q)");
+        assert_eq!(p().not().and(q().not()).to_string(), "~p & ~q");
+    }
+
+    #[test]
+    fn atoms_are_sorted_and_deduplicated() {
+        let f = q().and(p()).or(q());
+        let names: Vec<_> = f.atoms().into_iter().map(|a| a.name().to_string()).collect();
+        assert_eq!(names, vec!["p", "q"]);
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let f = p().and(q()).implies(r().not());
+        assert_eq!(f.size(), 6);
+        assert_eq!(f.depth(), 3);
+        assert_eq!(Formula::True.size(), 1);
+    }
+
+    #[test]
+    fn conj_and_disj_of_empty() {
+        assert_eq!(Formula::conj([]), Formula::True);
+        assert_eq!(Formula::disj([]), Formula::False);
+        assert_eq!(Formula::conj([p()]), p());
+        assert_eq!(Formula::disj([p(), q()]).to_string(), "p | q");
+    }
+
+    #[test]
+    fn negation_detection_is_symmetric() {
+        assert!(p().not().is_negation_of(&p()));
+        assert!(p().is_negation_of(&p().not()));
+        assert!(!p().is_negation_of(&q()));
+        // Double negation is *not* syntactic negation of the negation's body.
+        assert!(p().not().not().is_negation_of(&p().not()));
+    }
+}

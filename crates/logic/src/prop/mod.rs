@@ -1,0 +1,20 @@
+//! Propositional logic: formulas, parsing, evaluation, normal forms,
+//! satisfiability, and resolution.
+//!
+//! This is the base formalism for "symbolic, deductive" assurance-argument
+//! content in the sense of Graydon §II-B: claims written as symbols
+//! connected by operators, e.g. `~on_grnd -> ~threv_en`.
+
+mod ast;
+mod cnf;
+mod eval;
+mod parser;
+mod resolution;
+mod sat;
+
+pub use ast::{Atom, Formula};
+pub use cnf::{Clause, ClauseSet, Literal};
+pub use eval::{truth_table, TruthTable, Valuation};
+pub use parser::parse;
+pub use resolution::{resolution_entails, resolution_refute, ResolutionOutcome};
+pub use sat::{all_models, dpll, dpll_clauses, SatResult};

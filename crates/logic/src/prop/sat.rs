@@ -1,0 +1,329 @@
+//! DPLL satisfiability with unit propagation and pure-literal elimination.
+
+use super::ast::Formula;
+use super::cnf::{Clause, ClauseSet, Literal};
+use super::eval::Valuation;
+use std::collections::BTreeMap;
+
+/// Result of a satisfiability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with a witnessing valuation over the formula's atoms.
+    Sat(Valuation),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl SatResult {
+    /// The witnessing model, if satisfiable.
+    pub fn model(&self) -> Option<&Valuation> {
+        match self {
+            SatResult::Sat(v) => Some(v),
+            SatResult::Unsat => None,
+        }
+    }
+
+    /// Whether the result is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+}
+
+/// Decides satisfiability of `formula` via Tseitin + DPLL.
+///
+/// The returned model is restricted to the formula's own atoms (Tseitin
+/// definition atoms are stripped).
+pub fn dpll(formula: &Formula) -> SatResult {
+    let cs = formula.to_cnf_tseitin();
+    match dpll_clauses(&cs) {
+        SatResult::Unsat => SatResult::Unsat,
+        SatResult::Sat(v) => {
+            let own = formula.atoms();
+            let filtered: Valuation = own
+                .into_iter()
+                .map(|a| {
+                    let val = v.get(&a).unwrap_or(false);
+                    (a, val)
+                })
+                .collect();
+            SatResult::Sat(filtered)
+        }
+    }
+}
+
+/// Decides satisfiability of a clause set directly.
+pub fn dpll_clauses(cs: &ClauseSet) -> SatResult {
+    let clauses: Vec<Clause> = cs.clauses().cloned().collect();
+    let mut assignment = BTreeMap::new();
+    if solve(&clauses, &mut assignment) {
+        SatResult::Sat(assignment.into_iter().collect())
+    } else {
+        SatResult::Unsat
+    }
+}
+
+fn solve(clauses: &[Clause], assignment: &mut BTreeMap<super::ast::Atom, bool>) -> bool {
+    // Unit propagation + pure literal elimination to a fixed point.
+    let mut trail: Vec<super::ast::Atom> = Vec::new();
+    loop {
+        match propagate_once(clauses, assignment) {
+            Propagation::Conflict => {
+                for a in trail {
+                    assignment.remove(&a);
+                }
+                return false;
+            }
+            Propagation::Assigned(atom) => {
+                trail.push(atom);
+            }
+            Propagation::Fixpoint => break,
+        }
+    }
+
+    // Check status and pick a branching atom.
+    let mut branch_atom = None;
+    for clause in clauses {
+        let mut satisfied = false;
+        let mut unassigned = None;
+        for lit in clause.literals() {
+            match assignment.get(&lit.atom) {
+                Some(&v) if v == lit.positive => {
+                    satisfied = true;
+                    break;
+                }
+                Some(_) => {}
+                None => unassigned = Some(lit.atom.clone()),
+            }
+        }
+        if !satisfied {
+            match unassigned {
+                None => {
+                    // All literals false: conflict.
+                    for a in trail {
+                        assignment.remove(&a);
+                    }
+                    return false;
+                }
+                Some(a) => {
+                    if branch_atom.is_none() {
+                        branch_atom = Some(a);
+                    }
+                }
+            }
+        }
+    }
+
+    let atom = match branch_atom {
+        None => return true, // every clause satisfied
+        Some(a) => a,
+    };
+
+    for value in [true, false] {
+        assignment.insert(atom.clone(), value);
+        if solve(clauses, assignment) {
+            return true;
+        }
+        assignment.remove(&atom);
+    }
+    for a in trail {
+        assignment.remove(&a);
+    }
+    false
+}
+
+enum Propagation {
+    /// A unit or pure assignment was made (atom recorded for backtracking).
+    Assigned(super::ast::Atom),
+    /// Some clause has all literals false.
+    Conflict,
+    /// Nothing more to propagate.
+    Fixpoint,
+}
+
+fn propagate_once(
+    clauses: &[Clause],
+    assignment: &mut BTreeMap<super::ast::Atom, bool>,
+) -> Propagation {
+    // Unit clauses.
+    for clause in clauses {
+        let mut satisfied = false;
+        let mut unassigned: Vec<&Literal> = Vec::new();
+        for lit in clause.literals() {
+            match assignment.get(&lit.atom) {
+                Some(&v) if v == lit.positive => {
+                    satisfied = true;
+                    break;
+                }
+                Some(_) => {}
+                None => unassigned.push(lit),
+            }
+        }
+        if satisfied {
+            continue;
+        }
+        match unassigned.len() {
+            0 => return Propagation::Conflict,
+            1 => {
+                let lit = unassigned[0];
+                assignment.insert(lit.atom.clone(), lit.positive);
+                return Propagation::Assigned(lit.atom.clone());
+            }
+            _ => {}
+        }
+    }
+
+    // Pure literals: atoms appearing with a single polarity among
+    // not-yet-satisfied clauses.
+    let mut polarity: BTreeMap<super::ast::Atom, (bool, bool)> = BTreeMap::new();
+    for clause in clauses {
+        let satisfied = clause.literals().any(|lit| {
+            assignment
+                .get(&lit.atom)
+                .is_some_and(|&v| v == lit.positive)
+        });
+        if satisfied {
+            continue;
+        }
+        for lit in clause.literals() {
+            if assignment.contains_key(&lit.atom) {
+                continue;
+            }
+            let entry = polarity.entry(lit.atom.clone()).or_insert((false, false));
+            if lit.positive {
+                entry.0 = true;
+            } else {
+                entry.1 = true;
+            }
+        }
+    }
+    for (atom, (pos, neg)) in polarity {
+        if pos != neg {
+            assignment.insert(atom.clone(), pos);
+            return Propagation::Assigned(atom);
+        }
+    }
+    Propagation::Fixpoint
+}
+
+/// Enumerates all models of `formula` over its own atoms.
+///
+/// Exponential in the number of atoms; intended for small formulas (e.g.
+/// explaining an argument's admissible evidence states).
+pub fn all_models(formula: &Formula) -> Vec<Valuation> {
+    let atoms: Vec<_> = formula.atoms().into_iter().collect();
+    let mut out = Vec::new();
+    let n = atoms.len();
+    assert!(n <= 24, "all_models limited to 24 atoms");
+    for bits in 0..(1u64 << n) {
+        let v: Valuation = atoms
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, a)| (a, bits >> (n - 1 - i) & 1 == 1))
+            .collect();
+        if formula.eval(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parse;
+    use super::*;
+
+    #[test]
+    fn sat_simple() {
+        let f = parse("p & q").unwrap();
+        let r = dpll(&f);
+        let m = r.model().expect("should be sat");
+        assert!(f.eval(m));
+    }
+
+    #[test]
+    fn unsat_simple() {
+        assert_eq!(dpll(&parse("p & ~p").unwrap()), SatResult::Unsat);
+        assert!(!dpll(&parse("p & ~p").unwrap()).is_sat());
+    }
+
+    #[test]
+    fn model_satisfies_formula() {
+        for src in [
+            "(p | q) & (~p | r) & (~q | r)",
+            "(a -> b) & (b -> c) & a",
+            "(p <-> q) & (q <-> r)",
+            "~(p -> q) | (q & r)",
+        ] {
+            let f = parse(src).unwrap();
+            match dpll(&f) {
+                SatResult::Sat(m) => assert!(f.eval(&m), "model doesn't satisfy {src}"),
+                SatResult::Unsat => panic!("{src} should be satisfiable"),
+            }
+        }
+    }
+
+    #[test]
+    fn unsat_pigeonhole_2_into_1() {
+        // Two pigeons, one hole: p1h1 & p2h1 & ~(p1h1 & p2h1) is unsat.
+        let f = parse("p1h1 & p2h1 & ~(p1h1 & p2h1)").unwrap();
+        assert_eq!(dpll(&f), SatResult::Unsat);
+    }
+
+    #[test]
+    fn dpll_agrees_with_truth_table_exhaustively() {
+        // All 3-atom formulas from a small template set.
+        let templates = [
+            "p & (q | ~r)",
+            "(p -> q) -> (q -> r)",
+            "~(p <-> (q & r))",
+            "(p | q | r) & (~p | ~q) & (~q | ~r) & (~p | ~r)",
+            "p & ~p & q",
+        ];
+        for src in templates {
+            let f = parse(src).unwrap();
+            let tt = super::super::eval::truth_table(&f);
+            let brute_sat = tt.models() > 0;
+            assert_eq!(dpll(&f).is_sat(), brute_sat, "disagreement on {src}");
+        }
+    }
+
+    #[test]
+    fn all_models_counts() {
+        let f = parse("p | q").unwrap();
+        assert_eq!(all_models(&f).len(), 3);
+        let f = parse("p & ~p").unwrap();
+        assert!(all_models(&f).is_empty());
+        let f = parse("p <-> q").unwrap();
+        assert_eq!(all_models(&f).len(), 2);
+    }
+
+    #[test]
+    fn dpll_clauses_empty_set_is_sat() {
+        assert!(dpll_clauses(&ClauseSet::new()).is_sat());
+    }
+
+    #[test]
+    fn dpll_clauses_with_empty_clause_is_unsat() {
+        let mut cs = ClauseSet::new();
+        cs.insert(Clause::empty());
+        assert_eq!(dpll_clauses(&cs), SatResult::Unsat);
+    }
+
+    #[test]
+    fn larger_chain_implication() {
+        // a0 & (a0->a1) & ... & (a29->a30) & ~a30 is unsat.
+        let mut src = String::from("a0");
+        for i in 0..30 {
+            src.push_str(&format!(" & (a{} -> a{})", i, i + 1));
+        }
+        src.push_str(" & ~a30");
+        assert_eq!(dpll(&parse(&src).unwrap()), SatResult::Unsat);
+        // Dropping the final negation makes it satisfiable.
+        let mut src2 = String::from("a0");
+        for i in 0..30 {
+            src2.push_str(&format!(" & (a{} -> a{})", i, i + 1));
+        }
+        assert!(dpll(&parse(&src2).unwrap()).is_sat());
+    }
+}

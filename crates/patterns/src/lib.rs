@@ -1,0 +1,29 @@
+//! # casekit-patterns
+//!
+//! Formalised GSN argument patterns with typed parameters and checked
+//! instantiation, implementing the proposals of Matsuno & Taguchi and
+//! Denney & Pai as surveyed in Graydon §III-I/§III-L.
+//!
+//! A [`Pattern`] is an argument template whose node texts contain
+//! `{placeholder}`s. Parameters are *typed* ([`ParamType`]): integers with
+//! ranges (Matsuno's CPU-utilisation 0–100 % example), naturals, strings,
+//! user-defined enumerations (Denney et al.'s
+//! `element ::= aileron | elevator | flaps`), and lists for multiplicity
+//! expansion. [`Pattern::instantiate`] type-checks a [`Binding`] set and
+//! produces a concrete [`casekit_core::Argument`]; the misuse Matsuno's
+//! 2014 paper worries about — instantiating a *system name* slot with
+//! "Railway hazards" — is rejected by the enum type, exactly the "type
+//! checking prevents such a misplacement" claim, made executable (and
+//! testable for its limits: a *plausible but wrong* value of the right
+//! type still passes, which is the paper's §V-A caveat).
+//!
+//! [`notation`] parses Matsuno's bracket notation `[2/x, /y, "hello"/z]`.
+
+pub mod library;
+pub mod notation;
+
+mod binding;
+mod pattern;
+
+pub use binding::{Binding, ParamType, ParamValue, TypeError};
+pub use pattern::{InstantiationError, Multiplicity, Pattern, PatternEdge, PatternNode};

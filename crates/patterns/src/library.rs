@@ -1,0 +1,251 @@
+//! A small library of published GSN argument patterns, formalised.
+//!
+//! These are the workhorse patterns from Kelly's thesis and the GSN
+//! community catalogue, encoded with typed parameters so the §VI-D
+//! pattern-instantiation experiment has realistic material.
+
+use crate::binding::ParamType;
+use crate::pattern::Pattern;
+use casekit_core::{EdgeKind, NodeKind};
+
+/// Kelly's *hazard-directed breakdown*: argue safety by showing every
+/// identified hazard mitigated.
+///
+/// Parameters: `system : String`, `hazards : List<String>`.
+pub fn hazard_directed_breakdown() -> Pattern {
+    Pattern::new("hazard-directed-breakdown")
+        .param("system", ParamType::Str)
+        .param("hazards", ParamType::list(ParamType::Str))
+        .node(
+            "g_top",
+            NodeKind::Goal,
+            "{system} is acceptably safe to operate",
+        )
+        .node(
+            "c_hazlog",
+            NodeKind::Context,
+            "Hazards identified for {system} (hazard log)",
+        )
+        .node(
+            "s_haz",
+            NodeKind::Strategy,
+            "Argument over each identified hazard",
+        )
+        .node(
+            "a_complete",
+            NodeKind::Assumption,
+            "Hazard identification for {system} is sufficiently complete",
+        )
+        .node("g_h", NodeKind::Goal, "Hazard '{h}' is acceptably mitigated")
+        .node(
+            "e_h",
+            NodeKind::Solution,
+            "Mitigation evidence for hazard '{h}'",
+        )
+        .edge("g_top", "c_hazlog", EdgeKind::InContextOf)
+        .edge("g_top", "s_haz", EdgeKind::SupportedBy)
+        .edge("s_haz", "a_complete", EdgeKind::InContextOf)
+        .for_each("s_haz", "g_h", EdgeKind::SupportedBy, "hazards", "h")
+        .edge("g_h", "e_h", EdgeKind::SupportedBy)
+}
+
+/// Functional decomposition: argue a system property from the same
+/// property of each subsystem — the shape in which the *fallacy of
+/// composition* hides when subsystems interact.
+///
+/// Parameters: `system : String`, `property : String`,
+/// `subsystems : List<String>`.
+pub fn functional_decomposition() -> Pattern {
+    Pattern::new("functional-decomposition")
+        .param("system", ParamType::Str)
+        .param("property", ParamType::Str)
+        .param("subsystems", ParamType::list(ParamType::Str))
+        .node("g_top", NodeKind::Goal, "{system} satisfies {property}")
+        .node(
+            "s_decomp",
+            NodeKind::Strategy,
+            "Argument by decomposition over subsystems",
+        )
+        .node(
+            "j_noninterf",
+            NodeKind::Justification,
+            "Subsystem interactions cannot defeat {property}",
+        )
+        .node("g_sub", NodeKind::Goal, "Subsystem {sub} satisfies {property}")
+        .node(
+            "e_sub",
+            NodeKind::Solution,
+            "Verification evidence for {sub}",
+        )
+        .edge("g_top", "s_decomp", EdgeKind::SupportedBy)
+        .edge("s_decomp", "j_noninterf", EdgeKind::InContextOf)
+        .for_each("s_decomp", "g_sub", EdgeKind::SupportedBy, "subsystems", "sub")
+        .edge("g_sub", "e_sub", EdgeKind::SupportedBy)
+}
+
+/// ALARP: risk reduced *as low as reasonably practicable*. The residual
+/// risk parameter is typed as a percentage of the tolerability budget —
+/// exercising Matsuno's range-restricted parameters.
+///
+/// Parameters: `system : String`, `residual_risk_pct : Percent`,
+/// `standard : String` (optional context).
+pub fn alarp() -> Pattern {
+    Pattern::new("alarp")
+        .param("system", ParamType::Str)
+        .param("residual_risk_pct", ParamType::Percent)
+        .param("standard", ParamType::Str)
+        .node(
+            "g_top",
+            NodeKind::Goal,
+            "Residual risk of {system} is ALARP",
+        )
+        .node(
+            "c_std",
+            NodeKind::Context,
+            "Tolerability criteria of {standard}",
+        )
+        .node(
+            "g_tol",
+            NodeKind::Goal,
+            "Residual risk is {residual_risk_pct}% of the tolerability budget",
+        )
+        .node(
+            "g_practicable",
+            NodeKind::Goal,
+            "All reasonably practicable further reductions applied to {system}",
+        )
+        .node("e_assess", NodeKind::Solution, "Quantitative risk assessment")
+        .node(
+            "e_options",
+            NodeKind::Solution,
+            "Option study of rejected further mitigations",
+        )
+        .optional("g_top", "c_std", EdgeKind::InContextOf, "standard")
+        .edge("g_top", "g_tol", EdgeKind::SupportedBy)
+        .edge("g_top", "g_practicable", EdgeKind::SupportedBy)
+        .edge("g_tol", "e_assess", EdgeKind::SupportedBy)
+        .edge("g_practicable", "e_options", EdgeKind::SupportedBy)
+}
+
+/// The aircraft-element verification pattern of Denney et al.'s querying
+/// paper: a per-element goal with the `element` enumeration they give
+/// (`aileron | elevator | flaps`).
+pub fn element_verification() -> Pattern {
+    Pattern::new("element-verification")
+        .param(
+            "element",
+            ParamType::enumeration("element", ["aileron", "elevator", "flaps"]),
+        )
+        .node(
+            "g_elem",
+            NodeKind::Goal,
+            "Control element {element} behaves as specified",
+        )
+        .node(
+            "e_elem",
+            NodeKind::Solution,
+            "Formal verification output for {element}",
+        )
+        .edge("g_elem", "e_elem", EdgeKind::SupportedBy)
+}
+
+/// All library patterns.
+pub fn all() -> Vec<Pattern> {
+    vec![
+        hazard_directed_breakdown(),
+        functional_decomposition(),
+        alarp(),
+        element_verification(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::{Binding, ParamValue};
+
+    #[test]
+    fn library_patterns_validate() {
+        for pattern in all() {
+            assert!(
+                pattern.validate().is_ok(),
+                "pattern {} failed validation",
+                pattern.name
+            );
+        }
+    }
+
+    #[test]
+    fn hazard_breakdown_instantiates_well_formed() {
+        let binding = Binding::new().with("system", "Ground robot").with(
+            "hazards",
+            ParamValue::List(vec![
+                "collision with person".into(),
+                "battery fire".into(),
+                "runaway".into(),
+            ]),
+        );
+        let arg = hazard_directed_breakdown().instantiate(&binding).unwrap();
+        // 4 fixed nodes + 3 × 2 expanded = 10.
+        assert_eq!(arg.len(), 10);
+        assert!(casekit_core::gsn::check(&arg).is_empty());
+        assert!(arg
+            .node(&"g_h_2".into())
+            .unwrap()
+            .text
+            .contains("battery fire"));
+    }
+
+    #[test]
+    fn functional_decomposition_instantiates() {
+        let binding = Binding::new()
+            .with("system", "Flight control")
+            .with("property", "freedom from deadlock")
+            .with(
+                "subsystems",
+                ParamValue::List(vec!["autopilot".into(), "actuation".into()]),
+            );
+        let arg = functional_decomposition().instantiate(&binding).unwrap();
+        assert_eq!(arg.len(), 7);
+        assert!(casekit_core::gsn::check(&arg).is_empty());
+        // The composition caveat is recorded as a justification.
+        let j = arg.node(&"j_noninterf".into()).unwrap();
+        assert!(j.text.contains("freedom from deadlock"));
+    }
+
+    #[test]
+    fn alarp_percent_enforced() {
+        let ok = Binding::new()
+            .with("system", "Plant")
+            .with("residual_risk_pct", 40i64)
+            .with("standard", "IEC 61508");
+        assert!(alarp().instantiate(&ok).is_ok());
+        let bad = Binding::new()
+            .with("system", "Plant")
+            .with("residual_risk_pct", 400i64)
+            .with("standard", "IEC 61508");
+        assert!(alarp().instantiate(&bad).is_err());
+    }
+
+    #[test]
+    fn alarp_standard_is_optional() {
+        let binding = Binding::new()
+            .with("system", "Plant")
+            .with("residual_risk_pct", 10i64);
+        let arg = alarp().instantiate(&binding).unwrap();
+        assert!(arg.node(&"c_std".into()).is_none());
+        assert!(casekit_core::gsn::check(&arg).is_empty());
+    }
+
+    #[test]
+    fn element_enum_rejects_wrong_member() {
+        let err = element_verification()
+            .instantiate(&Binding::new().with("element", "rudder"))
+            .unwrap_err();
+        assert!(err.to_string().contains("rudder"));
+        let ok = element_verification()
+            .instantiate(&Binding::new().with("element", "flaps"))
+            .unwrap();
+        assert!(ok.node(&"g_elem".into()).unwrap().text.contains("flaps"));
+    }
+}

@@ -1,0 +1,239 @@
+//! Matsuno's instantiation-annotation notation (Graydon §III-L).
+//!
+//! "`[2/x, /y, "hello"/z]` represents that x and z are instantiated with 2
+//! and "hello", respectively, whereas y is not instantiated."
+//!
+//! [`parse_annotation`] parses this notation into bound and unbound parts;
+//! [`render_annotation`] prints it back.
+
+use crate::binding::{Binding, ParamValue};
+use casekit_logic::{ParseError, Span};
+
+/// A parsed annotation: the bindings plus the explicitly-uninstantiated
+/// parameter names.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Annotation {
+    /// Instantiated parameters.
+    pub binding: Binding,
+    /// Parameters marked uninstantiated (`/y`).
+    pub uninstantiated: Vec<String>,
+}
+
+/// Parses `[value/param, /param, ...]`.
+///
+/// Values are integers, double-quoted strings, or bracketed lists
+/// `(v1; v2; …)` of the same.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for malformed notation.
+pub fn parse_annotation(input: &str) -> Result<Annotation, ParseError> {
+    let trimmed = input.trim();
+    let inner = trimmed
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| {
+            ParseError::new("annotation must be wrapped in [ ]", Span::new(0, input.len()))
+        })?;
+    let mut annotation = Annotation::default();
+    if inner.trim().is_empty() {
+        return Ok(annotation);
+    }
+    for (idx, raw_entry) in split_top_level(inner, ',').into_iter().enumerate() {
+        let entry = raw_entry.trim();
+        let slash = find_top_level(entry, '/').ok_or_else(|| {
+            ParseError::new(
+                format!("entry {} (`{entry}`) lacks a `/`", idx + 1),
+                Span::new(0, input.len()),
+            )
+        })?;
+        let (value_text, param) = entry.split_at(slash);
+        let param = param[1..].trim();
+        if param.is_empty() {
+            return Err(ParseError::new(
+                format!("entry {} (`{entry}`) names no parameter", idx + 1),
+                Span::new(0, input.len()),
+            ));
+        }
+        let value_text = value_text.trim();
+        if value_text.is_empty() {
+            annotation.uninstantiated.push(param.to_string());
+        } else {
+            let value = parse_value(value_text, input.len())?;
+            annotation.binding.set(param, value);
+        }
+    }
+    Ok(annotation)
+}
+
+fn parse_value(text: &str, input_len: usize) -> Result<ParamValue, ParseError> {
+    let text = text.trim();
+    if let Some(stripped) = text.strip_prefix('"') {
+        let inner = stripped.strip_suffix('"').ok_or_else(|| {
+            ParseError::new("unterminated string value", Span::new(0, input_len))
+        })?;
+        return Ok(ParamValue::Str(inner.to_string()));
+    }
+    if let Some(stripped) = text.strip_prefix('(') {
+        let inner = stripped.strip_suffix(')').ok_or_else(|| {
+            ParseError::new("unterminated list value", Span::new(0, input_len))
+        })?;
+        let items = if inner.trim().is_empty() {
+            Vec::new()
+        } else {
+            split_top_level(inner, ';')
+                .into_iter()
+                .map(|item| parse_value(item.trim(), input_len))
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        return Ok(ParamValue::List(items));
+    }
+    text.parse::<i64>().map(ParamValue::Int).map_err(|_| {
+        ParseError::new(
+            format!("`{text}` is not an integer, string, or list"),
+            Span::new(0, input_len),
+        )
+    })
+}
+
+/// Splits on `sep` outside quotes and parentheses.
+fn split_top_level(input: &str, sep: char) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut current = String::new();
+    for c in input.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                current.push(c);
+            }
+            '(' if !in_str => {
+                depth += 1;
+                current.push(c);
+            }
+            ')' if !in_str => {
+                depth = depth.saturating_sub(1);
+                current.push(c);
+            }
+            c if c == sep && depth == 0 && !in_str => {
+                out.push(std::mem::take(&mut current));
+            }
+            c => current.push(c),
+        }
+    }
+    out.push(current);
+    out
+}
+
+/// Position of the *last* top-level `target` (values may contain `/` inside
+/// strings).
+fn find_top_level(input: &str, target: char) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut found = None;
+    for (i, c) in input.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '(' if !in_str => depth += 1,
+            ')' if !in_str => depth = depth.saturating_sub(1),
+            c if c == target && depth == 0 && !in_str => found = Some(i),
+            _ => {}
+        }
+    }
+    found
+}
+
+/// Renders an annotation back into Matsuno's notation.
+pub fn render_annotation(annotation: &Annotation) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for param in annotation.binding.params() {
+        let value = annotation.binding.get(param).expect("bound");
+        parts.push(format!("{}/{param}", render_value(value)));
+    }
+    for param in &annotation.uninstantiated {
+        parts.push(format!("/{param}"));
+    }
+    format!("[{}]", parts.join(", "))
+}
+
+fn render_value(value: &ParamValue) -> String {
+    match value {
+        ParamValue::Int(v) => v.to_string(),
+        ParamValue::Str(s) => format!("\"{s}\""),
+        ParamValue::List(items) => {
+            let inner: Vec<String> = items.iter().map(render_value).collect();
+            format!("({})", inner.join("; "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_matsunos_example() {
+        // "[2/x, /y, "hello"/z]": x=2, y uninstantiated, z="hello".
+        let a = parse_annotation(r#"[2/x, /y, "hello"/z]"#).unwrap();
+        assert_eq!(a.binding.get("x"), Some(&ParamValue::Int(2)));
+        assert_eq!(a.binding.get("z"), Some(&ParamValue::Str("hello".into())));
+        assert!(a.binding.get("y").is_none());
+        assert_eq!(a.uninstantiated, vec!["y".to_string()]);
+    }
+
+    #[test]
+    fn parses_lists() {
+        let a = parse_annotation(r#"[("h1"; "h2")/hazards]"#).unwrap();
+        assert_eq!(
+            a.binding.get("hazards"),
+            Some(&ParamValue::List(vec!["h1".into(), "h2".into()]))
+        );
+        let a = parse_annotation("[()/empty]").unwrap();
+        assert_eq!(a.binding.get("empty"), Some(&ParamValue::List(vec![])));
+    }
+
+    #[test]
+    fn empty_annotation() {
+        let a = parse_annotation("[]").unwrap();
+        assert!(a.binding.is_empty());
+        assert!(a.uninstantiated.is_empty());
+    }
+
+    #[test]
+    fn strings_may_contain_separators() {
+        let a = parse_annotation(r#"["a, b/c"/x]"#).unwrap();
+        assert_eq!(a.binding.get("x"), Some(&ParamValue::Str("a, b/c".into())));
+    }
+
+    #[test]
+    fn negative_integers() {
+        let a = parse_annotation("[-40/temp]").unwrap();
+        assert_eq!(a.binding.get("temp"), Some(&ParamValue::Int(-40)));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_annotation("2/x").is_err()); // no brackets
+        assert!(parse_annotation("[2 x]").is_err()); // no slash
+        assert!(parse_annotation("[2/]").is_err()); // no param
+        assert!(parse_annotation(r#"["open/x]"#).is_err()); // unterminated
+        assert!(parse_annotation("[(1; 2/x]").is_err()); // unterminated list
+        assert!(parse_annotation("[maybe/x]").is_err()); // not a value
+    }
+
+    #[test]
+    fn round_trip() {
+        for src in [
+            r#"[2/x, "hello"/z, /y]"#,
+            "[]",
+            r#"[(1; 2; 3)/xs]"#,
+            r#"[("a"; "b")/names, 5/n]"#,
+        ] {
+            let a = parse_annotation(src).unwrap();
+            let rendered = render_annotation(&a);
+            let b = parse_annotation(&rendered).unwrap();
+            assert_eq!(a, b, "round-trip failed for {src} -> {rendered}");
+        }
+    }
+}

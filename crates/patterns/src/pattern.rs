@@ -1,0 +1,700 @@
+//! Argument patterns and checked instantiation.
+
+use crate::binding::{type_check, Binding, ParamType, ParamValue, TypeError};
+use casekit_core::{Argument, EdgeKind, Node, NodeKind};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Multiplicity of a pattern edge (GSN pattern notation).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Multiplicity {
+    /// Exactly one instance.
+    One,
+    /// Zero or one instance, controlled by a boolean-ish binding: present
+    /// iff the named parameter is bound.
+    Optional {
+        /// Parameter whose presence enables the edge.
+        param: String,
+    },
+    /// One instance per element of the named list parameter; within the
+    /// expanded subtree, `{var}` is bound to the element.
+    ForEach {
+        /// The list parameter iterated over.
+        over: String,
+        /// The loop-variable placeholder.
+        var: String,
+    },
+}
+
+/// A template node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatternNode {
+    /// Template-local id.
+    pub id: String,
+    /// Node kind in the instantiated argument.
+    pub kind: NodeKind,
+    /// Text with `{placeholder}`s.
+    pub template: String,
+}
+
+/// A template edge.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatternEdge {
+    /// Parent template node.
+    pub from: String,
+    /// Child template node.
+    pub to: String,
+    /// Relationship kind.
+    pub kind: EdgeKind,
+    /// Multiplicity.
+    pub multiplicity: Multiplicity,
+}
+
+/// Errors from pattern instantiation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InstantiationError {
+    /// A binding failed type checking.
+    Type(TypeError),
+    /// A declared parameter was not bound.
+    Unbound {
+        /// The parameter name.
+        param: String,
+    },
+    /// A binding names an undeclared parameter.
+    Undeclared {
+        /// The parameter name.
+        param: String,
+    },
+    /// A template placeholder has no corresponding declared parameter.
+    UnknownPlaceholder {
+        /// The placeholder name.
+        placeholder: String,
+        /// The node whose template used it.
+        node: String,
+    },
+    /// A `ForEach` edge's `over` parameter is not a list.
+    NotAList {
+        /// The parameter name.
+        param: String,
+    },
+    /// The pattern's graph is malformed (edge endpoints missing).
+    Malformed(String),
+}
+
+impl fmt::Display for InstantiationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstantiationError::Type(e) => write!(f, "{e}"),
+            InstantiationError::Unbound { param } => {
+                write!(f, "parameter `{param}` was not instantiated")
+            }
+            InstantiationError::Undeclared { param } => {
+                write!(f, "binding for undeclared parameter `{param}`")
+            }
+            InstantiationError::UnknownPlaceholder { placeholder, node } => write!(
+                f,
+                "template node `{node}` uses undeclared placeholder `{{{placeholder}}}`"
+            ),
+            InstantiationError::NotAList { param } => {
+                write!(f, "`{param}` must be bound to a list for ForEach expansion")
+            }
+            InstantiationError::Malformed(d) => write!(f, "malformed pattern: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for InstantiationError {}
+
+impl From<TypeError> for InstantiationError {
+    fn from(e: TypeError) -> Self {
+        InstantiationError::Type(e)
+    }
+}
+
+/// A formalised GSN argument pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pattern {
+    /// The pattern's name.
+    pub name: String,
+    /// Declared parameters and their types.
+    pub params: BTreeMap<String, ParamType>,
+    /// Template nodes.
+    pub nodes: Vec<PatternNode>,
+    /// Template edges.
+    pub edges: Vec<PatternEdge>,
+}
+
+impl Pattern {
+    /// Starts a new pattern.
+    pub fn new(name: impl Into<String>) -> Self {
+        Pattern {
+            name: name.into(),
+            params: BTreeMap::new(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Declares a parameter.
+    pub fn param(mut self, name: impl Into<String>, ty: ParamType) -> Self {
+        self.params.insert(name.into(), ty);
+        self
+    }
+
+    /// Adds a template node.
+    pub fn node(mut self, id: &str, kind: NodeKind, template: &str) -> Self {
+        self.nodes.push(PatternNode {
+            id: id.to_string(),
+            kind,
+            template: template.to_string(),
+        });
+        self
+    }
+
+    /// Adds a one-to-one edge.
+    pub fn edge(mut self, from: &str, to: &str, kind: EdgeKind) -> Self {
+        self.edges.push(PatternEdge {
+            from: from.to_string(),
+            to: to.to_string(),
+            kind,
+            multiplicity: Multiplicity::One,
+        });
+        self
+    }
+
+    /// Adds a for-each edge: `to`'s subtree is replicated per element of
+    /// list parameter `over`, binding `{var}` in the subtree's templates.
+    pub fn for_each(mut self, from: &str, to: &str, kind: EdgeKind, over: &str, var: &str) -> Self {
+        self.edges.push(PatternEdge {
+            from: from.to_string(),
+            to: to.to_string(),
+            kind,
+            multiplicity: Multiplicity::ForEach {
+                over: over.to_string(),
+                var: var.to_string(),
+            },
+        });
+        self
+    }
+
+    /// Adds an optional edge enabled when `param` is bound.
+    pub fn optional(mut self, from: &str, to: &str, kind: EdgeKind, param: &str) -> Self {
+        self.edges.push(PatternEdge {
+            from: from.to_string(),
+            to: to.to_string(),
+            kind,
+            multiplicity: Multiplicity::Optional {
+                param: param.to_string(),
+            },
+        });
+        self
+    }
+
+    /// The placeholders used across all templates.
+    pub fn placeholders(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for node in &self.nodes {
+            for ph in extract_placeholders(&node.template) {
+                out.push((node.id.clone(), ph));
+            }
+        }
+        out
+    }
+
+    /// Loop variables introduced by `ForEach` edges.
+    fn loop_vars(&self) -> Vec<String> {
+        self.edges
+            .iter()
+            .filter_map(|e| match &e.multiplicity {
+                Multiplicity::ForEach { var, .. } => Some(var.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Validates the pattern itself (static checks, independent of any
+    /// binding): placeholders declared, edge endpoints exist.
+    pub fn validate(&self) -> Result<(), InstantiationError> {
+        let loop_vars = self.loop_vars();
+        for (node, ph) in self.placeholders() {
+            if !self.params.contains_key(&ph) && !loop_vars.contains(&ph) {
+                return Err(InstantiationError::UnknownPlaceholder {
+                    placeholder: ph,
+                    node,
+                });
+            }
+        }
+        let ids: Vec<&str> = self.nodes.iter().map(|n| n.id.as_str()).collect();
+        for edge in &self.edges {
+            if !ids.contains(&edge.from.as_str()) {
+                return Err(InstantiationError::Malformed(format!(
+                    "edge source `{}` does not exist",
+                    edge.from
+                )));
+            }
+            if !ids.contains(&edge.to.as_str()) {
+                return Err(InstantiationError::Malformed(format!(
+                    "edge target `{}` does not exist",
+                    edge.to
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Type-checks `binding` against the declared parameters (Matsuno's
+    /// "automate checking [instantiations'] type consistency").
+    pub fn check_binding(&self, binding: &Binding) -> Result<(), InstantiationError> {
+        for name in binding.params() {
+            if !self.params.contains_key(name) {
+                return Err(InstantiationError::Undeclared {
+                    param: name.to_string(),
+                });
+            }
+        }
+        for (name, ty) in &self.params {
+            match binding.get(name) {
+                None => {
+                    // Parameters enabling Optional edges may stay unbound.
+                    let optional = self.edges.iter().any(|e| {
+                        matches!(&e.multiplicity, Multiplicity::Optional { param } if param == name)
+                    });
+                    if !optional {
+                        return Err(InstantiationError::Unbound {
+                            param: name.clone(),
+                        });
+                    }
+                }
+                Some(value) => type_check(name, value, ty)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Instantiates the pattern under `binding` into a concrete argument.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InstantiationError`] when the pattern is malformed,
+    /// the binding is incomplete/ill-typed, or a `ForEach` parameter is
+    /// not a list.
+    pub fn instantiate(&self, binding: &Binding) -> Result<Argument, InstantiationError> {
+        self.validate()?;
+        self.check_binding(binding)?;
+
+        let mut builder = Argument::builder(self.name.clone());
+        // Roots: nodes that are never an edge target.
+        let targets: Vec<&str> = self.edges.iter().map(|e| e.to.as_str()).collect();
+        let roots: Vec<&PatternNode> = self
+            .nodes
+            .iter()
+            .filter(|n| !targets.contains(&n.id.as_str()))
+            .collect();
+        if roots.is_empty() && !self.nodes.is_empty() {
+            return Err(InstantiationError::Malformed(
+                "pattern has no root node".into(),
+            ));
+        }
+        let mut locals: BTreeMap<String, String> = BTreeMap::new();
+        for root in roots {
+            builder = self.emit(
+                root,
+                None,
+                EdgeKind::SupportedBy,
+                binding,
+                &mut locals,
+                "",
+                builder,
+            )?;
+        }
+        builder
+            .build()
+            .map_err(|e| InstantiationError::Malformed(e.to_string()))
+    }
+
+    /// Emits `node` (suffix-renamed) and its subtree; connects to `parent`.
+    #[allow(clippy::too_many_arguments)]
+    fn emit(
+        &self,
+        node: &PatternNode,
+        parent: Option<&str>,
+        edge_kind: EdgeKind,
+        binding: &Binding,
+        locals: &mut BTreeMap<String, String>,
+        suffix: &str,
+        builder: casekit_core::ArgumentBuilder,
+    ) -> Result<casekit_core::ArgumentBuilder, InstantiationError> {
+        let concrete_id = format!("{}{}", node.id, suffix);
+        let text = substitute(&node.template, binding, locals);
+        let mut b = builder.node(Node::new(concrete_id.as_str(), node.kind, text));
+        if let Some(p) = parent {
+            b = b.edge(p, &concrete_id, edge_kind);
+        }
+        for edge in self.edges.iter().filter(|e| e.from == node.id) {
+            let child = self
+                .nodes
+                .iter()
+                .find(|n| n.id == edge.to)
+                .expect("validated edge target");
+            match &edge.multiplicity {
+                Multiplicity::One => {
+                    b = self.emit(
+                        child,
+                        Some(&concrete_id),
+                        edge.kind,
+                        binding,
+                        locals,
+                        suffix,
+                        b,
+                    )?;
+                }
+                Multiplicity::Optional { param } => {
+                    if binding.get(param).is_some() {
+                        b = self.emit(
+                            child,
+                            Some(&concrete_id),
+                            edge.kind,
+                            binding,
+                            locals,
+                            suffix,
+                            b,
+                        )?;
+                    }
+                }
+                Multiplicity::ForEach { over, var } => {
+                    let items = match binding.get(over) {
+                        Some(ParamValue::List(items)) => items.clone(),
+                        Some(_) => {
+                            return Err(InstantiationError::NotAList {
+                                param: over.clone(),
+                            })
+                        }
+                        None => {
+                            return Err(InstantiationError::Unbound {
+                                param: over.clone(),
+                            })
+                        }
+                    };
+                    for (i, item) in items.iter().enumerate() {
+                        let child_suffix = format!("{suffix}_{}", i + 1);
+                        let shadowed = locals.insert(var.clone(), item.render());
+                        b = self.emit(
+                            child,
+                            Some(&concrete_id),
+                            edge.kind,
+                            binding,
+                            locals,
+                            &child_suffix,
+                            b,
+                        )?;
+                        match shadowed {
+                            Some(old) => {
+                                locals.insert(var.clone(), old);
+                            }
+                            None => {
+                                locals.remove(var);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(b)
+    }
+}
+
+/// Extracts `{placeholder}` names from a template.
+fn extract_placeholders(template: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = template;
+    while let Some(open) = rest.find('{') {
+        match rest[open + 1..].find('}') {
+            Some(close) => {
+                out.push(rest[open + 1..open + 1 + close].to_string());
+                rest = &rest[open + 1 + close + 1..];
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+/// Substitutes placeholders from locals (loop vars) first, then bindings.
+fn substitute(template: &str, binding: &Binding, locals: &BTreeMap<String, String>) -> String {
+    let mut out = template.to_string();
+    for (var, value) in locals {
+        out = out.replace(&format!("{{{var}}}"), value);
+    }
+    for name in binding.params() {
+        if let Some(v) = binding.get(name) {
+            out = out.replace(&format!("{{{name}}}"), &v.render());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Matsuno-style hazard pattern: top goal over each hazard in {hazards}.
+    fn hazard_pattern() -> Pattern {
+        Pattern::new("hazard-directed")
+            .param("system", ParamType::Str)
+            .param(
+                "hazards",
+                ParamType::list(ParamType::Str),
+            )
+            .node("g_top", NodeKind::Goal, "{system} is acceptably safe")
+            .node("s_haz", NodeKind::Strategy, "Argue over all identified hazards")
+            .node("g_h", NodeKind::Goal, "Hazard {h} is mitigated")
+            .node("e_h", NodeKind::Solution, "Mitigation evidence for {h}")
+            .edge("g_top", "s_haz", EdgeKind::SupportedBy)
+            .for_each("s_haz", "g_h", EdgeKind::SupportedBy, "hazards", "h")
+            .edge("g_h", "e_h", EdgeKind::SupportedBy)
+    }
+
+    fn hazard_binding() -> Binding {
+        Binding::new().with("system", "UAV").with(
+            "hazards",
+            ParamValue::List(vec!["mid-air collision".into(), "loss of link".into()]),
+        )
+    }
+
+    #[test]
+    fn instantiation_expands_for_each() {
+        let arg = hazard_pattern().instantiate(&hazard_binding()).unwrap();
+        // g_top, s_haz, 2×(g_h, e_h) = 6 nodes.
+        assert_eq!(arg.len(), 6);
+        let g1 = arg.node(&"g_h_1".into()).unwrap();
+        assert_eq!(g1.text, "Hazard mid-air collision is mitigated");
+        let g2 = arg.node(&"g_h_2".into()).unwrap();
+        assert_eq!(g2.text, "Hazard loss of link is mitigated");
+        let top = arg.node(&"g_top".into()).unwrap();
+        assert_eq!(top.text, "UAV is acceptably safe");
+        // The instance is well-formed GSN.
+        assert!(casekit_core::gsn::check(&arg).is_empty());
+    }
+
+    #[test]
+    fn unbound_parameter_rejected() {
+        let binding = Binding::new().with("system", "UAV");
+        let err = hazard_pattern().instantiate(&binding).unwrap_err();
+        assert_eq!(
+            err,
+            InstantiationError::Unbound {
+                param: "hazards".into()
+            }
+        );
+    }
+
+    #[test]
+    fn undeclared_binding_rejected() {
+        let binding = hazard_binding().with("oops", 3i64);
+        let err = hazard_pattern().instantiate(&binding).unwrap_err();
+        assert!(matches!(err, InstantiationError::Undeclared { .. }));
+    }
+
+    #[test]
+    fn matsunos_misuse_example_rejected_by_enum_type() {
+        // "If a user instantiates [System X] with 'Railway hazards', the
+        // argument does not make sense. Type checking prevents such a
+        // misplacement."
+        let pattern = Pattern::new("typed-system")
+            .param(
+                "system",
+                ParamType::enumeration("SystemName", ["Railway control", "Signalling"]),
+            )
+            .node("g", NodeKind::Goal, "{system} is safe")
+            .node("e", NodeKind::Solution, "analysis")
+            .edge("g", "e", EdgeKind::SupportedBy);
+        let err = pattern
+            .instantiate(&Binding::new().with("system", "Railway hazards"))
+            .unwrap_err();
+        assert!(matches!(err, InstantiationError::Type(_)));
+        assert!(err.to_string().contains("Railway hazards"));
+    }
+
+    #[test]
+    fn plausible_but_wrong_value_still_passes_the_type_check() {
+        // The §V-A caveat, executable: type checking can't tell the right
+        // member of the enum from the wrong one.
+        let pattern = Pattern::new("typed-system")
+            .param(
+                "system",
+                ParamType::enumeration("SystemName", ["Railway control", "Signalling"]),
+            )
+            .node("g", NodeKind::Goal, "{system} is safe")
+            .node("e", NodeKind::Solution, "analysis of Railway control")
+            .edge("g", "e", EdgeKind::SupportedBy);
+        // The evidence is about Railway control but the goal claims
+        // Signalling: well-typed, wrong, accepted.
+        let arg = pattern
+            .instantiate(&Binding::new().with("system", "Signalling"))
+            .unwrap();
+        assert_eq!(arg.node(&"g".into()).unwrap().text, "Signalling is safe");
+    }
+
+    #[test]
+    fn percent_range_enforced_in_pattern() {
+        let pattern = Pattern::new("cpu")
+            .param("util", ParamType::Percent)
+            .node("g", NodeKind::Goal, "CPU utilisation stays below {util}%")
+            .node("e", NodeKind::Solution, "scheduling analysis")
+            .edge("g", "e", EdgeKind::SupportedBy);
+        assert!(pattern
+            .instantiate(&Binding::new().with("util", 85i64))
+            .is_ok());
+        assert!(pattern
+            .instantiate(&Binding::new().with("util", 130i64))
+            .is_err());
+    }
+
+    #[test]
+    fn optional_edge_present_only_when_bound() {
+        let pattern = Pattern::new("opt")
+            .param("system", ParamType::Str)
+            .param("standard", ParamType::Str)
+            .node("g", NodeKind::Goal, "{system} safe")
+            .node("e", NodeKind::Solution, "tests")
+            .node("c", NodeKind::Context, "Per standard {standard}")
+            .edge("g", "e", EdgeKind::SupportedBy)
+            .optional("g", "c", EdgeKind::InContextOf, "standard");
+        let without = pattern
+            .instantiate(&Binding::new().with("system", "X"))
+            .unwrap();
+        assert_eq!(without.len(), 2);
+        let with = pattern
+            .instantiate(
+                &Binding::new()
+                    .with("system", "X")
+                    .with("standard", "DO-178C"),
+            )
+            .unwrap();
+        assert_eq!(with.len(), 3);
+        assert!(with
+            .node(&"c".into())
+            .unwrap()
+            .text
+            .contains("DO-178C"));
+    }
+
+    #[test]
+    fn undeclared_placeholder_caught_statically() {
+        let pattern = Pattern::new("bad")
+            .node("g", NodeKind::Goal, "{mystery} is safe")
+            .node("e", NodeKind::Solution, "tests")
+            .edge("g", "e", EdgeKind::SupportedBy);
+        let err = pattern.validate().unwrap_err();
+        assert!(matches!(
+            err,
+            InstantiationError::UnknownPlaceholder { ref placeholder, .. } if placeholder == "mystery"
+        ));
+    }
+
+    #[test]
+    fn dangling_edge_caught() {
+        let pattern = Pattern::new("bad").node("g", NodeKind::Goal, "x").edge(
+            "g",
+            "ghost",
+            EdgeKind::SupportedBy,
+        );
+        assert!(matches!(
+            pattern.validate(),
+            Err(InstantiationError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn for_each_over_non_list_rejected() {
+        let pattern = Pattern::new("bad")
+            .param("hazards", ParamType::Str) // declared Str, used as list
+            .node("g", NodeKind::Goal, "top")
+            .node("h", NodeKind::Goal, "hazard {h}")
+            .for_each("g", "h", EdgeKind::SupportedBy, "hazards", "h");
+        let err = pattern
+            .instantiate(&Binding::new().with("hazards", "oops"))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            InstantiationError::NotAList {
+                param: "hazards".into()
+            }
+        );
+    }
+
+    #[test]
+    fn empty_list_yields_no_expansion() {
+        let arg = hazard_pattern()
+            .instantiate(
+                &Binding::new()
+                    .with("system", "UAV")
+                    .with("hazards", ParamValue::List(vec![])),
+            )
+            .unwrap();
+        assert_eq!(arg.len(), 2); // g_top, s_haz only
+    }
+
+    #[test]
+    fn nested_for_each_suffixes_are_unique() {
+        let pattern = Pattern::new("nested")
+            .param("subsystems", ParamType::list(ParamType::Str))
+            .param("modes", ParamType::list(ParamType::Str))
+            .node("g", NodeKind::Goal, "system safe")
+            .node("gs", NodeKind::Goal, "{s} safe")
+            .node("gm", NodeKind::Goal, "{s} safe in mode {m}")
+            .node("e", NodeKind::Solution, "evidence for {s}/{m}")
+            .for_each("g", "gs", EdgeKind::SupportedBy, "subsystems", "s")
+            .for_each("gs", "gm", EdgeKind::SupportedBy, "modes", "m")
+            .edge("gm", "e", EdgeKind::SupportedBy);
+        let arg = pattern
+            .instantiate(
+                &Binding::new()
+                    .with(
+                        "subsystems",
+                        ParamValue::List(vec!["nav".into(), "comms".into()]),
+                    )
+                    .with(
+                        "modes",
+                        ParamValue::List(vec!["takeoff".into(), "cruise".into()]),
+                    ),
+            )
+            .unwrap();
+        // 1 + 2 + 4 + 4 = 11 nodes.
+        assert_eq!(arg.len(), 11);
+        let node = arg.node(&"gm_1_2".into()).unwrap();
+        assert_eq!(node.text, "nav safe in mode cruise");
+        assert!(arg
+            .node(&"e_2_1".into())
+            .unwrap()
+            .text
+            .contains("comms/takeoff"));
+    }
+
+    #[test]
+    fn placeholder_extraction() {
+        assert_eq!(
+            extract_placeholders("a {x} b {y} c"),
+            vec!["x".to_string(), "y".to_string()]
+        );
+        assert!(extract_placeholders("no placeholders").is_empty());
+        assert!(extract_placeholders("dangling {brace").is_empty());
+    }
+
+    #[test]
+    fn error_displays() {
+        assert!(InstantiationError::Unbound { param: "x".into() }
+            .to_string()
+            .contains("not instantiated"));
+        assert!(InstantiationError::UnknownPlaceholder {
+            placeholder: "p".into(),
+            node: "n".into()
+        }
+        .to_string()
+        .contains("{p}"));
+        assert!(InstantiationError::NotAList { param: "l".into() }
+            .to_string()
+            .contains("list"));
+    }
+}

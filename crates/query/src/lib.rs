@@ -1,0 +1,51 @@
+//! # casekit-query
+//!
+//! Metadata annotation and structured querying over assurance arguments,
+//! implementing Denney, Naylor & Pai's proposal (Graydon §III-H): nodes are
+//! "semantically enriched" with typed attributes drawn from a
+//! user-defined [`Ontology`], and readers pose structured queries such as
+//!
+//! ```text
+//! select goals where hazard.severity = catastrophic and hazard.likelihood = remote
+//! ```
+//!
+//! — the paper's own example of "traceability to only those hazards whose
+//! likelihood of occurrence is remote, and whose severity is catastrophic".
+//!
+//! The crate also extracts *traceability views*: the sub-argument
+//! containing the matching nodes and every ancestor up to the root, which
+//! is what a reviewer actually looks at.
+//!
+//! ```
+//! use casekit_core::dsl::parse_argument;
+//! use casekit_query::{AnnotationStore, Ontology, FieldType, parse_query};
+//!
+//! let arg = parse_argument(r#"
+//!     argument "haz" {
+//!       goal g1 "All hazards mitigated" {
+//!         goal g2 "Fire mitigated" { solution e1 "extinguisher test" }
+//!       }
+//!     }
+//! "#).unwrap();
+//!
+//! let mut ontology = Ontology::new();
+//! ontology.declare_enum("severity", ["catastrophic", "major", "minor"]);
+//! ontology.declare_attribute("hazard", [("severity", FieldType::Enum("severity".into()))]);
+//!
+//! let mut store = AnnotationStore::new(ontology);
+//! store.annotate(&arg, "g2", "hazard", [("severity", "catastrophic")]).unwrap();
+//!
+//! let q = parse_query("select goals where hazard.severity = catastrophic").unwrap();
+//! let hits = q.run(&arg, &store);
+//! assert_eq!(hits.len(), 1);
+//! ```
+
+mod annotation;
+mod ontology;
+mod query;
+mod view;
+
+pub use annotation::{AnnotationError, AnnotationStore, FieldValue};
+pub use ontology::{FieldType, Ontology};
+pub use query::{parse_query, Condition, Op, Query, Selector};
+pub use view::traceability_view;

@@ -1,0 +1,509 @@
+//! The structured query language over annotated arguments.
+//!
+//! ```text
+//! query ::= "select" selector ("where" condition ("and" condition)*)?
+//! selector ::= "goals" | "strategies" | "solutions" | "contexts"
+//!            | "assumptions" | "justifications" | "nodes"
+//! condition ::= attr "." field op value
+//!             | "has" attr
+//!             | "text" "contains" string
+//! op ::= "=" | "!="
+//! value ::= ident | integer | string
+//! ```
+
+use crate::annotation::{AnnotationStore, FieldValue};
+use casekit_core::{Argument, NodeId, NodeKind};
+use casekit_logic::{ParseError, Span};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What kinds of node a query selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Selector {
+    /// A single node kind.
+    Kind(NodeKind),
+    /// Every node.
+    AnyNode,
+}
+
+/// Comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+}
+
+/// One query condition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Condition {
+    /// `attr.field <op> value`.
+    Field {
+        /// Attribute name.
+        attribute: String,
+        /// Field name.
+        field: String,
+        /// Operator.
+        op: Op,
+        /// Comparand.
+        value: FieldValue,
+    },
+    /// `has attr` — the node carries at least one instance of the attribute.
+    Has {
+        /// Attribute name.
+        attribute: String,
+    },
+    /// `text contains "..."` — substring match on the node's prose.
+    TextContains {
+        /// The needle.
+        needle: String,
+    },
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Query {
+    /// The node selector.
+    pub selector: Selector,
+    /// Conjunctive conditions.
+    pub conditions: Vec<Condition>,
+}
+
+impl Query {
+    /// Runs the query, returning matching node ids in id order.
+    pub fn run(&self, argument: &Argument, store: &AnnotationStore) -> Vec<NodeId> {
+        argument
+            .nodes()
+            .filter(|node| match self.selector {
+                Selector::AnyNode => true,
+                Selector::Kind(k) => node.kind == k,
+            })
+            .filter(|node| {
+                self.conditions
+                    .iter()
+                    .all(|c| condition_holds(c, node, store))
+            })
+            .map(|node| node.id.clone())
+            .collect()
+    }
+}
+
+fn condition_holds(
+    condition: &Condition,
+    node: &casekit_core::Node,
+    store: &AnnotationStore,
+) -> bool {
+    match condition {
+        Condition::Has { attribute } => store
+            .annotations(&node.id)
+            .iter()
+            .any(|a| &a.attribute == attribute),
+        Condition::Field {
+            attribute,
+            field,
+            op,
+            value,
+        } => store.annotations(&node.id).iter().any(|a| {
+            if &a.attribute != attribute {
+                return false;
+            }
+            match a.fields.get(field) {
+                None => false,
+                Some(actual) => match op {
+                    Op::Eq => actual == value,
+                    Op::Ne => actual != value,
+                },
+            }
+        }),
+        Condition::TextContains { needle } => {
+            node.text.to_lowercase().contains(&needle.to_lowercase())
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.selector {
+            Selector::AnyNode => "nodes".to_string(),
+            Selector::Kind(k) => format!("{k}s"),
+        };
+        write!(f, "select {kind}")?;
+        for (i, c) in self.conditions.iter().enumerate() {
+            let joiner = if i == 0 { " where " } else { " and " };
+            f.write_str(joiner)?;
+            match c {
+                Condition::Field {
+                    attribute,
+                    field,
+                    op,
+                    value,
+                } => {
+                    let op = match op {
+                        Op::Eq => "=",
+                        Op::Ne => "!=",
+                    };
+                    write!(f, "{attribute}.{field} {op} {value}")?;
+                }
+                Condition::Has { attribute } => write!(f, "has {attribute}")?,
+                Condition::TextContains { needle } => {
+                    write!(f, "text contains \"{needle}\"")?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses a query.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for malformed input.
+pub fn parse_query(input: &str) -> Result<Query, ParseError> {
+    let mut toks = tokenize(input);
+    expect(&mut toks, "select", input)?;
+    let selector_word = next_word(&mut toks, "a selector", input)?;
+    let selector = match selector_word.as_str() {
+        "goals" => Selector::Kind(NodeKind::Goal),
+        "strategies" => Selector::Kind(NodeKind::Strategy),
+        "solutions" => Selector::Kind(NodeKind::Solution),
+        "contexts" => Selector::Kind(NodeKind::Context),
+        "assumptions" => Selector::Kind(NodeKind::Assumption),
+        "justifications" => Selector::Kind(NodeKind::Justification),
+        "claims" => Selector::Kind(NodeKind::Claim),
+        "evidence" => Selector::Kind(NodeKind::Evidence),
+        "nodes" => Selector::AnyNode,
+        other => {
+            return Err(ParseError::new(
+                format!("unknown selector `{other}`"),
+                Span::new(0, input.len()),
+            ))
+        }
+    };
+    let mut conditions = Vec::new();
+    if !toks.is_empty() {
+        expect(&mut toks, "where", input)?;
+        loop {
+            conditions.push(parse_condition(&mut toks, input)?);
+            if toks.is_empty() {
+                break;
+            }
+            expect(&mut toks, "and", input)?;
+        }
+    }
+    Ok(Query {
+        selector,
+        conditions,
+    })
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum QTok {
+    Word(String),
+    Str(String),
+    Int(i64),
+    Dot,
+    Eq,
+    Ne,
+}
+
+fn tokenize(input: &str) -> Vec<QTok> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == '.' {
+            out.push(QTok::Dot);
+            i += 1;
+        } else if c == '=' {
+            out.push(QTok::Eq);
+            i += 1;
+        } else if c == '!' && chars.get(i + 1) == Some(&'=') {
+            out.push(QTok::Ne);
+            i += 2;
+        } else if c == '"' {
+            let mut s = String::new();
+            i += 1;
+            while i < chars.len() && chars[i] != '"' {
+                s.push(chars[i]);
+                i += 1;
+            }
+            i += 1; // closing quote (or end)
+            out.push(QTok::Str(s));
+        } else if c == '-' || c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            match text.parse() {
+                Ok(v) => out.push(QTok::Int(v)),
+                Err(_) => out.push(QTok::Word(text)),
+            }
+        } else if c.is_alphanumeric() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            out.push(QTok::Word(chars[start..i].iter().collect()));
+        } else {
+            // Unknown char: emit as a word so the parser reports it.
+            out.push(QTok::Word(c.to_string()));
+            i += 1;
+        }
+    }
+    out
+}
+
+fn expect(toks: &mut Vec<QTok>, word: &str, input: &str) -> Result<(), ParseError> {
+    match toks.first() {
+        Some(QTok::Word(w)) if w == word => {
+            toks.remove(0);
+            Ok(())
+        }
+        _ => Err(ParseError::new(
+            format!("expected `{word}`"),
+            Span::new(0, input.len()),
+        )),
+    }
+}
+
+fn next_word(toks: &mut Vec<QTok>, what: &str, input: &str) -> Result<String, ParseError> {
+    match toks.first().cloned() {
+        Some(QTok::Word(w)) => {
+            toks.remove(0);
+            Ok(w)
+        }
+        _ => Err(ParseError::new(
+            format!("expected {what}"),
+            Span::new(0, input.len()),
+        )),
+    }
+}
+
+fn parse_condition(toks: &mut Vec<QTok>, input: &str) -> Result<Condition, ParseError> {
+    let first = next_word(toks, "a condition", input)?;
+    if first == "has" {
+        let attribute = next_word(toks, "an attribute name", input)?;
+        return Ok(Condition::Has { attribute });
+    }
+    if first == "text" {
+        expect(toks, "contains", input)?;
+        match toks.first().cloned() {
+            Some(QTok::Str(s)) => {
+                toks.remove(0);
+                return Ok(Condition::TextContains { needle: s });
+            }
+            _ => {
+                return Err(ParseError::new(
+                    "expected a quoted string after `contains`",
+                    Span::new(0, input.len()),
+                ))
+            }
+        }
+    }
+    // attr.field op value
+    match toks.first() {
+        Some(QTok::Dot) => {
+            toks.remove(0);
+        }
+        _ => {
+            return Err(ParseError::new(
+                format!("expected `.` after attribute `{first}`"),
+                Span::new(0, input.len()),
+            ))
+        }
+    }
+    let field = next_word(toks, "a field name", input)?;
+    let op = match toks.first() {
+        Some(QTok::Eq) => {
+            toks.remove(0);
+            Op::Eq
+        }
+        Some(QTok::Ne) => {
+            toks.remove(0);
+            Op::Ne
+        }
+        _ => {
+            return Err(ParseError::new(
+                "expected `=` or `!=`",
+                Span::new(0, input.len()),
+            ))
+        }
+    };
+    let value = match toks.first().cloned() {
+        Some(QTok::Word(w)) => {
+            toks.remove(0);
+            FieldValue::Str(w)
+        }
+        Some(QTok::Str(s)) => {
+            toks.remove(0);
+            FieldValue::Str(s)
+        }
+        Some(QTok::Int(v)) => {
+            toks.remove(0);
+            FieldValue::Int(v)
+        }
+        _ => {
+            return Err(ParseError::new(
+                "expected a value",
+                Span::new(0, input.len()),
+            ))
+        }
+    };
+    Ok(Condition::Field {
+        attribute: first,
+        field,
+        op,
+        value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ontology::{FieldType, Ontology};
+    use casekit_core::dsl::parse_argument;
+
+    fn setup() -> (Argument, AnnotationStore) {
+        let arg = parse_argument(
+            r#"argument "haz" {
+                goal g1 "All hazards mitigated" {
+                  goal g2 "Fire suppressed" { solution e1 "sprinkler test" }
+                  goal g3 "Runaway halted" { solution e2 "estop test" }
+                  goal g4 "Noise within limits" { solution e3 "acoustic survey" }
+                }
+            }"#,
+        )
+        .unwrap();
+        let mut ontology = Ontology::new();
+        ontology.declare_enum("severity", ["catastrophic", "major", "minor"]);
+        ontology.declare_enum("likelihood", ["frequent", "probable", "remote"]);
+        ontology.declare_attribute(
+            "hazard",
+            [
+                ("severity", FieldType::Enum("severity".into())),
+                ("likelihood", FieldType::Enum("likelihood".into())),
+            ],
+        );
+        ontology.declare_attribute("wcet_ms", [("value", FieldType::Nat)]);
+        let mut store = AnnotationStore::new(ontology);
+        store
+            .annotate(
+                &arg,
+                "g2",
+                "hazard",
+                [("severity", "catastrophic"), ("likelihood", "remote")],
+            )
+            .unwrap();
+        store
+            .annotate(
+                &arg,
+                "g3",
+                "hazard",
+                [("severity", "catastrophic"), ("likelihood", "frequent")],
+            )
+            .unwrap();
+        store
+            .annotate(
+                &arg,
+                "g4",
+                "hazard",
+                [("severity", "minor"), ("likelihood", "remote")],
+            )
+            .unwrap();
+        store
+            .annotate(&arg, "e1", "wcet_ms", [("value", 250i64)])
+            .unwrap();
+        (arg, store)
+    }
+
+    #[test]
+    fn papers_example_query() {
+        // "traceability to only those hazards whose likelihood of
+        // occurrence is remote, and whose severity is catastrophic".
+        let (arg, store) = setup();
+        let q = parse_query(
+            "select goals where hazard.severity = catastrophic and hazard.likelihood = remote",
+        )
+        .unwrap();
+        let hits = q.run(&arg, &store);
+        assert_eq!(hits, vec![NodeId::new("g2")]);
+    }
+
+    #[test]
+    fn has_and_kind_selectors() {
+        let (arg, store) = setup();
+        let q = parse_query("select goals where has hazard").unwrap();
+        assert_eq!(q.run(&arg, &store).len(), 3);
+        let q = parse_query("select solutions where has wcet_ms").unwrap();
+        assert_eq!(q.run(&arg, &store), vec![NodeId::new("e1")]);
+        let q = parse_query("select nodes").unwrap();
+        assert_eq!(q.run(&arg, &store).len(), arg.len());
+    }
+
+    #[test]
+    fn inequality_and_int_values() {
+        let (arg, store) = setup();
+        let q = parse_query("select goals where hazard.severity != minor").unwrap();
+        assert_eq!(q.run(&arg, &store).len(), 2);
+        let q = parse_query("select solutions where wcet_ms.value = 250").unwrap();
+        assert_eq!(q.run(&arg, &store), vec![NodeId::new("e1")]);
+        let q = parse_query("select solutions where wcet_ms.value = 999").unwrap();
+        assert!(q.run(&arg, &store).is_empty());
+    }
+
+    #[test]
+    fn text_contains() {
+        let (arg, store) = setup();
+        let q = parse_query("select nodes where text contains \"fire\"").unwrap();
+        assert_eq!(q.run(&arg, &store), vec![NodeId::new("g2")]);
+    }
+
+    #[test]
+    fn unannotated_nodes_never_match_field_conditions() {
+        let (arg, store) = setup();
+        let q = parse_query("select goals where hazard.severity = catastrophic").unwrap();
+        let hits = q.run(&arg, &store);
+        assert!(!hits.contains(&NodeId::new("g1")));
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for src in [
+            "select goals where hazard.severity = catastrophic and hazard.likelihood = remote",
+            "select nodes",
+            "select solutions where has wcet_ms",
+            "select nodes where text contains \"fire\"",
+            "select goals where wcet_ms.value != 3",
+        ] {
+            let q = parse_query(src).unwrap();
+            let q2 = parse_query(&q.to_string()).unwrap();
+            assert_eq!(q, q2, "round trip failed for {src}");
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("select widgets").is_err());
+        assert!(parse_query("select goals where").is_err());
+        assert!(parse_query("select goals where hazard severity = x").is_err());
+        assert!(parse_query("select goals where hazard.severity ~ x").is_err());
+        assert!(parse_query("select goals where text contains fire").is_err());
+        assert!(parse_query("goals").is_err());
+    }
+
+    #[test]
+    fn results_in_id_order() {
+        let (arg, store) = setup();
+        let q = parse_query("select goals where hazard.severity = catastrophic").unwrap();
+        let hits = q.run(&arg, &store);
+        assert_eq!(hits, vec![NodeId::new("g2"), NodeId::new("g3")]);
+    }
+}

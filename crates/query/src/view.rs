@@ -1,0 +1,137 @@
+//! Traceability views: the sub-argument a reviewer sees for a query's
+//! matches — the matched nodes, every ancestor up to the roots, and the
+//! matched nodes' immediate evidence.
+
+use casekit_core::{Argument, NodeId};
+use std::collections::BTreeSet;
+
+/// Extracts the traceability view for `matches`: a new [`Argument`]
+/// containing each matched node, all of its ancestors (so the reader sees
+/// how the match hangs off the root), the matched nodes' direct children,
+/// and every edge among the retained nodes.
+///
+/// Unknown ids in `matches` are ignored.
+pub fn traceability_view(argument: &Argument, matches: &[NodeId]) -> Argument {
+    let mut keep: BTreeSet<NodeId> = BTreeSet::new();
+    for id in matches {
+        if argument.node(id).is_none() {
+            continue;
+        }
+        keep.insert(id.clone());
+        // Ancestors via reverse reachability.
+        let mut stack = vec![id.clone()];
+        while let Some(current) = stack.pop() {
+            for parent in argument.parents(&current) {
+                if keep.insert(parent.id.clone()) {
+                    stack.push(parent.id.clone());
+                }
+            }
+        }
+        // Immediate children (the match's own support/context).
+        for child in argument.all_children(id) {
+            keep.insert(child.id.clone());
+        }
+    }
+
+    let mut builder = Argument::builder(format!("{} (view)", argument.name()));
+    for node in argument.nodes() {
+        if keep.contains(&node.id) {
+            builder = builder.node(node.clone());
+        }
+    }
+    for edge in argument.edges() {
+        if keep.contains(&edge.from) && keep.contains(&edge.to) {
+            builder = builder.edge(edge.from.as_str(), edge.to.as_str(), edge.kind);
+        }
+    }
+    builder.build().expect("subgraph of a valid argument")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casekit_core::dsl::parse_argument;
+
+    fn sample() -> Argument {
+        parse_argument(
+            r#"argument "v" {
+                goal g1 "top" {
+                  strategy s1 "split" {
+                    goal g2 "A" { solution e1 "evA" }
+                    goal g3 "B" { solution e2 "evB" }
+                  }
+                }
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn view_contains_match_ancestors_and_evidence() {
+        let arg = sample();
+        let view = traceability_view(&arg, &[NodeId::new("g2")]);
+        // g2 + ancestors (s1, g1) + child e1 — but not g3/e2.
+        assert_eq!(view.len(), 4);
+        assert!(view.node(&"g2".into()).is_some());
+        assert!(view.node(&"g1".into()).is_some());
+        assert!(view.node(&"e1".into()).is_some());
+        assert!(view.node(&"g3".into()).is_none());
+        assert!(view.node(&"e2".into()).is_none());
+        assert!(view.name().contains("view"));
+    }
+
+    #[test]
+    fn edges_restricted_to_kept_nodes() {
+        let arg = sample();
+        let view = traceability_view(&arg, &[NodeId::new("g2")]);
+        assert_eq!(view.edges().len(), 3); // g1->s1, s1->g2, g2->e1
+    }
+
+    #[test]
+    fn multiple_matches_union() {
+        let arg = sample();
+        let view = traceability_view(&arg, &[NodeId::new("g2"), NodeId::new("g3")]);
+        assert_eq!(view.len(), arg.len());
+    }
+
+    #[test]
+    fn empty_matches_empty_view() {
+        let arg = sample();
+        let view = traceability_view(&arg, &[]);
+        assert!(view.is_empty());
+    }
+
+    #[test]
+    fn unknown_ids_ignored() {
+        let arg = sample();
+        let view = traceability_view(&arg, &[NodeId::new("nope")]);
+        assert!(view.is_empty());
+    }
+
+    #[test]
+    fn view_of_root_is_root_plus_children() {
+        let arg = sample();
+        let view = traceability_view(&arg, &[NodeId::new("g1")]);
+        assert_eq!(view.len(), 2); // g1 + s1
+    }
+
+    #[test]
+    fn dag_ancestors_all_captured() {
+        let arg = parse_argument(
+            r#"argument "dag" {
+                goal g1 "top" {
+                  goal g4 "shared" { solution e1 "ev" }
+                  goal g2 "left" { ref g4 }
+                  goal g3 "right" { ref g4 }
+                }
+            }"#,
+        )
+        .unwrap();
+        let view = traceability_view(&arg, &[NodeId::new("g4")]);
+        // g4's ancestors: g2, g3, g1 (both paths).
+        assert!(view.node(&"g2".into()).is_some());
+        assert!(view.node(&"g3".into()).is_some());
+        assert!(view.node(&"g1".into()).is_some());
+        assert!(view.node(&"e1".into()).is_some());
+    }
+}

@@ -1,0 +1,250 @@
+//! Per-paper characterisation (the survey questions of Graydon §III-A)
+//! and the aggregate claims his §IV–§VI draw from it.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// What artefact/aspect a proposal formalises (survey question 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Aspect {
+    /// The argument's syntax (structure rules).
+    Syntax,
+    /// The argument's content, in symbolic/deductive logic.
+    Content,
+    /// Argument generated from an existing formal proof.
+    GeneratedFromProof,
+    /// Metadata annotations on an informal argument.
+    Annotations,
+    /// Pattern structure.
+    PatternStructure,
+    /// Pattern parameters (typed placeholders).
+    PatternParameters,
+}
+
+/// Relationship to the informal argument (survey question 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Relationship {
+    /// The formalism replaces (part of) the informal argument.
+    Replaces,
+    /// The formalism augments an informal argument.
+    Augments,
+    /// The formal artefact is generated from another formal artefact.
+    Generated,
+    /// The papers do not make it clear.
+    Unclear,
+}
+
+/// What evidence of benefit the paper offers (survey question 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Evidence {
+    /// No evidence offered.
+    None,
+    /// An illustrative example only.
+    Example,
+    /// A cited case study without assessable detail.
+    ThinCaseStudy,
+    /// Substantial empirical evidence (no surveyed paper reaches this;
+    /// the variant exists so the aggregate is computed, not hard-coded).
+    Substantial,
+}
+
+/// One characterised paper.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Characterisation {
+    /// Graydon's reference number.
+    pub ref_num: u8,
+    /// Short author tag for reports.
+    pub authors: &'static str,
+    /// Aspects formalised.
+    pub aspects: &'static [Aspect],
+    /// Relationship to the informal argument.
+    pub relationship: Relationship,
+    /// Claims (or implies) mechanical validation justifies more
+    /// confidence (§IV: six papers).
+    pub claims_mechanical_benefit: bool,
+    /// Explicitly mentions mechanical verification of the formalised
+    /// argument (§V-B: four papers).
+    pub mentions_mechanical_verification: bool,
+    /// Counted by Graydon §V-B among the papers proposing symbolic,
+    /// deductive *content* (his list of eleven).
+    pub symbolic_content: bool,
+    /// Proposes writing the argument informally first, then formalising
+    /// (§VI-B: three papers).
+    pub informal_first: bool,
+    /// Evidence offered for claimed benefits.
+    pub evidence: Evidence,
+    /// Mentions any drawback of formalisation.
+    pub notes_drawbacks: bool,
+    /// Candidly frames benefit as a hypothesis needing experiments
+    /// (§VII: only Rushby).
+    pub acknowledges_hypothesis: bool,
+}
+
+/// The characterisation table: the twenty selected papers plus Sokolsky
+/// et al. [39], which Graydon characterises alongside them.
+pub fn characterisations() -> Vec<Characterisation> {
+    use Aspect::*;
+    use Relationship::*;
+    let c = |ref_num,
+             authors,
+             aspects,
+             relationship,
+             claims_mechanical_benefit,
+             mentions_mechanical_verification,
+             symbolic_content,
+             informal_first,
+             evidence,
+             notes_drawbacks,
+             acknowledges_hypothesis| Characterisation {
+        ref_num,
+        authors,
+        aspects,
+        relationship,
+        claims_mechanical_benefit,
+        mentions_mechanical_verification,
+        symbolic_content,
+        informal_first,
+        evidence,
+        notes_drawbacks,
+        acknowledges_hypothesis,
+    };
+    vec![
+        c(6, "Basir, Denney & Fischer 2009", &[GeneratedFromProof] as &[Aspect], Generated, false, false, false, false, Evidence::Example, true, false),
+        c(7, "Basir, Denney & Fischer 2010", &[GeneratedFromProof], Generated, false, false, false, false, Evidence::Example, false, false),
+        c(8, "Bishop & Bloomfield 1995", &[Content], Replaces, false, false, true, false, Evidence::None, false, false),
+        c(9, "Brunel & Cazin 2012", &[Content], Replaces, true, true, true, true, Evidence::Example, true, false),
+        c(10, "Denney, Pai & Pohl 2012", &[GeneratedFromProof], Generated, false, false, false, false, Evidence::Example, false, false),
+        c(11, "Denney & Pai 2013", &[Syntax, PatternStructure], Augments, true, false, false, false, Evidence::None, false, false),
+        c(12, "Denney, Pai & Whiteside 2013", &[Syntax], Augments, false, false, false, false, Evidence::Example, false, false),
+        c(13, "Denney, Naylor & Pai 2014", &[Annotations], Augments, false, false, false, false, Evidence::Example, true, false),
+        c(14, "Forder 1992", &[Content], Unclear, false, false, true, false, Evidence::None, false, false),
+        c(15, "Haley et al. 2006", &[Content], Replaces, false, false, true, false, Evidence::None, false, false),
+        c(16, "Haley et al. 2008", &[Content], Replaces, true, false, true, false, Evidence::Example, true, false),
+        c(17, "Matsuno & Taguchi 2011", &[Syntax, PatternStructure, PatternParameters], Augments, true, false, false, false, Evidence::None, false, false),
+        c(18, "Matsuno 2014", &[Syntax, PatternStructure, PatternParameters], Augments, true, false, false, false, Evidence::None, false, false),
+        c(19, "Rushby 2010", &[Content], Augments, false, true, true, true, Evidence::None, true, true),
+        c(20, "Rushby 2013 (SAFECOMP)", &[Content], Augments, false, true, true, false, Evidence::None, true, true),
+        c(21, "Rushby 2013 (AAA)", &[Content], Augments, false, false, false, false, Evidence::None, false, false),
+        c(22, "Tun et al. 2012", &[Content], Replaces, false, true, true, true, Evidence::Example, false, false),
+        c(23, "Tolchinsky et al. 2012", &[Content], Unclear, false, false, false, false, Evidence::Example, true, false),
+        c(24, "Tun et al. 2010", &[Content], Replaces, false, false, true, false, Evidence::Example, false, false),
+        c(25, "Yu et al. 2011", &[Content], Replaces, false, false, true, false, Evidence::ThinCaseStudy, false, false),
+        c(39, "Sokolsky, Lee & Heimdahl 2011", &[Content], Unclear, true, false, true, false, Evidence::None, false, false),
+    ]
+}
+
+/// The aggregate counts Graydon's text states, computed from the table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClaimAggregates {
+    /// §IV: papers claiming/implying mechanical-validation benefit.
+    pub mechanical_benefit: BTreeSet<u8>,
+    /// §V-B: papers proposing symbolic/deductive *content*.
+    pub symbolic_content: BTreeSet<u8>,
+    /// §V-B: of those, papers explicitly mentioning mechanical
+    /// verification.
+    pub explicit_verification: BTreeSet<u8>,
+    /// §V-A: papers formalising graphical-argument *syntax*.
+    pub formal_syntax: BTreeSet<u8>,
+    /// §VI-B: papers proposing informal-first-then-formalise.
+    pub informal_first: BTreeSet<u8>,
+    /// §VI-D: papers formalising pattern structure.
+    pub pattern_structure: BTreeSet<u8>,
+    /// §VI-D: papers formalising pattern parameters.
+    pub pattern_parameters: BTreeSet<u8>,
+    /// Papers supplying substantial evidence of benefit (the paper's
+    /// finding: none).
+    pub substantial_evidence: BTreeSet<u8>,
+    /// Papers candidly framing benefit as a hypothesis (Rushby only).
+    pub hypothesis_acknowledged: BTreeSet<u8>,
+}
+
+/// Computes the aggregates over [`characterisations`].
+pub fn aggregates() -> ClaimAggregates {
+    let table = characterisations();
+    let refs = |pred: &dyn Fn(&Characterisation) -> bool| -> BTreeSet<u8> {
+        table.iter().filter(|c| pred(c)).map(|c| c.ref_num).collect()
+    };
+    ClaimAggregates {
+        mechanical_benefit: refs(&|c| c.claims_mechanical_benefit),
+        symbolic_content: refs(&|c| c.symbolic_content),
+        explicit_verification: refs(&|c| c.mentions_mechanical_verification),
+        formal_syntax: refs(&|c| c.aspects.contains(&Aspect::Syntax)),
+        informal_first: refs(&|c| c.informal_first),
+        pattern_structure: refs(&|c| c.aspects.contains(&Aspect::PatternStructure)),
+        pattern_parameters: refs(&|c| c.aspects.contains(&Aspect::PatternParameters)),
+        substantial_evidence: refs(&|c| matches!(c.evidence, Evidence::Substantial)),
+        hypothesis_acknowledged: refs(&|c| c.acknowledges_hypothesis),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[u8]) -> BTreeSet<u8> {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn twenty_one_characterised_papers() {
+        let table = characterisations();
+        assert_eq!(table.len(), 21);
+        let refs: BTreeSet<u8> = table.iter().map(|c| c.ref_num).collect();
+        assert_eq!(refs.len(), 21);
+    }
+
+    #[test]
+    fn section_iv_six_papers_claim_mechanical_benefit() {
+        // "[9], [11], [16]–[18], [39]".
+        let agg = aggregates();
+        assert_eq!(agg.mechanical_benefit, set(&[9, 11, 16, 17, 18, 39]));
+        assert_eq!(agg.mechanical_benefit.len(), 6);
+    }
+
+    #[test]
+    fn section_v_b_eleven_symbolic_content_proposals() {
+        // "[8], [9], [14]–[16], [19], [20], [22], [24], [25], [39]".
+        let agg = aggregates();
+        assert_eq!(
+            agg.symbolic_content,
+            set(&[8, 9, 14, 15, 16, 19, 20, 22, 24, 25, 39])
+        );
+        assert_eq!(agg.symbolic_content.len(), 11);
+    }
+
+    #[test]
+    fn section_v_b_four_explicit_verification() {
+        // "[9], [19], [20], [22]".
+        let agg = aggregates();
+        assert_eq!(agg.explicit_verification, set(&[9, 19, 20, 22]));
+    }
+
+    #[test]
+    fn section_v_a_four_formal_syntax_proposals() {
+        // "[11], [12], [17], [18]".
+        let agg = aggregates();
+        assert_eq!(agg.formal_syntax, set(&[11, 12, 17, 18]));
+    }
+
+    #[test]
+    fn section_vi_b_three_informal_first() {
+        // "[9], [19], [22]".
+        let agg = aggregates();
+        assert_eq!(agg.informal_first, set(&[9, 19, 22]));
+    }
+
+    #[test]
+    fn section_vi_d_pattern_counts() {
+        // Structure: "[11], [17], [18]"; parameters: "[17], [18]".
+        let agg = aggregates();
+        assert_eq!(agg.pattern_structure, set(&[11, 17, 18]));
+        assert_eq!(agg.pattern_parameters, set(&[17, 18]));
+    }
+
+    #[test]
+    fn no_substantial_evidence_and_only_rushby_candid() {
+        let agg = aggregates();
+        assert!(agg.substantial_evidence.is_empty());
+        assert_eq!(agg.hypothesis_acknowledged, set(&[19, 20]));
+    }
+}

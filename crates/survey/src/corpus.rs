@@ -1,0 +1,329 @@
+//! The encoded corpus.
+//!
+//! 72 unique phase-1 papers whose (library × domain) attributions
+//! reproduce Table I's marginals exactly:
+//!
+//! * safety query: IEEE 12, ACM 17, Springer 24, Google Scholar 8
+//!   (61 attributions over 54 unique papers — 7 papers surfaced in two
+//!   libraries);
+//! * security query: IEEE 13, ACM 7, Springer 2, Google Scholar 1
+//!   (23 attributions over 23 unique papers);
+//! * 5 papers surfaced under both queries, so 54 + 23 − 5 = 72 unique.
+//!
+//! The 21 real papers (Graydon's refs 6–25 and 39) carry their actual
+//! titles and years; the remaining 51 are synthesised (titles marked
+//! "(synthetic)"). A pool of synthetic phase-1 *rejects* is added so the
+//! phase-1 filter does real work.
+
+use crate::paper::{
+    AbstractSignals, Attribution, Domain, FullTextSignals, Library, Paper,
+};
+
+/// The real papers: (ref, year, title, security-domain?, phase-2 selected?).
+///
+/// Ref 39 (Sokolsky et al.) is characterised by Graydon alongside the
+/// twenty selected papers but is not among refs 6–25; we encode it as
+/// surfacing in phase 1 and *not* phase-2 selected, matching "phase two
+/// yielded twenty selected papers [6]–[25]".
+const REAL_PAPERS: &[(u8, u16, &str, bool, bool)] = &[
+    (6, 2009, "Deriving safety cases from automatically constructed proofs", false, true),
+    (7, 2010, "Deriving safety cases for hierarchical structure in model-based development", false, true),
+    (8, 1995, "The SHIP safety case approach", false, true),
+    (9, 2012, "Formal verification of a safety argumentation and application to a complex UAV system", false, true),
+    (10, 2012, "Heterogeneous aviation safety cases: Integrating the formal and the non-formal", false, true),
+    (11, 2013, "A formal basis for safety case patterns", false, true),
+    (12, 2013, "Hierarchical safety cases", false, true),
+    (13, 2014, "Querying safety cases", false, true),
+    (14, 1992, "A safety argument manager", false, true),
+    (15, 2006, "A framework for security requirements engineering", true, true),
+    (16, 2008, "Security requirements engineering: A framework for representation and analysis", true, true),
+    (17, 2011, "Parameterised argument structure in GSN patterns", false, true),
+    (18, 2014, "A design and implementation of an assurance case language", false, true),
+    (19, 2010, "Formalism in safety cases", false, true),
+    (20, 2013, "Logic and epistemology in safety cases", false, true),
+    (21, 2013, "Mechanized support for assurance case argumentation", false, true),
+    (22, 2012, "Privacy arguments: Analysing selective disclosure requirements for mobile applications", true, true),
+    (23, 2012, "Deliberation dialogues for reasoning about safety critical actions", false, true),
+    (24, 2010, "Model-based argument analysis for evolving security requirements", true, true),
+    (25, 2011, "OpenArgue: Supporting argumentation to evolve secure software systems", true, true),
+    (39, 2011, "Challenges in the regulatory approval of medical cyber-physical systems", false, false),
+];
+
+fn relevant_abstract() -> AbstractSignals {
+    AbstractSignals {
+        hints_assurance_argument: true,
+        evidence_item_only: false,
+        formal_other_sense: false,
+    }
+}
+
+/// Builds the 72 unique phase-1 papers.
+pub fn phase1_papers() -> Vec<Paper> {
+    let mut papers = Vec::with_capacity(72);
+
+    // ---- The safety-unique set: 54 papers (ids p01..p54). ----
+    // Real safety papers first (16 of them), then synthetic fill.
+    let real_safety: Vec<&(u8, u16, &str, bool, bool)> =
+        REAL_PAPERS.iter().filter(|r| !r.3).collect();
+    let real_security: Vec<&(u8, u16, &str, bool, bool)> =
+        REAL_PAPERS.iter().filter(|r| r.3).collect();
+
+    for i in 0..54usize {
+        let (ref_num, year, title, selected) = match real_safety.get(i) {
+            Some((r, y, t, _, sel)) => (Some(*r), *y, (*t).to_string(), *sel),
+            None => (
+                None,
+                2000 + (i as u16 % 15),
+                format!("Assurance argument notes #{:02} (synthetic)", i + 1),
+                false,
+            ),
+        };
+        papers.push(Paper {
+            id: format!("p{:02}", i + 1),
+            ref_num,
+            title,
+            year,
+            attributions: safety_attributions(i),
+            abstract_signals: relevant_abstract(),
+            fulltext_signals: FullTextSignals {
+                documents_claim_support: selected,
+                discusses_formal_linkage: selected,
+            },
+        });
+    }
+
+    // ---- Security attributions. ----
+    // The security query surfaced 23 unique papers: the first 5 are the
+    // *overlap* papers p50..p54 (also found by the safety query); the
+    // remaining 18 are security-only (ids p55..p72).
+    let security_libs = security_library_sequence();
+    for (slot, lib) in security_libs.iter().enumerate().take(5) {
+        let paper = &mut papers[49 + slot]; // p50..p54
+        paper.attributions.push(Attribution {
+            library: *lib,
+            domain: Domain::Security,
+        });
+    }
+    for (slot, lib) in security_libs.iter().enumerate().skip(5) {
+        let idx = slot - 5; // 0..17
+        let (ref_num, year, title, selected) = match real_security.get(idx) {
+            Some((r, y, t, _, sel)) => (Some(*r), *y, (*t).to_string(), *sel),
+            None => (
+                None,
+                2004 + (idx as u16 % 10),
+                format!("Security argumentation notes #{:02} (synthetic)", idx + 1),
+                false,
+            ),
+        };
+        papers.push(Paper {
+            id: format!("p{:02}", 55 + idx),
+            ref_num,
+            title,
+            year,
+            attributions: vec![Attribution {
+                library: *lib,
+                domain: Domain::Security,
+            }],
+            abstract_signals: relevant_abstract(),
+            fulltext_signals: FullTextSignals {
+                documents_claim_support: selected,
+                discusses_formal_linkage: selected,
+            },
+        });
+    }
+    papers
+}
+
+/// Safety attributions for paper index `i` (0-based within p01..p54):
+/// single libraries 12/17/18/7 for IEEE/ACM/Springer/GS, plus second
+/// attributions (Springer for p01..p06, Google Scholar for p07) to reach
+/// the published 12/17/24/8 column.
+fn safety_attributions(i: usize) -> Vec<Attribution> {
+    let primary = if i < 12 {
+        Library::IeeeXplore
+    } else if i < 29 {
+        Library::AcmDl
+    } else if i < 47 {
+        Library::SpringerLink
+    } else {
+        Library::GoogleScholar
+    };
+    let mut out = vec![Attribution {
+        library: primary,
+        domain: Domain::Safety,
+    }];
+    if i < 6 {
+        out.push(Attribution {
+            library: Library::SpringerLink,
+            domain: Domain::Safety,
+        });
+    } else if i == 6 {
+        out.push(Attribution {
+            library: Library::GoogleScholar,
+            domain: Domain::Safety,
+        });
+    }
+    out
+}
+
+/// Security library per slot: 13 IEEE, 7 ACM, 2 Springer, 1 GS.
+fn security_library_sequence() -> Vec<Library> {
+    let mut out = Vec::with_capacity(23);
+    out.extend(std::iter::repeat_n(Library::IeeeXplore, 13));
+    out.extend(std::iter::repeat_n(Library::AcmDl, 7));
+    out.extend(std::iter::repeat_n(Library::SpringerLink, 2));
+    out.push(Library::GoogleScholar);
+    out
+}
+
+/// Synthetic phase-1 rejects: papers the title/abstract screen removes,
+/// exercising each exclusion criterion.
+pub fn phase1_rejects() -> Vec<Paper> {
+    let mut out = Vec::new();
+    let reasons = [
+        // (hints, evidence-only, formal-other-sense)
+        (false, false, false), // no hint of assurance arguments
+        (true, true, false),   // evidence item (e.g. algorithm proof)
+        (true, false, true),   // 'formal' in another sense
+    ];
+    let libraries = Library::ALL;
+    let mut counter = 0usize;
+    for (hint, evidence, other_sense) in reasons {
+        for (li, lib) in libraries.iter().enumerate() {
+            for k in 0..3usize {
+                counter += 1;
+                out.push(Paper {
+                    id: format!("r{counter:02}"),
+                    ref_num: None,
+                    title: format!("Rejected result #{counter:02} (synthetic)"),
+                    year: 1998 + ((li * 3 + k) as u16),
+                    attributions: vec![Attribution {
+                        library: *lib,
+                        domain: if counter.is_multiple_of(3) {
+                            Domain::Security
+                        } else {
+                            Domain::Safety
+                        },
+                    }],
+                    abstract_signals: AbstractSignals {
+                        hints_assurance_argument: hint,
+                        evidence_item_only: evidence,
+                        formal_other_sense: other_sense,
+                    },
+                    fulltext_signals: FullTextSignals {
+                        documents_claim_support: false,
+                        discusses_formal_linkage: false,
+                    },
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The full raw pool the phase-1 screen runs over: the 72 relevant papers
+/// plus the rejects, shuffled deterministically by id.
+pub fn raw_pool() -> Vec<Paper> {
+    let mut pool = phase1_papers();
+    pool.extend(phase1_rejects());
+    pool.sort_by(|a, b| a.id.cmp(&b.id));
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seventy_two_unique_phase1_papers() {
+        let papers = phase1_papers();
+        assert_eq!(papers.len(), 72);
+        let mut ids: Vec<_> = papers.iter().map(|p| p.id.clone()).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 72);
+    }
+
+    #[test]
+    fn domain_unique_counts_match_table_i() {
+        let papers = phase1_papers();
+        let safety = papers.iter().filter(|p| p.in_domain(Domain::Safety)).count();
+        let security = papers
+            .iter()
+            .filter(|p| p.in_domain(Domain::Security))
+            .count();
+        assert_eq!(safety, 54);
+        assert_eq!(security, 23);
+        let both = papers
+            .iter()
+            .filter(|p| p.in_domain(Domain::Safety) && p.in_domain(Domain::Security))
+            .count();
+        assert_eq!(both, 5);
+    }
+
+    #[test]
+    fn per_library_counts_match_table_i() {
+        let papers = phase1_papers();
+        let count = |lib, dom| {
+            papers
+                .iter()
+                .filter(|p| p.attributed(lib, dom))
+                .count()
+        };
+        assert_eq!(count(Library::IeeeXplore, Domain::Safety), 12);
+        assert_eq!(count(Library::AcmDl, Domain::Safety), 17);
+        assert_eq!(count(Library::SpringerLink, Domain::Safety), 24);
+        assert_eq!(count(Library::GoogleScholar, Domain::Safety), 8);
+        assert_eq!(count(Library::IeeeXplore, Domain::Security), 13);
+        assert_eq!(count(Library::AcmDl, Domain::Security), 7);
+        assert_eq!(count(Library::SpringerLink, Domain::Security), 2);
+        assert_eq!(count(Library::GoogleScholar, Domain::Security), 1);
+    }
+
+    #[test]
+    fn twenty_one_real_papers_present() {
+        let papers = phase1_papers();
+        let refs: Vec<u8> = papers.iter().filter_map(|p| p.ref_num).collect();
+        assert_eq!(refs.len(), 21);
+        for r in 6..=25u8 {
+            assert!(refs.contains(&r), "missing ref {r}");
+        }
+        assert!(refs.contains(&39));
+    }
+
+    #[test]
+    fn exactly_twenty_phase2_selected() {
+        let papers = phase1_papers();
+        let selected: Vec<&Paper> = papers
+            .iter()
+            .filter(|p| {
+                p.fulltext_signals.documents_claim_support
+                    && p.fulltext_signals.discusses_formal_linkage
+            })
+            .collect();
+        assert_eq!(selected.len(), 20);
+        // Sokolsky (ref 39) surfaced but was not among the twenty.
+        assert!(selected.iter().all(|p| p.ref_num != Some(39)));
+    }
+
+    #[test]
+    fn rejects_violate_phase1_criteria() {
+        for r in phase1_rejects() {
+            let s = r.abstract_signals;
+            assert!(
+                !s.hints_assurance_argument || s.evidence_item_only || s.formal_other_sense,
+                "reject {} would pass phase 1",
+                r.id
+            );
+        }
+    }
+
+    #[test]
+    fn raw_pool_contains_everything_sorted() {
+        let pool = raw_pool();
+        assert_eq!(pool.len(), 72 + phase1_rejects().len());
+        let ids: Vec<_> = pool.iter().map(|p| p.id.clone()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted);
+    }
+}

@@ -1,0 +1,28 @@
+//! # casekit-survey
+//!
+//! The systematic literature survey of Graydon (DSN 2015) §III, as an
+//! executable pipeline: an encoded corpus, the two-phase selection
+//! criteria, per-paper characterisation, and generators for Table I and
+//! the paper's in-text aggregate claims.
+//!
+//! **Substitution note** (see DESIGN.md): the paper's raw searches returned
+//! tens of thousands of hits; we encode the 72 unique phase-1 papers (the
+//! 21 characterised real papers by citation, the rest synthesised with
+//! library/domain attributions consistent with the published marginals)
+//! plus a pool of synthetic phase-1 rejects, so both filters run for real.
+//!
+//! ```
+//! use casekit_survey::{corpus, selection, tables};
+//! let papers = corpus::raw_pool();
+//! let phase1 = selection::phase1(&papers);
+//! let table = tables::table_i(&phase1);
+//! assert_eq!(table.unique_total, 72);
+//! ```
+
+pub mod characterise;
+pub mod corpus;
+pub mod paper;
+pub mod selection;
+pub mod tables;
+
+pub use paper::{Attribution, Domain, Library, Paper};

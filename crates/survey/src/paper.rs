@@ -1,0 +1,178 @@
+//! Paper records for the survey pipeline.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The digital libraries searched (Graydon §III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Library {
+    /// IEEE Xplore.
+    IeeeXplore,
+    /// ACM Digital Library (ACM and affiliated organisations only).
+    AcmDl,
+    /// Springer Link.
+    SpringerLink,
+    /// Google Scholar (case law and patents excluded).
+    GoogleScholar,
+}
+
+impl Library {
+    /// All four, in the paper's Table I order.
+    pub const ALL: [Library; 4] = [
+        Library::IeeeXplore,
+        Library::AcmDl,
+        Library::SpringerLink,
+        Library::GoogleScholar,
+    ];
+}
+
+impl fmt::Display for Library {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Library::IeeeXplore => "IEEE Xplore",
+            Library::AcmDl => "ACM Digital Library",
+            Library::SpringerLink => "Springer Link",
+            Library::GoogleScholar => "Google Scholar",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The two search queries' domains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Domain {
+    /// Found via 'formal safety argument'.
+    Safety,
+    /// Found via 'formal security argument'.
+    Security,
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Domain::Safety => f.write_str("Safety"),
+            Domain::Security => f.write_str("Security"),
+        }
+    }
+}
+
+/// A (library, domain) attribution: the paper appeared in this library's
+/// results for this query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Attribution {
+    /// Which library returned it.
+    pub library: Library,
+    /// Which query returned it.
+    pub domain: Domain,
+}
+
+/// Title/abstract-level screening signals (phase 1, Graydon §III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AbstractSignals {
+    /// The title/abstract hints the paper concerns an assurance argument
+    /// or related technology.
+    pub hints_assurance_argument: bool,
+    /// The paper is about an item of evidence rather than argument
+    /// formalisation.
+    pub evidence_item_only: bool,
+    /// 'Formal' is used in a sense other than formalised syntax or
+    /// symbolic/deductive logic.
+    pub formal_other_sense: bool,
+}
+
+/// Full-text screening signals (phase 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FullTextSignals {
+    /// The paper concerns a system for documenting support for a
+    /// safety/security/dependability claim.
+    pub documents_claim_support: bool,
+    /// The paper discusses (even in passing) recording evidence-to-claim
+    /// linkage using symbolic or deductive logic.
+    pub discusses_formal_linkage: bool,
+}
+
+/// A surveyed paper.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Paper {
+    /// Stable corpus id (`p01`…).
+    pub id: String,
+    /// Citation number in Graydon's reference list, for the real papers.
+    pub ref_num: Option<u8>,
+    /// Title (synthetic titles are marked).
+    pub title: String,
+    /// Publication year.
+    pub year: u16,
+    /// Where and under which query it surfaced.
+    pub attributions: Vec<Attribution>,
+    /// Phase-1 screening signals.
+    pub abstract_signals: AbstractSignals,
+    /// Phase-2 screening signals.
+    pub fulltext_signals: FullTextSignals,
+}
+
+impl Paper {
+    /// Whether the paper surfaced in `domain` at all.
+    pub fn in_domain(&self, domain: Domain) -> bool {
+        self.attributions.iter().any(|a| a.domain == domain)
+    }
+
+    /// Whether the paper surfaced in `library` under `domain`.
+    pub fn attributed(&self, library: Library, domain: Domain) -> bool {
+        self.attributions
+            .iter()
+            .any(|a| a.library == library && a.domain == domain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Paper {
+        Paper {
+            id: "p01".into(),
+            ref_num: Some(6),
+            title: "Deriving safety cases from automatically constructed proofs".into(),
+            year: 2009,
+            attributions: vec![
+                Attribution {
+                    library: Library::IeeeXplore,
+                    domain: Domain::Safety,
+                },
+                Attribution {
+                    library: Library::SpringerLink,
+                    domain: Domain::Safety,
+                },
+            ],
+            abstract_signals: AbstractSignals {
+                hints_assurance_argument: true,
+                evidence_item_only: false,
+                formal_other_sense: false,
+            },
+            fulltext_signals: FullTextSignals {
+                documents_claim_support: true,
+                discusses_formal_linkage: true,
+            },
+        }
+    }
+
+    #[test]
+    fn domain_and_attribution_queries() {
+        let p = sample();
+        assert!(p.in_domain(Domain::Safety));
+        assert!(!p.in_domain(Domain::Security));
+        assert!(p.attributed(Library::IeeeXplore, Domain::Safety));
+        assert!(!p.attributed(Library::IeeeXplore, Domain::Security));
+        assert!(!p.attributed(Library::AcmDl, Domain::Safety));
+    }
+
+    #[test]
+    fn display_names_match_table_i_rows() {
+        assert_eq!(Library::IeeeXplore.to_string(), "IEEE Xplore");
+        assert_eq!(Library::AcmDl.to_string(), "ACM Digital Library");
+        assert_eq!(Library::SpringerLink.to_string(), "Springer Link");
+        assert_eq!(Library::GoogleScholar.to_string(), "Google Scholar");
+        assert_eq!(Domain::Safety.to_string(), "Safety");
+        assert_eq!(Domain::Security.to_string(), "Security");
+    }
+}

@@ -1,0 +1,131 @@
+//! The two-phase selection criteria as executable predicates
+//! (Graydon §III-C).
+
+use crate::paper::Paper;
+
+/// Why a paper was excluded in phase 1 (title/abstract screen).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase1Exclusion {
+    /// No hint the paper concerns an assurance argument or related
+    /// technology.
+    NoAssuranceHint,
+    /// About an item of evidence, not argument formalisation.
+    EvidenceItem,
+    /// 'Formal' used in another sense.
+    FormalOtherSense,
+}
+
+/// Why a paper was excluded in phase 2 (full-text screen).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase2Exclusion {
+    /// Not concerned with documenting support for a dependability claim.
+    NotClaimSupport,
+    /// Does not discuss symbolic/deductive evidence-to-claim linkage.
+    NoFormalLinkage,
+}
+
+/// Screens one paper at title/abstract level.
+pub fn screen_phase1(paper: &Paper) -> Result<(), Phase1Exclusion> {
+    let s = paper.abstract_signals;
+    if !s.hints_assurance_argument {
+        return Err(Phase1Exclusion::NoAssuranceHint);
+    }
+    if s.evidence_item_only {
+        return Err(Phase1Exclusion::EvidenceItem);
+    }
+    if s.formal_other_sense {
+        return Err(Phase1Exclusion::FormalOtherSense);
+    }
+    Ok(())
+}
+
+/// Screens one paper at full-text level.
+pub fn screen_phase2(paper: &Paper) -> Result<(), Phase2Exclusion> {
+    let s = paper.fulltext_signals;
+    if !s.documents_claim_support {
+        return Err(Phase2Exclusion::NotClaimSupport);
+    }
+    if !s.discusses_formal_linkage {
+        return Err(Phase2Exclusion::NoFormalLinkage);
+    }
+    Ok(())
+}
+
+/// Runs the phase-1 screen over a pool.
+pub fn phase1(pool: &[Paper]) -> Vec<Paper> {
+    pool.iter()
+        .filter(|p| screen_phase1(p).is_ok())
+        .cloned()
+        .collect()
+}
+
+/// Runs the phase-2 screen over phase-1 survivors.
+pub fn phase2(phase1_papers: &[Paper]) -> Vec<Paper> {
+    phase1_papers
+        .iter()
+        .filter(|p| screen_phase2(p).is_ok())
+        .cloned()
+        .collect()
+}
+
+/// The full pipeline: raw pool → phase 1 → phase 2.
+pub fn run_pipeline(pool: &[Paper]) -> (Vec<Paper>, Vec<Paper>) {
+    let p1 = phase1(pool);
+    let p2 = phase2(&p1);
+    (p1, p2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+
+    #[test]
+    fn pipeline_reproduces_published_counts() {
+        let pool = corpus::raw_pool();
+        let (p1, p2) = run_pipeline(&pool);
+        assert_eq!(p1.len(), 72, "phase 1 must keep the 72 unique papers");
+        assert_eq!(p2.len(), 20, "phase 2 must yield the twenty selected");
+    }
+
+    #[test]
+    fn phase1_rejects_each_criterion() {
+        let rejects = corpus::phase1_rejects();
+        let mut seen = [false; 3];
+        for r in &rejects {
+            match screen_phase1(r) {
+                Err(Phase1Exclusion::NoAssuranceHint) => seen[0] = true,
+                Err(Phase1Exclusion::EvidenceItem) => seen[1] = true,
+                Err(Phase1Exclusion::FormalOtherSense) => seen[2] = true,
+                Ok(()) => panic!("reject {} passed phase 1", r.id),
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every exclusion reason exercised");
+    }
+
+    #[test]
+    fn phase2_exclusion_reasons() {
+        let pool = corpus::phase1_papers();
+        // Sokolsky (ref 39) passes phase 1 but not phase 2.
+        let sokolsky = pool.iter().find(|p| p.ref_num == Some(39)).unwrap();
+        assert!(screen_phase1(sokolsky).is_ok());
+        assert!(screen_phase2(sokolsky).is_err());
+        // A synthetic phase-1-only paper is excluded for lacking claim
+        // support documentation.
+        let synthetic = pool.iter().find(|p| p.ref_num.is_none()).unwrap();
+        assert_eq!(
+            screen_phase2(synthetic),
+            Err(Phase2Exclusion::NotClaimSupport)
+        );
+    }
+
+    #[test]
+    fn selected_papers_are_exactly_refs_6_to_25() {
+        let pool = corpus::raw_pool();
+        let (_, p2) = run_pipeline(&pool);
+        let mut refs: Vec<u8> = p2.iter().filter_map(|p| p.ref_num).collect();
+        refs.sort_unstable();
+        let expected: Vec<u8> = (6..=25).collect();
+        assert_eq!(refs, expected);
+    }
+}

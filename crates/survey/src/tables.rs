@@ -1,0 +1,173 @@
+//! Table generators: Table I and the claims summary.
+
+use crate::characterise;
+use crate::paper::{Domain, Library, Paper};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// The reproduced Table I.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableI {
+    /// Rows: (library, safety count, security count).
+    pub rows: Vec<(Library, usize, usize)>,
+    /// Unique papers overall.
+    pub unique_total: usize,
+    /// Unique papers from the safety query.
+    pub unique_safety: usize,
+    /// Unique papers from the security query.
+    pub unique_security: usize,
+}
+
+/// Computes Table I from phase-1 survivors.
+pub fn table_i(phase1: &[Paper]) -> TableI {
+    let count = |lib, dom| phase1.iter().filter(|p| p.attributed(lib, dom)).count();
+    let rows = Library::ALL
+        .iter()
+        .map(|&lib| {
+            (
+                lib,
+                count(lib, Domain::Safety),
+                count(lib, Domain::Security),
+            )
+        })
+        .collect();
+    TableI {
+        rows,
+        unique_total: phase1.len(),
+        unique_safety: phase1.iter().filter(|p| p.in_domain(Domain::Safety)).count(),
+        unique_security: phase1
+            .iter()
+            .filter(|p| p.in_domain(Domain::Security))
+            .count(),
+    }
+}
+
+impl TableI {
+    /// Renders in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Table I: NUMBER OF PAPERS SELECTED IN THE FIRST SELECTION PHASE"
+        );
+        let _ = writeln!(out, "{:<24} {:>8} {:>10}", "Digital library", "Safety", "Security");
+        for (lib, safety, security) in &self.rows {
+            let _ = writeln!(out, "{:<24} {:>8} {:>10}", lib.to_string(), safety, security);
+        }
+        let _ = writeln!(
+            out,
+            "Unique results ({} total): {:>6} {:>10}",
+            self.unique_total, self.unique_safety, self.unique_security
+        );
+        out
+    }
+}
+
+/// Renders the claims summary (the in-text aggregates of §IV–§VI).
+pub fn render_claims_summary() -> String {
+    let agg = characterise::aggregates();
+    let mut out = String::new();
+    let refs = |set: &std::collections::BTreeSet<u8>| {
+        set.iter()
+            .map(|r| format!("[{r}]"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let _ = writeln!(out, "Survey claim aggregates (computed from the corpus):");
+    let _ = writeln!(
+        out,
+        "  claim/imply mechanical-validation benefit : {:>2}  {}",
+        agg.mechanical_benefit.len(),
+        refs(&agg.mechanical_benefit)
+    );
+    let _ = writeln!(
+        out,
+        "  propose symbolic, deductive content       : {:>2}  {}",
+        agg.symbolic_content.len(),
+        refs(&agg.symbolic_content)
+    );
+    let _ = writeln!(
+        out,
+        "  explicitly mention mechanical verification: {:>2}  {}",
+        agg.explicit_verification.len(),
+        refs(&agg.explicit_verification)
+    );
+    let _ = writeln!(
+        out,
+        "  formalise graphical-argument syntax       : {:>2}  {}",
+        agg.formal_syntax.len(),
+        refs(&agg.formal_syntax)
+    );
+    let _ = writeln!(
+        out,
+        "  informal first, then formalise            : {:>2}  {}",
+        agg.informal_first.len(),
+        refs(&agg.informal_first)
+    );
+    let _ = writeln!(
+        out,
+        "  formalise pattern structure / parameters  : {:>2} / {}  {} / {}",
+        agg.pattern_structure.len(),
+        agg.pattern_parameters.len(),
+        refs(&agg.pattern_structure),
+        refs(&agg.pattern_parameters)
+    );
+    let _ = writeln!(
+        out,
+        "  substantial empirical evidence of benefit : {:>2}",
+        agg.substantial_evidence.len()
+    );
+    let _ = writeln!(
+        out,
+        "  candidly framed as hypothesis             : {:>2}  {}",
+        agg.hypothesis_acknowledged.len(),
+        refs(&agg.hypothesis_acknowledged)
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{corpus, selection};
+
+    #[test]
+    fn table_i_matches_the_paper_exactly() {
+        let pool = corpus::raw_pool();
+        let phase1 = selection::phase1(&pool);
+        let t = table_i(&phase1);
+        assert_eq!(
+            t.rows,
+            vec![
+                (Library::IeeeXplore, 12, 13),
+                (Library::AcmDl, 17, 7),
+                (Library::SpringerLink, 24, 2),
+                (Library::GoogleScholar, 8, 1),
+            ]
+        );
+        assert_eq!(t.unique_total, 72);
+        assert_eq!(t.unique_safety, 54);
+        assert_eq!(t.unique_security, 23);
+    }
+
+    #[test]
+    fn table_i_renders_all_rows() {
+        let pool = corpus::raw_pool();
+        let t = table_i(&selection::phase1(&pool));
+        let r = t.render();
+        assert!(r.contains("IEEE Xplore"));
+        assert!(r.contains("Google Scholar"));
+        assert!(r.contains("Unique results (72 total)"));
+        assert!(r.contains("54"));
+        assert!(r.contains("23"));
+    }
+
+    #[test]
+    fn claims_summary_shows_paper_counts() {
+        let s = render_claims_summary();
+        assert!(s.contains(":  6  "), "six mechanical-benefit papers:\n{s}");
+        assert!(s.contains(": 11  "), "eleven symbolic-content papers:\n{s}");
+        assert!(s.contains("[19], [20]"), "{s}");
+        assert!(s.contains(" 0"), "{s}");
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 1 of the paper, end to end: the desert-bank argument is
+//! formally valid (our SLD engine derives the conclusion) yet fallacious
+//! (it equivocates on `bank`) — and the sort machinery shows exactly how
+//! much of that a machine can and cannot catch.
+//!
+//! Run with: `cargo run --example desert_bank`
+
+use casekit::logic::fol::{desert_bank_kb, parse_query};
+use casekit::logic::sorts::SortRegistry;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kb = desert_bank_kb();
+    println!("From these premises:");
+    for clause in kb.clauses() {
+        println!("  {clause}");
+    }
+
+    // Formal validation: the derivation goes through.
+    let goal = parse_query("adjacent(desert_bank, river)")?;
+    println!("\nWe can 'prove' that:\n  {goal}.");
+    assert!(kb.proves(&goal));
+    println!("Derivable: yes — the argument passes formal validation.");
+
+    // The strict per-position lint flags `bank`, but it is a heuristic:
+    // it would also flag harmless relational constants.
+    let strict = SortRegistry::infer_conflicts(&kb);
+    println!("\nStrict sort lint flags: {:?}", strict.keys().collect::<Vec<_>>());
+
+    // The variable-linked inference is 'smarter' — and silent, because the
+    // bridging rule is precisely what licenses the equivocation.
+    let linked = SortRegistry::infer_conflicts_linked(&kb);
+    println!("Linked sort inference flags: {:?}", linked.keys().collect::<Vec<_>>());
+
+    // Declaring honest sorts catches it — but the declarations themselves
+    // are informal judgments a machine cannot validate (Graydon §IV-C).
+    let mut registry = SortRegistry::new();
+    registry.declare_predicate("is_a", ["Institution", "InstitutionKind"]);
+    registry.declare_predicate("adjacent", ["Landform", "Landform"]);
+    registry.declare_constant("desert_bank", "Institution");
+    registry.declare_constant("bank", "InstitutionKind");
+    registry.declare_constant("river", "Landform");
+    match registry.check(&kb) {
+        Ok(()) => println!("\nUnder declared sorts: well-sorted (unexpected!)"),
+        Err(errors) => {
+            println!("\nUnder honestly declared sorts, the KB is rejected:");
+            for e in errors {
+                println!("  - {e}");
+            }
+        }
+    }
+    Ok(())
+}

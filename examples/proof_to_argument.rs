@@ -1,0 +1,54 @@
+//! Two more surveyed proposal classes, end to end:
+//!
+//! 1. Basir–Denney–Fischer (§III-E): *generate* a GSN argument from a
+//!    checked natural-deduction proof, in both the surveyed tools' literal
+//!    phrasing and proper propositional phrasing, then abstract away the
+//!    proof clutter their papers complain about.
+//! 2. Tolchinsky et al. (§III-O): a deliberation dialogue over a
+//!    safety-critical action, where the verdict changes non-monotonically
+//!    as arguments arrive.
+//!
+//! Run with: `cargo run --example proof_to_argument`
+
+use casekit::core::autogen::{generate_abstracted, generate_argument, ProofStyle};
+use casekit::core::render;
+use casekit::logic::af::{Deliberation, Verdict};
+use casekit::logic::nd::Proof;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- Proof → argument. ----
+    let proof = Proof::haley_example();
+    println!("Source proof ({} lines):\n{proof}", proof.len());
+
+    let literal = generate_argument(&proof, ProofStyle::Literal)?;
+    println!(
+        "literal generation: {} nodes (root text: {:?})",
+        literal.len(),
+        literal.node(&"g11".into()).unwrap().text
+    );
+
+    let full = generate_argument(&proof, ProofStyle::Propositional)?;
+    let abstracted = generate_abstracted(&proof, ProofStyle::Propositional)?;
+    println!(
+        "propositional generation: {} nodes; after abstraction: {} nodes",
+        full.len(),
+        abstracted.len()
+    );
+    println!("\n--- abstracted argument ---\n{}", render::ascii_tree(&abstracted));
+
+    // ---- Deliberation dialogue. ----
+    let mut dialogue = Deliberation::open("transplant(organ1, recipient_r)");
+    println!("proposal submitted: verdict {:?}", dialogue.verdict());
+    let objection = dialogue.object("donor history indicates hepatitis risk", 0);
+    println!("objection raised:   verdict {:?}", dialogue.verdict());
+    let rebuttal = dialogue.object("serology panel rules the risk out", objection);
+    println!("rebuttal accepted:  verdict {:?}", dialogue.verdict());
+    dialogue.object("panel used an expired reagent batch", rebuttal);
+    println!("rebuttal undercut:  verdict {:?}", dialogue.verdict());
+    assert_eq!(dialogue.verdict(), Verdict::Rejected);
+    println!(
+        "\nverdict history (non-monotone): {:?}",
+        dialogue.verdict_history()
+    );
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Quickstart: build a safety argument in the DSL, check its
+//! well-formedness, formalise part of it, and see what mechanical
+//! validation can — and cannot — tell you.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use casekit::core::{dsl, formality, gsn, render};
+use casekit::fallacies::checker::check_argument;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Write the argument in the text DSL. One goal carries a formal
+    //    payload (the thrust-reverser claim from Graydon §II-B2).
+    let argument = dsl::parse_argument(
+        r#"
+        argument "thrust reverser safety" {
+          goal g1 "Thrust reverser operation is acceptably safe" {
+            context c1 "Commercial transport aircraft, revenue service"
+            strategy s1 "Argue over inadvertent-deployment hazards" {
+              justification j1 "Hazard list reviewed by the safety board"
+              goal g2 "Reversers are inhibited when not on the ground"
+                formal "~on_grnd -> ~threv_en" {
+                solution e1 "Interlock logic test campaign"
+              }
+              goal g3 "Flight-deck indication of reverser state is correct" {
+                solution e2 "Indicator validation report"
+              }
+            }
+          }
+        }
+        "#,
+    )?;
+
+    // 2. Syntax-level checks (GSN Community Standard).
+    let issues = gsn::check(&argument);
+    println!("GSN well-formedness issues: {}", issues.len());
+
+    // 3. Render it three ways.
+    println!("\n--- ASCII tree ---\n{}", render::ascii_tree(&argument));
+    println!("--- prose ---\n{}", render::prose(&argument));
+
+    // 4. Formality profile: how far along the paper's three dimensions?
+    let profile = formality::profile(&argument);
+    println!(
+        "formality: syntax {:.2}, symbolic {:.2}, deductive {:?}",
+        profile.syntax, profile.symbolic, profile.deductive
+    );
+
+    // 5. Mechanical validation. The checker examines the formal skeleton
+    //    only; it cannot judge whether the interlock tests really support
+    //    g2 — that remains a human judgment (Graydon §IV-C).
+    let report = check_argument(&argument);
+    println!(
+        "machine check: {} finding(s); formal nodes: {}",
+        report.findings.len(),
+        report.formal_nodes
+    );
+    for finding in &report.findings {
+        println!("  - {finding}");
+    }
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Haley et al.'s two-part security requirements satisfaction argument
+//! (Graydon §III-K): a formal *outer* argument — the eleven-line
+//! natural-deduction proof — whose premises are discharged by informal
+//! *inner* arguments in extended Toulmin notation.
+//!
+//! Run with: `cargo run --example security_requirements`
+
+use casekit::core::toulmin::ToulminArgument;
+use casekit::logic::nd::Proof;
+use casekit::logic::probe;
+use casekit::logic::prop::parse;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The outer argument: the paper's exact proof.
+    let proof = Proof::haley_example();
+    println!("Outer (formal) argument:\n{proof}");
+    proof.check()?;
+    println!("mechanical check: PASS\n");
+
+    // 2. The inner argument supporting premise 2 (`C -> H`): informal,
+    //    in extended Toulmin notation, with its rebuttal on display.
+    let inner = ToulminArgument::haley_inner_example();
+    println!("Inner (informal) argument for a trust assumption:\n{inner}");
+
+    // 3. Rushby-style probing of the outer premises: which are critical?
+    let premises = vec![
+        parse("I -> V")?,
+        parse("C -> H")?,
+        parse("Y -> V & C")?,
+        parse("D -> Y")?,
+    ];
+    let conclusion = parse("D -> H")?;
+    let report = probe::probe(&premises, &conclusion);
+    println!("conclusion entailed: {}", report.entailed);
+    for (i, premise) in premises.iter().enumerate() {
+        let status = if report.critical_indices().contains(&i) {
+            "critical"
+        } else {
+            "idle — candidate red herring, or defence in depth"
+        };
+        println!("  premise {} (`{premise}`): {status}", i + 1);
+    }
+
+    // 4. The inner argument as a GSN-convertible graph.
+    let graph = inner.to_argument("haley-inner");
+    println!(
+        "\ninner argument as graph: {} nodes, GSN-well-formed: {}",
+        graph.len(),
+        casekit::core::gsn::check(&graph).is_empty()
+    );
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! A Brunel & Cazin-style UAV safety argument (Graydon §III-G): the
+//! Detect-and-Avoid claim is formalised in LTL and validated against a
+//! Kripke model of the encounter logic; the argument carries the claim as
+//! a temporal payload; confidence is propagated over the evidence.
+//!
+//! Run with: `cargo run --example uav_safety_case`
+
+use casekit::core::{confidence, dsl, gsn, hicase, NodeId};
+use casekit::logic::ltl::{parse_ltl, Kripke};
+use std::collections::BTreeMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The argument, with the DAA claim as an LTL payload.
+    let argument = dsl::parse_argument(
+        r#"
+        argument "UAV operations" {
+          goal g1 "UAV operations are acceptably safe" {
+            context c1 "Operations in segregated airspace"
+            strategy s1 "Argue over the identified hazard classes" {
+              goal g2 "Mid-air collision risk is acceptably mitigated"
+                temporal "G (below_min -> (nonzero U above_min))" {
+                solution e1 "Model checking of the encounter automaton"
+                solution e2 "Flight-test campaign records"
+              }
+              goal g3 "Loss-of-link is handled safely" {
+                solution e3 "Lost-link procedure validation"
+              }
+              goal g4 "Ground impact energy is within limits" {
+                solution e4 "Parachute descent analysis"
+              }
+            }
+          }
+        }
+        "#,
+    )?;
+    assert!(gsn::check(&argument).is_empty());
+
+    // 2. The system model backing e1: cruise / conflict / avoiding states.
+    let mut model = Kripke::new();
+    let cruise = model.add_state(vec!["above_min", "nonzero"]);
+    let conflict = model.add_state(vec!["below_min", "nonzero"]);
+    let avoiding = model.add_state(vec!["nonzero"]);
+    model.add_transition(cruise, cruise);
+    model.add_transition(cruise, conflict);
+    model.add_transition(conflict, avoiding);
+    model.add_transition(avoiding, cruise);
+    model.add_initial(cruise);
+
+    let claim = parse_ltl("G (below_min -> (nonzero U above_min))")?;
+    let result = model.check_bounded(&claim, 16);
+    println!("DAA claim `{claim}` holds within bound: {}", result.holds());
+
+    // 3. Propagate confidence from the evidence leaves.
+    let mut leaves = BTreeMap::new();
+    leaves.insert(NodeId::new("e1"), 0.95); // model checking
+    leaves.insert(NodeId::new("e2"), 0.80); // flight test
+    leaves.insert(NodeId::new("e3"), 0.85);
+    leaves.insert(NodeId::new("e4"), 0.90);
+    let assessment = confidence::propagate(
+        &argument,
+        &leaves,
+        0.5,
+        0.97,
+        confidence::Aggregation::NoisyAnd,
+    );
+    println!(
+        "root confidence (noisy-AND): {:.3}",
+        assessment.confidence(&NodeId::new("g1")).unwrap()
+    );
+
+    // 4. A hicase view for the review meeting: collapse everything but the
+    //    collision branch.
+    let mut view = hicase::View::new(&argument);
+    view.collapse(&NodeId::new("g3"));
+    view.collapse(&NodeId::new("g4"));
+    println!("\n--- review view ---\n{}", view.render());
+    Ok(())
+}

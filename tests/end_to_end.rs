@@ -1,0 +1,155 @@
+//! End-to-end integration: DSL → well-formedness → formalisation →
+//! mechanical checking → annotation → querying → views → rendering.
+
+use casekit::core::{dsl, gsn, hicase, render, NodeId};
+use casekit::fallacies::checker::check_argument;
+use casekit::query::{parse_query, traceability_view, AnnotationStore, FieldType, Ontology};
+
+const CASE: &str = r#"
+argument "braking system" {
+  goal g1 "The braking system is acceptably safe"
+    formal "h_fade & h_lock & h_latent" {
+    context c1 "Heavy goods vehicle, EU operations"
+    assumption a1 "Maintenance schedule is followed"
+    strategy s1 "Argue over identified hazards" {
+      justification j1 "Hazard identification per ISO 26262"
+      goal g2 "Brake fade hazard mitigated" formal "h_fade" {
+        solution e1 "Dynamometer test series"
+      }
+      goal g3 "Wheel lock hazard mitigated" formal "h_lock" {
+        solution e2 "ABS verification report"
+      }
+      goal g4 "Latent failures are detected" formal "h_latent" {
+        solution e3 "Built-in test coverage analysis"
+      }
+    }
+  }
+}
+"#;
+
+fn setup_store(arg: &casekit::core::Argument) -> AnnotationStore {
+    let mut ontology = Ontology::new();
+    ontology.declare_enum("severity", ["catastrophic", "major", "minor"]);
+    ontology.declare_enum("likelihood", ["frequent", "probable", "remote"]);
+    ontology.declare_attribute(
+        "hazard",
+        [
+            ("severity", FieldType::Enum("severity".into())),
+            ("likelihood", FieldType::Enum("likelihood".into())),
+        ],
+    );
+    let mut store = AnnotationStore::new(ontology);
+    store
+        .annotate(arg, "g2", "hazard", [("severity", "major"), ("likelihood", "probable")])
+        .unwrap();
+    store
+        .annotate(
+            arg,
+            "g3",
+            "hazard",
+            [("severity", "catastrophic"), ("likelihood", "remote")],
+        )
+        .unwrap();
+    store
+        .annotate(
+            arg,
+            "g4",
+            "hazard",
+            [("severity", "catastrophic"), ("likelihood", "remote")],
+        )
+        .unwrap();
+    store
+}
+
+#[test]
+fn full_pipeline_clean_argument() {
+    let arg = dsl::parse_argument(CASE).unwrap();
+    assert_eq!(arg.len(), 11);
+    assert!(gsn::check(&arg).is_empty());
+    // Denney–Pai's stricter formalisation agrees here (no goal→goal).
+    assert!(gsn::check_denney_pai(&arg).is_empty());
+
+    // The formal skeleton is deductively sound: h_fade & h_lock & h_latent
+    // follows from the three leaf payloads.
+    let report = check_argument(&arg);
+    assert!(report.is_clean(), "{:?}", report.findings);
+    assert!(report.checkable);
+    assert_eq!(report.formal_nodes, 4);
+
+    // The paper's query finds the two catastrophic/remote hazards.
+    let store = setup_store(&arg);
+    let q = parse_query(
+        "select goals where hazard.severity = catastrophic and hazard.likelihood = remote",
+    )
+    .unwrap();
+    let hits = q.run(&arg, &store);
+    assert_eq!(hits, vec![NodeId::new("g3"), NodeId::new("g4")]);
+
+    // The traceability view keeps matches, ancestors, and their evidence.
+    let view = traceability_view(&arg, &hits);
+    assert!(view.node(&"g1".into()).is_some());
+    assert!(view.node(&"e2".into()).is_some());
+    assert!(view.node(&"e1".into()).is_none());
+
+    // Views render in every notation.
+    assert!(render::ascii_tree(&view).contains("g3"));
+    assert!(render::dot(&view).contains("digraph"));
+    assert!(render::prose(&view).contains("We claim"));
+}
+
+#[test]
+fn formalisation_error_is_caught_end_to_end() {
+    // Break the deduction: the root now claims a hazard nobody supports.
+    let broken = CASE.replace(
+        "formal \"h_fade & h_lock & h_latent\"",
+        "formal \"h_fade & h_lock & h_latent & h_unsupported\"",
+    );
+    let arg = dsl::parse_argument(&broken).unwrap();
+    assert!(gsn::check(&arg).is_empty(), "syntax is still fine");
+    let report = check_argument(&arg);
+    assert!(
+        !report.is_clean(),
+        "mechanical check must notice the unsupported conjunct"
+    );
+}
+
+#[test]
+fn hicase_views_compose_with_queries() {
+    let arg = dsl::parse_argument(CASE).unwrap();
+    let mut view = hicase::View::new(&arg);
+    view.collapse(&NodeId::new("s1"));
+    assert_eq!(view.visible().len(), 4); // g1, c1, a1, s1 — nothing below s1
+    let rendered = view.render();
+    assert!(rendered.contains("hidden"));
+    view.expand_all();
+    assert_eq!(view.visible().len(), arg.len());
+}
+
+#[test]
+fn dsl_round_trip_preserves_machine_verdict() {
+    let arg = dsl::parse_argument(CASE).unwrap();
+    let rendered = dsl::render_dsl(&arg);
+    let reparsed = dsl::parse_argument(&rendered).unwrap();
+    let a = check_argument(&arg);
+    let b = check_argument(&reparsed);
+    assert_eq!(a.is_clean(), b.is_clean());
+    assert_eq!(a.formal_nodes, b.formal_nodes);
+}
+
+#[test]
+fn gsn_standard_vs_denney_pai_disagreement_is_observable() {
+    // Goal directly supporting a goal: fine by the standard, rejected by
+    // the published formalisation — the paper's §III-I observation.
+    let arg = dsl::parse_argument(
+        r#"argument "g2g" {
+            goal g1 "top" {
+              goal g2 "sub" { solution e1 "ev" }
+            }
+        }"#,
+    )
+    .unwrap();
+    assert!(gsn::check(&arg).is_empty());
+    let issues = gsn::check_denney_pai(&arg);
+    assert_eq!(issues.len(), 1);
+    assert_eq!(issues[0].rule, gsn::Rule::DenneyPaiNoGoalToGoal);
+}

@@ -1,0 +1,116 @@
+//! Robustness of the §VI experiment *shapes* across seeds: the
+//! directional findings must not be artefacts of one RNG stream.
+
+use casekit::experiments::{exp_a, exp_b, exp_c, exp_d, exp_e};
+
+const SEEDS: [u64; 3] = [1, 0xBEEF, 982_451_653];
+
+#[test]
+fn exp_a_shape_robust_across_seeds() {
+    for seed in SEEDS {
+        let r = exp_a::run(&exp_a::Config {
+            seed,
+            ..exp_a::Config::default()
+        });
+        assert_eq!(r.formal_catch_machine, 1.0, "seed {seed}");
+        assert!(r.formal_catch_human < 1.0, "seed {seed}");
+        assert!(
+            r.minutes_treatment.mean < r.minutes_control.mean,
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn exp_b_shape_robust_across_seeds() {
+    for seed in SEEDS {
+        let r = exp_b::run(&exp_b::Config {
+            seed,
+            ..exp_b::Config::default()
+        });
+        for pair in r.cells.windows(2) {
+            assert!(pair[1].minutes.mean > pair[0].minutes.mean, "seed {seed}");
+        }
+        for cell in &r.cells {
+            assert!(
+                cell.minutes_skilled.mean < cell.minutes_unskilled.mean,
+                "seed {seed}, size {}",
+                cell.size
+            );
+        }
+    }
+}
+
+#[test]
+fn exp_c_shape_robust_across_seeds() {
+    use casekit::experiments::population::Background;
+    for seed in SEEDS {
+        let r = exp_c::run(&exp_c::Config {
+            seed,
+            ..exp_c::Config::default()
+        });
+        let manager_sym = r
+            .cell(Background::Manager, exp_c::Notation::Symbolic)
+            .comprehension
+            .mean;
+        let manager_prose = r
+            .cell(Background::Manager, exp_c::Notation::Informal)
+            .comprehension
+            .mean;
+        let engineer_sym = r
+            .cell(Background::SoftwareEngineer, exp_c::Notation::Symbolic)
+            .comprehension
+            .mean;
+        assert!(manager_sym < manager_prose - 0.2, "seed {seed}");
+        assert!(engineer_sym > manager_sym + 0.2, "seed {seed}");
+    }
+}
+
+#[test]
+fn exp_d_shape_robust_across_seeds() {
+    for seed in SEEDS {
+        let r = exp_d::run(&exp_d::Config {
+            seed,
+            ..exp_d::Config::default()
+        });
+        assert_eq!(r.type_defects_tool, 0.0, "seed {seed}");
+        assert!(r.type_defects_manual > 0.0, "seed {seed}");
+        assert!(r.semantic_defects.1 > 0.0, "seed {seed}");
+    }
+}
+
+#[test]
+fn exp_e_shape_robust_across_seeds() {
+    for seed in SEEDS {
+        let r = exp_e::run(&exp_e::Config {
+            seed,
+            ..exp_e::Config::default()
+        });
+        assert!(
+            r.minutes_tracing.mean < r.minutes_probing.mean,
+            "seed {seed}"
+        );
+        assert!(
+            r.agreement_tracing > r.agreement_probing,
+            "seed {seed}: {} vs {}",
+            r.agreement_tracing,
+            r.agreement_probing
+        );
+    }
+}
+
+#[test]
+fn experiments_scale_with_config() {
+    // Doubling the per-arm count must not change the directional results
+    // and must tighten confidence intervals.
+    let small = exp_a::run(&exp_a::Config {
+        per_arm: 15,
+        ..exp_a::Config::default()
+    });
+    let large = exp_a::run(&exp_a::Config {
+        per_arm: 60,
+        ..exp_a::Config::default()
+    });
+    assert!(large.minutes_control.ci95 < small.minutes_control.ci95);
+    assert!(large.minutes_treatment.mean < large.minutes_control.mean);
+}

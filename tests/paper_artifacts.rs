@@ -1,0 +1,126 @@
+//! Cross-crate verification of every paper artefact DESIGN.md promises:
+//! the encoded facts must match the published numbers *exactly*.
+
+use casekit::experiments::generator;
+use casekit::fallacies::checker::check_argument;
+use casekit::fallacies::taxonomy::InformalFallacy;
+use casekit::logic::fol::{desert_bank_kb, parse_query};
+use casekit::logic::nd::Proof;
+use casekit::survey::{corpus, selection, tables, Library};
+
+#[test]
+fn t1_table_i_exact() {
+    let pool = corpus::raw_pool();
+    let (phase1, phase2) = selection::run_pipeline(&pool);
+    let t = tables::table_i(&phase1);
+    assert_eq!(
+        t.rows,
+        vec![
+            (Library::IeeeXplore, 12, 13),
+            (Library::AcmDl, 17, 7),
+            (Library::SpringerLink, 24, 2),
+            (Library::GoogleScholar, 8, 1),
+        ]
+    );
+    assert_eq!((t.unique_total, t.unique_safety, t.unique_security), (72, 54, 23));
+    assert_eq!(phase2.len(), 20);
+}
+
+#[test]
+fn f1_desert_bank_derivable_but_equivocating() {
+    let kb = desert_bank_kb();
+    assert_eq!(kb.len(), 3, "exactly the three clauses of Figure 1");
+    assert!(kb.proves(&parse_query("adjacent(desert_bank, river)").unwrap()));
+    // The strict lint sees the two-position use of `bank`; the linked
+    // inference (like any form-only analysis) cannot.
+    let strict = casekit::logic::sorts::SortRegistry::infer_conflicts(&kb);
+    assert!(strict.contains_key("bank"));
+    let linked = casekit::logic::sorts::SortRegistry::infer_conflicts_linked(&kb);
+    assert!(!linked.contains_key("bank"));
+}
+
+#[test]
+fn x1_haley_proof_eleven_lines_pass() {
+    let proof = Proof::haley_example();
+    assert_eq!(proof.len(), 11);
+    assert!(proof.check().is_ok());
+    assert_eq!(proof.conclusion().unwrap().to_string(), "D -> H");
+    assert_eq!(proof.premises().len(), 5);
+}
+
+#[test]
+fn x2_greenwell_counts_exact_and_machine_blind() {
+    let cases = generator::greenwell_case_studies();
+    assert_eq!(cases.len(), 3);
+    // Per-kind totals: 3, 10, 2, 4, 5, 5, 16.
+    for (kind, expected) in InformalFallacy::GREENWELL_KINDS
+        .iter()
+        .zip(InformalFallacy::GREENWELL_COUNTS)
+    {
+        let total: usize = cases
+            .iter()
+            .map(|c| c.counts().get(kind).copied().unwrap_or(0))
+            .sum();
+        assert_eq!(total, expected, "count for {kind}");
+    }
+    let grand: usize = cases.iter().map(|c| c.seeded.len()).sum();
+    assert_eq!(grand, 45);
+    // "None of seven kinds of fallacies found is strictly formal": the
+    // machine checker finds nothing in any of the three arguments.
+    for case in &cases {
+        assert!(check_argument(&case.argument).is_clean());
+    }
+}
+
+#[test]
+fn x3_claim_aggregates_exact() {
+    let agg = casekit::survey::characterise::aggregates();
+    let to_vec = |s: &std::collections::BTreeSet<u8>| s.iter().copied().collect::<Vec<_>>();
+    assert_eq!(to_vec(&agg.mechanical_benefit), vec![9, 11, 16, 17, 18, 39]);
+    assert_eq!(
+        to_vec(&agg.symbolic_content),
+        vec![8, 9, 14, 15, 16, 19, 20, 22, 24, 25, 39]
+    );
+    assert_eq!(to_vec(&agg.explicit_verification), vec![9, 19, 20, 22]);
+    assert_eq!(to_vec(&agg.formal_syntax), vec![11, 12, 17, 18]);
+    assert_eq!(to_vec(&agg.informal_first), vec![9, 19, 22]);
+    assert_eq!(to_vec(&agg.pattern_structure), vec![11, 17, 18]);
+    assert_eq!(to_vec(&agg.pattern_parameters), vec![17, 18]);
+    assert!(agg.substantial_evidence.is_empty());
+    assert_eq!(to_vec(&agg.hypothesis_acknowledged), vec![19, 20]);
+}
+
+#[test]
+fn thrust_reverser_formalisation_parses() {
+    // §II-B2's example claim in both surface forms.
+    let ascii = casekit::logic::prop::parse("~on_grnd -> ~threv_en").unwrap();
+    let unicode = casekit::logic::prop::parse("¬on_grnd ⇒ ¬threv_en").unwrap();
+    assert_eq!(ascii, unicode);
+}
+
+#[test]
+fn socrates_syllogism_is_valid_barbara() {
+    // §II-B3's deductive example, in the syllogism machinery.
+    use casekit::fallacies::syllogism::{Form, Proposition, Syllogism};
+    let s = Syllogism {
+        major_premise: Proposition::new(Form::A, "men", "mortals"),
+        minor_premise: Proposition::new(Form::A, "socrates", "men"),
+        conclusion: Proposition::new(Form::A, "socrates", "mortals"),
+    };
+    assert!(s.is_valid(), "{:?}", s.check());
+}
+
+#[test]
+fn wcet_premise_example_is_machine_invisible() {
+    // §V-B: one can assert `wcet(task_1, 250)` on bad evidence; the
+    // derivation still checks. Only the premise's pedigree is wrong, and
+    // that is not visible to resolution.
+    let kb = casekit::logic::fol::parse_program(
+        "wcet(task_1, 250).\n\
+         deadline(task_1, 300).\n\
+         meets_deadline(T) :- wcet(T, W), deadline(T, D), leq(W, D).\n\
+         leq(250, 300).",
+    )
+    .unwrap();
+    assert!(kb.proves(&parse_query("meets_deadline(task_1)").unwrap()));
+}

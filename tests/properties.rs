@@ -1,0 +1,207 @@
+//! Property-based tests across the workspace: parser round-trips, solver
+//! agreement, engine invariants, and structural closure properties.
+
+use casekit::logic::fol::{unify, Substitution, Term};
+use casekit::logic::prop::{self, Formula};
+use proptest::prelude::*;
+
+/// Strategy: arbitrary propositional formulas over a small atom alphabet.
+fn formula_strategy() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::True),
+        Just(Formula::False),
+        prop_oneof![Just("p"), Just("q"), Just("r"), Just("s")]
+            .prop_map(Formula::atom),
+    ];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| f.not()),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.iff(b)),
+        ]
+    })
+}
+
+/// Strategy: arbitrary ground-ish first-order terms.
+fn term_strategy() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(Term::constant),
+        prop_oneof![Just("X"), Just("Y"), Just("Z")].prop_map(Term::var),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        (
+            prop_oneof![Just("f"), Just("g")],
+            proptest::collection::vec(inner, 1..3),
+        )
+            .prop_map(|(functor, args)| Term::compound(functor, args))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn formula_display_parse_round_trip(f in formula_strategy()) {
+        let printed = f.to_string();
+        let reparsed = prop::parse(&printed).expect("rendered formula parses");
+        prop_assert_eq!(f, reparsed);
+    }
+
+    #[test]
+    fn dpll_agrees_with_truth_table(f in formula_strategy()) {
+        let brute = prop::truth_table(&f).models() > 0;
+        prop_assert_eq!(f.is_satisfiable(), brute);
+    }
+
+    #[test]
+    fn nnf_preserves_equivalence(f in formula_strategy()) {
+        prop_assert!(f.equivalent(&f.to_nnf()));
+    }
+
+    #[test]
+    fn distributive_cnf_preserves_equivalence(f in formula_strategy()) {
+        let cnf = f.to_cnf();
+        let tt = prop::truth_table(&f);
+        for (values, expected) in tt.rows() {
+            let v: prop::Valuation = tt
+                .atoms()
+                .iter()
+                .cloned()
+                .zip(values.iter().copied())
+                .collect();
+            prop_assert_eq!(cnf.eval(&v), *expected);
+        }
+    }
+
+    #[test]
+    fn tseitin_is_equisatisfiable(f in formula_strategy()) {
+        let direct = f.is_satisfiable();
+        let via_tseitin = prop::dpll_clauses(&f.to_cnf_tseitin()).is_sat();
+        prop_assert_eq!(direct, via_tseitin);
+    }
+
+    #[test]
+    fn entailment_is_reflexive_and_supports_weakening(f in formula_strategy(), g in formula_strategy()) {
+        prop_assert!(f.entails(&f));
+        // f & g entails f.
+        prop_assert!(f.clone().and(g).entails(&f));
+    }
+
+    #[test]
+    fn unification_produces_a_unifier(a in term_strategy(), b in term_strategy()) {
+        if let Some(s) = unify(&a, &b, &Substitution::new()) {
+            prop_assert_eq!(s.apply(&a), s.apply(&b));
+        }
+    }
+
+    #[test]
+    fn unification_is_symmetric_in_success(a in term_strategy(), b in term_strategy()) {
+        let fwd = unify(&a, &b, &Substitution::new()).is_some();
+        let bwd = unify(&b, &a, &Substitution::new()).is_some();
+        prop_assert_eq!(fwd, bwd);
+    }
+
+    #[test]
+    fn renamed_clauses_share_no_variables(t in term_strategy()) {
+        let renamed = t.rename_variables(7);
+        for v in t.variables() {
+            prop_assert!(!renamed.occurs(&v));
+        }
+    }
+}
+
+// Pattern instantiation is closed over GSN well-formedness for arbitrary
+// hazard lists.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hazard_pattern_instances_always_well_formed(
+        hazards in proptest::collection::vec("[a-z]{1,12}", 1..12),
+        system in "[A-Za-z ]{1,20}",
+    ) {
+        use casekit::patterns::{library, Binding, ParamValue};
+        let binding = Binding::new().with("system", system).with(
+            "hazards",
+            ParamValue::List(hazards.into_iter().map(ParamValue::Str).collect()),
+        );
+        let argument = library::hazard_directed_breakdown()
+            .instantiate(&binding)
+            .expect("well-typed binding instantiates");
+        prop_assert!(casekit::core::gsn::check(&argument).is_empty());
+        // And the DSL round-trips it.
+        let rendered = casekit::core::dsl::render_dsl(&argument);
+        let reparsed = casekit::core::dsl::parse_argument(&rendered).expect("round trip");
+        prop_assert_eq!(argument.len(), reparsed.len());
+    }
+
+    #[test]
+    fn query_results_are_subset_of_annotated_nodes(
+        severities in proptest::collection::vec(0usize..3, 3..10),
+    ) {
+        use casekit::core::{Argument, NodeKind};
+        use casekit::query::{parse_query, AnnotationStore, FieldType, Ontology};
+        let names = ["catastrophic", "major", "minor"];
+        let mut builder = Argument::builder("q").add("g_top", NodeKind::Goal, "top");
+        for i in 0..severities.len() {
+            builder = builder
+                .add(&format!("g{i}"), NodeKind::Goal, &format!("hazard {i}"))
+                .supported_by("g_top", &format!("g{i}"))
+                .add(&format!("e{i}"), NodeKind::Solution, "ev")
+                .supported_by(&format!("g{i}"), &format!("e{i}"));
+        }
+        let argument = builder.build().unwrap();
+        let mut ontology = Ontology::new();
+        ontology.declare_enum("severity", names);
+        ontology.declare_attribute(
+            "hazard",
+            [("severity", FieldType::Enum("severity".into()))],
+        );
+        let mut store = AnnotationStore::new(ontology);
+        for (i, s) in severities.iter().enumerate() {
+            store
+                .annotate(&argument, &format!("g{i}"), "hazard", [("severity", names[*s])])
+                .unwrap();
+        }
+        let q = parse_query("select goals where hazard.severity = catastrophic").unwrap();
+        let hits = q.run(&argument, &store);
+        let expected = severities.iter().filter(|&&s| s == 0).count();
+        prop_assert_eq!(hits.len(), expected);
+    }
+}
+
+// Mutating any single line reference of a valid proof is caught.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn nd_checker_rejects_reference_mutations(
+        line in 5usize..11,
+        delta in 1usize..4,
+    ) {
+        use casekit::logic::nd::{Proof, Rule};
+        let good = Proof::haley_example();
+        let mut mutated = Proof::new();
+        for (i, l) in good.lines().iter().enumerate() {
+            let number = i + 1;
+            let rule = if number == line {
+                match &l.rule {
+                    Rule::Detach(a, b) => Rule::Detach(a.saturating_sub(delta).max(1), *b),
+                    Rule::Split(a) => Rule::Split(a.saturating_sub(delta).max(1)),
+                    Rule::Conclusion(a) => Rule::Conclusion(a.saturating_sub(delta).max(1)),
+                    other => other.clone(),
+                }
+            } else {
+                l.rule.clone()
+            };
+            mutated.add(l.formula.clone(), rule);
+        }
+        // Either the mutation was a no-op (reference unchanged) or the
+        // checker rejects.
+        if mutated != good {
+            prop_assert!(mutated.check().is_err());
+        }
+    }
+}
