@@ -38,9 +38,7 @@ fn bench_resolution(c: &mut Criterion) {
 
 fn bench_nd(c: &mut Criterion) {
     let proof = casekit_logic::nd::Proof::haley_example();
-    c.bench_function("nd_check_haley", |b| {
-        b.iter(|| black_box(&proof).check())
-    });
+    c.bench_function("nd_check_haley", |b| b.iter(|| black_box(&proof).check()));
 }
 
 fn bench_sld(c: &mut Criterion) {
@@ -117,7 +115,10 @@ fn bench_dsl_and_query(c: &mut Criterion) {
     ontology.declare_enum("severity", ["catastrophic", "major", "minor"]);
     ontology.declare_attribute(
         "hazard",
-        [("severity", casekit_query::FieldType::Enum("severity".into()))],
+        [(
+            "severity",
+            casekit_query::FieldType::Enum("severity".into()),
+        )],
     );
     let mut store = casekit_query::AnnotationStore::new(ontology);
     for i in 0..20 {
@@ -137,6 +138,52 @@ fn bench_dsl_and_query(c: &mut Criterion) {
     });
 }
 
+fn bench_graph(c: &mut Criterion) {
+    // The arena/CSR graph core vs the seed's flat-scan layout, on a
+    // 10k-node synthetic argument (acceptance target: >=10x on
+    // children/parents-heavy checking; measured ~1000x+).
+    let arg = casekit_bench::graph::synthetic_argument(10_000);
+    let flat = casekit_bench::graph::FlatBaseline::from_argument(&arg);
+    let ids: Vec<casekit_core::NodeId> = arg.nodes().map(|n| n.id.clone()).take(200).collect();
+
+    c.bench_function("graph_10k_children_parents_indexed_200", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for id in black_box(&ids) {
+                let idx = arg.node_idx(id).unwrap();
+                total += arg
+                    .children_idx(idx, casekit_core::EdgeKind::SupportedBy)
+                    .count();
+                total += arg.parents_idx(idx).count();
+            }
+            total
+        })
+    });
+    c.bench_function("graph_10k_children_parents_flatscan_200", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for id in black_box(&ids) {
+                total += flat.children_count(id, casekit_core::EdgeKind::SupportedBy);
+                total += flat.parents_count(id);
+            }
+            total
+        })
+    });
+    c.bench_function("graph_10k_full_sweep_indexed", |b| {
+        b.iter(|| casekit_bench::graph::indexed_structural_sweep(black_box(&arg)))
+    });
+    c.bench_function("graph_10k_reachable_from_root", |b| {
+        let root = arg.roots_idx().next().unwrap();
+        b.iter(|| arg.reachable_from(black_box(root)).len())
+    });
+    c.bench_function("graph_10k_is_acyclic", |b| {
+        b.iter(|| black_box(&arg).is_acyclic())
+    });
+    c.bench_function("graph_10k_build", |b| {
+        b.iter(|| casekit_bench::graph::synthetic_argument(black_box(10_000)).len())
+    });
+}
+
 criterion_group!(
     benches,
     bench_sat,
@@ -145,6 +192,7 @@ criterion_group!(
     bench_sld,
     bench_ltl,
     bench_patterns,
-    bench_dsl_and_query
+    bench_dsl_and_query,
+    bench_graph
 );
 criterion_main!(benches);

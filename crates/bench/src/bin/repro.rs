@@ -4,8 +4,11 @@
 //!
 //! ```text
 //! repro [table1 | claims | figure1 | haley | greenwell |
-//!        exp-a | exp-b | exp-c | exp-d | exp-e | all]
+//!        exp-a | exp-b | exp-c | exp-d | exp-e | graph | all]
 //! ```
+//!
+//! `graph` additionally writes the measured legacy-vs-indexed graph-core
+//! comparison to `BENCH_graph.json` in the working directory.
 //!
 //! With no argument, prints everything.
 
@@ -24,11 +27,22 @@ fn main() {
         "exp-c" => bench::experiment_c(),
         "exp-d" => bench::experiment_d(),
         "exp-e" => bench::experiment_e(),
+        "graph" => {
+            let report = bench::graph::run_graph_bench(10_000);
+            let json = bench::graph::bench_graph_json(&report);
+            let path = "BENCH_graph.json";
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("warning: could not write {path}: {e}");
+            } else {
+                eprintln!("wrote {path}");
+            }
+            bench::graph::render_report(&report)
+        }
         "all" => bench::all(),
         other => {
             eprintln!(
                 "unknown artefact `{other}`; expected table1, claims, figure1, haley, \
-                 greenwell, exp-a..exp-e, or all"
+                 greenwell, exp-a..exp-e, graph, or all"
             );
             std::process::exit(2);
         }

@@ -12,6 +12,8 @@ use casekit_logic::nd::Proof;
 use casekit_logic::sorts::SortRegistry;
 use std::fmt::Write as _;
 
+pub mod graph;
+
 /// Reproduces Table I (survey phase-1 selection counts).
 pub fn table_i() -> String {
     let pool = casekit_survey::corpus::raw_pool();
@@ -30,13 +32,19 @@ pub fn figure_1() -> String {
     let kb = desert_bank_kb();
     let goal = parse_query("adjacent(desert_bank, river)").expect("static query");
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 1: a flawed argument that passes formal validation");
+    let _ = writeln!(
+        out,
+        "Figure 1: a flawed argument that passes formal validation"
+    );
     let _ = writeln!(out, "From these premises:");
     for clause in kb.clauses() {
         let _ = writeln!(out, "  {clause}");
     }
     let proved = kb.proves(&goal);
-    let _ = writeln!(out, "We can 'prove' that:\n  {goal}.   [derivable: {proved}]");
+    let _ = writeln!(
+        out,
+        "We can 'prove' that:\n  {goal}.   [derivable: {proved}]"
+    );
     let strict = SortRegistry::infer_conflicts(&kb);
     let linked = SortRegistry::infer_conflicts_linked(&kb);
     let _ = writeln!(
@@ -60,7 +68,11 @@ pub fn haley_proof() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Haley et al. outer argument (Graydon §III-K):");
     out.push_str(&proof.render());
-    let _ = writeln!(out, "mechanical check: {}", if checked { "PASS" } else { "FAIL" });
+    let _ = writeln!(
+        out,
+        "mechanical check: {}",
+        if checked { "PASS" } else { "FAIL" }
+    );
     out
 }
 
@@ -136,6 +148,14 @@ pub fn experiment_e() -> String {
     exp_e::run(&exp_e::Config::default()).render()
 }
 
+/// Runs the graph-core sweep comparison (10k-node synthetic argument)
+/// and renders the summary. The JSON artifact is written by `repro
+/// graph`.
+pub fn graph_bench() -> String {
+    let report = graph::run_graph_bench(10_000);
+    graph::render_report(&report)
+}
+
 /// Every artefact, concatenated (the `repro all` output).
 pub fn all() -> String {
     let mut out = String::new();
@@ -150,6 +170,7 @@ pub fn all() -> String {
         experiment_c(),
         experiment_d(),
         experiment_e(),
+        graph_bench(),
     ] {
         out.push_str(&section);
         out.push('\n');

@@ -136,10 +136,12 @@ pub fn generate_argument(
             builder = builder.supported_by(&strat_id, &format!("g{cite}"));
         }
     }
-    builder.build().map_err(|e| casekit_logic::LogicError::InvalidStep {
-        line: 0,
-        reason: format!("generated argument malformed: {e}"),
-    })
+    builder
+        .build()
+        .map_err(|e| casekit_logic::LogicError::InvalidStep {
+            line: 0,
+            reason: format!("generated argument malformed: {e}"),
+        })
 }
 
 /// Like [`generate_argument`], but abstracts the proof first: reiterations
@@ -157,77 +159,78 @@ pub fn generate_abstracted(
     let full = generate_argument(proof, style)?;
     // Collapse: a non-root goal with exactly one strategy parent and
     // exactly one strategy child is an intermediate step; its consumer
-    // strategy inherits its support, transitively.
-    let removable: Vec<crate::node::NodeId> = full
-        .nodes()
-        .filter(|n| n.kind == NodeKind::Goal)
-        .filter(|n| {
-            let parents = full.parents(&n.id);
-            let children = full.all_children(&n.id);
-            parents.len() == 1
-                && parents[0].kind == NodeKind::Strategy
-                && children.len() == 1
-                && children[0].kind == NodeKind::Strategy
-                && !full.roots().iter().any(|r| r.id == n.id)
-        })
-        .map(|n| n.id.clone())
-        .collect();
+    // strategy inherits its support, transitively. Membership tests use
+    // arena-indexed bitmaps, so the whole pass is O(V+E).
+    use crate::argument::NodeIdx;
+    let mut removable = vec![false; full.len()];
+    for idx in full.node_indices() {
+        if full.node_at(idx).kind != NodeKind::Goal || full.in_degree(idx) == 0 {
+            continue;
+        }
+        let mut parents = full.parents_idx(idx);
+        let sole_parent = (parents.next(), parents.next());
+        let mut children = full.all_children_idx(idx);
+        let sole_child = (children.next(), children.next());
+        if let ((Some(p), None), (Some(c), None)) = (sole_parent, sole_child) {
+            removable[idx.index()] = full.node_at(p).kind == NodeKind::Strategy
+                && full.node_at(c).kind == NodeKind::Strategy;
+        }
+    }
     // The removed goals' own child strategies disappear with them.
-    let orphan_strategies: Vec<crate::node::NodeId> = removable
-        .iter()
-        .flat_map(|id| full.all_children(id))
-        .filter(|n| n.kind == NodeKind::Strategy)
-        .map(|n| n.id.clone())
-        .collect();
+    let mut orphan_strategy = vec![false; full.len()];
+    for idx in full.node_indices() {
+        if removable[idx.index()] {
+            for child in full.all_children_idx(idx) {
+                if full.node_at(child).kind == NodeKind::Strategy {
+                    orphan_strategy[child.index()] = true;
+                }
+            }
+        }
+    }
 
     // Resolve an edge target across removed goals: a removed goal stands
     // for whatever its (single) child strategy supported.
-    fn resolve(
-        full: &Argument,
-        removable: &[crate::node::NodeId],
-        id: &crate::node::NodeId,
-        out: &mut Vec<crate::node::NodeId>,
-    ) {
-        if !removable.contains(id) {
-            out.push(id.clone());
+    fn resolve(full: &Argument, removable: &[bool], idx: NodeIdx, out: &mut Vec<NodeIdx>) {
+        if !removable[idx.index()] {
+            out.push(idx);
             return;
         }
-        for strategy in full.all_children(id) {
-            for grandchild in full.all_children(&strategy.id) {
-                resolve(full, removable, &grandchild.id, out);
+        for strategy in full.all_children_idx(idx) {
+            for grandchild in full.all_children_idx(strategy) {
+                resolve(full, removable, grandchild, out);
             }
         }
     }
 
     let mut builder = Argument::builder(format!("{} (abstracted)", full.name()));
     for node in full.nodes() {
-        if removable.contains(&node.id) || orphan_strategies.contains(&node.id) {
+        let idx = full.node_idx(&node.id).expect("node is interned");
+        if removable[idx.index()] || orphan_strategy[idx.index()] {
             continue;
         }
         builder = builder.node(node.clone());
     }
-    let mut seen: std::collections::BTreeSet<(String, String)> =
+    let mut seen: std::collections::BTreeSet<(NodeIdx, NodeIdx)> =
         std::collections::BTreeSet::new();
-    for edge in full.edges() {
-        if removable.contains(&edge.from)
-            || orphan_strategies.contains(&edge.from)
-            || orphan_strategies.contains(&edge.to)
-        {
+    for (from, to, kind) in full.edges_idx() {
+        if removable[from.index()] || orphan_strategy[from.index()] || orphan_strategy[to.index()] {
             continue;
         }
         let mut targets = Vec::new();
-        resolve(&full, &removable, &edge.to, &mut targets);
+        resolve(&full, &removable, to, &mut targets);
         for target in targets {
-            let key = (edge.from.as_str().to_string(), target.as_str().to_string());
-            if seen.insert(key) {
-                builder = builder.edge(edge.from.as_str(), target.as_str(), edge.kind);
+            if seen.insert((from, target)) {
+                builder =
+                    builder.edge(full.id_at(from).as_str(), full.id_at(target).as_str(), kind);
             }
         }
     }
-    builder.build().map_err(|e| casekit_logic::LogicError::InvalidStep {
-        line: 0,
-        reason: format!("abstracted argument malformed: {e}"),
-    })
+    builder
+        .build()
+        .map_err(|e| casekit_logic::LogicError::InvalidStep {
+            line: 0,
+            reason: format!("abstracted argument malformed: {e}"),
+        })
 }
 
 #[cfg(test)]
@@ -263,8 +266,7 @@ mod tests {
         // "Formal proof that X holds" — not a proposition, per Graydon's
         // criticism of the 2010 paper.
         assert!(root.text.starts_with("Formal proof that"));
-        let propositional =
-            generate_argument(&proof, ProofStyle::Propositional).unwrap();
+        let propositional = generate_argument(&proof, ProofStyle::Propositional).unwrap();
         let root = propositional.node(&"g11".into()).unwrap();
         assert!(!root.text.starts_with("Formal proof"));
     }
@@ -330,10 +332,7 @@ mod tests {
             full.len()
         );
         // The root conclusion survives abstraction.
-        assert!(abstracted
-            .roots()
-            .iter()
-            .any(|r| r.text.contains("D -> H")));
+        assert!(abstracted.roots().iter().any(|r| r.text.contains("D -> H")));
         assert!(abstracted.is_acyclic());
     }
 

@@ -70,42 +70,34 @@ pub fn check(argument: &Argument) -> Vec<CaeIssue> {
         }
     }
 
-    for edge in argument.edges() {
-        if edge.kind != EdgeKind::SupportedBy {
+    for (from_idx, to_idx, kind) in argument.edges_idx() {
+        if kind != EdgeKind::SupportedBy {
             continue; // CAE has no context edges; GSN vocabulary check
                       // will already have fired for non-CAE nodes.
         }
-        let from = match argument.node(&edge.from) {
-            Some(n) => n,
-            None => continue,
-        };
-        let to = match argument.node(&edge.to) {
-            Some(n) => n,
-            None => continue,
-        };
+        let from = argument.node_at(from_idx);
+        let to = argument.node_at(to_idx);
         match from.kind {
-            NodeKind::Claim
-                if !matches!(to.kind, NodeKind::ArgumentNode | NodeKind::Evidence) => {
-                    issues.push(CaeIssue {
-                        rule: CaeRule::ClaimSupport,
-                        at: from.id.clone(),
-                        detail: format!(
-                            "claim `{}` supported by {} `{}`; expected argument or evidence",
-                            from.id, to.kind, to.id
-                        ),
-                    });
-                }
-            NodeKind::ArgumentNode
-                if !matches!(to.kind, NodeKind::Claim | NodeKind::Evidence) => {
-                    issues.push(CaeIssue {
-                        rule: CaeRule::ArgumentSupport,
-                        at: from.id.clone(),
-                        detail: format!(
-                            "argument `{}` supported by {} `{}`; expected claim or evidence",
-                            from.id, to.kind, to.id
-                        ),
-                    });
-                }
+            NodeKind::Claim if !matches!(to.kind, NodeKind::ArgumentNode | NodeKind::Evidence) => {
+                issues.push(CaeIssue {
+                    rule: CaeRule::ClaimSupport,
+                    at: from.id.clone(),
+                    detail: format!(
+                        "claim `{}` supported by {} `{}`; expected argument or evidence",
+                        from.id, to.kind, to.id
+                    ),
+                });
+            }
+            NodeKind::ArgumentNode if !matches!(to.kind, NodeKind::Claim | NodeKind::Evidence) => {
+                issues.push(CaeIssue {
+                    rule: CaeRule::ArgumentSupport,
+                    at: from.id.clone(),
+                    detail: format!(
+                        "argument `{}` supported by {} `{}`; expected claim or evidence",
+                        from.id, to.kind, to.id
+                    ),
+                });
+            }
             NodeKind::Evidence => {
                 issues.push(CaeIssue {
                     rule: CaeRule::EvidenceIsLeaf,
@@ -117,7 +109,9 @@ pub fn check(argument: &Argument) -> Vec<CaeIssue> {
         }
     }
 
-    let has_root_claim = argument.roots().iter().any(|n| n.kind == NodeKind::Claim);
+    let has_root_claim = argument
+        .roots_idx()
+        .any(|idx| argument.node_at(idx).kind == NodeKind::Claim);
     if !argument.is_empty() && (!argument.is_acyclic() || !has_root_claim) {
         let at = argument
             .nodes()

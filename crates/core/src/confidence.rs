@@ -16,7 +16,7 @@
 //! numbers are only as good as the leaf assessments and independence
 //! assumptions, which are informal judgments.
 
-use crate::argument::Argument;
+use crate::argument::{Argument, NodeIdx};
 use crate::node::{EdgeKind, NodeId};
 use std::collections::BTreeMap;
 
@@ -85,61 +85,67 @@ pub fn propagate(
             "confidence for `{id}` must be in [0, 1]"
         );
     }
-    let mut values = BTreeMap::new();
-    for node in argument.nodes() {
+    // Memoise over the arena (indexed, allocation-free lookups), then
+    // key the public assessment by id.
+    let mut memo: Vec<Option<f64>> = vec![None; argument.len()];
+    for idx in argument.node_indices() {
         compute(
             argument,
-            &node.id,
+            idx,
             leaf_confidence,
             default_leaf,
             step_weight,
             aggregation,
-            &mut values,
+            &mut memo,
         );
     }
+    let values = argument
+        .node_indices()
+        .filter_map(|idx| memo[idx.index()].map(|v| (argument.id_at(idx).clone(), v)))
+        .collect();
     Assessment { values }
 }
 
 fn compute(
     argument: &Argument,
-    id: &NodeId,
+    idx: NodeIdx,
     leaf_confidence: &BTreeMap<NodeId, f64>,
     default_leaf: f64,
     step_weight: f64,
     aggregation: Aggregation,
-    values: &mut BTreeMap<NodeId, f64>,
+    memo: &mut Vec<Option<f64>>,
 ) -> f64 {
-    if let Some(v) = values.get(id) {
-        return *v;
+    if let Some(v) = memo[idx.index()] {
+        return v;
     }
-    let children = argument.children(id, EdgeKind::SupportedBy);
+    let children: Vec<NodeIdx> = argument.children_idx(idx, EdgeKind::SupportedBy).collect();
     let value = if children.is_empty() {
-        leaf_confidence.get(id).copied().unwrap_or(default_leaf)
+        leaf_confidence
+            .get(argument.id_at(idx))
+            .copied()
+            .unwrap_or(default_leaf)
     } else {
         let child_values: Vec<f64> = children
-            .iter()
+            .into_iter()
             .map(|c| {
                 compute(
                     argument,
-                    &c.id,
+                    c,
                     leaf_confidence,
                     default_leaf,
                     step_weight,
                     aggregation,
-                    values,
+                    memo,
                 )
             })
             .collect();
         let combined = match aggregation {
             Aggregation::NoisyAnd => child_values.iter().product::<f64>(),
-            Aggregation::WeakestLink => child_values
-                .iter()
-                .copied()
-                .fold(f64::INFINITY, f64::min),
+            Aggregation::WeakestLink => child_values.iter().copied().fold(f64::INFINITY, f64::min),
         };
         combined * step_weight
     };
-    values.insert(id.clone(), value);
+    memo[idx.index()] = Some(value);
     value
 }
 
@@ -159,7 +165,10 @@ pub fn leaf_impact(
     aggregation: Aggregation,
     leaf: &NodeId,
 ) -> Option<f64> {
-    let root = argument.roots().first().map(|n| n.id.clone())?;
+    let root = argument
+        .sorted_roots_idx()
+        .next()
+        .map(|idx| argument.id_at(idx).clone())?;
     let baseline = propagate(
         argument,
         leaf_confidence,
@@ -170,8 +179,8 @@ pub fn leaf_impact(
     .confidence(&root)?;
     let mut zeroed = leaf_confidence.clone();
     zeroed.insert(leaf.clone(), 0.0);
-    let without = propagate(argument, &zeroed, default_leaf, step_weight, aggregation)
-        .confidence(&root)?;
+    let without =
+        propagate(argument, &zeroed, default_leaf, step_weight, aggregation).confidence(&root)?;
     Some(baseline - without)
 }
 
@@ -195,10 +204,7 @@ mod tests {
     }
 
     fn leaves(pairs: &[(&str, f64)]) -> BTreeMap<NodeId, f64> {
-        pairs
-            .iter()
-            .map(|(id, v)| (NodeId::new(id), *v))
-            .collect()
+        pairs.iter().map(|(id, v)| (NodeId::new(id), *v)).collect()
     }
 
     #[test]
@@ -245,8 +251,8 @@ mod tests {
     fn leaf_impact_reflects_criticality() {
         let a = sample();
         let lc = leaves(&[("e1", 0.9), ("e2", 0.8)]);
-        let impact_e1 = leaf_impact(&a, &lc, 1.0, 1.0, Aggregation::NoisyAnd, &"e1".into())
-            .unwrap();
+        let impact_e1 =
+            leaf_impact(&a, &lc, 1.0, 1.0, Aggregation::NoisyAnd, &"e1".into()).unwrap();
         // Zeroing e1 zeroes the root (product): impact = 0.72.
         assert!((impact_e1 - 0.72).abs() < 1e-12);
     }

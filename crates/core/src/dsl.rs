@@ -143,9 +143,7 @@ fn kind_of(word: &str) -> Option<NodeKind> {
 
 fn edge_kind_for(kind: NodeKind) -> EdgeKind {
     match kind {
-        NodeKind::Context | NodeKind::Assumption | NodeKind::Justification => {
-            EdgeKind::InContextOf
-        }
+        NodeKind::Context | NodeKind::Assumption | NodeKind::Justification => EdgeKind::InContextOf,
         _ => EdgeKind::SupportedBy,
     }
 }
@@ -223,9 +221,8 @@ impl Parser {
 
         if kind_word == "ref" {
             let target = self.expect_ident()?;
-            let (parent_id, _) = parent.ok_or_else(|| {
-                ParseError::new("`ref` is only allowed inside a node body", span)
-            })?;
+            let (parent_id, _) = parent
+                .ok_or_else(|| ParseError::new("`ref` is only allowed inside a node body", span))?;
             // Edge kind depends on the *referenced* node's kind, which the
             // builder may not know yet; we default to SupportedBy — a ref
             // to a context node should use nesting instead.
@@ -233,9 +230,8 @@ impl Parser {
             return Ok(builder);
         }
 
-        let kind = kind_of(&kind_word).ok_or_else(|| {
-            ParseError::new(format!("unknown node kind `{kind_word}`"), span)
-        })?;
+        let kind = kind_of(&kind_word)
+            .ok_or_else(|| ParseError::new(format!("unknown node kind `{kind_word}`"), span))?;
         let id = self.expect_ident()?;
         let text = self.expect_string("node text")?;
 
@@ -249,10 +245,7 @@ impl Parser {
                     let span = self.here();
                     let src = self.expect_string("formula")?;
                     let formula = prop::parse(&src).map_err(|e| {
-                        ParseError::new(
-                            format!("in formal payload of `{id}`: {}", e.message),
-                            span,
-                        )
+                        ParseError::new(format!("in formal payload of `{id}`: {}", e.message), span)
                     })?;
                     node.formal = Some(FormalPayload::Prop(formula));
                 }
@@ -333,10 +326,10 @@ pub fn parse_argument(input: &str) -> Result<Argument, ParseError> {
 /// extra edges are emitted as `ref` children).
 pub fn render_dsl(argument: &Argument) -> String {
     let mut out = format!("argument \"{}\" {{\n", escape(argument.name()));
-    let mut emitted: std::collections::BTreeSet<crate::node::NodeId> =
-        std::collections::BTreeSet::new();
-    for root in argument.roots() {
-        render_node(argument, &root.id, 1, &mut out, &mut emitted);
+    let mut emitted = vec![false; argument.len()];
+    let roots: Vec<crate::argument::NodeIdx> = argument.sorted_roots_idx().collect();
+    for root in roots {
+        render_node(argument, root, 1, &mut out, &mut emitted);
     }
     out.push_str("}\n");
     out
@@ -362,20 +355,18 @@ fn escape(s: &str) -> String {
 
 fn render_node(
     argument: &Argument,
-    id: &crate::node::NodeId,
+    idx: crate::argument::NodeIdx,
     indent: usize,
     out: &mut String,
-    emitted: &mut std::collections::BTreeSet<crate::node::NodeId>,
+    emitted: &mut [bool],
 ) {
-    let node = match argument.node(id) {
-        Some(n) => n,
-        None => return,
-    };
+    let node = argument.node_at(idx);
     let pad = "  ".repeat(indent);
-    if !emitted.insert(id.clone()) {
-        out.push_str(&format!("{pad}ref {id}\n"));
+    if emitted[idx.index()] {
+        out.push_str(&format!("{pad}ref {}\n", node.id));
         return;
     }
+    emitted[idx.index()] = true;
     out.push_str(&format!(
         "{pad}{} {} \"{}\"",
         keyword(node.kind),
@@ -390,14 +381,14 @@ fn render_node(
     if node.undeveloped {
         out.push_str(" undeveloped");
     }
-    let children = argument.all_children(id);
+    let children: Vec<crate::argument::NodeIdx> = argument.all_children_idx(idx).collect();
     if children.is_empty() {
         out.push('\n');
         return;
     }
     out.push_str(" {\n");
     for child in children {
-        render_node(argument, &child.id, indent + 1, out, emitted);
+        render_node(argument, child, indent + 1, out, emitted);
     }
     out.push_str(&format!("{pad}}}\n"));
 }
@@ -480,10 +471,9 @@ mod tests {
 
     #[test]
     fn bad_formula_error_carries_node_id() {
-        let err = parse_argument(
-            r#"argument "x" { goal g1 "t" formal "p ->" { solution e "s" } }"#,
-        )
-        .unwrap_err();
+        let err =
+            parse_argument(r#"argument "x" { goal g1 "t" formal "p ->" { solution e "s" } }"#)
+                .unwrap_err();
         assert!(err.message.contains("g1"));
     }
 
@@ -526,10 +516,9 @@ mod tests {
 
     #[test]
     fn escaped_quotes_in_strings() {
-        let a = parse_argument(
-            r#"argument "q" { goal g1 "the \"safe\" state" { solution e1 "s" } }"#,
-        )
-        .unwrap();
+        let a =
+            parse_argument(r#"argument "q" { goal g1 "the \"safe\" state" { solution e1 "s" } }"#)
+                .unwrap();
         assert_eq!(a.node(&"g1".into()).unwrap().text, "the \"safe\" state");
     }
 
@@ -559,8 +548,7 @@ mod tests {
 
     #[test]
     fn trailing_garbage_rejected() {
-        let err = parse_argument(r#"argument "x" { goal g1 "t" undeveloped } extra"#)
-            .unwrap_err();
+        let err = parse_argument(r#"argument "x" { goal g1 "t" undeveloped } extra"#).unwrap_err();
         assert!(err.message.contains("trailing"));
     }
 }

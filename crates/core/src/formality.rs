@@ -90,7 +90,10 @@ pub fn profile(argument: &Argument) -> Profile {
     let symbolic = if propositional.is_empty() {
         0.0
     } else {
-        propositional.iter().filter(|node| node.is_formalised()).count() as f64
+        propositional
+            .iter()
+            .filter(|node| node.is_formalised())
+            .count() as f64
             / propositional.len() as f64
     };
 
@@ -120,15 +123,16 @@ pub fn profile(argument: &Argument) -> Profile {
 /// Counts, for reporting, how many nodes of each formality-relevant class
 /// an argument has: (propositional nodes, formalised nodes, support edges).
 pub fn formality_counts(argument: &Argument) -> (usize, usize, usize) {
+    // Arena-order scans: no id hashing or sorting, one pass each.
     let propositional = argument
-        .nodes()
+        .arena()
+        .iter()
         .filter(|n| n.kind.is_propositional())
         .count();
     let formalised = argument.formalised_count();
     let support_edges = argument
-        .edges()
-        .iter()
-        .filter(|e| e.kind == EdgeKind::SupportedBy)
+        .edges_idx()
+        .filter(|(_, _, kind)| *kind == EdgeKind::SupportedBy)
         .count();
     (propositional, formalised, support_edges)
 }
@@ -137,8 +141,9 @@ pub fn formality_counts(argument: &Argument) -> (usize, usize, usize) {
 /// full-formalisation end state Rushby's proposal drives toward.
 pub fn fully_symbolic(argument: &Argument) -> bool {
     argument
-        .nodes_of_kind(NodeKind::Goal)
+        .arena()
         .iter()
+        .filter(|n| n.kind == NodeKind::Goal)
         .all(|n| n.is_formalised())
 }
 

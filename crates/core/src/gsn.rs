@@ -106,16 +106,10 @@ fn check_impl(argument: &Argument, denney_pai: bool) -> Vec<Issue> {
         }
     }
 
-    for edge in argument.edges() {
-        let from = match argument.node(&edge.from) {
-            Some(n) => n,
-            None => continue,
-        };
-        let to = match argument.node(&edge.to) {
-            Some(n) => n,
-            None => continue,
-        };
-        match edge.kind {
+    for (from_idx, to_idx, kind) in argument.edges_idx() {
+        let from = argument.node_at(from_idx);
+        let to = argument.node_at(to_idx);
+        match kind {
             EdgeKind::SupportedBy => {
                 if !matches!(from.kind, NodeKind::Goal | NodeKind::Strategy) {
                     issues.push(Issue {
@@ -169,8 +163,9 @@ fn check_impl(argument: &Argument, denney_pai: bool) -> Vec<Issue> {
     }
 
     // Solutions are leaves.
-    for node in argument.nodes_of_kind(NodeKind::Solution) {
-        if !argument.all_children(&node.id).is_empty() {
+    for idx in argument.sorted_indices() {
+        let node = argument.node_at(idx);
+        if node.kind == NodeKind::Solution && argument.out_degree(idx) > 0 {
             issues.push(Issue {
                 rule: Rule::SolutionIsLeaf,
                 at: node.id.clone(),
@@ -194,7 +189,9 @@ fn check_impl(argument: &Argument, denney_pai: bool) -> Vec<Issue> {
     }
 
     // Root goal.
-    let has_root_goal = argument.roots().iter().any(|n| n.kind == NodeKind::Goal);
+    let has_root_goal = argument
+        .roots_idx()
+        .any(|idx| argument.node_at(idx).kind == NodeKind::Goal);
     if !argument.is_empty() && !has_root_goal {
         let at = argument
             .nodes()
@@ -209,12 +206,13 @@ fn check_impl(argument: &Argument, denney_pai: bool) -> Vec<Issue> {
     }
 
     // Development status.
-    for node in argument.nodes() {
+    for idx in argument.sorted_indices() {
+        let node = argument.node_at(idx);
         let needs_support = matches!(node.kind, NodeKind::Goal | NodeKind::Strategy);
         if !needs_support {
             continue;
         }
-        let supported = !argument.children(&node.id, EdgeKind::SupportedBy).is_empty();
+        let supported = argument.has_children_idx(idx, EdgeKind::SupportedBy);
         if node.undeveloped && supported {
             issues.push(Issue {
                 rule: Rule::UndevelopedHasNoSupport,
@@ -226,10 +224,7 @@ fn check_impl(argument: &Argument, denney_pai: bool) -> Vec<Issue> {
             issues.push(Issue {
                 rule: Rule::Developed,
                 at: node.id.clone(),
-                detail: format!(
-                    "{} has no support and is not marked undeveloped",
-                    node.kind
-                ),
+                detail: format!("{} has no support and is not marked undeveloped", node.kind),
             });
         }
     }
@@ -386,7 +381,9 @@ mod tests {
             .build()
             .unwrap();
         let issues = check(&a);
-        assert!(issues.iter().any(|i| i.rule == Rule::UndevelopedHasNoSupport));
+        assert!(issues
+            .iter()
+            .any(|i| i.rule == Rule::UndevelopedHasNoSupport));
     }
 
     #[test]

@@ -6,16 +6,19 @@
 //! reader "evaluat[e] a smaller, abstract argument structure … instead of
 //! its larger concrete instantiation".
 
-use crate::argument::Argument;
+use crate::argument::{Argument, NodeIdx};
 use crate::node::NodeId;
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
 /// A collapsible view over an argument.
+///
+/// Collapse state is tracked per [`NodeIdx`], so visibility sweeps and
+/// rendering never hash or compare id strings.
 #[derive(Debug, Clone)]
 pub struct View<'a> {
     argument: &'a Argument,
-    collapsed: BTreeSet<NodeId>,
+    collapsed: BTreeSet<NodeIdx>,
 }
 
 impl<'a> View<'a> {
@@ -30,9 +33,8 @@ impl<'a> View<'a> {
     /// A view with every internal node collapsed (roots visible).
     pub fn fully_collapsed(argument: &'a Argument) -> Self {
         let mut view = View::new(argument);
-        for root in argument.roots() {
-            view.collapse(&root.id);
-        }
+        let roots: Vec<NodeIdx> = argument.roots_idx().collect();
+        view.collapsed.extend(roots);
         view
     }
 
@@ -46,14 +48,16 @@ impl<'a> View<'a> {
     /// Collapsing an unknown id is a no-op: views are UI state, not
     /// validators.
     pub fn collapse(&mut self, id: &NodeId) {
-        if self.argument.node(id).is_some() {
-            self.collapsed.insert(id.clone());
+        if let Some(idx) = self.argument.node_idx(id) {
+            self.collapsed.insert(idx);
         }
     }
 
     /// Expands `id`.
     pub fn expand(&mut self, id: &NodeId) {
-        self.collapsed.remove(id);
+        if let Some(idx) = self.argument.node_idx(id) {
+            self.collapsed.remove(&idx);
+        }
     }
 
     /// Expands every node.
@@ -63,30 +67,35 @@ impl<'a> View<'a> {
 
     /// Whether `id` is collapsed.
     pub fn is_collapsed(&self, id: &NodeId) -> bool {
-        self.collapsed.contains(id)
+        self.argument
+            .node_idx(id)
+            .is_some_and(|idx| self.collapsed.contains(&idx))
     }
 
     /// Ids of nodes currently visible (roots, plus children of expanded
     /// visible nodes).
     pub fn visible(&self) -> Vec<NodeId> {
         let mut out = Vec::new();
-        let mut seen = BTreeSet::new();
-        for root in self.argument.roots() {
-            self.visit(&root.id, &mut out, &mut seen);
+        let mut seen = vec![false; self.argument.len()];
+        let roots: Vec<NodeIdx> = self.argument.sorted_roots_idx().collect();
+        for root in roots {
+            self.visit(root, &mut out, &mut seen);
         }
         out
     }
 
-    fn visit(&self, id: &NodeId, out: &mut Vec<NodeId>, seen: &mut BTreeSet<NodeId>) {
-        if !seen.insert(id.clone()) {
+    fn visit(&self, idx: NodeIdx, out: &mut Vec<NodeId>, seen: &mut [bool]) {
+        if seen[idx.index()] {
             return;
         }
-        out.push(id.clone());
-        if self.collapsed.contains(id) {
+        seen[idx.index()] = true;
+        out.push(self.argument.id_at(idx).clone());
+        if self.collapsed.contains(&idx) {
             return;
         }
-        for child in self.argument.all_children(id) {
-            self.visit(&child.id, out, seen);
+        let children: Vec<NodeIdx> = self.argument.all_children_idx(idx).collect();
+        for child in children {
+            self.visit(child, out, seen);
         }
     }
 
@@ -100,34 +109,32 @@ impl<'a> View<'a> {
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "{}", self.argument.name());
-        let mut seen = BTreeSet::new();
-        let roots = self.argument.roots();
-        for (i, root) in roots.iter().enumerate() {
-            self.render_node(&root.id, "", i + 1 == roots.len(), &mut out, &mut seen);
+        let mut seen = vec![false; self.argument.len()];
+        let roots: Vec<NodeIdx> = self.argument.sorted_roots_idx().collect();
+        for (i, &root) in roots.iter().enumerate() {
+            self.render_node(root, "", i + 1 == roots.len(), &mut out, &mut seen);
         }
         out
     }
 
     fn render_node(
         &self,
-        id: &NodeId,
+        idx: NodeIdx,
         prefix: &str,
         last: bool,
         out: &mut String,
-        seen: &mut BTreeSet<NodeId>,
+        seen: &mut [bool],
     ) {
-        let node = match self.argument.node(id) {
-            Some(n) => n,
-            None => return,
-        };
+        let node = self.argument.node_at(idx);
         let connector = if last { "`-- " } else { "|-- " };
-        if !seen.insert(id.clone()) {
-            let _ = writeln!(out, "{prefix}{connector}(see {id})");
+        if seen[idx.index()] {
+            let _ = writeln!(out, "{prefix}{connector}(see {})", node.id);
             return;
         }
+        seen[idx.index()] = true;
         let mut label = format!("[{}] {}: {}", node.id, node.kind, node.text);
-        if self.collapsed.contains(id) {
-            let hidden = self.argument.descendants(id).len();
+        if self.collapsed.contains(&idx) {
+            let hidden = self.argument.reachable_from(idx).len();
             if hidden > 0 {
                 let _ = write!(label, " [+{hidden} hidden]");
             }
@@ -136,9 +143,9 @@ impl<'a> View<'a> {
         }
         let _ = writeln!(out, "{prefix}{connector}{label}");
         let child_prefix = format!("{prefix}{}", if last { "    " } else { "|   " });
-        let children = self.argument.all_children(id);
-        for (i, child) in children.iter().enumerate() {
-            self.render_node(&child.id, &child_prefix, i + 1 == children.len(), out, seen);
+        let children: Vec<NodeIdx> = self.argument.all_children_idx(idx).collect();
+        for (i, &child) in children.iter().enumerate() {
+            self.render_node(child, &child_prefix, i + 1 == children.len(), out, seen);
         }
     }
 }

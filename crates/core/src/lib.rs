@@ -23,6 +23,28 @@
 //! * [`confidence`] — simple quantitative confidence propagation (the
 //!   BBN-style modelling the paper's ref [34] discusses).
 //!
+//! # Architecture: the indexed arena graph core
+//!
+//! [`Argument`] stores its nodes in a dense arena (`Vec<Node>` addressed
+//! by [`NodeIdx`], a `u32` newtype), an interner mapping each textual
+//! [`NodeId`] to its arena index, and CSR (compressed sparse row)
+//! outgoing/incoming adjacency tables built once at
+//! [`ArgumentBuilder::build`]. Traversal is therefore O(degree) per node
+//! and O(V+E) per whole-graph pass — never a scan of the full edge list.
+//!
+//! Callers choose between two planes:
+//!
+//! * the stable **`NodeId` plane** (`children`, `parents`,
+//!   `descendants`, `roots`, …) — string-keyed, allocation-friendly,
+//!   unchanged from the original `BTreeMap`-backed API; and
+//! * the **`NodeIdx` plane** (`children_idx`, `parents_idx`,
+//!   `edges_idx`, `reachable_from`, `sorted_indices`, …) — hash-free
+//!   fast paths used internally by [`gsn`], [`cae`], [`render`],
+//!   [`hicase`], [`semantics`], [`confidence`], [`autogen`], and the
+//!   downstream query/experiment crates.
+//!
+//! See the [`argument`] module docs for the full layout and contracts.
+//!
 //! ```
 //! use casekit_core::dsl::parse_argument;
 //!
@@ -53,8 +75,8 @@ pub mod render;
 pub mod semantics;
 pub mod toulmin;
 
-mod argument;
+pub mod argument;
 mod node;
 
-pub use argument::{Argument, ArgumentBuilder, ArgumentError, Edge};
+pub use argument::{Argument, ArgumentBuilder, ArgumentError, Edge, NodeIdx};
 pub use node::{EdgeKind, FormalPayload, Node, NodeId, NodeKind};

@@ -5,9 +5,8 @@
 //! lets the reading-audience experiment (§VI-C) vary notation as a
 //! treatment.
 
-use crate::argument::Argument;
-use crate::node::{EdgeKind, FormalPayload, NodeId, NodeKind};
-use std::collections::BTreeSet;
+use crate::argument::{Argument, NodeIdx};
+use crate::node::{EdgeKind, FormalPayload, NodeKind};
 use std::fmt::Write as _;
 
 /// Renders the argument as an ASCII tree from its roots.
@@ -17,12 +16,12 @@ use std::fmt::Write as _;
 pub fn ascii_tree(argument: &Argument) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{}", argument.name());
-    let mut seen = BTreeSet::new();
-    let roots = argument.roots();
-    for (i, root) in roots.iter().enumerate() {
+    let mut seen = vec![false; argument.len()];
+    let roots: Vec<NodeIdx> = argument.sorted_roots_idx().collect();
+    for (i, &root) in roots.iter().enumerate() {
         tree_node(
             argument,
-            &root.id,
+            root,
             "",
             i + 1 == roots.len(),
             &mut out,
@@ -34,16 +33,13 @@ pub fn ascii_tree(argument: &Argument) -> String {
 
 fn tree_node(
     argument: &Argument,
-    id: &NodeId,
+    idx: NodeIdx,
     prefix: &str,
     last: bool,
     out: &mut String,
-    seen: &mut BTreeSet<NodeId>,
+    seen: &mut [bool],
 ) {
-    let node = match argument.node(id) {
-        Some(n) => n,
-        None => return,
-    };
+    let node = argument.node_at(idx);
     let connector = if last { "`-- " } else { "|-- " };
     let mut label = format!("[{}] {}: {}", node.id, node.kind, node.text);
     if let Some(p) = &node.formal {
@@ -52,17 +48,18 @@ fn tree_node(
     if node.undeveloped {
         label.push_str("  (undeveloped)");
     }
-    if !seen.insert(id.clone()) {
-        let _ = writeln!(out, "{prefix}{connector}(see {id})");
+    if seen[idx.index()] {
+        let _ = writeln!(out, "{prefix}{connector}(see {})", node.id);
         return;
     }
+    seen[idx.index()] = true;
     let _ = writeln!(out, "{prefix}{connector}{label}");
     let child_prefix = format!("{prefix}{}", if last { "    " } else { "|   " });
-    let children = argument.all_children(id);
-    for (i, child) in children.iter().enumerate() {
+    let children: Vec<NodeIdx> = argument.all_children_idx(idx).collect();
+    for (i, &child) in children.iter().enumerate() {
         tree_node(
             argument,
-            &child.id,
+            child,
             &child_prefix,
             i + 1 == children.len(),
             out,
@@ -118,26 +115,29 @@ fn escape_dot(s: &str) -> String {
 pub fn prose(argument: &Argument) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Argument: {}\n", argument.name());
-    for root in argument.roots() {
-        prose_node(argument, &root.id, 0, &mut out, &mut BTreeSet::new());
+    let roots: Vec<NodeIdx> = argument.sorted_roots_idx().collect();
+    for root in roots {
+        // Fresh visited set per root: a node shared between two roots'
+        // arguments is narrated under both (prose has no `(see ...)`
+        // cross-reference, unlike the tree renderers).
+        let mut seen = vec![false; argument.len()];
+        prose_node(argument, root, 0, &mut out, &mut seen);
     }
     out
 }
 
 fn prose_node(
     argument: &Argument,
-    id: &NodeId,
+    idx: NodeIdx,
     depth: usize,
     out: &mut String,
-    seen: &mut BTreeSet<NodeId>,
+    seen: &mut [bool],
 ) {
-    let node = match argument.node(id) {
-        Some(n) => n,
-        None => return,
-    };
-    if !seen.insert(id.clone()) {
+    let node = argument.node_at(idx);
+    if seen[idx.index()] {
         return;
     }
+    seen[idx.index()] = true;
     let number = "  ".repeat(depth);
     match node.kind {
         NodeKind::Goal | NodeKind::Claim => {
@@ -148,11 +148,17 @@ fn prose_node(
             if let Some(FormalPayload::Temporal(f)) = &node.formal {
                 let _ = write!(out, " Formally (LTL): {f}.");
             }
-            let contexts = argument.children(id, EdgeKind::InContextOf);
-            for c in &contexts {
-                let _ = write!(out, " {} {} ({}).", prose_context_lead(c.kind), c.text, c.id);
+            for c_idx in argument.children_idx(idx, EdgeKind::InContextOf) {
+                let c = argument.node_at(c_idx);
+                let _ = write!(
+                    out,
+                    " {} {} ({}).",
+                    prose_context_lead(c.kind),
+                    c.text,
+                    c.id
+                );
             }
-            let support = argument.children(id, EdgeKind::SupportedBy);
+            let support: Vec<NodeIdx> = argument.children_idx(idx, EdgeKind::SupportedBy).collect();
             if support.is_empty() {
                 if node.undeveloped {
                     let _ = writeln!(out, " This claim is not yet developed.");
@@ -162,14 +168,15 @@ fn prose_node(
             } else {
                 let _ = writeln!(out, " This is supported as follows.");
                 for s in support {
-                    prose_node(argument, &s.id, depth + 1, out, seen);
+                    prose_node(argument, s, depth + 1, out, seen);
                 }
             }
         }
         NodeKind::Strategy | NodeKind::ArgumentNode => {
             let _ = writeln!(out, "{number}Arguing {} ({}):", node.text, node.id);
-            for s in argument.children(id, EdgeKind::SupportedBy) {
-                prose_node(argument, &s.id, depth + 1, out, seen);
+            let support: Vec<NodeIdx> = argument.children_idx(idx, EdgeKind::SupportedBy).collect();
+            for s in support {
+                prose_node(argument, s, depth + 1, out, seen);
             }
         }
         NodeKind::Solution | NodeKind::Evidence => {
@@ -260,10 +267,8 @@ mod tests {
 
     #[test]
     fn dot_escapes_quotes() {
-        let a = parse_argument(
-            r#"argument "q" { goal g1 "say \"hi\"" { solution e1 "s" } }"#,
-        )
-        .unwrap();
+        let a =
+            parse_argument(r#"argument "q" { goal g1 "say \"hi\"" { solution e1 "s" } }"#).unwrap();
         let d = dot(&a);
         assert!(d.contains("say \\\"hi\\\""));
     }
@@ -293,6 +298,22 @@ mod tests {
         let p = prose(&a);
         assert!(p.contains("Assuming that failures independent (a1)."));
         assert!(p.contains("This approach is justified because standard practice (j1)."));
+    }
+
+    #[test]
+    fn prose_narrates_shared_support_under_every_root() {
+        // Two roots citing the same evidence: prose has no cross-reference
+        // marker, so the shared node must be narrated under both roots.
+        let a = Argument::builder("two-roots")
+            .add("r1", crate::node::NodeKind::Goal, "Root one")
+            .add("r2", crate::node::NodeKind::Goal, "Root two")
+            .add("e", crate::node::NodeKind::Solution, "Shared evidence")
+            .supported_by("r1", "e")
+            .supported_by("r2", "e")
+            .build()
+            .unwrap();
+        let p = prose(&a);
+        assert_eq!(p.matches("Evidence: Shared evidence (e).").count(), 2);
     }
 
     #[test]

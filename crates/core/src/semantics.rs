@@ -9,7 +9,7 @@
 //! conclusion?) and none of the questions it cannot (do the premises
 //! describe the world?).
 
-use crate::argument::Argument;
+use crate::argument::{Argument, NodeIdx};
 use crate::node::{EdgeKind, FormalPayload, NodeId, NodeKind};
 use casekit_logic::probe::{probe, ProbeReport};
 use casekit_logic::prop::Formula;
@@ -20,12 +20,12 @@ use casekit_logic::prop::Formula;
 /// formalised descendants providing support").
 pub fn formal_premises(argument: &Argument) -> Vec<Formula> {
     argument
-        .nodes()
-        .filter(|n| {
-            n.is_formalised()
-                && formalised_support_children(argument, &n.id).is_empty()
+        .sorted_indices()
+        .map(|idx| (idx, argument.node_at(idx)))
+        .filter(|(idx, n)| {
+            n.is_formalised() && formalised_support_children(argument, *idx).is_empty()
         })
-        .filter_map(|n| match &n.formal {
+        .filter_map(|(_, n)| match &n.formal {
             Some(FormalPayload::Prop(f)) => Some(f.clone()),
             _ => None,
         })
@@ -35,24 +35,24 @@ pub fn formal_premises(argument: &Argument) -> Vec<Formula> {
 /// The formal conclusion: the propositional payload of the (first) root
 /// goal, if it has one.
 pub fn formal_conclusion(argument: &Argument) -> Option<Formula> {
-    argument.roots().into_iter().find_map(|n| match &n.formal {
-        Some(FormalPayload::Prop(f)) => Some(f.clone()),
-        _ => None,
-    })
+    argument
+        .sorted_roots_idx()
+        .find_map(|idx| match &argument.node_at(idx).formal {
+            Some(FormalPayload::Prop(f)) => Some(f.clone()),
+            _ => None,
+        })
 }
 
-/// Formalised children supporting `id` (transitively skipping unformalised
-/// strategies, which GSN interposes between goals).
-fn formalised_support_children<'a>(
-    argument: &'a Argument,
-    id: &NodeId,
-) -> Vec<&'a crate::node::Node> {
+/// Formalised children supporting `idx` (transitively skipping
+/// unformalised strategies, which GSN interposes between goals).
+fn formalised_support_children(argument: &Argument, idx: NodeIdx) -> Vec<&crate::node::Node> {
     let mut out = Vec::new();
-    for child in argument.children(id, EdgeKind::SupportedBy) {
+    for child_idx in argument.children_idx(idx, EdgeKind::SupportedBy) {
+        let child = argument.node_at(child_idx);
         if child.is_formalised() {
             out.push(child);
         } else if child.kind == NodeKind::Strategy {
-            out.extend(formalised_support_children(argument, &child.id));
+            out.extend(formalised_support_children(argument, child_idx));
         }
     }
     out
@@ -65,12 +65,12 @@ fn formalised_support_children<'a>(
 /// Returns `None` when the step is not checkable (the node or all of its
 /// support lacks propositional payloads).
 pub fn step_is_deductive(argument: &Argument, id: &NodeId) -> Option<bool> {
-    let node = argument.node(id)?;
-    let target = match &node.formal {
+    let idx = argument.node_idx(id)?;
+    let target = match &argument.node_at(idx).formal {
         Some(FormalPayload::Prop(f)) => f.clone(),
         _ => return None,
     };
-    let children = formalised_support_children(argument, id);
+    let children = formalised_support_children(argument, idx);
     if children.is_empty() {
         return None;
     }

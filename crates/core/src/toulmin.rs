@@ -117,7 +117,11 @@ impl ToulminArgument {
     fn render_into(&self, out: &mut String, indent: usize) {
         let pad = "  ".repeat(indent);
         for (i, g) in self.grounds.iter().enumerate() {
-            let keyword = if i == 0 { "given grounds" } else { "and grounds" };
+            let keyword = if i == 0 {
+                "given grounds"
+            } else {
+                "and grounds"
+            };
             out.push_str(&format!("{pad}{keyword} \"{g}\"\n"));
         }
         for w in &self.warrants {
@@ -257,10 +261,7 @@ mod tests {
         assert!(r.contains("thus claim \"HR credentials provided --> HR member\""));
         assert!(r.contains("rebutted by \"HR member is dishonest\""));
         // Nested content is indented deeper than outer content.
-        let nested_line = r
-            .lines()
-            .find(|l| l.contains("given in person"))
-            .unwrap();
+        let nested_line = r.lines().find(|l| l.contains("given in person")).unwrap();
         assert!(nested_line.starts_with("  "));
     }
 
@@ -272,8 +273,12 @@ mod tests {
 
     #[test]
     fn qualifier_appears_in_claim_line() {
-        let t = ToulminArgument::new("C").ground("G").qualifier("presumably");
-        assert!(t.render_extended().contains("thus, presumably, claim \"C\""));
+        let t = ToulminArgument::new("C")
+            .ground("G")
+            .qualifier("presumably");
+        assert!(t
+            .render_extended()
+            .contains("thus, presumably, claim \"C\""));
     }
 
     #[test]
@@ -297,19 +302,17 @@ mod tests {
         // The nested warrant-argument supports the outer goal.
         let support = a.children(&roots[0].id, crate::node::EdgeKind::SupportedBy);
         assert_eq!(support.len(), 2); // ground + nested goal
-        // And the conversion is GSN-well-formed.
+                                      // And the conversion is GSN-well-formed.
         assert!(crate::gsn::check(&a).is_empty());
     }
 
     #[test]
     fn deeply_nested_warrants_convert() {
-        let t = ToulminArgument::new("L0")
-            .ground("g0")
-            .warranted_by(
-                ToulminArgument::new("L1").ground("g1").warranted_by(
-                    ToulminArgument::new("L2").ground("g2").warrant("w2"),
-                ),
-            );
+        let t = ToulminArgument::new("L0").ground("g0").warranted_by(
+            ToulminArgument::new("L1")
+                .ground("g1")
+                .warranted_by(ToulminArgument::new("L2").ground("g2").warrant("w2")),
+        );
         let a = t.to_argument("deep");
         assert_eq!(a.len(), 7);
         assert!(crate::gsn::check(&a).is_empty());

@@ -170,7 +170,10 @@ impl Report {
     /// Renders the experiment's results table.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "Experiment A: automatic formal-fallacy detection (§VI-A)");
+        let _ = writeln!(
+            out,
+            "Experiment A: automatic formal-fallacy detection (§VI-A)"
+        );
         let _ = writeln!(
             out,
             "  review minutes   control (human does formal): {:7.1} ± {:.1}",
@@ -223,7 +226,11 @@ mod tests {
     fn treatment_arm_reviews_faster() {
         let r = run(&Config::default());
         assert!(r.minutes_treatment.mean < r.minutes_control.mean);
-        assert!(r.minutes_test.p_value < 0.05, "p = {}", r.minutes_test.p_value);
+        assert!(
+            r.minutes_test.p_value < 0.05,
+            "p = {}",
+            r.minutes_test.p_value
+        );
     }
 
     #[test]

@@ -121,9 +121,7 @@ pub fn run(config: &Config) -> Report {
             let mut minutes = Vec::new();
             for subject in subjects {
                 let p = comprehension_probability(subject, notation).clamp(0.0, 1.0);
-                let correct = (0..config.questions)
-                    .filter(|_| rng.gen_bool(p))
-                    .count();
+                let correct = (0..config.questions).filter(|_| rng.gen_bool(p)).count();
                 let score = correct as f64 / config.questions as f64;
                 scores.push(score);
                 minutes.push(reading_minutes(subject, notation, config.words, &mut rng));
@@ -167,7 +165,10 @@ impl Report {
     /// Renders the results table.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "Experiment C: restriction of the reading audience (§VI-C)");
+        let _ = writeln!(
+            out,
+            "Experiment C: restriction of the reading audience (§VI-C)"
+        );
         let _ = writeln!(
             out,
             "  {:<22} {:>18} {:>18}",

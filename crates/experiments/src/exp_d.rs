@@ -147,8 +147,7 @@ pub fn run(config: &Config) -> Report {
         let tool_arm = i % 2 == 1;
         for k in 0..config.instantiations {
             let pattern = &patterns[k % patterns.len()];
-            let (binding, mut type_slips, sem_slips) =
-                build_binding(pattern, subject, &mut rng);
+            let (binding, mut type_slips, sem_slips) = build_binding(pattern, subject, &mut rng);
             // Base entry time: ~1.5 min per parameter.
             let mut minutes = pattern.params.len() as f64 * 1.5;
             if tool_arm {

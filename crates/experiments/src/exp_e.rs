@@ -77,14 +77,15 @@ pub struct Report {
 /// Builds the judgment argument: `leaves` evidence goals, half of which
 /// (`p0..`) the root needs and half of which are formally idle.
 fn judgment_argument(leaves: usize) -> Argument {
-    assert!(leaves >= 2 && leaves.is_multiple_of(2), "need an even leaf count ≥ 2");
+    assert!(
+        leaves >= 2 && leaves.is_multiple_of(2),
+        "need an even leaf count ≥ 2"
+    );
     let needed = leaves / 2;
     let root = Formula::conj((0..needed).map(|i| Formula::atom(format!("p{i}"))));
-    let mut builder = Argument::builder("sufficiency")
-        .node(
-            Node::new("g_root", NodeKind::Goal, "Top claim")
-                .with_formal(FormalPayload::Prop(root)),
-        );
+    let mut builder = Argument::builder("sufficiency").node(
+        Node::new("g_root", NodeKind::Goal, "Top claim").with_formal(FormalPayload::Prop(root)),
+    );
     for i in 0..leaves {
         let gid = format!("g{i}");
         let eid = format!("e{i}");
@@ -109,9 +110,7 @@ fn judgment_argument(leaves: usize) -> Argument {
 fn judgment_accuracy(subject: &Subject, procedure: Procedure) -> f64 {
     match procedure {
         Procedure::GraphTracing => 0.70 + 0.25 * subject.diligence,
-        Procedure::ProofProbing => {
-            0.40 + 0.30 * subject.diligence + 0.25 * subject.logic_skill
-        }
+        Procedure::ProofProbing => 0.40 + 0.30 * subject.diligence + 0.25 * subject.logic_skill,
     }
 }
 
@@ -119,9 +118,7 @@ fn judgment_minutes(procedure: Procedure, leaves: usize, subject: &Subject) -> f
     match procedure {
         Procedure::GraphTracing => leaves as f64 * 1.0 * (220.0 / subject.reading_wpm),
         // Each probe: edit, re-run, interpret.
-        Procedure::ProofProbing => {
-            leaves as f64 * (2.0 + 2.0 * (1.0 - subject.logic_skill))
-        }
+        Procedure::ProofProbing => leaves as f64 * (2.0 + 2.0 * (1.0 - subject.logic_skill)),
     }
 }
 
@@ -155,13 +152,7 @@ pub fn run(config: &Config) -> Report {
         let acc = judgment_accuracy(subject, procedure).clamp(0.0, 1.0);
         let row: Vec<bool> = truth
             .iter()
-            .map(|&actual| {
-                if rng.gen_bool(acc) {
-                    actual
-                } else {
-                    !actual
-                }
-            })
+            .map(|&actual| if rng.gen_bool(acc) { actual } else { !actual })
             .collect();
         let mins = judgment_minutes(procedure, config.leaves, subject);
         match procedure {
@@ -196,10 +187,7 @@ impl Report {
     /// Renders the results table.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "Experiment E: evidence-sufficiency judgments (§VI-E)"
-        );
+        let _ = writeln!(out, "Experiment E: evidence-sufficiency judgments (§VI-E)");
         let _ = writeln!(
             out,
             "  minutes/assessment: tracing {:.1} ± {:.1}, probing {:.1} ± {:.1}",

@@ -106,10 +106,18 @@ pub fn generate(config: &GeneratorConfig) -> Generated {
 
     let mut builder = Argument::builder(format!("generated-{}", config.seed))
         .node(
-            Node::new("g_root", NodeKind::Goal, "All identified hazards are mitigated")
-                .with_formal(FormalPayload::Prop(root_formula.clone())),
+            Node::new(
+                "g_root",
+                NodeKind::Goal,
+                "All identified hazards are mitigated",
+            )
+            .with_formal(FormalPayload::Prop(root_formula.clone())),
         )
-        .add("s_haz", NodeKind::Strategy, "Argue over each identified hazard")
+        .add(
+            "s_haz",
+            NodeKind::Strategy,
+            "Argue over each identified hazard",
+        )
         .supported_by("g_root", "s_haz");
 
     for (i, atom) in hazard_atoms.iter().enumerate() {

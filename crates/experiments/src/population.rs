@@ -155,10 +155,7 @@ mod tests {
         let b = generate(&config);
         assert_eq!(a.len(), 6 * 20);
         assert_eq!(a, b, "same seed must reproduce the pool");
-        let other = generate(&PoolConfig {
-            seed: 99,
-            ..config
-        });
+        let other = generate(&PoolConfig { seed: 99, ..config });
         assert_ne!(a, other, "different seed should differ");
     }
 

@@ -183,12 +183,7 @@ pub fn cohens_kappa<T: PartialEq + Clone>(rater_a: &[T], rater_b: &[T]) -> f64 {
     assert_eq!(rater_a.len(), rater_b.len(), "paired ratings required");
     assert!(!rater_a.is_empty(), "need at least one item");
     let n = rater_a.len() as f64;
-    let observed = rater_a
-        .iter()
-        .zip(rater_b)
-        .filter(|(x, y)| x == y)
-        .count() as f64
-        / n;
+    let observed = rater_a.iter().zip(rater_b).filter(|(x, y)| x == y).count() as f64 / n;
     // Category marginals.
     let mut categories: Vec<T> = Vec::new();
     for item in rater_a.iter().chain(rater_b) {

@@ -86,8 +86,7 @@ pub fn check_argument(argument: &Argument) -> MachineReport {
 
     if let Some(conclusion) = conclusion {
         if !premises.is_empty() {
-            let premise_formula =
-                casekit_logic::prop::Formula::conj(premises.iter().cloned());
+            let premise_formula = casekit_logic::prop::Formula::conj(premises.iter().cloned());
             if !premise_formula.entails(&conclusion) {
                 findings.push(MachineFinding::ConclusionNotEntailed);
             }
@@ -146,10 +145,9 @@ mod tests {
             .findings
             .iter()
             .any(|f| matches!(f, MachineFinding::ConclusionNotEntailed)));
-        assert!(report
-            .findings
-            .iter()
-            .any(|f| matches!(f, MachineFinding::NonDeductiveStep { node } if node == &NodeId::new("g1"))));
+        assert!(report.findings.iter().any(
+            |f| matches!(f, MachineFinding::NonDeductiveStep { node } if node == &NodeId::new("g1"))
+        ));
     }
 
     #[test]

@@ -136,9 +136,7 @@ pub fn affirming_the_consequent(premises: &[Formula], conclusion: &Formula) -> V
         premises,
         conclusion,
         FormalFallacy::AffirmingTheConsequent,
-        |antecedent, consequent, other, conclusion| {
-            other == consequent && conclusion == antecedent
-        },
+        |antecedent, consequent, other, conclusion| other == consequent && conclusion == antecedent,
     )
 }
 

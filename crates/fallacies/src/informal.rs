@@ -103,9 +103,7 @@ impl fmt::Display for Cue {
 /// its *declared sense per node*, flag terms used with two different
 /// senses. The glossary itself is an informal judgment — which is the
 /// point: the machine only mechanises bookkeeping a human already did.
-pub fn glossary_equivocation_lint(
-    glossary: &BTreeMap<(NodeId, String), String>,
-) -> Vec<Cue> {
+pub fn glossary_equivocation_lint(glossary: &BTreeMap<(NodeId, String), String>) -> Vec<Cue> {
     // term -> set of senses (with a witness node each).
     let mut senses: BTreeMap<&String, BTreeMap<&String, &NodeId>> = BTreeMap::new();
     for ((node, term), sense) in glossary {
@@ -197,10 +195,8 @@ mod tests {
 
     #[test]
     fn seeded_records_and_counts() {
-        let arg = parse_argument(
-            r#"argument "cs" { goal g1 "claim" { solution e1 "ev" } }"#,
-        )
-        .unwrap();
+        let arg =
+            parse_argument(r#"argument "cs" { goal g1 "claim" { solution e1 "ev" } }"#).unwrap();
         let cs = CaseStudy::new(
             arg,
             vec![
@@ -243,14 +239,8 @@ mod tests {
         // one sense for both uses, the machine is silent — the lint only
         // mechanises the human's judgment.
         let mut glossary = BTreeMap::new();
-        glossary.insert(
-            (NodeId::new("g1"), "bank".to_string()),
-            "bank".to_string(),
-        );
-        glossary.insert(
-            (NodeId::new("g2"), "bank".to_string()),
-            "bank".to_string(),
-        );
+        glossary.insert((NodeId::new("g1"), "bank".to_string()), "bank".to_string());
+        glossary.insert((NodeId::new("g2"), "bank".to_string()), "bank".to_string());
         assert!(glossary_equivocation_lint(&glossary).is_empty());
     }
 
@@ -271,10 +261,7 @@ mod tests {
         // Defence in depth: two independent sufficient premises. Each is
         // individually idle, yet neither is a red herring. The lint flags
         // both — a designed false positive.
-        let premises = vec![
-            parse("q").unwrap(),
-            parse("p & (p -> q)").unwrap(),
-        ];
+        let premises = vec![parse("q").unwrap(), parse("p & (p -> q)").unwrap()];
         let cues = idle_premise_lint(&premises, &parse("q").unwrap());
         assert_eq!(cues.len(), 2);
     }

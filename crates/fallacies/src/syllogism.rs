@@ -147,7 +147,10 @@ impl fmt::Display for SyllogismIssue {
             ),
             SyllogismIssue::ExclusivePremises => write!(f, "two negative premises"),
             SyllogismIssue::NegativityMismatch => {
-                write!(f, "negative/affirmative mismatch between premises and conclusion")
+                write!(
+                    f,
+                    "negative/affirmative mismatch between premises and conclusion"
+                )
             }
             SyllogismIssue::ExistentialFallacy => {
                 write!(f, "particular conclusion from two universal premises")
@@ -160,12 +163,8 @@ impl SyllogismIssue {
     /// The corresponding taxonomy entry, where one exists.
     pub fn fallacy(&self) -> Option<FormalFallacy> {
         match self {
-            SyllogismIssue::UndistributedMiddle(_) => {
-                Some(FormalFallacy::UndistributedMiddle)
-            }
-            SyllogismIssue::IllicitDistribution { .. } => {
-                Some(FormalFallacy::IllicitDistribution)
-            }
+            SyllogismIssue::UndistributedMiddle(_) => Some(FormalFallacy::UndistributedMiddle),
+            SyllogismIssue::IllicitDistribution { .. } => Some(FormalFallacy::IllicitDistribution),
             _ => None,
         }
     }
@@ -229,23 +228,20 @@ impl Syllogism {
         }
 
         // Rule 1: middle distributed at least once.
-        if !self.major_premise.distributes(&middle) && !self.minor_premise.distributes(&middle)
-        {
+        if !self.major_premise.distributes(&middle) && !self.minor_premise.distributes(&middle) {
             issues.push(SyllogismIssue::UndistributedMiddle(middle.clone()));
         }
 
         // Rule 2: end terms distributed in the conclusion must be
         // distributed in their premise.
-        if self.conclusion.distributes(&major_term)
-            && !self.major_premise.distributes(&major_term)
+        if self.conclusion.distributes(&major_term) && !self.major_premise.distributes(&major_term)
         {
             issues.push(SyllogismIssue::IllicitDistribution {
                 term: major_term.clone(),
                 major: true,
             });
         }
-        if self.conclusion.distributes(&minor_term)
-            && !self.minor_premise.distributes(&minor_term)
+        if self.conclusion.distributes(&minor_term) && !self.minor_premise.distributes(&minor_term)
         {
             issues.push(SyllogismIssue::IllicitDistribution {
                 term: minor_term.clone(),
@@ -372,10 +368,9 @@ mod tests {
             conclusion: prop(Form::A, "artifacts", "passed"),
         };
         let issues = s.check();
-        assert!(issues.iter().any(|i| matches!(
-            i,
-            SyllogismIssue::IllicitDistribution { major: false, .. }
-        )));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, SyllogismIssue::IllicitDistribution { major: false, .. })));
     }
 
     #[test]
@@ -456,10 +451,7 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("All men are mortals."));
         assert!(text.contains("Therefore, All greeks are mortals."));
-        assert_eq!(
-            prop(Form::O, "s", "p").to_string(),
-            "Some s are not p"
-        );
+        assert_eq!(prop(Form::O, "s", "p").to_string(), "Some s are not p");
         assert_eq!(prop(Form::E, "s", "p").to_string(), "No s are p");
         assert_eq!(prop(Form::I, "s", "p").to_string(), "Some s are p");
     }

@@ -130,7 +130,10 @@ impl Framework {
     /// Panics above 16 arguments.
     pub fn complete_extensions(&self) -> Vec<BTreeSet<ArgId>> {
         let n = self.labels.len();
-        assert!(n <= 16, "complete-extension enumeration limited to 16 arguments");
+        assert!(
+            n <= 16,
+            "complete-extension enumeration limited to 16 arguments"
+        );
         let mut out = Vec::new();
         for mask in 0..(1u32 << n) {
             let set: BTreeSet<ArgId> = (0..n).filter(|i| mask >> i & 1 == 1).collect();
@@ -138,8 +141,7 @@ impl Framework {
                 continue;
             }
             // Complete: contains exactly the arguments it defends.
-            let defended: BTreeSet<ArgId> =
-                (0..n).filter(|&id| self.defends(&set, id)).collect();
+            let defended: BTreeSet<ArgId> = (0..n).filter(|&id| self.defends(&set, id)).collect();
             if defended == set {
                 out.push(set);
             }

@@ -49,17 +49,13 @@ impl Substitution {
         match term {
             Term::Var(n) => match self.map.get(n) {
                 // A bound variable may itself be bound; chase the chain.
-                Some(t) => {
-                    
-                    self.apply(t)
-                }
+                Some(t) => self.apply(t),
                 None => term.clone(),
             },
             Term::Const(_) => term.clone(),
-            Term::Compound(f, args) => Term::Compound(
-                f.clone(),
-                args.iter().map(|a| self.apply(a)).collect(),
-            ),
+            Term::Compound(f, args) => {
+                Term::Compound(f.clone(), args.iter().map(|a| self.apply(a)).collect())
+            }
         }
     }
 
@@ -208,14 +204,8 @@ mod tests {
 
     #[test]
     fn mgu_equalises_nested_terms() {
-        let t1 = Term::compound(
-            "f",
-            vec![v("X"), Term::compound("g", vec![v("X"), v("Y")])],
-        );
-        let t2 = Term::compound(
-            "f",
-            vec![c("a"), Term::compound("g", vec![v("Z"), c("b")])],
-        );
+        let t1 = Term::compound("f", vec![v("X"), Term::compound("g", vec![v("X"), v("Y")])]);
+        let t2 = Term::compound("f", vec![c("a"), Term::compound("g", vec![v("Z"), c("b")])]);
         let s = unify(&t1, &t2, &Substitution::new()).unwrap();
         assert_eq!(s.apply(&t1), s.apply(&t2));
         assert_eq!(s.apply(&v("Z")), c("a"));

@@ -100,9 +100,7 @@ impl Ltl {
             Ltl::Prop(p) => {
                 out.insert(p.clone());
             }
-            Ltl::Not(a) | Ltl::Next(a) | Ltl::Finally(a) | Ltl::Globally(a) => {
-                a.collect_props(out)
-            }
+            Ltl::Not(a) | Ltl::Next(a) | Ltl::Finally(a) | Ltl::Globally(a) => a.collect_props(out),
             Ltl::And(a, b)
             | Ltl::Or(a, b)
             | Ltl::Implies(a, b)
@@ -211,13 +209,17 @@ mod tests {
     fn display_temporal_operators() {
         let f = Ltl::prop("p").until(Ltl::prop("q")).globally();
         assert_eq!(f.to_string(), "G (p U q)");
-        let f = Ltl::prop("request").implies(Ltl::prop("grant").finally()).globally();
+        let f = Ltl::prop("request")
+            .implies(Ltl::prop("grant").finally())
+            .globally();
         assert_eq!(f.to_string(), "G (request -> F grant)");
     }
 
     #[test]
     fn props_collected() {
-        let f = Ltl::prop("a").until(Ltl::prop("b")).and(Ltl::prop("a").next());
+        let f = Ltl::prop("a")
+            .until(Ltl::prop("b"))
+            .and(Ltl::prop("a").next());
         let names: Vec<_> = f.props().into_iter().map(|p| p.to_string()).collect();
         assert_eq!(names, vec!["a", "b"]);
     }

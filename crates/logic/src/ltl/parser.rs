@@ -81,7 +81,8 @@ impl<'a> P<'a> {
     fn or(&mut self) -> Result<Ltl, ParseError> {
         let mut lhs = self.and()?;
         loop {
-            if self.try_eat("||") || (self.peek() == Some('|') && self.try_eat("|"))
+            if self.try_eat("||")
+                || (self.peek() == Some('|') && self.try_eat("|"))
                 || self.try_eat("∨")
             {
                 let rhs = self.and()?;
@@ -96,7 +97,8 @@ impl<'a> P<'a> {
     fn and(&mut self) -> Result<Ltl, ParseError> {
         let mut lhs = self.until()?;
         loop {
-            if self.try_eat("&&") || (self.peek() == Some('&') && self.try_eat("&"))
+            if self.try_eat("&&")
+                || (self.peek() == Some('&') && self.try_eat("&"))
                 || self.try_eat("∧")
             {
                 let rhs = self.until()?;

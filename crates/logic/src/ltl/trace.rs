@@ -153,10 +153,7 @@ impl Trace {
             }
             Ltl::Release(a, b) => {
                 // p R q ≡ ¬(¬p U ¬q)
-                let neg = Ltl::clone(a)
-                    .not()
-                    .until(Ltl::clone(b).not())
-                    .not();
+                let neg = Ltl::clone(a).not().until(Ltl::clone(b).not()).not();
                 self.satisfies_at(&neg, pos)
             }
         }
@@ -284,15 +281,9 @@ mod tests {
 
     #[test]
     fn request_grant_pattern() {
-        let ok = Trace::lasso(
-            vec![vec!["request"], vec![], vec!["grant"]],
-            vec![vec![]],
-        );
+        let ok = Trace::lasso(vec![vec!["request"], vec![], vec!["grant"]], vec![vec![]]);
         assert!(ok.satisfies(&f("G (request -> F grant)")));
-        let bad = Trace::lasso(
-            vec![vec!["request"], vec![]],
-            vec![vec![]],
-        );
+        let bad = Trace::lasso(vec![vec!["request"], vec![]], vec![vec![]]);
         assert!(!bad.satisfies(&f("G (request -> F grant)")));
     }
 

@@ -247,9 +247,7 @@ impl Proof {
                 let a = self.fetch(number, *i)?;
                 let b = self.fetch(number, *j)?;
                 match &line.formula {
-                    Formula::And(l, r)
-                        if l.as_ref() == &a.formula && r.as_ref() == &b.formula =>
-                    {
+                    Formula::And(l, r) if l.as_ref() == &a.formula && r.as_ref() == &b.formula => {
                         Ok(())
                     }
                     _ => fail(format!(
@@ -289,20 +287,13 @@ impl Proof {
                     other => return fail(format!("line {k} (`{other}`) is not an implication")),
                 };
                 if ll != dl {
-                    return fail(format!(
-                        "line {j} must discharge the left disjunct `{dl}`"
-                    ));
+                    return fail(format!("line {j} must discharge the left disjunct `{dl}`"));
                 }
                 if rl != dr {
-                    return fail(format!(
-                        "line {k} must discharge the right disjunct `{dr}`"
-                    ));
+                    return fail(format!("line {k} must discharge the right disjunct `{dr}`"));
                 }
                 if lr != &line.formula || rr != &line.formula {
-                    return fail(format!(
-                        "both cases must conclude `{}`",
-                        line.formula
-                    ));
+                    return fail(format!("both cases must conclude `{}`", line.formula));
                 }
                 Ok(())
             }
@@ -380,11 +371,11 @@ impl Proof {
                 let fwd = self.fetch(number, *i)?;
                 let back = self.fetch(number, *j)?;
                 match (&fwd.formula, &back.formula, &line.formula) {
-                    (
-                        Formula::Implies(a1, b1),
-                        Formula::Implies(b2, a2),
-                        Formula::Iff(a3, b3),
-                    ) if a1 == a2 && b1 == b2 && a1 == a3 && b1 == b3 => Ok(()),
+                    (Formula::Implies(a1, b1), Formula::Implies(b2, a2), Formula::Iff(a3, b3))
+                        if a1 == a2 && b1 == b2 && a1 == a3 && b1 == b3 =>
+                    {
+                        Ok(())
+                    }
                     _ => fail(format!(
                         "IffIntro requires `X -> Y` at {i}, `Y -> X` at {j}, concluding `X <-> Y`"
                     )),
@@ -399,9 +390,7 @@ impl Proof {
                         if line.formula == fwd || line.formula == back {
                             Ok(())
                         } else {
-                            fail(format!(
-                                "IffElim of line {i} yields `{fwd}` or `{back}`"
-                            ))
+                            fail(format!("IffElim of line {i} yields `{fwd}` or `{back}`"))
                         }
                     }
                     other => fail(format!("line {i} (`{other}`) is not a biconditional")),
@@ -410,7 +399,9 @@ impl Proof {
             Rule::Conclusion(i) => {
                 let prem = self.fetch(number, *i)?;
                 if prem.rule != Rule::Premise {
-                    return fail(format!("line {i} is not a premise, so cannot be discharged"));
+                    return fail(format!(
+                        "line {i} is not a premise, so cannot be discharged"
+                    ));
                 }
                 if number < 2 {
                     return fail("Conclusion needs a preceding derived line".to_string());
@@ -710,7 +701,11 @@ mod tests {
                 other => other.clone(),
             };
             line.rule = new_rule;
-            assert!(mutated.check().is_err(), "mutation at line {} passed", i + 1);
+            assert!(
+                mutated.check().is_err(),
+                "mutation at line {} passed",
+                i + 1
+            );
         }
     }
 

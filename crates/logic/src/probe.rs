@@ -71,12 +71,12 @@ pub fn probe(premises: &[Formula], conclusion: &Formula) -> ProbeReport {
         };
     }
     let impacts = (0..premises.len())
-        .map(|skip| {
-            match counterexample(premises, conclusion, Some(skip)) {
+        .map(
+            |skip| match counterexample(premises, conclusion, Some(skip)) {
                 None => PremiseImpact::Idle,
                 Some(v) => PremiseImpact::Critical(v),
-            }
-        })
+            },
+        )
         .collect();
     ProbeReport {
         entailed: true,
@@ -135,12 +135,7 @@ mod tests {
         // From the paper's eleven-line proof: which premises does D -> H
         // actually need? I -> V turns out to be idle (V is never used to
         // reach H) — exactly the insight Rushby says probing surfaces.
-        let premises = vec![
-            f("I -> V"),
-            f("C -> H"),
-            f("Y -> V & C"),
-            f("D -> Y"),
-        ];
+        let premises = vec![f("I -> V"), f("C -> H"), f("Y -> V & C"), f("D -> Y")];
         let report = probe(&premises, &f("D -> H"));
         assert!(report.entailed);
         assert_eq!(report.idle_indices(), vec![0]);

@@ -273,7 +273,11 @@ mod tests {
     #[test]
     fn atoms_are_sorted_and_deduplicated() {
         let f = q().and(p()).or(q());
-        let names: Vec<_> = f.atoms().into_iter().map(|a| a.name().to_string()).collect();
+        let names: Vec<_> = f
+            .atoms()
+            .into_iter()
+            .map(|a| a.name().to_string())
+            .collect();
         assert_eq!(names, vec!["p", "q"]);
     }
 

@@ -361,11 +361,7 @@ fn tseitin(f: &Formula, cs: &mut ClauseSet, counter: &mut usize) -> Literal {
             let x = fresh(counter);
             let xl = Literal::pos(x);
             // x <-> a | b
-            cs.insert(Clause::from_literals([
-                xl.negated(),
-                a.clone(),
-                b.clone(),
-            ]));
+            cs.insert(Clause::from_literals([xl.negated(), a.clone(), b.clone()]));
             cs.insert(Clause::from_literals([xl.clone(), a.negated()]));
             cs.insert(Clause::from_literals([xl.clone(), b.negated()]));
             xl
@@ -390,11 +386,7 @@ fn tseitin(f: &Formula, cs: &mut ClauseSet, counter: &mut usize) -> Literal {
                 a.clone(),
                 b.negated(),
             ]));
-            cs.insert(Clause::from_literals([
-                xl.clone(),
-                a.clone(),
-                b.clone(),
-            ]));
+            cs.insert(Clause::from_literals([xl.clone(), a.clone(), b.clone()]));
             cs.insert(Clause::from_literals([
                 xl.clone(),
                 a.negated(),
@@ -525,7 +517,11 @@ mod tests {
     #[test]
     fn clause_set_atoms() {
         let cs = parse("(p | q) & ~r").unwrap().to_cnf();
-        let names: Vec<_> = cs.atoms().into_iter().map(|a| a.name().to_string()).collect();
+        let names: Vec<_> = cs
+            .atoms()
+            .into_iter()
+            .map(|a| a.name().to_string())
+            .collect();
         assert_eq!(names, vec!["p", "q", "r"]);
     }
 }

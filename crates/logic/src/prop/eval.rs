@@ -174,11 +174,7 @@ pub fn truth_table(formula: &Formula) -> TruthTable {
     let mut rows = Vec::with_capacity(1 << n);
     for bits in 0..(1u32 << n) {
         let values: Vec<bool> = (0..n).map(|i| bits >> (n - 1 - i) & 1 == 1).collect();
-        let v: Valuation = atoms
-            .iter()
-            .cloned()
-            .zip(values.iter().copied())
-            .collect();
+        let v: Valuation = atoms.iter().cloned().zip(values.iter().copied()).collect();
         rows.push((values, formula.eval(&v)));
     }
     TruthTable { atoms, rows }

@@ -315,8 +315,14 @@ mod tests {
 
     #[test]
     fn implication_is_right_associative() {
-        assert_eq!(parse("a -> b -> c").unwrap(), parse("a -> (b -> c)").unwrap());
-        assert_ne!(parse("a -> b -> c").unwrap(), parse("(a -> b) -> c").unwrap());
+        assert_eq!(
+            parse("a -> b -> c").unwrap(),
+            parse("a -> (b -> c)").unwrap()
+        );
+        assert_ne!(
+            parse("a -> b -> c").unwrap(),
+            parse("(a -> b) -> c").unwrap()
+        );
     }
 
     #[test]

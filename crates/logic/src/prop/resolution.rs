@@ -94,8 +94,7 @@ pub fn resolution_entails(
     conclusion: &Formula,
     budget: usize,
 ) -> Option<bool> {
-    let combined = Formula::conj(premises.iter().cloned())
-        .and(conclusion.clone().not());
+    let combined = Formula::conj(premises.iter().cloned()).and(conclusion.clone().not());
     let cs = combined.to_cnf();
     match resolution_refute(&cs, budget) {
         ResolutionOutcome::Refuted(_) => Some(true),

@@ -47,10 +47,8 @@ impl SortRegistry {
         name: impl Into<String>,
         arg_sorts: impl IntoIterator<Item = S>,
     ) {
-        self.predicates.insert(
-            name.into(),
-            arg_sorts.into_iter().map(Into::into).collect(),
-        );
+        self.predicates
+            .insert(name.into(), arg_sorts.into_iter().map(Into::into).collect());
     }
 
     /// Declares a constant's sort; replaces any existing one.
@@ -148,12 +146,10 @@ impl SortRegistry {
                 None => errors.push(LogicError::Undeclared {
                     name: n.to_string(),
                 }),
-                Some(actual) if actual != expected => {
-                    errors.push(LogicError::SortViolation {
-                        symbol: n.to_string(),
-                        detail: format!("declared `{actual}`, used where `{expected}` required"),
-                    })
-                }
+                Some(actual) if actual != expected => errors.push(LogicError::SortViolation {
+                    symbol: n.to_string(),
+                    detail: format!("declared `{actual}`, used where `{expected}` required"),
+                }),
                 Some(_) => {}
             },
             Term::Var(n) => match var_sorts.get(n.as_ref()) {
@@ -175,8 +171,7 @@ impl SortRegistry {
                 // this simplified checker: flag them explicitly.
                 errors.push(LogicError::SortViolation {
                     symbol: f.to_string(),
-                    detail: "nested function symbols are not supported by the sort checker"
-                        .into(),
+                    detail: "nested function symbols are not supported by the sort checker".into(),
                 });
             }
         }
@@ -257,10 +252,7 @@ impl SortRegistry {
                         if let Term::Const(c) = arg {
                             let pos = format!("{f}/{}#{i}", args.len());
                             let class = uf.find(&pos);
-                            usage
-                                .entry(c.to_string())
-                                .or_default()
-                                .insert(class);
+                            usage.entry(c.to_string()).or_default().insert(class);
                         }
                     }
                 }

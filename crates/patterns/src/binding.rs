@@ -208,9 +208,7 @@ pub fn type_check(param: &str, value: &ParamValue, ty: &ParamType) -> Result<(),
             }
             Ok(())
         }
-        (ty, value) => err(format!(
-            "value `{value}` does not have type {ty}"
-        )),
+        (ty, value) => err(format!("value `{value}` does not have type {ty}")),
     }
 }
 

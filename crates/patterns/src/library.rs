@@ -36,7 +36,11 @@ pub fn hazard_directed_breakdown() -> Pattern {
             NodeKind::Assumption,
             "Hazard identification for {system} is sufficiently complete",
         )
-        .node("g_h", NodeKind::Goal, "Hazard '{h}' is acceptably mitigated")
+        .node(
+            "g_h",
+            NodeKind::Goal,
+            "Hazard '{h}' is acceptably mitigated",
+        )
         .node(
             "e_h",
             NodeKind::Solution,
@@ -71,7 +75,11 @@ pub fn functional_decomposition() -> Pattern {
             NodeKind::Justification,
             "Subsystem interactions cannot defeat {property}",
         )
-        .node("g_sub", NodeKind::Goal, "Subsystem {sub} satisfies {property}")
+        .node(
+            "g_sub",
+            NodeKind::Goal,
+            "Subsystem {sub} satisfies {property}",
+        )
         .node(
             "e_sub",
             NodeKind::Solution,
@@ -79,7 +87,13 @@ pub fn functional_decomposition() -> Pattern {
         )
         .edge("g_top", "s_decomp", EdgeKind::SupportedBy)
         .edge("s_decomp", "j_noninterf", EdgeKind::InContextOf)
-        .for_each("s_decomp", "g_sub", EdgeKind::SupportedBy, "subsystems", "sub")
+        .for_each(
+            "s_decomp",
+            "g_sub",
+            EdgeKind::SupportedBy,
+            "subsystems",
+            "sub",
+        )
         .edge("g_sub", "e_sub", EdgeKind::SupportedBy)
 }
 
@@ -114,7 +128,11 @@ pub fn alarp() -> Pattern {
             NodeKind::Goal,
             "All reasonably practicable further reductions applied to {system}",
         )
-        .node("e_assess", NodeKind::Solution, "Quantitative risk assessment")
+        .node(
+            "e_assess",
+            NodeKind::Solution,
+            "Quantitative risk assessment",
+        )
         .node(
             "e_options",
             NodeKind::Solution,

@@ -33,7 +33,10 @@ pub fn parse_annotation(input: &str) -> Result<Annotation, ParseError> {
         .strip_prefix('[')
         .and_then(|s| s.strip_suffix(']'))
         .ok_or_else(|| {
-            ParseError::new("annotation must be wrapped in [ ]", Span::new(0, input.len()))
+            ParseError::new(
+                "annotation must be wrapped in [ ]",
+                Span::new(0, input.len()),
+            )
         })?;
     let mut annotation = Annotation::default();
     if inner.trim().is_empty() {
@@ -69,15 +72,15 @@ pub fn parse_annotation(input: &str) -> Result<Annotation, ParseError> {
 fn parse_value(text: &str, input_len: usize) -> Result<ParamValue, ParseError> {
     let text = text.trim();
     if let Some(stripped) = text.strip_prefix('"') {
-        let inner = stripped.strip_suffix('"').ok_or_else(|| {
-            ParseError::new("unterminated string value", Span::new(0, input_len))
-        })?;
+        let inner = stripped
+            .strip_suffix('"')
+            .ok_or_else(|| ParseError::new("unterminated string value", Span::new(0, input_len)))?;
         return Ok(ParamValue::Str(inner.to_string()));
     }
     if let Some(stripped) = text.strip_prefix('(') {
-        let inner = stripped.strip_suffix(')').ok_or_else(|| {
-            ParseError::new("unterminated list value", Span::new(0, input_len))
-        })?;
+        let inner = stripped
+            .strip_suffix(')')
+            .ok_or_else(|| ParseError::new("unterminated list value", Span::new(0, input_len)))?;
         let items = if inner.trim().is_empty() {
             Vec::new()
         } else {

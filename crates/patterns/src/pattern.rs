@@ -442,12 +442,13 @@ mod tests {
     fn hazard_pattern() -> Pattern {
         Pattern::new("hazard-directed")
             .param("system", ParamType::Str)
-            .param(
-                "hazards",
-                ParamType::list(ParamType::Str),
-            )
+            .param("hazards", ParamType::list(ParamType::Str))
             .node("g_top", NodeKind::Goal, "{system} is acceptably safe")
-            .node("s_haz", NodeKind::Strategy, "Argue over all identified hazards")
+            .node(
+                "s_haz",
+                NodeKind::Strategy,
+                "Argue over all identified hazards",
+            )
             .node("g_h", NodeKind::Goal, "Hazard {h} is mitigated")
             .node("e_h", NodeKind::Solution, "Mitigation evidence for {h}")
             .edge("g_top", "s_haz", EdgeKind::SupportedBy)
@@ -573,11 +574,7 @@ mod tests {
             )
             .unwrap();
         assert_eq!(with.len(), 3);
-        assert!(with
-            .node(&"c".into())
-            .unwrap()
-            .text
-            .contains("DO-178C"));
+        assert!(with.node(&"c".into()).unwrap().text.contains("DO-178C"));
     }
 
     #[test]

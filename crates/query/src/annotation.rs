@@ -90,10 +90,7 @@ impl fmt::Display for AnnotationError {
                 attribute,
                 field,
                 value,
-            } => write!(
-                f,
-                "value `{value}` is invalid for `{attribute}.{field}`"
-            ),
+            } => write!(f, "value `{value}` is invalid for `{attribute}.{field}`"),
         }
     }
 }
@@ -195,10 +192,7 @@ impl AnnotationStore {
 
     /// The annotations on `node`.
     pub fn annotations(&self, node: &NodeId) -> &[Annotation] {
-        self.annotations
-            .get(node)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.annotations.get(node).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// All annotated nodes.
@@ -272,7 +266,12 @@ mod tests {
     fn unknown_node_rejected() {
         let (arg, mut store) = setup();
         let err = store
-            .annotate(&arg, "zzz", "hazard", [("severity", "major"), ("likelihood", "remote")])
+            .annotate(
+                &arg,
+                "zzz",
+                "hazard",
+                [("severity", "major"), ("likelihood", "remote")],
+            )
             .unwrap_err();
         assert_eq!(err, AnnotationError::UnknownNode("zzz".into()));
     }

@@ -51,10 +51,7 @@ impl Ontology {
     ) {
         self.attributes.insert(
             name.into(),
-            fields
-                .into_iter()
-                .map(|(n, t)| (n.into(), t))
-                .collect(),
+            fields.into_iter().map(|(n, t)| (n.into(), t)).collect(),
         );
     }
 
@@ -98,10 +95,7 @@ mod tests {
     fn declarations_and_lookup() {
         let mut o = Ontology::new();
         o.declare_enum("element", ["aileron", "elevator", "flaps"]);
-        o.declare_attribute(
-            "verifies",
-            [("element", FieldType::Enum("element".into()))],
-        );
+        o.declare_attribute("verifies", [("element", FieldType::Enum("element".into()))]);
         assert_eq!(o.enum_values("element").unwrap().len(), 3);
         assert!(o.enum_values("missing").is_none());
         assert_eq!(o.attribute_schema("verifies").unwrap().len(), 1);

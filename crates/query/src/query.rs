@@ -146,9 +146,7 @@ impl fmt::Display for Query {
                     write!(f, "{attribute}.{field} {op} {value}")?;
                 }
                 Condition::Has { attribute } => write!(f, "has {attribute}")?,
-                Condition::TextContains { needle } => {
-                    write!(f, "text contains \"{needle}\"")?
-                }
+                Condition::TextContains { needle } => write!(f, "text contains \"{needle}\"")?,
             }
         }
         Ok(())

@@ -2,8 +2,7 @@
 //! matches — the matched nodes, every ancestor up to the roots, and the
 //! matched nodes' immediate evidence.
 
-use casekit_core::{Argument, NodeId};
-use std::collections::BTreeSet;
+use casekit_core::{Argument, NodeId, NodeIdx};
 
 /// Extracts the traceability view for `matches`: a new [`Argument`]
 /// containing each matched node, all of its ancestors (so the reader sees
@@ -12,36 +11,42 @@ use std::collections::BTreeSet;
 ///
 /// Unknown ids in `matches` are ignored.
 pub fn traceability_view(argument: &Argument, matches: &[NodeId]) -> Argument {
-    let mut keep: BTreeSet<NodeId> = BTreeSet::new();
+    // Arena-indexed bitmap membership: the whole extraction is O(V+E).
+    let mut keep = vec![false; argument.len()];
     for id in matches {
-        if argument.node(id).is_none() {
+        let Some(idx) = argument.node_idx(id) else {
             continue;
-        }
-        keep.insert(id.clone());
-        // Ancestors via reverse reachability.
-        let mut stack = vec![id.clone()];
+        };
+        keep[idx.index()] = true;
+        // Ancestors via reverse reachability over the incoming CSR rows.
+        let mut stack: Vec<NodeIdx> = vec![idx];
         while let Some(current) = stack.pop() {
-            for parent in argument.parents(&current) {
-                if keep.insert(parent.id.clone()) {
-                    stack.push(parent.id.clone());
+            for parent in argument.parents_idx(current) {
+                if !keep[parent.index()] {
+                    keep[parent.index()] = true;
+                    stack.push(parent);
                 }
             }
         }
         // Immediate children (the match's own support/context).
-        for child in argument.all_children(id) {
-            keep.insert(child.id.clone());
+        for child in argument.all_children_idx(idx) {
+            keep[child.index()] = true;
         }
     }
 
     let mut builder = Argument::builder(format!("{} (view)", argument.name()));
-    for node in argument.nodes() {
-        if keep.contains(&node.id) {
-            builder = builder.node(node.clone());
+    for idx in argument.sorted_indices() {
+        if keep[idx.index()] {
+            builder = builder.node(argument.node_at(idx).clone());
         }
     }
-    for edge in argument.edges() {
-        if keep.contains(&edge.from) && keep.contains(&edge.to) {
-            builder = builder.edge(edge.from.as_str(), edge.to.as_str(), edge.kind);
+    for (from, to, kind) in argument.edges_idx() {
+        if keep[from.index()] && keep[to.index()] {
+            builder = builder.edge(
+                argument.id_at(from).as_str(),
+                argument.id_at(to).as_str(),
+                kind,
+            );
         }
     }
     builder.build().expect("subgraph of a valid argument")

@@ -109,27 +109,279 @@ pub fn characterisations() -> Vec<Characterisation> {
         acknowledges_hypothesis,
     };
     vec![
-        c(6, "Basir, Denney & Fischer 2009", &[GeneratedFromProof] as &[Aspect], Generated, false, false, false, false, Evidence::Example, true, false),
-        c(7, "Basir, Denney & Fischer 2010", &[GeneratedFromProof], Generated, false, false, false, false, Evidence::Example, false, false),
-        c(8, "Bishop & Bloomfield 1995", &[Content], Replaces, false, false, true, false, Evidence::None, false, false),
-        c(9, "Brunel & Cazin 2012", &[Content], Replaces, true, true, true, true, Evidence::Example, true, false),
-        c(10, "Denney, Pai & Pohl 2012", &[GeneratedFromProof], Generated, false, false, false, false, Evidence::Example, false, false),
-        c(11, "Denney & Pai 2013", &[Syntax, PatternStructure], Augments, true, false, false, false, Evidence::None, false, false),
-        c(12, "Denney, Pai & Whiteside 2013", &[Syntax], Augments, false, false, false, false, Evidence::Example, false, false),
-        c(13, "Denney, Naylor & Pai 2014", &[Annotations], Augments, false, false, false, false, Evidence::Example, true, false),
-        c(14, "Forder 1992", &[Content], Unclear, false, false, true, false, Evidence::None, false, false),
-        c(15, "Haley et al. 2006", &[Content], Replaces, false, false, true, false, Evidence::None, false, false),
-        c(16, "Haley et al. 2008", &[Content], Replaces, true, false, true, false, Evidence::Example, true, false),
-        c(17, "Matsuno & Taguchi 2011", &[Syntax, PatternStructure, PatternParameters], Augments, true, false, false, false, Evidence::None, false, false),
-        c(18, "Matsuno 2014", &[Syntax, PatternStructure, PatternParameters], Augments, true, false, false, false, Evidence::None, false, false),
-        c(19, "Rushby 2010", &[Content], Augments, false, true, true, true, Evidence::None, true, true),
-        c(20, "Rushby 2013 (SAFECOMP)", &[Content], Augments, false, true, true, false, Evidence::None, true, true),
-        c(21, "Rushby 2013 (AAA)", &[Content], Augments, false, false, false, false, Evidence::None, false, false),
-        c(22, "Tun et al. 2012", &[Content], Replaces, false, true, true, true, Evidence::Example, false, false),
-        c(23, "Tolchinsky et al. 2012", &[Content], Unclear, false, false, false, false, Evidence::Example, true, false),
-        c(24, "Tun et al. 2010", &[Content], Replaces, false, false, true, false, Evidence::Example, false, false),
-        c(25, "Yu et al. 2011", &[Content], Replaces, false, false, true, false, Evidence::ThinCaseStudy, false, false),
-        c(39, "Sokolsky, Lee & Heimdahl 2011", &[Content], Unclear, true, false, true, false, Evidence::None, false, false),
+        c(
+            6,
+            "Basir, Denney & Fischer 2009",
+            &[GeneratedFromProof] as &[Aspect],
+            Generated,
+            false,
+            false,
+            false,
+            false,
+            Evidence::Example,
+            true,
+            false,
+        ),
+        c(
+            7,
+            "Basir, Denney & Fischer 2010",
+            &[GeneratedFromProof],
+            Generated,
+            false,
+            false,
+            false,
+            false,
+            Evidence::Example,
+            false,
+            false,
+        ),
+        c(
+            8,
+            "Bishop & Bloomfield 1995",
+            &[Content],
+            Replaces,
+            false,
+            false,
+            true,
+            false,
+            Evidence::None,
+            false,
+            false,
+        ),
+        c(
+            9,
+            "Brunel & Cazin 2012",
+            &[Content],
+            Replaces,
+            true,
+            true,
+            true,
+            true,
+            Evidence::Example,
+            true,
+            false,
+        ),
+        c(
+            10,
+            "Denney, Pai & Pohl 2012",
+            &[GeneratedFromProof],
+            Generated,
+            false,
+            false,
+            false,
+            false,
+            Evidence::Example,
+            false,
+            false,
+        ),
+        c(
+            11,
+            "Denney & Pai 2013",
+            &[Syntax, PatternStructure],
+            Augments,
+            true,
+            false,
+            false,
+            false,
+            Evidence::None,
+            false,
+            false,
+        ),
+        c(
+            12,
+            "Denney, Pai & Whiteside 2013",
+            &[Syntax],
+            Augments,
+            false,
+            false,
+            false,
+            false,
+            Evidence::Example,
+            false,
+            false,
+        ),
+        c(
+            13,
+            "Denney, Naylor & Pai 2014",
+            &[Annotations],
+            Augments,
+            false,
+            false,
+            false,
+            false,
+            Evidence::Example,
+            true,
+            false,
+        ),
+        c(
+            14,
+            "Forder 1992",
+            &[Content],
+            Unclear,
+            false,
+            false,
+            true,
+            false,
+            Evidence::None,
+            false,
+            false,
+        ),
+        c(
+            15,
+            "Haley et al. 2006",
+            &[Content],
+            Replaces,
+            false,
+            false,
+            true,
+            false,
+            Evidence::None,
+            false,
+            false,
+        ),
+        c(
+            16,
+            "Haley et al. 2008",
+            &[Content],
+            Replaces,
+            true,
+            false,
+            true,
+            false,
+            Evidence::Example,
+            true,
+            false,
+        ),
+        c(
+            17,
+            "Matsuno & Taguchi 2011",
+            &[Syntax, PatternStructure, PatternParameters],
+            Augments,
+            true,
+            false,
+            false,
+            false,
+            Evidence::None,
+            false,
+            false,
+        ),
+        c(
+            18,
+            "Matsuno 2014",
+            &[Syntax, PatternStructure, PatternParameters],
+            Augments,
+            true,
+            false,
+            false,
+            false,
+            Evidence::None,
+            false,
+            false,
+        ),
+        c(
+            19,
+            "Rushby 2010",
+            &[Content],
+            Augments,
+            false,
+            true,
+            true,
+            true,
+            Evidence::None,
+            true,
+            true,
+        ),
+        c(
+            20,
+            "Rushby 2013 (SAFECOMP)",
+            &[Content],
+            Augments,
+            false,
+            true,
+            true,
+            false,
+            Evidence::None,
+            true,
+            true,
+        ),
+        c(
+            21,
+            "Rushby 2013 (AAA)",
+            &[Content],
+            Augments,
+            false,
+            false,
+            false,
+            false,
+            Evidence::None,
+            false,
+            false,
+        ),
+        c(
+            22,
+            "Tun et al. 2012",
+            &[Content],
+            Replaces,
+            false,
+            true,
+            true,
+            true,
+            Evidence::Example,
+            false,
+            false,
+        ),
+        c(
+            23,
+            "Tolchinsky et al. 2012",
+            &[Content],
+            Unclear,
+            false,
+            false,
+            false,
+            false,
+            Evidence::Example,
+            true,
+            false,
+        ),
+        c(
+            24,
+            "Tun et al. 2010",
+            &[Content],
+            Replaces,
+            false,
+            false,
+            true,
+            false,
+            Evidence::Example,
+            false,
+            false,
+        ),
+        c(
+            25,
+            "Yu et al. 2011",
+            &[Content],
+            Replaces,
+            false,
+            false,
+            true,
+            false,
+            Evidence::ThinCaseStudy,
+            false,
+            false,
+        ),
+        c(
+            39,
+            "Sokolsky, Lee & Heimdahl 2011",
+            &[Content],
+            Unclear,
+            true,
+            false,
+            true,
+            false,
+            Evidence::None,
+            false,
+            false,
+        ),
     ]
 }
 
@@ -162,7 +414,11 @@ pub struct ClaimAggregates {
 pub fn aggregates() -> ClaimAggregates {
     let table = characterisations();
     let refs = |pred: &dyn Fn(&Characterisation) -> bool| -> BTreeSet<u8> {
-        table.iter().filter(|c| pred(c)).map(|c| c.ref_num).collect()
+        table
+            .iter()
+            .filter(|c| pred(c))
+            .map(|c| c.ref_num)
+            .collect()
     };
     ClaimAggregates {
         mechanical_benefit: refs(&|c| c.claims_mechanical_benefit),

@@ -15,9 +15,7 @@
 //! "(synthetic)"). A pool of synthetic phase-1 *rejects* is added so the
 //! phase-1 filter does real work.
 
-use crate::paper::{
-    AbstractSignals, Attribution, Domain, FullTextSignals, Library, Paper,
-};
+use crate::paper::{AbstractSignals, Attribution, Domain, FullTextSignals, Library, Paper};
 
 /// The real papers: (ref, year, title, security-domain?, phase-2 selected?).
 ///
@@ -26,27 +24,123 @@ use crate::paper::{
 /// surfacing in phase 1 and *not* phase-2 selected, matching "phase two
 /// yielded twenty selected papers [6]–[25]".
 const REAL_PAPERS: &[(u8, u16, &str, bool, bool)] = &[
-    (6, 2009, "Deriving safety cases from automatically constructed proofs", false, true),
-    (7, 2010, "Deriving safety cases for hierarchical structure in model-based development", false, true),
+    (
+        6,
+        2009,
+        "Deriving safety cases from automatically constructed proofs",
+        false,
+        true,
+    ),
+    (
+        7,
+        2010,
+        "Deriving safety cases for hierarchical structure in model-based development",
+        false,
+        true,
+    ),
     (8, 1995, "The SHIP safety case approach", false, true),
-    (9, 2012, "Formal verification of a safety argumentation and application to a complex UAV system", false, true),
-    (10, 2012, "Heterogeneous aviation safety cases: Integrating the formal and the non-formal", false, true),
-    (11, 2013, "A formal basis for safety case patterns", false, true),
+    (
+        9,
+        2012,
+        "Formal verification of a safety argumentation and application to a complex UAV system",
+        false,
+        true,
+    ),
+    (
+        10,
+        2012,
+        "Heterogeneous aviation safety cases: Integrating the formal and the non-formal",
+        false,
+        true,
+    ),
+    (
+        11,
+        2013,
+        "A formal basis for safety case patterns",
+        false,
+        true,
+    ),
     (12, 2013, "Hierarchical safety cases", false, true),
     (13, 2014, "Querying safety cases", false, true),
     (14, 1992, "A safety argument manager", false, true),
-    (15, 2006, "A framework for security requirements engineering", true, true),
-    (16, 2008, "Security requirements engineering: A framework for representation and analysis", true, true),
-    (17, 2011, "Parameterised argument structure in GSN patterns", false, true),
-    (18, 2014, "A design and implementation of an assurance case language", false, true),
+    (
+        15,
+        2006,
+        "A framework for security requirements engineering",
+        true,
+        true,
+    ),
+    (
+        16,
+        2008,
+        "Security requirements engineering: A framework for representation and analysis",
+        true,
+        true,
+    ),
+    (
+        17,
+        2011,
+        "Parameterised argument structure in GSN patterns",
+        false,
+        true,
+    ),
+    (
+        18,
+        2014,
+        "A design and implementation of an assurance case language",
+        false,
+        true,
+    ),
     (19, 2010, "Formalism in safety cases", false, true),
-    (20, 2013, "Logic and epistemology in safety cases", false, true),
-    (21, 2013, "Mechanized support for assurance case argumentation", false, true),
-    (22, 2012, "Privacy arguments: Analysing selective disclosure requirements for mobile applications", true, true),
-    (23, 2012, "Deliberation dialogues for reasoning about safety critical actions", false, true),
-    (24, 2010, "Model-based argument analysis for evolving security requirements", true, true),
-    (25, 2011, "OpenArgue: Supporting argumentation to evolve secure software systems", true, true),
-    (39, 2011, "Challenges in the regulatory approval of medical cyber-physical systems", false, false),
+    (
+        20,
+        2013,
+        "Logic and epistemology in safety cases",
+        false,
+        true,
+    ),
+    (
+        21,
+        2013,
+        "Mechanized support for assurance case argumentation",
+        false,
+        true,
+    ),
+    (
+        22,
+        2012,
+        "Privacy arguments: Analysing selective disclosure requirements for mobile applications",
+        true,
+        true,
+    ),
+    (
+        23,
+        2012,
+        "Deliberation dialogues for reasoning about safety critical actions",
+        false,
+        true,
+    ),
+    (
+        24,
+        2010,
+        "Model-based argument analysis for evolving security requirements",
+        true,
+        true,
+    ),
+    (
+        25,
+        2011,
+        "OpenArgue: Supporting argumentation to evolve secure software systems",
+        true,
+        true,
+    ),
+    (
+        39,
+        2011,
+        "Challenges in the regulatory approval of medical cyber-physical systems",
+        false,
+        false,
+    ),
 ];
 
 fn relevant_abstract() -> AbstractSignals {
@@ -246,7 +340,10 @@ mod tests {
     #[test]
     fn domain_unique_counts_match_table_i() {
         let papers = phase1_papers();
-        let safety = papers.iter().filter(|p| p.in_domain(Domain::Safety)).count();
+        let safety = papers
+            .iter()
+            .filter(|p| p.in_domain(Domain::Safety))
+            .count();
         let security = papers
             .iter()
             .filter(|p| p.in_domain(Domain::Security))
@@ -263,12 +360,7 @@ mod tests {
     #[test]
     fn per_library_counts_match_table_i() {
         let papers = phase1_papers();
-        let count = |lib, dom| {
-            papers
-                .iter()
-                .filter(|p| p.attributed(lib, dom))
-                .count()
-        };
+        let count = |lib, dom| papers.iter().filter(|p| p.attributed(lib, dom)).count();
         assert_eq!(count(Library::IeeeXplore, Domain::Safety), 12);
         assert_eq!(count(Library::AcmDl, Domain::Safety), 17);
         assert_eq!(count(Library::SpringerLink, Domain::Safety), 24);

@@ -34,7 +34,10 @@ pub fn table_i(phase1: &[Paper]) -> TableI {
     TableI {
         rows,
         unique_total: phase1.len(),
-        unique_safety: phase1.iter().filter(|p| p.in_domain(Domain::Safety)).count(),
+        unique_safety: phase1
+            .iter()
+            .filter(|p| p.in_domain(Domain::Safety))
+            .count(),
         unique_security: phase1
             .iter()
             .filter(|p| p.in_domain(Domain::Security))
@@ -50,9 +53,19 @@ impl TableI {
             out,
             "Table I: NUMBER OF PAPERS SELECTED IN THE FIRST SELECTION PHASE"
         );
-        let _ = writeln!(out, "{:<24} {:>8} {:>10}", "Digital library", "Safety", "Security");
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8} {:>10}",
+            "Digital library", "Safety", "Security"
+        );
         for (lib, safety, security) in &self.rows {
-            let _ = writeln!(out, "{:<24} {:>8} {:>10}", lib.to_string(), safety, security);
+            let _ = writeln!(
+                out,
+                "{:<24} {:>8} {:>10}",
+                lib.to_string(),
+                safety,
+                security
+            );
         }
         let _ = writeln!(
             out,

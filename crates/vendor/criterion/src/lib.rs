@@ -1,0 +1,191 @@
+//! Vendored, dependency-free stand-in for `criterion`.
+//!
+//! Implements the API surface the workspace's benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], `criterion_group!`, `criterion_main!`,
+//! [`black_box`] — with a simple calibrated wall-clock measurement
+//! (warm-up, then timed batches, median-of-batches report). No plots, no
+//! statistics beyond min/median/mean.
+//!
+//! Honouring harness conventions: `--test` runs every routine exactly
+//! once (what `cargo test` wants from a bench target), and a positional
+//! argument filters benchmarks by substring (like real criterion).
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped. Only a hint in real criterion; ignored
+/// here beyond API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    /// Target measurement time per benchmark.
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" | "--nocapture" | "--quiet" => {}
+                other if other.starts_with("--") => {}
+                other => filter = Some(other.to_string()),
+            }
+        }
+        let budget = std::env::var("CASEKIT_BENCH_MS")
+            .ok()
+            .and_then(|ms| ms.parse::<u64>().ok())
+            .map(Duration::from_millis)
+            .unwrap_or_else(|| Duration::from_millis(120));
+        Criterion {
+            filter,
+            test_mode,
+            budget,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            budget: self.budget,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(id);
+        self
+    }
+
+    /// API compatibility; returns self unchanged.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+pub struct Bencher {
+    test_mode: bool,
+    budget: Duration,
+    /// Per-iteration nanosecond estimates, one per measured batch.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Calibrate: how many iterations fit in ~1/10 of the budget?
+        let probe_start = Instant::now();
+        black_box(routine());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(20));
+        let per_batch =
+            ((self.budget.as_nanos() / 10 / probe.as_nanos().max(1)) as u64).clamp(1, 100_000);
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline && self.samples.len() < 100 {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples
+                .push(elapsed.as_nanos() as f64 / per_batch as f64);
+        }
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline && self.samples.len() < 2_000 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+
+    fn report(&mut self, id: &str) {
+        if self.test_mode {
+            println!("test {id} ... ok (bench test mode)");
+            return;
+        }
+        if self.samples.is_empty() {
+            println!("{id:<44} no samples");
+            return;
+        }
+        self.samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = self.samples[self.samples.len() / 2];
+        let min = self.samples[0];
+        let mean = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        println!(
+            "{id:<44} median {:>12}  min {:>12}  mean {:>12}",
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(mean)
+        );
+    }
+}
+
+/// Formats nanoseconds with adaptive units, criterion-style.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,444 @@
+//! Vendored, dependency-free stand-in for `proptest`.
+//!
+//! Implements the strategy combinators this workspace's property tests
+//! use: `Just`, ranges, regex-subset string strategies, tuples,
+//! `prop_map`, `prop_recursive`, `prop_oneof!`, `collection::vec`, and
+//! the `proptest!` macro with `ProptestConfig::with_cases`. Generation is
+//! deterministic (seeded per test name), and there is no shrinking — a
+//! failing case panics with the generated inputs displayed via the
+//! assertion message.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Deterministic test RNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the test name gives a stable per-test seed.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: hash }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "below: bound must be positive");
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// Run configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<W, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> W,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Recursive strategies, unrolled `levels` deep: each level draws
+    /// either a leaf (ending recursion early) or one expansion of `f`.
+    /// `_size`/`_branch` are accepted for API compatibility.
+    fn prop_recursive<S2, F>(
+        self,
+        levels: u32,
+        _size: u32,
+        _branch: u32,
+        f: F,
+    ) -> ArcStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(ArcStrategy<Self::Value>) -> S2,
+    {
+        let leaf = arc(self);
+        let mut current = leaf.clone();
+        for _ in 0..levels {
+            let expanded = arc(f(current));
+            let leaf_again = leaf.clone();
+            current = ArcStrategy(Arc::new(move |rng: &mut TestRng| {
+                // 1-in-3 chance of bottoming out early keeps depth varied.
+                if rng.below(3) == 0 {
+                    leaf_again.generate(rng)
+                } else {
+                    expanded.generate(rng)
+                }
+            }));
+        }
+        current
+    }
+
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erased, cheaply clonable form (`boxed` in real proptest).
+    fn boxed(self) -> ArcStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        arc(self)
+    }
+}
+
+/// Type-erased strategy; clones share the generator.
+pub struct ArcStrategy<V>(Arc<dyn Fn(&mut TestRng) -> V>);
+
+impl<V> Clone for ArcStrategy<V> {
+    fn clone(&self) -> Self {
+        ArcStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for ArcStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// Erases a strategy into an [`ArcStrategy`].
+pub fn arc<S: Strategy + 'static>(strategy: S) -> ArcStrategy<S::Value> {
+    ArcStrategy(Arc::new(move |rng: &mut TestRng| strategy.generate(rng)))
+}
+
+/// Uniform choice among erased alternatives (backs `prop_oneof!`).
+pub fn one_of<V: 'static>(options: Vec<ArcStrategy<V>>) -> ArcStrategy<V> {
+    assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+    ArcStrategy(Arc::new(move |rng: &mut TestRng| {
+        options[rng.below(options.len())].generate(rng)
+    }))
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, W, F: Fn(S::Value) -> W> Strategy for Map<S, F> {
+    type Value = W;
+
+    fn generate(&self, rng: &mut TestRng) -> W {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! int_strategies {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $ty
+            }
+        }
+    )*};
+}
+
+int_strategies!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_int_strategies {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + (rng.next_u64() % span) as i128) as $ty
+            }
+        }
+    )*};
+}
+
+signed_int_strategies!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// String strategies from a regex subset: concatenations of literals and
+/// character classes (`[a-z0-9_ ]`) with optional `{n}`/`{m,n}` repeats.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let reps = if atom.max > atom.min {
+                atom.min + rng.below(atom.max - atom.min + 1)
+            } else {
+                atom.min
+            };
+            for _ in 0..reps {
+                out.push(atom.chars[rng.below(atom.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+struct PatternAtom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let set: Vec<char> = if chars[i] == '[' {
+            let mut set = Vec::new();
+            i += 1;
+            while i < chars.len() && chars[i] != ']' {
+                if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                    let (lo, hi) = (chars[i], chars[i + 2]);
+                    for c in lo..=hi {
+                        set.push(c);
+                    }
+                    i += 3;
+                } else {
+                    set.push(chars[i]);
+                    i += 1;
+                }
+            }
+            i += 1; // ']'
+            set
+        } else {
+            let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                i += 1;
+                chars[i]
+            } else {
+                chars[i]
+            };
+            i += 1;
+            vec![c]
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated {} in pattern")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("pattern repeat lower bound"),
+                    hi.trim().parse().expect("pattern repeat upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("pattern repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(!set.is_empty(), "empty character class in `{pattern}`");
+        atoms.push(PatternAtom {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+macro_rules! tuple_strategies {
+    ($(($($idx:tt $name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `proptest::collection::vec`: vectors of `element` with length drawn
+    /// from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.len.end - self.len.start;
+            let len = self.len.start + if span > 0 { rng.below(span) } else { 0 };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        arc, one_of, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest,
+        ArcStrategy, Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::one_of(vec![$($crate::arc($strategy)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// `proptest! { #![proptest_config(...)] fn prop(x in strategy, ...) { body } }`
+///
+/// Each function becomes a `#[test]`-compatible fn running `cases`
+/// deterministic iterations. Strategies are evaluated once, before the
+/// loop.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { { $config } $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { { $crate::ProptestConfig::default() } $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ({ $config:expr }) => {};
+    ({ $config:expr }
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let mut __rng = $crate::TestRng::deterministic(stringify!($name));
+            // Shadow each argument name with its (once-evaluated) strategy…
+            $(let $arg = $strategy;)+
+            for __case in 0..__config.cases {
+                let _ = __case;
+                // …then shadow again with a generated value per case.
+                $(let $arg = $crate::Strategy::generate(&$arg, &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl! { { $config } $($rest)* }
+    };
+}

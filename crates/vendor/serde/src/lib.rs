@@ -1,0 +1,473 @@
+//! Vendored, dependency-free stand-in for `serde`.
+//!
+//! The build environment is offline with an empty registry cache, so the
+//! real serde is unavailable. This crate keeps the workspace's
+//! `#[derive(Serialize, Deserialize)]` annotations compiling and gives
+//! `serde_json` (also vendored) a real tree-structured data model to
+//! encode, so JSON round-trips are faithful.
+//!
+//! Differences from real serde, deliberately accepted:
+//! * serialization goes through an owned [`Value`] tree (no zero-copy
+//!   visitors);
+//! * `Deserialize` has no `'de` lifetime;
+//! * `#[serde(...)]` attributes are unsupported (unused in this
+//!   workspace).
+//!
+//! The wire shape matches what serde_json would produce for the derive
+//! defaults: structs as objects, newtype structs as their payload, enums
+//! externally tagged, maps as objects with string keys.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// The serialized form: a JSON-like tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// All integers, signed or not, fit in `i128`.
+    Int(i128),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    fn serialize(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+/// Support code for the derive macro. Not a public API.
+pub mod __private {
+    use super::{Deserialize, Error, Value};
+
+    /// Looks up a named field in an object and deserializes it.
+    pub fn field<T: Deserialize>(
+        pairs: &[(String, Value)],
+        name: &str,
+        ty: &str,
+    ) -> Result<T, Error> {
+        match pairs.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::deserialize(v),
+            None => Err(Error::custom(format!("missing field `{name}` of {ty}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! int_impls {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(n) => <$ty>::try_from(*n)
+                        .map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($ty)))),
+                    _ => Err(Error::custom(concat!("expected integer for ", stringify!($ty)))),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(n) => Ok(*n as f64),
+            _ => Err(Error::custom("expected number for f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        f64::deserialize(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::custom("expected single-character string for char")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+// Shared-pointer string payloads (the `rc` feature of real serde).
+
+impl Serialize for Arc<str> {
+    fn serialize(&self) -> Value {
+        Value::Str(self.as_ref().to_string())
+    }
+}
+
+impl Deserialize for Arc<str> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(Arc::from(s.as_str())),
+            _ => Err(Error::custom("expected string for Arc<str>")),
+        }
+    }
+}
+
+impl Serialize for Rc<str> {
+    fn serialize(&self) -> Value {
+        Value::Str(self.as_ref().to_string())
+    }
+}
+
+impl Deserialize for Rc<str> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(Rc::from(s.as_str())),
+            _ => Err(Error::custom("expected string for Rc<str>")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Arc<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        T::deserialize(v).map(Arc::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(t) => t.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            _ => Err(Error::custom("expected array for Vec")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Vec::<T>::deserialize(v).map(VecDeque::from)
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            _ => Err(Error::custom("expected array for BTreeSet")),
+        }
+    }
+}
+
+/// Map keys must serialize to strings (all key types in this workspace —
+/// `String`, id newtypes over strings, fieldless enums — do).
+fn key_to_string<K: Serialize>(key: &K) -> Result<String, Error> {
+    match key.serialize() {
+        Value::Str(s) => Ok(s),
+        Value::Int(n) => Ok(n.to_string()),
+        _ => Err(Error::custom("map keys must serialize to strings")),
+    }
+}
+
+fn key_from_string<K: Deserialize>(key: &str) -> Result<K, Error> {
+    K::deserialize(&Value::Str(key.to_string()))
+        .or_else(|_| K::deserialize(&Value::Int(key.parse::<i128>().map_err(Error::custom)?)))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| {
+                    (
+                        key_to_string(k).expect("string-like map key"),
+                        v.serialize(),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::deserialize(v)?)))
+                .collect(),
+            _ => Err(Error::custom("expected object for BTreeMap")),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize(&self) -> Value {
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                (
+                    key_to_string(k).expect("string-like map key"),
+                    v.serialize(),
+                )
+            })
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::deserialize(v)?)))
+                .collect(),
+            _ => Err(Error::custom("expected object for HashMap")),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($idx:tt $name:ident),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                match v {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($name::deserialize(&items[$idx])?,)+))
+                    }
+                    _ => Err(Error::custom("expected fixed-length array for tuple")),
+                }
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for () {
+    fn serialize(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            _ => Err(Error::custom("expected null for unit")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}

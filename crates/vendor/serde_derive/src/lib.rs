@@ -1,0 +1,454 @@
+//! Vendored, dependency-free stand-in for `serde_derive`.
+//!
+//! The build environment has no network access and no crates.io cache, so
+//! the real serde stack is unavailable. This proc-macro derives the
+//! simplified `Serialize`/`Deserialize` traits exposed by the vendored
+//! `serde` crate (tree-structured [`serde::Value`] data model, externally
+//! tagged enums — the same wire shape serde_json would produce for the
+//! derive defaults used in this workspace).
+//!
+//! Supported item shapes (everything this workspace uses):
+//! unit/newtype/tuple/named-field structs and enums whose variants are
+//! unit, newtype, tuple, or struct-like. `#[serde(...)]` attributes are
+//! not supported and not used anywhere in the workspace.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    UnitStruct,
+    /// Tuple struct; `usize` is the field count (1 = newtype).
+    TupleStruct(usize),
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing (raw token trees; no syn available)
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // '#'
+                if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+                    i += 1;
+                }
+                i += 1; // bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                return parse_struct(&tokens, i + 1);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                return parse_enum(&tokens, i + 1);
+            }
+            Some(_) => i += 1,
+            None => panic!("derive input contained no struct or enum"),
+        }
+    }
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> String {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Skips a `<...>` generics list starting at `i` (pointing at `<`).
+/// Returns the index one past the matching `>`. The workspace derives no
+/// generic types, but being tolerant here costs nothing.
+fn skip_generics(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0usize;
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            Some(_) => {}
+            None => panic!("unterminated generics list"),
+        }
+        i += 1;
+    }
+}
+
+fn parse_struct(tokens: &[TokenTree], mut i: usize) -> Item {
+    let name = ident_at(tokens, i);
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i = skip_generics(tokens, i);
+    }
+    // Skip a `where` clause if one ever shows up.
+    while let Some(tt) = tokens.get(i) {
+        match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                return Item {
+                    name,
+                    shape: Shape::Struct(fields),
+                };
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                return Item {
+                    name,
+                    shape: Shape::TupleStruct(arity),
+                };
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => {
+                return Item {
+                    name,
+                    shape: Shape::UnitStruct,
+                };
+            }
+            _ => i += 1,
+        }
+    }
+    panic!("malformed struct `{name}`");
+}
+
+fn parse_enum(tokens: &[TokenTree], mut i: usize) -> Item {
+    let name = ident_at(tokens, i);
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i = skip_generics(tokens, i);
+    }
+    while let Some(tt) = tokens.get(i) {
+        if let TokenTree::Group(g) = tt {
+            if g.delimiter() == Delimiter::Brace {
+                return Item {
+                    name,
+                    shape: Shape::Enum(parse_variants(g.stream())),
+                };
+            }
+        }
+        i += 1;
+    }
+    panic!("malformed enum `{name}`");
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Skip attributes (doc comments included).
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_at(&tokens, i);
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while i < tokens.len() && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+            i += 1;
+        }
+        i += 1; // comma (or past end)
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+/// Field count of a tuple struct/variant body: top-level commas + 1,
+/// tracking `<...>` nesting so `BTreeMap<K, V>` counts as one field.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut fields = 1usize;
+    let mut angle = 0usize;
+    let mut trailing_comma = true;
+    for tt in &tokens {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle = angle.saturating_sub(1),
+                ',' if angle == 0 => {
+                    fields += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if trailing_comma {
+        fields -= 1;
+    }
+    fields
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = ident_at(&tokens, i);
+        i += 1;
+        assert!(
+            matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "expected `:` after field `{name}`"
+        );
+        i += 1;
+        // Skip the type: consume until a top-level comma.
+        let mut angle = 0usize;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle = angle.saturating_sub(1),
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // comma
+        fields.push(name);
+    }
+    fields
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (rendered as strings, then reparsed)
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::UnitStruct => "serde::Value::Null".to_string(),
+        Shape::TupleStruct(1) => "serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Shape::Struct(fields) => serialize_fields_expr(fields, "self."),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vname} => serde::Value::Str(String::from(\"{vname}\")),"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => serde::Value::Object(vec![(String::from(\"{vname}\"), serde::Serialize::serialize(__f0))]),"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Serialize::serialize(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => serde::Value::Object(vec![(String::from(\"{vname}\"), serde::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binds: Vec<String> = fields.clone();
+                            let inner = serialize_fields_expr(fields, "");
+                            format!(
+                                "{name}::{vname} {{ {} }} => serde::Value::Object(vec![(String::from(\"{vname}\"), {inner})]),",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl serde::Serialize for {name} {{ \
+             fn serialize(&self) -> serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+/// `(field access prefix)` is `self.` for structs and empty for
+/// struct-variant bindings.
+fn serialize_fields_expr(fields: &[String], prefix: &str) -> String {
+    let pairs: Vec<String> = fields
+        .iter()
+        .map(|f| format!("(String::from(\"{f}\"), serde::Serialize::serialize(&{prefix}{f}))"))
+        .collect();
+    format!("serde::Value::Object(vec![{}])", pairs.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::UnitStruct => format!(
+            "match __v {{ serde::Value::Null => Ok({name}), _ => Err(serde::Error::custom(\"expected null for unit struct {name}\")) }}"
+        ),
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(serde::Deserialize::deserialize(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::deserialize(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "{{ let __arr = __v.as_array().ok_or_else(|| serde::Error::custom(\"expected array for {name}\"))?; \
+                   if __arr.len() != {n} {{ return Err(serde::Error::custom(\"wrong tuple arity for {name}\")); }} \
+                   Ok({name}({})) }}",
+                elems.join(", ")
+            )
+        }
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: serde::__private::field(__obj, \"{f}\", \"{name}\")?"))
+                .collect();
+            format!(
+                "{{ let __obj = __v.as_object().ok_or_else(|| serde::Error::custom(\"expected object for {name}\"))?; \
+                   Ok({name} {{ {} }}) }}",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "#[automatically_derived] impl serde::Deserialize for {name} {{ \
+             fn deserialize(__v: &serde::Value) -> Result<Self, serde::Error> {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = Vec::new();
+    let mut tagged_arms = Vec::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.shape {
+            VariantShape::Unit => {
+                unit_arms.push(format!("\"{vname}\" => Ok({name}::{vname}),"));
+            }
+            VariantShape::Tuple(1) => tagged_arms.push(format!(
+                "\"{vname}\" => Ok({name}::{vname}(serde::Deserialize::deserialize(__inner)?)),"
+            )),
+            VariantShape::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("serde::Deserialize::deserialize(&__arr[{i}])?"))
+                    .collect();
+                tagged_arms.push(format!(
+                    "\"{vname}\" => {{ let __arr = __inner.as_array().ok_or_else(|| serde::Error::custom(\"expected array for {name}::{vname}\"))?; \
+                       if __arr.len() != {n} {{ return Err(serde::Error::custom(\"wrong arity for {name}::{vname}\")); }} \
+                       Ok({name}::{vname}({})) }}",
+                    elems.join(", ")
+                ));
+            }
+            VariantShape::Struct(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: serde::__private::field(__obj, \"{f}\", \"{name}::{vname}\")?"
+                        )
+                    })
+                    .collect();
+                tagged_arms.push(format!(
+                    "\"{vname}\" => {{ let __obj = __inner.as_object().ok_or_else(|| serde::Error::custom(\"expected object for {name}::{vname}\"))?; \
+                       Ok({name}::{vname} {{ {} }}) }}",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "match __v {{ \
+             serde::Value::Str(__s) => match __s.as_str() {{ \
+                 {} \
+                 __other => Err(serde::Error::custom(format!(\"unknown variant `{{__other}}` of {name}\"))), \
+             }}, \
+             serde::Value::Object(__pairs) if __pairs.len() == 1 => {{ \
+                 let (__tag, __inner) = &__pairs[0]; \
+                 match __tag.as_str() {{ \
+                     {} \
+                     __other => Err(serde::Error::custom(format!(\"unknown variant `{{__other}}` of {name}\"))), \
+                 }} \
+             }}, \
+             _ => Err(serde::Error::custom(\"expected string or single-key object for enum {name}\")), \
+         }}",
+        unit_arms.join(" "),
+        tagged_arms.join(" ")
+    )
+}

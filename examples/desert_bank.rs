@@ -24,12 +24,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The strict per-position lint flags `bank`, but it is a heuristic:
     // it would also flag harmless relational constants.
     let strict = SortRegistry::infer_conflicts(&kb);
-    println!("\nStrict sort lint flags: {:?}", strict.keys().collect::<Vec<_>>());
+    println!(
+        "\nStrict sort lint flags: {:?}",
+        strict.keys().collect::<Vec<_>>()
+    );
 
     // The variable-linked inference is 'smarter' — and silent, because the
     // bridging rule is precisely what licenses the equivocation.
     let linked = SortRegistry::infer_conflicts_linked(&kb);
-    println!("Linked sort inference flags: {:?}", linked.keys().collect::<Vec<_>>());
+    println!(
+        "Linked sort inference flags: {:?}",
+        linked.keys().collect::<Vec<_>>()
+    );
 
     // Declaring honest sorts catches it — but the declarations themselves
     // are informal judgments a machine cannot validate (Graydon §IV-C).

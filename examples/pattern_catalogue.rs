@@ -82,6 +82,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 5. Extract the traceability view a reviewer would read.
     let view = traceability_view(&argument, &matches);
-    println!("\n--- traceability view ---\n{}", casekit::core::render::ascii_tree(&view));
+    println!(
+        "\n--- traceability view ---\n{}",
+        casekit::core::render::ascii_tree(&view)
+    );
     Ok(())
 }

@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         full.len(),
         abstracted.len()
     );
-    println!("\n--- abstracted argument ---\n{}", render::ascii_tree(&abstracted));
+    println!(
+        "\n--- abstracted argument ---\n{}",
+        render::ascii_tree(&abstracted)
+    );
 
     // ---- Deliberation dialogue. ----
     let mut dialogue = Deliberation::open("transplant(organ1, recipient_r)");

@@ -1,0 +1,29 @@
+# Developer entry points. `just check` is the full gate CI would run.
+
+# Format, lint, test, bench, and regenerate BENCH_graph.json.
+check:
+    ./scripts/check.sh
+
+# Format the workspace in place.
+fmt:
+    cargo fmt --all
+
+# Clippy with warnings denied, all targets.
+lint:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# The test suite (workspace defaults: every product crate).
+test:
+    cargo test -q
+
+# Criterion benches with a short measurement budget.
+bench:
+    CASEKIT_BENCH_MS=25 cargo bench -q -p casekit-bench
+
+# Graph-core speedup artifact (BENCH_graph.json).
+graph-bench:
+    cargo run --release -q -p casekit-bench --bin repro graph
+
+# Regenerate every paper artifact.
+repro:
+    cargo run --release -q -p casekit-bench --bin repro

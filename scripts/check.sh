@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full local gate: format, lints, tests, benches, and the graph-core
+# benchmark artifact. Mirrors what `just check` runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test -q
+
+echo "==> cargo bench (short measurement budget)"
+CASEKIT_BENCH_MS="${CASEKIT_BENCH_MS:-25}" cargo bench -q -p casekit-bench
+
+echo "==> repro graph (writes BENCH_graph.json)"
+cargo run --release -q -p casekit-bench --bin repro graph
+
+echo "All checks passed."

@@ -40,7 +40,12 @@ fn setup_store(arg: &casekit::core::Argument) -> AnnotationStore {
     );
     let mut store = AnnotationStore::new(ontology);
     store
-        .annotate(arg, "g2", "hazard", [("severity", "major"), ("likelihood", "probable")])
+        .annotate(
+            arg,
+            "g2",
+            "hazard",
+            [("severity", "major"), ("likelihood", "probable")],
+        )
         .unwrap();
     store
         .annotate(

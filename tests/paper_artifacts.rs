@@ -22,7 +22,10 @@ fn t1_table_i_exact() {
             (Library::GoogleScholar, 8, 1),
         ]
     );
-    assert_eq!((t.unique_total, t.unique_safety, t.unique_security), (72, 54, 23));
+    assert_eq!(
+        (t.unique_total, t.unique_safety, t.unique_security),
+        (72, 54, 23)
+    );
     assert_eq!(phase2.len(), 20);
 }
 

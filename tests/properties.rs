@@ -10,8 +10,7 @@ fn formula_strategy() -> impl Strategy<Value = Formula> {
     let leaf = prop_oneof![
         Just(Formula::True),
         Just(Formula::False),
-        prop_oneof![Just("p"), Just("q"), Just("r"), Just("s")]
-            .prop_map(Formula::atom),
+        prop_oneof![Just("p"), Just("q"), Just("r"), Just("s")].prop_map(Formula::atom),
     ];
     leaf.prop_recursive(4, 32, 2, |inner| {
         prop_oneof![
@@ -202,6 +201,237 @@ proptest! {
         // checker rejects.
         if mutated != good {
             prop_assert!(mutated.check().is_err());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arena graph core: construction fuzzing, index-plane invariants, and DSL
+// round-trips.
+// ---------------------------------------------------------------------------
+
+mod arena_props {
+    use casekit::core::{Argument, EdgeKind, NodeKind};
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    const KINDS: [NodeKind; 6] = [
+        NodeKind::Goal,
+        NodeKind::Strategy,
+        NodeKind::Solution,
+        NodeKind::Context,
+        NodeKind::Assumption,
+        NodeKind::Justification,
+    ];
+
+    /// The edge kind the DSL infers from nesting under a parent.
+    fn dsl_edge_kind(child: NodeKind) -> EdgeKind {
+        match child {
+            NodeKind::Context | NodeKind::Assumption | NodeKind::Justification => {
+                EdgeKind::InContextOf
+            }
+            _ => EdgeKind::SupportedBy,
+        }
+    }
+
+    /// Strategy: a built argument with `n` nodes — a random single-rooted
+    /// tree (guaranteeing every node renders from the root) plus extra
+    /// forward `SupportedBy` edges (emitted as `ref`s by the renderer).
+    fn built_argument() -> impl Strategy<Value = Argument> {
+        (
+            2usize..32,
+            proptest::collection::vec(0usize..1_000_000, 1..32),
+            proptest::collection::vec((0usize..1_000_000, 0usize..1_000_000), 0..16),
+            0usize..6,
+        )
+            .prop_map(|(n, parent_picks, extra_picks, kind_offset)| {
+                let kind_of = |i: usize| KINDS[(i + kind_offset) % KINDS.len()];
+                let mut builder = Argument::builder("fuzz");
+                // Node 0 is the root and must be able to carry children.
+                builder = builder.add("n0", NodeKind::Goal, "root claim \"quoted\"");
+                for i in 1..n {
+                    builder = builder.add(
+                        &format!("n{i}"),
+                        kind_of(i),
+                        &format!("text {i} with \\ and \""),
+                    );
+                }
+                let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
+                for i in 1..n {
+                    // Tree edge from some earlier non-leaf-kind node; fall
+                    // back to the root, which always accepts children.
+                    let pick = parent_picks[i % parent_picks.len()] % i;
+                    let parent = if matches!(
+                        kind_of(pick),
+                        NodeKind::Solution
+                            | NodeKind::Context
+                            | NodeKind::Assumption
+                            | NodeKind::Justification
+                    ) && pick != 0
+                    {
+                        0
+                    } else {
+                        pick
+                    };
+                    edges.insert((parent, i));
+                    builder = builder.edge(
+                        &format!("n{parent}"),
+                        &format!("n{i}"),
+                        dsl_edge_kind(kind_of(i)),
+                    );
+                }
+                // Extra forward DAG edges; the DSL renders these as `ref`
+                // children, which parse back as SupportedBy, so only
+                // target support-kind nodes.
+                for &(a, b) in &extra_picks {
+                    let from = a % n;
+                    let to = b % n;
+                    if from >= to || edges.contains(&(from, to)) {
+                        continue;
+                    }
+                    if dsl_edge_kind(kind_of(to)) != EdgeKind::SupportedBy || to == 0 {
+                        continue;
+                    }
+                    if matches!(
+                        kind_of(from),
+                        NodeKind::Solution
+                            | NodeKind::Context
+                            | NodeKind::Assumption
+                            | NodeKind::Justification
+                    ) && from != 0
+                    {
+                        continue;
+                    }
+                    edges.insert((from, to));
+                    builder = builder.edge(
+                        &format!("n{from}"),
+                        &format!("n{to}"),
+                        EdgeKind::SupportedBy,
+                    );
+                }
+                builder.build().expect("fuzzed construction is valid")
+            })
+    }
+
+    fn edge_set(a: &Argument) -> BTreeSet<(String, String, EdgeKind)> {
+        a.edges()
+            .iter()
+            .map(|e| {
+                (
+                    e.from.as_str().to_string(),
+                    e.to.as_str().to_string(),
+                    e.kind,
+                )
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        #[test]
+        fn interner_is_a_bijection(a in built_argument()) {
+            for idx in a.node_indices() {
+                prop_assert_eq!(a.node_idx(a.id_at(idx)), Some(idx));
+            }
+            prop_assert_eq!(a.node_indices().len(), a.len());
+            // And every id-plane lookup agrees with the index plane.
+            for node in a.nodes() {
+                let idx = a.node_idx(&node.id).unwrap();
+                prop_assert_eq!(a.node_at(idx).id.as_str(), node.id.as_str());
+            }
+        }
+
+        #[test]
+        fn csr_adjacency_matches_edge_list(a in built_argument()) {
+            // Per-node children by kind must equal a filtered scan of
+            // edges(), in edge-insertion order (the legacy contract).
+            for node in a.nodes() {
+                for kind in [EdgeKind::SupportedBy, EdgeKind::InContextOf] {
+                    let via_api: Vec<String> = a
+                        .children(&node.id, kind)
+                        .iter()
+                        .map(|n| n.id.as_str().to_string())
+                        .collect();
+                    let via_scan: Vec<String> = a
+                        .edges()
+                        .iter()
+                        .filter(|e| e.from == node.id && e.kind == kind)
+                        .map(|e| e.to.as_str().to_string())
+                        .collect();
+                    prop_assert_eq!(via_api, via_scan);
+                }
+                let parents_api: BTreeSet<String> = a
+                    .parents(&node.id)
+                    .iter()
+                    .map(|n| n.id.as_str().to_string())
+                    .collect();
+                let parents_scan: BTreeSet<String> = a
+                    .edges()
+                    .iter()
+                    .filter(|e| e.to == node.id)
+                    .map(|e| e.from.as_str().to_string())
+                    .collect();
+                prop_assert_eq!(parents_api, parents_scan);
+            }
+            // Degree sums account for every edge exactly once per side.
+            let out_total: usize = a.node_indices().map(|i| a.out_degree(i)).sum();
+            let in_total: usize = a.node_indices().map(|i| a.in_degree(i)).sum();
+            prop_assert_eq!(out_total, a.edges().len());
+            prop_assert_eq!(in_total, a.edges().len());
+        }
+
+        #[test]
+        fn dsl_render_parse_round_trip_preserves_argument(a in built_argument()) {
+            let rendered = casekit::core::dsl::render_dsl(&a);
+            let reparsed = casekit::core::dsl::parse_argument(&rendered)
+                .expect("rendered DSL parses");
+            prop_assert_eq!(reparsed.name(), a.name());
+            prop_assert_eq!(reparsed.len(), a.len());
+            for node in a.nodes() {
+                let back = reparsed.node(&node.id).expect("node survives round trip");
+                prop_assert_eq!(back.kind, node.kind);
+                prop_assert_eq!(&back.text, &node.text);
+                prop_assert_eq!(back.undeveloped, node.undeveloped);
+            }
+            prop_assert_eq!(edge_set(&reparsed), edge_set(&a));
+        }
+
+        #[test]
+        fn serde_round_trip_preserves_fuzzed_arguments(a in built_argument()) {
+            let json = serde_json::to_string(&a).unwrap();
+            let back: Argument = serde_json::from_str(&json).unwrap();
+            prop_assert_eq!(&back, &a);
+            // The reconstructed arena answers traversals identically.
+            for node in a.nodes() {
+                prop_assert_eq!(
+                    back.all_children(&node.id).len(),
+                    a.all_children(&node.id).len()
+                );
+            }
+        }
+
+        #[test]
+        fn reachability_and_acyclicity_agree_with_naive_definitions(a in built_argument()) {
+            // The fuzzed graphs are forward DAGs by construction.
+            prop_assert!(a.is_acyclic());
+            // reachable_from == transitive closure computed by scanning.
+            let root = a.node_idx(&"n0".into()).unwrap();
+            let fast: BTreeSet<String> = a
+                .reachable_from(root)
+                .into_iter()
+                .map(|i| a.id_at(i).as_str().to_string())
+                .collect();
+            let mut slow: BTreeSet<String> = BTreeSet::new();
+            let mut frontier = vec!["n0".to_string()];
+            while let Some(current) = frontier.pop() {
+                for e in a.edges().iter().filter(|e| e.from.as_str() == current) {
+                    if slow.insert(e.to.as_str().to_string()) {
+                        frontier.push(e.to.as_str().to_string());
+                    }
+                }
+            }
+            prop_assert_eq!(fast, slow);
         }
     }
 }
