@@ -20,12 +20,22 @@ fn bench_sat(c: &mut Criterion) {
     c.bench_function("dpll_chain_40_unsat", |b| {
         b.iter(|| casekit_logic::prop::dpll(black_box(&unsat)))
     });
+    c.bench_function("dpll_chain_40_unsat_legacy", |b| {
+        b.iter(|| casekit_logic::prop::legacy::dpll(black_box(&unsat)))
+    });
     let wide = casekit_logic::prop::parse(
         "(a | b | c) & (~a | d) & (~b | d) & (~c | d) & (d -> e & f) & (~e | ~g) & (g | h)",
     )
     .unwrap();
     c.bench_function("dpll_wide_sat", |b| {
         b.iter(|| casekit_logic::prop::dpll(black_box(&wide)))
+    });
+    // Session reuse: the chain theory compiled once, the endpoint
+    // queried per iteration — the batch path's unit of work.
+    let mut theory = casekit_logic::prop::Theory::new();
+    theory.assert_formula(&chain_formula(40));
+    c.bench_function("solver_session_chain_40_check", |b| {
+        b.iter(|| black_box(&mut theory).check())
     });
 }
 
@@ -184,6 +194,36 @@ fn bench_graph(c: &mut Criterion) {
     });
 }
 
+fn bench_logic_core(c: &mut Criterion) {
+    // The logic-core analogue of bench_graph: a seeded 24-argument
+    // population swept by the legacy per-query path vs the interned
+    // batch path (acceptance target: >=10x; measured far above).
+    let population = casekit_bench::logic::seeded_population(24, 0xBE7C);
+    c.bench_function("logic_24_theories_sweep_legacy", |b| {
+        b.iter(|| {
+            black_box(&population)
+                .iter()
+                .map(casekit_bench::logic::LegacyEntailment::sweep)
+                .count()
+        })
+    });
+    c.bench_function("logic_24_theories_sweep_interned", |b| {
+        b.iter(|| {
+            black_box(&population)
+                .iter()
+                .map(casekit_bench::logic::interned_sweep)
+                .count()
+        })
+    });
+    // One argument compiled once, every question re-asked per iteration:
+    // the marginal cost of a query once compilation is paid.
+    let argument = casekit_bench::logic::seeded_population(1, 0xBE7C).remove(0);
+    let mut theory = casekit_core::semantics::ArgumentTheory::compile(&argument);
+    c.bench_function("logic_compiled_theory_root_entailed", |b| {
+        b.iter(|| black_box(&mut theory).root_entailed())
+    });
+}
+
 criterion_group!(
     benches,
     bench_sat,
@@ -193,6 +233,7 @@ criterion_group!(
     bench_ltl,
     bench_patterns,
     bench_dsl_and_query,
-    bench_graph
+    bench_graph,
+    bench_logic_core
 );
 criterion_main!(benches);

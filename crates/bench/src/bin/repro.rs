@@ -4,11 +4,13 @@
 //!
 //! ```text
 //! repro [table1 | claims | figure1 | haley | greenwell |
-//!        exp-a | exp-b | exp-c | exp-d | exp-e | graph | all]
+//!        exp-a | exp-b | exp-c | exp-d | exp-e | graph | logic | all]
 //! ```
 //!
 //! `graph` additionally writes the measured legacy-vs-indexed graph-core
-//! comparison to `BENCH_graph.json` in the working directory.
+//! comparison to `BENCH_graph.json` in the working directory; `logic`
+//! does the same for the legacy-vs-interned batch entailment sweep
+//! (`BENCH_logic.json`).
 //!
 //! With no argument, prints everything.
 
@@ -38,11 +40,22 @@ fn main() {
             }
             bench::graph::render_report(&report)
         }
+        "logic" => {
+            let report = bench::logic::run_logic_bench(120);
+            let json = bench::logic::bench_logic_json(&report);
+            let path = "BENCH_logic.json";
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("warning: could not write {path}: {e}");
+            } else {
+                eprintln!("wrote {path}");
+            }
+            bench::logic::render_report(&report)
+        }
         "all" => bench::all(),
         other => {
             eprintln!(
                 "unknown artefact `{other}`; expected table1, claims, figure1, haley, \
-                 greenwell, exp-a..exp-e, graph, or all"
+                 greenwell, exp-a..exp-e, graph, logic, or all"
             );
             std::process::exit(2);
         }

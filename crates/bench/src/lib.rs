@@ -13,6 +13,7 @@ use casekit_logic::sorts::SortRegistry;
 use std::fmt::Write as _;
 
 pub mod graph;
+pub mod logic;
 
 /// Reproduces Table I (survey phase-1 selection counts).
 pub fn table_i() -> String {
@@ -156,6 +157,14 @@ pub fn graph_bench() -> String {
     graph::render_report(&report)
 }
 
+/// Runs the logic-core batch entailment comparison (120-theory seeded
+/// population) and renders the summary. The JSON artifact is written by
+/// `repro logic`.
+pub fn logic_bench() -> String {
+    let report = logic::run_logic_bench(120);
+    logic::render_report(&report)
+}
+
 /// Every artefact, concatenated (the `repro all` output).
 pub fn all() -> String {
     let mut out = String::new();
@@ -171,6 +180,7 @@ pub fn all() -> String {
         experiment_d(),
         experiment_e(),
         graph_bench(),
+        logic_bench(),
     ] {
         out.push_str(&section);
         out.push('\n');

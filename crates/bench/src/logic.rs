@@ -1,0 +1,294 @@
+//! Logic-core benchmark harness: seeded populations of formalised
+//! arguments, the pre-interned per-query entailment path, and the
+//! batch solver-session path that replaced it.
+//!
+//! The seed decided every entailment question by rebuilding a `Formula`
+//! (cloning premises into a conjunction), Tseitin-converting it into
+//! `BTreeSet` clauses keyed by string atoms, and recursively solving
+//! with `BTreeMap` valuations — once per step check, once for the root,
+//! and once per premise probed. [`LegacyEntailment`] reproduces that
+//! access pattern faithfully against the preserved
+//! [`legacy`](casekit_logic::prop::legacy) solver, so the speedup stays
+//! measurable after the hot path moved on. [`interned_sweep`] is the
+//! replacement: one [`ArgumentTheory`] compilation per argument, every
+//! question an assume/check/retract round. [`bench_logic_json`] emits
+//! the comparison as `BENCH_logic.json` (via `repro logic`), with both
+//! engines' verdicts checked identical.
+
+use casekit_core::semantics::{formal_conclusion, formal_premises, ArgumentTheory};
+use casekit_core::{Argument, EdgeKind, FormalPayload, NodeIdx, NodeKind};
+use casekit_experiments::generator::{generate, GeneratorConfig, SeededFormal};
+use casekit_logic::prop::{legacy, Formula, SatResult};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Generates a deterministic population of hazard-breakdown arguments
+/// with formal payloads: a mix of clean, non-entailed (missing
+/// support), and question-begging skeletons across a range of sizes.
+pub fn seeded_population(count: usize, seed: u64) -> Vec<Argument> {
+    (0..count)
+        .map(|i| {
+            let mut formal = Vec::new();
+            if i % 3 == 1 {
+                formal.push(SeededFormal::MissingSupport);
+            }
+            if i % 5 == 2 {
+                formal.push(SeededFormal::Begging);
+            }
+            let config = GeneratorConfig {
+                hazards: 8 + (i * 7) % 25,
+                formal,
+                informal: Vec::new(),
+                seed: seed ^ (i as u64).wrapping_mul(0x9E37_79B9),
+            };
+            generate(&config).case.argument
+        })
+        .collect()
+}
+
+/// Every entailment verdict a sweep produces for one argument. Both
+/// engines must return exactly this, bit for bit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct SweepVerdict {
+    /// Per checkable support step, in arena order: is it deductive?
+    pub steps: Vec<bool>,
+    /// Do the formal premises entail the formal conclusion?
+    pub root_entailed: Option<bool>,
+    /// Per formal premise, in sorted order: is it critical to the
+    /// conclusion? (Empty unless the root is entailed.)
+    pub critical: Vec<bool>,
+}
+
+/// The pre-refactor entailment path, kept as a measurable baseline:
+/// formula cloning + Tseitin to `BTreeSet` clauses + recursive DPLL,
+/// one full rebuild per query.
+pub struct LegacyEntailment;
+
+impl LegacyEntailment {
+    /// `premises ⊢ conclusion` the old way: clone everything into one
+    /// conjunction and solve from scratch.
+    fn entails(premises: &[Formula], conclusion: &Formula) -> bool {
+        let theory = Formula::conj(premises.iter().cloned()).and(conclusion.clone().not());
+        matches!(legacy::dpll(&theory), SatResult::Unsat)
+    }
+
+    /// Formalised children supporting `idx`, transitively skipping
+    /// unformalised strategies — the seed's traversal, replicated so the
+    /// baseline discovers exactly the steps the compiled theory checks.
+    fn formalised_support_children(argument: &Argument, idx: NodeIdx) -> Vec<NodeIdx> {
+        let mut out = Vec::new();
+        for child_idx in argument.children_idx(idx, EdgeKind::SupportedBy) {
+            let child = argument.node_at(child_idx);
+            if child.is_formalised() {
+                out.push(child_idx);
+            } else if child.kind == NodeKind::Strategy {
+                out.extend(Self::formalised_support_children(argument, child_idx));
+            }
+        }
+        out
+    }
+
+    /// The full per-argument sweep at the pre-refactor cost: every step
+    /// check, the root entailment, and every premise probe rebuilds and
+    /// re-solves its own formula.
+    pub fn sweep(argument: &Argument) -> SweepVerdict {
+        let prop_payload = |idx: NodeIdx| match &argument.node_at(idx).formal {
+            Some(FormalPayload::Prop(f)) => Some(f),
+            _ => None,
+        };
+
+        let mut steps = Vec::new();
+        for idx in argument.node_indices() {
+            let Some(target) = prop_payload(idx) else {
+                continue;
+            };
+            let children = Self::formalised_support_children(argument, idx);
+            if children.is_empty() {
+                continue;
+            }
+            let premises: Vec<Formula> = children
+                .iter()
+                .filter_map(|&c| prop_payload(c).cloned())
+                .collect();
+            if premises.is_empty() {
+                continue;
+            }
+            steps.push(Self::entails(&premises, target));
+        }
+
+        let premises: Vec<Formula> = formal_premises(argument).into_iter().cloned().collect();
+        let conclusion = formal_conclusion(argument).cloned();
+        let root_entailed = match (&conclusion, premises.is_empty()) {
+            (Some(c), false) => Some(Self::entails(&premises, c)),
+            _ => None,
+        };
+
+        let critical = if root_entailed == Some(true) {
+            let conclusion = conclusion.expect("entailed implies a conclusion");
+            (0..premises.len())
+                .map(|skip| {
+                    let kept: Vec<Formula> = premises
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != skip)
+                        .map(|(_, p)| p.clone())
+                        .collect();
+                    !Self::entails(&kept, &conclusion)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        SweepVerdict {
+            steps,
+            root_entailed,
+            critical,
+        }
+    }
+}
+
+/// The same sweep through the interned solver core: one theory
+/// compilation, every question an assumption round.
+pub fn interned_sweep(argument: &Argument) -> SweepVerdict {
+    let mut theory = ArgumentTheory::compile(argument);
+    let steps = theory
+        .step_indices()
+        .into_iter()
+        .map(|idx| {
+            theory
+                .step_is_deductive(idx)
+                .expect("step_indices are checkable")
+        })
+        .collect();
+    let root_entailed = theory.root_entailed();
+    let critical = if root_entailed == Some(true) {
+        let report = theory.probe().expect("entailed implies a conclusion");
+        report.impacts.iter().map(|i| i.is_critical()).collect()
+    } else {
+        Vec::new()
+    };
+    SweepVerdict {
+        steps,
+        root_entailed,
+        critical,
+    }
+}
+
+/// The measured comparison, serialized into `BENCH_logic.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct LogicBenchReport {
+    /// Arguments in the seeded population.
+    pub population: usize,
+    /// Total entailment queries answered per engine (steps + roots +
+    /// probes).
+    pub queries: usize,
+    /// Full legacy sweep (per-query clone + Tseitin + recursive DPLL),
+    /// milliseconds (single run — it is slow by design).
+    pub legacy_ms: f64,
+    /// Full batch sweep (one compilation per argument, watched-literal
+    /// sessions), milliseconds (best of several runs).
+    pub interned_ms: f64,
+    /// legacy / interned.
+    pub speedup: f64,
+    /// Sanity: both engines returned identical verdicts on every
+    /// argument.
+    pub verdicts_agree: bool,
+}
+
+/// Runs the comparison over a seeded population of `count` arguments.
+pub fn run_logic_bench(count: usize) -> LogicBenchReport {
+    let population = seeded_population(count, 0x10C1C);
+
+    let start = Instant::now();
+    let legacy_verdicts: Vec<SweepVerdict> =
+        population.iter().map(LegacyEntailment::sweep).collect();
+    let legacy_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let mut interned_ms = f64::INFINITY;
+    let mut interned_verdicts: Vec<SweepVerdict> = Vec::new();
+    for _ in 0..3 {
+        let start = Instant::now();
+        interned_verdicts = population.iter().map(interned_sweep).collect();
+        interned_ms = interned_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+
+    let queries = interned_verdicts
+        .iter()
+        .map(|v| v.steps.len() + usize::from(v.root_entailed.is_some()) + v.critical.len())
+        .sum();
+
+    LogicBenchReport {
+        population: population.len(),
+        queries,
+        legacy_ms,
+        interned_ms,
+        speedup: legacy_ms / interned_ms.max(1e-9),
+        verdicts_agree: legacy_verdicts == interned_verdicts,
+    }
+}
+
+/// Renders the report as JSON (the `BENCH_logic.json` artifact).
+pub fn bench_logic_json(report: &LogicBenchReport) -> String {
+    serde_json::to_string_pretty(report).expect("report serializes")
+}
+
+/// Human-readable summary for the repro binary.
+pub fn render_report(report: &LogicBenchReport) -> String {
+    format!(
+        "logic core batch entailment sweep over {} seeded theories / {} queries\n\
+           legacy per-query (clone + Tseitin + recursive DPLL): {:>10.3} ms\n\
+           interned batch (compile once + watched sessions):    {:>10.3} ms\n\
+           speedup: {:.1}x   verdicts agree: {}\n",
+        report.population,
+        report.queries,
+        report.legacy_ms,
+        report.interned_ms,
+        report.speedup,
+        report.verdicts_agree
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_is_deterministic_and_mixed() {
+        let a = seeded_population(12, 7);
+        let b = seeded_population(12, 7);
+        assert_eq!(a.len(), 12);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x, y);
+        }
+        // The defect mix yields both entailed and non-entailed roots.
+        let verdicts: Vec<SweepVerdict> = a.iter().map(interned_sweep).collect();
+        assert!(verdicts.iter().any(|v| v.root_entailed == Some(true)));
+        assert!(verdicts.iter().any(|v| v.root_entailed == Some(false)));
+    }
+
+    #[test]
+    fn engines_agree_verdict_for_verdict() {
+        for argument in seeded_population(9, 42) {
+            assert_eq!(
+                LegacyEntailment::sweep(&argument),
+                interned_sweep(&argument),
+                "engine disagreement on {}",
+                argument.name()
+            );
+        }
+    }
+
+    #[test]
+    fn report_is_sane_at_small_scale() {
+        // The acceptance-criteria 100+-theory run lives in the repro
+        // binary; here we only check the harness plumbing.
+        let report = run_logic_bench(6);
+        assert!(report.verdicts_agree);
+        assert_eq!(report.population, 6);
+        assert!(report.queries > report.population);
+        let json = bench_logic_json(&report);
+        assert!(json.contains("\"speedup\""));
+        assert!(render_report(&report).contains("verdicts agree: true"));
+    }
+}

@@ -97,10 +97,14 @@ pub fn profile(argument: &Argument) -> Profile {
             / propositional.len() as f64
     };
 
+    // One theory compilation for the whole profile; each step check is
+    // an assumption round against it.
+    let mut theory = crate::semantics::ArgumentTheory::compile(argument);
     let mut checkable = 0usize;
     let mut valid = 0usize;
     for node in &propositional {
-        if let Some(result) = crate::semantics::step_is_deductive(argument, &node.id) {
+        let idx = argument.node_idx(&node.id).expect("node is in the arena");
+        if let Some(result) = theory.step_is_deductive(idx) {
             checkable += 1;
             if result {
                 valid += 1;

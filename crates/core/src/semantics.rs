@@ -8,17 +8,30 @@
 //! verification can answer (does the symbol structure entail the
 //! conclusion?) and none of the questions it cannot (do the premises
 //! describe the world?).
+//!
+//! # Batch checking
+//!
+//! [`ArgumentTheory::compile`] Tseitin-compiles every propositional
+//! payload **once** into one interned clause database; each support
+//! step, the root entailment, and every what-if probe is then an
+//! `assume`/`check`/`retract` round against it. The free functions
+//! ([`step_is_deductive`], [`non_deductive_steps`], [`probe_argument`])
+//! stay source-compatible and route through a single compilation;
+//! callers with several questions about the same argument should
+//! compile once and reuse the theory.
 
 use crate::argument::{Argument, NodeIdx};
 use crate::node::{EdgeKind, FormalPayload, NodeId, NodeKind};
-use casekit_logic::probe::{probe, ProbeReport};
-use casekit_logic::prop::Formula;
+use casekit_logic::probe::{PremiseImpact, ProbeReport};
+use casekit_logic::prop::{Atom, Formula, Lit, Theory};
+use std::collections::BTreeSet;
 
 /// The formal premises of an argument: the propositional payloads of its
 /// formalised support *leaves* (solutions/evidence are cited through their
 /// parent goals' payloads, so leaves here means "formalised nodes with no
-/// formalised descendants providing support").
-pub fn formal_premises(argument: &Argument) -> Vec<Formula> {
+/// formalised descendants providing support"). Borrowed from the
+/// argument's nodes — theory assembly allocates no formula clones.
+pub fn formal_premises(argument: &Argument) -> Vec<&Formula> {
     argument
         .sorted_indices()
         .map(|idx| (idx, argument.node_at(idx)))
@@ -26,31 +39,31 @@ pub fn formal_premises(argument: &Argument) -> Vec<Formula> {
             n.is_formalised() && formalised_support_children(argument, *idx).is_empty()
         })
         .filter_map(|(_, n)| match &n.formal {
-            Some(FormalPayload::Prop(f)) => Some(f.clone()),
+            Some(FormalPayload::Prop(f)) => Some(f),
             _ => None,
         })
         .collect()
 }
 
 /// The formal conclusion: the propositional payload of the (first) root
-/// goal, if it has one.
-pub fn formal_conclusion(argument: &Argument) -> Option<Formula> {
+/// goal, if it has one. Borrowed, like [`formal_premises`].
+pub fn formal_conclusion(argument: &Argument) -> Option<&Formula> {
     argument
         .sorted_roots_idx()
         .find_map(|idx| match &argument.node_at(idx).formal {
-            Some(FormalPayload::Prop(f)) => Some(f.clone()),
+            Some(FormalPayload::Prop(f)) => Some(f),
             _ => None,
         })
 }
 
 /// Formalised children supporting `idx` (transitively skipping
 /// unformalised strategies, which GSN interposes between goals).
-fn formalised_support_children(argument: &Argument, idx: NodeIdx) -> Vec<&crate::node::Node> {
+fn formalised_support_children(argument: &Argument, idx: NodeIdx) -> Vec<NodeIdx> {
     let mut out = Vec::new();
     for child_idx in argument.children_idx(idx, EdgeKind::SupportedBy) {
         let child = argument.node_at(child_idx);
         if child.is_formalised() {
-            out.push(child);
+            out.push(child_idx);
         } else if child.kind == NodeKind::Strategy {
             out.extend(formalised_support_children(argument, child_idx));
         }
@@ -58,54 +71,263 @@ fn formalised_support_children(argument: &Argument, idx: NodeIdx) -> Vec<&crate:
     out
 }
 
+/// One checkable support step: a parent with a propositional payload and
+/// formalised support including at least one propositional payload.
+#[derive(Debug, Clone)]
+struct Step {
+    parent: NodeIdx,
+    parent_lit: Lit,
+    child_lits: Vec<Lit>,
+}
+
+/// An argument's propositional skeleton, compiled once into an interned
+/// solver session.
+///
+/// Every payload formula becomes an equivalent packed literal over a
+/// shared clause database; support steps, the root entailment, and
+/// premise probes are assumption rounds against it. Compile once per
+/// argument, ask as many questions as you like:
+///
+/// ```
+/// use casekit_core::{Argument, FormalPayload, Node, NodeKind};
+/// use casekit_core::semantics::ArgumentTheory;
+/// use casekit_logic::prop::parse;
+/// let argument = Argument::builder("mp")
+///     .node(Node::new("g1", NodeKind::Goal, "q")
+///         .with_formal(FormalPayload::Prop(parse("q").unwrap())))
+///     .node(Node::new("g2", NodeKind::Goal, "rule")
+///         .with_formal(FormalPayload::Prop(parse("(p -> q) & p").unwrap())))
+///     .add("e1", NodeKind::Solution, "evidence")
+///     .supported_by("g1", "g2")
+///     .supported_by("g2", "e1")
+///     .build()
+///     .unwrap();
+/// let mut theory = ArgumentTheory::compile(&argument);
+/// let g1 = argument.node_idx(&"g1".into()).unwrap();
+/// assert_eq!(theory.step_is_deductive(g1), Some(true));
+/// assert_eq!(theory.root_entailed(), Some(true));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArgumentTheory {
+    theory: Theory,
+    steps: Vec<Step>,
+    /// Formal leaves in sorted-id order, with their payload literals.
+    premises: Vec<(NodeIdx, Lit)>,
+    conclusion: Option<(NodeIdx, Lit)>,
+    /// Atoms of the premise and conclusion payloads, for counterexample
+    /// valuations.
+    probe_atoms: BTreeSet<Atom>,
+}
+
+impl ArgumentTheory {
+    /// Compiles every propositional payload of `argument` into one
+    /// solver session. This is the only place formulas are traversed;
+    /// every subsequent question is solver work.
+    pub fn compile(argument: &Argument) -> Self {
+        let mut theory = Theory::new();
+        // Payload literal per arena slot, compiled in arena order.
+        let mut lits: Vec<Option<Lit>> = vec![None; argument.len()];
+        for idx in argument.node_indices() {
+            if let Some(FormalPayload::Prop(f)) = &argument.node_at(idx).formal {
+                lits[idx.index()] = Some(theory.formula_lit(f));
+            }
+        }
+        // Checkable support steps, in arena order (the legacy report
+        // order of `non_deductive_steps`).
+        let mut steps = Vec::new();
+        for idx in argument.node_indices() {
+            let Some(parent_lit) = lits[idx.index()] else {
+                continue;
+            };
+            let children = formalised_support_children(argument, idx);
+            if children.is_empty() {
+                continue;
+            }
+            let child_lits: Vec<Lit> = children.iter().filter_map(|c| lits[c.index()]).collect();
+            if child_lits.is_empty() {
+                continue;
+            }
+            steps.push(Step {
+                parent: idx,
+                parent_lit,
+                child_lits,
+            });
+        }
+        // Premises (formal leaves, sorted order) and conclusion.
+        let mut probe_atoms = BTreeSet::new();
+        let mut premises = Vec::new();
+        for idx in argument.sorted_indices() {
+            let node = argument.node_at(idx);
+            if !node.is_formalised() || !formalised_support_children(argument, idx).is_empty() {
+                continue;
+            }
+            if let (Some(lit), Some(FormalPayload::Prop(f))) = (lits[idx.index()], &node.formal) {
+                premises.push((idx, lit));
+                probe_atoms.extend(f.atoms());
+            }
+        }
+        let conclusion =
+            argument
+                .sorted_roots_idx()
+                .find_map(|idx| match &argument.node_at(idx).formal {
+                    Some(FormalPayload::Prop(f)) => {
+                        probe_atoms.extend(f.atoms());
+                        lits[idx.index()].map(|lit| (idx, lit))
+                    }
+                    _ => None,
+                });
+        ArgumentTheory {
+            theory,
+            steps,
+            premises,
+            conclusion,
+            probe_atoms,
+        }
+    }
+
+    /// Indices of the formal premise leaves, in sorted-id order.
+    pub fn premise_indices(&self) -> Vec<NodeIdx> {
+        self.premises.iter().map(|(idx, _)| *idx).collect()
+    }
+
+    /// Parents of every checkable support step, in arena order.
+    pub fn step_indices(&self) -> Vec<NodeIdx> {
+        self.steps.iter().map(|s| s.parent).collect()
+    }
+
+    /// Index of the formal conclusion node, if any.
+    pub fn conclusion_index(&self) -> Option<NodeIdx> {
+        self.conclusion.map(|(idx, _)| idx)
+    }
+
+    /// The compiled premise literals, aligned with [`formal_premises`]
+    /// (same nodes, same sorted order).
+    pub fn premise_lits(&self) -> Vec<Lit> {
+        self.premises.iter().map(|(_, lit)| *lit).collect()
+    }
+
+    /// The compiled conclusion literal, aligned with
+    /// [`formal_conclusion`].
+    pub fn conclusion_lit(&self) -> Option<Lit> {
+        self.conclusion.map(|(_, lit)| lit)
+    }
+
+    /// The underlying solver session, for callers (e.g. the fallacy
+    /// detectors) that want to ask further questions against the same
+    /// compiled clause database instead of recompiling the payloads.
+    pub fn theory_mut(&mut self) -> &mut Theory {
+        &mut self.theory
+    }
+
+    /// Whether the support step into `idx` is deductively valid (`None`
+    /// when the step is not checkable).
+    pub fn step_is_deductive(&mut self, idx: NodeIdx) -> Option<bool> {
+        // Steps are built in arena order, so parents are sorted.
+        let i = self.steps.binary_search_by_key(&idx, |s| s.parent).ok()?;
+        Some(Self::check_step(&mut self.theory, &self.steps[i]))
+    }
+
+    /// Parents of every non-deductive formalised step, in arena order.
+    pub fn non_deductive_step_indices(&mut self) -> Vec<NodeIdx> {
+        let mut out = Vec::new();
+        for i in 0..self.steps.len() {
+            if !Self::check_step(&mut self.theory, &self.steps[i]) {
+                out.push(self.steps[i].parent);
+            }
+        }
+        out
+    }
+
+    fn check_step(theory: &mut Theory, step: &Step) -> bool {
+        let assumptions = step.child_lits.iter().copied().chain([!step.parent_lit]);
+        !theory.check_under(assumptions)
+    }
+
+    /// Whether the formal premises entail the formal conclusion (`None`
+    /// when the argument lacks premises or a conclusion).
+    pub fn root_entailed(&mut self) -> Option<bool> {
+        if self.premises.is_empty() {
+            return None;
+        }
+        self.conclusion?;
+        Some(self.root_counterexample(None).is_none())
+    }
+
+    /// A model of the premises (minus `skip`) that falsifies the
+    /// conclusion, if entailment fails.
+    fn root_counterexample(
+        &mut self,
+        skip: Option<usize>,
+    ) -> Option<casekit_logic::prop::Valuation> {
+        let (_, conclusion_lit) = self.conclusion.expect("caller checked conclusion");
+        let assumptions: Vec<Lit> = self
+            .premises
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| Some(*i) != skip)
+            .map(|(_, &(_, lit))| lit)
+            .chain([!conclusion_lit])
+            .collect();
+        self.theory
+            .model_under(assumptions, self.probe_atoms.iter())
+    }
+
+    /// Rushby's what-if probe over the formal skeleton: the root
+    /// entailment check plus one removal check per premise, all in this
+    /// session. `None` when there is no formal conclusion.
+    pub fn probe(&mut self) -> Option<ProbeReport> {
+        self.conclusion?;
+        if self.root_counterexample(None).is_some() {
+            return Some(ProbeReport {
+                entailed: false,
+                impacts: Vec::new(),
+            });
+        }
+        let impacts = (0..self.premises.len())
+            .map(|i| match self.root_counterexample(Some(i)) {
+                None => PremiseImpact::Idle,
+                Some(v) => PremiseImpact::Critical(v),
+            })
+            .collect();
+        Some(ProbeReport {
+            entailed: true,
+            impacts,
+        })
+    }
+}
+
 /// Whether the support step into `id` is deductively valid: the
 /// conjunction of the formalised supporting children's payloads entails
 /// `id`'s payload.
 ///
 /// Returns `None` when the step is not checkable (the node or all of its
-/// support lacks propositional payloads).
+/// support lacks propositional payloads). One-off convenience; compile an
+/// [`ArgumentTheory`] to check many steps.
 pub fn step_is_deductive(argument: &Argument, id: &NodeId) -> Option<bool> {
     let idx = argument.node_idx(id)?;
-    let target = match &argument.node_at(idx).formal {
-        Some(FormalPayload::Prop(f)) => f.clone(),
-        _ => return None,
-    };
-    let children = formalised_support_children(argument, idx);
-    if children.is_empty() {
-        return None;
-    }
-    let premises: Vec<Formula> = children
-        .iter()
-        .filter_map(|c| match &c.formal {
-            Some(FormalPayload::Prop(f)) => Some(f.clone()),
-            _ => None,
-        })
-        .collect();
-    if premises.is_empty() {
-        return None;
-    }
-    Some(Formula::conj(premises).entails(&target))
+    ArgumentTheory::compile(argument).step_is_deductive(idx)
 }
 
 /// Every non-deductive formalised step in the argument (node ids whose
 /// support fails entailment). An empty result means the formalised skeleton
 /// is free of *formal* fallacies of consequence — and nothing more.
+///
+/// One theory compilation, one solver check per step.
 pub fn non_deductive_steps(argument: &Argument) -> Vec<NodeId> {
-    argument
-        .nodes()
-        .filter(|n| step_is_deductive(argument, &n.id) == Some(false))
-        .map(|n| n.id.clone())
+    ArgumentTheory::compile(argument)
+        .non_deductive_step_indices()
+        .into_iter()
+        .map(|idx| argument.node_at(idx).id.clone())
         .collect()
 }
 
 /// Runs Rushby's what-if probe over the argument's formal skeleton:
 /// premises = formal leaf payloads, conclusion = root payload.
 ///
-/// Returns `None` when the argument has no formal conclusion.
+/// Returns `None` when the argument has no formal conclusion. One theory
+/// compilation, `premises + 1` solver checks.
 pub fn probe_argument(argument: &Argument) -> Option<ProbeReport> {
-    let conclusion = formal_conclusion(argument)?;
-    let premises = formal_premises(argument);
-    Some(probe(&premises, &conclusion))
+    ArgumentTheory::compile(argument).probe()
 }
 
 #[cfg(test)]
@@ -148,7 +370,28 @@ mod tests {
         let a = deductive_case();
         let premises = formal_premises(&a);
         assert_eq!(premises.len(), 2);
-        assert_eq!(formal_conclusion(&a), Some(parse("q").unwrap()));
+        assert_eq!(formal_conclusion(&a), Some(&parse("q").unwrap()));
+    }
+
+    #[test]
+    fn compiled_theory_answers_every_question_in_one_session() {
+        let a = deductive_case();
+        let mut theory = ArgumentTheory::compile(&a);
+        let g1 = a.node_idx(&"g1".into()).unwrap();
+        let g2 = a.node_idx(&"g2".into()).unwrap();
+        assert_eq!(theory.step_is_deductive(g1), Some(true));
+        assert_eq!(theory.step_is_deductive(g2), None); // leaf: no support
+        assert!(theory.non_deductive_step_indices().is_empty());
+        assert_eq!(theory.root_entailed(), Some(true));
+        assert_eq!(theory.premise_indices().len(), 2);
+        assert_eq!(theory.conclusion_index(), Some(g1));
+        let report = theory.probe().unwrap();
+        assert!(report.entailed);
+        assert_eq!(report.critical_indices(), vec![0, 1]);
+        // Answers are stable across repeated questions (assumptions are
+        // fully retracted between checks).
+        assert_eq!(theory.step_is_deductive(g1), Some(true));
+        assert_eq!(theory.root_entailed(), Some(true));
     }
 
     #[test]
@@ -218,7 +461,8 @@ mod tests {
         // g1 has formalised support (g2, g3 via s1), so its payload is a
         // conclusion, not a premise.
         let premises = formal_premises(&a);
-        assert!(!premises.contains(&parse("q").unwrap()));
+        let q = parse("q").unwrap();
+        assert!(!premises.iter().any(|p| **p == q));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::formal;
 use crate::taxonomy::FormalFallacy;
-use casekit_core::semantics::{formal_conclusion, formal_premises, non_deductive_steps};
+use casekit_core::semantics::{formal_conclusion, formal_premises, ArgumentTheory};
 use casekit_core::{Argument, NodeId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -68,15 +68,25 @@ impl MachineReport {
 }
 
 /// Mechanically checks `argument`'s formal skeleton.
+///
+/// The propositional payloads are compiled once into an
+/// [`ArgumentTheory`] session; every per-step deduction check and the
+/// root entailment are assumption rounds against it. The fallacy
+/// detectors run over borrowed premise references — no `Formula` clones
+/// anywhere on the path.
 pub fn check_argument(argument: &Argument) -> MachineReport {
     let premises = formal_premises(argument);
     let conclusion = formal_conclusion(argument);
     let formal_nodes = argument.formalised_count();
     let mut findings = Vec::new();
 
-    // Per-step deduction checks.
-    for node in non_deductive_steps(argument) {
-        findings.push(MachineFinding::NonDeductiveStep { node });
+    // Per-step deduction checks and the root entailment, all in one
+    // compiled session.
+    let mut theory = ArgumentTheory::compile(argument);
+    for idx in theory.non_deductive_step_indices() {
+        findings.push(MachineFinding::NonDeductiveStep {
+            node: argument.node_at(idx).id.clone(),
+        });
     }
 
     let checkable = match (&conclusion, premises.is_empty()) {
@@ -86,11 +96,23 @@ pub fn check_argument(argument: &Argument) -> MachineReport {
 
     if let Some(conclusion) = conclusion {
         if !premises.is_empty() {
-            let premise_formula = casekit_logic::prop::Formula::conj(premises.iter().cloned());
-            if !premise_formula.entails(&conclusion) {
+            if theory.root_entailed() == Some(false) {
                 findings.push(MachineFinding::ConclusionNotEntailed);
             }
-            for finding in formal::detect_all(&premises, &conclusion) {
+            // The detectors reuse the argument's compiled literals
+            // (premise/conclusion lists are aligned by construction) —
+            // still one Tseitin pass per argument.
+            let premise_lits = theory.premise_lits();
+            let conclusion_lit = theory
+                .conclusion_lit()
+                .expect("formal_conclusion implies a compiled conclusion literal");
+            for finding in formal::detect_all_compiled(
+                theory.theory_mut(),
+                premise_lits,
+                conclusion_lit,
+                &premises,
+                conclusion,
+            ) {
                 findings.push(MachineFinding::Fallacy {
                     fallacy: finding.fallacy,
                     detail: finding.detail,

@@ -9,10 +9,20 @@
 //! *not* independently entailed by the premises: citing `p → q, ¬p ∴ ¬q`
 //! is harmless if some other premise legitimately yields `¬q` (the step is
 //! redundant, not fallacious).
+//!
+//! All semantic questions (entailment, consistency, equivalence) run
+//! against one compiled [`Theory`] session per entry point: premises and
+//! conclusion are Tseitin-compiled once, and every question is an
+//! `assume`/`check`/`retract` round. [`detect_all`] shares a single
+//! session across all six detectors. Premises are accepted as anything
+//! borrowable as a [`Formula`], so callers holding `Vec<&Formula>` (the
+//! allocation-free path out of `casekit-core::semantics`) and callers
+//! holding `Vec<Formula>` both work.
 
 use crate::taxonomy::FormalFallacy;
-use casekit_logic::prop::Formula;
+use casekit_logic::prop::{Formula, Lit, Theory};
 use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
 use std::fmt;
 
 /// A formal-fallacy finding.
@@ -32,25 +42,139 @@ impl fmt::Display for Finding {
     }
 }
 
-/// Runs every propositional detector.
-pub fn detect_all(premises: &[Formula], conclusion: &Formula) -> Vec<Finding> {
+/// One compiled premises/conclusion theory, shared by every detector.
+struct Session<'t> {
+    theory: &'t mut Theory,
+    premise_lits: Vec<Lit>,
+    conclusion_lit: Lit,
+}
+
+impl<'t> Session<'t> {
+    /// Compiles the premises and conclusion into `theory`.
+    fn compile<B: Borrow<Formula>>(
+        theory: &'t mut Theory,
+        premises: &[B],
+        conclusion: &Formula,
+    ) -> Self {
+        let premise_lits = premises
+            .iter()
+            .map(|p| theory.formula_lit(p.borrow()))
+            .collect();
+        let conclusion_lit = theory.formula_lit(conclusion);
+        Session {
+            theory,
+            premise_lits,
+            conclusion_lit,
+        }
+    }
+
+    /// Wraps literals already compiled elsewhere (e.g. by
+    /// `casekit-core::semantics::ArgumentTheory`) — no recompilation.
+    fn from_parts(theory: &'t mut Theory, premise_lits: Vec<Lit>, conclusion_lit: Lit) -> Self {
+        Session {
+            theory,
+            premise_lits,
+            conclusion_lit,
+        }
+    }
+
+    /// Satisfiability of an assumption set, with automatic retraction.
+    fn sat(&mut self, assumptions: &[Lit]) -> bool {
+        self.theory.check_under(assumptions.iter().copied())
+    }
+
+    /// Whether the full premise set entails the conclusion.
+    fn entailed(&mut self) -> bool {
+        let mut assumptions = self.premise_lits.clone();
+        assumptions.push(!self.conclusion_lit);
+        !self.sat(&assumptions)
+    }
+
+    /// Whether the premises are jointly satisfiable.
+    fn premises_consistent(&mut self) -> bool {
+        let assumptions = self.premise_lits.clone();
+        self.sat(&assumptions)
+    }
+
+    /// Whether premises `0..=upto` are jointly unsatisfiable.
+    fn prefix_inconsistent(&mut self, upto: usize) -> bool {
+        let assumptions: Vec<Lit> = self.premise_lits[..=upto].to_vec();
+        !self.sat(&assumptions)
+    }
+
+    /// Whether premise `i` and the conclusion contradict.
+    fn premise_contradicts_conclusion(&mut self, i: usize) -> bool {
+        !self.sat(&[self.premise_lits[i], self.conclusion_lit])
+    }
+
+    /// Whether premise `i` is logically equivalent to the conclusion.
+    fn premise_equivalent_to_conclusion(&mut self, i: usize) -> bool {
+        let p = self.premise_lits[i];
+        let c = self.conclusion_lit;
+        !self.sat(&[p, !c]) && !self.sat(&[c, !p])
+    }
+}
+
+/// Runs every propositional detector over one shared solver session.
+pub fn detect_all<B: Borrow<Formula>>(premises: &[B], conclusion: &Formula) -> Vec<Finding> {
+    let mut theory = Theory::new();
+    let session = Session::compile(&mut theory, premises, conclusion);
+    detect_all_session(session, premises, conclusion)
+}
+
+/// [`detect_all`] against formulas *already compiled* into `theory`:
+/// `premise_lits`/`conclusion_lit` must be the compiled equivalents of
+/// `premises`/`conclusion` (in the same order). Used by the machine
+/// checker to reuse the one-per-argument `ArgumentTheory` compilation
+/// instead of Tseitin-compiling every payload a second time.
+pub fn detect_all_compiled<B: Borrow<Formula>>(
+    theory: &mut Theory,
+    premise_lits: Vec<Lit>,
+    conclusion_lit: Lit,
+    premises: &[B],
+    conclusion: &Formula,
+) -> Vec<Finding> {
+    let session = Session::from_parts(theory, premise_lits, conclusion_lit);
+    detect_all_session(session, premises, conclusion)
+}
+
+fn detect_all_session<B: Borrow<Formula>>(
+    mut session: Session<'_>,
+    premises: &[B],
+    conclusion: &Formula,
+) -> Vec<Finding> {
     let mut findings = Vec::new();
-    findings.extend(begging_the_question(premises, conclusion));
-    findings.extend(incompatible_premises(premises));
-    findings.extend(premise_conclusion_contradiction(premises, conclusion));
-    findings.extend(denying_the_antecedent(premises, conclusion));
-    findings.extend(affirming_the_consequent(premises, conclusion));
-    findings.extend(false_conversion(premises, conclusion));
+    findings.extend(begging_in(&mut session, premises, conclusion));
+    findings.extend(incompatible_in(&mut session, premises));
+    findings.extend(contradiction_in(&mut session, premises, conclusion));
+    let entailed = session.entailed();
+    findings.extend(denying_in(premises, conclusion, entailed));
+    findings.extend(affirming_in(premises, conclusion, entailed));
+    findings.extend(conversion_in(premises, conclusion, entailed));
     findings
 }
 
 /// The conclusion appears among the premises (syntactically, or as a
 /// logical equivalent — asserting `~~C` to prove `C` still begs).
-pub fn begging_the_question(premises: &[Formula], conclusion: &Formula) -> Vec<Finding> {
+pub fn begging_the_question<B: Borrow<Formula>>(
+    premises: &[B],
+    conclusion: &Formula,
+) -> Vec<Finding> {
+    let mut theory = Theory::new();
+    let mut session = Session::compile(&mut theory, premises, conclusion);
+    begging_in(&mut session, premises, conclusion)
+}
+
+fn begging_in<B: Borrow<Formula>>(
+    session: &mut Session,
+    premises: &[B],
+    conclusion: &Formula,
+) -> Vec<Finding> {
     premises
         .iter()
+        .map(Borrow::borrow)
         .enumerate()
-        .filter(|(_, p)| *p == conclusion || p.equivalent(conclusion))
+        .filter(|(i, p)| *p == conclusion || session.premise_equivalent_to_conclusion(*i))
         .map(|(i, p)| Finding {
             fallacy: FormalFallacy::BeggingTheQuestion,
             premises: vec![i],
@@ -60,53 +184,57 @@ pub fn begging_the_question(premises: &[Formula], conclusion: &Formula) -> Vec<F
 }
 
 /// The premises are jointly unsatisfiable.
-pub fn incompatible_premises(premises: &[Formula]) -> Vec<Finding> {
+pub fn incompatible_premises<B: Borrow<Formula>>(premises: &[B]) -> Vec<Finding> {
     if premises.is_empty() {
         return Vec::new();
     }
-    let all = Formula::conj(premises.iter().cloned());
-    if all.is_contradiction() {
-        // Localise: find a minimal prefix set that is already contradictory
-        // to help the reader (not necessarily minimal overall).
-        let mut involved = Vec::new();
-        let mut acc: Option<Formula> = None;
-        for (i, p) in premises.iter().enumerate() {
-            let next = match &acc {
-                None => p.clone(),
-                Some(a) => a.clone().and(p.clone()),
-            };
-            involved.push(i);
-            if next.is_contradiction() {
-                return vec![Finding {
-                    fallacy: FormalFallacy::IncompatiblePremises,
-                    premises: involved,
-                    detail: "the premises cannot all be true together".into(),
-                }];
-            }
-            acc = Some(next);
-        }
-        unreachable!("conjunction of all premises was contradictory");
+    let mut theory = Theory::new();
+    let mut session = Session::compile(&mut theory, premises, &Formula::True);
+    incompatible_in(&mut session, premises)
+}
+
+fn incompatible_in<B: Borrow<Formula>>(session: &mut Session, premises: &[B]) -> Vec<Finding> {
+    if premises.is_empty() || session.premises_consistent() {
+        return Vec::new();
     }
-    Vec::new()
+    // Localise: find a minimal prefix set that is already contradictory
+    // to help the reader (not necessarily minimal overall).
+    for i in 0..premises.len() {
+        if session.prefix_inconsistent(i) {
+            return vec![Finding {
+                fallacy: FormalFallacy::IncompatiblePremises,
+                premises: (0..=i).collect(),
+                detail: "the premises cannot all be true together".into(),
+            }];
+        }
+    }
+    unreachable!("conjunction of all premises was contradictory");
 }
 
 /// Some premise contradicts the conclusion (while the premises themselves
 /// are consistent — otherwise `incompatible_premises` already fires).
-pub fn premise_conclusion_contradiction(
-    premises: &[Formula],
+pub fn premise_conclusion_contradiction<B: Borrow<Formula>>(
+    premises: &[B],
     conclusion: &Formula,
 ) -> Vec<Finding> {
-    if premises.is_empty() {
-        return Vec::new();
-    }
-    let all = Formula::conj(premises.iter().cloned());
-    if all.is_contradiction() {
+    let mut theory = Theory::new();
+    let mut session = Session::compile(&mut theory, premises, conclusion);
+    contradiction_in(&mut session, premises, conclusion)
+}
+
+fn contradiction_in<B: Borrow<Formula>>(
+    session: &mut Session,
+    premises: &[B],
+    _conclusion: &Formula,
+) -> Vec<Finding> {
+    if premises.is_empty() || !session.premises_consistent() {
         return Vec::new();
     }
     premises
         .iter()
+        .map(Borrow::borrow)
         .enumerate()
-        .filter(|(_, p)| (*p).clone().and(conclusion.clone()).is_contradiction())
+        .filter(|(i, _)| session.premise_contradicts_conclusion(*i))
         .map(|(i, p)| Finding {
             fallacy: FormalFallacy::PremiseConclusionContradiction,
             premises: vec![i],
@@ -119,11 +247,29 @@ pub fn premise_conclusion_contradiction(
 }
 
 /// From `p → q` and `¬p`, concluding `¬q`.
-pub fn denying_the_antecedent(premises: &[Formula], conclusion: &Formula) -> Vec<Finding> {
+pub fn denying_the_antecedent<B: Borrow<Formula>>(
+    premises: &[B],
+    conclusion: &Formula,
+) -> Vec<Finding> {
+    denying_in(premises, conclusion, entailed_fresh(premises, conclusion))
+}
+
+/// One-off entailment check for the standalone detector entry points.
+fn entailed_fresh<B: Borrow<Formula>>(premises: &[B], conclusion: &Formula) -> bool {
+    let mut theory = Theory::new();
+    Session::compile(&mut theory, premises, conclusion).entailed()
+}
+
+fn denying_in<B: Borrow<Formula>>(
+    premises: &[B],
+    conclusion: &Formula,
+    entailed: bool,
+) -> Vec<Finding> {
     pattern_fallacy(
         premises,
         conclusion,
         FormalFallacy::DenyingTheAntecedent,
+        entailed,
         |antecedent, consequent, other, conclusion| {
             other.is_negation_of(antecedent) && conclusion.is_negation_of(consequent)
         },
@@ -131,11 +277,23 @@ pub fn denying_the_antecedent(premises: &[Formula], conclusion: &Formula) -> Vec
 }
 
 /// From `p → q` and `q`, concluding `p`.
-pub fn affirming_the_consequent(premises: &[Formula], conclusion: &Formula) -> Vec<Finding> {
+pub fn affirming_the_consequent<B: Borrow<Formula>>(
+    premises: &[B],
+    conclusion: &Formula,
+) -> Vec<Finding> {
+    affirming_in(premises, conclusion, entailed_fresh(premises, conclusion))
+}
+
+fn affirming_in<B: Borrow<Formula>>(
+    premises: &[B],
+    conclusion: &Formula,
+    entailed: bool,
+) -> Vec<Finding> {
     pattern_fallacy(
         premises,
         conclusion,
         FormalFallacy::AffirmingTheConsequent,
+        entailed,
         |antecedent, consequent, other, conclusion| other == consequent && conclusion == antecedent,
     )
 }
@@ -143,23 +301,23 @@ pub fn affirming_the_consequent(premises: &[Formula], conclusion: &Formula) -> V
 /// Shared scaffolding: find an implication premise `a → c` and a second
 /// premise `other` such that `matcher(a, c, other, conclusion)` holds, and
 /// the conclusion is not independently entailed.
-fn pattern_fallacy(
-    premises: &[Formula],
+fn pattern_fallacy<B: Borrow<Formula>>(
+    premises: &[B],
     conclusion: &Formula,
     fallacy: FormalFallacy,
+    entailed: bool,
     matcher: impl Fn(&Formula, &Formula, &Formula, &Formula) -> bool,
 ) -> Vec<Finding> {
     let mut out = Vec::new();
-    let entailed = Formula::conj(premises.iter().cloned()).entails(conclusion);
     if entailed {
         return out;
     }
-    for (i, p) in premises.iter().enumerate() {
+    for (i, p) in premises.iter().map(Borrow::borrow).enumerate() {
         let (a, c) = match p {
             Formula::Implies(a, c) => (a.as_ref(), c.as_ref()),
             _ => continue,
         };
-        for (j, other) in premises.iter().enumerate() {
+        for (j, other) in premises.iter().map(Borrow::borrow).enumerate() {
             if i == j {
                 continue;
             }
@@ -180,8 +338,15 @@ fn pattern_fallacy(
 }
 
 /// From `p → q`, concluding `q → p`.
-pub fn false_conversion(premises: &[Formula], conclusion: &Formula) -> Vec<Finding> {
-    let entailed = Formula::conj(premises.iter().cloned()).entails(conclusion);
+pub fn false_conversion<B: Borrow<Formula>>(premises: &[B], conclusion: &Formula) -> Vec<Finding> {
+    conversion_in(premises, conclusion, entailed_fresh(premises, conclusion))
+}
+
+fn conversion_in<B: Borrow<Formula>>(
+    premises: &[B],
+    conclusion: &Formula,
+    entailed: bool,
+) -> Vec<Finding> {
     if entailed {
         return Vec::new();
     }
@@ -191,6 +356,7 @@ pub fn false_conversion(premises: &[Formula], conclusion: &Formula) -> Vec<Findi
     };
     premises
         .iter()
+        .map(Borrow::borrow)
         .enumerate()
         .filter(|(_, p)| match p {
             Formula::Implies(a, c) => a.as_ref() == cc && c.as_ref() == ca,
@@ -233,7 +399,7 @@ mod tests {
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].premises, vec![0, 1, 2]);
         assert!(incompatible_premises(&[f("p"), f("q")]).is_empty());
-        assert!(incompatible_premises(&[]).is_empty());
+        assert!(incompatible_premises::<Formula>(&[]).is_empty());
     }
 
     #[test]
@@ -291,6 +457,17 @@ mod tests {
         // Denying-the-antecedent is masked here: inconsistent premises
         // entail everything, so the conclusion is "entailed".
         assert!(!kinds.contains(&FormalFallacy::DenyingTheAntecedent));
+    }
+
+    #[test]
+    fn detect_all_over_borrowed_premises() {
+        // The allocation-free path: Vec<&Formula> straight out of
+        // semantics::formal_premises.
+        let owned = [f("p -> q"), f("p")];
+        let borrowed: Vec<&Formula> = owned.iter().collect();
+        assert!(detect_all(&borrowed, &f("q")).is_empty());
+        let begging: Vec<&Formula> = owned.iter().take(1).collect();
+        assert_eq!(begging_the_question(&begging, &f("p -> q")).len(), 1);
     }
 
     #[test]

@@ -94,6 +94,14 @@ pub enum LogicError {
         /// The undeclared name.
         name: String,
     },
+    /// An enumeration-based procedure (truth table, model listing) was
+    /// asked to cover more atoms than it can enumerate.
+    TooManyAtoms {
+        /// How many atoms the formula has.
+        atoms: usize,
+        /// The procedure's limit.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for LogicError {
@@ -118,6 +126,13 @@ impl fmt::Display for LogicError {
                 write!(f, "sort violation on `{symbol}`: {detail}")
             }
             LogicError::Undeclared { name } => write!(f, "`{name}` was not declared"),
+            LogicError::TooManyAtoms { atoms, limit } => {
+                write!(
+                    f,
+                    "{atoms} atoms exceed the enumeration limit of {limit}; \
+                     use the solver for deciding"
+                )
+            }
         }
     }
 }
@@ -163,5 +178,11 @@ mod tests {
             referenced: 9,
         };
         assert!(e.to_string().contains('9'));
+        let e = LogicError::TooManyAtoms {
+            atoms: 30,
+            limit: 24,
+        };
+        assert!(e.to_string().contains("30"));
+        assert!(e.to_string().contains("24"));
     }
 }

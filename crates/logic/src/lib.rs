@@ -37,6 +37,36 @@
 //! assert!(f.is_satisfiable());
 //! assert!(!f.is_tautology());
 //! ```
+//!
+//! ## Architecture: the interned solver core
+//!
+//! Mirroring the `NodeId`/`NodeIdx` two-plane design of `casekit-core`,
+//! the propositional substrate separates a *name plane* from an *index
+//! plane*:
+//!
+//! * **Name plane** — [`prop::Formula`], [`prop::Atom`] (interned
+//!   `Arc<str>`), [`prop::Clause`]/[`prop::ClauseSet`]. This is what
+//!   arguments store, parsers produce, and humans read.
+//! * **Index plane** — [`prop::intern::AtomTable`] maps atom names to
+//!   dense `u32` variables; [`prop::intern::Lit`] packs a variable and
+//!   its sign into one word (negation is an XOR); [`prop::Solver`]
+//!   keeps all clauses in one flat literal arena and decides them with
+//!   an **iterative two-watched-literal DPLL** — explicit trail,
+//!   chronological backtracking, activity-ordered decisions, no
+//!   recursion and no per-branch cloning.
+//!
+//! The planes meet in [`prop::Theory`], which Tseitin-compiles formulas
+//! straight into packed literals with full biconditional definitions,
+//! so every compiled literal (and its negation) is usable as an
+//! assumption. Batch callers — `casekit-core::semantics`, the fallacy
+//! checker, [`probe`], the experiments — compile one `Theory` per
+//! argument and answer every entailment question through
+//! `assume`/`check`/`retract` rounds against the same clause database.
+//! The historical entry points ([`prop::dpll`],
+//! `Formula::{entails, is_satisfiable, …}`) remain as thin wrappers,
+//! and the seed's recursive solver is preserved in [`prop::legacy`] as
+//! a differential-testing oracle and benchmark baseline (`repro
+//! logic` emits the measured comparison as `BENCH_logic.json`).
 
 pub mod af;
 pub mod ec;

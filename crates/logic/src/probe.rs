@@ -8,8 +8,16 @@
 //! *critical* (removing them breaks entailment), which are *idle*
 //! (entailment survives without them), and what the counterexample looks
 //! like when entailment fails.
+//!
+//! Probing is a batch workload — one entailment check plus one per
+//! premise — so it runs as a single [`Theory`] session: the premises and
+//! the negated conclusion are Tseitin-compiled once into the interned
+//! clause database, and each what-if is an `assume`/`check`/`retract`
+//! round against it rather than a fresh formula build and solve.
 
-use crate::prop::{dpll, Formula, SatResult, Valuation};
+use crate::prop::{Atom, Formula, Lit, Theory, Valuation};
+use std::borrow::Borrow;
+use std::collections::BTreeSet;
 
 /// The effect of removing one premise.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,27 +69,105 @@ impl ProbeReport {
     }
 }
 
+/// An interactive what-if session: premises and the negated conclusion
+/// compiled once, each question one assumption round.
+pub struct ProbeSession {
+    theory: Theory,
+    premise_lits: Vec<Lit>,
+    not_conclusion: Lit,
+    /// Atoms of the original formulas, for counterexample extraction.
+    own_atoms: BTreeSet<Atom>,
+}
+
+impl ProbeSession {
+    /// Compiles `premises` and `conclusion` into a fresh session.
+    pub fn new<B: Borrow<Formula>>(premises: &[B], conclusion: &Formula) -> Self {
+        let mut theory = Theory::new();
+        let premise_lits: Vec<Lit> = premises
+            .iter()
+            .map(|p| theory.formula_lit(p.borrow()))
+            .collect();
+        let not_conclusion = !theory.formula_lit(conclusion);
+        let mut own_atoms = conclusion.atoms();
+        for p in premises {
+            own_atoms.extend(p.borrow().atoms());
+        }
+        ProbeSession {
+            theory,
+            premise_lits,
+            not_conclusion,
+            own_atoms,
+        }
+    }
+
+    /// Number of premises in the session.
+    pub fn len(&self) -> usize {
+        self.premise_lits.len()
+    }
+
+    /// Whether the session has no premises.
+    pub fn is_empty(&self) -> bool {
+        self.premise_lits.is_empty()
+    }
+
+    /// A counterexample to `premises − skip ⊢ conclusion`, if entailment
+    /// fails (the premises minus `skip` hold, the conclusion does not).
+    pub fn counterexample(&mut self, skip: Option<usize>) -> Option<Valuation> {
+        let assumptions: Vec<Lit> = self
+            .premise_lits
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| Some(*i) != skip)
+            .map(|(_, &lit)| lit)
+            .chain([self.not_conclusion])
+            .collect();
+        self.theory.model_under(assumptions, self.own_atoms.iter())
+    }
+
+    /// Whether the full premise set entails the conclusion.
+    pub fn entailed(&mut self) -> bool {
+        self.counterexample(None).is_none()
+    }
+
+    /// The impact of removing premise `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn what_if_removed(&mut self, index: usize) -> PremiseImpact {
+        assert!(
+            index < self.premise_lits.len(),
+            "premise index out of range"
+        );
+        match self.counterexample(Some(index)) {
+            None => PremiseImpact::Idle,
+            Some(v) => PremiseImpact::Critical(v),
+        }
+    }
+
+    /// Runs the full probe: the entailment check, then one what-if per
+    /// premise.
+    pub fn report(&mut self) -> ProbeReport {
+        if !self.entailed() {
+            return ProbeReport {
+                entailed: false,
+                impacts: Vec::new(),
+            };
+        }
+        let impacts = (0..self.premise_lits.len())
+            .map(|i| self.what_if_removed(i))
+            .collect();
+        ProbeReport {
+            entailed: true,
+            impacts,
+        }
+    }
+}
+
 /// Checks whether `premises ⊢ conclusion` and, if so, probes each premise
-/// by removal.
-pub fn probe(premises: &[Formula], conclusion: &Formula) -> ProbeReport {
-    if !entails(premises, conclusion, None) {
-        return ProbeReport {
-            entailed: false,
-            impacts: Vec::new(),
-        };
-    }
-    let impacts = (0..premises.len())
-        .map(
-            |skip| match counterexample(premises, conclusion, Some(skip)) {
-                None => PremiseImpact::Idle,
-                Some(v) => PremiseImpact::Critical(v),
-            },
-        )
-        .collect();
-    ProbeReport {
-        entailed: true,
-        impacts,
-    }
+/// by removal. One theory compilation, `premises.len() + 1` checks.
+pub fn probe<B: Borrow<Formula>>(premises: &[B], conclusion: &Formula) -> ProbeReport {
+    ProbeSession::new(premises, conclusion).report()
 }
 
 /// What-if for a single premise: does entailment survive without premise
@@ -90,35 +176,13 @@ pub fn probe(premises: &[Formula], conclusion: &Formula) -> ProbeReport {
 /// # Panics
 ///
 /// Panics if `index` is out of range.
-pub fn what_if_removed(premises: &[Formula], conclusion: &Formula, index: usize) -> PremiseImpact {
-    assert!(index < premises.len(), "premise index out of range");
-    match counterexample(premises, conclusion, Some(index)) {
-        None => PremiseImpact::Idle,
-        Some(v) => PremiseImpact::Critical(v),
-    }
-}
-
-fn entails(premises: &[Formula], conclusion: &Formula, skip: Option<usize>) -> bool {
-    counterexample(premises, conclusion, skip).is_none()
-}
-
-/// A valuation satisfying the (possibly reduced) premises but not the
-/// conclusion, if entailment fails.
-fn counterexample(
-    premises: &[Formula],
+pub fn what_if_removed<B: Borrow<Formula>>(
+    premises: &[B],
     conclusion: &Formula,
-    skip: Option<usize>,
-) -> Option<Valuation> {
-    let kept = premises
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| Some(*i) != skip)
-        .map(|(_, f)| f.clone());
-    let theory = Formula::conj(kept).and(conclusion.clone().not());
-    match dpll(&theory) {
-        SatResult::Sat(v) => Some(v),
-        SatResult::Unsat => None,
-    }
+    index: usize,
+) -> PremiseImpact {
+    assert!(index < premises.len(), "premise index out of range");
+    ProbeSession::new(premises, conclusion).what_if_removed(index)
 }
 
 #[cfg(test)]
@@ -199,5 +263,29 @@ mod tests {
         let report = probe(&premises, &f("r | ~r"));
         assert!(report.entailed);
         assert_eq!(report.idle_indices(), vec![0, 1]);
+    }
+
+    #[test]
+    fn borrowed_premises_probe_identically() {
+        let owned = vec![f("p -> q"), f("p")];
+        let borrowed: Vec<&Formula> = owned.iter().collect();
+        assert_eq!(probe(&owned, &f("q")), probe(&borrowed, &f("q")));
+    }
+
+    #[test]
+    fn session_is_reusable_across_questions() {
+        let premises = vec![f("I -> V"), f("C -> H"), f("Y -> V & C"), f("D -> Y")];
+        let conclusion = f("D -> H");
+        let mut session = ProbeSession::new(&premises, &conclusion);
+        assert_eq!(session.len(), 4);
+        assert!(!session.is_empty());
+        assert!(session.entailed());
+        // Ask the same question twice: sessions are stateless between
+        // questions (assumptions fully retracted).
+        assert_eq!(session.what_if_removed(0), PremiseImpact::Idle);
+        assert_eq!(session.what_if_removed(0), PremiseImpact::Idle);
+        assert!(session.what_if_removed(3).is_critical());
+        let report = session.report();
+        assert_eq!(report.critical_indices(), vec![1, 2, 3]);
     }
 }

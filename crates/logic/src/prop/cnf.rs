@@ -453,7 +453,7 @@ mod tests {
             let f = parse(src).unwrap();
             let cnf = f.to_cnf();
             // Evaluate both over all valuations of the original atoms.
-            let tt = super::super::eval::truth_table(&f);
+            let tt = super::super::eval::truth_table(&f).expect("few atoms");
             for (values, expected) in tt.rows() {
                 let v: Valuation = tt
                     .atoms()

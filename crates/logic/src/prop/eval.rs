@@ -160,24 +160,25 @@ impl TruthTable {
 
 /// Builds the full truth table of `formula`.
 ///
-/// # Panics
-///
-/// Panics if the formula has more than 24 atoms (2^24 rows), which would
-/// indicate misuse: truth tables are for explanation, not deciding.
-pub fn truth_table(formula: &Formula) -> TruthTable {
+/// Returns [`LogicError::TooManyAtoms`] above 24 atoms (2^24 rows):
+/// truth tables are for explanation, not deciding — use
+/// [`super::dpll`] or a [`super::solver::Theory`] session for that.
+pub fn truth_table(formula: &Formula) -> Result<TruthTable, crate::error::LogicError> {
     let atoms: Vec<Atom> = formula.atoms().into_iter().collect();
-    assert!(
-        atoms.len() <= 24,
-        "truth tables limited to 24 atoms; use DPLL for deciding"
-    );
     let n = atoms.len();
+    if n > 24 {
+        return Err(crate::error::LogicError::TooManyAtoms {
+            atoms: n,
+            limit: 24,
+        });
+    }
     let mut rows = Vec::with_capacity(1 << n);
     for bits in 0..(1u32 << n) {
         let values: Vec<bool> = (0..n).map(|i| bits >> (n - 1 - i) & 1 == 1).collect();
         let v: Valuation = atoms.iter().cloned().zip(values.iter().copied()).collect();
         rows.push((values, formula.eval(&v)));
     }
-    TruthTable { atoms, rows }
+    Ok(TruthTable { atoms, rows })
 }
 
 #[cfg(test)]
@@ -234,7 +235,7 @@ mod tests {
 
     #[test]
     fn truth_table_shape_and_models() {
-        let tt = truth_table(&parse("p & q").unwrap());
+        let tt = truth_table(&parse("p & q").unwrap()).unwrap();
         assert_eq!(tt.atoms().len(), 2);
         assert_eq!(tt.rows().len(), 4);
         assert_eq!(tt.models(), 1);
@@ -245,9 +246,17 @@ mod tests {
 
     #[test]
     fn truth_table_of_closed_formula() {
-        let tt = truth_table(&parse("T -> F").unwrap());
+        let tt = truth_table(&parse("T -> F").unwrap()).unwrap();
         assert_eq!(tt.rows().len(), 1);
         assert_eq!(tt.models(), 0);
+    }
+
+    #[test]
+    fn truth_table_rejects_wide_formulas() {
+        let wide = Formula::conj((0..25).map(|i| Formula::atom(format!("w{i}"))));
+        let err = truth_table(&wide).unwrap_err();
+        assert!(err.to_string().contains("25"));
+        assert!(err.to_string().contains("24"));
     }
 
     #[test]

@@ -1,9 +1,19 @@
-//! DPLL satisfiability with unit propagation and pure-literal elimination.
+//! Satisfiability at the [`Formula`] level.
+//!
+//! [`dpll`] and [`dpll_clauses`] keep their historical signatures but
+//! are now thin wrappers over the interned solver core
+//! ([`super::solver`]): formulas are Tseitin-compiled straight to
+//! packed integer literals and decided by the iterative
+//! two-watched-literal solver — no `BTreeSet` clauses, no recursion, no
+//! per-branch cloning. The original recursive implementation survives
+//! unchanged in [`legacy`] as a differential-testing oracle and the
+//! measured baseline for `repro logic`.
 
 use super::ast::Formula;
-use super::cnf::{Clause, ClauseSet, Literal};
+use super::cnf::ClauseSet;
 use super::eval::Valuation;
-use std::collections::BTreeMap;
+use super::solver::Theory;
+use crate::error::LogicError;
 
 /// Result of a satisfiability check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,191 +39,48 @@ impl SatResult {
     }
 }
 
-/// Decides satisfiability of `formula` via Tseitin + DPLL.
+/// Decides satisfiability of `formula` via the interned solver core.
 ///
 /// The returned model is restricted to the formula's own atoms (Tseitin
-/// definition atoms are stripped).
+/// definition variables are internal to the solver).
 pub fn dpll(formula: &Formula) -> SatResult {
-    let cs = formula.to_cnf_tseitin();
-    match dpll_clauses(&cs) {
-        SatResult::Unsat => SatResult::Unsat,
-        SatResult::Sat(v) => {
-            let own = formula.atoms();
-            let filtered: Valuation = own
-                .into_iter()
-                .map(|a| {
-                    let val = v.get(&a).unwrap_or(false);
-                    (a, val)
-                })
-                .collect();
-            SatResult::Sat(filtered)
-        }
-    }
-}
-
-/// Decides satisfiability of a clause set directly.
-pub fn dpll_clauses(cs: &ClauseSet) -> SatResult {
-    let clauses: Vec<Clause> = cs.clauses().cloned().collect();
-    let mut assignment = BTreeMap::new();
-    if solve(&clauses, &mut assignment) {
-        SatResult::Sat(assignment.into_iter().collect())
+    let mut theory = Theory::new();
+    theory.assert_formula(formula);
+    if theory.check() {
+        SatResult::Sat(theory.model(formula.atoms().iter()))
     } else {
         SatResult::Unsat
     }
 }
 
-fn solve(clauses: &[Clause], assignment: &mut BTreeMap<super::ast::Atom, bool>) -> bool {
-    // Unit propagation + pure literal elimination to a fixed point.
-    let mut trail: Vec<super::ast::Atom> = Vec::new();
-    loop {
-        match propagate_once(clauses, assignment) {
-            Propagation::Conflict => {
-                for a in trail {
-                    assignment.remove(&a);
-                }
-                return false;
-            }
-            Propagation::Assigned(atom) => {
-                trail.push(atom);
-            }
-            Propagation::Fixpoint => break,
-        }
+/// Decides satisfiability of a clause set directly (no Tseitin step —
+/// the set is already CNF).
+pub fn dpll_clauses(cs: &ClauseSet) -> SatResult {
+    let mut theory = Theory::new();
+    theory.assert_clauses(cs);
+    if theory.check() {
+        SatResult::Sat(theory.model(cs.atoms().iter()))
+    } else {
+        SatResult::Unsat
     }
-
-    // Check status and pick a branching atom.
-    let mut branch_atom = None;
-    for clause in clauses {
-        let mut satisfied = false;
-        let mut unassigned = None;
-        for lit in clause.literals() {
-            match assignment.get(&lit.atom) {
-                Some(&v) if v == lit.positive => {
-                    satisfied = true;
-                    break;
-                }
-                Some(_) => {}
-                None => unassigned = Some(lit.atom.clone()),
-            }
-        }
-        if !satisfied {
-            match unassigned {
-                None => {
-                    // All literals false: conflict.
-                    for a in trail {
-                        assignment.remove(&a);
-                    }
-                    return false;
-                }
-                Some(a) => {
-                    if branch_atom.is_none() {
-                        branch_atom = Some(a);
-                    }
-                }
-            }
-        }
-    }
-
-    let atom = match branch_atom {
-        None => return true, // every clause satisfied
-        Some(a) => a,
-    };
-
-    for value in [true, false] {
-        assignment.insert(atom.clone(), value);
-        if solve(clauses, assignment) {
-            return true;
-        }
-        assignment.remove(&atom);
-    }
-    for a in trail {
-        assignment.remove(&a);
-    }
-    false
-}
-
-enum Propagation {
-    /// A unit or pure assignment was made (atom recorded for backtracking).
-    Assigned(super::ast::Atom),
-    /// Some clause has all literals false.
-    Conflict,
-    /// Nothing more to propagate.
-    Fixpoint,
-}
-
-fn propagate_once(
-    clauses: &[Clause],
-    assignment: &mut BTreeMap<super::ast::Atom, bool>,
-) -> Propagation {
-    // Unit clauses.
-    for clause in clauses {
-        let mut satisfied = false;
-        let mut unassigned: Vec<&Literal> = Vec::new();
-        for lit in clause.literals() {
-            match assignment.get(&lit.atom) {
-                Some(&v) if v == lit.positive => {
-                    satisfied = true;
-                    break;
-                }
-                Some(_) => {}
-                None => unassigned.push(lit),
-            }
-        }
-        if satisfied {
-            continue;
-        }
-        match unassigned.len() {
-            0 => return Propagation::Conflict,
-            1 => {
-                let lit = unassigned[0];
-                assignment.insert(lit.atom.clone(), lit.positive);
-                return Propagation::Assigned(lit.atom.clone());
-            }
-            _ => {}
-        }
-    }
-
-    // Pure literals: atoms appearing with a single polarity among
-    // not-yet-satisfied clauses.
-    let mut polarity: BTreeMap<super::ast::Atom, (bool, bool)> = BTreeMap::new();
-    for clause in clauses {
-        let satisfied = clause.literals().any(|lit| {
-            assignment
-                .get(&lit.atom)
-                .is_some_and(|&v| v == lit.positive)
-        });
-        if satisfied {
-            continue;
-        }
-        for lit in clause.literals() {
-            if assignment.contains_key(&lit.atom) {
-                continue;
-            }
-            let entry = polarity.entry(lit.atom.clone()).or_insert((false, false));
-            if lit.positive {
-                entry.0 = true;
-            } else {
-                entry.1 = true;
-            }
-        }
-    }
-    for (atom, (pos, neg)) in polarity {
-        if pos != neg {
-            assignment.insert(atom.clone(), pos);
-            return Propagation::Assigned(atom);
-        }
-    }
-    Propagation::Fixpoint
 }
 
 /// Enumerates all models of `formula` over its own atoms.
 ///
 /// Exponential in the number of atoms; intended for small formulas (e.g.
-/// explaining an argument's admissible evidence states).
-pub fn all_models(formula: &Formula) -> Vec<Valuation> {
+/// explaining an argument's admissible evidence states). Returns
+/// [`LogicError::TooManyAtoms`] above 24 atoms rather than attempting
+/// 2^24+ rows.
+pub fn all_models(formula: &Formula) -> Result<Vec<Valuation>, LogicError> {
     let atoms: Vec<_> = formula.atoms().into_iter().collect();
-    let mut out = Vec::new();
     let n = atoms.len();
-    assert!(n <= 24, "all_models limited to 24 atoms");
+    if n > 24 {
+        return Err(LogicError::TooManyAtoms {
+            atoms: n,
+            limit: 24,
+        });
+    }
+    let mut out = Vec::new();
     for bits in 0..(1u64 << n) {
         let v: Valuation = atoms
             .iter()
@@ -225,7 +92,196 @@ pub fn all_models(formula: &Formula) -> Vec<Valuation> {
             out.push(v);
         }
     }
-    out
+    Ok(out)
+}
+
+/// The seed's recursive DPLL over `BTreeSet` clauses and `BTreeMap`
+/// valuations, kept verbatim as a differential-testing oracle (the
+/// solver-agreement property tests check every engine against it) and
+/// as the measured "before" in the `repro logic` benchmark artifact.
+///
+/// New code should use [`dpll`]/[`dpll_clauses`] or a
+/// [`Theory`](super::solver::Theory) session.
+pub mod legacy {
+    use super::super::ast::Formula;
+    use super::super::cnf::{Clause, ClauseSet, Literal};
+    use super::{SatResult, Valuation};
+    use std::collections::BTreeMap;
+
+    /// Decides satisfiability of `formula` via Tseitin + recursive DPLL
+    /// (the pre-interned-core implementation).
+    pub fn dpll(formula: &Formula) -> SatResult {
+        let cs = formula.to_cnf_tseitin();
+        match dpll_clauses(&cs) {
+            SatResult::Unsat => SatResult::Unsat,
+            SatResult::Sat(v) => {
+                let own = formula.atoms();
+                let filtered: Valuation = own
+                    .into_iter()
+                    .map(|a| {
+                        let val = v.get(&a).unwrap_or(false);
+                        (a, val)
+                    })
+                    .collect();
+                SatResult::Sat(filtered)
+            }
+        }
+    }
+
+    /// Decides satisfiability of a clause set with the recursive solver.
+    pub fn dpll_clauses(cs: &ClauseSet) -> SatResult {
+        let clauses: Vec<Clause> = cs.clauses().cloned().collect();
+        let mut assignment = BTreeMap::new();
+        if solve(&clauses, &mut assignment) {
+            SatResult::Sat(assignment.into_iter().collect())
+        } else {
+            SatResult::Unsat
+        }
+    }
+
+    fn solve(clauses: &[Clause], assignment: &mut BTreeMap<super::super::ast::Atom, bool>) -> bool {
+        // Unit propagation + pure literal elimination to a fixed point.
+        let mut trail: Vec<super::super::ast::Atom> = Vec::new();
+        loop {
+            match propagate_once(clauses, assignment) {
+                Propagation::Conflict => {
+                    for a in trail {
+                        assignment.remove(&a);
+                    }
+                    return false;
+                }
+                Propagation::Assigned(atom) => {
+                    trail.push(atom);
+                }
+                Propagation::Fixpoint => break,
+            }
+        }
+
+        // Check status and pick a branching atom.
+        let mut branch_atom = None;
+        for clause in clauses {
+            let mut satisfied = false;
+            let mut unassigned = None;
+            for lit in clause.literals() {
+                match assignment.get(&lit.atom) {
+                    Some(&v) if v == lit.positive => {
+                        satisfied = true;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => unassigned = Some(lit.atom.clone()),
+                }
+            }
+            if !satisfied {
+                match unassigned {
+                    None => {
+                        // All literals false: conflict.
+                        for a in trail {
+                            assignment.remove(&a);
+                        }
+                        return false;
+                    }
+                    Some(a) => {
+                        if branch_atom.is_none() {
+                            branch_atom = Some(a);
+                        }
+                    }
+                }
+            }
+        }
+
+        let atom = match branch_atom {
+            None => return true, // every clause satisfied
+            Some(a) => a,
+        };
+
+        for value in [true, false] {
+            assignment.insert(atom.clone(), value);
+            if solve(clauses, assignment) {
+                return true;
+            }
+            assignment.remove(&atom);
+        }
+        for a in trail {
+            assignment.remove(&a);
+        }
+        false
+    }
+
+    enum Propagation {
+        /// A unit or pure assignment was made (atom recorded for
+        /// backtracking).
+        Assigned(super::super::ast::Atom),
+        /// Some clause has all literals false.
+        Conflict,
+        /// Nothing more to propagate.
+        Fixpoint,
+    }
+
+    fn propagate_once(
+        clauses: &[Clause],
+        assignment: &mut BTreeMap<super::super::ast::Atom, bool>,
+    ) -> Propagation {
+        // Unit clauses.
+        for clause in clauses {
+            let mut satisfied = false;
+            let mut unassigned: Vec<&Literal> = Vec::new();
+            for lit in clause.literals() {
+                match assignment.get(&lit.atom) {
+                    Some(&v) if v == lit.positive => {
+                        satisfied = true;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => unassigned.push(lit),
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match unassigned.len() {
+                0 => return Propagation::Conflict,
+                1 => {
+                    let lit = unassigned[0];
+                    assignment.insert(lit.atom.clone(), lit.positive);
+                    return Propagation::Assigned(lit.atom.clone());
+                }
+                _ => {}
+            }
+        }
+
+        // Pure literals: atoms appearing with a single polarity among
+        // not-yet-satisfied clauses.
+        let mut polarity: BTreeMap<super::super::ast::Atom, (bool, bool)> = BTreeMap::new();
+        for clause in clauses {
+            let satisfied = clause.literals().any(|lit| {
+                assignment
+                    .get(&lit.atom)
+                    .is_some_and(|&v| v == lit.positive)
+            });
+            if satisfied {
+                continue;
+            }
+            for lit in clause.literals() {
+                if assignment.contains_key(&lit.atom) {
+                    continue;
+                }
+                let entry = polarity.entry(lit.atom.clone()).or_insert((false, false));
+                if lit.positive {
+                    entry.0 = true;
+                } else {
+                    entry.1 = true;
+                }
+            }
+        }
+        for (atom, (pos, neg)) in polarity {
+            if pos != neg {
+                assignment.insert(atom.clone(), pos);
+                return Propagation::Assigned(atom);
+            }
+        }
+        Propagation::Fixpoint
+    }
 }
 
 #[cfg(test)]
@@ -282,32 +338,66 @@ mod tests {
         ];
         for src in templates {
             let f = parse(src).unwrap();
-            let tt = super::super::eval::truth_table(&f);
+            let tt = super::super::eval::truth_table(&f).expect("3 atoms");
             let brute_sat = tt.models() > 0;
             assert_eq!(dpll(&f).is_sat(), brute_sat, "disagreement on {src}");
         }
     }
 
     #[test]
+    fn interned_solver_agrees_with_legacy_oracle() {
+        for src in [
+            "p & (q | ~r)",
+            "(p -> q) & p & ~q",
+            "(a <-> b) & (b <-> c) & a & ~c",
+            "(p | q | r) & (~p | ~q) & (~q | ~r) & (~p | ~r)",
+            "T -> (p | F)",
+            "~(p <-> (q & r)) | (p & ~q)",
+        ] {
+            let f = parse(src).unwrap();
+            assert_eq!(
+                dpll(&f).is_sat(),
+                legacy::dpll(&f).is_sat(),
+                "oracle disagreement on {src}"
+            );
+        }
+    }
+
+    #[test]
     fn all_models_counts() {
         let f = parse("p | q").unwrap();
-        assert_eq!(all_models(&f).len(), 3);
+        assert_eq!(all_models(&f).unwrap().len(), 3);
         let f = parse("p & ~p").unwrap();
-        assert!(all_models(&f).is_empty());
+        assert!(all_models(&f).unwrap().is_empty());
         let f = parse("p <-> q").unwrap();
-        assert_eq!(all_models(&f).len(), 2);
+        assert_eq!(all_models(&f).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn all_models_rejects_wide_formulas() {
+        let wide = Formula::conj((0..25).map(|i| Formula::atom(format!("a{i}"))));
+        match all_models(&wide) {
+            Err(LogicError::TooManyAtoms {
+                atoms: 25,
+                limit: 24,
+            }) => {}
+            other => panic!("expected TooManyAtoms, got {other:?}"),
+        }
     }
 
     #[test]
     fn dpll_clauses_empty_set_is_sat() {
         assert!(dpll_clauses(&ClauseSet::new()).is_sat());
+        assert!(legacy::dpll_clauses(&ClauseSet::new()).is_sat());
     }
 
     #[test]
     fn dpll_clauses_with_empty_clause_is_unsat() {
+        use super::super::cnf::Clause;
         let mut cs = ClauseSet::new();
         cs.insert(Clause::empty());
         assert_eq!(dpll_clauses(&cs), SatResult::Unsat);
+        assert_eq!(legacy::dpll_clauses(&cs), SatResult::Unsat);
     }
 
     #[test]

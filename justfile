@@ -24,6 +24,10 @@ bench:
 graph-bench:
     cargo run --release -q -p casekit-bench --bin repro graph
 
+# Logic-core speedup artifact (BENCH_logic.json).
+bench-logic:
+    cargo run --release -q -p casekit-bench --bin repro logic
+
 # Regenerate every paper artifact.
 repro:
     cargo run --release -q -p casekit-bench --bin repro

@@ -19,4 +19,7 @@ CASEKIT_BENCH_MS="${CASEKIT_BENCH_MS:-25}" cargo bench -q -p casekit-bench
 echo "==> repro graph (writes BENCH_graph.json)"
 cargo run --release -q -p casekit-bench --bin repro graph
 
+echo "==> repro logic (writes BENCH_logic.json)"
+cargo run --release -q -p casekit-bench --bin repro logic
+
 echo "All checks passed."

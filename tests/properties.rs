@@ -50,7 +50,7 @@ proptest! {
 
     #[test]
     fn dpll_agrees_with_truth_table(f in formula_strategy()) {
-        let brute = prop::truth_table(&f).models() > 0;
+        let brute = prop::truth_table(&f).expect("small alphabet").models() > 0;
         prop_assert_eq!(f.is_satisfiable(), brute);
     }
 
@@ -62,7 +62,7 @@ proptest! {
     #[test]
     fn distributive_cnf_preserves_equivalence(f in formula_strategy()) {
         let cnf = f.to_cnf();
-        let tt = prop::truth_table(&f);
+        let tt = prop::truth_table(&f).expect("small alphabet");
         for (values, expected) in tt.rows() {
             let v: prop::Valuation = tt
                 .atoms()
@@ -108,6 +108,103 @@ proptest! {
         for v in t.variables() {
             prop_assert!(!renamed.occurs(&v));
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Solver agreement: the interned watched-literal core, the legacy recursive
+// DPLL (the differential-testing oracle), resolution, and brute-force truth
+// tables must agree on satisfiability for fuzzed formulas over up to 12
+// atoms.
+// ---------------------------------------------------------------------------
+
+/// Strategy: arbitrary propositional formulas over a 12-atom alphabet.
+fn wide_formula_strategy() -> impl Strategy<Value = Formula> {
+    let atom = prop_oneof![
+        Just("a"),
+        Just("b"),
+        Just("c"),
+        Just("d"),
+        Just("e"),
+        Just("f"),
+        Just("g"),
+        Just("h"),
+        Just("i"),
+        Just("j"),
+        Just("k"),
+        Just("l"),
+    ]
+    .prop_map(Formula::atom);
+    let leaf = prop_oneof![Just(Formula::True), Just(Formula::False), atom];
+    leaf.prop_recursive(5, 64, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| f.not()),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.iff(b)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    #[test]
+    fn four_solvers_agree_on_satisfiability(f in wide_formula_strategy()) {
+        // Ground truth: brute-force enumeration (≤ 12 atoms by strategy).
+        let brute = prop::truth_table(&f).expect("at most 12 atoms").models() > 0;
+        // Interned watched-literal core.
+        prop_assert_eq!(prop::dpll(&f).is_sat(), brute, "watched-literal core vs truth table");
+        // Legacy recursive DPLL oracle.
+        prop_assert_eq!(prop::legacy::dpll(&f).is_sat(), brute, "legacy oracle vs truth table");
+        // Resolution refutation over the equisatisfiable Tseitin CNF.
+        // Saturation is quadratic per round, so keep it to the small
+        // instances and skip when the budget runs out — agreement is
+        // still exercised on every formula that resolves in budget.
+        let cs = f.to_cnf_tseitin();
+        if cs.len() <= 24 {
+            match prop::resolution_refute(&cs, 8_000) {
+                prop::ResolutionOutcome::Refuted(_) => prop_assert!(!brute, "resolution refuted a satisfiable formula"),
+                prop::ResolutionOutcome::Saturated => prop_assert!(brute, "resolution saturated on an unsatisfiable formula"),
+                prop::ResolutionOutcome::BudgetExhausted => {}
+            }
+        }
+    }
+
+    #[test]
+    fn watched_solver_models_satisfy_the_formula(f in wide_formula_strategy()) {
+        if let prop::SatResult::Sat(model) = prop::dpll(&f) {
+            prop_assert!(f.eval(&model), "witness model must satisfy the formula");
+        }
+    }
+
+    #[test]
+    fn sessions_agree_with_monolithic_solves(
+        premises in proptest::collection::vec(wide_formula_strategy(), 1..5),
+        conclusion in wide_formula_strategy(),
+    ) {
+        // An assume/check/retract session over one compiled theory must
+        // answer exactly like building the conjunction formula each time.
+        let mut theory = prop::Theory::new();
+        let lits: Vec<prop::Lit> = premises.iter().map(|p| theory.formula_lit(p)).collect();
+        let not_conclusion = !theory.formula_lit(&conclusion);
+
+        // Entailment: premises ∧ ¬conclusion unsat.
+        for &l in &lits { theory.assume(l); }
+        theory.assume(not_conclusion);
+        let session_entails = !theory.check();
+        theory.retract_all();
+        let monolithic = Formula::conj(premises.iter().cloned())
+            .entails(&conclusion);
+        prop_assert_eq!(session_entails, monolithic);
+
+        // Retraction restores the weaker query: premises alone.
+        for &l in &lits { theory.assume(l); }
+        let session_consistent = theory.check();
+        theory.retract_all();
+        let consistent = Formula::conj(premises.iter().cloned()).is_satisfiable();
+        prop_assert_eq!(session_consistent, consistent);
     }
 }
 
