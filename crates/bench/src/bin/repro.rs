@@ -4,13 +4,15 @@
 //!
 //! ```text
 //! repro [table1 | claims | figure1 | haley | greenwell |
-//!        exp-a | exp-b | exp-c | exp-d | exp-e | graph | logic | all]
+//!        exp-a | exp-b | exp-c | exp-d | exp-e | graph | logic |
+//!        experiments | all]
 //! ```
 //!
 //! `graph` additionally writes the measured legacy-vs-indexed graph-core
 //! comparison to `BENCH_graph.json` in the working directory; `logic`
 //! does the same for the legacy-vs-interned batch entailment sweep
-//! (`BENCH_logic.json`).
+//! (`BENCH_logic.json`), and `experiments` for the serial-vs-parallel
+//! experiment runtime (`BENCH_experiments.json`).
 //!
 //! With no argument, prints everything.
 
@@ -51,11 +53,23 @@ fn main() {
             }
             bench::logic::render_report(&report)
         }
+        "experiments" => {
+            let report =
+                bench::experiments::run_experiments_bench(bench::experiments_bench_workers());
+            let json = bench::experiments::bench_experiments_json(&report);
+            let path = "BENCH_experiments.json";
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("warning: could not write {path}: {e}");
+            } else {
+                eprintln!("wrote {path}");
+            }
+            bench::experiments::render_report(&report)
+        }
         "all" => bench::all(),
         other => {
             eprintln!(
                 "unknown artefact `{other}`; expected table1, claims, figure1, haley, \
-                 greenwell, exp-a..exp-e, graph, logic, or all"
+                 greenwell, exp-a..exp-e, graph, logic, experiments, or all"
             );
             std::process::exit(2);
         }

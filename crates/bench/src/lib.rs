@@ -12,6 +12,7 @@ use casekit_logic::nd::Proof;
 use casekit_logic::sorts::SortRegistry;
 use std::fmt::Write as _;
 
+pub mod experiments;
 pub mod graph;
 pub mod logic;
 
@@ -126,27 +127,37 @@ pub fn greenwell_table() -> String {
 
 /// Runs and renders experiment A.
 pub fn experiment_a() -> String {
-    exp_a::run(&exp_a::Config::default()).render()
+    exp_a::run(&exp_a::Config::default())
+        .expect("default config is valid")
+        .render()
 }
 
 /// Runs and renders experiment B.
 pub fn experiment_b() -> String {
-    exp_b::run(&exp_b::Config::default()).render()
+    exp_b::run(&exp_b::Config::default())
+        .expect("default config is valid")
+        .render()
 }
 
 /// Runs and renders experiment C.
 pub fn experiment_c() -> String {
-    exp_c::run(&exp_c::Config::default()).render()
+    exp_c::run(&exp_c::Config::default())
+        .expect("default config is valid")
+        .render()
 }
 
 /// Runs and renders experiment D.
 pub fn experiment_d() -> String {
-    exp_d::run(&exp_d::Config::default()).render()
+    exp_d::run(&exp_d::Config::default())
+        .expect("default config is valid")
+        .render()
 }
 
 /// Runs and renders experiment E.
 pub fn experiment_e() -> String {
-    exp_e::run(&exp_e::Config::default()).render()
+    exp_e::run(&exp_e::Config::default())
+        .expect("default config is valid")
+        .render()
 }
 
 /// Runs the graph-core sweep comparison (10k-node synthetic argument)
@@ -165,6 +176,23 @@ pub fn logic_bench() -> String {
     logic::render_report(&report)
 }
 
+/// Runs the experiment-runtime comparison (scaled §VI-A population,
+/// legacy vs cached-serial vs parallel) and renders the summary. The
+/// JSON artifact is written by `repro experiments`.
+pub fn experiments_bench() -> String {
+    let report = experiments::run_experiments_bench(experiments_bench_workers());
+    experiments::render_report(&report)
+}
+
+/// Worker count for the parallel arm: every available core, floored at
+/// the acceptance gate's four.
+pub fn experiments_bench_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(4)
+}
+
 /// Every artefact, concatenated (the `repro all` output).
 pub fn all() -> String {
     let mut out = String::new();
@@ -181,6 +209,7 @@ pub fn all() -> String {
         experiment_e(),
         graph_bench(),
         logic_bench(),
+        experiments_bench(),
     ] {
         out.push_str(&section);
         out.push('\n');

@@ -41,7 +41,10 @@ pub fn seeded_population(count: usize, seed: u64) -> Vec<Argument> {
                 informal: Vec::new(),
                 seed: seed ^ (i as u64).wrapping_mul(0x9E37_79B9),
             };
-            generate(&config).case.argument
+            generate(&config)
+                .expect("seeded population configs are valid")
+                .case
+                .argument
         })
         .collect()
 }

@@ -19,6 +19,60 @@
 use crate::argument::{Argument, NodeIdx};
 use crate::node::{EdgeKind, NodeId};
 use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why a confidence computation was rejected.
+///
+/// These are the module's former panic conditions, kept as the documented
+/// contract but surfaced as `Err` values: callers feeding user-supplied
+/// graphs or assessments get a diagnosis, not an abort.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfidenceError {
+    /// The support graph contains a cycle, so propagation has no
+    /// well-defined order.
+    CyclicArgument,
+    /// A supplied leaf confidence was outside [0, 1] (or NaN).
+    ConfidenceOutOfRange {
+        /// The leaf whose confidence was rejected.
+        node: NodeId,
+        /// The offending value.
+        value: f64,
+    },
+    /// The default leaf confidence was outside [0, 1] (or NaN).
+    DefaultOutOfRange {
+        /// The offending value.
+        value: f64,
+    },
+    /// The per-step inference weight was outside [0, 1] (or NaN).
+    StepWeightOutOfRange {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ConfidenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfidenceError::CyclicArgument => {
+                write!(
+                    f,
+                    "confidence propagation requires an acyclic support graph"
+                )
+            }
+            ConfidenceError::ConfidenceOutOfRange { node, value } => {
+                write!(f, "confidence for `{node}` must be in [0, 1], got {value}")
+            }
+            ConfidenceError::DefaultOutOfRange { value } => {
+                write!(f, "default leaf confidence must be in [0, 1], got {value}")
+            }
+            ConfidenceError::StepWeightOutOfRange { value } => {
+                write!(f, "step weight must be in [0, 1], got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfidenceError {}
 
 /// Aggregation rule for child confidences.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,35 +110,21 @@ impl Assessment {
 /// * `step_weight` multiplies each inference step (1.0 = lossless
 ///   deduction; lower models inductive discount).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the support graph is cyclic, if any supplied confidence is
-/// outside [0, 1], or if `step_weight` is outside [0, 1].
+/// [`ConfidenceError::CyclicArgument`] if the support graph is cyclic,
+/// [`ConfidenceError::ConfidenceOutOfRange`] /
+/// [`ConfidenceError::DefaultOutOfRange`] /
+/// [`ConfidenceError::StepWeightOutOfRange`] if a supplied confidence,
+/// the default, or `step_weight` is outside [0, 1].
 pub fn propagate(
     argument: &Argument,
     leaf_confidence: &BTreeMap<NodeId, f64>,
     default_leaf: f64,
     step_weight: f64,
     aggregation: Aggregation,
-) -> Assessment {
-    assert!(
-        argument.is_acyclic(),
-        "confidence propagation requires an acyclic support graph"
-    );
-    assert!(
-        (0.0..=1.0).contains(&step_weight),
-        "step weight must be in [0, 1]"
-    );
-    assert!(
-        (0.0..=1.0).contains(&default_leaf),
-        "default leaf confidence must be in [0, 1]"
-    );
-    for (id, v) in leaf_confidence {
-        assert!(
-            (0.0..=1.0).contains(v),
-            "confidence for `{id}` must be in [0, 1]"
-        );
-    }
+) -> Result<Assessment, ConfidenceError> {
+    validate(argument, leaf_confidence, default_leaf, step_weight)?;
     // Memoise over the arena (indexed, allocation-free lookups), then
     // key the public assessment by id.
     let mut memo: Vec<Option<f64>> = vec![None; argument.len()];
@@ -103,7 +143,39 @@ pub fn propagate(
         .node_indices()
         .filter_map(|idx| memo[idx.index()].map(|v| (argument.id_at(idx).clone(), v)))
         .collect();
-    Assessment { values }
+    Ok(Assessment { values })
+}
+
+/// The shared precondition checks of [`propagate`] and [`leaf_impact`]:
+/// acyclic graph, every confidence and weight in [0, 1] (NaN fails the
+/// range test). Both entry points validate *before* any early return so
+/// that degenerate graphs (e.g. rootless) cannot mask bad parameters.
+fn validate(
+    argument: &Argument,
+    leaf_confidence: &BTreeMap<NodeId, f64>,
+    default_leaf: f64,
+    step_weight: f64,
+) -> Result<(), ConfidenceError> {
+    if !argument.is_acyclic() {
+        return Err(ConfidenceError::CyclicArgument);
+    }
+    if !(0.0..=1.0).contains(&step_weight) {
+        return Err(ConfidenceError::StepWeightOutOfRange { value: step_weight });
+    }
+    if !(0.0..=1.0).contains(&default_leaf) {
+        return Err(ConfidenceError::DefaultOutOfRange {
+            value: default_leaf,
+        });
+    }
+    for (id, v) in leaf_confidence {
+        if !(0.0..=1.0).contains(v) {
+            return Err(ConfidenceError::ConfidenceOutOfRange {
+                node: id.clone(),
+                value: *v,
+            });
+        }
+    }
+    Ok(())
 }
 
 fn compute(
@@ -156,7 +228,11 @@ fn compute(
 /// ease (Graydon §VI-E), computed mechanically for comparison against
 /// probing (see [`crate::semantics::probe_argument`]).
 ///
-/// Returns `None` if the argument has no root.
+/// Returns `Ok(None)` if the argument has no root.
+///
+/// # Errors
+///
+/// The same [`ConfidenceError`] conditions as [`propagate`].
 pub fn leaf_impact(
     argument: &Argument,
     leaf_confidence: &BTreeMap<NodeId, f64>,
@@ -164,24 +240,34 @@ pub fn leaf_impact(
     step_weight: f64,
     aggregation: Aggregation,
     leaf: &NodeId,
-) -> Option<f64> {
-    let root = argument
+) -> Result<Option<f64>, ConfidenceError> {
+    // Validate everything before looking for a root: a cyclic argument
+    // has no root at all, and a rootless one must not turn bad
+    // parameters into a quiet `Ok(None)`.
+    validate(argument, leaf_confidence, default_leaf, step_weight)?;
+    let Some(root) = argument
         .sorted_roots_idx()
         .next()
-        .map(|idx| argument.id_at(idx).clone())?;
+        .map(|idx| argument.id_at(idx).clone())
+    else {
+        return Ok(None);
+    };
     let baseline = propagate(
         argument,
         leaf_confidence,
         default_leaf,
         step_weight,
         aggregation,
-    )
-    .confidence(&root)?;
+    )?
+    .confidence(&root);
+    let Some(baseline) = baseline else {
+        return Ok(None);
+    };
     let mut zeroed = leaf_confidence.clone();
     zeroed.insert(leaf.clone(), 0.0);
     let without =
-        propagate(argument, &zeroed, default_leaf, step_weight, aggregation).confidence(&root)?;
-    Some(baseline - without)
+        propagate(argument, &zeroed, default_leaf, step_weight, aggregation)?.confidence(&root);
+    Ok(without.map(|w| baseline - w))
 }
 
 #[cfg(test)]
@@ -211,7 +297,7 @@ mod tests {
     fn noisy_and_multiplies_up_the_tree() {
         let a = sample();
         let lc = leaves(&[("e1", 0.9), ("e2", 0.8)]);
-        let assess = propagate(&a, &lc, 1.0, 1.0, Aggregation::NoisyAnd);
+        let assess = propagate(&a, &lc, 1.0, 1.0, Aggregation::NoisyAnd).unwrap();
         assert_eq!(assess.confidence(&"e1".into()), Some(0.9));
         assert!((assess.confidence(&"g2".into()).unwrap() - 0.9).abs() < 1e-12);
         // s1 = 0.9 * 0.8; g1 = s1.
@@ -223,7 +309,7 @@ mod tests {
     fn weakest_link_takes_minimum() {
         let a = sample();
         let lc = leaves(&[("e1", 0.9), ("e2", 0.5)]);
-        let assess = propagate(&a, &lc, 1.0, 1.0, Aggregation::WeakestLink);
+        let assess = propagate(&a, &lc, 1.0, 1.0, Aggregation::WeakestLink).unwrap();
         assert!((assess.confidence(&"g1".into()).unwrap() - 0.5).abs() < 1e-12);
     }
 
@@ -231,7 +317,7 @@ mod tests {
     fn step_weight_discounts_each_level() {
         let a = sample();
         let lc = leaves(&[("e1", 1.0), ("e2", 1.0)]);
-        let assess = propagate(&a, &lc, 1.0, 0.9, Aggregation::NoisyAnd);
+        let assess = propagate(&a, &lc, 1.0, 0.9, Aggregation::NoisyAnd).unwrap();
         // Four inference levels: g2/g3 (0.9), s1 (0.9 * 0.81=0.9*0.9*0.9),
         // g1 adds another 0.9.
         let g1 = assess.confidence(&"g1".into()).unwrap();
@@ -242,7 +328,7 @@ mod tests {
     #[test]
     fn missing_leaves_use_default() {
         let a = sample();
-        let assess = propagate(&a, &BTreeMap::new(), 0.5, 1.0, Aggregation::NoisyAnd);
+        let assess = propagate(&a, &BTreeMap::new(), 0.5, 1.0, Aggregation::NoisyAnd).unwrap();
         assert_eq!(assess.confidence(&"e1".into()), Some(0.5));
         assert!((assess.confidence(&"g1".into()).unwrap() - 0.25).abs() < 1e-12);
     }
@@ -251,8 +337,9 @@ mod tests {
     fn leaf_impact_reflects_criticality() {
         let a = sample();
         let lc = leaves(&[("e1", 0.9), ("e2", 0.8)]);
-        let impact_e1 =
-            leaf_impact(&a, &lc, 1.0, 1.0, Aggregation::NoisyAnd, &"e1".into()).unwrap();
+        let impact_e1 = leaf_impact(&a, &lc, 1.0, 1.0, Aggregation::NoisyAnd, &"e1".into())
+            .unwrap()
+            .unwrap();
         // Zeroing e1 zeroes the root (product): impact = 0.72.
         assert!((impact_e1 - 0.72).abs() < 1e-12);
     }
@@ -260,13 +347,12 @@ mod tests {
     #[test]
     fn iter_covers_all_nodes() {
         let a = sample();
-        let assess = propagate(&a, &BTreeMap::new(), 1.0, 1.0, Aggregation::NoisyAnd);
+        let assess = propagate(&a, &BTreeMap::new(), 1.0, 1.0, Aggregation::NoisyAnd).unwrap();
         assert_eq!(assess.iter().count(), a.len());
     }
 
     #[test]
-    #[should_panic(expected = "acyclic")]
-    fn cyclic_argument_panics() {
+    fn cyclic_argument_is_an_error() {
         use crate::node::NodeKind;
         let a = Argument::builder("cyc")
             .add("g1", NodeKind::Goal, "A")
@@ -275,22 +361,94 @@ mod tests {
             .supported_by("g2", "g1")
             .build()
             .unwrap();
-        let _ = propagate(&a, &BTreeMap::new(), 1.0, 1.0, Aggregation::NoisyAnd);
+        let err = propagate(&a, &BTreeMap::new(), 1.0, 1.0, Aggregation::NoisyAnd).unwrap_err();
+        assert_eq!(err, ConfidenceError::CyclicArgument);
+        assert!(err.to_string().contains("acyclic"));
+        // leaf_impact surfaces the same diagnosis instead of panicking.
+        let impact = leaf_impact(
+            &a,
+            &BTreeMap::new(),
+            1.0,
+            1.0,
+            Aggregation::NoisyAnd,
+            &"g2".into(),
+        );
+        assert_eq!(impact, Err(ConfidenceError::CyclicArgument));
     }
 
     #[test]
-    #[should_panic(expected = "must be in [0, 1]")]
-    fn out_of_range_confidence_panics() {
+    fn out_of_range_confidence_is_an_error() {
         let a = sample();
         let lc = leaves(&[("e1", 1.5)]);
-        let _ = propagate(&a, &lc, 1.0, 1.0, Aggregation::NoisyAnd);
+        let err = propagate(&a, &lc, 1.0, 1.0, Aggregation::NoisyAnd).unwrap_err();
+        assert_eq!(
+            err,
+            ConfidenceError::ConfidenceOutOfRange {
+                node: NodeId::new("e1"),
+                value: 1.5
+            }
+        );
+        assert!(err.to_string().contains("must be in [0, 1]"));
+        // NaN is rejected by the same range check.
+        let nan = leaves(&[("e1", f64::NAN)]);
+        assert!(matches!(
+            propagate(&a, &nan, 1.0, 1.0, Aggregation::NoisyAnd),
+            Err(ConfidenceError::ConfidenceOutOfRange { .. })
+        ));
     }
 
     #[test]
-    #[should_panic(expected = "step weight")]
-    fn out_of_range_step_weight_panics() {
+    fn out_of_range_step_weight_is_an_error() {
         let a = sample();
-        let _ = propagate(&a, &BTreeMap::new(), 1.0, 1.2, Aggregation::NoisyAnd);
+        let err = propagate(&a, &BTreeMap::new(), 1.0, 1.2, Aggregation::NoisyAnd).unwrap_err();
+        assert_eq!(err, ConfidenceError::StepWeightOutOfRange { value: 1.2 });
+        assert!(err.to_string().contains("step weight"));
+        assert_eq!(
+            propagate(&a, &BTreeMap::new(), -0.1, 1.0, Aggregation::NoisyAnd).unwrap_err(),
+            ConfidenceError::DefaultOutOfRange { value: -0.1 }
+        );
+    }
+
+    #[test]
+    fn rootless_argument_does_not_mask_bad_parameters() {
+        // An empty argument has no root; leaf_impact must still reject
+        // out-of-range parameters instead of answering Ok(None).
+        let empty = Argument::builder("empty").build().unwrap();
+        assert_eq!(
+            leaf_impact(
+                &empty,
+                &BTreeMap::new(),
+                1.0,
+                2.0,
+                Aggregation::NoisyAnd,
+                &"e1".into()
+            ),
+            Err(ConfidenceError::StepWeightOutOfRange { value: 2.0 })
+        );
+        let bad_leaf = leaves(&[("e1", f64::NAN)]);
+        assert!(matches!(
+            leaf_impact(
+                &empty,
+                &bad_leaf,
+                1.0,
+                1.0,
+                Aggregation::NoisyAnd,
+                &"e1".into()
+            ),
+            Err(ConfidenceError::ConfidenceOutOfRange { .. })
+        ));
+        // With valid parameters the rootless contract stands.
+        assert_eq!(
+            leaf_impact(
+                &empty,
+                &BTreeMap::new(),
+                1.0,
+                1.0,
+                Aggregation::NoisyAnd,
+                &"e1".into()
+            ),
+            Ok(None)
+        );
     }
 
     #[test]
@@ -305,7 +463,7 @@ mod tests {
         )
         .unwrap();
         let lc = leaves(&[("e1", 0.8)]);
-        let assess = propagate(&a, &lc, 0.1, 1.0, Aggregation::NoisyAnd);
+        let assess = propagate(&a, &lc, 0.1, 1.0, Aggregation::NoisyAnd).unwrap();
         // c1 is a leaf of the *support* graph but not a support child of
         // g1, so g1 = 0.8 regardless of c1's default.
         assert!((assess.confidence(&"g1".into()).unwrap() - 0.8).abs() < 1e-12);

@@ -11,15 +11,21 @@
 //! Measured: review minutes per arm (Welch t-test), formal-fallacy catch
 //! rate per arm (humans vs machine), and informal catch rate (should not
 //! differ — the checker cannot help there).
+//!
+//! The machine arm runs once per generated argument through
+//! [`runtime::machine_check_sweep`] — the findings are deterministic, so
+//! every treatment review shares them instead of recompiling the
+//! argument's theory. Subjects are sharded across the [`Runtime`]'s
+//! workers with per-subject RNG streams; the report is byte-identical
+//! for every worker count.
 
 use crate::generator::{generate, Generated, GeneratorConfig, SeededFormal};
 use crate::population::{generate as generate_pool, PoolConfig};
 use crate::reviewer::{review, ReviewScope};
+use crate::runtime::{self, stream_rng, Runtime};
 use crate::stats::{describe, welch_t_test, Descriptives, TestResult};
-use casekit_fallacies::checker::check_argument;
+use crate::Error;
 use casekit_fallacies::taxonomy::InformalFallacy;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
@@ -64,25 +70,37 @@ pub struct Report {
     pub informal_catch: (f64, f64),
 }
 
-/// Runs experiment A.
-pub fn run(config: &Config) -> Report {
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
-    let pool = generate_pool(&PoolConfig {
-        per_background: (config.per_arm * 2).div_ceil(6).max(1),
-        seed: config.seed ^ 0x900D,
-        ..PoolConfig::default()
-    });
+/// One subject's measurements, produced inside a worker.
+struct SubjectTally {
+    control: bool,
+    minutes: f64,
+    informal_found: usize,
+    informal_total: usize,
+    formal_found: usize,
+    formal_total: usize,
+}
 
-    // Generate the argument set: each argument carries ONE formal defect
-    // kind (combining them lets inconsistent premises mask the
-    // missing-support defect — see the generator's masking test) plus a
-    // spread of informal ones.
+/// The study materials: the subject pool (both arms interleaved) and
+/// the argument set every subject reviews. Exposed so the benchmark
+/// harness can time alternative measurement loops over *exactly* the
+/// materials [`run_with`] uses.
+pub fn materials(
+    config: &Config,
+) -> Result<(Vec<crate::population::Subject>, Vec<Generated>), Error> {
+    Ok((generate_subjects(config), generate_cases(config)?))
+}
+
+/// The argument set for a run: each argument carries ONE formal defect
+/// kind (combining them lets inconsistent premises mask the
+/// missing-support defect — see the generator's masking test) plus a
+/// spread of informal ones.
+fn generate_cases(config: &Config) -> Result<Vec<Generated>, Error> {
     const DEFECT_CYCLE: [SeededFormal; 3] = [
         SeededFormal::Begging,
         SeededFormal::Incompatible,
         SeededFormal::MissingSupport,
     ];
-    let cases: Vec<Generated> = (0..config.arguments)
+    (0..config.arguments)
         .map(|i| {
             generate(&GeneratorConfig {
                 hazards: config.hazards,
@@ -95,8 +113,91 @@ pub fn run(config: &Config) -> Report {
                 ],
                 seed: config.seed.wrapping_add(i as u64),
             })
+            .map_err(Error::from)
         })
-        .collect();
+        .collect()
+}
+
+/// The subject pool for a run.
+fn generate_subjects(config: &Config) -> Vec<crate::population::Subject> {
+    let mut pool = generate_pool(&PoolConfig {
+        per_background: (config.per_arm * 2).div_ceil(6).max(1),
+        seed: config.seed ^ 0x900D,
+        ..PoolConfig::default()
+    });
+    pool.truncate(config.per_arm * 2);
+    pool
+}
+
+/// One subject's reviews over the whole argument set (pure given the
+/// subject's index — the unit of parallel work).
+fn review_subject(
+    config: &Config,
+    cases: &[Generated],
+    index: usize,
+    subject: &crate::population::Subject,
+) -> SubjectTally {
+    let control = index.is_multiple_of(2);
+    let mut rng = stream_rng(config.seed, 0, index as u64);
+    let mut tally = SubjectTally {
+        control,
+        minutes: 0.0,
+        informal_found: 0,
+        informal_total: 0,
+        formal_found: 0,
+        formal_total: 0,
+    };
+    let scope = if control {
+        ReviewScope::InformalAndFormal
+    } else {
+        ReviewScope::InformalOnly
+    };
+    for case in cases {
+        let outcome = review(subject, &case.case, &case.formal, scope, &mut rng);
+        tally.minutes += outcome.minutes;
+        tally.informal_found += outcome.informal_found.len();
+        tally.informal_total += case.case.seeded.len();
+        if control {
+            tally.formal_found += outcome.formal_found.len();
+            tally.formal_total += case.formal.len();
+        }
+    }
+    tally
+}
+
+/// Runs experiment A serially (equivalent to
+/// [`run_with`]`(config, &Runtime::serial())`).
+pub fn run(config: &Config) -> Result<Report, Error> {
+    run_with(config, &Runtime::serial())
+}
+
+/// Runs experiment A on the given runtime. The report is identical for
+/// every worker count.
+pub fn run_with(config: &Config, rt: &Runtime) -> Result<Report, Error> {
+    let pool = generate_subjects(config);
+    let cases = generate_cases(config)?;
+
+    // The machine pass: once per argument, shared by every treatment
+    // review (its runtime is negligible next to human minutes and is
+    // not charged to the reviewer).
+    let case_arguments: Vec<&casekit_core::Argument> =
+        cases.iter().map(|c| &c.case.argument).collect();
+    let machine_reports = runtime::machine_check_sweep(&case_arguments, rt);
+    let machine_caught_per_sweep: usize = cases
+        .iter()
+        .zip(&machine_reports)
+        .map(|(case, report)| {
+            case.formal
+                .iter()
+                .filter(|seeded| report.findings.iter().any(|f| seeded.matches(f)))
+                .count()
+        })
+        .sum();
+    let machine_total_per_sweep: usize = cases.iter().map(|c| c.formal.len()).sum();
+
+    let tallies = rt.map(&pool, |i, subject| {
+        review_subject(config, &cases, i, subject)
+    });
 
     let mut minutes_control = Vec::new();
     let mut minutes_treatment = Vec::new();
@@ -107,63 +208,33 @@ pub fn run(config: &Config) -> Report {
     let mut informal_hits = (0usize, 0usize);
     let mut informal_total = (0usize, 0usize);
 
-    for (i, subject) in pool.iter().take(config.per_arm * 2).enumerate() {
-        let control = i % 2 == 0;
-        let mut total_minutes = 0.0;
-        for case in &cases {
-            if control {
-                let outcome = review(
-                    subject,
-                    &case.case,
-                    &case.formal,
-                    ReviewScope::InformalAndFormal,
-                    &mut rng,
-                );
-                total_minutes += outcome.minutes;
-                human_formal_hits += outcome.formal_found.len();
-                human_formal_total += case.formal.len();
-                informal_hits.0 += outcome.informal_found.len();
-                informal_total.0 += case.case.seeded.len();
-            } else {
-                let outcome = review(
-                    subject,
-                    &case.case,
-                    &case.formal,
-                    ReviewScope::InformalOnly,
-                    &mut rng,
-                );
-                total_minutes += outcome.minutes;
-                informal_hits.1 += outcome.informal_found.len();
-                informal_total.1 += case.case.seeded.len();
-                // The machine pass (its runtime is negligible next to
-                // human minutes and is not charged to the reviewer).
-                let findings = check_argument(&case.case.argument).findings;
-                for seeded in &case.formal {
-                    machine_formal_total += 1;
-                    if findings.iter().any(|f| seeded.matches(f)) {
-                        machine_formal_hits += 1;
-                    }
-                }
-            }
-        }
-        if control {
-            minutes_control.push(total_minutes);
+    for tally in &tallies {
+        if tally.control {
+            minutes_control.push(tally.minutes);
+            human_formal_hits += tally.formal_found;
+            human_formal_total += tally.formal_total;
+            informal_hits.0 += tally.informal_found;
+            informal_total.0 += tally.informal_total;
         } else {
-            minutes_treatment.push(total_minutes);
+            minutes_treatment.push(tally.minutes);
+            informal_hits.1 += tally.informal_found;
+            informal_total.1 += tally.informal_total;
+            machine_formal_hits += machine_caught_per_sweep;
+            machine_formal_total += machine_total_per_sweep;
         }
     }
 
-    Report {
-        minutes_control: describe(&minutes_control),
-        minutes_treatment: describe(&minutes_treatment),
-        minutes_test: welch_t_test(&minutes_control, &minutes_treatment),
+    Ok(Report {
+        minutes_control: describe(&minutes_control)?,
+        minutes_treatment: describe(&minutes_treatment)?,
+        minutes_test: welch_t_test(&minutes_control, &minutes_treatment)?,
         formal_catch_human: human_formal_hits as f64 / human_formal_total.max(1) as f64,
         formal_catch_machine: machine_formal_hits as f64 / machine_formal_total.max(1) as f64,
         informal_catch: (
             informal_hits.0 as f64 / informal_total.0.max(1) as f64,
             informal_hits.1 as f64 / informal_total.1.max(1) as f64,
         ),
-    }
+    })
 }
 
 impl Report {
@@ -211,20 +282,20 @@ mod tests {
 
     #[test]
     fn machine_catches_all_formal_seeds() {
-        let r = run(&Config::default());
+        let r = run(&Config::default()).unwrap();
         assert_eq!(r.formal_catch_machine, 1.0);
     }
 
     #[test]
     fn humans_catch_fewer_formal_fallacies_than_machine() {
-        let r = run(&Config::default());
+        let r = run(&Config::default()).unwrap();
         assert!(r.formal_catch_human < r.formal_catch_machine);
         assert!(r.formal_catch_human > 0.0, "humans find some");
     }
 
     #[test]
     fn treatment_arm_reviews_faster() {
-        let r = run(&Config::default());
+        let r = run(&Config::default()).unwrap();
         assert!(r.minutes_treatment.mean < r.minutes_control.mean);
         assert!(
             r.minutes_test.p_value < 0.05,
@@ -235,16 +306,49 @@ mod tests {
 
     #[test]
     fn informal_catch_rates_similar_across_arms() {
-        let r = run(&Config::default());
+        let r = run(&Config::default()).unwrap();
         let (c, t) = r.informal_catch;
         assert!((c - t).abs() < 0.15, "control {c} vs treatment {t}");
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let a = run(&Config::default());
-        let b = run(&Config::default());
+        let a = run(&Config::default()).unwrap();
+        let b = run(&Config::default()).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_report_identical_to_serial() {
+        let config = Config::default();
+        let serial = run(&config).unwrap();
+        for workers in [2, 4, 8] {
+            let parallel = run_with(&config, &Runtime::with_workers(workers)).unwrap();
+            assert_eq!(serial, parallel, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn invalid_hazard_count_is_an_error_not_a_panic() {
+        let err = run(&Config {
+            hazards: 1,
+            ..Config::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, Error::Generator(_)), "{err}");
+    }
+
+    #[test]
+    fn empty_arm_surfaces_a_stats_error() {
+        let err = run(&Config {
+            per_arm: 0,
+            ..Config::default()
+        })
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Stats(crate::stats::StatsError::EmptySample)
+        ));
     }
 
     #[test]
@@ -254,7 +358,8 @@ mod tests {
             arguments: 2,
             hazards: 4,
             seed: 77,
-        });
+        })
+        .unwrap();
         let text = r.render();
         assert!(text.contains("Experiment A"));
         assert!(text.contains("machine"));

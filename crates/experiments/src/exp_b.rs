@@ -9,10 +9,10 @@
 //! order and discounting repeated-pattern nodes.
 
 use crate::population::{generate as generate_pool, PoolConfig};
+use crate::runtime::{stream_rng, Runtime};
 use crate::stats::{describe, Descriptives};
+use crate::Error;
 use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
@@ -66,20 +66,25 @@ fn node_minutes(skill: f64, rng: &mut impl Rng, seen_similar: usize) -> f64 {
     (base * noise * learning).max(0.25)
 }
 
-/// Runs experiment B.
-pub fn run(config: &Config) -> Report {
+/// Runs experiment B serially (equivalent to
+/// [`run_with`]`(config, &Runtime::serial())`).
+pub fn run(config: &Config) -> Result<Report, Error> {
+    run_with(config, &Runtime::serial())
+}
+
+/// Runs experiment B on the given runtime. Each `(size, subject)` cell
+/// draws from its own RNG stream, so the report is identical for every
+/// worker count.
+pub fn run_with(config: &Config, rt: &Runtime) -> Result<Report, Error> {
     let pool = generate_pool(&PoolConfig {
         per_background: config.per_background,
         seed: config.seed ^ 0xF00,
         ..PoolConfig::default()
     });
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     let mut cells = Vec::new();
-    for &size in &config.sizes {
-        let mut all = Vec::new();
-        let mut skilled = Vec::new();
-        let mut unskilled = Vec::new();
-        for subject in &pool {
+    for (size_index, &size) in config.sizes.iter().enumerate() {
+        let minutes_by_subject = rt.map(&pool, |j, subject| {
+            let mut rng = stream_rng(config.seed, size_index as u64, j as u64);
             // Roughly 60% of nodes are propositional and need translating.
             let translatable = (size as f64 * 0.6).round() as usize;
             let mut minutes = 0.0;
@@ -89,6 +94,12 @@ pub fn run(config: &Config) -> Report {
                 let seen_similar = node_index / 4;
                 minutes += node_minutes(subject.logic_skill, &mut rng, seen_similar);
             }
+            minutes
+        });
+        let mut all = Vec::new();
+        let mut skilled = Vec::new();
+        let mut unskilled = Vec::new();
+        for (subject, minutes) in pool.iter().zip(minutes_by_subject) {
             all.push(minutes);
             if subject.logic_skill >= 0.6 {
                 skilled.push(minutes);
@@ -98,12 +109,12 @@ pub fn run(config: &Config) -> Report {
         }
         cells.push(Cell {
             size,
-            minutes: describe(&all),
-            minutes_skilled: describe(&skilled),
-            minutes_unskilled: describe(&unskilled),
+            minutes: describe(&all)?,
+            minutes_skilled: describe(&skilled)?,
+            minutes_unskilled: describe(&unskilled)?,
         });
     }
-    Report { cells }
+    Ok(Report { cells })
 }
 
 impl Report {
@@ -139,7 +150,7 @@ mod tests {
 
     #[test]
     fn effort_grows_with_argument_size() {
-        let r = run(&Config::default());
+        let r = run(&Config::default()).unwrap();
         for pair in r.cells.windows(2) {
             assert!(
                 pair[1].minutes.mean > pair[0].minutes.mean,
@@ -150,7 +161,7 @@ mod tests {
 
     #[test]
     fn skill_reduces_effort() {
-        let r = run(&Config::default());
+        let r = run(&Config::default()).unwrap();
         for cell in &r.cells {
             assert!(
                 cell.minutes_skilled.mean < cell.minutes_unskilled.mean,
@@ -166,7 +177,8 @@ mod tests {
         let r = run(&Config {
             sizes: vec![20, 40],
             ..Config::default()
-        });
+        })
+        .unwrap();
         let ratio = r.cells[1].minutes.mean / r.cells[0].minutes.mean;
         assert!(ratio < 2.0, "learning should make ratio < 2, got {ratio}");
         assert!(ratio > 1.2, "but still substantial, got {ratio}");
@@ -174,13 +186,41 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(run(&Config::default()), run(&Config::default()));
+        assert_eq!(
+            run(&Config::default()).unwrap(),
+            run(&Config::default()).unwrap()
+        );
+    }
+
+    #[test]
+    fn parallel_report_identical_to_serial() {
+        let config = Config {
+            sizes: vec![10, 20],
+            per_background: 5,
+            seed: 0xB0,
+        };
+        let serial = run(&config).unwrap();
+        for workers in [2, 4, 8] {
+            let parallel = run_with(&config, &Runtime::with_workers(workers)).unwrap();
+            assert_eq!(serial, parallel, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn empty_pool_surfaces_a_stats_error() {
+        let err = run(&Config {
+            per_background: 0,
+            ..Config::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, Error::Stats(_)), "{err}");
     }
 
     #[test]
     fn pool_includes_all_backgrounds() {
         // Guard: the unskilled subset must be non-empty, else describe()
-        // would panic — managers and operators keep it populated.
+        // would return EmptySample — managers and operators keep it
+        // populated.
         let pool = generate_pool(&PoolConfig::default());
         assert!(pool
             .iter()
@@ -189,7 +229,7 @@ mod tests {
 
     #[test]
     fn render_has_one_row_per_size() {
-        let r = run(&Config::default());
+        let r = run(&Config::default()).unwrap();
         let text = r.render();
         assert_eq!(text.lines().count(), 2 + r.cells.len());
         assert!(text.contains("Experiment B"));

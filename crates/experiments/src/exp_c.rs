@@ -8,10 +8,10 @@
 //! rises for symbolic text at low skill (decoding cost).
 
 use crate::population::{generate as generate_pool, Background, PoolConfig, Subject};
+use crate::runtime::{stream_rng, Runtime};
 use crate::stats::{cohens_d, describe, Descriptives};
+use crate::Error;
 use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
@@ -93,19 +93,31 @@ fn reading_minutes(subject: &Subject, notation: Notation, words: usize, rng: &mu
     (base * decode_penalty * noise).max(0.5)
 }
 
-/// Runs experiment C.
-pub fn run(config: &Config) -> Report {
+/// Runs experiment C serially (equivalent to
+/// [`run_with`]`(config, &Runtime::serial())`).
+pub fn run(config: &Config) -> Result<Report, Error> {
+    run_with(config, &Runtime::serial())
+}
+
+/// Runs experiment C on the given runtime. Each background × notation
+/// cell fans its subjects out across the workers on per-subject RNG
+/// streams; the report is identical for every worker count.
+pub fn run_with(config: &Config, rt: &Runtime) -> Result<Report, Error> {
+    if config.questions == 0 {
+        return Err(Error::InvalidConfig(
+            "experiment C needs at least one comprehension question".into(),
+        ));
+    }
     let pool = generate_pool(&PoolConfig {
         per_background: config.per_cell * 2,
         seed: config.seed ^ 0xCAFE,
         ..PoolConfig::default()
     });
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     let mut cells = Vec::new();
     let mut manager_scores: (Vec<f64>, Vec<f64>) = (Vec::new(), Vec::new());
     let mut engineer_scores: (Vec<f64>, Vec<f64>) = (Vec::new(), Vec::new());
 
-    for background in Background::ALL {
+    for (background_index, background) in Background::ALL.into_iter().enumerate() {
         for notation in [Notation::Informal, Notation::Symbolic] {
             let subjects: Vec<&Subject> = pool
                 .iter()
@@ -117,14 +129,22 @@ pub fn run(config: &Config) -> Report {
                 })
                 .take(config.per_cell)
                 .collect();
-            let mut scores = Vec::new();
-            let mut minutes = Vec::new();
-            for subject in subjects {
+            // One RNG lane per cell: subject j's draws are independent of
+            // every other cell and of the worker that runs them.
+            let lane = (background_index * 2 + usize::from(notation == Notation::Symbolic)) as u64;
+            let measurements = rt.map(&subjects, |j, subject| {
+                let mut rng = stream_rng(config.seed, lane, j as u64);
                 let p = comprehension_probability(subject, notation).clamp(0.0, 1.0);
                 let correct = (0..config.questions).filter(|_| rng.gen_bool(p)).count();
                 let score = correct as f64 / config.questions as f64;
+                let minutes = reading_minutes(subject, notation, config.words, &mut rng);
+                (score, minutes)
+            });
+            let mut scores = Vec::new();
+            let mut minutes = Vec::new();
+            for (score, mins) in measurements {
                 scores.push(score);
-                minutes.push(reading_minutes(subject, notation, config.words, &mut rng));
+                minutes.push(mins);
                 match (background, notation) {
                     (Background::Manager, Notation::Informal) => manager_scores.0.push(score),
                     (Background::Manager, Notation::Symbolic) => manager_scores.1.push(score),
@@ -140,17 +160,17 @@ pub fn run(config: &Config) -> Report {
             cells.push(Cell {
                 background,
                 notation,
-                comprehension: describe(&scores),
-                minutes: describe(&minutes),
+                comprehension: describe(&scores)?,
+                minutes: describe(&minutes)?,
             });
         }
     }
 
-    Report {
+    Ok(Report {
         cells,
-        manager_effect: cohens_d(&manager_scores.0, &manager_scores.1),
-        engineer_effect: cohens_d(&engineer_scores.0, &engineer_scores.1),
-    }
+        manager_effect: cohens_d(&manager_scores.0, &manager_scores.1)?,
+        engineer_effect: cohens_d(&engineer_scores.0, &engineer_scores.1)?,
+    })
 }
 
 impl Report {
@@ -202,7 +222,7 @@ mod tests {
 
     #[test]
     fn prose_is_read_adequately_by_everyone() {
-        let r = run(&Config::default());
+        let r = run(&Config::default()).unwrap();
         for background in Background::ALL {
             let c = r.cell(background, Notation::Informal);
             assert!(
@@ -215,7 +235,7 @@ mod tests {
 
     #[test]
     fn symbolic_notation_hurts_low_skill_backgrounds() {
-        let r = run(&Config::default());
+        let r = run(&Config::default()).unwrap();
         let manager = r.cell(Background::Manager, Notation::Symbolic);
         let engineer = r.cell(Background::SoftwareEngineer, Notation::Symbolic);
         assert!(manager.comprehension.mean < 0.5);
@@ -224,7 +244,7 @@ mod tests {
 
     #[test]
     fn effect_size_concentrated_on_non_logicians() {
-        let r = run(&Config::default());
+        let r = run(&Config::default()).unwrap();
         assert!(
             r.manager_effect > 1.0,
             "large manager effect, got {}",
@@ -239,7 +259,7 @@ mod tests {
 
     #[test]
     fn symbols_slow_down_unskilled_readers() {
-        let r = run(&Config::default());
+        let r = run(&Config::default()).unwrap();
         let m_prose = r.cell(Background::Manager, Notation::Informal).minutes.mean;
         let m_sym = r.cell(Background::Manager, Notation::Symbolic).minutes.mean;
         assert!(m_sym > m_prose * 1.5);
@@ -256,12 +276,51 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(run(&Config::default()), run(&Config::default()));
+        assert_eq!(
+            run(&Config::default()).unwrap(),
+            run(&Config::default()).unwrap()
+        );
+    }
+
+    #[test]
+    fn parallel_report_identical_to_serial() {
+        let config = Config {
+            per_cell: 7,
+            words: 600,
+            questions: 6,
+            seed: 0xC1,
+        };
+        let serial = run(&config).unwrap();
+        for workers in [2, 4, 8] {
+            let parallel = run_with(&config, &Runtime::with_workers(workers)).unwrap();
+            assert_eq!(serial, parallel, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn empty_cells_surface_a_stats_error() {
+        let err = run(&Config {
+            per_cell: 0,
+            ..Config::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, Error::Stats(_)), "{err}");
+    }
+
+    #[test]
+    fn zero_questions_is_an_invalid_config() {
+        let err = run(&Config {
+            questions: 0,
+            ..Config::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)), "{err}");
+        assert!(err.to_string().contains("question"));
     }
 
     #[test]
     fn render_covers_all_backgrounds() {
-        let text = run(&Config::default()).render();
+        let text = run(&Config::default()).unwrap().render();
         for background in Background::ALL {
             assert!(text.contains(&background.to_string()));
         }

@@ -15,12 +15,12 @@
 //! cost and leaves semantic defects untouched.
 
 use crate::population::{generate as generate_pool, PoolConfig, Subject};
+use crate::runtime::{stream_rng, Runtime};
 use crate::stats::{describe, Descriptives};
+use crate::Error;
 use casekit_patterns::library;
 use casekit_patterns::{Binding, ParamValue, Pattern};
 use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
@@ -124,27 +124,42 @@ fn build_binding(
     (binding, type_slips, semantic_slips)
 }
 
-/// Runs experiment D.
-pub fn run(config: &Config) -> Report {
-    let pool = generate_pool(&PoolConfig {
+/// One subject's instantiation outcomes, produced inside a worker.
+struct SubjectTally {
+    tool_arm: bool,
+    type_defects: usize,
+    semantic_defects: usize,
+    instantiations: usize,
+    minutes: Vec<f64>,
+}
+
+/// Runs experiment D serially (equivalent to
+/// [`run_with`]`(config, &Runtime::serial())`).
+pub fn run(config: &Config) -> Result<Report, Error> {
+    run_with(config, &Runtime::serial())
+}
+
+/// Runs experiment D on the given runtime. The report is identical for
+/// every worker count.
+pub fn run_with(config: &Config, rt: &Runtime) -> Result<Report, Error> {
+    let mut pool = generate_pool(&PoolConfig {
         per_background: (config.per_arm * 2).div_ceil(6).max(1),
         seed: config.seed ^ 0xD00D,
         ..PoolConfig::default()
     });
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    pool.truncate(config.per_arm * 2);
     let patterns = [library::alarp(), library::element_verification()];
 
-    let mut manual_type = 0usize;
-    let mut tool_type = 0usize;
-    let mut manual_sem = 0usize;
-    let mut tool_sem = 0usize;
-    let mut manual_count = 0usize;
-    let mut tool_count = 0usize;
-    let mut minutes_manual = Vec::new();
-    let mut minutes_tool = Vec::new();
-
-    for (i, subject) in pool.iter().take(config.per_arm * 2).enumerate() {
+    let tallies = rt.map(&pool, |i, subject| {
+        let mut rng = stream_rng(config.seed, 0, i as u64);
         let tool_arm = i % 2 == 1;
+        let mut tally = SubjectTally {
+            tool_arm,
+            type_defects: 0,
+            semantic_defects: 0,
+            instantiations: 0,
+            minutes: Vec::with_capacity(config.instantiations),
+        };
         for k in 0..config.instantiations {
             let pattern = &patterns[k % patterns.len()];
             let (binding, mut type_slips, sem_slips) = build_binding(pattern, subject, &mut rng);
@@ -157,34 +172,55 @@ pub fn run(config: &Config) -> Report {
                     minutes += 2.0; // fix-and-retry cost
                     type_slips = 0; // corrected
                 }
-                tool_type += type_slips;
-                tool_sem += sem_slips;
-                tool_count += 1;
-                minutes_tool.push(minutes);
             } else {
                 // Manual self-review catches some typing slips.
                 let caught = (0..type_slips)
                     .filter(|_| rng.gen_bool(0.5 * subject.diligence))
                     .count();
                 minutes += caught as f64 * 2.0;
-                manual_type += type_slips - caught;
-                manual_sem += sem_slips;
-                manual_count += 1;
-                minutes_manual.push(minutes);
+                type_slips -= caught;
             }
+            tally.type_defects += type_slips;
+            tally.semantic_defects += sem_slips;
+            tally.instantiations += 1;
+            tally.minutes.push(minutes);
+        }
+        tally
+    });
+
+    let mut manual_type = 0usize;
+    let mut tool_type = 0usize;
+    let mut manual_sem = 0usize;
+    let mut tool_sem = 0usize;
+    let mut manual_count = 0usize;
+    let mut tool_count = 0usize;
+    let mut minutes_manual = Vec::new();
+    let mut minutes_tool = Vec::new();
+
+    for tally in &tallies {
+        if tally.tool_arm {
+            tool_type += tally.type_defects;
+            tool_sem += tally.semantic_defects;
+            tool_count += tally.instantiations;
+            minutes_tool.extend_from_slice(&tally.minutes);
+        } else {
+            manual_type += tally.type_defects;
+            manual_sem += tally.semantic_defects;
+            manual_count += tally.instantiations;
+            minutes_manual.extend_from_slice(&tally.minutes);
         }
     }
 
-    Report {
+    Ok(Report {
         type_defects_manual: manual_type as f64 / manual_count.max(1) as f64,
         type_defects_tool: tool_type as f64 / tool_count.max(1) as f64,
         semantic_defects: (
             manual_sem as f64 / manual_count.max(1) as f64,
             tool_sem as f64 / tool_count.max(1) as f64,
         ),
-        minutes_manual: describe(&minutes_manual),
-        minutes_tool: describe(&minutes_tool),
-    }
+        minutes_manual: describe(&minutes_manual)?,
+        minutes_tool: describe(&minutes_tool)?,
+    })
 }
 
 impl Report {
@@ -220,7 +256,7 @@ mod tests {
 
     #[test]
     fn tool_eliminates_type_detectable_defects() {
-        let r = run(&Config::default());
+        let r = run(&Config::default()).unwrap();
         assert_eq!(r.type_defects_tool, 0.0);
         assert!(r.type_defects_manual > 0.0);
     }
@@ -228,7 +264,7 @@ mod tests {
     #[test]
     fn semantic_defects_survive_both_arms() {
         // The §V-A caveat: type checking cannot catch well-typed-but-wrong.
-        let r = run(&Config::default());
+        let r = run(&Config::default()).unwrap();
         let (manual, tool) = r.semantic_defects;
         assert!(manual > 0.0);
         assert!(tool > 0.0);
@@ -237,19 +273,46 @@ mod tests {
 
     #[test]
     fn times_are_comparable() {
-        let r = run(&Config::default());
+        let r = run(&Config::default()).unwrap();
         let ratio = r.minutes_tool.mean / r.minutes_manual.mean;
         assert!((0.7..1.3).contains(&ratio), "ratio {ratio}");
     }
 
     #[test]
     fn deterministic() {
-        assert_eq!(run(&Config::default()), run(&Config::default()));
+        assert_eq!(
+            run(&Config::default()).unwrap(),
+            run(&Config::default()).unwrap()
+        );
+    }
+
+    #[test]
+    fn parallel_report_identical_to_serial() {
+        let config = Config {
+            instantiations: 4,
+            per_arm: 9,
+            seed: 0xD2,
+        };
+        let serial = run(&config).unwrap();
+        for workers in [2, 4, 8] {
+            let parallel = run_with(&config, &Runtime::with_workers(workers)).unwrap();
+            assert_eq!(serial, parallel, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn empty_arm_surfaces_a_stats_error() {
+        let err = run(&Config {
+            per_arm: 0,
+            ..Config::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, Error::Stats(_)), "{err}");
     }
 
     #[test]
     fn render_has_three_metric_rows() {
-        let text = run(&Config::default()).render();
+        let text = run(&Config::default()).unwrap().render();
         assert!(text.contains("type-detectable"));
         assert!(text.contains("semantic"));
         assert!(text.contains("minutes"));

@@ -19,13 +19,13 @@
 //! be wrong".
 
 use crate::population::{generate as generate_pool, PoolConfig, Subject};
+use crate::runtime::{stream_rng, Runtime};
 use crate::stats::{describe, pairwise_agreement, Descriptives};
+use crate::Error;
 use casekit_core::semantics::probe_argument;
 use casekit_core::{Argument, FormalPayload, Node, NodeKind};
 use casekit_logic::prop::Formula;
 use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
@@ -75,12 +75,9 @@ pub struct Report {
 }
 
 /// Builds the judgment argument: `leaves` evidence goals, half of which
-/// (`p0..`) the root needs and half of which are formally idle.
+/// (`p0..`) the root needs and half of which are formally idle. The
+/// caller ([`run_with`]) has already validated the leaf count.
 fn judgment_argument(leaves: usize) -> Argument {
-    assert!(
-        leaves >= 2 && leaves.is_multiple_of(2),
-        "need an even leaf count ≥ 2"
-    );
     let needed = leaves / 2;
     let root = Formula::conj((0..needed).map(|i| Formula::atom(format!("p{i}"))));
     let mut builder = Argument::builder("sufficiency").node(
@@ -122,8 +119,24 @@ fn judgment_minutes(procedure: Procedure, leaves: usize, subject: &Subject) -> f
     }
 }
 
-/// Runs experiment E.
-pub fn run(config: &Config) -> Report {
+/// Runs experiment E serially (equivalent to
+/// [`run_with`]`(config, &Runtime::serial())`).
+pub fn run(config: &Config) -> Result<Report, Error> {
+    run_with(config, &Runtime::serial())
+}
+
+/// Runs experiment E on the given runtime. The ground truth is probed
+/// once from the formal skeleton; assessors are sharded across the
+/// workers on per-subject RNG streams, so the report is identical for
+/// every worker count.
+pub fn run_with(config: &Config, rt: &Runtime) -> Result<Report, Error> {
+    if config.leaves < 2 || !config.leaves.is_multiple_of(2) {
+        return Err(Error::InvalidConfig(format!(
+            "experiment E needs an even evidence-leaf count \u{2265} 2 \
+             (half critical, half idle), got {}",
+            config.leaves
+        )));
+    }
     let argument = judgment_argument(config.leaves);
     let probe = probe_argument(&argument).expect("argument has a formal skeleton");
     assert!(probe.entailed, "root must be entailed");
@@ -131,19 +144,15 @@ pub fn run(config: &Config) -> Report {
         .map(|i| probe.critical_indices().contains(&i))
         .collect();
 
-    let pool = generate_pool(&PoolConfig {
+    let mut pool = generate_pool(&PoolConfig {
         per_background: (config.per_arm * 2).div_ceil(6).max(1),
         seed: config.seed ^ 0xE11E,
         ..PoolConfig::default()
     });
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    pool.truncate(config.per_arm * 2);
 
-    let mut minutes = (Vec::new(), Vec::new());
-    let mut judgments: (Vec<Vec<bool>>, Vec<Vec<bool>>) = (Vec::new(), Vec::new());
-    let mut correct = (0usize, 0usize);
-    let mut total = (0usize, 0usize);
-
-    for (i, subject) in pool.iter().take(config.per_arm * 2).enumerate() {
+    let assessments = rt.map(&pool, |i, subject| {
+        let mut rng = stream_rng(config.seed, 0, i as u64);
         let procedure = if i % 2 == 0 {
             Procedure::GraphTracing
         } else {
@@ -155,6 +164,15 @@ pub fn run(config: &Config) -> Report {
             .map(|&actual| if rng.gen_bool(acc) { actual } else { !actual })
             .collect();
         let mins = judgment_minutes(procedure, config.leaves, subject);
+        (procedure, row, mins)
+    });
+
+    let mut minutes = (Vec::new(), Vec::new());
+    let mut judgments: (Vec<Vec<bool>>, Vec<Vec<bool>>) = (Vec::new(), Vec::new());
+    let mut correct = (0usize, 0usize);
+    let mut total = (0usize, 0usize);
+
+    for (procedure, row, mins) in assessments {
         match procedure {
             Procedure::GraphTracing => {
                 correct.0 += row.iter().zip(&truth).filter(|(a, b)| a == b).count();
@@ -171,16 +189,16 @@ pub fn run(config: &Config) -> Report {
         }
     }
 
-    Report {
-        minutes_tracing: describe(&minutes.0),
-        minutes_probing: describe(&minutes.1),
-        agreement_tracing: pairwise_agreement(&judgments.0),
-        agreement_probing: pairwise_agreement(&judgments.1),
+    Ok(Report {
+        minutes_tracing: describe(&minutes.0)?,
+        minutes_probing: describe(&minutes.1)?,
+        agreement_tracing: pairwise_agreement(&judgments.0)?,
+        agreement_probing: pairwise_agreement(&judgments.1)?,
         accuracy: (
             correct.0 as f64 / total.0.max(1) as f64,
             correct.1 as f64 / total.1.max(1) as f64,
         ),
-    }
+    })
 }
 
 impl Report {
@@ -225,13 +243,13 @@ mod tests {
 
     #[test]
     fn tracing_is_faster() {
-        let r = run(&Config::default());
+        let r = run(&Config::default()).unwrap();
         assert!(r.minutes_tracing.mean < r.minutes_probing.mean);
     }
 
     #[test]
     fn tracing_agrees_more() {
-        let r = run(&Config::default());
+        let r = run(&Config::default()).unwrap();
         assert!(
             r.agreement_tracing > r.agreement_probing,
             "tracing {} vs probing {}",
@@ -242,7 +260,7 @@ mod tests {
 
     #[test]
     fn accuracies_above_chance() {
-        let r = run(&Config::default());
+        let r = run(&Config::default()).unwrap();
         assert!(r.accuracy.0 > 0.6);
         assert!(r.accuracy.1 > 0.5);
         assert!(r.accuracy.0 > r.accuracy.1);
@@ -250,18 +268,54 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(run(&Config::default()), run(&Config::default()));
+        assert_eq!(
+            run(&Config::default()).unwrap(),
+            run(&Config::default()).unwrap()
+        );
     }
 
     #[test]
-    #[should_panic(expected = "even leaf count")]
-    fn odd_leaf_count_panics() {
-        let _ = judgment_argument(7);
+    fn parallel_report_identical_to_serial() {
+        let config = Config {
+            per_arm: 8,
+            leaves: 8,
+            seed: 0xE3,
+        };
+        let serial = run(&config).unwrap();
+        for workers in [2, 4, 8] {
+            let parallel = run_with(&config, &Runtime::with_workers(workers)).unwrap();
+            assert_eq!(serial, parallel, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn odd_leaf_count_is_an_error() {
+        let err = run(&Config {
+            leaves: 7,
+            ..Config::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)), "{err}");
+        assert!(err.to_string().contains("even"));
+    }
+
+    #[test]
+    fn single_assessor_arm_surfaces_a_stats_error() {
+        // One assessor per arm: pairwise agreement needs at least two.
+        let err = run(&Config {
+            per_arm: 1,
+            ..Config::default()
+        })
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Stats(crate::stats::StatsError::TooFewRaters { .. })
+        ));
     }
 
     #[test]
     fn render_shows_both_arms() {
-        let text = run(&Config::default()).render();
+        let text = run(&Config::default()).unwrap().render();
         assert!(text.contains("tracing"));
         assert!(text.contains("probing"));
         assert!(text.contains("agreement"));

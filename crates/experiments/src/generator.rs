@@ -16,6 +16,34 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why an argument could not be generated from a [`GeneratorConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeneratorError {
+    /// The hazard count is too small for the requested defect seeds: the
+    /// breakdown needs at least two hazards, and at least one hazard leaf
+    /// must survive the seeded `MissingSupport` omissions.
+    TooFewHazards {
+        /// Hazards requested.
+        hazards: usize,
+        /// Minimum hazards the requested seeds need.
+        required: usize,
+    },
+}
+
+impl fmt::Display for GeneratorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeneratorError::TooFewHazards { hazards, required } => write!(
+                f,
+                "need at least {required} hazards for the requested seeds, got {hazards}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GeneratorError {}
 
 /// A machine-detectable defect seeded into the formal skeleton.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -90,19 +118,31 @@ pub struct Generated {
 }
 
 /// Generates a hazard-breakdown argument with the requested defects.
-pub fn generate(config: &GeneratorConfig) -> Generated {
-    assert!(config.hazards >= 2, "need at least two hazards");
+///
+/// # Errors
+///
+/// [`GeneratorError::TooFewHazards`] when the hazard count cannot host
+/// the requested seeds (fewer than two hazards, or so many seeded
+/// `MissingSupport` omissions that no hazard leaf would remain).
+pub fn generate(config: &GeneratorConfig) -> Result<Generated, GeneratorError> {
+    let missing = config
+        .formal
+        .iter()
+        .filter(|f| **f == SeededFormal::MissingSupport)
+        .count();
+    let required = (missing + 1).max(2);
+    if config.hazards < required {
+        return Err(GeneratorError::TooFewHazards {
+            hazards: config.hazards,
+            required,
+        });
+    }
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     let hazard_atoms: Vec<String> = (0..config.hazards).map(|i| format!("h{i}")).collect();
 
     // Root claims every hazard handled; one seeded MissingSupport removes
     // a leaf while keeping the root claim.
     let root_formula = Formula::conj(hazard_atoms.iter().map(Formula::atom));
-    let missing = config
-        .formal
-        .iter()
-        .filter(|f| **f == SeededFormal::MissingSupport)
-        .count();
 
     let mut builder = Argument::builder(format!("generated-{}", config.seed))
         .node(
@@ -188,10 +228,10 @@ pub fn generate(config: &GeneratorConfig) -> Generated {
         })
         .collect();
 
-    Generated {
+    Ok(Generated {
         case: CaseStudy::new(argument, seeded),
         formal: config.formal.clone(),
-    }
+    })
 }
 
 /// Reconstructions of the three case-study arguments of Greenwell et al.
@@ -217,7 +257,8 @@ pub fn greenwell_case_studies() -> Vec<CaseStudy> {
                 formal: Vec::new(),
                 informal,
                 seed: 0xB10C + i as u64,
-            });
+            })
+            .expect("static case-study config is valid");
             generated.case
         })
         .collect()
@@ -230,7 +271,7 @@ mod tests {
 
     #[test]
     fn clean_generation_passes_machine_check() {
-        let g = generate(&GeneratorConfig::default());
+        let g = generate(&GeneratorConfig::default()).unwrap();
         let report = check_argument(&g.case.argument);
         assert!(report.is_clean(), "{:?}", report.findings);
         assert!(casekit_core::gsn::check(&g.case.argument).is_empty());
@@ -242,8 +283,8 @@ mod tests {
             informal: vec![InformalFallacy::RedHerring],
             ..GeneratorConfig::default()
         };
-        let a = generate(&config);
-        let b = generate(&config);
+        let a = generate(&config).unwrap();
+        let b = generate(&config).unwrap();
         assert_eq!(a.case, b.case);
     }
 
@@ -252,7 +293,8 @@ mod tests {
         let g = generate(&GeneratorConfig {
             formal: vec![SeededFormal::Begging],
             ..GeneratorConfig::default()
-        });
+        })
+        .unwrap();
         let report = check_argument(&g.case.argument);
         assert!(report
             .findings
@@ -265,7 +307,8 @@ mod tests {
         let g = generate(&GeneratorConfig {
             formal: vec![SeededFormal::Incompatible],
             ..GeneratorConfig::default()
-        });
+        })
+        .unwrap();
         let report = check_argument(&g.case.argument);
         assert!(report
             .findings
@@ -278,7 +321,8 @@ mod tests {
         let g = generate(&GeneratorConfig {
             formal: vec![SeededFormal::MissingSupport],
             ..GeneratorConfig::default()
-        });
+        })
+        .unwrap();
         let report = check_argument(&g.case.argument);
         assert!(report
             .findings
@@ -297,7 +341,8 @@ mod tests {
             formal: vec![SeededFormal::Incompatible, SeededFormal::MissingSupport],
             informal: vec![InformalFallacy::Equivocation],
             seed: 3,
-        });
+        })
+        .unwrap();
         let report = check_argument(&g.case.argument);
         assert!(report
             .findings
@@ -321,7 +366,8 @@ mod tests {
                 formal: vec![seed_kind],
                 informal: vec![InformalFallacy::Equivocation],
                 seed: 3,
-            });
+            })
+            .unwrap();
             let report = check_argument(&g.case.argument);
             assert!(
                 report.findings.iter().any(|f| seed_kind.matches(f)),
@@ -343,7 +389,8 @@ mod tests {
                 InformalFallacy::OmissionOfKeyEvidence,
             ],
             ..GeneratorConfig::default()
-        });
+        })
+        .unwrap();
         let report = check_argument(&g.case.argument);
         assert!(report.is_clean());
         assert_eq!(g.case.seeded.len(), 4);
@@ -380,11 +427,44 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least two")]
-    fn too_few_hazards_panics() {
-        let _ = generate(&GeneratorConfig {
-            hazards: 1,
+    fn too_few_hazards_is_an_error() {
+        assert_eq!(
+            generate(&GeneratorConfig {
+                hazards: 1,
+                ..GeneratorConfig::default()
+            })
+            .unwrap_err(),
+            GeneratorError::TooFewHazards {
+                hazards: 1,
+                required: 2
+            }
+        );
+    }
+
+    #[test]
+    fn hazards_must_outnumber_missing_support_seeds() {
+        // Three seeded omissions over three hazards would leave the root
+        // with no hazard leaf at all: an error, not a degenerate argument.
+        let err = generate(&GeneratorConfig {
+            hazards: 3,
+            formal: vec![SeededFormal::MissingSupport; 3],
             ..GeneratorConfig::default()
-        });
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            GeneratorError::TooFewHazards {
+                hazards: 3,
+                required: 4
+            }
+        );
+        assert!(err.to_string().contains("at least 4"));
+        // One surviving hazard leaf is enough.
+        assert!(generate(&GeneratorConfig {
+            hazards: 4,
+            formal: vec![SeededFormal::MissingSupport; 3],
+            ..GeneratorConfig::default()
+        })
+        .is_ok());
     }
 }

@@ -130,7 +130,8 @@ mod tests {
                 InformalFallacy::UsingWrongReasons,
             ],
             seed: 11,
-        });
+        })
+        .unwrap();
         (g.case, g.formal)
     }
 

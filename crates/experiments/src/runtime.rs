@@ -1,0 +1,271 @@
+//! The parallel experiment runtime: scoped-thread fan-out over subject
+//! populations with deterministic per-subject RNG streams.
+//!
+//! The §VI studies simulate hundreds to thousands of independent
+//! subjects. Each subject's measurements are a pure function of (the
+//! subject, the shared immutable study materials, a per-subject RNG
+//! stream), so the population shards cleanly across worker threads.
+//! Three design rules keep parallel runs *byte-identical* to serial
+//! ones:
+//!
+//! 1. **Per-subject streams** — [`stream_rng`] derives an independent
+//!    ChaCha stream from `(master seed, lane, subject index)`, so a
+//!    subject's draws never depend on which worker ran it or on how
+//!    many subjects ran before it.
+//! 2. **Order-preserving fan-out** — [`Runtime::map`] shards the
+//!    population into contiguous per-worker chunks and reassembles
+//!    results in input order; reductions then run serially over that
+//!    stable order.
+//! 3. **Shared immutable materials** — generated arguments, their
+//!    machine-check findings, and (for callers that keep asking) their
+//!    compiled theories are built once and only read inside workers.
+//!    [`machine_check_sweep`] compiles and checks each argument exactly
+//!    once across the whole run, so a review never recompiles a theory;
+//!    [`machine_check_sweep_cached`] serves the re-asking case by
+//!    cloning per-question solver sessions out of an immutable
+//!    [`TheoryCache`].
+//!
+//! `Runtime { workers: 1 }` runs everything inline on the calling
+//! thread — exactly the serial loops the experiments had before this
+//! module existed — and `Runtime::default()` uses every available core.
+//! The `workers: k` reports for any `k` are asserted identical in the
+//! crate's determinism tests and measured in `repro experiments`
+//! (`BENCH_experiments.json`).
+//!
+//! The executor is std-only (`std::thread::scope`): the vendor tree has
+//! no rayon, and the fan-out shape here — one balanced pass over a
+//! slice — does not need work stealing.
+
+use casekit_core::semantics::{ArgumentTheory, TheoryCache};
+use casekit_core::Argument;
+use casekit_fallacies::checker::{check_compiled, MachineReport};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
+
+/// Parallelism configuration for an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Runtime {
+    /// Worker threads to shard subject populations across. `1` runs
+    /// serially on the calling thread; results are identical for every
+    /// value.
+    pub workers: usize,
+}
+
+impl Default for Runtime {
+    /// One worker per available core (serial when the count is
+    /// unavailable).
+    fn default() -> Self {
+        Runtime {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
+impl Runtime {
+    /// The serial runtime: everything on the calling thread.
+    pub fn serial() -> Self {
+        Runtime { workers: 1 }
+    }
+
+    /// A runtime with exactly `workers` threads (minimum 1).
+    pub fn with_workers(workers: usize) -> Self {
+        Runtime {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Applies `f` to every item, returning results in input order.
+    ///
+    /// `f(i, &items[i])` must be a pure function of its arguments (plus
+    /// captured immutable state) — the contract that makes the worker
+    /// count unobservable in the output. With `workers == 1` (or one
+    /// item) this is a plain inline loop; otherwise items are split
+    /// into contiguous chunks, one scoped thread per chunk, and the
+    /// per-chunk outputs are concatenated back in order.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f` (the scope joins every worker
+    /// first).
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let workers = self.workers.max(1).min(items.len().max(1));
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        }
+        let chunk_len = items.len().div_ceil(workers);
+        let chunks: Vec<Vec<R>> = std::thread::scope(|scope| {
+            let f = &f;
+            let handles: Vec<_> = items
+                .chunks(chunk_len)
+                .enumerate()
+                .map(|(chunk_index, chunk)| {
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .enumerate()
+                            .map(|(j, x)| f(chunk_index * chunk_len + j, x))
+                            .collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("experiment worker panicked"))
+                .collect()
+        });
+        chunks.into_iter().flatten().collect()
+    }
+}
+
+/// The RNG stream for one unit of simulated work.
+///
+/// `seed` is the experiment's master seed, `lane` separates phases that
+/// reuse subject indices (e.g. the argument sizes of experiment B), and
+/// `index` is the subject's position. The three are mixed through a
+/// SplitMix64 finalizer so neighbouring indices land in unrelated
+/// ChaCha streams. Worker count and execution order never enter the
+/// derivation — the heart of the serial/parallel equivalence.
+pub fn stream_rng(seed: u64, lane: u64, index: u64) -> ChaCha8Rng {
+    let mut x =
+        seed ^ lane.wrapping_mul(0xA076_1D64_78BD_642F) ^ index.wrapping_mul(0xE703_7ED1_A0B4_28DB);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    ChaCha8Rng::seed_from_u64(x)
+}
+
+/// Machine-checks a population of arguments: one theory compilation and
+/// one [`check_compiled`] pass per argument, fanned across the runtime's
+/// workers.
+///
+/// This is the §VI-A machine arm at population scale — the reports are
+/// deterministic, so experiment code calls this once and shares the
+/// findings across every simulated review of the same argument instead
+/// of recompiling per review. Each freshly compiled theory is checked
+/// in place inside its worker (a sweep asks exactly one question set
+/// per argument, so nothing is cached); callers that keep re-asking
+/// about the same arguments should compile into a [`TheoryCache`] and
+/// clone per-question sessions out of it instead.
+pub fn machine_check_sweep<A>(arguments: &[A], runtime: &Runtime) -> Vec<MachineReport>
+where
+    A: Borrow<Argument> + Sync,
+{
+    runtime.map(arguments, |_, a| {
+        let mut theory = ArgumentTheory::compile(a.borrow());
+        check_compiled(a.borrow(), &mut theory)
+    })
+}
+
+/// [`machine_check_sweep`] against theories already compiled into a
+/// shared [`TheoryCache`]: every worker clones a private session out of
+/// the immutable cache instead of recompiling the argument's payloads.
+///
+/// Use this when the cache outlives the sweep (the compilations are
+/// about to serve further probes or what-if rounds); for a one-shot
+/// sweep, [`machine_check_sweep`] avoids the per-argument session
+/// clone.
+///
+/// # Panics
+///
+/// Panics if `cache` holds fewer theories than `arguments` (they must
+/// be built from the same slice).
+pub fn machine_check_sweep_cached<A>(
+    arguments: &[A],
+    cache: &TheoryCache,
+    runtime: &Runtime,
+) -> Vec<MachineReport>
+where
+    A: Borrow<Argument> + Sync,
+{
+    runtime.map(arguments, |i, a| {
+        let mut session = cache.session(i);
+        check_compiled(a.borrow(), &mut session)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorConfig, SeededFormal};
+    use casekit_fallacies::checker::check_argument;
+    use rand::Rng;
+
+    #[test]
+    fn map_preserves_input_order_for_every_worker_count() {
+        let items: Vec<usize> = (0..103).collect();
+        let serial = Runtime::serial().map(&items, |i, &x| (i, x * 2));
+        for workers in [2, 3, 4, 8, 64, 1000] {
+            let parallel = Runtime::with_workers(workers).map(&items, |i, &x| (i, x * 2));
+            assert_eq!(serial, parallel, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_tiny_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(Runtime::with_workers(8).map(&empty, |_, &x| x).is_empty());
+        assert_eq!(
+            Runtime::with_workers(8).map(&[7u8], |i, &x| (i, x)),
+            vec![(0, 7)]
+        );
+    }
+
+    #[test]
+    fn stream_rng_is_per_index_deterministic_and_lane_separated() {
+        let draws = |lane: u64, index: u64| -> Vec<f64> {
+            let mut rng = stream_rng(0xFEED, lane, index);
+            (0..4).map(|_| rng.gen::<f64>()).collect()
+        };
+        assert_eq!(draws(0, 5), draws(0, 5));
+        assert_ne!(draws(0, 5), draws(0, 6));
+        assert_ne!(draws(0, 5), draws(1, 5));
+    }
+
+    #[test]
+    fn with_workers_clamps_to_at_least_one() {
+        assert_eq!(Runtime::with_workers(0).workers, 1);
+        assert!(Runtime::default().workers >= 1);
+    }
+
+    #[test]
+    fn machine_check_sweep_matches_per_argument_checks() {
+        let arguments: Vec<Argument> = (0..6)
+            .map(|i| {
+                let formal = match i % 3 {
+                    0 => vec![],
+                    1 => vec![SeededFormal::Begging],
+                    _ => vec![SeededFormal::MissingSupport],
+                };
+                generate(&GeneratorConfig {
+                    hazards: 4 + i,
+                    formal,
+                    informal: Vec::new(),
+                    seed: 0x5EED + i as u64,
+                })
+                .unwrap()
+                .case
+                .argument
+            })
+            .collect();
+        let expected: Vec<MachineReport> = arguments.iter().map(check_argument).collect();
+        for workers in [1, 2, 4] {
+            let swept = machine_check_sweep(&arguments, &Runtime::with_workers(workers));
+            assert_eq!(swept, expected, "workers = {workers}");
+            // The cached variant (shared compilations, cloned sessions)
+            // returns the same reports.
+            let cache = TheoryCache::compile(arguments.iter());
+            let cached =
+                machine_check_sweep_cached(&arguments, &cache, &Runtime::with_workers(workers));
+            assert_eq!(cached, expected, "cached, workers = {workers}");
+        }
+    }
+}

@@ -5,6 +5,63 @@
 //! sample sizes the harness generates, n ≥ 20 per arm); this is stated
 //! rather than hidden because the experiments report the statistic itself
 //! alongside the p-value.
+//!
+//! Every public function returns `Result`: malformed samples (empty,
+//! too small, NaN-bearing, ragged) are [`StatsError`] values, never
+//! panics, so the experiment pipeline can surface them to its caller.
+
+use std::fmt;
+
+/// Why a statistic could not be computed from the given sample(s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsError {
+    /// A sample was empty where at least one observation is required.
+    EmptySample,
+    /// A sample had fewer observations than the statistic needs.
+    TooFewObservations {
+        /// Minimum observations required per sample.
+        needed: usize,
+        /// Observations actually supplied.
+        got: usize,
+    },
+    /// A sample contained NaN, which has no rank or mean.
+    NanInput,
+    /// Paired ratings differed in length.
+    LengthMismatch {
+        /// Length of the first rating vector.
+        left: usize,
+        /// Length of the second rating vector.
+        right: usize,
+    },
+    /// Fewer raters than the agreement measure needs.
+    TooFewRaters {
+        /// Raters supplied.
+        got: usize,
+    },
+    /// A rating matrix had rows of unequal length.
+    RaggedRatings,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptySample => write!(f, "cannot describe an empty sample"),
+            StatsError::TooFewObservations { needed, got } => {
+                write!(f, "need n \u{2265} {needed} per sample, got {got}")
+            }
+            StatsError::NanInput => write!(f, "samples must not contain NaN"),
+            StatsError::LengthMismatch { left, right } => {
+                write!(f, "paired ratings required, got lengths {left} and {right}")
+            }
+            StatsError::TooFewRaters { got } => {
+                write!(f, "need at least two raters, got {got}")
+            }
+            StatsError::RaggedRatings => write!(f, "ragged rating matrix"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
 
 /// Descriptive statistics of a sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -23,11 +80,17 @@ pub struct Descriptives {
 
 /// Computes descriptives.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on an empty sample.
-pub fn describe(sample: &[f64]) -> Descriptives {
-    assert!(!sample.is_empty(), "cannot describe an empty sample");
+/// [`StatsError::EmptySample`] on an empty sample and
+/// [`StatsError::NanInput`] when the sample contains NaN.
+pub fn describe(sample: &[f64]) -> Result<Descriptives, StatsError> {
+    if sample.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    if sample.iter().any(|x| x.is_nan()) {
+        return Err(StatsError::NanInput);
+    }
     let n = sample.len();
     let mean = sample.iter().sum::<f64>() / n as f64;
     let var = if n > 1 {
@@ -37,13 +100,13 @@ pub fn describe(sample: &[f64]) -> Descriptives {
     };
     let sd = var.sqrt();
     let se = sd / (n as f64).sqrt();
-    Descriptives {
+    Ok(Descriptives {
         n,
         mean,
         sd,
         se,
         ci95: 1.96 * se,
-    }
+    })
 }
 
 /// Standard normal cumulative distribution function.
@@ -75,13 +138,17 @@ pub struct TestResult {
 
 /// Welch's unequal-variance t-test (two-sided, normal-approximated p).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if either sample has fewer than two observations.
-pub fn welch_t_test(a: &[f64], b: &[f64]) -> TestResult {
-    assert!(a.len() >= 2 && b.len() >= 2, "need n ≥ 2 per sample");
-    let da = describe(a);
-    let db = describe(b);
+/// [`StatsError::TooFewObservations`] if either sample has fewer than two
+/// observations; [`StatsError::NanInput`] on NaN.
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Result<TestResult, StatsError> {
+    let got = a.len().min(b.len());
+    if got < 2 {
+        return Err(StatsError::TooFewObservations { needed: 2, got });
+    }
+    let da = describe(a)?;
+    let db = describe(b)?;
     let se2 = da.sd.powi(2) / da.n as f64 + db.sd.powi(2) / db.n as f64;
     let t = if se2 == 0.0 {
         if da.mean == db.mean {
@@ -99,29 +166,36 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> TestResult {
     } else {
         2.0 * (1.0 - normal_cdf(t.abs()))
     };
-    TestResult {
+    Ok(TestResult {
         statistic: t,
         p_value: p.clamp(0.0, 1.0),
-    }
+    })
 }
 
 /// Mann–Whitney U test (two-sided, normal approximation with tie-free
 /// variance; ties get midranks).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if either sample is empty.
-pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> TestResult {
-    assert!(!a.is_empty() && !b.is_empty(), "need non-empty samples");
+/// [`StatsError::EmptySample`] if either sample is empty;
+/// [`StatsError::NanInput`] when either sample contains NaN (NaN has no
+/// rank).
+pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Result<TestResult, StatsError> {
+    if a.is_empty() || b.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    if a.iter().chain(b).any(|x| x.is_nan()) {
+        return Err(StatsError::NanInput);
+    }
     let n1 = a.len() as f64;
     let n2 = b.len() as f64;
-    // Midranks over the pooled sample.
+    // Midranks over the pooled sample (total order holds: NaN rejected).
     let mut pooled: Vec<(f64, usize)> = a
         .iter()
         .map(|&x| (x, 0usize))
         .chain(b.iter().map(|&x| (x, 1usize)))
         .collect();
-    pooled.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("no NaNs in samples"));
+    pooled.sort_by(|x, y| x.0.total_cmp(&y.0));
     let mut ranks = vec![0f64; pooled.len()];
     let mut i = 0;
     while i < pooled.len() {
@@ -145,29 +219,33 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> TestResult {
     let mu = n1 * n2 / 2.0;
     let sigma = (n1 * n2 * (n1 + n2 + 1.0) / 12.0).sqrt();
     let z = if sigma == 0.0 { 0.0 } else { (u1 - mu) / sigma };
-    TestResult {
+    Ok(TestResult {
         statistic: z,
         p_value: (2.0 * (1.0 - normal_cdf(z.abs()))).clamp(0.0, 1.0),
-    }
+    })
 }
 
 /// Cohen's d (pooled-SD standardised mean difference).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if either sample has fewer than two observations.
-pub fn cohens_d(a: &[f64], b: &[f64]) -> f64 {
-    assert!(a.len() >= 2 && b.len() >= 2, "need n ≥ 2 per sample");
-    let da = describe(a);
-    let db = describe(b);
+/// [`StatsError::TooFewObservations`] if either sample has fewer than two
+/// observations; [`StatsError::NanInput`] on NaN.
+pub fn cohens_d(a: &[f64], b: &[f64]) -> Result<f64, StatsError> {
+    let got = a.len().min(b.len());
+    if got < 2 {
+        return Err(StatsError::TooFewObservations { needed: 2, got });
+    }
+    let da = describe(a)?;
+    let db = describe(b)?;
     let pooled = (((da.n - 1) as f64 * da.sd.powi(2) + (db.n - 1) as f64 * db.sd.powi(2))
         / ((da.n + db.n - 2) as f64))
         .sqrt();
-    if pooled == 0.0 {
+    Ok(if pooled == 0.0 {
         0.0
     } else {
         (da.mean - db.mean) / pooled
-    }
+    })
 }
 
 /// Cohen's kappa for two raters over categorical labels.
@@ -176,12 +254,20 @@ pub fn cohens_d(a: &[f64], b: &[f64]) -> f64 {
 /// single-category case) and can be negative for worse-than-chance
 /// agreement.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the rating vectors differ in length or are empty.
-pub fn cohens_kappa<T: PartialEq + Clone>(rater_a: &[T], rater_b: &[T]) -> f64 {
-    assert_eq!(rater_a.len(), rater_b.len(), "paired ratings required");
-    assert!(!rater_a.is_empty(), "need at least one item");
+/// [`StatsError::LengthMismatch`] if the rating vectors differ in length;
+/// [`StatsError::EmptySample`] if they are empty.
+pub fn cohens_kappa<T: PartialEq + Clone>(rater_a: &[T], rater_b: &[T]) -> Result<f64, StatsError> {
+    if rater_a.len() != rater_b.len() {
+        return Err(StatsError::LengthMismatch {
+            left: rater_a.len(),
+            right: rater_b.len(),
+        });
+    }
+    if rater_a.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
     let n = rater_a.len() as f64;
     let observed = rater_a.iter().zip(rater_b).filter(|(x, y)| x == y).count() as f64 / n;
     // Category marginals.
@@ -199,7 +285,7 @@ pub fn cohens_kappa<T: PartialEq + Clone>(rater_a: &[T], rater_b: &[T]) -> f64 {
             pa * pb
         })
         .sum();
-    if (1.0 - expected).abs() < 1e-12 {
+    Ok(if (1.0 - expected).abs() < 1e-12 {
         if (observed - 1.0).abs() < 1e-12 {
             1.0
         } else {
@@ -207,24 +293,29 @@ pub fn cohens_kappa<T: PartialEq + Clone>(rater_a: &[T], rater_b: &[T]) -> f64 {
         }
     } else {
         (observed - expected) / (1.0 - expected)
-    }
+    })
 }
 
 /// Mean pairwise agreement among k raters over binary judgments: the
 /// fraction of rater pairs agreeing, averaged over items. 1.0 = everyone
 /// always agrees.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics with fewer than two raters or zero items, or ragged rows.
-pub fn pairwise_agreement(ratings: &[Vec<bool>]) -> f64 {
-    assert!(ratings.len() >= 2, "need at least two raters");
+/// [`StatsError::TooFewRaters`] with fewer than two raters;
+/// [`StatsError::EmptySample`] with zero items;
+/// [`StatsError::RaggedRatings`] when rows differ in length.
+pub fn pairwise_agreement(ratings: &[Vec<bool>]) -> Result<f64, StatsError> {
+    if ratings.len() < 2 {
+        return Err(StatsError::TooFewRaters { got: ratings.len() });
+    }
     let items = ratings[0].len();
-    assert!(items > 0, "need at least one item");
-    assert!(
-        ratings.iter().all(|r| r.len() == items),
-        "ragged rating matrix"
-    );
+    if items == 0 {
+        return Err(StatsError::EmptySample);
+    }
+    if ratings.iter().any(|r| r.len() != items) {
+        return Err(StatsError::RaggedRatings);
+    }
     let mut total = 0.0;
     let mut pairs = 0usize;
     for i in 0..ratings.len() {
@@ -238,7 +329,7 @@ pub fn pairwise_agreement(ratings: &[Vec<bool>]) -> f64 {
             total += agree as f64 / items as f64;
         }
     }
-    total / pairs as f64
+    Ok(total / pairs as f64)
 }
 
 #[cfg(test)]
@@ -247,7 +338,7 @@ mod tests {
 
     #[test]
     fn describe_basics() {
-        let d = describe(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        let d = describe(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
         assert!((d.mean - 5.0).abs() < 1e-12);
         assert!((d.sd - 2.138089935299395).abs() < 1e-9);
         assert_eq!(d.n, 8);
@@ -256,15 +347,19 @@ mod tests {
 
     #[test]
     fn describe_single_point() {
-        let d = describe(&[3.0]);
+        let d = describe(&[3.0]).unwrap();
         assert_eq!(d.mean, 3.0);
         assert_eq!(d.sd, 0.0);
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
-    fn describe_empty_panics() {
-        let _ = describe(&[]);
+    fn describe_empty_is_an_error() {
+        assert_eq!(describe(&[]), Err(StatsError::EmptySample));
+    }
+
+    #[test]
+    fn describe_nan_is_an_error() {
+        assert_eq!(describe(&[1.0, f64::NAN]), Err(StatsError::NanInput));
     }
 
     #[test]
@@ -279,7 +374,7 @@ mod tests {
     fn welch_distinguishes_separated_samples() {
         let a: Vec<f64> = (0..30).map(|i| 10.0 + (i % 5) as f64 * 0.1).collect();
         let b: Vec<f64> = (0..30).map(|i| 12.0 + (i % 5) as f64 * 0.1).collect();
-        let r = welch_t_test(&a, &b);
+        let r = welch_t_test(&a, &b).unwrap();
         assert!(r.statistic < -10.0);
         assert!(r.p_value < 0.001);
     }
@@ -287,30 +382,38 @@ mod tests {
     #[test]
     fn welch_accepts_identical_samples() {
         let a = vec![1.0, 2.0, 3.0, 4.0];
-        let r = welch_t_test(&a, &a);
+        let r = welch_t_test(&a, &a).unwrap();
         assert_eq!(r.statistic, 0.0);
         assert!(r.p_value > 0.99);
     }
 
     #[test]
     fn welch_zero_variance_distinct_means() {
-        let r = welch_t_test(&[1.0, 1.0], &[2.0, 2.0]);
+        let r = welch_t_test(&[1.0, 1.0], &[2.0, 2.0]).unwrap();
         assert!(r.statistic.is_infinite());
         assert_eq!(r.p_value, 0.0);
+    }
+
+    #[test]
+    fn welch_undersized_sample_is_an_error() {
+        assert_eq!(
+            welch_t_test(&[1.0], &[2.0, 3.0]),
+            Err(StatsError::TooFewObservations { needed: 2, got: 1 })
+        );
     }
 
     #[test]
     fn mann_whitney_detects_shift() {
         let a: Vec<f64> = (0..25).map(|i| i as f64).collect();
         let b: Vec<f64> = (0..25).map(|i| i as f64 + 30.0).collect();
-        let r = mann_whitney_u(&a, &b);
+        let r = mann_whitney_u(&a, &b).unwrap();
         assert!(r.p_value < 0.001);
     }
 
     #[test]
     fn mann_whitney_no_shift() {
         let a: Vec<f64> = (0..25).map(|i| (i % 7) as f64).collect();
-        let r = mann_whitney_u(&a, &a);
+        let r = mann_whitney_u(&a, &a).unwrap();
         assert!(r.p_value > 0.9);
     }
 
@@ -318,27 +421,52 @@ mod tests {
     fn mann_whitney_handles_ties() {
         let a = vec![1.0, 1.0, 2.0, 2.0];
         let b = vec![1.0, 2.0, 2.0, 2.0];
-        let r = mann_whitney_u(&a, &b);
+        let r = mann_whitney_u(&a, &b).unwrap();
         assert!(r.p_value > 0.3);
+    }
+
+    #[test]
+    fn mann_whitney_nan_is_an_error_not_a_panic() {
+        assert_eq!(
+            mann_whitney_u(&[1.0, f64::NAN], &[2.0]),
+            Err(StatsError::NanInput)
+        );
+        assert_eq!(
+            mann_whitney_u(&[1.0], &[f64::NAN]),
+            Err(StatsError::NanInput)
+        );
+    }
+
+    #[test]
+    fn mann_whitney_empty_is_an_error() {
+        assert_eq!(mann_whitney_u(&[], &[1.0]), Err(StatsError::EmptySample));
     }
 
     #[test]
     fn cohens_d_magnitude() {
         let a = vec![1.0, 2.0, 3.0, 4.0, 5.0];
         let b = vec![3.0, 4.0, 5.0, 6.0, 7.0];
-        let d = cohens_d(&a, &b);
+        let d = cohens_d(&a, &b).unwrap();
         assert!((d + 1.2649110640673518).abs() < 1e-9);
-        assert_eq!(cohens_d(&a, &a), 0.0);
+        assert_eq!(cohens_d(&a, &a), Ok(0.0));
+    }
+
+    #[test]
+    fn cohens_d_undersized_sample_is_an_error() {
+        assert_eq!(
+            cohens_d(&[], &[1.0, 2.0]),
+            Err(StatsError::TooFewObservations { needed: 2, got: 0 })
+        );
     }
 
     #[test]
     fn kappa_perfect_and_chance() {
         let a = vec!["x", "y", "x", "y"];
-        assert!((cohens_kappa(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((cohens_kappa(&a, &a).unwrap() - 1.0).abs() < 1e-12);
         // Independent-looking ratings: kappa near zero.
         let r1 = vec!["x", "x", "y", "y"];
         let r2 = vec!["x", "y", "x", "y"];
-        let k = cohens_kappa(&r1, &r2);
+        let k = cohens_kappa(&r1, &r2).unwrap();
         assert!(k.abs() < 1e-12);
     }
 
@@ -346,26 +474,55 @@ mod tests {
     fn kappa_worse_than_chance_is_negative() {
         let r1 = vec![true, false, true, false];
         let r2 = vec![false, true, false, true];
-        assert!(cohens_kappa(&r1, &r2) < 0.0);
+        assert!(cohens_kappa(&r1, &r2).unwrap() < 0.0);
     }
 
     #[test]
     fn kappa_degenerate_single_category() {
         let r = vec!["same"; 5];
-        assert_eq!(cohens_kappa(&r, &r), 1.0);
+        assert_eq!(cohens_kappa(&r, &r), Ok(1.0));
+    }
+
+    #[test]
+    fn kappa_mismatched_lengths_are_an_error() {
+        assert_eq!(
+            cohens_kappa(&[true, false], &[true]),
+            Err(StatsError::LengthMismatch { left: 2, right: 1 })
+        );
+        assert_eq!(cohens_kappa::<bool>(&[], &[]), Err(StatsError::EmptySample));
     }
 
     #[test]
     fn pairwise_agreement_bounds() {
         let all_agree = vec![vec![true, false], vec![true, false], vec![true, false]];
-        assert!((pairwise_agreement(&all_agree) - 1.0).abs() < 1e-12);
+        assert!((pairwise_agreement(&all_agree).unwrap() - 1.0).abs() < 1e-12);
         let half = vec![vec![true, true], vec![true, false]];
-        assert!((pairwise_agreement(&half) - 0.5).abs() < 1e-12);
+        assert!((pairwise_agreement(&half).unwrap() - 0.5).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "two raters")]
-    fn pairwise_agreement_needs_two() {
-        let _ = pairwise_agreement(&[vec![true]]);
+    fn pairwise_agreement_shape_errors() {
+        assert_eq!(
+            pairwise_agreement(&[vec![true]]),
+            Err(StatsError::TooFewRaters { got: 1 })
+        );
+        assert_eq!(
+            pairwise_agreement(&[vec![], vec![]]),
+            Err(StatsError::EmptySample)
+        );
+        assert_eq!(
+            pairwise_agreement(&[vec![true], vec![true, false]]),
+            Err(StatsError::RaggedRatings)
+        );
+    }
+
+    #[test]
+    fn errors_render_for_humans() {
+        assert!(StatsError::EmptySample.to_string().contains("empty"));
+        assert!(StatsError::NanInput.to_string().contains("NaN"));
+        assert!(StatsError::TooFewObservations { needed: 2, got: 1 }
+            .to_string()
+            .contains('2'));
+        assert!(StatsError::RaggedRatings.to_string().contains("ragged"));
     }
 }

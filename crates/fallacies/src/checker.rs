@@ -74,15 +74,30 @@ impl MachineReport {
 /// root entailment are assumption rounds against it. The fallacy
 /// detectors run over borrowed premise references — no `Formula` clones
 /// anywhere on the path.
+///
+/// Callers that check the same argument repeatedly (e.g. a review
+/// harness asking once per simulated reviewer) should compile once —
+/// or pull a session from a [`casekit_core::semantics::TheoryCache`] —
+/// and call [`check_compiled`] instead of paying this compilation every
+/// time.
 pub fn check_argument(argument: &Argument) -> MachineReport {
+    let mut theory = ArgumentTheory::compile(argument);
+    check_compiled(argument, &mut theory)
+}
+
+/// [`check_argument`] against an already-compiled theory session.
+///
+/// `theory` must be a session over this `argument` (fresh from
+/// [`ArgumentTheory::compile`] or cloned out of a
+/// [`casekit_core::semantics::TheoryCache`]); the premise and conclusion
+/// literal lists are aligned with the argument's formal skeleton by
+/// construction. Checks fully retract their assumptions, so one session
+/// can serve any number of calls.
+pub fn check_compiled(argument: &Argument, theory: &mut ArgumentTheory) -> MachineReport {
     let premises = formal_premises(argument);
     let conclusion = formal_conclusion(argument);
     let formal_nodes = argument.formalised_count();
     let mut findings = Vec::new();
-
-    // Per-step deduction checks and the root entailment, all in one
-    // compiled session.
-    let mut theory = ArgumentTheory::compile(argument);
     for idx in theory.non_deductive_step_indices() {
         findings.push(MachineFinding::NonDeductiveStep {
             node: argument.node_at(idx).id.clone(),
@@ -235,6 +250,27 @@ mod tests {
         }
         .to_string()
         .contains("g1"));
+    }
+
+    #[test]
+    fn check_compiled_reuses_one_session_across_repeated_checks() {
+        let a = parse_argument(
+            r#"argument "gap" {
+                goal g1 "meets deadlines" formal "meets_deadlines" {
+                  goal g2 "quality" formal "code_reviewed & unit_tests_passed" {
+                    solution e1 "review minutes"
+                  }
+                }
+            }"#,
+        )
+        .unwrap();
+        let fresh = check_argument(&a);
+        let mut session = ArgumentTheory::compile(&a);
+        // The same session answers identically as many times as asked —
+        // the access pattern of a theory cache shared across reviews.
+        for _ in 0..3 {
+            assert_eq!(check_compiled(&a, &mut session), fresh);
+        }
     }
 
     #[test]

@@ -28,9 +28,24 @@ fn main() {
     println!("Greenwell reconstruction: {seeded} seeded informal findings, {machine} machine-detectable\n");
 
     // The five proposed studies, simulated.
-    println!("{}", exp_a::run(&exp_a::Config::default()).render());
-    println!("{}", exp_b::run(&exp_b::Config::default()).render());
-    println!("{}", exp_c::run(&exp_c::Config::default()).render());
-    println!("{}", exp_d::run(&exp_d::Config::default()).render());
-    println!("{}", exp_e::run(&exp_e::Config::default()).render());
+    println!(
+        "{}",
+        exp_a::run(&exp_a::Config::default()).unwrap().render()
+    );
+    println!(
+        "{}",
+        exp_b::run(&exp_b::Config::default()).unwrap().render()
+    );
+    println!(
+        "{}",
+        exp_c::run(&exp_c::Config::default()).unwrap().render()
+    );
+    println!(
+        "{}",
+        exp_d::run(&exp_d::Config::default()).unwrap().render()
+    );
+    println!(
+        "{}",
+        exp_e::run(&exp_e::Config::default()).unwrap().render()
+    );
 }

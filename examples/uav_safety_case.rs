@@ -62,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         0.5,
         0.97,
         confidence::Aggregation::NoisyAnd,
-    );
+    )?;
     println!(
         "root confidence (noisy-AND): {:.3}",
         assessment.confidence(&NodeId::new("g1")).unwrap()

@@ -28,6 +28,10 @@ graph-bench:
 bench-logic:
     cargo run --release -q -p casekit-bench --bin repro logic
 
+# Experiment-runtime speedup artifact (BENCH_experiments.json).
+bench-experiments:
+    cargo run --release -q -p casekit-bench --bin repro experiments
+
 # Regenerate every paper artifact.
 repro:
     cargo run --release -q -p casekit-bench --bin repro

@@ -22,4 +22,9 @@ cargo run --release -q -p casekit-bench --bin repro graph
 echo "==> repro logic (writes BENCH_logic.json)"
 cargo run --release -q -p casekit-bench --bin repro logic
 
+echo "==> repro experiments (writes BENCH_experiments.json)"
+cargo run --release -q -p casekit-bench --bin repro experiments
+grep -q '"reports_agree": true' BENCH_experiments.json \
+  || { echo "FAIL: BENCH_experiments.json does not report serial/parallel agreement"; exit 1; }
+
 echo "All checks passed."

@@ -11,7 +11,8 @@ fn exp_a_shape_robust_across_seeds() {
         let r = exp_a::run(&exp_a::Config {
             seed,
             ..exp_a::Config::default()
-        });
+        })
+        .unwrap();
         assert_eq!(r.formal_catch_machine, 1.0, "seed {seed}");
         assert!(r.formal_catch_human < 1.0, "seed {seed}");
         assert!(
@@ -27,7 +28,8 @@ fn exp_b_shape_robust_across_seeds() {
         let r = exp_b::run(&exp_b::Config {
             seed,
             ..exp_b::Config::default()
-        });
+        })
+        .unwrap();
         for pair in r.cells.windows(2) {
             assert!(pair[1].minutes.mean > pair[0].minutes.mean, "seed {seed}");
         }
@@ -48,7 +50,8 @@ fn exp_c_shape_robust_across_seeds() {
         let r = exp_c::run(&exp_c::Config {
             seed,
             ..exp_c::Config::default()
-        });
+        })
+        .unwrap();
         let manager_sym = r
             .cell(Background::Manager, exp_c::Notation::Symbolic)
             .comprehension
@@ -72,7 +75,8 @@ fn exp_d_shape_robust_across_seeds() {
         let r = exp_d::run(&exp_d::Config {
             seed,
             ..exp_d::Config::default()
-        });
+        })
+        .unwrap();
         assert_eq!(r.type_defects_tool, 0.0, "seed {seed}");
         assert!(r.type_defects_manual > 0.0, "seed {seed}");
         assert!(r.semantic_defects.1 > 0.0, "seed {seed}");
@@ -85,7 +89,8 @@ fn exp_e_shape_robust_across_seeds() {
         let r = exp_e::run(&exp_e::Config {
             seed,
             ..exp_e::Config::default()
-        });
+        })
+        .unwrap();
         assert!(
             r.minutes_tracing.mean < r.minutes_probing.mean,
             "seed {seed}"
@@ -106,11 +111,13 @@ fn experiments_scale_with_config() {
     let small = exp_a::run(&exp_a::Config {
         per_arm: 15,
         ..exp_a::Config::default()
-    });
+    })
+    .unwrap();
     let large = exp_a::run(&exp_a::Config {
         per_arm: 60,
         ..exp_a::Config::default()
-    });
+    })
+    .unwrap();
     assert!(large.minutes_control.ci95 < small.minutes_control.ci95);
     assert!(large.minutes_treatment.mean < large.minutes_control.mean);
 }

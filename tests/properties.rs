@@ -532,3 +532,73 @@ mod arena_props {
         }
     }
 }
+
+mod runtime_props {
+    use casekit::experiments::runtime::Runtime;
+    use casekit::experiments::{exp_a, exp_b, exp_c, exp_d, exp_e};
+    use proptest::prelude::*;
+
+    // The acceptance property of the experiment runtime: for any master
+    // seed, `Runtime { workers: k }` with k in {1, 2, 4, 8} produces
+    // byte-identical reports across all five §VI studies (small
+    // configurations keep the fuzzing budget sane; worker count must be
+    // unobservable at any scale by the same construction).
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn worker_count_is_unobservable_across_all_five_experiments(seed in 0u64..1 << 48) {
+            let workers = [1usize, 2, 4, 8];
+
+            let a_cfg = exp_a::Config { per_arm: 9, arguments: 3, hazards: 5, seed };
+            let a_base = exp_a::run_with(&a_cfg, &Runtime::with_workers(1)).unwrap();
+            for k in workers {
+                prop_assert_eq!(
+                    &exp_a::run_with(&a_cfg, &Runtime::with_workers(k)).unwrap(),
+                    &a_base,
+                    "exp_a, workers = {}", k
+                );
+            }
+
+            let b_cfg = exp_b::Config { sizes: vec![10, 20], per_background: 3, seed };
+            let b_base = exp_b::run_with(&b_cfg, &Runtime::with_workers(1)).unwrap();
+            for k in workers {
+                prop_assert_eq!(
+                    &exp_b::run_with(&b_cfg, &Runtime::with_workers(k)).unwrap(),
+                    &b_base,
+                    "exp_b, workers = {}", k
+                );
+            }
+
+            let c_cfg = exp_c::Config { per_cell: 5, words: 400, questions: 5, seed };
+            let c_base = exp_c::run_with(&c_cfg, &Runtime::with_workers(1)).unwrap();
+            for k in workers {
+                prop_assert_eq!(
+                    &exp_c::run_with(&c_cfg, &Runtime::with_workers(k)).unwrap(),
+                    &c_base,
+                    "exp_c, workers = {}", k
+                );
+            }
+
+            let d_cfg = exp_d::Config { instantiations: 3, per_arm: 7, seed };
+            let d_base = exp_d::run_with(&d_cfg, &Runtime::with_workers(1)).unwrap();
+            for k in workers {
+                prop_assert_eq!(
+                    &exp_d::run_with(&d_cfg, &Runtime::with_workers(k)).unwrap(),
+                    &d_base,
+                    "exp_d, workers = {}", k
+                );
+            }
+
+            let e_cfg = exp_e::Config { per_arm: 6, leaves: 6, seed };
+            let e_base = exp_e::run_with(&e_cfg, &Runtime::with_workers(1)).unwrap();
+            for k in workers {
+                prop_assert_eq!(
+                    &exp_e::run_with(&e_cfg, &Runtime::with_workers(k)).unwrap(),
+                    &e_base,
+                    "exp_e, workers = {}", k
+                );
+            }
+        }
+    }
+}
