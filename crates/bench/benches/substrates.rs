@@ -224,6 +224,19 @@ fn bench_logic_core(c: &mut Criterion) {
     });
 }
 
+fn bench_cdcl_hard(c: &mut Criterion) {
+    // Conflict-driven learning vs chronological backtracking on one
+    // deep-chain + pigeonhole instance (the `repro logic` hard
+    // population measures the full three-engine population).
+    let inst = casekit_bench::logic::hard_instance(12, 4, false);
+    c.bench_function("hard_chain12_php4_cdcl", |b| {
+        b.iter(|| casekit_bench::logic::solve_hard_cdcl(black_box(&inst)))
+    });
+    c.bench_function("hard_chain12_php4_dpll", |b| {
+        b.iter(|| casekit_bench::logic::solve_hard_dpll(black_box(&inst)))
+    });
+}
+
 criterion_group!(
     benches,
     bench_sat,
@@ -234,6 +247,7 @@ criterion_group!(
     bench_patterns,
     bench_dsl_and_query,
     bench_graph,
-    bench_logic_core
+    bench_logic_core,
+    bench_cdcl_hard
 );
 criterion_main!(benches);

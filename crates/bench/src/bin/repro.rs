@@ -5,21 +5,54 @@
 //! ```text
 //! repro [table1 | claims | figure1 | haley | greenwell |
 //!        exp-a | exp-b | exp-c | exp-d | exp-e | graph | logic |
-//!        experiments | all]
+//!        experiments | all] [--smoke]
 //! ```
 //!
 //! `graph` additionally writes the measured legacy-vs-indexed graph-core
 //! comparison to `BENCH_graph.json` in the working directory; `logic`
-//! does the same for the legacy-vs-interned batch entailment sweep
+//! does the same for the legacy-vs-interned batch entailment sweep plus
+//! the CDCL-vs-DPLL-vs-legacy hard-instance comparison
 //! (`BENCH_logic.json`), and `experiments` for the serial-vs-parallel
 //! experiment runtime (`BENCH_experiments.json`).
 //!
-//! With no argument, prints everything.
+//! `--smoke` runs the benchmark artifacts on small fixed-seed
+//! populations and writes them as `BENCH_*.smoke.json` instead — fast,
+//! deterministic inputs for the CI bench-regression gate
+//! (`scripts/bench_gate.sh`), which checks speedup floors and agreement
+//! flags without disturbing the committed full-scale artifacts.
+//!
+//! With no artefact argument, prints everything.
 
 use casekit_bench as bench;
 
+/// Writes `json` to `path`, warning instead of failing on I/O errors
+/// (the artefact is also printed to stdout).
+fn write_artifact(path: &str, json: &str) {
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        eprintln!("wrote {path}");
+    }
+}
+
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let mut smoke = false;
+    let mut artefact: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other if artefact.is_none() => artefact = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected extra argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let arg = artefact.unwrap_or_else(|| "all".to_string());
+    if smoke && !matches!(arg.as_str(), "graph" | "logic" | "experiments") {
+        eprintln!("--smoke only applies to the graph, logic, and experiments artefacts");
+        std::process::exit(2);
+    }
     let output = match arg.as_str() {
         "table1" => bench::table_i(),
         "claims" => bench::claims_summary(),
@@ -32,37 +65,50 @@ fn main() {
         "exp-d" => bench::experiment_d(),
         "exp-e" => bench::experiment_e(),
         "graph" => {
-            let report = bench::graph::run_graph_bench(10_000);
-            let json = bench::graph::bench_graph_json(&report);
-            let path = "BENCH_graph.json";
-            if let Err(e) = std::fs::write(path, &json) {
-                eprintln!("warning: could not write {path}: {e}");
+            let (nodes, path) = if smoke {
+                (2_000, "BENCH_graph.smoke.json")
             } else {
-                eprintln!("wrote {path}");
-            }
+                (10_000, "BENCH_graph.json")
+            };
+            let report = bench::graph::run_graph_bench(nodes);
+            write_artifact(path, &bench::graph::bench_graph_json(&report));
             bench::graph::render_report(&report)
         }
         "logic" => {
-            let report = bench::logic::run_logic_bench(120);
-            let json = bench::logic::bench_logic_json(&report);
-            let path = "BENCH_logic.json";
-            if let Err(e) = std::fs::write(path, &json) {
-                eprintln!("warning: could not write {path}: {e}");
+            let (count, hard, path) = if smoke {
+                (
+                    24,
+                    bench::logic::hard_population_smoke(),
+                    "BENCH_logic.smoke.json",
+                )
             } else {
-                eprintln!("wrote {path}");
-            }
+                (
+                    120,
+                    bench::logic::hard_population_full(),
+                    "BENCH_logic.json",
+                )
+            };
+            let report = bench::logic::run_logic_bench(count, &hard);
+            write_artifact(path, &bench::logic::bench_logic_json(&report));
             bench::logic::render_report(&report)
         }
         "experiments" => {
-            let report =
-                bench::experiments::run_experiments_bench(bench::experiments_bench_workers());
-            let json = bench::experiments::bench_experiments_json(&report);
-            let path = "BENCH_experiments.json";
-            if let Err(e) = std::fs::write(path, &json) {
-                eprintln!("warning: could not write {path}: {e}");
+            let (config, path) = if smoke {
+                (
+                    bench::experiments::smoke_config(),
+                    "BENCH_experiments.smoke.json",
+                )
             } else {
-                eprintln!("wrote {path}");
-            }
+                (
+                    bench::experiments::scaled_config(),
+                    "BENCH_experiments.json",
+                )
+            };
+            let report = bench::experiments::run_experiments_bench_with(
+                &config,
+                bench::experiments_bench_workers(),
+            );
+            write_artifact(path, &bench::experiments::bench_experiments_json(&report));
             bench::experiments::render_report(&report)
         }
         "all" => bench::all(),

@@ -26,7 +26,6 @@ use casekit_experiments::runtime::{stream_rng, Runtime};
 use casekit_experiments::stats::{describe, welch_t_test};
 use casekit_fallacies::checker::check_argument;
 use serde::Serialize;
-use std::time::Instant;
 
 /// The scaled-up population: 2 400 subjects (1 200 per arm) reviewing
 /// six seeded arguments each — 14 400 reviews, 7 200 of them in the
@@ -36,6 +35,18 @@ pub fn scaled_config() -> exp_a::Config {
         per_arm: 1200,
         arguments: 6,
         hazards: 10,
+        seed: 0x5CA1E,
+    }
+}
+
+/// The scaled-down population for the CI smoke gate (`--smoke`): same
+/// fixed seed, small enough that the whole comparison (legacy loop
+/// included) finishes in seconds.
+pub fn smoke_config() -> exp_a::Config {
+    exp_a::Config {
+        per_arm: 150,
+        arguments: 4,
+        hazards: 8,
         seed: 0x5CA1E,
     }
 }
@@ -142,37 +153,27 @@ pub struct ExperimentsBenchReport {
 /// Runs the comparison on the scaled population with `workers` threads
 /// for the parallel arm.
 pub fn run_experiments_bench(workers: usize) -> ExperimentsBenchReport {
-    let config = scaled_config();
+    run_experiments_bench_with(&scaled_config(), workers)
+}
+
+/// Runs the comparison on an explicit population configuration (the
+/// smoke gate passes [`smoke_config`]).
+pub fn run_experiments_bench_with(
+    config: &exp_a::Config,
+    workers: usize,
+) -> ExperimentsBenchReport {
+    let config = config.clone();
 
     // Best-of-3 for every arm, legacy included: an asymmetric
     // single-sample legacy measurement would bias the published ratio.
-    let mut legacy_ms = f64::INFINITY;
-    let mut legacy_report = None;
-    for _ in 0..3 {
-        let start = Instant::now();
-        legacy_report = Some(legacy_exp_a(&config));
-        legacy_ms = legacy_ms.min(start.elapsed().as_secs_f64() * 1e3);
-    }
-    let legacy_report = legacy_report.expect("ran at least once");
-
-    let mut serial_ms = f64::INFINITY;
-    let mut serial_report = None;
-    for _ in 0..3 {
-        let start = Instant::now();
-        serial_report = Some(exp_a::run_with(&config, &Runtime::serial()).expect("valid config"));
-        serial_ms = serial_ms.min(start.elapsed().as_secs_f64() * 1e3);
-    }
-    let serial_report = serial_report.expect("ran at least once");
-
+    let (legacy_ms, legacy_report) = crate::best_of_ms(3, || legacy_exp_a(&config));
+    let (serial_ms, serial_report) = crate::best_of_ms(3, || {
+        exp_a::run_with(&config, &Runtime::serial()).expect("valid config")
+    });
     let runtime = Runtime::with_workers(workers);
-    let mut parallel_ms = f64::INFINITY;
-    let mut parallel_report = None;
-    for _ in 0..3 {
-        let start = Instant::now();
-        parallel_report = Some(exp_a::run_with(&config, &runtime).expect("valid config"));
-        parallel_ms = parallel_ms.min(start.elapsed().as_secs_f64() * 1e3);
-    }
-    let parallel_report = parallel_report.expect("ran at least once");
+    let (parallel_ms, parallel_report) = crate::best_of_ms(3, || {
+        exp_a::run_with(&config, &runtime).expect("valid config")
+    });
 
     // Byte-equality across every execution strategy, including an
     // intermediate worker count not otherwise measured.

@@ -4,6 +4,7 @@
 //! Graydon (DSN 2015), shared by the `repro` binary and the Criterion
 //! benches. See EXPERIMENTS.md for the paper-vs-measured record.
 
+use casekit_experiments::runtime::Runtime;
 use casekit_experiments::{exp_a, exp_b, exp_c, exp_d, exp_e};
 use casekit_fallacies::checker::check_argument;
 use casekit_fallacies::taxonomy::InformalFallacy;
@@ -15,6 +16,22 @@ use std::fmt::Write as _;
 pub mod experiments;
 pub mod graph;
 pub mod logic;
+
+/// Runs `f` `runs` times and returns the fastest wall-clock time in
+/// milliseconds together with the last result (benchmark arms are
+/// deterministic, so every run's result is identical). One measurement
+/// policy for every arm keeps the published ratios comparable.
+pub(crate) fn best_of_ms<R>(runs: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    assert!(runs > 0, "at least one run");
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..runs {
+        let start = std::time::Instant::now();
+        result = Some(f());
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, result.expect("runs > 0"))
+}
 
 /// Reproduces Table I (survey phase-1 selection counts).
 pub fn table_i() -> String {
@@ -127,35 +144,35 @@ pub fn greenwell_table() -> String {
 
 /// Runs and renders experiment A.
 pub fn experiment_a() -> String {
-    exp_a::run(&exp_a::Config::default())
+    exp_a::run_with(&exp_a::Config::default(), &Runtime::from_env())
         .expect("default config is valid")
         .render()
 }
 
 /// Runs and renders experiment B.
 pub fn experiment_b() -> String {
-    exp_b::run(&exp_b::Config::default())
+    exp_b::run_with(&exp_b::Config::default(), &Runtime::from_env())
         .expect("default config is valid")
         .render()
 }
 
 /// Runs and renders experiment C.
 pub fn experiment_c() -> String {
-    exp_c::run(&exp_c::Config::default())
+    exp_c::run_with(&exp_c::Config::default(), &Runtime::from_env())
         .expect("default config is valid")
         .render()
 }
 
 /// Runs and renders experiment D.
 pub fn experiment_d() -> String {
-    exp_d::run(&exp_d::Config::default())
+    exp_d::run_with(&exp_d::Config::default(), &Runtime::from_env())
         .expect("default config is valid")
         .render()
 }
 
 /// Runs and renders experiment E.
 pub fn experiment_e() -> String {
-    exp_e::run(&exp_e::Config::default())
+    exp_e::run_with(&exp_e::Config::default(), &Runtime::from_env())
         .expect("default config is valid")
         .render()
 }
@@ -169,10 +186,10 @@ pub fn graph_bench() -> String {
 }
 
 /// Runs the logic-core batch entailment comparison (120-theory seeded
-/// population) and renders the summary. The JSON artifact is written by
-/// `repro logic`.
+/// population plus the full hard-instance population) and renders the
+/// summary. The JSON artifact is written by `repro logic`.
 pub fn logic_bench() -> String {
-    let report = logic::run_logic_bench(120);
+    let report = logic::run_logic_bench(120, &logic::hard_population_full());
     logic::render_report(&report)
 }
 
@@ -184,13 +201,17 @@ pub fn experiments_bench() -> String {
     experiments::render_report(&report)
 }
 
-/// Worker count for the parallel arm: every available core, floored at
-/// the acceptance gate's four.
+/// Worker count for the parallel arm: an explicit `RUNTIME_WORKERS`
+/// pin is honored exactly (so a 1- or 2-worker measurement answers the
+/// question that was asked); otherwise every available core, floored
+/// at the acceptance gate's four.
 pub fn experiments_bench_workers() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .max(4)
+    Runtime::pinned_from_env().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .max(4)
+    })
 }
 
 /// Every artefact, concatenated (the `repro all` output).

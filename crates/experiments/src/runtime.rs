@@ -54,18 +54,44 @@ pub struct Runtime {
 }
 
 impl Default for Runtime {
-    /// One worker per available core (serial when the count is
-    /// unavailable).
+    /// [`Runtime::from_env`]: the `RUNTIME_WORKERS` environment
+    /// variable when set, one worker per available core otherwise.
     fn default() -> Self {
-        Runtime {
-            workers: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
-        }
+        Self::from_env()
     }
 }
 
+/// Parses a `RUNTIME_WORKERS`-style value: a positive integer, or
+/// `None` for anything absent or unparseable (the caller falls back to
+/// the core count).
+fn parse_workers(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&w| w > 0)
+}
+
 impl Runtime {
+    /// The runtime CI and local runs configure through the environment:
+    /// `RUNTIME_WORKERS` when set to a positive integer, every
+    /// available core otherwise. Because worker count is unobservable
+    /// in every report, the CI matrix runs the test suite under
+    /// `RUNTIME_WORKERS={1,4}` and expects identical results.
+    pub fn from_env() -> Self {
+        let workers = Self::pinned_from_env().unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        Runtime { workers }
+    }
+
+    /// The explicit `RUNTIME_WORKERS` pin, if one is set and parses to
+    /// a positive integer — the single source of truth for that
+    /// variable's syntax (callers layer their own fallbacks on top).
+    pub fn pinned_from_env() -> Option<usize> {
+        parse_workers(std::env::var("RUNTIME_WORKERS").ok().as_deref())
+    }
+
     /// The serial runtime: everything on the calling thread.
     pub fn serial() -> Self {
         Runtime { workers: 1 }
@@ -234,6 +260,28 @@ mod tests {
     fn with_workers_clamps_to_at_least_one() {
         assert_eq!(Runtime::with_workers(0).workers, 1);
         assert!(Runtime::default().workers >= 1);
+    }
+
+    #[test]
+    fn runtime_workers_parsing_accepts_positive_integers_only() {
+        assert_eq!(parse_workers(Some("4")), Some(4));
+        assert_eq!(parse_workers(Some(" 2 ")), Some(2));
+        assert_eq!(parse_workers(Some("0")), None);
+        assert_eq!(parse_workers(Some("-3")), None);
+        assert_eq!(parse_workers(Some("many")), None);
+        assert_eq!(parse_workers(Some("")), None);
+        assert_eq!(parse_workers(None), None);
+    }
+
+    #[test]
+    fn env_configured_runtime_matches_serial_results() {
+        // Whatever RUNTIME_WORKERS the harness (or the CI matrix) set,
+        // the environment-configured runtime must agree with serial —
+        // the parallel-identity guarantee the matrix exercises.
+        let items: Vec<usize> = (0..57).collect();
+        let serial = Runtime::serial().map(&items, |i, &x| (i, x.wrapping_mul(31)));
+        let from_env = Runtime::from_env().map(&items, |i, &x| (i, x.wrapping_mul(31)));
+        assert_eq!(serial, from_env);
     }
 
     #[test]

@@ -15,15 +15,20 @@
 //!   strings, clauses are ordered sets;
 //! * the index plane — [`solver`] with its [`AtomTable`](solver::Theory)
 //!   interner, packed [`Lit`](intern::Lit)s, flat clause arenas, and
-//!   the iterative two-watched-literal solver — is what actually
-//!   decides; everything is a dense `u32`.
+//!   the CDCL core (first-UIP clause learning, non-chronological
+//!   backjumping, VSIDS decisions, learned-clause GC) — is what
+//!   actually decides; everything is a dense `u32`.
 //!
 //! [`dpll`], [`Formula::entails`], and friends keep their historical
 //! signatures as thin bridges onto the index plane. Batch callers
 //! (argument semantics, fallacy checking, probing, the experiments)
 //! compile a [`solver::Theory`] once and issue many
-//! `assume`/`check`/`retract` queries against it. The seed's recursive
-//! solver survives in [`legacy`] as a differential-testing oracle.
+//! `assume`/`check`/`retract` queries against it — and because
+//! assumptions enter the CDCL search as decisions, everything learned
+//! answering one query speeds up the next. Two older engines survive
+//! for differential testing and benchmarking: the seed's recursive
+//! solver in [`legacy`], and the PR 2 chronological watched-literal
+//! DPLL as [`solver::dpll::DpllSolver`].
 
 mod ast;
 mod cnf;
@@ -41,4 +46,4 @@ pub use intern::{AtomTable, Lit, Var};
 pub use parser::parse;
 pub use resolution::{resolution_entails, resolution_refute, ResolutionOutcome};
 pub use sat::{all_models, dpll, dpll_clauses, legacy, SatResult};
-pub use solver::{Solver, Theory};
+pub use solver::{DpllSolver, Solver, SolverStats, Theory};

@@ -1,52 +1,131 @@
-//! The interned solver core: packed-literal clause arena, iterative
-//! two-watched-literal DPLL, and incremental assume/check/retract
-//! sessions.
+//! The conflict-driven solver core: packed-literal clause arena,
+//! CDCL search (first-UIP clause learning, non-chronological
+//! backjumping, VSIDS decisions with phase saving, learned-clause
+//! garbage collection), and incremental assume/check/retract sessions.
 //!
 //! This is the engine behind every entailment query in the workspace.
-//! Where the legacy path (kept as [`super::legacy`]) re-derives a
-//! `BTreeSet<Literal>` clause set and recursively solves it with
-//! `BTreeMap` valuations for every query, the [`Solver`] keeps one flat
-//! clause database ([`Lit`]s in a single `Vec`, clause bounds alongside)
-//! and answers many queries against it:
+//! The legacy path (kept as [`super::legacy`]) re-derives a
+//! `BTreeSet<Literal>` clause set and recursively solves it per query;
+//! the PR 2 chronological DPLL it replaced survives as
+//! [`dpll::DpllSolver`] (the differential-testing baseline). The
+//! [`Solver`] here keeps one flat clause database and answers many
+//! queries against it, learning across conflicts *and across checks*:
 //!
 //! * **two watched literals** — each clause is indexed by two of its
 //!   literals; propagation touches a clause only when a watched literal
 //!   is falsified, instead of rescanning every clause per round;
-//! * **explicit trail** — assignments are pushed onto a trail with
-//!   recorded decision levels, so backtracking is a truncation, not a
-//!   recursive unwind that clones state;
-//! * **activity-ordered decisions** — branching follows descending
-//!   occurrence counts, a static proxy for VSIDS that keeps the hot
-//!   variables early in the search;
+//! * **trail + decision levels** — assignments are pushed onto a trail
+//!   with per-variable decision levels and *reasons* (the clause that
+//!   propagated each implied literal), which together form the
+//!   implication graph conflict analysis walks;
+//! * **first-UIP learning** — every conflict is resolved back to its
+//!   first unique implication point ([`analyze`]), yielding a clause
+//!   that is a consequence of the database alone and that immediately
+//!   propagates after backjumping;
+//! * **non-chronological backjumping** — instead of flipping the
+//!   deepest decision, search jumps straight to the second-highest
+//!   level in the learned clause, discarding every decision the
+//!   conflict proved irrelevant;
+//! * **VSIDS + phase saving** ([`vsids`]) — decisions follow
+//!   conflict-driven activity, and re-entered variables resume their
+//!   last polarity;
+//! * **restarts + clause GC** — Luby-scheduled restarts escape stuck
+//!   regions (phase saving preserves progress), and the learned-clause
+//!   store is garbage-collected under an LBD/activity budget whenever
+//!   the search is back at the root;
 //! * **sessions** — [`Solver::assume`] / [`Solver::check`] /
 //!   [`Solver::retract`] answer a stream of queries over one fixed
-//!   clause database, which turns argument-corpus checking into a batch
-//!   workload (compile once, check many).
+//!   clause database. Assumptions enter the search as *decisions*, so
+//!   learned clauses never depend on them and stay valid after
+//!   `retract` — the clause store keeps getting smarter as a session
+//!   progresses.
+//!
+//! # Invariants
+//!
+//! The trail is partitioned into decision levels by `trail_lim`
+//! (`trail_lim[d]` is the index of the first literal of level `d + 1`;
+//! level 0 holds root facts). Every trail literal is either a decision
+//! (reason [`NO_REASON`]) or was forced by exactly one clause whose
+//! other literals were all false earlier on the trail — that clause is
+//! its reason, and the reasons form the implication graph. Propagation
+//! maintains the watched-literal invariant: a watched literal is only
+//! false while the clause's other watch is true, or the clause has
+//! been visited and found unit/conflicting. Garbage collection runs
+//! only at level 0, where it may also strip root-false literals and
+//! drop root-satisfied clauses (sound: root facts are consequences of
+//! the database), then rebuilds every watch list.
 //!
 //! [`Theory`] sits on top: it Tseitin-compiles [`Formula`]s directly
 //! into packed literals (no intermediate `Clause` sets) against an
 //! [`AtomTable`], and bridges models back to [`Valuation`]s.
 
+pub mod analyze;
+pub mod dpll;
+pub mod vsids;
+
 use super::ast::{Atom, Formula};
 use super::cnf::ClauseSet;
 use super::eval::Valuation;
 use super::intern::{AtomTable, Lit, Var};
+use analyze::{Analyzer, ImplicationGraph};
+use vsids::Vsids;
 
-/// A backtracking point: one decision plus everything propagated from it.
+pub use dpll::DpllSolver;
+
+/// Reason sentinel: the variable was a decision (or an assumption, or a
+/// root fact with no surviving reason).
+const NO_REASON: u32 = u32::MAX;
+
+/// Conflicts before the first restart; later restarts scale by the Luby
+/// sequence.
+const RESTART_BASE: u64 = 100;
+
+/// Learned clauses with an LBD at or below this are "glue" and survive
+/// every garbage collection.
+const GLUE_LBD: u32 = 2;
+
+/// One stored clause: bounds into the shared literal arena plus the
+/// learned-clause metadata the garbage collector ranks by.
 #[derive(Debug, Clone, Copy)]
-struct Level {
-    /// Trail index of the decision literal.
-    trail_start: usize,
-    /// Branch-order cursor to restore when this level is undone.
-    cursor: usize,
-    /// Whether the complementary phase has already been tried.
-    flipped: bool,
+struct ClauseHeader {
+    /// First literal's index in the arena.
+    start: u32,
+    /// Number of literals.
+    len: u32,
+    /// Whether the clause was learned (GC candidates) or added by the
+    /// caller (permanent).
+    learned: bool,
+    /// Literal-block distance at learning time (lower = more valuable).
+    lbd: u32,
+    /// Conflict-participation activity (bumped when the clause is a
+    /// reason in an analyzed conflict).
+    activity: f64,
 }
 
-/// An incremental SAT solver over packed literals.
+/// Cumulative search counters for one [`Solver`]'s lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Branching decisions (assumptions included).
+    pub decisions: u64,
+    /// Literals enqueued by unit propagation.
+    pub propagations: u64,
+    /// Conflicts analyzed.
+    pub conflicts: u64,
+    /// Restarts taken.
+    pub restarts: u64,
+    /// Clauses learned (units included).
+    pub learned: u64,
+    /// Learned clauses dropped by garbage collection.
+    pub learned_dropped: u64,
+    /// Root-level simplification + GC passes.
+    pub simplifications: u64,
+}
+
+/// An incremental CDCL SAT solver over packed literals.
 ///
-/// Clauses are permanent once added; queries vary through assumptions.
-/// A typical session:
+/// Clauses are permanent once added; queries vary through assumptions,
+/// and everything the solver learns from one query carries over to the
+/// next. A typical session:
 ///
 /// ```
 /// use casekit_logic::prop::solver::Solver;
@@ -60,36 +139,139 @@ struct Level {
 /// s.retract(); // drop ~q
 /// assert!(s.check());
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Solver {
-    /// Flat clause arena: every clause's literals, back to back.
+    /// Flat clause arena: every clause's literals, back to back. Slots
+    /// `start` and `start + 1` of each clause hold its two watches.
     lits: Vec<Lit>,
-    /// Per clause: `(start, end)` bounds into `lits`. Slots `start` and
-    /// `start + 1` hold the two watched literals.
-    bounds: Vec<(u32, u32)>,
+    /// Clause headers (problem and learned interleaved).
+    headers: Vec<ClauseHeader>,
     /// Per literal code: indices of clauses currently watching it.
     watches: Vec<Vec<u32>>,
-    /// Unit clauses, re-asserted at the start of every check.
+    /// Unit clauses (caller-added and learned), re-asserted at the
+    /// start of every check.
     units: Vec<Lit>,
-    /// Whether an empty (trivially false) clause was added.
+    /// Whether the database is known unsatisfiable (empty clause added
+    /// or derived).
     empty_clause: bool,
     /// Per variable: `0` unassigned, `1` true, `-1` false.
     assign: Vec<i8>,
+    /// Per variable: decision level of the current assignment.
+    level: Vec<u32>,
+    /// Per variable: clause that propagated it, or [`NO_REASON`].
+    reason: Vec<u32>,
     /// Assigned literals in assignment order.
     trail: Vec<Lit>,
+    /// Decision-level boundaries: `trail_lim[d]` is where level `d + 1`
+    /// starts.
+    trail_lim: Vec<usize>,
     /// Propagation queue head (index into `trail`).
     prop_head: usize,
-    /// Open decision levels.
-    levels: Vec<Level>,
-    /// Per variable: clause-occurrence count (decision activity).
-    occurrence: Vec<u64>,
-    /// Variables in descending activity order (rebuilt lazily).
-    order: Vec<Var>,
-    order_dirty: bool,
-    /// Branch-order cursor: variables before it are known assigned.
-    cursor: usize,
+    /// Decision heuristic: activity heap + saved phases.
+    vsids: Vsids,
+    /// First-UIP conflict analyzer (owns its scratch).
+    analyzer: Analyzer,
     /// Current assumption stack.
     assumptions: Vec<Lit>,
+    /// Live learned (non-GC'd) clause count.
+    learned_live: usize,
+    /// Non-learned clause count (for the GC budget formula).
+    problem_count: usize,
+    /// Caller override for the learned-clause budget.
+    budget_override: Option<usize>,
+    /// Live learned count right after the last GC pass — a GC only
+    /// re-arms once new clauses have been learned past it, so a pass
+    /// that cannot get below budget (all glue) never loops.
+    gc_floor: usize,
+    /// Current clause-activity bump increment.
+    cla_inc: f64,
+    /// Cumulative search counters.
+    stats: SolverStats,
+}
+
+/// The implication-graph view conflict analysis reads: disjoint borrows
+/// of the solver's arrays, so the analyzer (a separate field) can be
+/// borrowed mutably alongside.
+struct TrailGraph<'a> {
+    lits: &'a [Lit],
+    headers: &'a [ClauseHeader],
+    level: &'a [u32],
+    reason: &'a [u32],
+}
+
+impl ImplicationGraph for TrailGraph<'_> {
+    fn level_of(&self, v: Var) -> u32 {
+        self.level[v.index()]
+    }
+
+    fn reason_of(&self, v: Var) -> Option<&[Lit]> {
+        match self.reason[v.index()] {
+            NO_REASON => None,
+            r => {
+                let h = &self.headers[r as usize];
+                Some(&self.lits[h.start as usize..(h.start + h.len) as usize])
+            }
+        }
+    }
+}
+
+/// Value of `x` in the Luby restart sequence (1, 1, 2, 1, 1, 2, 4, …),
+/// indexed from 0.
+fn luby(mut x: u64) -> u64 {
+    let mut size: u64 = 1;
+    let mut seq: u32 = 0;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+/// What the decision phase of the search loop produced.
+enum Decide {
+    /// Every variable is assigned: the database is satisfiable and the
+    /// trail is a model.
+    Sat,
+    /// An assumption is falsified by the current (root-implied) state.
+    Unsat,
+    /// A new decision was enqueued; propagate next.
+    Decided,
+}
+
+impl Default for Solver {
+    /// Identical to [`Solver::new`] — written out by hand because the
+    /// clause-activity increment must start at 1.0 (a derived `0.0`
+    /// would silently disable activity-ranked garbage collection for
+    /// every solver built through `Default`, e.g. via `Theory::new`).
+    fn default() -> Self {
+        Solver {
+            lits: Vec::new(),
+            headers: Vec::new(),
+            watches: Vec::new(),
+            units: Vec::new(),
+            empty_clause: false,
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            prop_head: 0,
+            vsids: Vsids::new(),
+            analyzer: Analyzer::new(),
+            assumptions: Vec::new(),
+            learned_live: 0,
+            problem_count: 0,
+            budget_override: None,
+            gc_floor: 0,
+            cla_inc: 1.0,
+            stats: SolverStats::default(),
+        }
+    }
 }
 
 impl Solver {
@@ -108,10 +290,11 @@ impl Solver {
             .expect("variable count fits in a packed literal (2^31)");
         let v = Var(index);
         self.assign.push(0);
-        self.occurrence.push(0);
+        self.level.push(0);
+        self.reason.push(NO_REASON);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
-        self.order_dirty = true;
+        self.vsids.grow();
         v
     }
 
@@ -120,9 +303,38 @@ impl Solver {
         self.assign.len()
     }
 
-    /// Number of clauses in the database (including units).
+    /// Number of stored non-unit caller clauses plus persisted units.
+    /// The unit store mixes caller-added units with root facts the
+    /// search derived (learned units, simplification products), and
+    /// root simplification may drop satisfied clauses — so this count
+    /// can drift in both directions across checks; treat it as a
+    /// database-size indicator, not an invariant. Learned non-unit
+    /// clauses are counted by [`Solver::num_learned`] instead.
     pub fn num_clauses(&self) -> usize {
-        self.bounds.len() + self.units.len() + usize::from(self.empty_clause)
+        self.problem_count + self.units.len() + usize::from(self.empty_clause)
+    }
+
+    /// Number of live learned clauses (excluding learned units, which
+    /// merge into the unit store).
+    pub fn num_learned(&self) -> usize {
+        self.learned_live
+    }
+
+    /// Cumulative search counters.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Overrides the learned-clause budget (GC triggers above it). The
+    /// default scales with the problem size; tests use a small budget
+    /// to exercise collection.
+    pub fn set_learned_budget(&mut self, budget: usize) {
+        self.budget_override = Some(budget.max(1));
+    }
+
+    fn learned_budget(&self) -> usize {
+        self.budget_override
+            .unwrap_or_else(|| 2000 + self.problem_count / 2)
     }
 
     /// Adds a permanent clause (a disjunction of `lits`).
@@ -141,33 +353,43 @@ impl Solver {
                 "literal {l} references an unallocated variable"
             );
         }
+        // Mutating the database invalidates the current trail.
+        self.unwind_all();
         // Normalise: sort by code, drop duplicates, detect tautology
         // (complementary literals are adjacent codes after sorting).
-        self.undo_to(0);
-        self.levels.clear();
         let mut clause: Vec<Lit> = lits.to_vec();
         clause.sort_unstable_by_key(|l| l.code());
         clause.dedup();
         if clause.windows(2).any(|w| w[0] == !w[1]) {
             return;
         }
-        for l in &clause {
-            self.occurrence[l.var().index()] += 1;
-        }
-        self.order_dirty = true;
         match clause.len() {
             0 => self.empty_clause = true,
             1 => self.units.push(clause[0]),
             _ => {
-                let start = u32::try_from(self.lits.len()).expect("clause arena fits in u32");
-                let ci = u32::try_from(self.bounds.len()).expect("clause count fits in u32");
-                self.watches[clause[0].code()].push(ci);
-                self.watches[clause[1].code()].push(ci);
-                self.lits.extend_from_slice(&clause);
-                let end = u32::try_from(self.lits.len()).expect("clause arena fits in u32");
-                self.bounds.push((start, end));
+                self.store_clause(&clause, false, 0);
+                self.problem_count += 1;
             }
         }
+    }
+
+    /// Appends a clause to the arena, watching its first two literals.
+    /// Returns the clause index.
+    fn store_clause(&mut self, clause: &[Lit], learned: bool, lbd: u32) -> u32 {
+        debug_assert!(clause.len() >= 2);
+        let start = u32::try_from(self.lits.len()).expect("clause arena fits in u32");
+        let ci = u32::try_from(self.headers.len()).expect("clause count fits in u32");
+        self.watches[clause[0].code()].push(ci);
+        self.watches[clause[1].code()].push(ci);
+        self.lits.extend_from_slice(clause);
+        self.headers.push(ClauseHeader {
+            start,
+            len: clause.len() as u32,
+            learned,
+            lbd,
+            activity: if learned { self.cla_inc } else { 0.0 },
+        });
+        ci
     }
 
     /// Pushes an assumption for subsequent [`Solver::check`] calls.
@@ -197,59 +419,30 @@ impl Solver {
     /// Decides satisfiability of the clause database under the current
     /// assumptions. On `true`, a model is readable via
     /// [`Solver::value`] until the next mutation.
+    ///
+    /// Clauses learned while answering one check persist into the next:
+    /// assumptions enter the search as decisions, so every learned
+    /// clause is a consequence of the database alone.
     pub fn check(&mut self) -> bool {
-        self.undo_to(0);
-        self.levels.clear();
-        self.cursor = 0;
+        self.unwind_all();
         if self.empty_clause {
             return false;
         }
-        if self.order_dirty {
-            self.rebuild_order();
-        }
-        // Units and assumptions form the root level; a conflict here is
-        // final (nothing to flip).
-        let roots: Vec<Lit> = self
-            .units
-            .iter()
-            .chain(&self.assumptions)
-            .copied()
-            .collect();
-        for lit in roots {
-            match self.value(lit) {
+        // Root level: every persisted unit (caller-added and learned).
+        for i in 0..self.units.len() {
+            let lit = self.units[i];
+            match self.lit_value(lit) {
                 Some(true) => {}
                 Some(false) => return false,
-                None => self.enqueue(lit),
+                None => self.enqueue(lit, NO_REASON),
             }
         }
-        loop {
-            if self.propagate() {
-                // Conflict: flip the deepest untried decision.
-                if !self.backtrack_flip() {
-                    return false;
-                }
-            } else {
-                match self.pick_branch() {
-                    None => return true,
-                    Some(var) => {
-                        self.levels.push(Level {
-                            trail_start: self.trail.len(),
-                            cursor: self.cursor,
-                            flipped: false,
-                        });
-                        self.enqueue(var.positive());
-                    }
-                }
-            }
-        }
+        self.search()
     }
 
     /// The literal's value under the current (partial) assignment.
     pub fn value(&self, lit: Lit) -> Option<bool> {
-        match self.assign[lit.var().index()] {
-            0 => None,
-            v => Some((v > 0) == lit.is_positive()),
-        }
+        self.lit_value(lit)
     }
 
     /// The variable's value under the current (partial) assignment.
@@ -260,31 +453,123 @@ impl Solver {
         }
     }
 
-    fn rebuild_order(&mut self) {
-        self.order = (0..self.assign.len() as u32).map(Var).collect();
-        let occurrence = &self.occurrence;
-        self.order
-            .sort_by_key(|v| (std::cmp::Reverse(occurrence[v.index()]), v.index()));
-        self.order_dirty = false;
+    #[inline]
+    fn lit_value(&self, lit: Lit) -> Option<bool> {
+        match self.assign[lit.var().index()] {
+            0 => None,
+            v => Some((v > 0) == lit.is_positive()),
+        }
     }
 
-    fn enqueue(&mut self, lit: Lit) {
-        debug_assert!(self.value(lit).is_none(), "enqueue of an assigned literal");
-        self.assign[lit.var().index()] = if lit.is_positive() { 1 } else { -1 };
+    #[inline]
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    #[inline]
+    fn enqueue(&mut self, lit: Lit, reason: u32) {
+        debug_assert!(
+            self.lit_value(lit).is_none(),
+            "enqueue of an assigned literal"
+        );
+        let vi = lit.var().index();
+        self.assign[vi] = if lit.is_positive() { 1 } else { -1 };
+        self.level[vi] = self.decision_level() as u32;
+        self.reason[vi] = reason;
         self.trail.push(lit);
     }
 
-    /// Truncates the trail to `len`, clearing the undone assignments.
-    fn undo_to(&mut self, len: usize) {
-        while self.trail.len() > len {
-            let lit = self.trail.pop().expect("trail shrinks to len");
-            self.assign[lit.var().index()] = 0;
+    /// Unwinds the trail completely (used between checks and before
+    /// database mutation), saving phases and re-enqueueing decision
+    /// candidates.
+    ///
+    /// Re-inserting only the trail's variables restores the
+    /// "unassigned ⇒ enqueued" heap invariant in O(trail): a variable
+    /// only ever leaves the heap by being popped in `next_decision`,
+    /// and every popped variable is (or already was) assigned — i.e.
+    /// on the trail.
+    fn unwind_all(&mut self) {
+        for i in (0..self.trail.len()).rev() {
+            let lit = self.trail[i];
+            let vi = lit.var().index();
+            self.vsids.save_phase(lit.var(), lit.is_positive());
+            self.assign[vi] = 0;
+            self.reason[vi] = NO_REASON;
+            self.vsids.insert(lit.var());
         }
-        self.prop_head = self.prop_head.min(len);
+        self.trail.clear();
+        self.trail_lim.clear();
+        self.prop_head = 0;
     }
 
-    /// Watched-literal unit propagation. Returns `true` on conflict.
-    fn propagate(&mut self) -> bool {
+    /// Backjumps to `target_level`, undoing every deeper assignment.
+    fn cancel_until(&mut self, target_level: usize) {
+        if self.decision_level() <= target_level {
+            return;
+        }
+        let start = self.trail_lim[target_level];
+        for i in (start..self.trail.len()).rev() {
+            let lit = self.trail[i];
+            let vi = lit.var().index();
+            self.vsids.save_phase(lit.var(), lit.is_positive());
+            self.assign[vi] = 0;
+            self.reason[vi] = NO_REASON;
+            self.vsids.insert(lit.var());
+        }
+        self.trail.truncate(start);
+        self.trail_lim.truncate(target_level);
+        self.prop_head = start;
+    }
+
+    /// The CDCL loop: propagate, analyze/learn/backjump on conflict,
+    /// restart on the Luby schedule, GC at the root, decide otherwise.
+    fn search(&mut self) -> bool {
+        let mut conflicts_since_restart: u64 = 0;
+        let mut restarts_this_check: u64 = 0;
+        let mut restart_threshold = RESTART_BASE * luby(0);
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.decision_level() == 0 {
+                    // A root conflict refutes the database itself
+                    // (assumptions live on decision levels ≥ 1).
+                    self.empty_clause = true;
+                    return false;
+                }
+                self.learn_from(conflict);
+            } else {
+                // Root fixpoint: the only place clause GC is sound.
+                if self.decision_level() == 0
+                    && self.learned_live > self.learned_budget()
+                    && self.learned_live > self.gc_floor
+                {
+                    if !self.simplify_and_reduce() {
+                        return false;
+                    }
+                    self.gc_floor = self.learned_live;
+                    continue; // propagate any units the rebuild surfaced
+                }
+                if conflicts_since_restart >= restart_threshold {
+                    conflicts_since_restart = 0;
+                    restarts_this_check += 1;
+                    self.stats.restarts += 1;
+                    restart_threshold = RESTART_BASE * luby(restarts_this_check);
+                    self.cancel_until(0);
+                    continue;
+                }
+                match self.next_decision() {
+                    Decide::Sat => return true,
+                    Decide::Unsat => return false,
+                    Decide::Decided => {}
+                }
+            }
+        }
+    }
+
+    /// Watched-literal unit propagation. Returns the conflicting clause
+    /// index, if any.
+    fn propagate(&mut self) -> Option<u32> {
         while self.prop_head < self.trail.len() {
             let lit = self.trail[self.prop_head];
             self.prop_head += 1;
@@ -293,21 +578,21 @@ impl Solver {
             let mut i = 0;
             'clauses: while i < self.watches[fcode].len() {
                 let ci = self.watches[fcode][i] as usize;
-                let (start, end) = self.bounds[ci];
-                let (s, e) = (start as usize, end as usize);
+                let h = self.headers[ci];
+                let (s, e) = (h.start as usize, (h.start + h.len) as usize);
                 // Keep the falsified literal in the second watch slot.
                 if self.lits[s] == falsified {
                     self.lits.swap(s, s + 1);
                 }
                 let other = self.lits[s];
-                if self.value(other) == Some(true) {
+                if self.lit_value(other) == Some(true) {
                     i += 1;
                     continue;
                 }
                 // Hunt for a non-false replacement watch.
                 for k in s + 2..e {
                     let cand = self.lits[k];
-                    if self.value(cand) != Some(false) {
+                    if self.lit_value(cand) != Some(false) {
                         self.lits.swap(s + 1, k);
                         self.watches[fcode].swap_remove(i);
                         self.watches[cand.code()].push(ci as u32);
@@ -315,58 +600,225 @@ impl Solver {
                     }
                 }
                 // Every other literal is false: unit or conflict.
-                match self.value(other) {
-                    Some(false) => return true,
+                match self.lit_value(other) {
+                    Some(false) => return Some(ci as u32),
                     None => {
-                        self.enqueue(other);
+                        self.stats.propagations += 1;
+                        self.enqueue(other, ci as u32);
                         i += 1;
                     }
                     Some(true) => unreachable!("handled above"),
                 }
             }
         }
-        false
-    }
-
-    /// Next unassigned variable in activity order, advancing the cursor.
-    fn pick_branch(&mut self) -> Option<Var> {
-        while self.cursor < self.order.len() {
-            let v = self.order[self.cursor];
-            if self.assign[v.index()] == 0 {
-                return Some(v);
-            }
-            self.cursor += 1;
-        }
         None
     }
 
-    /// Chronological backtracking: undo exhausted levels, flip the
-    /// deepest untried decision. Returns `false` when the root level is
-    /// reached (overall unsatisfiability under the assumptions).
-    fn backtrack_flip(&mut self) -> bool {
-        loop {
-            let Some(&Level {
-                trail_start,
-                cursor,
-                flipped,
-            }) = self.levels.last()
-            else {
-                return false;
+    /// Conflict response: first-UIP analysis, activity bumps, backjump,
+    /// learned-clause insertion, and assertion of the UIP literal.
+    fn learn_from(&mut self, conflict: u32) {
+        let current_level = self.decision_level() as u32;
+        let analysis = {
+            let Self {
+                ref lits,
+                ref headers,
+                ref level,
+                ref reason,
+                ref trail,
+                ref mut analyzer,
+                ..
+            } = *self;
+            let graph = TrailGraph {
+                lits,
+                headers,
+                level,
+                reason,
             };
-            if flipped {
-                self.levels.pop();
-                self.undo_to(trail_start);
-                self.cursor = cursor;
-            } else {
-                let decision = self.trail[trail_start];
-                self.undo_to(trail_start);
-                self.cursor = cursor;
-                let level = self.levels.last_mut().expect("level checked above");
-                level.flipped = true;
-                self.enqueue(!decision);
-                return true;
+            let h = &headers[conflict as usize];
+            let conflict_lits = &lits[h.start as usize..(h.start + h.len) as usize];
+            analyzer.analyze(&graph, trail, current_level, conflict_lits)
+        };
+
+        // Variable activity: everyone who took part in the resolution.
+        for &v in &analysis.touched {
+            self.vsids.bump(v);
+        }
+        self.vsids.decay();
+        // Clause activity: every learned clause used as a reason at the
+        // conflict level.
+        self.bump_reason_clauses(&analysis.touched, current_level);
+
+        self.stats.learned += 1;
+        self.cancel_until(analysis.backjump as usize);
+        if analysis.learned.len() == 1 {
+            // A learned unit is a root fact of the database: persist it
+            // alongside the caller's units for every future check.
+            let lit = analysis.learned[0];
+            self.units.push(lit);
+            debug_assert!(self.lit_value(lit).is_none());
+            self.enqueue(lit, NO_REASON);
+        } else {
+            let ci = self.store_clause(&analysis.learned, true, analysis.lbd);
+            self.learned_live += 1;
+            self.enqueue(analysis.learned[0], ci);
+        }
+    }
+
+    fn bump_reason_clauses(&mut self, touched: &[Var], current_level: u32) {
+        for &v in touched {
+            if self.level[v.index()] != current_level {
+                continue;
+            }
+            let r = self.reason[v.index()];
+            if r == NO_REASON {
+                continue;
+            }
+            let h = &mut self.headers[r as usize];
+            if h.learned {
+                h.activity += self.cla_inc;
+                if h.activity > 1e20 {
+                    for header in &mut self.headers {
+                        header.activity *= 1e-20;
+                    }
+                    self.cla_inc *= 1e-20;
+                }
             }
         }
+        self.cla_inc /= 0.999;
+    }
+
+    /// Places the next decision: pending assumptions first (as
+    /// decisions, so learning never depends on them), then the highest-
+    /// activity unassigned variable in its saved phase.
+    fn next_decision(&mut self) -> Decide {
+        while self.decision_level() < self.assumptions.len() {
+            let a = self.assumptions[self.decision_level()];
+            match self.lit_value(a) {
+                Some(true) => {
+                    // Already implied: open an empty level to keep the
+                    // level ↔ assumption-index correspondence.
+                    self.trail_lim.push(self.trail.len());
+                }
+                Some(false) => return Decide::Unsat,
+                None => {
+                    self.stats.decisions += 1;
+                    self.trail_lim.push(self.trail.len());
+                    self.enqueue(a, NO_REASON);
+                    return Decide::Decided;
+                }
+            }
+        }
+        loop {
+            match self.vsids.pop() {
+                None => return Decide::Sat,
+                Some(v) if self.assign[v.index()] != 0 => continue,
+                Some(v) => {
+                    self.stats.decisions += 1;
+                    self.trail_lim.push(self.trail.len());
+                    self.enqueue(v.lit(self.vsids.phase(v)), NO_REASON);
+                    return Decide::Decided;
+                }
+            }
+        }
+    }
+
+    /// Root-level database maintenance: drop clauses satisfied by root
+    /// facts, strip root-false literals, garbage-collect learned
+    /// clauses over the LBD/activity budget, rebuild the arena and
+    /// every watch list. Returns `false` if the rebuild refuted the
+    /// database.
+    ///
+    /// Sound because every root fact is a consequence of the database
+    /// (assumptions are decisions on levels ≥ 1 and never reach level
+    /// 0), so stripping preserves the model set; only callable at the
+    /// root propagation fixpoint.
+    fn simplify_and_reduce(&mut self) -> bool {
+        debug_assert!(self.trail_lim.is_empty(), "GC runs only at the root");
+        self.stats.simplifications += 1;
+
+        // Root facts become the persistent unit set; their reasons die
+        // with the clause indices below.
+        self.units.clear();
+        self.units.extend_from_slice(&self.trail);
+        for i in 0..self.trail.len() {
+            let vi = self.trail[i].var().index();
+            self.reason[vi] = NO_REASON;
+        }
+
+        // Rank the learned clauses; everything beyond the budget dies,
+        // glue clauses (LBD ≤ GLUE_LBD) always survive.
+        let mut keep = vec![true; self.headers.len()];
+        let mut live: Vec<u32> = (0..self.headers.len() as u32)
+            .filter(|&ci| self.headers[ci as usize].learned)
+            .collect();
+        if live.len() > self.learned_budget() {
+            let headers = &self.headers;
+            live.sort_by(|&a, &b| {
+                let (ha, hb) = (&headers[a as usize], &headers[b as usize]);
+                ha.lbd
+                    .cmp(&hb.lbd)
+                    .then(
+                        hb.activity
+                            .partial_cmp(&ha.activity)
+                            .unwrap_or(std::cmp::Ordering::Equal),
+                    )
+                    .then(a.cmp(&b))
+            });
+            let keep_n = (self.learned_budget() / 2).max(1);
+            for &ci in live.iter().skip(keep_n) {
+                if headers[ci as usize].lbd > GLUE_LBD {
+                    keep[ci as usize] = false;
+                    self.stats.learned_dropped += 1;
+                }
+            }
+        }
+
+        // Rebuild the arena: surviving clauses, minus satisfied ones,
+        // minus root-false literals.
+        let old_lits = std::mem::take(&mut self.lits);
+        let old_headers = std::mem::take(&mut self.headers);
+        for w in &mut self.watches {
+            w.clear();
+        }
+        self.problem_count = 0;
+        self.learned_live = 0;
+        let mut scratch: Vec<Lit> = Vec::new();
+        for (ci, h) in old_headers.iter().enumerate() {
+            if !keep[ci] {
+                continue;
+            }
+            let clause = &old_lits[h.start as usize..(h.start + h.len) as usize];
+            if clause.iter().any(|&l| self.lit_value(l) == Some(true)) {
+                continue;
+            }
+            scratch.clear();
+            scratch.extend(clause.iter().filter(|&&l| self.lit_value(l).is_none()));
+            match scratch.len() {
+                0 => {
+                    // Cannot happen at a propagation fixpoint (the
+                    // clause would have conflicted), but refute safely.
+                    self.empty_clause = true;
+                    return false;
+                }
+                1 => {
+                    // Became unit under the root facts: persist and
+                    // enqueue so propagation resumes from it.
+                    self.units.push(scratch[0]);
+                    self.enqueue(scratch[0], NO_REASON);
+                }
+                _ => {
+                    self.store_clause(&scratch, h.learned, h.lbd);
+                    let stored = self.headers.last_mut().expect("just stored");
+                    stored.activity = h.activity;
+                    if h.learned {
+                        self.learned_live += 1;
+                    } else {
+                        self.problem_count += 1;
+                    }
+                }
+            }
+        }
+        true
     }
 }
 
@@ -420,6 +872,11 @@ impl Theory {
     /// Number of clauses in the database.
     pub fn num_clauses(&self) -> usize {
         self.solver.num_clauses()
+    }
+
+    /// The underlying solver's cumulative search counters.
+    pub fn stats(&self) -> SolverStats {
+        self.solver.stats()
     }
 
     /// The positive literal for `atom`, interning it on first sight.
@@ -607,6 +1064,14 @@ mod tests {
     }
 
     #[test]
+    fn default_matches_new_including_the_activity_increment() {
+        // Theory::new builds its solver through Default; a derived 0.0
+        // increment would disable clause-activity GC ranking there.
+        assert_eq!(Solver::default().cla_inc, 1.0);
+        assert_eq!(Solver::new().cla_inc, Solver::default().cla_inc);
+    }
+
+    #[test]
     fn empty_clause_is_unsat() {
         let mut s = Solver::new();
         s.add_clause(&[]);
@@ -680,6 +1145,20 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_assumptions_are_harmless() {
+        let mut s = Solver::new();
+        let p = s.new_var();
+        let q = s.new_var();
+        s.add_clause(&[p.negative(), q.positive()]);
+        s.assume(p.positive());
+        s.assume(p.positive());
+        s.assume(p.positive());
+        assert!(s.check());
+        assert_eq!(s.var_value(q), Some(true));
+        s.retract_all();
+    }
+
+    #[test]
     fn pigeonhole_3_into_2_is_unsat() {
         // 3 pigeons, 2 holes: each pigeon somewhere, no hole shared.
         let mut s = Solver::new();
@@ -697,6 +1176,29 @@ mod tests {
             }
         }
         assert!(!s.check());
+        assert!(s.stats().conflicts > 0, "refutation needs conflicts");
+    }
+
+    #[test]
+    fn pigeonhole_5_into_4_is_unsat_and_5_into_5_is_sat() {
+        for holes in [4usize, 5] {
+            let mut s = Solver::new();
+            let at: Vec<Vec<Var>> = (0..5)
+                .map(|_| (0..holes).map(|_| s.new_var()).collect())
+                .collect();
+            for p in &at {
+                let clause: Vec<Lit> = p.iter().map(|v| v.positive()).collect();
+                s.add_clause(&clause);
+            }
+            for a in 0..5 {
+                for b in a + 1..5 {
+                    for (x, y) in at[a].iter().zip(&at[b]) {
+                        s.add_clause(&[x.negative(), y.negative()]);
+                    }
+                }
+            }
+            assert_eq!(s.check(), holes == 5, "holes = {holes}");
+        }
     }
 
     #[test]
@@ -735,6 +1237,135 @@ mod tests {
         assert_eq!(s.var_value(p), Some(true));
         s.add_clause(&[p.negative()]);
         assert!(!s.check());
+    }
+
+    #[test]
+    fn learned_clauses_persist_across_checks_and_verdicts_stay_stable() {
+        // An unsat core plus free variables: repeated checks under
+        // rotating assumptions must answer identically while the
+        // learned store grows and is reused.
+        let mut s = Solver::new();
+        let free: Vec<Var> = (0..6).map(|_| s.new_var()).collect();
+        let at: Vec<Vec<Var>> = (0..4)
+            .map(|_| (0..3).map(|_| s.new_var()).collect())
+            .collect();
+        for p in &at {
+            let clause: Vec<Lit> = p.iter().map(|v| v.positive()).collect();
+            s.add_clause(&clause);
+        }
+        for a in 0..4 {
+            for b in a + 1..4 {
+                for (x, y) in at[a].iter().zip(&at[b]) {
+                    s.add_clause(&[x.negative(), y.negative()]);
+                }
+            }
+        }
+        for round in 0..10 {
+            s.assume(free[round % free.len()].lit(round % 2 == 0));
+            assert!(!s.check(), "core stays unsat on round {round}");
+            s.retract_all();
+        }
+        let learned_units = s.units.len();
+        assert!(
+            s.stats().learned > 0,
+            "conflict-driven search must learn clauses"
+        );
+        // Knowledge persisted (units or stored learned clauses).
+        assert!(s.num_learned() + learned_units > 0);
+    }
+
+    #[test]
+    fn garbage_collection_under_a_tiny_budget_preserves_verdicts() {
+        // A pigeonhole core with a relaxation variable `r` added to
+        // every exclusion clause: assuming ~r reinstates the unsat
+        // core (conflict-rich), assuming r relaxes it (satisfiable).
+        // With a budget of 2 the learned store is collected over and
+        // over; verdicts must never change.
+        let mut s = Solver::new();
+        s.set_learned_budget(2);
+        let r = s.new_var();
+        let at: Vec<Vec<Var>> = (0..5)
+            .map(|_| (0..4).map(|_| s.new_var()).collect())
+            .collect();
+        for p in &at {
+            let clause: Vec<Lit> = p.iter().map(|v| v.positive()).collect();
+            s.add_clause(&clause);
+        }
+        for a in 0..5 {
+            for b in a + 1..5 {
+                for (x, y) in at[a].iter().zip(&at[b]) {
+                    s.add_clause(&[x.negative(), y.negative(), r.positive()]);
+                }
+            }
+        }
+        for round in 0..6 {
+            s.assume(r.negative());
+            assert!(!s.check(), "strict pigeonhole stays unsat (round {round})");
+            s.retract_all();
+            s.assume(r.positive());
+            assert!(s.check(), "relaxed pigeonhole stays sat (round {round})");
+            s.retract_all();
+        }
+        assert!(
+            s.stats().conflicts > 0,
+            "the strict rounds must be conflict-driven"
+        );
+        assert!(
+            s.stats().simplifications > 0,
+            "tiny budget must trigger garbage collection"
+        );
+    }
+
+    #[test]
+    fn solver_agrees_with_dpll_baseline_on_scripted_sessions() {
+        // Same clause database, same assumption script, both engines.
+        let clauses: Vec<Vec<(u32, bool)>> = vec![
+            vec![(0, true), (1, true), (2, false)],
+            vec![(0, false), (3, true)],
+            vec![(3, false), (4, true)],
+            vec![(1, false), (4, false)],
+            vec![(2, true), (5, true)],
+            vec![(4, true), (5, false), (6, true)],
+            vec![(6, false), (7, true)],
+            vec![(7, false), (0, true), (5, true)],
+        ];
+        let mut cdcl = Solver::new();
+        let mut base = DpllSolver::new();
+        let cv: Vec<Var> = (0..8).map(|_| cdcl.new_var()).collect();
+        let bv: Vec<Var> = (0..8).map(|_| base.new_var()).collect();
+        for c in &clauses {
+            let cc: Vec<Lit> = c.iter().map(|&(v, pos)| cv[v as usize].lit(pos)).collect();
+            let bc: Vec<Lit> = c.iter().map(|&(v, pos)| bv[v as usize].lit(pos)).collect();
+            cdcl.add_clause(&cc);
+            base.add_clause(&bc);
+        }
+        let script: Vec<Vec<(u32, bool)>> = vec![
+            vec![],
+            vec![(0, true)],
+            vec![(0, true), (4, false)],
+            vec![(1, true), (5, false)],
+            vec![(2, false), (6, true), (7, false)],
+            vec![(3, true), (4, true), (1, true)],
+        ];
+        for assumptions in &script {
+            for &(v, pos) in assumptions {
+                cdcl.assume(cv[v as usize].lit(pos));
+                base.assume(bv[v as usize].lit(pos));
+            }
+            assert_eq!(
+                cdcl.check(),
+                base.check(),
+                "engines disagree under {assumptions:?}"
+            );
+            cdcl.retract_all();
+            base.retract_all();
+        }
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let prefix: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(prefix, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
     }
 
     #[test]

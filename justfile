@@ -1,8 +1,22 @@
-# Developer entry points. `just check` is the full gate CI would run.
+# Developer entry points. `just check` is the full local gate;
+# `just ci` mirrors the GitHub workflow jobs exactly.
 
 # Format, lint, test, bench, and regenerate BENCH_graph.json.
 check:
     ./scripts/check.sh
+
+# Mirror the CI pipeline locally, in job order: fmt, clippy, release
+# build + tests, then the smoke bench-regression gate.
+ci:
+    cargo fmt --all --check
+    cargo clippy --workspace --all-targets -- -D warnings
+    cargo build --release
+    cargo test -q
+    ./scripts/bench_gate.sh
+
+# The smoke bench-regression gate alone (BENCH_*.smoke.json + floors).
+bench-gate:
+    ./scripts/bench_gate.sh
 
 # Format the workspace in place.
 fmt:

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Bench-regression gate: run the three `repro` benchmark artifacts in
+# fast deterministic --smoke mode (small populations, fixed seeds) and
+# fail if any speedup drops below its floor or any agreement flag is
+# false. CI runs this on every push; `just ci` runs it locally.
+#
+# The smoke artifacts are written as BENCH_*.smoke.json (gitignored) so
+# the committed full-scale BENCH_*.json records are never disturbed.
+#
+# Floors are deliberately far below the measured values (graph ~1700x,
+# logic sweep ~130x, hard CDCL-vs-DPLL ~3.5x at smoke scale,
+# experiments ~25x) so the gate trips on regressions, not on machine
+# noise. Override via environment for experiments:
+#   GRAPH_FLOOR, LOGIC_SWEEP_FLOOR, HARD_CDCL_FLOOR, EXPERIMENTS_FLOOR
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GRAPH_FLOOR="${GRAPH_FLOOR:-50}"
+LOGIC_SWEEP_FLOOR="${LOGIC_SWEEP_FLOOR:-10}"
+HARD_CDCL_FLOOR="${HARD_CDCL_FLOOR:-2}"
+EXPERIMENTS_FLOOR="${EXPERIMENTS_FLOOR:-3}"
+
+echo "==> building repro (release)"
+cargo build --release -q -p casekit-bench --bin repro
+
+echo "==> repro graph --smoke"
+./target/release/repro graph --smoke > /dev/null
+echo "==> repro logic --smoke"
+./target/release/repro logic --smoke > /dev/null
+echo "==> repro experiments --smoke"
+./target/release/repro experiments --smoke > /dev/null
+
+FAILURES=0
+
+# json_number <file> <key> — first numeric value for "key" in a
+# pretty-printed JSON artifact.
+json_number() {
+  sed -n 's/.*"'"$2"'": \([0-9][0-9.eE+-]*\),\{0,1\}$/\1/p' "$1" | head -1
+}
+
+# require_floor <file> <key> <floor> — numeric gate.
+require_floor() {
+  local file="$1" key="$2" floor="$3" value
+  value="$(json_number "$file" "$key")"
+  if [ -z "$value" ]; then
+    echo "FAIL: $file has no numeric \"$key\""
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  if awk -v v="$value" -v f="$floor" 'BEGIN { exit !(v >= f) }'; then
+    echo "  ok    $file $key = $value (floor $floor)"
+  else
+    echo "  FAIL  $file $key = $value is below floor $floor"
+    FAILURES=$((FAILURES + 1))
+  fi
+}
+
+# require_true <file> <key> [count] — boolean gate; the artifact must
+# contain `"key": true` exactly `count` times (default 1) and never
+# `"key": false`.
+require_true() {
+  local file="$1" key="$2" count="${3:-1}" trues
+  trues="$(grep -c "\"$key\": true" "$file" || true)"
+  if grep -q "\"$key\": false" "$file"; then
+    echo "  FAIL  $file reports \"$key\": false"
+    FAILURES=$((FAILURES + 1))
+  elif [ "$trues" -ne "$count" ]; then
+    echo "  FAIL  $file has $trues \"$key\": true entries, expected $count"
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "  ok    $file $key = true (x$count)"
+  fi
+}
+
+echo "== bench gates =="
+require_floor BENCH_graph.smoke.json speedup "$GRAPH_FLOOR"
+require_true  BENCH_graph.smoke.json sweeps_agree
+
+require_floor BENCH_logic.smoke.json speedup "$LOGIC_SWEEP_FLOOR"
+require_floor BENCH_logic.smoke.json dpll_over_cdcl "$HARD_CDCL_FLOOR"
+require_true  BENCH_logic.smoke.json verdicts_agree 2
+
+require_floor BENCH_experiments.smoke.json speedup "$EXPERIMENTS_FLOOR"
+require_true  BENCH_experiments.smoke.json reports_agree
+
+if [ "$FAILURES" -eq 0 ]; then
+  echo "Bench gate passed."
+else
+  echo "Bench gate FAILED ($FAILURES gate(s))."
+  exit 1
+fi

@@ -1,30 +1,72 @@
 #!/usr/bin/env bash
-# Full local gate: format, lints, tests, benches, and the graph-core
-# benchmark artifact. Mirrors what `just check` runs.
+# Full local gate: format, lints, tests, benches, and the benchmark
+# artifacts. Mirrors what `just check` runs; `just ci` / the GitHub
+# workflow run the same steps plus the smoke bench gate.
+#
+# Every step runs even when an earlier one fails, each failure is
+# recorded, and a per-step summary prints at the end — so local runs
+# and CI agree on exactly what "green" means.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
-cargo fmt --all --check
+STEP_NAMES=()
+STEP_RESULTS=()
 
-echo "==> cargo clippy -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+# run_step <name> <command...> — runs the command with failure captured
+# (set -e stays on inside the command itself).
+run_step() {
+  local name="$1"
+  shift
+  echo "==> ${name}"
+  local status=0
+  "$@" || status=$?
+  STEP_NAMES+=("$name")
+  STEP_RESULTS+=("$status")
+  if [ "$status" -ne 0 ]; then
+    echo "FAIL: ${name} (exit ${status})"
+  fi
+}
 
-echo "==> cargo test"
-cargo test -q
+# Artifact steps regenerate the file and gate its agreement flags in
+# one step, so a gate can never pass against a stale committed artifact
+# left behind by a failed regeneration.
+repro_logic_gated() {
+  cargo run --release -q -p casekit-bench --bin repro logic || return 1
+  [ "$(grep -c '"verdicts_agree": true' BENCH_logic.json)" -eq 2 ] \
+    || { echo "BENCH_logic.json does not report sweep + hard-instance verdict agreement"; return 1; }
+}
 
-echo "==> cargo bench (short measurement budget)"
-CASEKIT_BENCH_MS="${CASEKIT_BENCH_MS:-25}" cargo bench -q -p casekit-bench
+repro_experiments_gated() {
+  cargo run --release -q -p casekit-bench --bin repro experiments || return 1
+  grep -q '"reports_agree": true' BENCH_experiments.json \
+    || { echo "BENCH_experiments.json does not report serial/parallel agreement"; return 1; }
+}
 
-echo "==> repro graph (writes BENCH_graph.json)"
-cargo run --release -q -p casekit-bench --bin repro graph
+run_step "cargo fmt --check" cargo fmt --all --check
+run_step "cargo clippy -D warnings" cargo clippy --workspace --all-targets -- -D warnings
+run_step "cargo test" cargo test -q
+run_step "cargo bench (short measurement budget)" \
+  env CASEKIT_BENCH_MS="${CASEKIT_BENCH_MS:-25}" cargo bench -q -p casekit-bench
+run_step "repro graph (writes BENCH_graph.json)" \
+  cargo run --release -q -p casekit-bench --bin repro graph
+run_step "repro logic + verdict gates (writes BENCH_logic.json)" repro_logic_gated
+run_step "repro experiments + agreement gate (writes BENCH_experiments.json)" \
+  repro_experiments_gated
 
-echo "==> repro logic (writes BENCH_logic.json)"
-cargo run --release -q -p casekit-bench --bin repro logic
-
-echo "==> repro experiments (writes BENCH_experiments.json)"
-cargo run --release -q -p casekit-bench --bin repro experiments
-grep -q '"reports_agree": true' BENCH_experiments.json \
-  || { echo "FAIL: BENCH_experiments.json does not report serial/parallel agreement"; exit 1; }
-
-echo "All checks passed."
+echo
+echo "== step summary =="
+overall=0
+for i in "${!STEP_NAMES[@]}"; do
+  if [ "${STEP_RESULTS[$i]}" -eq 0 ]; then
+    printf '  ok    %s\n' "${STEP_NAMES[$i]}"
+  else
+    printf '  FAIL  %s (exit %s)\n' "${STEP_NAMES[$i]}" "${STEP_RESULTS[$i]}"
+    overall=1
+  fi
+done
+if [ "$overall" -eq 0 ]; then
+  echo "All checks passed."
+else
+  echo "Some checks FAILED."
+fi
+exit "$overall"

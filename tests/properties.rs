@@ -112,10 +112,10 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
-// Solver agreement: the interned watched-literal core, the legacy recursive
-// DPLL (the differential-testing oracle), resolution, and brute-force truth
-// tables must agree on satisfiability for fuzzed formulas over up to 12
-// atoms.
+// Solver agreement: the CDCL core, the chronological watched-literal DPLL
+// baseline, the legacy recursive DPLL (the differential-testing oracle),
+// resolution, and brute-force truth tables must agree on satisfiability for
+// fuzzed formulas over up to 12 atoms.
 // ---------------------------------------------------------------------------
 
 /// Strategy: arbitrary propositional formulas over a 12-atom alphabet.
@@ -147,6 +147,24 @@ fn wide_formula_strategy() -> impl Strategy<Value = Formula> {
     })
 }
 
+/// Decides satisfiability of `f` on the chronological DPLL baseline:
+/// Tseitin clauses interned by hand into a [`prop::DpllSolver`].
+fn dpll_baseline_is_sat(f: &Formula) -> bool {
+    let cs = f.to_cnf_tseitin();
+    let mut solver = prop::DpllSolver::new();
+    let mut atoms = prop::AtomTable::new();
+    let mut clause: Vec<prop::Lit> = Vec::new();
+    for c in cs.clauses() {
+        clause.clear();
+        for literal in c.literals() {
+            let var = atoms.intern_with(&literal.atom, || solver.new_var());
+            clause.push(var.lit(literal.positive));
+        }
+        solver.add_clause(&clause);
+    }
+    solver.check()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(160))]
 
@@ -154,8 +172,10 @@ proptest! {
     fn four_solvers_agree_on_satisfiability(f in wide_formula_strategy()) {
         // Ground truth: brute-force enumeration (≤ 12 atoms by strategy).
         let brute = prop::truth_table(&f).expect("at most 12 atoms").models() > 0;
-        // Interned watched-literal core.
-        prop_assert_eq!(prop::dpll(&f).is_sat(), brute, "watched-literal core vs truth table");
+        // CDCL core (the production path under dpll()).
+        prop_assert_eq!(prop::dpll(&f).is_sat(), brute, "CDCL core vs truth table");
+        // Chronological watched-literal DPLL baseline.
+        prop_assert_eq!(dpll_baseline_is_sat(&f), brute, "DPLL baseline vs truth table");
         // Legacy recursive DPLL oracle.
         prop_assert_eq!(prop::legacy::dpll(&f).is_sat(), brute, "legacy oracle vs truth table");
         // Resolution refutation over the equisatisfiable Tseitin CNF.
@@ -205,6 +225,56 @@ proptest! {
         theory.retract_all();
         let consistent = Formula::conj(premises.iter().cloned()).is_satisfiable();
         prop_assert_eq!(session_consistent, consistent);
+    }
+
+    #[test]
+    fn cdcl_learning_never_changes_session_verdicts(
+        clauses in proptest::collection::vec(
+            proptest::collection::vec((0u32..10, 0u8..2), 1..4),
+            1..24,
+        ),
+        rounds in proptest::collection::vec(
+            proptest::collection::vec((0u32..10, 0u8..2), 0..4),
+            1..8,
+        ),
+    ) {
+        // One random clause database, one random script of assumption
+        // rounds, both engines. The CDCL solver carries learned clauses
+        // from each round into the next; every verdict must still match
+        // the memoryless chronological baseline.
+        let mut cdcl = prop::Solver::new();
+        let mut base = prop::DpllSolver::new();
+        let cv: Vec<prop::Var> = (0..10).map(|_| cdcl.new_var()).collect();
+        let bv: Vec<prop::Var> = (0..10).map(|_| base.new_var()).collect();
+        for clause in &clauses {
+            let cc: Vec<prop::Lit> =
+                clause.iter().map(|&(v, pos)| cv[v as usize].lit(pos == 1)).collect();
+            let bc: Vec<prop::Lit> =
+                clause.iter().map(|&(v, pos)| bv[v as usize].lit(pos == 1)).collect();
+            cdcl.add_clause(&cc);
+            base.add_clause(&bc);
+        }
+        for (i, round) in rounds.iter().enumerate() {
+            for &(v, pos) in round {
+                cdcl.assume(cv[v as usize].lit(pos == 1));
+                base.assume(bv[v as usize].lit(pos == 1));
+            }
+            let (c_sat, b_sat) = (cdcl.check(), base.check());
+            prop_assert_eq!(c_sat, b_sat, "round {} of {:?}", i, rounds);
+            if c_sat {
+                // The CDCL model must actually satisfy the database.
+                for clause in &clauses {
+                    prop_assert!(
+                        clause.iter().any(|&(v, pos)| {
+                            cdcl.value(cv[v as usize].lit(pos == 1)) == Some(true)
+                        }),
+                        "model falsifies {:?} on round {}", clause, i
+                    );
+                }
+            }
+            cdcl.retract_all();
+            base.retract_all();
+        }
     }
 }
 
