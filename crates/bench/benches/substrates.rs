@@ -237,6 +237,28 @@ fn bench_cdcl_hard(c: &mut Criterion) {
     });
 }
 
+fn bench_af(c: &mut Criterion) {
+    // The AF analogue of bench_cdcl_hard: the subset enumerator vs the
+    // SAT labelling path on one 12-argument instance (the `repro af`
+    // population measures the full cross-checked comparison), plus the
+    // SAT path alone at a size the enumerator cannot reach.
+    let smoke = casekit_bench::af::random_framework(12, 24, 0xAF);
+    c.bench_function("af_12_args_semantics_naive", |b| {
+        b.iter(|| casekit_bench::af::naive_sweep(black_box(&smoke)))
+    });
+    c.bench_function("af_12_args_semantics_sat", |b| {
+        b.iter(|| casekit_bench::af::sat_sweep(black_box(&smoke)))
+    });
+    let large = casekit_bench::af::random_framework(200, 400, 0xAF);
+    c.bench_function("af_200_args_preferred_sat", |b| {
+        b.iter(|| black_box(&large).preferred_extensions())
+    });
+    let chain = casekit_bench::af::chain_framework(2_000);
+    c.bench_function("af_2000_chain_grounded_csr", |b| {
+        b.iter(|| black_box(&chain).grounded_extension())
+    });
+}
+
 criterion_group!(
     benches,
     bench_sat,
@@ -248,6 +270,7 @@ criterion_group!(
     bench_dsl_and_query,
     bench_graph,
     bench_logic_core,
-    bench_cdcl_hard
+    bench_cdcl_hard,
+    bench_af
 );
 criterion_main!(benches);

@@ -1,0 +1,399 @@
+//! Argumentation-framework benchmark harness: seeded framework
+//! generators, the subset-enumeration baseline (`af::naive`), and the
+//! SAT labelling path that replaced it.
+//!
+//! The seed computed complete/preferred extensions by walking all `2^n`
+//! argument subsets behind an `assert!(n <= 16)`, and derived the
+//! grounded extension with a fixpoint that re-scanned the whole attack
+//! relation per candidate per pass. The SAT path
+//! ([`casekit_logic::af::encode::AfSat`]) lifts the ceiling; the CSR
+//! worklist ([`casekit_logic::af::Adjacency::grounded`]) makes grounded
+//! O(V+E). Both old paths survive in [`casekit_logic::af::naive`] so
+//! the speedups stay measurable: [`run_af_bench`] cross-checks the
+//! engines extension set for extension set on every ≤ 16-argument
+//! instance and emits the comparison as `BENCH_af.json` (via `repro
+//! af`).
+
+use casekit_logic::af::encode::AfSat;
+use casekit_logic::af::{naive, ArgId, Framework};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::collections::BTreeSet;
+
+/// A seeded uniformly-random framework: `n` arguments, `attacks`
+/// attack pairs drawn with replacement (self-attacks allowed, as in
+/// real benchmark suites).
+pub fn random_framework(n: usize, attacks: usize, seed: u64) -> Framework {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xAF00_0000_0000_0000);
+    let mut af = Framework::new();
+    for i in 0..n {
+        af.add_argument(format!("arg{i}"));
+    }
+    for _ in 0..attacks {
+        let attacker = rng.gen_range(0..n);
+        let target = rng.gen_range(0..n);
+        af.add_attack(attacker, target).expect("ids are in range");
+    }
+    af
+}
+
+/// A seeded deliberation-shaped framework: a proposal followed by
+/// dialogue moves, each attacking one (sometimes two) earlier
+/// arguments — the acyclic, tree-ish shape Tolchinsky-style dialogues
+/// produce, where the grounded extension decides everything.
+pub fn deliberation_framework(n: usize, seed: u64) -> Framework {
+    assert!(n >= 1, "a deliberation has at least the proposal");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xD1A1_0000_0000_0000);
+    let mut af = Framework::new();
+    af.add_argument("proposal");
+    for i in 1..n {
+        let id = af.add_argument(format!("move{i}"));
+        let target = rng.gen_range(0..id);
+        af.add_attack(id, target).expect("ids are in range");
+        if rng.gen_bool(0.25) {
+            let second = rng.gen_range(0..id);
+            af.add_attack(id, second).expect("ids are in range");
+        }
+    }
+    af
+}
+
+/// A reinstatement chain: argument `i + 1` attacks argument `i`. The
+/// grounded fixpoint needs ~`n/2` passes here, which is exactly where
+/// a per-candidate attack-relation scan degrades quadratically.
+pub fn chain_framework(n: usize) -> Framework {
+    let mut af = Framework::new();
+    for i in 0..n {
+        af.add_argument(format!("c{i}"));
+    }
+    for i in 1..n {
+        af.add_attack(i, i - 1).expect("ids are in range");
+    }
+    af
+}
+
+/// Everything one engine reports about one framework; both engines
+/// must produce exactly this, set for set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemanticsVerdict {
+    /// The complete extensions, as a set of sets.
+    pub complete: BTreeSet<BTreeSet<ArgId>>,
+    /// The preferred extensions, as a set of sets.
+    pub preferred: BTreeSet<BTreeSet<ArgId>>,
+    /// The stable extensions, as a set of sets.
+    pub stable: BTreeSet<BTreeSet<ArgId>>,
+    /// Per argument: credulously accepted?
+    pub credulous: Vec<bool>,
+}
+
+/// The full semantics sweep through the subset enumerator (panics over
+/// 16 arguments — smoke instances only).
+///
+/// For a fair baseline the `2^n` walk runs only twice (complete and
+/// stable): preferred is the maximality filter over the complete set
+/// and credulous is membership in it, mirroring how [`sat_sweep`]
+/// shares one session — the measured gap is enumeration vs SAT, not
+/// redundant re-enumeration.
+pub fn naive_sweep(af: &Framework) -> SemanticsVerdict {
+    let complete = naive::complete_extensions(af).expect("smoke instance");
+    let preferred = naive::preferred_from(&complete).into_iter().collect();
+    let credulous = (0..af.len())
+        .map(|id| complete.iter().any(|e| e.contains(&id)))
+        .collect();
+    SemanticsVerdict {
+        complete: complete.into_iter().collect(),
+        preferred,
+        stable: naive::stable_extensions(af)
+            .expect("smoke instance")
+            .into_iter()
+            .collect(),
+        credulous,
+    }
+}
+
+/// The same sweep through the SAT path: one complete-semantics session
+/// answers the complete enumeration, the preferred maximality loop,
+/// and every credulous probe; stable gets its own encoding.
+pub fn sat_sweep(af: &Framework) -> SemanticsVerdict {
+    let mut session = AfSat::complete(af);
+    let complete = session.extensions(None).into_iter().collect();
+    let preferred = session.preferred().into_iter().collect();
+    let credulous = (0..af.len()).map(|id| session.credulous(id)).collect();
+    let stable = AfSat::stable(af).extensions(None).into_iter().collect();
+    SemanticsVerdict {
+        complete,
+        preferred,
+        stable,
+        credulous,
+    }
+}
+
+/// Measured engine comparison at one framework size (SAT path only —
+/// the enumerator cannot follow past 16 arguments).
+#[derive(Debug, Clone, Serialize)]
+pub struct AfSizeReport {
+    /// Arguments in the seeded random framework.
+    pub n: usize,
+    /// Attacks in the seeded random framework.
+    pub attacks: usize,
+    /// CSR grounded fixpoint, milliseconds (best of 3).
+    pub grounded_ms: f64,
+    /// Arguments in the grounded extension.
+    pub grounded_size: usize,
+    /// SAT preferred enumeration (maximality loop), milliseconds.
+    pub preferred_ms: f64,
+    /// Preferred extensions found.
+    pub preferred_count: usize,
+    /// SAT stable enumeration, milliseconds.
+    pub stable_ms: f64,
+    /// Stable extensions found.
+    pub stable_count: usize,
+    /// On the same-size deliberation-shaped framework: the preferred
+    /// extension is unique and equals the grounded extension (the
+    /// acyclicity invariant the dialogue layer relies on).
+    pub deliberation_preferred_is_grounded: bool,
+}
+
+/// The measured comparison, serialized into `BENCH_af.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct AfBenchReport {
+    /// ≤ 16-argument instances swept by both engines.
+    pub smoke_instances: usize,
+    /// Arguments per smoke instance.
+    pub smoke_n: usize,
+    /// Subset-enumeration sweep over the smoke instances, milliseconds
+    /// (best of 3, like every other arm).
+    pub naive_ms: f64,
+    /// SAT sweep over the same instances, milliseconds (best of 3).
+    pub sat_ms: f64,
+    /// naive / sat.
+    pub sat_over_naive: f64,
+    /// Both engines returned identical complete/preferred/stable
+    /// extension sets and credulous verdicts on every smoke instance.
+    pub extensions_agree: bool,
+    /// Chain length for the grounded comparison.
+    pub grounded_chain_n: usize,
+    /// Seed-style grounded fixpoint (attack-relation scan per
+    /// candidate per pass) on the chain, milliseconds.
+    pub grounded_naive_ms: f64,
+    /// CSR worklist grounded on the same chain, milliseconds.
+    pub grounded_csr_ms: f64,
+    /// naive / csr.
+    pub grounded_over_naive: f64,
+    /// Both grounded engines agree on the chain.
+    pub grounded_agree: bool,
+    /// SAT-only measurements at sizes the enumerator cannot reach.
+    pub sizes: Vec<AfSizeReport>,
+}
+
+/// Runs the two-engine comparison: a cross-checked smoke population at
+/// `smoke_n` arguments, the grounded chain comparison at
+/// `grounded_chain_n`, and SAT-only measurements at each of `sizes`.
+pub fn run_af_bench(
+    smoke_n: usize,
+    smoke_seeds: usize,
+    grounded_chain_n: usize,
+    sizes: &[usize],
+) -> AfBenchReport {
+    assert!(smoke_n <= 16, "smoke instances must fit the enumerator");
+    let smoke: Vec<Framework> = (0..smoke_seeds as u64)
+        .flat_map(|seed| {
+            [
+                random_framework(smoke_n, 2 * smoke_n, seed),
+                deliberation_framework(smoke_n, seed),
+            ]
+        })
+        .collect();
+
+    let (naive_ms, naive_verdicts) =
+        crate::best_of_ms(3, || smoke.iter().map(naive_sweep).collect::<Vec<_>>());
+    let (sat_ms, sat_verdicts) =
+        crate::best_of_ms(3, || smoke.iter().map(sat_sweep).collect::<Vec<_>>());
+    let extensions_agree = naive_verdicts == sat_verdicts;
+
+    let chain = chain_framework(grounded_chain_n);
+    let (grounded_naive_ms, grounded_naive) =
+        crate::best_of_ms(3, || naive::grounded_extension(&chain));
+    let (grounded_csr_ms, grounded_csr) = crate::best_of_ms(3, || chain.grounded_extension());
+    let grounded_agree = grounded_naive == grounded_csr;
+
+    let sizes = sizes
+        .iter()
+        .map(|&n| {
+            let af = random_framework(n, 2 * n, 0xBEEF ^ n as u64);
+            let (grounded_ms, grounded) = crate::best_of_ms(3, || af.grounded_extension());
+            let (preferred_ms, preferred) = crate::best_of_ms(3, || af.preferred_extensions());
+            let (stable_ms, stable) = crate::best_of_ms(3, || af.stable_extensions());
+            let dialogue = deliberation_framework(n, 0xBEEF ^ n as u64);
+            let deliberation_preferred_is_grounded =
+                dialogue.preferred_extensions() == vec![dialogue.grounded_extension()];
+            AfSizeReport {
+                n,
+                attacks: af.attack_count(),
+                grounded_ms,
+                grounded_size: grounded.len(),
+                preferred_ms,
+                preferred_count: preferred.len(),
+                stable_ms,
+                stable_count: stable.len(),
+                deliberation_preferred_is_grounded,
+            }
+        })
+        .collect();
+
+    AfBenchReport {
+        smoke_instances: smoke.len(),
+        smoke_n,
+        naive_ms,
+        sat_ms,
+        sat_over_naive: naive_ms / sat_ms.max(1e-9),
+        extensions_agree,
+        grounded_chain_n,
+        grounded_naive_ms,
+        grounded_csr_ms,
+        grounded_over_naive: grounded_naive_ms / grounded_csr_ms.max(1e-9),
+        grounded_agree,
+        sizes,
+    }
+}
+
+/// Renders the report as JSON (the `BENCH_af.json` artifact).
+pub fn bench_af_json(report: &AfBenchReport) -> String {
+    serde_json::to_string_pretty(report).expect("report serializes")
+}
+
+/// Human-readable summary for the repro binary.
+pub fn render_report(report: &AfBenchReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "argumentation-framework semantics, {} cross-checked {}-argument instances\n\
+           subset enumeration (complete+preferred+stable+credulous): {:>10.3} ms\n\
+           SAT labelling sessions (same queries):                    {:>10.3} ms\n\
+           speedup: {:.1}x   extensions agree: {}\n\
+         grounded on a {}-argument reinstatement chain\n\
+           fixpoint with per-candidate attack scans: {:>10.3} ms\n\
+           CSR worklist:                             {:>10.3} ms\n\
+           speedup: {:.1}x   grounded agree: {}",
+        report.smoke_instances,
+        report.smoke_n,
+        report.naive_ms,
+        report.sat_ms,
+        report.sat_over_naive,
+        report.extensions_agree,
+        report.grounded_chain_n,
+        report.grounded_naive_ms,
+        report.grounded_csr_ms,
+        report.grounded_over_naive,
+        report.grounded_agree,
+    );
+    let _ = writeln!(out, "SAT path beyond the old 16-argument ceiling:");
+    for s in &report.sizes {
+        let _ = writeln!(
+            out,
+            "  n={:<5} attacks={:<5} grounded {:>8.3} ms ({} in)   \
+             preferred {:>9.3} ms ({})   stable {:>9.3} ms ({})   dialogue-unique: {}",
+            s.n,
+            s.attacks,
+            s.grounded_ms,
+            s.grounded_size,
+            s.preferred_ms,
+            s.preferred_count,
+            s.stable_ms,
+            s.stable_count,
+            s.deliberation_preferred_is_grounded,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(random_framework(10, 20, 7), random_framework(10, 20, 7));
+        assert_eq!(deliberation_framework(10, 7), deliberation_framework(10, 7));
+        let af = random_framework(10, 20, 7);
+        assert_eq!(af.len(), 10);
+        assert!(af.attack_count() <= 20);
+    }
+
+    #[test]
+    fn engines_agree_on_smoke_scale_instances() {
+        for seed in 0..4 {
+            let af = random_framework(8, 16, seed);
+            assert_eq!(naive_sweep(&af), sat_sweep(&af), "random seed {seed}");
+            let d = deliberation_framework(8, seed);
+            assert_eq!(naive_sweep(&d), sat_sweep(&d), "deliberation seed {seed}");
+        }
+    }
+
+    #[test]
+    fn preferred_succeeds_on_a_200_argument_random_framework() {
+        // The acceptance-criteria instance: impossible before the SAT
+        // path (the enumerator asserted n <= 16).
+        let af = random_framework(200, 400, 0xBEEF ^ 200);
+        let preferred = af.preferred_extensions();
+        assert!(!preferred.is_empty());
+        let grounded = af.grounded_extension();
+        for p in &preferred {
+            assert!(af.admissible(p));
+            assert!(grounded.is_subset(p));
+        }
+    }
+
+    #[test]
+    fn deliberation_frameworks_are_acyclic_and_grounded_decides() {
+        let af = deliberation_framework(60, 3);
+        let preferred = af.preferred_extensions();
+        assert_eq!(preferred, vec![af.grounded_extension()]);
+        assert_eq!(af.stable_extensions(), preferred);
+    }
+
+    #[test]
+    fn csr_grounded_does_not_degrade_quadratically_on_chains() {
+        // The old fixpoint re-scans the attack relation per candidate
+        // per pass: O(n^2) scans of O(n) each. The CSR worklist is
+        // O(V+E); a 50k chain completes instantly, where a quadratic
+        // path would need ~10^9 edge visits and a cubic one ~10^14.
+        let big = chain_framework(50_000);
+        let grounded = big.grounded_extension();
+        assert_eq!(grounded.len(), 25_000);
+        assert!(grounded.contains(&49_999), "the unattacked top is in");
+        assert!(!grounded.contains(&49_998));
+
+        // And on a size the old path can still handle, the two agree —
+        // with the CSR path far ahead even at n=160 in a debug build.
+        let small = chain_framework(160);
+        let (naive_ms, naive_grounded) = crate::best_of_ms(2, || naive::grounded_extension(&small));
+        let (csr_ms, csr_grounded) = crate::best_of_ms(2, || small.grounded_extension());
+        assert_eq!(naive_grounded, csr_grounded);
+        assert!(
+            csr_ms <= naive_ms,
+            "CSR grounded ({csr_ms} ms) should not lose to the \
+             quadratic fixpoint ({naive_ms} ms) on a 160-chain"
+        );
+    }
+
+    #[test]
+    fn report_is_sane_at_small_scale() {
+        let report = run_af_bench(8, 2, 120, &[8, 20]);
+        assert!(report.extensions_agree);
+        assert!(report.grounded_agree);
+        assert_eq!(report.smoke_instances, 4);
+        assert_eq!(report.sizes.len(), 2);
+        for s in &report.sizes {
+            assert!(s.deliberation_preferred_is_grounded);
+            assert!(s.preferred_count >= 1);
+        }
+        let json = bench_af_json(&report);
+        assert!(json.contains("\"sat_over_naive\""));
+        assert!(json.contains("\"grounded_over_naive\""));
+        assert!(json.contains("\"extensions_agree\": true"));
+        assert!(render_report(&report).contains("extensions agree: true"));
+    }
+}

@@ -5,15 +5,17 @@
 //! ```text
 //! repro [table1 | claims | figure1 | haley | greenwell |
 //!        exp-a | exp-b | exp-c | exp-d | exp-e | graph | logic |
-//!        experiments | all] [--smoke]
+//!        af | experiments | all] [--smoke]
 //! ```
 //!
 //! `graph` additionally writes the measured legacy-vs-indexed graph-core
 //! comparison to `BENCH_graph.json` in the working directory; `logic`
 //! does the same for the legacy-vs-interned batch entailment sweep plus
 //! the CDCL-vs-DPLL-vs-legacy hard-instance comparison
-//! (`BENCH_logic.json`), and `experiments` for the serial-vs-parallel
-//! experiment runtime (`BENCH_experiments.json`).
+//! (`BENCH_logic.json`), `af` for the subset-enumeration-vs-SAT
+//! argumentation-framework comparison (`BENCH_af.json`), and
+//! `experiments` for the serial-vs-parallel experiment runtime
+//! (`BENCH_experiments.json`).
 //!
 //! `--smoke` runs the benchmark artifacts on small fixed-seed
 //! populations and writes them as `BENCH_*.smoke.json` instead — fast,
@@ -49,8 +51,8 @@ fn main() {
         }
     }
     let arg = artefact.unwrap_or_else(|| "all".to_string());
-    if smoke && !matches!(arg.as_str(), "graph" | "logic" | "experiments") {
-        eprintln!("--smoke only applies to the graph, logic, and experiments artefacts");
+    if smoke && !matches!(arg.as_str(), "graph" | "logic" | "af" | "experiments") {
+        eprintln!("--smoke only applies to the graph, logic, af, and experiments artefacts");
         std::process::exit(2);
     }
     let output = match arg.as_str() {
@@ -92,6 +94,18 @@ fn main() {
             write_artifact(path, &bench::logic::bench_logic_json(&report));
             bench::logic::render_report(&report)
         }
+        "af" => {
+            // Smoke keeps the cross-checked population and chain small
+            // and caps the SAT-only sizes where the gate needs them.
+            let (smoke_seeds, chain, sizes, path): (usize, usize, &[usize], &str) = if smoke {
+                (4, 120, &[12, 50], "BENCH_af.smoke.json")
+            } else {
+                (6, 300, &[12, 50, 200, 1000], "BENCH_af.json")
+            };
+            let report = bench::af::run_af_bench(12, smoke_seeds, chain, sizes);
+            write_artifact(path, &bench::af::bench_af_json(&report));
+            bench::af::render_report(&report)
+        }
         "experiments" => {
             let (config, path) = if smoke {
                 (
@@ -115,7 +129,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown artefact `{other}`; expected table1, claims, figure1, haley, \
-                 greenwell, exp-a..exp-e, graph, logic, experiments, or all"
+                 greenwell, exp-a..exp-e, graph, logic, af, experiments, or all"
             );
             std::process::exit(2);
         }

@@ -13,6 +13,7 @@ use casekit_logic::nd::Proof;
 use casekit_logic::sorts::SortRegistry;
 use std::fmt::Write as _;
 
+pub mod af;
 pub mod experiments;
 pub mod graph;
 pub mod logic;
@@ -193,6 +194,15 @@ pub fn logic_bench() -> String {
     logic::render_report(&report)
 }
 
+/// Runs the argumentation-framework engine comparison (subset
+/// enumeration vs SAT labelling sessions, plus the grounded chain and
+/// the SAT-only large sizes) and renders the summary. The JSON
+/// artifact is written by `repro af`.
+pub fn af_bench() -> String {
+    let report = af::run_af_bench(12, 6, 300, &[12, 50, 200, 1000]);
+    af::render_report(&report)
+}
+
 /// Runs the experiment-runtime comparison (scaled §VI-A population,
 /// legacy vs cached-serial vs parallel) and renders the summary. The
 /// JSON artifact is written by `repro experiments`.
@@ -230,6 +240,7 @@ pub fn all() -> String {
         experiment_e(),
         graph_bench(),
         logic_bench(),
+        af_bench(),
         experiments_bench(),
     ] {
         out.push_str(&section);

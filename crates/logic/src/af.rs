@@ -10,12 +10,41 @@
 //! an argument can *retract* previously-accepted conclusions, which
 //! classical deduction cannot model.
 //!
-//! This module implements the framework with grounded, complete, and
-//! preferred semantics, plus a small [`Deliberation`] layer that mirrors
-//! the dialogue-game usage: a proposed action, pro/con arguments added in
-//! turns, and a verdict that changes non-monotonically as the dialogue
-//! unfolds.
+//! # Architecture: the SAT path
+//!
+//! Deciding complete/stable/preferred semantics is NP-hard in general,
+//! and the seed implementation enumerated all `2^n` subsets behind an
+//! `assert!(n <= 16)`. This module now mirrors the workspace's two-plane
+//! discipline instead:
+//!
+//! * **Name plane** — [`Framework`] stores labels and the attack
+//!   relation; [`Deliberation`] runs the dialogue game on top.
+//! * **Index plane** — [`Framework::adjacency`] builds a CSR
+//!   attacker/attacked adjacency once (the `casekit-core` arena
+//!   discipline), which powers an O(V+E) [grounded
+//!   fixpoint](Framework::grounded_extension); [`encode::AfSat`]
+//!   compiles the framework into packed-literal clauses for the CDCL
+//!   [`Solver`](crate::prop::Solver) — the in/out/undec *labelling*
+//!   encoding — and answers every extension and acceptance question as
+//!   an incremental SAT session.
+//!
+//! Extensions are enumerated with *blocking clauses* guarded by
+//! per-enumeration selector literals, so one persistent solver session
+//! serves extension listing, the preferred-semantics maximality loop,
+//! and credulous/sceptical acceptance queries — and everything the
+//! solver learns answering one question speeds up the next. The seed's
+//! exponential enumerator survives as [`naive`] (oracle and measured
+//! baseline, capped at [`naive::ENUMERATION_LIMIT`] arguments); the
+//! public [`Framework`] API has no argument-count ceiling.
+//!
+//! `repro af` measures the two engines against each other and writes
+//! `BENCH_af.json`; proptests in `tests/properties.rs` cross-check them
+//! extension set for extension set.
 
+pub mod encode;
+pub mod naive;
+
+use crate::error::LogicError;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -41,15 +70,35 @@ impl Framework {
         self.labels.len() - 1
     }
 
+    /// `Ok(())` when `id` names an allocated argument.
+    fn check_id(&self, id: ArgId) -> Result<(), LogicError> {
+        if id < self.labels.len() {
+            Ok(())
+        } else {
+            Err(LogicError::UnknownArgument {
+                id,
+                arguments: self.labels.len(),
+            })
+        }
+    }
+
     /// Records that `attacker` attacks `target`.
     ///
-    /// # Panics
+    /// Returns [`LogicError::UnknownArgument`] if either id is out of
+    /// range.
     ///
-    /// Panics if either id is out of range.
-    pub fn add_attack(&mut self, attacker: ArgId, target: ArgId) {
-        assert!(attacker < self.labels.len(), "unknown attacker");
-        assert!(target < self.labels.len(), "unknown target");
+    /// ```
+    /// use casekit_logic::af::Framework;
+    /// let mut af = Framework::new();
+    /// let a = af.add_argument("a");
+    /// assert!(af.add_attack(a, a + 9).is_err());
+    /// assert!(af.add_attack(a, a).is_ok());
+    /// ```
+    pub fn add_attack(&mut self, attacker: ArgId, target: ArgId) -> Result<(), LogicError> {
+        self.check_id(attacker)?;
+        self.check_id(target)?;
         self.attacks.insert((attacker, target));
+        Ok(())
     }
 
     /// Number of arguments.
@@ -62,22 +111,63 @@ impl Framework {
         self.labels.is_empty()
     }
 
-    /// The label of an argument.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the id is out of range.
-    pub fn label(&self, id: ArgId) -> &str {
-        &self.labels[id]
+    /// Number of recorded attacks.
+    pub fn attack_count(&self) -> usize {
+        self.attacks.len()
     }
 
-    /// The attackers of `target`.
+    /// The label of an argument, or [`LogicError::UnknownArgument`] if
+    /// the id is out of range.
+    pub fn label(&self, id: ArgId) -> Result<&str, LogicError> {
+        self.check_id(id)?;
+        Ok(&self.labels[id])
+    }
+
+    /// The attackers of `target`, by linear scan of the attack relation.
+    ///
+    /// One-shot convenience; whole-framework computations build a CSR
+    /// [`Adjacency`] once instead of calling this per argument.
     pub fn attackers(&self, target: ArgId) -> Vec<ArgId> {
         self.attacks
             .iter()
             .filter(|(_, t)| *t == target)
             .map(|(a, _)| *a)
             .collect()
+    }
+
+    /// Builds the CSR attacker/attacked adjacency: both directions of
+    /// the attack relation in flat arrays, indexable in O(1) per
+    /// argument. Build once per computation, O(V+E).
+    pub fn adjacency(&self) -> Adjacency {
+        let n = self.labels.len();
+        let mut att_start = vec![0usize; n + 1];
+        let mut tgt_start = vec![0usize; n + 1];
+        for &(a, t) in &self.attacks {
+            att_start[t + 1] += 1;
+            tgt_start[a + 1] += 1;
+        }
+        for i in 0..n {
+            att_start[i + 1] += att_start[i];
+            tgt_start[i + 1] += tgt_start[i];
+        }
+        let mut att_flat = vec![0 as ArgId; self.attacks.len()];
+        let mut tgt_flat = vec![0 as ArgId; self.attacks.len()];
+        let mut att_cursor = att_start.clone();
+        let mut tgt_cursor = tgt_start.clone();
+        // The set iterates sorted by (attacker, target), so both flat
+        // arrays come out sorted within each argument's slice.
+        for &(a, t) in &self.attacks {
+            att_flat[att_cursor[t]] = a;
+            att_cursor[t] += 1;
+            tgt_flat[tgt_cursor[a]] = t;
+            tgt_cursor[a] += 1;
+        }
+        Adjacency {
+            att_start,
+            att_flat,
+            tgt_start,
+            tgt_flat,
+        }
     }
 
     /// Whether `set` attacks `id`.
@@ -108,69 +198,144 @@ impl Framework {
 
     /// The grounded extension: the least fixed point of the characteristic
     /// function — the sceptical core every reasonable semantics accepts.
+    ///
+    /// Computed over the CSR [`Adjacency`] in O(V+E): unattacked
+    /// arguments are accepted, everything they attack is defeated, and
+    /// each defeat retires one attacker of the defeated argument's
+    /// targets — an argument whose last live attacker retires is
+    /// accepted in turn. (The seed's quadratic fixpoint survives as
+    /// [`naive::grounded_extension`] for differential testing.)
     pub fn grounded_extension(&self) -> BTreeSet<ArgId> {
-        let mut current: BTreeSet<ArgId> = BTreeSet::new();
-        loop {
-            let next: BTreeSet<ArgId> = (0..self.labels.len())
-                .filter(|&id| self.defends(&current, id))
-                .collect();
-            if next == current {
-                return current;
-            }
-            current = next;
-        }
+        self.adjacency().grounded()
     }
 
     /// All complete extensions (conflict-free fixpoints of the
-    /// characteristic function). Exponential enumeration — frameworks in
-    /// deliberation dialogues are small.
+    /// characteristic function), via the SAT labelling encoding — no
+    /// argument-count ceiling.
     ///
-    /// # Panics
-    ///
-    /// Panics above 16 arguments.
+    /// The number of extensions itself can be exponential in pathological
+    /// frameworks; use [`encode::AfSat::extensions`] with a limit to
+    /// enumerate incrementally.
     pub fn complete_extensions(&self) -> Vec<BTreeSet<ArgId>> {
-        let n = self.labels.len();
-        assert!(
-            n <= 16,
-            "complete-extension enumeration limited to 16 arguments"
-        );
-        let mut out = Vec::new();
-        for mask in 0..(1u32 << n) {
-            let set: BTreeSet<ArgId> = (0..n).filter(|i| mask >> i & 1 == 1).collect();
-            if !self.conflict_free(&set) {
-                continue;
-            }
-            // Complete: contains exactly the arguments it defends.
-            let defended: BTreeSet<ArgId> = (0..n).filter(|&id| self.defends(&set, id)).collect();
-            if defended == set {
-                out.push(set);
-            }
-        }
-        out
+        encode::AfSat::complete(self).extensions(None)
+    }
+
+    /// The stable extensions: conflict-free sets attacking every
+    /// argument outside them (complete labellings with no undecided
+    /// argument). May be empty — odd attack cycles admit no stable
+    /// extension.
+    pub fn stable_extensions(&self) -> Vec<BTreeSet<ArgId>> {
+        encode::AfSat::stable(self).extensions(None)
     }
 
     /// The preferred extensions: maximal (by inclusion) complete
-    /// extensions.
-    ///
-    /// # Panics
-    ///
-    /// Panics above 16 arguments (see [`Framework::complete_extensions`]).
+    /// extensions, computed by the SAT maximality loop — iteratively
+    /// forcing proper supersets until UNSAT — with subset-blocking
+    /// clauses between extensions.
     pub fn preferred_extensions(&self) -> Vec<BTreeSet<ArgId>> {
-        let complete = self.complete_extensions();
-        complete
-            .iter()
-            .filter(|s| {
-                !complete
-                    .iter()
-                    .any(|other| *s != other && s.is_subset(other))
-            })
-            .cloned()
-            .collect()
+        encode::AfSat::complete(self).preferred()
+    }
+
+    /// Whether `id` is credulously accepted: a member of at least one
+    /// complete extension (equivalently, of at least one preferred
+    /// extension).
+    ///
+    /// Convenience wrapper that compiles a fresh encoding per call;
+    /// when probing many arguments of the same framework, build one
+    /// [`encode::AfSat`] and reuse its session, so each answer is a
+    /// single incremental probe and learned clauses carry over.
+    pub fn credulously_accepted(&self, id: ArgId) -> Result<bool, LogicError> {
+        self.check_id(id)?;
+        Ok(encode::AfSat::complete(self).credulous(id))
     }
 
     /// Whether `id` is sceptically accepted (in the grounded extension).
-    pub fn sceptically_accepted(&self, id: ArgId) -> bool {
-        self.grounded_extension().contains(&id)
+    pub fn sceptically_accepted(&self, id: ArgId) -> Result<bool, LogicError> {
+        self.check_id(id)?;
+        Ok(self.grounded_extension().contains(&id))
+    }
+
+    /// Whether `id` belongs to *every* preferred extension — sceptical
+    /// acceptance under preferred semantics, a strictly weaker demand
+    /// than grounded membership.
+    ///
+    /// Convenience wrapper that compiles a fresh encoding per call
+    /// (see [`Framework::credulously_accepted`]); batch callers should
+    /// hold an [`encode::AfSat`] session instead.
+    pub fn sceptically_accepted_preferred(&self, id: ArgId) -> Result<bool, LogicError> {
+        self.check_id(id)?;
+        Ok(encode::AfSat::complete(self).sceptical_preferred(id))
+    }
+}
+
+/// CSR adjacency over a [`Framework`]'s attack relation: attackers and
+/// targets of every argument as contiguous slices, built once in O(V+E)
+/// by [`Framework::adjacency`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Adjacency {
+    /// `att_flat[att_start[t]..att_start[t + 1]]` attack `t`.
+    att_start: Vec<usize>,
+    att_flat: Vec<ArgId>,
+    /// `tgt_flat[tgt_start[a]..tgt_start[a + 1]]` are attacked by `a`.
+    tgt_start: Vec<usize>,
+    tgt_flat: Vec<ArgId>,
+}
+
+impl Adjacency {
+    /// Number of arguments.
+    pub fn num_args(&self) -> usize {
+        self.att_start.len() - 1
+    }
+
+    /// Number of attacks.
+    pub fn num_attacks(&self) -> usize {
+        self.att_flat.len()
+    }
+
+    /// The attackers of `target`, sorted ascending.
+    pub fn attackers(&self, target: ArgId) -> &[ArgId] {
+        &self.att_flat[self.att_start[target]..self.att_start[target + 1]]
+    }
+
+    /// The arguments `attacker` attacks, sorted ascending.
+    pub fn targets(&self, attacker: ArgId) -> &[ArgId] {
+        &self.tgt_flat[self.tgt_start[attacker]..self.tgt_start[attacker + 1]]
+    }
+
+    /// The grounded extension in O(V+E): a worklist of accepted
+    /// arguments, defeat marking, and live-attacker counting.
+    pub fn grounded(&self) -> BTreeSet<ArgId> {
+        const UNDEC: u8 = 0;
+        const IN: u8 = 1;
+        const OUT: u8 = 2;
+        let n = self.num_args();
+        let mut live_attackers: Vec<usize> = (0..n).map(|t| self.attackers(t).len()).collect();
+        let mut status = vec![UNDEC; n];
+        let mut work: Vec<ArgId> = (0..n).filter(|&a| live_attackers[a] == 0).collect();
+        let mut grounded = BTreeSet::new();
+        while let Some(accepted) = work.pop() {
+            if status[accepted] != UNDEC {
+                continue;
+            }
+            status[accepted] = IN;
+            grounded.insert(accepted);
+            for &defeated in self.targets(accepted) {
+                // An accepted argument cannot be attacked by another
+                // accepted one (its attackers are all OUT), so the
+                // target is UNDEC or already OUT.
+                if status[defeated] != UNDEC {
+                    continue;
+                }
+                status[defeated] = OUT;
+                for &t in self.targets(defeated) {
+                    live_attackers[t] -= 1;
+                    if live_attackers[t] == 0 && status[t] == UNDEC {
+                        work.push(t);
+                    }
+                }
+            }
+        }
+        grounded
     }
 }
 
@@ -211,19 +376,31 @@ impl Deliberation {
 
     /// Submits an argument attacking an earlier one; returns its id.
     ///
-    /// # Panics
+    /// Returns [`LogicError::UnknownArgument`] if `target` is unknown;
+    /// a rejected move leaves the dialogue untouched.
     ///
-    /// Panics if `target` is unknown.
-    pub fn object(&mut self, label: impl Into<String>, target: ArgId) -> ArgId {
+    /// ```
+    /// use casekit_logic::af::Deliberation;
+    /// let mut d = Deliberation::open("act");
+    /// assert!(d.object("premature", 7).is_err());
+    /// assert_eq!(d.framework().len(), 1);
+    /// assert!(d.object("objection", 0).is_ok());
+    /// ```
+    pub fn object(&mut self, label: impl Into<String>, target: ArgId) -> Result<ArgId, LogicError> {
+        // Validate before allocating, so a rejected move leaves no trace.
+        self.framework.check_id(target)?;
         let id = self.framework.add_argument(label);
-        self.framework.add_attack(id, target);
+        self.framework
+            .add_attack(id, target)
+            .expect("both ids were just validated");
         self.history.push((id, self.verdict()));
-        id
+        Ok(id)
     }
 
     /// The current verdict on the proposal.
     pub fn verdict(&self) -> Verdict {
-        if self.framework.sceptically_accepted(self.proposal) {
+        // The proposal id is allocated in `open` and never removed.
+        if self.framework.grounded_extension().contains(&self.proposal) {
             Verdict::Accepted
         } else {
             Verdict::Rejected
@@ -254,8 +431,8 @@ mod tests {
         let mut af = Framework::new();
         let a = af.add_argument("a");
         assert_eq!(af.grounded_extension(), set(&[a]));
-        assert!(af.sceptically_accepted(a));
-        assert_eq!(af.label(a), "a");
+        assert!(af.sceptically_accepted(a).unwrap());
+        assert_eq!(af.label(a).unwrap(), "a");
     }
 
     #[test]
@@ -263,9 +440,9 @@ mod tests {
         let mut af = Framework::new();
         let a = af.add_argument("do it");
         let b = af.add_argument("objection");
-        af.add_attack(b, a);
+        af.add_attack(b, a).unwrap();
         assert_eq!(af.grounded_extension(), set(&[b]));
-        assert!(!af.sceptically_accepted(a));
+        assert!(!af.sceptically_accepted(a).unwrap());
     }
 
     #[test]
@@ -275,8 +452,8 @@ mod tests {
         let a = af.add_argument("a");
         let b = af.add_argument("b");
         let c = af.add_argument("c");
-        af.add_attack(b, a);
-        af.add_attack(c, b);
+        af.add_attack(b, a).unwrap();
+        af.add_attack(c, b).unwrap();
         assert_eq!(af.grounded_extension(), set(&[a, c]));
     }
 
@@ -285,23 +462,32 @@ mod tests {
         let mut af = Framework::new();
         let a = af.add_argument("a");
         let b = af.add_argument("b");
-        af.add_attack(a, b);
-        af.add_attack(b, a);
+        af.add_attack(a, b).unwrap();
+        af.add_attack(b, a).unwrap();
         assert!(af.grounded_extension().is_empty());
         // But there are two preferred extensions: {a} and {b}.
         let preferred = af.preferred_extensions();
         assert_eq!(preferred.len(), 2);
         assert!(preferred.contains(&set(&[a])));
         assert!(preferred.contains(&set(&[b])));
+        // Both are stable: each attacks everything outside itself.
+        let stable = af.stable_extensions();
+        assert_eq!(stable.len(), 2);
+        // Credulous but not sceptical acceptance, under every engine.
+        assert!(af.credulously_accepted(a).unwrap());
+        assert!(!af.sceptically_accepted_preferred(a).unwrap());
+        assert!(!af.sceptically_accepted(a).unwrap());
     }
 
     #[test]
     fn self_attacking_argument_never_accepted() {
         let mut af = Framework::new();
         let a = af.add_argument("liar");
-        af.add_attack(a, a);
+        af.add_attack(a, a).unwrap();
         assert!(af.grounded_extension().is_empty());
         assert_eq!(af.preferred_extensions(), vec![BTreeSet::new()]);
+        assert!(af.stable_extensions().is_empty());
+        assert!(!af.credulously_accepted(a).unwrap());
     }
 
     #[test]
@@ -310,8 +496,8 @@ mod tests {
         let a = af.add_argument("a");
         let b = af.add_argument("b");
         let c = af.add_argument("c");
-        af.add_attack(b, a);
-        af.add_attack(c, b);
+        af.add_attack(b, a).unwrap();
+        af.add_attack(c, b).unwrap();
         assert!(af.conflict_free(&set(&[a, c])));
         assert!(!af.conflict_free(&set(&[a, b])));
         assert!(af.admissible(&set(&[a, c])));
@@ -326,11 +512,11 @@ mod tests {
         let b = af.add_argument("b");
         let c = af.add_argument("c");
         let d = af.add_argument("d");
-        af.add_attack(a, b);
-        af.add_attack(b, a);
-        af.add_attack(a, c);
-        af.add_attack(b, c);
-        af.add_attack(c, d);
+        af.add_attack(a, b).unwrap();
+        af.add_attack(b, a).unwrap();
+        af.add_attack(a, c).unwrap();
+        af.add_attack(b, c).unwrap();
+        af.add_attack(c, d).unwrap();
         let grounded = af.grounded_extension();
         for preferred in af.preferred_extensions() {
             assert!(grounded.is_subset(&preferred));
@@ -345,13 +531,18 @@ mod tests {
         let mut d = Deliberation::open("transplant(organ1, recipient_r)");
         assert_eq!(d.verdict(), Verdict::Accepted);
 
-        let objection = d.object("donor history indicates hepatitis risk", 0);
+        let objection = d
+            .object("donor history indicates hepatitis risk", 0)
+            .unwrap();
         assert_eq!(d.verdict(), Verdict::Rejected);
 
-        let rebuttal = d.object("serology panel rules the risk out", objection);
+        let rebuttal = d
+            .object("serology panel rules the risk out", objection)
+            .unwrap();
         assert_eq!(d.verdict(), Verdict::Accepted);
 
-        d.object("panel used an expired reagent batch", rebuttal);
+        d.object("panel used an expired reagent batch", rebuttal)
+            .unwrap();
         assert_eq!(d.verdict(), Verdict::Rejected);
 
         assert_eq!(
@@ -372,18 +563,47 @@ mod tests {
         let a = af.add_argument("a");
         let b = af.add_argument("b");
         let c = af.add_argument("c");
-        af.add_attack(b, a);
-        af.add_attack(c, a);
+        af.add_attack(b, a).unwrap();
+        af.add_attack(c, a).unwrap();
         assert_eq!(af.attackers(a), vec![b, c]);
         assert!(af.attackers(b).is_empty());
+        assert_eq!(af.attack_count(), 2);
     }
 
     #[test]
-    #[should_panic(expected = "unknown attacker")]
-    fn bad_attack_panics() {
+    fn out_of_range_ids_are_typed_errors_not_panics() {
         let mut af = Framework::new();
         let a = af.add_argument("a");
-        af.add_attack(9, a);
+        assert!(matches!(
+            af.add_attack(9, a),
+            Err(LogicError::UnknownArgument {
+                id: 9,
+                arguments: 1
+            })
+        ));
+        assert!(matches!(
+            af.add_attack(a, 9),
+            Err(LogicError::UnknownArgument {
+                id: 9,
+                arguments: 1
+            })
+        ));
+        assert!(af.label(3).is_err());
+        assert!(af.credulously_accepted(3).is_err());
+        assert!(af.sceptically_accepted(3).is_err());
+        assert!(af.sceptically_accepted_preferred(3).is_err());
+        assert_eq!(af.attack_count(), 0, "failed attacks leave no trace");
+
+        let mut d = Deliberation::open("act");
+        assert!(matches!(
+            d.object("late", 5),
+            Err(LogicError::UnknownArgument {
+                id: 5,
+                arguments: 1
+            })
+        ));
+        assert_eq!(d.framework().len(), 1, "failed moves leave no trace");
+        assert_eq!(d.verdict_history().len(), 1);
     }
 
     #[test]
@@ -393,14 +613,112 @@ mod tests {
         let a = af.add_argument("a");
         let b = af.add_argument("b");
         let c = af.add_argument("c");
-        af.add_attack(a, b);
-        af.add_attack(b, a);
-        af.add_attack(a, c);
-        af.add_attack(b, c);
+        af.add_attack(a, b).unwrap();
+        af.add_attack(b, a).unwrap();
+        af.add_attack(a, c).unwrap();
+        af.add_attack(b, c).unwrap();
         let complete = af.complete_extensions();
         assert_eq!(complete.len(), 3);
         assert!(complete.contains(&BTreeSet::new()));
         assert!(complete.contains(&set(&[a])));
         assert!(complete.contains(&set(&[b])));
+    }
+
+    #[test]
+    fn csr_adjacency_mirrors_the_attack_relation() {
+        let mut af = Framework::new();
+        let a = af.add_argument("a");
+        let b = af.add_argument("b");
+        let c = af.add_argument("c");
+        af.add_attack(b, a).unwrap();
+        af.add_attack(c, a).unwrap();
+        af.add_attack(a, c).unwrap();
+        let adj = af.adjacency();
+        assert_eq!(adj.num_args(), 3);
+        assert_eq!(adj.num_attacks(), 3);
+        assert_eq!(adj.attackers(a), &[b, c]);
+        assert_eq!(adj.attackers(b), &[] as &[ArgId]);
+        assert_eq!(adj.attackers(c), &[a]);
+        assert_eq!(adj.targets(a), &[c]);
+        assert_eq!(adj.targets(b), &[a]);
+        assert_eq!(adj.targets(c), &[a]);
+        for id in 0..af.len() {
+            assert_eq!(adj.attackers(id), af.attackers(id).as_slice());
+        }
+    }
+
+    #[test]
+    fn extensions_beyond_the_old_sixteen_argument_ceiling() {
+        // A 3-cycle of mutual-attack pairs plus a 40-argument
+        // reinstatement chain: 46 arguments, which the seed's
+        // `assert!(n <= 16)` enumerator could never touch.
+        let mut af = Framework::new();
+        let pairs: Vec<(ArgId, ArgId)> = (0..3)
+            .map(|i| {
+                let x = af.add_argument(format!("x{i}"));
+                let y = af.add_argument(format!("y{i}"));
+                af.add_attack(x, y).unwrap();
+                af.add_attack(y, x).unwrap();
+                (x, y)
+            })
+            .collect();
+        let mut prev = None;
+        let mut chain = Vec::new();
+        for i in 0..40 {
+            let c = af.add_argument(format!("c{i}"));
+            if let Some(p) = prev {
+                af.add_attack(c, p).unwrap();
+            }
+            prev = Some(c);
+            chain.push(c);
+        }
+        assert_eq!(af.len(), 46);
+        let preferred = af.preferred_extensions();
+        // 2 choices per mutual pair: 8 preferred extensions, each
+        // containing the alternating half of the chain.
+        assert_eq!(preferred.len(), 8);
+        let grounded = af.grounded_extension();
+        let chain_in: BTreeSet<ArgId> = chain.iter().copied().skip(1).step_by(2).collect();
+        assert!(chain_in.is_subset(&grounded));
+        for p in &preferred {
+            assert!(af.admissible(p));
+            assert!(grounded.is_subset(p));
+            for (x, y) in &pairs {
+                assert!(p.contains(x) ^ p.contains(y));
+            }
+        }
+        // Stable extensions coincide here (no odd cycles, no undec).
+        assert_eq!(af.stable_extensions().len(), 8);
+    }
+
+    #[test]
+    fn grounded_matches_naive_fixpoint_on_assorted_shapes() {
+        let shapes: Vec<Vec<(ArgId, ArgId)>> = vec![
+            vec![],
+            vec![(0, 0)],
+            vec![(0, 1), (1, 0)],
+            vec![(1, 0), (2, 1), (3, 2), (4, 3)],
+            vec![(0, 1), (1, 2), (2, 0)],
+            vec![(1, 0), (2, 0), (3, 1), (3, 2), (4, 4)],
+        ];
+        for attacks in shapes {
+            let n = attacks
+                .iter()
+                .flat_map(|&(a, t)| [a, t])
+                .max()
+                .map_or(1, |m| m + 1);
+            let mut af = Framework::new();
+            for i in 0..n {
+                af.add_argument(format!("a{i}"));
+            }
+            for (a, t) in attacks {
+                af.add_attack(a, t).unwrap();
+            }
+            assert_eq!(
+                af.grounded_extension(),
+                naive::grounded_extension(&af),
+                "grounded engines disagree on {af:?}"
+            );
+        }
     }
 }

@@ -102,6 +102,15 @@ pub enum LogicError {
         /// The procedure's limit.
         limit: usize,
     },
+    /// An argumentation-framework operation referenced an argument id
+    /// that the framework never allocated.
+    UnknownArgument {
+        /// The out-of-range argument id.
+        id: usize,
+        /// How many arguments the framework holds (valid ids are
+        /// `0..arguments`).
+        arguments: usize,
+    },
 }
 
 impl fmt::Display for LogicError {
@@ -131,6 +140,13 @@ impl fmt::Display for LogicError {
                     f,
                     "{atoms} atoms exceed the enumeration limit of {limit}; \
                      use the solver for deciding"
+                )
+            }
+            LogicError::UnknownArgument { id, arguments } => {
+                write!(
+                    f,
+                    "argument id {id} is out of range for a framework of \
+                     {arguments} argument(s)"
                 )
             }
         }
@@ -184,5 +200,11 @@ mod tests {
         };
         assert!(e.to_string().contains("30"));
         assert!(e.to_string().contains("24"));
+        let e = LogicError::UnknownArgument {
+            id: 17,
+            arguments: 4,
+        };
+        assert!(e.to_string().contains("17"));
+        assert!(e.to_string().contains('4'));
     }
 }

@@ -23,9 +23,13 @@
 //! * [`sorts`] — a sort (type) system for predicate symbols; declaring
 //!   sorts is the mechanism that catches the desert-bank equivocation that
 //!   pure formal validation misses.
-//! * [`af`] — Dung-style abstract argumentation with grounded/preferred
-//!   semantics and a deliberation-dialogue layer, after Tolchinsky et
-//!   al.'s safety-critical decision support.
+//! * [`af`] — Dung-style abstract argumentation with
+//!   grounded/complete/stable/preferred semantics and a
+//!   deliberation-dialogue layer, after Tolchinsky et al.'s
+//!   safety-critical decision support. Extensions are decided by the
+//!   CDCL solver over a labelling encoding ([`af::encode`]); the seed's
+//!   exponential enumerator survives as [`af::naive`] (≤ 16 arguments)
+//!   for differential testing.
 //! * [`probe`] — Rushby's "what-if" premise probing over propositional
 //!   theories.
 //!

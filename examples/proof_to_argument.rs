@@ -42,11 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- Deliberation dialogue. ----
     let mut dialogue = Deliberation::open("transplant(organ1, recipient_r)");
     println!("proposal submitted: verdict {:?}", dialogue.verdict());
-    let objection = dialogue.object("donor history indicates hepatitis risk", 0);
+    let objection = dialogue.object("donor history indicates hepatitis risk", 0)?;
     println!("objection raised:   verdict {:?}", dialogue.verdict());
-    let rebuttal = dialogue.object("serology panel rules the risk out", objection);
+    let rebuttal = dialogue.object("serology panel rules the risk out", objection)?;
     println!("rebuttal accepted:  verdict {:?}", dialogue.verdict());
-    dialogue.object("panel used an expired reagent batch", rebuttal);
+    dialogue.object("panel used an expired reagent batch", rebuttal)?;
     println!("rebuttal undercut:  verdict {:?}", dialogue.verdict());
     assert_eq!(dialogue.verdict(), Verdict::Rejected);
     println!(

@@ -42,6 +42,10 @@ graph-bench:
 bench-logic:
     cargo run --release -q -p casekit-bench --bin repro logic
 
+# Argumentation-framework engine artifact (BENCH_af.json).
+bench-af:
+    cargo run --release -q -p casekit-bench --bin repro af
+
 # Experiment-runtime speedup artifact (BENCH_experiments.json).
 bench-experiments:
     cargo run --release -q -p casekit-bench --bin repro experiments

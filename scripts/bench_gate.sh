@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Bench-regression gate: run the three `repro` benchmark artifacts in
+# Bench-regression gate: run the four `repro` benchmark artifacts in
 # fast deterministic --smoke mode (small populations, fixed seeds) and
 # fail if any speedup drops below its floor or any agreement flag is
 # false. CI runs this on every push; `just ci` runs it locally.
@@ -9,9 +9,11 @@
 #
 # Floors are deliberately far below the measured values (graph ~1700x,
 # logic sweep ~130x, hard CDCL-vs-DPLL ~3.5x at smoke scale,
-# experiments ~25x) so the gate trips on regressions, not on machine
-# noise. Override via environment for experiments:
-#   GRAPH_FLOOR, LOGIC_SWEEP_FLOOR, HARD_CDCL_FLOOR, EXPERIMENTS_FLOOR
+# experiments ~25x, af SAT-vs-enumeration ~50x, af grounded CSR
+# ~1000x) so the gate trips on regressions, not on machine noise.
+# Override via environment for experiments:
+#   GRAPH_FLOOR, LOGIC_SWEEP_FLOOR, HARD_CDCL_FLOOR, EXPERIMENTS_FLOOR,
+#   AF_FLOOR, AF_GROUNDED_FLOOR
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,6 +21,8 @@ GRAPH_FLOOR="${GRAPH_FLOOR:-50}"
 LOGIC_SWEEP_FLOOR="${LOGIC_SWEEP_FLOOR:-10}"
 HARD_CDCL_FLOOR="${HARD_CDCL_FLOOR:-2}"
 EXPERIMENTS_FLOOR="${EXPERIMENTS_FLOOR:-3}"
+AF_FLOOR="${AF_FLOOR:-10}"
+AF_GROUNDED_FLOOR="${AF_GROUNDED_FLOOR:-50}"
 
 echo "==> building repro (release)"
 cargo build --release -q -p casekit-bench --bin repro
@@ -27,6 +31,8 @@ echo "==> repro graph --smoke"
 ./target/release/repro graph --smoke > /dev/null
 echo "==> repro logic --smoke"
 ./target/release/repro logic --smoke > /dev/null
+echo "==> repro af --smoke"
+./target/release/repro af --smoke > /dev/null
 echo "==> repro experiments --smoke"
 ./target/release/repro experiments --smoke > /dev/null
 
@@ -79,6 +85,11 @@ require_true  BENCH_graph.smoke.json sweeps_agree
 require_floor BENCH_logic.smoke.json speedup "$LOGIC_SWEEP_FLOOR"
 require_floor BENCH_logic.smoke.json dpll_over_cdcl "$HARD_CDCL_FLOOR"
 require_true  BENCH_logic.smoke.json verdicts_agree 2
+
+require_floor BENCH_af.smoke.json sat_over_naive "$AF_FLOOR"
+require_floor BENCH_af.smoke.json grounded_over_naive "$AF_GROUNDED_FLOOR"
+require_true  BENCH_af.smoke.json extensions_agree
+require_true  BENCH_af.smoke.json grounded_agree
 
 require_floor BENCH_experiments.smoke.json speedup "$EXPERIMENTS_FLOOR"
 require_true  BENCH_experiments.smoke.json reports_agree

@@ -36,6 +36,14 @@ repro_logic_gated() {
     || { echo "BENCH_logic.json does not report sweep + hard-instance verdict agreement"; return 1; }
 }
 
+repro_af_gated() {
+  cargo run --release -q -p casekit-bench --bin repro af || return 1
+  grep -q '"extensions_agree": true' BENCH_af.json \
+    || { echo "BENCH_af.json does not report SAT/enumerator extension agreement"; return 1; }
+  grep -q '"grounded_agree": true' BENCH_af.json \
+    || { echo "BENCH_af.json does not report grounded-engine agreement"; return 1; }
+}
+
 repro_experiments_gated() {
   cargo run --release -q -p casekit-bench --bin repro experiments || return 1
   grep -q '"reports_agree": true' BENCH_experiments.json \
@@ -50,6 +58,7 @@ run_step "cargo bench (short measurement budget)" \
 run_step "repro graph (writes BENCH_graph.json)" \
   cargo run --release -q -p casekit-bench --bin repro graph
 run_step "repro logic + verdict gates (writes BENCH_logic.json)" repro_logic_gated
+run_step "repro af + agreement gates (writes BENCH_af.json)" repro_af_gated
 run_step "repro experiments + agreement gate (writes BENCH_experiments.json)" \
   repro_experiments_gated
 

@@ -672,3 +672,128 @@ mod runtime_props {
         }
     }
 }
+
+mod af_props {
+    use casekit::logic::af::{naive, ArgId, Framework};
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    /// Strategy: a framework with up to `max_args` arguments and a
+    /// random attack relation (self-attacks included).
+    fn framework_strategy(max_args: usize) -> impl Strategy<Value = Framework> {
+        (1..max_args + 1).prop_flat_map(|n| {
+            proptest::collection::vec((0..n, 0..n), 0..3 * n + 1).prop_map(move |attacks| {
+                let mut af = Framework::new();
+                for i in 0..n {
+                    af.add_argument(format!("a{i}"));
+                }
+                for (attacker, target) in attacks {
+                    af.add_attack(attacker, target).expect("ids are in range");
+                }
+                af
+            })
+        })
+    }
+
+    fn as_set(extensions: Vec<BTreeSet<ArgId>>) -> BTreeSet<BTreeSet<ArgId>> {
+        extensions.into_iter().collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn sat_engine_agrees_with_subset_enumeration(af in framework_strategy(9)) {
+            // The SAT labelling path against the seed's exponential
+            // enumerator, semantics for semantics.
+            prop_assert_eq!(
+                as_set(af.complete_extensions()),
+                as_set(naive::complete_extensions(&af).expect("within cap"))
+            );
+            prop_assert_eq!(
+                as_set(af.preferred_extensions()),
+                as_set(naive::preferred_extensions(&af).expect("within cap"))
+            );
+            prop_assert_eq!(
+                as_set(af.stable_extensions()),
+                as_set(naive::stable_extensions(&af).expect("within cap"))
+            );
+        }
+
+        #[test]
+        fn acceptance_agrees_between_engines(af in framework_strategy(8)) {
+            let naive_preferred = naive::preferred_extensions(&af).expect("within cap");
+            let naive_grounded = naive::grounded_extension(&af);
+            for id in 0..af.len() {
+                prop_assert_eq!(
+                    af.credulously_accepted(id).expect("id in range"),
+                    naive::credulously_accepted(&af, id).expect("within cap")
+                );
+                prop_assert_eq!(
+                    af.sceptically_accepted_preferred(id).expect("id in range"),
+                    naive_preferred.iter().all(|e| e.contains(&id))
+                );
+                prop_assert_eq!(
+                    af.sceptically_accepted(id).expect("id in range"),
+                    naive_grounded.contains(&id)
+                );
+            }
+        }
+
+        #[test]
+        fn grounded_csr_matches_the_fixpoint_scan(af in framework_strategy(24)) {
+            prop_assert_eq!(af.grounded_extension(), naive::grounded_extension(&af));
+        }
+
+        #[test]
+        fn semantics_invariants_hold_beyond_the_enumeration_cap(af in framework_strategy(40)) {
+            // Sizes the enumerator cannot cross-check: the classical
+            // containments must still hold.
+            let grounded = af.grounded_extension();
+            let preferred = af.preferred_extensions();
+            prop_assert!(!preferred.is_empty(), "preferred semantics is universal");
+            for p in &preferred {
+                prop_assert!(af.admissible(p), "preferred extensions are admissible");
+                prop_assert!(grounded.is_subset(p), "grounded is the sceptical core");
+            }
+            for s in af.stable_extensions() {
+                prop_assert!(
+                    preferred.contains(&s),
+                    "every stable extension is preferred"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn preferred_succeeds_on_a_200_argument_framework() {
+        // The old `assert!(n <= 16)` ceiling, exceeded by an order of
+        // magnitude: a deterministic pseudo-random framework (SplitMix
+        // steps) with cycles, solved through the SAT path.
+        let mut state = 0x5EEDu64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let n = 200usize;
+        let mut af = Framework::new();
+        for i in 0..n {
+            af.add_argument(format!("a{i}"));
+        }
+        for _ in 0..2 * n {
+            let attacker = next() as usize % n;
+            let target = next() as usize % n;
+            af.add_attack(attacker, target).expect("ids in range");
+        }
+        let preferred = af.preferred_extensions();
+        assert!(!preferred.is_empty());
+        let grounded = af.grounded_extension();
+        for p in &preferred {
+            assert!(af.admissible(p));
+            assert!(grounded.is_subset(p));
+        }
+    }
+}
