@@ -96,13 +96,37 @@ fn main() {
         }
         "af" => {
             // Smoke keeps the cross-checked population and chain small
-            // and caps the SAT-only sizes where the gate needs them.
-            let (smoke_seeds, chain, sizes, path): (usize, usize, &[usize], &str) = if smoke {
-                (4, 120, &[12, 50], "BENCH_af.smoke.json")
+            // and caps the SAT-only sizes where the gate needs them;
+            // the full run carries the decomposed engine to 10^5
+            // arguments with a monolithic cross-check at 10^4.
+            let (smoke_seeds, chain, sizes, scc_sizes, crosscheck, path): (
+                usize,
+                usize,
+                &[usize],
+                &[usize],
+                usize,
+                &str,
+            ) = if smoke {
+                (
+                    4,
+                    120,
+                    &[12, 50],
+                    &[2_000, 20_000],
+                    2_000,
+                    "BENCH_af.smoke.json",
+                )
             } else {
-                (6, 300, &[12, 50, 200, 1000], "BENCH_af.json")
+                (
+                    6,
+                    300,
+                    &[12, 50, 200, 1000],
+                    &[1_000, 10_000, 100_000],
+                    10_000,
+                    "BENCH_af.json",
+                )
             };
-            let report = bench::af::run_af_bench(12, smoke_seeds, chain, sizes);
+            let report =
+                bench::af::run_af_bench(12, smoke_seeds, chain, sizes, scc_sizes, crosscheck);
             write_artifact(path, &bench::af::bench_af_json(&report));
             bench::af::render_report(&report)
         }

@@ -131,6 +131,10 @@ pub struct ExperimentsBenchReport {
     pub reviews: usize,
     /// Worker threads used for the parallel run.
     pub workers: usize,
+    /// Cores the host exposed during the measurement. `thread_speedup`
+    /// is bounded by this: on a single-core host the parallel plan
+    /// degrades to the serial plan and the honest ratio is ≈1.0.
+    pub host_parallelism: usize,
     /// Legacy loop (serial, recompile + re-check per treatment review),
     /// milliseconds (best of several runs, like the other arms).
     pub legacy_ms: f64,
@@ -187,6 +191,7 @@ pub fn run_experiments_bench_with(
         arguments: config.arguments,
         reviews: config.per_arm * 2 * config.arguments,
         workers: runtime.workers,
+        host_parallelism: Runtime::host_parallelism(),
         legacy_ms,
         serial_ms,
         parallel_ms,
@@ -207,7 +212,7 @@ pub fn render_report(report: &ExperimentsBenchReport) -> String {
         "experiment runtime over {} subjects x {} arguments ({} reviews)\n\
            legacy serial (recompile + recheck per review):  {:>10.3} ms\n\
            runtime, 1 worker (one check per argument):      {:>10.3} ms\n\
-           runtime, {} workers:                             {:>10.3} ms\n\
+           runtime, {} workers ({} cores):                  {:>10.3} ms\n\
            speedup: {:.1}x (threads alone: {:.2}x)   reports agree: {}\n",
         report.subjects,
         report.arguments,
@@ -215,6 +220,7 @@ pub fn render_report(report: &ExperimentsBenchReport) -> String {
         report.legacy_ms,
         report.serial_ms,
         report.workers,
+        report.host_parallelism,
         report.parallel_ms,
         report.speedup,
         report.thread_speedup,
@@ -249,6 +255,7 @@ mod tests {
             arguments: 2,
             reviews: 16,
             workers: 4,
+            host_parallelism: 4,
             legacy_ms: 10.0,
             serial_ms: 2.0,
             parallel_ms: 1.0,

@@ -195,11 +195,12 @@ pub fn logic_bench() -> String {
 }
 
 /// Runs the argumentation-framework engine comparison (subset
-/// enumeration vs SAT labelling sessions, plus the grounded chain and
-/// the SAT-only large sizes) and renders the summary. The JSON
-/// artifact is written by `repro af`.
+/// enumeration vs SAT labelling vs SCC decomposition, plus the
+/// grounded chain, the SAT-path sizes, and a cross-checked decomposed
+/// scenario) and renders the summary. The JSON artifact — including
+/// the 10^4/10^5 decomposed-only scenarios — is written by `repro af`.
 pub fn af_bench() -> String {
-    let report = af::run_af_bench(12, 6, 300, &[12, 50, 200, 1000]);
+    let report = af::run_af_bench(12, 6, 300, &[12, 50, 200, 1000], &[2_000], 2_000);
     af::render_report(&report)
 }
 
@@ -213,15 +214,13 @@ pub fn experiments_bench() -> String {
 
 /// Worker count for the parallel arm: an explicit `RUNTIME_WORKERS`
 /// pin is honored exactly (so a 1- or 2-worker measurement answers the
-/// question that was asked); otherwise every available core, floored
-/// at the acceptance gate's four.
+/// question that was asked); otherwise every available core — and
+/// *only* the available cores. The old `.max(4)` floor here was the
+/// `thread_speedup: 0.855` regression: four threads time-slicing one
+/// core is pure spawn/join overhead, and a speedup above 1 is only
+/// honest when the host actually has idle cores to farm to.
 pub fn experiments_bench_workers() -> usize {
-    Runtime::pinned_from_env().unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .max(4)
-    })
+    Runtime::pinned_from_env().unwrap_or_else(Runtime::host_parallelism)
 }
 
 /// Every artefact, concatenated (the `repro all` output).

@@ -21,8 +21,8 @@
 
 use crate::generator::{generate, Generated, GeneratorConfig, SeededFormal};
 use crate::population::{generate as generate_pool, PoolConfig};
-use crate::reviewer::{review, ReviewScope};
-use crate::runtime::{self, stream_rng, Runtime};
+use crate::reviewer::{review_counts, ReviewScope};
+use crate::runtime::{self, Runtime, StreamLane};
 use crate::stats::{describe, welch_t_test, Descriptives, TestResult};
 use crate::Error;
 use casekit_fallacies::taxonomy::InformalFallacy;
@@ -130,15 +130,20 @@ fn generate_subjects(config: &Config) -> Vec<crate::population::Subject> {
 }
 
 /// One subject's reviews over the whole argument set (pure given the
-/// subject's index — the unit of parallel work).
+/// subject's index — the unit of parallel work). Runs on the
+/// allocation-free [`review_counts`] path: the tally only needs counts,
+/// and the draw sequence is pinned to [`crate::reviewer::review`] by a
+/// reviewer unit test, so reports match the per-outcome loop bit for
+/// bit. The caller derives the RNG stream through a shared
+/// [`StreamLane`], so the per-subject cost is one finalizer mix.
 fn review_subject(
-    config: &Config,
+    lane: &StreamLane,
     cases: &[Generated],
     index: usize,
     subject: &crate::population::Subject,
 ) -> SubjectTally {
     let control = index.is_multiple_of(2);
-    let mut rng = stream_rng(config.seed, 0, index as u64);
+    let mut rng = lane.rng(index as u64);
     let mut tally = SubjectTally {
         control,
         minutes: 0.0,
@@ -153,12 +158,12 @@ fn review_subject(
         ReviewScope::InformalOnly
     };
     for case in cases {
-        let outcome = review(subject, &case.case, &case.formal, scope, &mut rng);
-        tally.minutes += outcome.minutes;
-        tally.informal_found += outcome.informal_found.len();
+        let counts = review_counts(subject, &case.case, &case.formal, scope, &mut rng);
+        tally.minutes += counts.minutes;
+        tally.informal_found += counts.informal_found;
         tally.informal_total += case.case.seeded.len();
         if control {
-            tally.formal_found += outcome.formal_found.len();
+            tally.formal_found += counts.formal_found;
             tally.formal_total += case.formal.len();
         }
     }
@@ -195,8 +200,9 @@ pub fn run_with(config: &Config, rt: &Runtime) -> Result<Report, Error> {
         .sum();
     let machine_total_per_sweep: usize = cases.iter().map(|c| c.formal.len()).sum();
 
+    let lane = StreamLane::new(config.seed, 0);
     let tallies = rt.map(&pool, |i, subject| {
-        review_subject(config, &cases, i, subject)
+        review_subject(&lane, &cases, i, subject)
     });
 
     let mut minutes_control = Vec::new();

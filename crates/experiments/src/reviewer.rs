@@ -74,6 +74,60 @@ pub fn review_minutes(nodes: usize, formal_nodes: usize, wpm: f64, scope: Review
     }
 }
 
+/// The counts a review produces, without the per-index vectors of
+/// [`ReviewOutcome`] — what the aggregate experiments actually consume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReviewCounts {
+    /// Seeded informal fallacies the reviewer found.
+    pub informal_found: usize,
+    /// Seeded formal defects the reviewer found (0 when out of scope).
+    pub formal_found: usize,
+    /// Minutes spent.
+    pub minutes: f64,
+}
+
+/// The allocation-free fast path of [`review`]: the *same* Bernoulli
+/// draw sequence against the same RNG stream and the same timing
+/// model, returning only counts. Population-scale simulations run
+/// millions of reviews and only ever read `found.len()`; two `Vec`
+/// allocations per review were the hottest line of the §VI harness.
+/// A unit test pins this to [`review`] draw-for-draw.
+pub fn review_counts(
+    subject: &Subject,
+    case: &CaseStudy,
+    seeded_formal: &[SeededFormal],
+    scope: ReviewScope,
+    rng: &mut impl Rng,
+) -> ReviewCounts {
+    let mut informal_found = 0usize;
+    for seeded in &case.seeded {
+        let p = informal_base_rate(seeded.kind) * subject.diligence;
+        if rng.gen_bool(p.clamp(0.0, 1.0)) {
+            informal_found += 1;
+        }
+    }
+    let mut formal_found = 0usize;
+    if scope == ReviewScope::InformalAndFormal {
+        let p = (formal_base_rate(subject.logic_skill) * subject.diligence).clamp(0.0, 1.0);
+        for _ in seeded_formal {
+            if rng.gen_bool(p) {
+                formal_found += 1;
+            }
+        }
+    }
+    let minutes = review_minutes(
+        case.argument.len(),
+        case.argument.formalised_count(),
+        subject.reading_wpm,
+        scope,
+    );
+    ReviewCounts {
+        informal_found,
+        formal_found,
+        minutes,
+    }
+}
+
 /// Simulates one review.
 pub fn review(
     subject: &Subject,
@@ -191,6 +245,32 @@ mod tests {
         let hi = count(&skilled, &mut rng);
         let lo = count(&clueless, &mut rng);
         assert!(hi > lo * 2, "skilled {hi} vs clueless {lo}");
+    }
+
+    #[test]
+    fn review_counts_matches_review_draw_for_draw() {
+        // Same seed, same stream: the fast path must consume exactly
+        // the draws `review` does and report the same counts, or
+        // parallel reports would silently diverge from the PR-3 runs.
+        let (case, formal) = case();
+        let pool = gen_pool(&PoolConfig::default());
+        for scope in [ReviewScope::InformalOnly, ReviewScope::InformalAndFormal] {
+            for (i, subject) in pool.iter().take(8).enumerate() {
+                let mut full_rng = ChaCha8Rng::seed_from_u64(31 + i as u64);
+                let mut fast_rng = ChaCha8Rng::seed_from_u64(31 + i as u64);
+                for round in 0..10 {
+                    let full = review(subject, &case, &formal, scope, &mut full_rng);
+                    let fast = review_counts(subject, &case, &formal, scope, &mut fast_rng);
+                    assert_eq!(
+                        fast.informal_found,
+                        full.informal_found.len(),
+                        "round {round}"
+                    );
+                    assert_eq!(fast.formal_found, full.formal_found.len(), "round {round}");
+                    assert_eq!(fast.minutes, full.minutes, "round {round}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //! 1. **Per-subject streams** — [`stream_rng`] derives an independent
 //!    ChaCha stream from `(master seed, lane, subject index)`, so a
 //!    subject's draws never depend on which worker ran it or on how
-//!    many subjects ran before it.
+//!    many subjects ran before it. Sweeps over one `(seed, lane)` pair
+//!    amortize the mixing through a [`StreamLane`].
 //! 2. **Order-preserving fan-out** — [`Runtime::map`] shards the
 //!    population into contiguous per-worker chunks and reassembles
 //!    results in input order; reductions then run serially over that
@@ -25,130 +26,51 @@
 //!    cloning per-question solver sessions out of an immutable
 //!    [`TheoryCache`].
 //!
-//! `Runtime { workers: 1 }` runs everything inline on the calling
-//! thread — exactly the serial loops the experiments had before this
-//! module existed — and `Runtime::default()` uses every available core.
-//! The `workers: k` reports for any `k` are asserted identical in the
-//! crate's determinism tests and measured in `repro experiments`
+//! The executor itself lives in the bottom-layer `casekit-runtime`
+//! crate (re-exported here as [`Runtime`]), where the AF engine's
+//! SCC-decomposed solver shares it: see that crate's docs for the
+//! chunk-granularity clamp that keeps tiny populations inline and the
+//! `RUNTIME_WORKERS` environment contract. `Runtime { workers: 1 }`
+//! runs everything on the calling thread — exactly the serial loops
+//! the experiments had before this module existed. The `workers: k`
+//! reports for any `k` are asserted identical in the crate's
+//! determinism tests and measured in `repro experiments`
 //! (`BENCH_experiments.json`).
-//!
-//! The executor is std-only (`std::thread::scope`): the vendor tree has
-//! no rayon, and the fan-out shape here — one balanced pass over a
-//! slice — does not need work stealing.
 
 use casekit_core::semantics::{ArgumentTheory, TheoryCache};
 use casekit_core::Argument;
 use casekit_fallacies::checker::{check_compiled, MachineReport};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 use std::borrow::Borrow;
 
-/// Parallelism configuration for an experiment run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Runtime {
-    /// Worker threads to shard subject populations across. `1` runs
-    /// serially on the calling thread; results are identical for every
-    /// value.
-    pub workers: usize,
+pub use casekit_runtime::{Runtime, MIN_CHUNK};
+
+/// One `(master seed, lane)` pair with its seed-and-lane mixing
+/// pre-applied, so a sweep over a population derives each subject's
+/// stream with one multiply and one finalizer instead of re-mixing the
+/// lane constants per subject. [`stream_rng`] is the one-shot wrapper.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamLane {
+    mixed: u64,
 }
 
-impl Default for Runtime {
-    /// [`Runtime::from_env`]: the `RUNTIME_WORKERS` environment
-    /// variable when set, one worker per available core otherwise.
-    fn default() -> Self {
-        Self::from_env()
-    }
-}
-
-/// Parses a `RUNTIME_WORKERS`-style value: a positive integer, or
-/// `None` for anything absent or unparseable (the caller falls back to
-/// the core count).
-fn parse_workers(value: Option<&str>) -> Option<usize> {
-    value
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&w| w > 0)
-}
-
-impl Runtime {
-    /// The runtime CI and local runs configure through the environment:
-    /// `RUNTIME_WORKERS` when set to a positive integer, every
-    /// available core otherwise. Because worker count is unobservable
-    /// in every report, the CI matrix runs the test suite under
-    /// `RUNTIME_WORKERS={1,4}` and expects identical results.
-    pub fn from_env() -> Self {
-        let workers = Self::pinned_from_env().unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        });
-        Runtime { workers }
-    }
-
-    /// The explicit `RUNTIME_WORKERS` pin, if one is set and parses to
-    /// a positive integer — the single source of truth for that
-    /// variable's syntax (callers layer their own fallbacks on top).
-    pub fn pinned_from_env() -> Option<usize> {
-        parse_workers(std::env::var("RUNTIME_WORKERS").ok().as_deref())
-    }
-
-    /// The serial runtime: everything on the calling thread.
-    pub fn serial() -> Self {
-        Runtime { workers: 1 }
-    }
-
-    /// A runtime with exactly `workers` threads (minimum 1).
-    pub fn with_workers(workers: usize) -> Self {
-        Runtime {
-            workers: workers.max(1),
+impl StreamLane {
+    /// Fixes the `(seed, lane)` part of the stream derivation.
+    pub fn new(seed: u64, lane: u64) -> Self {
+        StreamLane {
+            mixed: seed ^ lane.wrapping_mul(0xA076_1D64_78BD_642F),
         }
     }
 
-    /// Applies `f` to every item, returning results in input order.
-    ///
-    /// `f(i, &items[i])` must be a pure function of its arguments (plus
-    /// captured immutable state) — the contract that makes the worker
-    /// count unobservable in the output. With `workers == 1` (or one
-    /// item) this is a plain inline loop; otherwise items are split
-    /// into contiguous chunks, one scoped thread per chunk, and the
-    /// per-chunk outputs are concatenated back in order.
-    ///
-    /// # Panics
-    ///
-    /// Propagates a panic from `f` (the scope joins every worker
-    /// first).
-    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
-    where
-        T: Sync,
-        R: Send,
-        F: Fn(usize, &T) -> R + Sync,
-    {
-        let workers = self.workers.max(1).min(items.len().max(1));
-        if workers <= 1 {
-            return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
-        }
-        let chunk_len = items.len().div_ceil(workers);
-        let chunks: Vec<Vec<R>> = std::thread::scope(|scope| {
-            let f = &f;
-            let handles: Vec<_> = items
-                .chunks(chunk_len)
-                .enumerate()
-                .map(|(chunk_index, chunk)| {
-                    scope.spawn(move || {
-                        chunk
-                            .iter()
-                            .enumerate()
-                            .map(|(j, x)| f(chunk_index * chunk_len + j, x))
-                            .collect()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("experiment worker panicked"))
-                .collect()
-        });
-        chunks.into_iter().flatten().collect()
+    /// The RNG stream for subject `index` within this lane. Identical
+    /// to [`stream_rng`] with the same `(seed, lane, index)` triple.
+    pub fn rng(&self, index: u64) -> ChaCha8Rng {
+        let mut x = self.mixed ^ index.wrapping_mul(0xE703_7ED1_A0B4_28DB);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        ChaCha8Rng::seed_from_u64(x)
     }
 }
 
@@ -161,12 +83,7 @@ impl Runtime {
 /// ChaCha streams. Worker count and execution order never enter the
 /// derivation — the heart of the serial/parallel equivalence.
 pub fn stream_rng(seed: u64, lane: u64, index: u64) -> ChaCha8Rng {
-    let mut x =
-        seed ^ lane.wrapping_mul(0xA076_1D64_78BD_642F) ^ index.wrapping_mul(0xE703_7ED1_A0B4_28DB);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^= x >> 31;
-    ChaCha8Rng::seed_from_u64(x)
+    StreamLane::new(seed, lane).rng(index)
 }
 
 /// Machine-checks a population of arguments: one theory compilation and
@@ -236,16 +153,6 @@ mod tests {
     }
 
     #[test]
-    fn map_handles_empty_and_tiny_inputs() {
-        let empty: Vec<u8> = Vec::new();
-        assert!(Runtime::with_workers(8).map(&empty, |_, &x| x).is_empty());
-        assert_eq!(
-            Runtime::with_workers(8).map(&[7u8], |i, &x| (i, x)),
-            vec![(0, 7)]
-        );
-    }
-
-    #[test]
     fn stream_rng_is_per_index_deterministic_and_lane_separated() {
         let draws = |lane: u64, index: u64| -> Vec<f64> {
             let mut rng = stream_rng(0xFEED, lane, index);
@@ -257,27 +164,21 @@ mod tests {
     }
 
     #[test]
-    fn with_workers_clamps_to_at_least_one() {
-        assert_eq!(Runtime::with_workers(0).workers, 1);
-        assert!(Runtime::default().workers >= 1);
-    }
-
-    #[test]
-    fn runtime_workers_parsing_accepts_positive_integers_only() {
-        assert_eq!(parse_workers(Some("4")), Some(4));
-        assert_eq!(parse_workers(Some(" 2 ")), Some(2));
-        assert_eq!(parse_workers(Some("0")), None);
-        assert_eq!(parse_workers(Some("-3")), None);
-        assert_eq!(parse_workers(Some("many")), None);
-        assert_eq!(parse_workers(Some("")), None);
-        assert_eq!(parse_workers(None), None);
+    fn stream_lane_matches_the_one_shot_derivation() {
+        // The amortized lane must produce byte-identical streams — the
+        // derivation is part of the reports' determinism contract.
+        let lane = StreamLane::new(0x5CA1E, 3);
+        for index in [0u64, 1, 7, 1000, u64::MAX] {
+            let mut a = lane.rng(index);
+            let mut b = stream_rng(0x5CA1E, 3, index);
+            let da: Vec<u64> = (0..4).map(|_| a.gen::<u64>()).collect();
+            let db: Vec<u64> = (0..4).map(|_| b.gen::<u64>()).collect();
+            assert_eq!(da, db, "index {index}");
+        }
     }
 
     #[test]
     fn env_configured_runtime_matches_serial_results() {
-        // Whatever RUNTIME_WORKERS the harness (or the CI matrix) set,
-        // the environment-configured runtime must agree with serial —
-        // the parallel-identity guarantee the matrix exercises.
         let items: Vec<usize> = (0..57).collect();
         let serial = Runtime::serial().map(&items, |i, &x| (i, x.wrapping_mul(31)));
         let from_env = Runtime::from_env().map(&items, |i, &x| (i, x.wrapping_mul(31)));

@@ -37,12 +37,28 @@
 //! baseline, capped at [`naive::ENUMERATION_LIMIT`] arguments); the
 //! public [`Framework`] API has no argument-count ceiling.
 //!
-//! `repro af` measures the two engines against each other and writes
+//! # Scale: the SCC-decomposed path
+//!
+//! Above [`scc::DECOMPOSITION_THRESHOLD`] arguments the semantics
+//! methods route through [`scc::Decomposed`]: the attack graph is
+//! condensed into strongly connected components (iterative Tarjan),
+//! the condensation is walked in topological order, singleton
+//! components are resolved by direct label propagation with no SAT
+//! call, and only non-trivial components are compiled into small
+//! per-component SAT encodings with upstream labels baked in as unit
+//! clauses. Independent components at the same topological depth are
+//! farmed across the `casekit-runtime` work farm. This is what carries
+//! grounded/preferred/stable to 10^5-argument frameworks; the
+//! monolithic encoding stays on below the threshold and doubles as the
+//! differential cross-check.
+//!
+//! `repro af` measures the engines against each other and writes
 //! `BENCH_af.json`; proptests in `tests/properties.rs` cross-check them
 //! extension set for extension set.
 
 pub mod encode;
 pub mod naive;
+pub mod scc;
 
 use crate::error::LogicError;
 use serde::{Deserialize, Serialize};
@@ -50,6 +66,20 @@ use std::collections::BTreeSet;
 
 /// Identifier of an argument within a framework.
 pub type ArgId = usize;
+
+/// The three-valued status of one argument in a labelling: accepted,
+/// defeated, or undecided. Complete labellings biject with complete
+/// extensions (the extension is the `In` set), so the engines pass
+/// whole labellings around and project to sets at the API boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Label {
+    /// Accepted: every attacker is `Out`.
+    In,
+    /// Defeated: some attacker is `In`.
+    Out,
+    /// Neither: the argument hangs in an unresolved cycle.
+    Undec,
+}
 
 /// A Dung argumentation framework: abstract arguments plus attacks.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -211,29 +241,47 @@ impl Framework {
 
     /// All complete extensions (conflict-free fixpoints of the
     /// characteristic function), via the SAT labelling encoding — no
-    /// argument-count ceiling.
+    /// argument-count ceiling. At or above
+    /// [`scc::DECOMPOSITION_THRESHOLD`] arguments the query routes
+    /// through the SCC-decomposed engine ([`scc::Decomposed`]); below
+    /// it the monolithic encoding is used directly (and survives as
+    /// the differential cross-check for the decomposed path).
     ///
     /// The number of extensions itself can be exponential in pathological
     /// frameworks; use [`encode::AfSat::extensions`] with a limit to
     /// enumerate incrementally.
     pub fn complete_extensions(&self) -> Vec<BTreeSet<ArgId>> {
-        encode::AfSat::complete(self).extensions(None)
+        if self.len() >= scc::DECOMPOSITION_THRESHOLD {
+            scc::Decomposed::new(self).complete_extensions()
+        } else {
+            encode::AfSat::complete(self).extensions(None)
+        }
     }
 
     /// The stable extensions: conflict-free sets attacking every
     /// argument outside them (complete labellings with no undecided
     /// argument). May be empty — odd attack cycles admit no stable
-    /// extension.
+    /// extension. Routes through [`scc::Decomposed`] at or above
+    /// [`scc::DECOMPOSITION_THRESHOLD`] arguments.
     pub fn stable_extensions(&self) -> Vec<BTreeSet<ArgId>> {
-        encode::AfSat::stable(self).extensions(None)
+        if self.len() >= scc::DECOMPOSITION_THRESHOLD {
+            scc::Decomposed::new(self).stable_extensions()
+        } else {
+            encode::AfSat::stable(self).extensions(None)
+        }
     }
 
     /// The preferred extensions: maximal (by inclusion) complete
     /// extensions, computed by the SAT maximality loop — iteratively
     /// forcing proper supersets until UNSAT — with subset-blocking
-    /// clauses between extensions.
+    /// clauses between extensions. Routes through [`scc::Decomposed`]
+    /// at or above [`scc::DECOMPOSITION_THRESHOLD`] arguments.
     pub fn preferred_extensions(&self) -> Vec<BTreeSet<ArgId>> {
-        encode::AfSat::complete(self).preferred()
+        if self.len() >= scc::DECOMPOSITION_THRESHOLD {
+            scc::Decomposed::new(self).preferred_extensions()
+        } else {
+            encode::AfSat::complete(self).preferred()
+        }
     }
 
     /// Whether `id` is credulously accepted: a member of at least one
@@ -246,7 +294,11 @@ impl Framework {
     /// single incremental probe and learned clauses carry over.
     pub fn credulously_accepted(&self, id: ArgId) -> Result<bool, LogicError> {
         self.check_id(id)?;
-        Ok(encode::AfSat::complete(self).credulous(id))
+        if self.len() >= scc::DECOMPOSITION_THRESHOLD {
+            Ok(scc::Decomposed::new(self).credulous(id))
+        } else {
+            Ok(encode::AfSat::complete(self).credulous(id))
+        }
     }
 
     /// Whether `id` is sceptically accepted (in the grounded extension).
@@ -264,7 +316,11 @@ impl Framework {
     /// hold an [`encode::AfSat`] session instead.
     pub fn sceptically_accepted_preferred(&self, id: ArgId) -> Result<bool, LogicError> {
         self.check_id(id)?;
-        Ok(encode::AfSat::complete(self).sceptical_preferred(id))
+        if self.len() >= scc::DECOMPOSITION_THRESHOLD {
+            Ok(scc::Decomposed::new(self).sceptical_preferred(id))
+        } else {
+            Ok(encode::AfSat::complete(self).sceptical_preferred(id))
+        }
     }
 }
 
@@ -302,40 +358,46 @@ impl Adjacency {
         &self.tgt_flat[self.tgt_start[attacker]..self.tgt_start[attacker + 1]]
     }
 
-    /// The grounded extension in O(V+E): a worklist of accepted
-    /// arguments, defeat marking, and live-attacker counting.
-    pub fn grounded(&self) -> BTreeSet<ArgId> {
-        const UNDEC: u8 = 0;
-        const IN: u8 = 1;
-        const OUT: u8 = 2;
+    /// The grounded labelling in O(V+E): a worklist of accepted
+    /// arguments, defeat marking, and live-attacker counting. Arguments
+    /// the fixpoint never reaches stay [`Label::Undec`].
+    pub fn grounded_labels(&self) -> Vec<Label> {
         let n = self.num_args();
         let mut live_attackers: Vec<usize> = (0..n).map(|t| self.attackers(t).len()).collect();
-        let mut status = vec![UNDEC; n];
+        let mut labels = vec![Label::Undec; n];
         let mut work: Vec<ArgId> = (0..n).filter(|&a| live_attackers[a] == 0).collect();
-        let mut grounded = BTreeSet::new();
         while let Some(accepted) = work.pop() {
-            if status[accepted] != UNDEC {
+            if labels[accepted] != Label::Undec {
                 continue;
             }
-            status[accepted] = IN;
-            grounded.insert(accepted);
+            labels[accepted] = Label::In;
             for &defeated in self.targets(accepted) {
                 // An accepted argument cannot be attacked by another
                 // accepted one (its attackers are all OUT), so the
                 // target is UNDEC or already OUT.
-                if status[defeated] != UNDEC {
+                if labels[defeated] != Label::Undec {
                     continue;
                 }
-                status[defeated] = OUT;
+                labels[defeated] = Label::Out;
                 for &t in self.targets(defeated) {
                     live_attackers[t] -= 1;
-                    if live_attackers[t] == 0 && status[t] == UNDEC {
+                    if live_attackers[t] == 0 && labels[t] == Label::Undec {
                         work.push(t);
                     }
                 }
             }
         }
-        grounded
+        labels
+    }
+
+    /// The grounded extension: the `In` set of [`Adjacency::grounded_labels`].
+    pub fn grounded(&self) -> BTreeSet<ArgId> {
+        self.grounded_labels()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| **l == Label::In)
+            .map(|(a, _)| a)
+            .collect()
     }
 }
 

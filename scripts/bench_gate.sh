@@ -13,7 +13,7 @@
 # ~1000x) so the gate trips on regressions, not on machine noise.
 # Override via environment for experiments:
 #   GRAPH_FLOOR, LOGIC_SWEEP_FLOOR, HARD_CDCL_FLOOR, EXPERIMENTS_FLOOR,
-#   AF_FLOOR, AF_GROUNDED_FLOOR
+#   AF_FLOOR, AF_GROUNDED_FLOOR, AF_SCC_N_FLOOR, THREAD_FLOOR
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,6 +23,9 @@ HARD_CDCL_FLOOR="${HARD_CDCL_FLOOR:-2}"
 EXPERIMENTS_FLOOR="${EXPERIMENTS_FLOOR:-3}"
 AF_FLOOR="${AF_FLOOR:-10}"
 AF_GROUNDED_FLOOR="${AF_GROUNDED_FLOOR:-50}"
+# Smallest framework the decomposed AF engine must complete
+# grounded/preferred/stable on in smoke mode.
+AF_SCC_N_FLOOR="${AF_SCC_N_FLOOR:-20000}"
 
 echo "==> building repro (release)"
 cargo build --release -q -p casekit-bench --bin repro
@@ -90,9 +93,28 @@ require_floor BENCH_af.smoke.json sat_over_naive "$AF_FLOOR"
 require_floor BENCH_af.smoke.json grounded_over_naive "$AF_GROUNDED_FLOOR"
 require_true  BENCH_af.smoke.json extensions_agree
 require_true  BENCH_af.smoke.json grounded_agree
+# The SCC-decomposed engine: agreement with the monolithic encoding on
+# every smoke instance and every cross-checked scenario (one size, two
+# generators), plus a large-n completion floor only the decomposition
+# can reach in smoke time.
+require_true  BENCH_af.smoke.json scc_agree
+require_true  BENCH_af.smoke.json agrees_with_monolithic 2
+require_floor BENCH_af.smoke.json scc_largest_n "$AF_SCC_N_FLOOR"
 
 require_floor BENCH_experiments.smoke.json speedup "$EXPERIMENTS_FLOOR"
 require_true  BENCH_experiments.smoke.json reports_agree
+# thread_speedup (serial-plan vs parallel-plan, identical work) is only
+# a real speedup when the host has idle cores to farm to: on a
+# multi-core host the parallel plan must win outright; on a single-core
+# host the two plans are identical by design and the gate only rejects
+# a real regression (scheduling overhead creeping back in).
+HOST_PAR="$(json_number BENCH_experiments.smoke.json host_parallelism)"
+if [ "${HOST_PAR:-1}" -gt 1 ]; then
+  THREAD_FLOOR="${THREAD_FLOOR:-1.0}"
+else
+  THREAD_FLOOR="${THREAD_FLOOR:-0.95}"
+fi
+require_floor BENCH_experiments.smoke.json thread_speedup "$THREAD_FLOOR"
 
 if [ "$FAILURES" -eq 0 ]; then
   echo "Bench gate passed."

@@ -42,6 +42,10 @@ repro_af_gated() {
     || { echo "BENCH_af.json does not report SAT/enumerator extension agreement"; return 1; }
   grep -q '"grounded_agree": true' BENCH_af.json \
     || { echo "BENCH_af.json does not report grounded-engine agreement"; return 1; }
+  grep -q '"scc_agree": true' BENCH_af.json \
+    || { echo "BENCH_af.json does not report decomposed-engine agreement"; return 1; }
+  grep -q '"scc_largest_n": 100000' BENCH_af.json \
+    || { echo "BENCH_af.json does not record a 100k-argument decomposed run"; return 1; }
 }
 
 repro_experiments_gated() {

@@ -674,6 +674,7 @@ mod runtime_props {
 }
 
 mod af_props {
+    use casekit::logic::af::scc::Decomposed;
     use casekit::logic::af::{naive, ArgId, Framework};
     use proptest::prelude::*;
     use std::collections::BTreeSet;
@@ -743,6 +744,69 @@ mod af_props {
         #[test]
         fn grounded_csr_matches_the_fixpoint_scan(af in framework_strategy(24)) {
             prop_assert_eq!(af.grounded_extension(), naive::grounded_extension(&af));
+        }
+
+        #[test]
+        fn decomposed_engine_agrees_with_monolithic(af in framework_strategy(40)) {
+            // The SCC-decomposed engine against the monolithic SAT
+            // path, set for set — on frameworks below the routing
+            // threshold, so `af.*_extensions()` is the monolithic
+            // answer and the comparison is between distinct engines.
+            let dec = Decomposed::new(&af);
+            prop_assert_eq!(
+                as_set(dec.complete_extensions()),
+                as_set(af.complete_extensions())
+            );
+            prop_assert_eq!(
+                as_set(dec.preferred_extensions()),
+                as_set(af.preferred_extensions())
+            );
+            prop_assert_eq!(
+                as_set(dec.stable_extensions()),
+                as_set(af.stable_extensions())
+            );
+            for id in 0..af.len() {
+                prop_assert_eq!(
+                    dec.credulous(id),
+                    af.credulously_accepted(id).expect("id in range")
+                );
+                prop_assert_eq!(
+                    dec.sceptical_preferred(id),
+                    af.sceptically_accepted_preferred(id).expect("id in range")
+                );
+            }
+        }
+
+        #[test]
+        fn condensation_is_acyclic_and_covers_every_argument(af in framework_strategy(40)) {
+            let dec = Decomposed::new(&af);
+            let cond = dec.condensation();
+            // Coverage: the components partition the arguments.
+            let mut seen = vec![false; af.len()];
+            for c in 0..cond.num_components() {
+                for &a in cond.members(c) {
+                    prop_assert!(!seen[a], "argument {} in two components", a);
+                    seen[a] = true;
+                    prop_assert_eq!(cond.component_of(a), c);
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s), "every argument is covered");
+            // Acyclicity in attackers-first order: a cross-component
+            // attack always points from a lower-numbered (and strictly
+            // shallower) component to a higher one.
+            for target in 0..af.len() {
+                let tc = cond.component_of(target);
+                for attacker in af.attackers(target) {
+                    let ac = cond.component_of(attacker);
+                    if ac != tc {
+                        prop_assert!(ac < tc, "attacker component ordered first");
+                        prop_assert!(
+                            cond.depth(ac) < cond.depth(tc),
+                            "attacks only deepen the condensation"
+                        );
+                    }
+                }
+            }
         }
 
         #[test]
