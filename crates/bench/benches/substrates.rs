@@ -85,10 +85,10 @@ fn bench_ltl(c: &mut Criterion) {
         })
         .collect();
     for w in states.windows(2) {
-        k.add_transition(w[0], w[1]);
+        k.add_transition(w[0], w[1]).unwrap();
     }
-    k.add_transition(states[7], states[0]);
-    k.add_initial(states[0]);
+    k.add_transition(states[7], states[0]).unwrap();
+    k.add_initial(states[0]).unwrap();
     let f = parse_ltl("G (request -> F grant)").unwrap();
     c.bench_function("ltl_check_ring_8", |b| {
         b.iter(|| black_box(&k).check_bounded(black_box(&f), 16))
@@ -259,6 +259,54 @@ fn bench_af(c: &mut Criterion) {
     });
 }
 
+fn bench_fol_engines(c: &mut Criterion) {
+    // The seed clause-scan engine vs the interned first-argument-indexed
+    // engine on one seeded reachability program (the `repro fol` sweep
+    // measures the cross-checked population).
+    use casekit_logic::fol::{parse_query, InternedKb, SolveConfig};
+    let kb = casekit_bench::fol::reachability_program(200, 100, 200);
+    let goal = parse_query("path(c50, X)").unwrap();
+    let config = SolveConfig {
+        max_depth: 32,
+        max_work: 1_000_000_000,
+        max_solutions: 8,
+    };
+    c.bench_function("fol_200_consts_path_seed", |b| {
+        b.iter(|| black_box(&kb).solve_seed_with(black_box(&goal), config))
+    });
+    c.bench_function("fol_200_consts_path_interned", |b| {
+        b.iter(|| InternedKb::compile(black_box(&kb)).solve_with(black_box(&goal), config))
+    });
+    // Compilation paid once, queries re-asked per iteration: the
+    // marginal cost of a query against a standing index.
+    let mut compiled = InternedKb::compile(&kb);
+    c.bench_function("fol_200_consts_path_compiled_query", |b| {
+        b.iter(|| black_box(&mut compiled).solve_with(black_box(&goal), config))
+    });
+}
+
+fn bench_ltl_engines(c: &mut Criterion) {
+    // The seed trace checker vs the CSR closure-table checker on one
+    // seeded ring-with-chords structure (the `repro ltl` sweep measures
+    // the cross-checked family).
+    use casekit_logic::ltl::{parse_ltl, CompiledLtl, CsrKripke};
+    let k = casekit_bench::ltl::random_kripke(10, 30, 3, 10);
+    let f = parse_ltl("G (F (tick & X (tick U tick)))").unwrap();
+    c.bench_function("ltl_10_states_nested_naive", |b| {
+        b.iter(|| black_box(&k).check_bounded_naive(black_box(&f), 10))
+    });
+    c.bench_function("ltl_10_states_nested_csr", |b| {
+        b.iter(|| black_box(&k).check_bounded(black_box(&f), 10))
+    });
+    // Structure and formula compiled once, the check re-run per
+    // iteration: the marginal cost against a standing CSR plane.
+    let csr = CsrKripke::compile(&k);
+    let compiled = CompiledLtl::compile(&f, &csr);
+    c.bench_function("ltl_10_states_nested_compiled_check", |b| {
+        b.iter(|| black_box(&csr).check_bounded(black_box(&compiled), 10))
+    });
+}
+
 criterion_group!(
     benches,
     bench_sat,
@@ -271,6 +319,8 @@ criterion_group!(
     bench_graph,
     bench_logic_core,
     bench_cdcl_hard,
-    bench_af
+    bench_af,
+    bench_fol_engines,
+    bench_ltl_engines
 );
 criterion_main!(benches);

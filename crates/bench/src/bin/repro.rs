@@ -5,7 +5,7 @@
 //! ```text
 //! repro [table1 | claims | figure1 | haley | greenwell |
 //!        exp-a | exp-b | exp-c | exp-d | exp-e | graph | logic |
-//!        af | experiments | all] [--smoke]
+//!        af | fol | ltl | experiments | all] [--smoke]
 //! ```
 //!
 //! `graph` additionally writes the measured legacy-vs-indexed graph-core
@@ -13,9 +13,11 @@
 //! does the same for the legacy-vs-interned batch entailment sweep plus
 //! the CDCL-vs-DPLL-vs-legacy hard-instance comparison
 //! (`BENCH_logic.json`), `af` for the subset-enumeration-vs-SAT
-//! argumentation-framework comparison (`BENCH_af.json`), and
-//! `experiments` for the serial-vs-parallel experiment runtime
-//! (`BENCH_experiments.json`).
+//! argumentation-framework comparison (`BENCH_af.json`), `fol` for the
+//! seed-vs-interned resolution-engine comparison (`BENCH_fol.json`),
+//! `ltl` for the trace-vs-CSR bounded-checking comparison
+//! (`BENCH_ltl.json`), and `experiments` for the serial-vs-parallel
+//! experiment runtime (`BENCH_experiments.json`).
 //!
 //! `--smoke` runs the benchmark artifacts on small fixed-seed
 //! populations and writes them as `BENCH_*.smoke.json` instead — fast,
@@ -51,8 +53,15 @@ fn main() {
         }
     }
     let arg = artefact.unwrap_or_else(|| "all".to_string());
-    if smoke && !matches!(arg.as_str(), "graph" | "logic" | "af" | "experiments") {
-        eprintln!("--smoke only applies to the graph, logic, af, and experiments artefacts");
+    if smoke
+        && !matches!(
+            arg.as_str(),
+            "graph" | "logic" | "af" | "fol" | "ltl" | "experiments"
+        )
+    {
+        eprintln!(
+            "--smoke only applies to the graph, logic, af, fol, ltl, and experiments artefacts"
+        );
         std::process::exit(2);
     }
     let output = match arg.as_str() {
@@ -130,6 +139,30 @@ fn main() {
             write_artifact(path, &bench::af::bench_af_json(&report));
             bench::af::render_report(&report)
         }
+        "fol" => {
+            let (sizes, chain, path): (&[usize], usize, &str) = if smoke {
+                (&[100, 200], 4_000, "BENCH_fol.smoke.json")
+            } else {
+                (&[200, 400, 800], 30_000, "BENCH_fol.json")
+            };
+            let report = bench::fol::run_fol_bench(sizes, chain);
+            write_artifact(path, &bench::fol::bench_fol_json(&report));
+            bench::fol::render_report(&report)
+        }
+        "ltl" => {
+            // (states, chords, bound) triples for the cross-checked
+            // sweep, then the CSR-only deep point.
+            const SMOKE_POINTS: &[(usize, usize, usize)] = &[(10, 30, 9)];
+            const FULL_POINTS: &[(usize, usize, usize)] = &[(10, 30, 10), (12, 36, 11)];
+            let (points, large, path) = if smoke {
+                (SMOKE_POINTS, (12, 36, 10), "BENCH_ltl.smoke.json")
+            } else {
+                (FULL_POINTS, (14, 42, 12), "BENCH_ltl.json")
+            };
+            let report = bench::ltl::run_ltl_bench(points, large);
+            write_artifact(path, &bench::ltl::bench_ltl_json(&report));
+            bench::ltl::render_report(&report)
+        }
         "experiments" => {
             let (config, path) = if smoke {
                 (
@@ -153,7 +186,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown artefact `{other}`; expected table1, claims, figure1, haley, \
-                 greenwell, exp-a..exp-e, graph, logic, af, experiments, or all"
+                 greenwell, exp-a..exp-e, graph, logic, af, fol, ltl, experiments, or all"
             );
             std::process::exit(2);
         }

@@ -15,8 +15,10 @@ use std::fmt::Write as _;
 
 pub mod af;
 pub mod experiments;
+pub mod fol;
 pub mod graph;
 pub mod logic;
+pub mod ltl;
 
 /// Runs `f` `runs` times and returns the fastest wall-clock time in
 /// milliseconds together with the last result (benchmark arms are
@@ -204,6 +206,25 @@ pub fn af_bench() -> String {
     af::render_report(&report)
 }
 
+/// Runs the FOL resolution comparison (seed clause-scan engine vs the
+/// interned first-argument-indexed engine on seeded reachability
+/// programs, cross-checked answer-for-answer, plus the interned-only
+/// deep chain) and renders the summary. The JSON artifact is written by
+/// `repro fol`.
+pub fn fol_bench() -> String {
+    let report = fol::run_fol_bench(&[200, 400, 800], 30_000);
+    fol::render_report(&report)
+}
+
+/// Runs the LTL bounded-checking comparison (seed trace checker vs the
+/// CSR closure-table checker on seeded ring-with-chords structures,
+/// cross-checked result-for-result, plus the CSR-only deep point) and
+/// renders the summary. The JSON artifact is written by `repro ltl`.
+pub fn ltl_bench() -> String {
+    let report = ltl::run_ltl_bench(&[(10, 30, 10), (12, 36, 11)], (14, 42, 12));
+    ltl::render_report(&report)
+}
+
 /// Runs the experiment-runtime comparison (scaled §VI-A population,
 /// legacy vs cached-serial vs parallel) and renders the summary. The
 /// JSON artifact is written by `repro experiments`.
@@ -240,6 +261,8 @@ pub fn all() -> String {
         graph_bench(),
         logic_bench(),
         af_bench(),
+        fol_bench(),
+        ltl_bench(),
         experiments_bench(),
     ] {
         out.push_str(&section);

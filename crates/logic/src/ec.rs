@@ -18,15 +18,16 @@
 //! use casekit_logic::fol::parse_term;
 //!
 //! let mut n = Narrative::new();
-//! n.initiates(parse_term("grant(alice)").unwrap(), parse_term("access(alice)").unwrap());
-//! n.terminates(parse_term("revoke(alice)").unwrap(), parse_term("access(alice)").unwrap());
-//! n.happens(parse_term("grant(alice)").unwrap(), 1);
-//! n.happens(parse_term("revoke(alice)").unwrap(), 5);
+//! n.initiates(parse_term("grant(alice)").unwrap(), parse_term("access(alice)").unwrap()).unwrap();
+//! n.terminates(parse_term("revoke(alice)").unwrap(), parse_term("access(alice)").unwrap()).unwrap();
+//! n.happens(parse_term("grant(alice)").unwrap(), 1).unwrap();
+//! n.happens(parse_term("revoke(alice)").unwrap(), 5).unwrap();
 //! assert!(!n.holds_at(&parse_term("access(alice)").unwrap(), 1)); // effects take one tick
 //! assert!(n.holds_at(&parse_term("access(alice)").unwrap(), 2));
 //! assert!(!n.holds_at(&parse_term("access(alice)").unwrap(), 6));
 //! ```
 
+use crate::error::LogicError;
 use crate::fol::Term;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -57,27 +58,62 @@ impl Narrative {
         Self::default()
     }
 
+    /// Validates a domain axiom: every variable of the fluent must be
+    /// bound by the event pattern, so applying the axiom to a ground
+    /// event can only produce ground fluent instances.
+    fn check_axiom(event: &Term, fluent: &Term, kind: &str) -> Result<(), LogicError> {
+        let bound = event.variables();
+        if let Some(unguarded) = fluent.variables().into_iter().find(|v| !bound.contains(v)) {
+            return Err(LogicError::UnguardedVariable {
+                variable: unguarded.to_string(),
+                axiom: format!("{event} {kind} {fluent}"),
+            });
+        }
+        Ok(())
+    }
+
     /// Declares that `event` initiates `fluent`.
     ///
     /// Both may contain variables; an occurring event initiates the fluent
     /// instance obtained by unifying against the axiom's event pattern.
-    pub fn initiates(&mut self, event: Term, fluent: Term) {
+    /// Errors when the fluent mentions a variable the event does not
+    /// bind (such an axiom could derive non-ground fluents).
+    pub fn initiates(&mut self, event: Term, fluent: Term) -> Result<(), LogicError> {
+        Self::check_axiom(&event, &fluent, "initiates")?;
         self.initiates.push(EffectAxiom { event, fluent });
+        Ok(())
     }
 
-    /// Declares that `event` terminates `fluent`.
-    pub fn terminates(&mut self, event: Term, fluent: Term) {
+    /// Declares that `event` terminates `fluent`. Errors like
+    /// [`Narrative::initiates`] when the fluent has an unguarded variable.
+    pub fn terminates(&mut self, event: Term, fluent: Term) -> Result<(), LogicError> {
+        Self::check_axiom(&event, &fluent, "terminates")?;
         self.terminates.push(EffectAxiom { event, fluent });
+        Ok(())
     }
 
-    /// Declares that `fluent` holds at time 0.
-    pub fn initially_true(&mut self, fluent: Term) {
+    /// Declares that `fluent` holds at time 0. Errors when the fluent is
+    /// not ground: the initial state is a set of facts, not patterns.
+    pub fn initially_true(&mut self, fluent: Term) -> Result<(), LogicError> {
+        if !fluent.is_ground() {
+            return Err(LogicError::NonGroundTerm {
+                term: fluent.to_string(),
+            });
+        }
         self.initially.push(fluent);
+        Ok(())
     }
 
-    /// Records that `event` happens at `time`.
-    pub fn happens(&mut self, event: Term, time: Time) {
+    /// Records that `event` happens at `time`. Errors when the event is
+    /// not ground: the narrative is a concrete timeline, not a pattern.
+    pub fn happens(&mut self, event: Term, time: Time) -> Result<(), LogicError> {
+        if !event.is_ground() {
+            return Err(LogicError::NonGroundTerm {
+                term: event.to_string(),
+            });
+        }
         self.happens.push((event, time));
+        Ok(())
     }
 
     /// The events that happen at `time`.
@@ -186,15 +222,17 @@ mod tests {
         // Tun et al.'s example (propositional skeleton): tapping a friend's
         // icon makes their location available one step later; untap revokes.
         let mut n = Narrative::new();
-        n.initiates(t("tap(User, Subject)"), t("loc_avail(User, Subject)"));
-        n.terminates(t("untap(User, Subject)"), t("loc_avail(User, Subject)"));
+        n.initiates(t("tap(User, Subject)"), t("loc_avail(User, Subject)"))
+            .unwrap();
+        n.terminates(t("untap(User, Subject)"), t("loc_avail(User, Subject)"))
+            .unwrap();
         n
     }
 
     #[test]
     fn initially_true_holds_at_zero() {
         let mut n = Narrative::new();
-        n.initially_true(t("friends(alice, bob)"));
+        n.initially_true(t("friends(alice, bob)")).unwrap();
         assert!(n.holds_at(&t("friends(alice, bob)"), 0));
         assert!(n.holds_at(&t("friends(alice, bob)"), 100)); // inertia
         assert!(!n.holds_at(&t("friends(bob, carol)"), 0));
@@ -203,7 +241,7 @@ mod tests {
     #[test]
     fn initiation_takes_effect_next_tick() {
         let mut n = tap_narrative();
-        n.happens(t("tap(alice, bob)"), 3);
+        n.happens(t("tap(alice, bob)"), 3).unwrap();
         let fl = t("loc_avail(alice, bob)");
         assert!(!n.holds_at(&fl, 3));
         assert!(n.holds_at(&fl, 4));
@@ -213,8 +251,8 @@ mod tests {
     #[test]
     fn termination_removes_fluent() {
         let mut n = tap_narrative();
-        n.happens(t("tap(alice, bob)"), 1);
-        n.happens(t("untap(alice, bob)"), 5);
+        n.happens(t("tap(alice, bob)"), 1).unwrap();
+        n.happens(t("untap(alice, bob)"), 5).unwrap();
         let fl = t("loc_avail(alice, bob)");
         assert!(n.holds_at(&fl, 2));
         assert!(n.holds_at(&fl, 5));
@@ -224,16 +262,16 @@ mod tests {
     #[test]
     fn termination_wins_simultaneous_conflict() {
         let mut n = tap_narrative();
-        n.happens(t("tap(alice, bob)"), 2);
-        n.happens(t("untap(alice, bob)"), 2);
+        n.happens(t("tap(alice, bob)"), 2).unwrap();
+        n.happens(t("untap(alice, bob)"), 2).unwrap();
         assert!(!n.holds_at(&t("loc_avail(alice, bob)"), 3));
     }
 
     #[test]
     fn axiom_variables_bind_per_event() {
         let mut n = tap_narrative();
-        n.happens(t("tap(alice, bob)"), 0);
-        n.happens(t("tap(carol, dave)"), 0);
+        n.happens(t("tap(alice, bob)"), 0).unwrap();
+        n.happens(t("tap(carol, dave)"), 0).unwrap();
         assert!(n.holds_at(&t("loc_avail(alice, bob)"), 1));
         assert!(n.holds_at(&t("loc_avail(carol, dave)"), 1));
         assert!(!n.holds_at(&t("loc_avail(alice, dave)"), 1));
@@ -242,8 +280,8 @@ mod tests {
     #[test]
     fn state_at_collects_holding_fluents() {
         let mut n = tap_narrative();
-        n.initially_true(t("friends(alice, bob)"));
-        n.happens(t("tap(alice, bob)"), 0);
+        n.initially_true(t("friends(alice, bob)")).unwrap();
+        n.happens(t("tap(alice, bob)"), 0).unwrap();
         let state = n.state_at(1);
         assert!(state.contains(&t("friends(alice, bob)")));
         assert!(state.contains(&t("loc_avail(alice, bob)")));
@@ -253,7 +291,7 @@ mod tests {
     #[test]
     fn never_holds_policy_check() {
         let mut n = tap_narrative();
-        n.happens(t("tap(eve, bob)"), 2);
+        n.happens(t("tap(eve, bob)"), 2).unwrap();
         // Policy: eve (not a friend) must never see bob's location.
         // The naive narrative violates it at t=3.
         assert_eq!(n.never_holds(&t("loc_avail(eve, bob)")), Err(3));
@@ -264,7 +302,7 @@ mod tests {
     #[test]
     fn eventually_holds_availability_check() {
         let mut n = tap_narrative();
-        n.happens(t("tap(alice, bob)"), 7);
+        n.happens(t("tap(alice, bob)"), 7).unwrap();
         assert_eq!(n.eventually_holds(&t("loc_avail(alice, bob)")), Some(8));
         assert_eq!(n.eventually_holds(&t("loc_avail(bob, alice)")), None);
     }
@@ -273,20 +311,61 @@ mod tests {
     fn horizon_and_events_at() {
         let mut n = Narrative::new();
         assert_eq!(n.horizon(), 0);
-        n.happens(t("e1"), 4);
-        n.happens(t("e2"), 9);
-        n.happens(t("e3"), 4);
+        n.happens(t("e1"), 4).unwrap();
+        n.happens(t("e2"), 9).unwrap();
+        n.happens(t("e3"), 4).unwrap();
         assert_eq!(n.horizon(), 9);
         assert_eq!(n.events_at(4).count(), 2);
         assert_eq!(n.events_at(5).count(), 0);
     }
 
     #[test]
+    fn unguarded_axiom_variable_rejected() {
+        let mut n = Narrative::new();
+        let err = n
+            .initiates(t("tap(U)"), t("seen(W)"))
+            .expect_err("W is not bound by the trigger");
+        assert_eq!(
+            err,
+            LogicError::UnguardedVariable {
+                variable: "W".into(),
+                axiom: "tap(U) initiates seen(W)".into(),
+            }
+        );
+        let err = n
+            .terminates(t("untap(U, V)"), t("loc_avail(U, Other)"))
+            .expect_err("Other is not bound by the trigger");
+        assert!(matches!(err, LogicError::UnguardedVariable { .. }));
+        // Guarded axioms (fluent vars ⊆ event vars) are accepted, as are
+        // fluents with no variables at all.
+        n.initiates(t("tap(U, V)"), t("loc_avail(U, V)")).unwrap();
+        n.initiates(t("reset(U)"), t("clean")).unwrap();
+    }
+
+    #[test]
+    fn non_ground_narrative_entries_rejected() {
+        let mut n = Narrative::new();
+        let err = n.happens(t("tap(X, bob)"), 1).expect_err("X is unbound");
+        assert_eq!(
+            err,
+            LogicError::NonGroundTerm {
+                term: "tap(X, bob)".into(),
+            }
+        );
+        let err = n
+            .initially_true(t("friends(alice, Who)"))
+            .expect_err("Who is unbound");
+        assert!(matches!(err, LogicError::NonGroundTerm { .. }));
+        assert_eq!(n.horizon(), 0);
+        assert!(n.state_at(5).is_empty());
+    }
+
+    #[test]
     fn re_initiation_after_termination() {
         let mut n = tap_narrative();
-        n.happens(t("tap(alice, bob)"), 0);
-        n.happens(t("untap(alice, bob)"), 2);
-        n.happens(t("tap(alice, bob)"), 4);
+        n.happens(t("tap(alice, bob)"), 0).unwrap();
+        n.happens(t("untap(alice, bob)"), 2).unwrap();
+        n.happens(t("tap(alice, bob)"), 4).unwrap();
         let fl = t("loc_avail(alice, bob)");
         assert!(n.holds_at(&fl, 1));
         assert!(!n.holds_at(&fl, 3));

@@ -111,6 +111,32 @@ pub enum LogicError {
         /// `0..arguments`).
         arguments: usize,
     },
+    /// A Kripke-structure operation referenced a state id that the
+    /// structure never allocated.
+    UnknownState {
+        /// The out-of-range state id.
+        id: usize,
+        /// How many states the structure holds (valid ids are
+        /// `0..states`).
+        states: usize,
+    },
+    /// A model-checking run was asked for on a Kripke structure with no
+    /// initial states, so there is nothing to check.
+    NoInitialState,
+    /// An operation that requires a ground (variable-free) term was
+    /// given a term containing variables.
+    NonGroundTerm {
+        /// Rendering of the offending term.
+        term: String,
+    },
+    /// An axiom's conclusion mentions a variable that its trigger does
+    /// not bind, so applying the axiom could produce non-ground facts.
+    UnguardedVariable {
+        /// The unbound variable name.
+        variable: String,
+        /// Rendering of the offending axiom.
+        axiom: String,
+    },
 }
 
 impl fmt::Display for LogicError {
@@ -147,6 +173,29 @@ impl fmt::Display for LogicError {
                     f,
                     "argument id {id} is out of range for a framework of \
                      {arguments} argument(s)"
+                )
+            }
+            LogicError::UnknownState { id, states } => {
+                write!(
+                    f,
+                    "state id {id} is out of range for a structure of \
+                     {states} state(s)"
+                )
+            }
+            LogicError::NoInitialState => {
+                write!(f, "the Kripke structure has no initial states")
+            }
+            LogicError::NonGroundTerm { term } => {
+                write!(
+                    f,
+                    "`{term}` contains variables where a ground term is required"
+                )
+            }
+            LogicError::UnguardedVariable { variable, axiom } => {
+                write!(
+                    f,
+                    "variable `{variable}` in `{axiom}` is not bound by the \
+                     axiom's trigger"
                 )
             }
         }
@@ -206,5 +255,20 @@ mod tests {
         };
         assert!(e.to_string().contains("17"));
         assert!(e.to_string().contains('4'));
+        let e = LogicError::UnknownState { id: 9, states: 3 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('3'));
+        let e = LogicError::NoInitialState;
+        assert!(e.to_string().contains("initial"));
+        let e = LogicError::NonGroundTerm {
+            term: "tap(X, bob)".into(),
+        };
+        assert!(e.to_string().contains("tap(X, bob)"));
+        let e = LogicError::UnguardedVariable {
+            variable: "W".into(),
+            axiom: "tap(U) initiates seen(W)".into(),
+        };
+        assert!(e.to_string().contains('W'));
+        assert!(e.to_string().contains("seen(W)"));
     }
 }

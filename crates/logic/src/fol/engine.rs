@@ -94,7 +94,24 @@ impl KnowledgeBase {
     }
 
     /// Solves `goal` under an explicit configuration.
+    ///
+    /// Queries compile the knowledge base onto the interned plane
+    /// ([`super::InternedKb`]) and run the iterative indexed engine.
+    /// For repeated queries against one knowledge base, compile once
+    /// with [`super::InternedKb::compile`] and query that instead.
     pub fn solve_with(&self, goal: &Term, config: SolveConfig) -> SolveOutcome {
+        super::interned::InternedKb::compile(self).solve_with(goal, config)
+    }
+
+    /// Solves `goal` with the seed recursive engine (the differential
+    /// oracle): clause-scan dispatch, name-plane renaming, map-backed
+    /// substitutions, and call-stack recursion.
+    pub fn solve_seed(&self, goal: &Term) -> SolveOutcome {
+        self.solve_seed_with(goal, SolveConfig::default())
+    }
+
+    /// Seed-engine counterpart of [`KnowledgeBase::solve_with`].
+    pub fn solve_seed_with(&self, goal: &Term, config: SolveConfig) -> SolveOutcome {
         let mut search = Search {
             kb: self,
             config,
@@ -310,6 +327,17 @@ mod tests {
                            adjacent(X, Y) :- is_a(X, Z), adjacent(Z, Y).");
         let reparsed = parse_program(&original.to_string()).unwrap();
         assert_eq!(original, reparsed);
+    }
+
+    #[test]
+    fn default_engine_matches_seed_oracle() {
+        let kb = kb("parent(tom, bob). parent(tom, liz). parent(bob, ann).\n\
+                     ancestor(X, Y) :- parent(X, Y).\n\
+                     ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).");
+        for query in ["ancestor(tom, X)", "parent(X, Y)", "ancestor(X, ann)"] {
+            let goal = parse_query(query).unwrap();
+            assert_eq!(kb.solve(&goal), kb.solve_seed(&goal), "query {query}");
+        }
     }
 
     #[test]

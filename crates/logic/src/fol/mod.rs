@@ -16,13 +16,37 @@
 //! let goal = parse_query("adjacent(desert_bank, river)").unwrap();
 //! assert!(kb.proves(&goal));
 //! ```
+//!
+//! # Architecture: two planes, one oracle
+//!
+//! Like `prop` and `af`, the FOL substrate is split into a *name plane*
+//! and an *index plane*:
+//!
+//! * The name plane ([`term`], [`unify`], [`parser`]) is the readable
+//!   surface: [`Term`] trees over `Arc<str>` names, map-backed
+//!   [`Substitution`]s, and the recursive seed engine reachable through
+//!   [`KnowledgeBase::solve_seed_with`]. It is kept as the differential
+//!   oracle the fast plane is checked against.
+//! * The index plane ([`interned`]) compiles a [`KnowledgeBase`] into an
+//!   [`InternedKb`]: symbols intern to `u32` ids, terms hash-cons into a
+//!   flat arena ([`TermId`] nodes with argument slices in one shared
+//!   pool), clauses index by predicate and first-argument functor, and
+//!   queries run on an iterative SLD machine with a bindings-slot array,
+//!   a trail, and path compression instead of clone-per-apply maps.
+//!
+//! [`KnowledgeBase::solve`] and [`KnowledgeBase::solve_with`] route
+//! through the index plane by default; `solve_seed`/`solve_seed_with`
+//! expose the seed engine for cross-checks and benchmarks
+//! (`crates/bench/src/fol.rs`, `repro fol`).
 
 mod engine;
+mod interned;
 mod parser;
 mod term;
 mod unify;
 
 pub use engine::{KnowledgeBase, Solution, SolveConfig, SolveOutcome};
+pub use interned::{InternedKb, SymbolId, SymbolTable, TermArena, TermId};
 pub use parser::{parse_program, parse_query, parse_term};
 pub use term::{Clause, Term};
 pub use unify::{unify, Substitution};

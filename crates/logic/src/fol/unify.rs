@@ -103,13 +103,38 @@ pub fn unify(a: &Term, b: &Term, subst: &Substitution) -> Option<Substitution> {
     }
 }
 
+/// Chases top-level variable bindings only — no copying, no descent into
+/// compound arguments. Subterms resolve lazily when `unify_into` reaches
+/// them, which keeps each step O(chain) instead of O(term).
+fn resolve<'t>(mut t: &'t Term, s: &'t Substitution) -> &'t Term {
+    while let Term::Var(n) = t {
+        match s.get(n) {
+            Some(bound) => t = bound,
+            None => break,
+        }
+    }
+    t
+}
+
+/// Occurs check through the substitution: does the unbound variable `x`
+/// occur anywhere in `t` once bindings are resolved?
+fn occurs_in(x: &str, t: &Term, s: &Substitution) -> bool {
+    match resolve(t, s) {
+        Term::Var(n) => n.as_ref() == x,
+        Term::Const(_) => false,
+        Term::Compound(_, args) => args.iter().any(|a| occurs_in(x, a, s)),
+    }
+}
+
 fn unify_into(a: &Term, b: &Term, s: &mut Substitution) -> bool {
-    let a = s.apply(a);
-    let b = s.apply(b);
+    // Resolve only the top-level variable chains; cloning the resolved
+    // heads releases the borrow on `s` before any binding is added.
+    let a = resolve(a, s).clone();
+    let b = resolve(b, s).clone();
     match (&a, &b) {
         (Term::Var(x), Term::Var(y)) if x == y => true,
         (Term::Var(x), other) | (other, Term::Var(x)) => {
-            if other.occurs(x) {
+            if occurs_in(x, other, s) {
                 false // occurs check
             } else {
                 s.bind(x.as_ref(), other.clone());

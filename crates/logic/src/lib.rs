@@ -71,6 +71,22 @@
 //! and the seed's recursive solver is preserved in [`prop::legacy`] as
 //! a differential-testing oracle and benchmark baseline (`repro
 //! logic` emits the measured comparison as `BENCH_logic.json`).
+//!
+//! The same split now covers every decidable substrate. [`af`] compiles
+//! attack graphs to CSR adjacency and decides semantics through the
+//! solver (monolithic labelling encoding, SCC-decomposed above it).
+//! [`fol`] interns terms into a hash-consed arena and resolves through
+//! a first-argument-indexed, explicitly-stacked SLD machine
+//! ([`fol::InternedKb`]); the seed recursive engine survives as
+//! `KnowledgeBase::solve_seed_with`, the differential oracle (`repro
+//! fol` → `BENCH_fol.json`). [`ltl`] compiles Kripke structures to CSR
+//! out-edges with bitset labels and formulas to a hash-consed node
+//! arena, evaluating candidate lassos by closure table
+//! ([`ltl::CsrKripke`]); the seed trace checker survives as
+//! `Kripke::check_bounded_naive`, the differential oracle (`repro ltl`
+//! → `BENCH_ltl.json`). In every substrate the name-plane API stays the
+//! single entry point and routes to the index plane internally, and the
+//! fallible operations return [`LogicError`] instead of panicking.
 
 pub mod af;
 pub mod ec;

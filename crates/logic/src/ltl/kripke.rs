@@ -8,7 +8,9 @@
 //! auditable form. A counterexample lasso is returned when found.
 
 use super::ast::Ltl;
+use super::csr::{CompiledLtl, CsrKripke};
 use super::trace::Trace;
+use crate::error::LogicError;
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -63,29 +65,36 @@ impl Kripke {
         self.labels.len() - 1
     }
 
-    /// Adds a transition `from → to`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if either state id is out of range.
-    pub fn add_transition(&mut self, from: StateId, to: StateId) {
-        assert!(from < self.labels.len(), "unknown source state");
-        assert!(to < self.labels.len(), "unknown target state");
+    /// Adds a transition `from → to`. Errors when either state id was
+    /// never allocated by [`Kripke::add_state`].
+    pub fn add_transition(&mut self, from: StateId, to: StateId) -> Result<(), LogicError> {
+        for id in [from, to] {
+            if id >= self.labels.len() {
+                return Err(LogicError::UnknownState {
+                    id,
+                    states: self.labels.len(),
+                });
+            }
+        }
         if !self.successors[from].contains(&to) {
             self.successors[from].push(to);
         }
+        Ok(())
     }
 
-    /// Marks a state as initial.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the state id is out of range.
-    pub fn add_initial(&mut self, state: StateId) {
-        assert!(state < self.labels.len(), "unknown state");
+    /// Marks a state as initial. Errors when the state id was never
+    /// allocated by [`Kripke::add_state`].
+    pub fn add_initial(&mut self, state: StateId) -> Result<(), LogicError> {
+        if state >= self.labels.len() {
+            return Err(LogicError::UnknownState {
+                id: state,
+                states: self.labels.len(),
+            });
+        }
         if !self.initial.contains(&state) {
             self.initial.push(state);
         }
+        Ok(())
     }
 
     /// Number of states.
@@ -107,6 +116,20 @@ impl Kripke {
         self.labels[state].iter().map(|s| s.as_ref())
     }
 
+    /// The successors of a state, in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state id is out of range.
+    pub fn successors_of(&self, state: StateId) -> &[StateId] {
+        &self.successors[state]
+    }
+
+    /// The initial states, in insertion order.
+    pub fn initial_states(&self) -> &[StateId] {
+        &self.initial
+    }
+
     /// Builds the [`Trace`] corresponding to a lasso path through the
     /// structure.
     fn trace_of(&self, prefix: &[StateId], looped: &[StateId]) -> Trace {
@@ -125,21 +148,41 @@ impl Kripke {
     /// Deadlocked paths (states with no successors) are treated as lassos
     /// stuttering on their final state, so finite behaviours are covered.
     ///
-    /// # Panics
+    /// The check runs on the CSR plane ([`CsrKripke`]): the structure
+    /// compiles to a CSR graph with bitset labels, the formula to a flat
+    /// node arena, and each candidate lasso is evaluated by closure
+    /// table. Lassos are visited in the same order as
+    /// [`Kripke::check_bounded_naive`], so results — including
+    /// counterexample paths — are identical. For repeated checks,
+    /// compile once with [`CsrKripke::compile`] and query that.
     ///
-    /// Panics if the structure has no initial states.
-    pub fn check_bounded(&self, formula: &Ltl, bound: usize) -> CheckResult {
-        assert!(
-            !self.initial.is_empty(),
-            "Kripke structure needs at least one initial state"
-        );
+    /// Errors when the structure has no initial states.
+    pub fn check_bounded(&self, formula: &Ltl, bound: usize) -> Result<CheckResult, LogicError> {
+        let csr = CsrKripke::compile(self);
+        let compiled = CompiledLtl::compile(formula, &csr);
+        csr.check_bounded(&compiled, bound)
+    }
+
+    /// The seed checker (the differential oracle): the same lasso
+    /// enumeration, but each lasso is rebuilt as a [`Trace`] and the
+    /// formula evaluated recursively over label sets.
+    ///
+    /// Errors when the structure has no initial states.
+    pub fn check_bounded_naive(
+        &self,
+        formula: &Ltl,
+        bound: usize,
+    ) -> Result<CheckResult, LogicError> {
+        if self.initial.is_empty() {
+            return Err(LogicError::NoInitialState);
+        }
         for &init in &self.initial {
             let mut path = vec![init];
             if let Some(cex) = self.dfs(formula, &mut path, bound) {
-                return cex;
+                return Ok(cex);
             }
         }
-        CheckResult::HoldsWithinBound
+        Ok(CheckResult::HoldsWithinBound)
     }
 
     /// DFS over paths; at each revisit of a state already on the path, a
@@ -192,17 +235,26 @@ mod tests {
         parse_ltl(src).unwrap()
     }
 
+    /// Checks on both planes, asserts they agree (counterexamples
+    /// included), and returns the shared result.
+    fn check(k: &Kripke, formula: &Ltl, bound: usize) -> CheckResult {
+        let fast = k.check_bounded(formula, bound).unwrap();
+        let slow = k.check_bounded_naive(formula, bound).unwrap();
+        assert_eq!(fast, slow, "planes disagree on `{formula}`");
+        fast
+    }
+
     /// A two-state request/grant machine where every request is granted.
     fn good_arbiter() -> Kripke {
         let mut k = Kripke::new();
         let idle = k.add_state(Vec::<&str>::new());
         let req = k.add_state(vec!["request"]);
         let grant = k.add_state(vec!["grant"]);
-        k.add_transition(idle, idle);
-        k.add_transition(idle, req);
-        k.add_transition(req, grant);
-        k.add_transition(grant, idle);
-        k.add_initial(idle);
+        k.add_transition(idle, idle).unwrap();
+        k.add_transition(idle, req).unwrap();
+        k.add_transition(req, grant).unwrap();
+        k.add_transition(grant, idle).unwrap();
+        k.add_initial(idle).unwrap();
         k
     }
 
@@ -211,10 +263,10 @@ mod tests {
         let mut k = Kripke::new();
         let a = k.add_state(vec!["safe"]);
         let b = k.add_state(vec!["safe"]);
-        k.add_transition(a, b);
-        k.add_transition(b, a);
-        k.add_initial(a);
-        assert!(k.check_bounded(&f("G safe"), 10).holds());
+        k.add_transition(a, b).unwrap();
+        k.add_transition(b, a).unwrap();
+        k.add_initial(a).unwrap();
+        assert!(check(&k, &f("G safe"), 10).holds());
     }
 
     #[test]
@@ -222,11 +274,11 @@ mod tests {
         let mut k = Kripke::new();
         let a = k.add_state(vec!["safe"]);
         let b = k.add_state(Vec::<&str>::new()); // unsafe state
-        k.add_transition(a, a);
-        k.add_transition(a, b);
-        k.add_transition(b, a);
-        k.add_initial(a);
-        match k.check_bounded(&f("G safe"), 10) {
+        k.add_transition(a, a).unwrap();
+        k.add_transition(a, b).unwrap();
+        k.add_transition(b, a).unwrap();
+        k.add_initial(a).unwrap();
+        match check(&k, &f("G safe"), 10) {
             CheckResult::CounterExample { prefix, looped } => {
                 // The witness path must actually visit state b.
                 assert!(prefix.contains(&b) || looped.contains(&b));
@@ -238,7 +290,7 @@ mod tests {
     #[test]
     fn response_property() {
         let k = good_arbiter();
-        assert!(k.check_bounded(&f("G (request -> F grant)"), 12).holds());
+        assert!(check(&k, &f("G (request -> F grant)"), 12).holds());
     }
 
     #[test]
@@ -247,10 +299,10 @@ mod tests {
         let mut k = Kripke::new();
         let idle = k.add_state(Vec::<&str>::new());
         let req = k.add_state(vec!["request"]);
-        k.add_transition(idle, req);
-        k.add_transition(req, req); // starvation loop
-        k.add_initial(idle);
-        let result = k.check_bounded(&f("G (request -> F grant)"), 12);
+        k.add_transition(idle, req).unwrap();
+        k.add_transition(req, req).unwrap(); // starvation loop
+        k.add_initial(idle).unwrap();
+        let result = check(&k, &f("G (request -> F grant)"), 12);
         assert!(!result.holds());
     }
 
@@ -259,12 +311,12 @@ mod tests {
         let mut k = Kripke::new();
         let a = k.add_state(vec!["p"]);
         let end = k.add_state(vec!["p", "done"]);
-        k.add_transition(a, end);
-        k.add_initial(a);
-        assert!(k.check_bounded(&f("G p"), 10).holds());
-        assert!(k.check_bounded(&f("F done"), 10).holds());
-        assert!(k.check_bounded(&f("F G done"), 10).holds());
-        assert!(!k.check_bounded(&f("G done"), 10).holds());
+        k.add_transition(a, end).unwrap();
+        k.add_initial(a).unwrap();
+        assert!(check(&k, &f("G p"), 10).holds());
+        assert!(check(&k, &f("F done"), 10).holds());
+        assert!(check(&k, &f("F G done"), 10).holds());
+        assert!(!check(&k, &f("G done"), 10).holds());
     }
 
     #[test]
@@ -276,19 +328,19 @@ mod tests {
         let cruise = k.add_state(vec!["above_min", "nonzero"]);
         let conflict = k.add_state(vec!["below_min", "nonzero"]);
         let avoiding = k.add_state(vec!["nonzero"]);
-        k.add_transition(cruise, cruise);
-        k.add_transition(cruise, conflict);
-        k.add_transition(conflict, avoiding);
-        k.add_transition(avoiding, cruise);
-        k.add_initial(cruise);
+        k.add_transition(cruise, cruise).unwrap();
+        k.add_transition(cruise, conflict).unwrap();
+        k.add_transition(conflict, avoiding).unwrap();
+        k.add_transition(avoiding, cruise).unwrap();
+        k.add_initial(cruise).unwrap();
         let claim = f("G (below_min -> (nonzero U above_min))");
-        assert!(k.check_bounded(&claim, 16).holds());
+        assert!(check(&k, &claim, 16).holds());
 
         // Introduce a collision state and the claim fails.
         let collision = k.add_state(Vec::<&str>::new());
-        k.add_transition(avoiding, collision);
-        k.add_transition(collision, collision);
-        assert!(!k.check_bounded(&claim, 16).holds());
+        k.add_transition(avoiding, collision).unwrap();
+        k.add_transition(collision, collision).unwrap();
+        assert!(!check(&k, &claim, 16).holds());
     }
 
     #[test]
@@ -296,28 +348,41 @@ mod tests {
         let mut k = Kripke::new();
         let good = k.add_state(vec!["p"]);
         let bad = k.add_state(Vec::<&str>::new());
-        k.add_transition(good, good);
-        k.add_transition(bad, bad);
-        k.add_initial(good);
-        assert!(k.check_bounded(&f("G p"), 5).holds());
-        k.add_initial(bad);
-        assert!(!k.check_bounded(&f("G p"), 5).holds());
+        k.add_transition(good, good).unwrap();
+        k.add_transition(bad, bad).unwrap();
+        k.add_initial(good).unwrap();
+        assert!(check(&k, &f("G p"), 5).holds());
+        k.add_initial(bad).unwrap();
+        assert!(!check(&k, &f("G p"), 5).holds());
     }
 
     #[test]
-    #[should_panic(expected = "initial state")]
-    fn no_initial_states_panics() {
+    fn no_initial_states_is_an_error() {
         let mut k = Kripke::new();
         k.add_state(vec!["p"]);
-        let _ = k.check_bounded(&f("p"), 5);
+        assert_eq!(k.check_bounded(&f("p"), 5), Err(LogicError::NoInitialState));
+        assert_eq!(
+            k.check_bounded_naive(&f("p"), 5),
+            Err(LogicError::NoInitialState)
+        );
     }
 
     #[test]
-    #[should_panic(expected = "unknown target")]
-    fn bad_transition_panics() {
+    fn bad_state_ids_are_errors() {
         let mut k = Kripke::new();
         let a = k.add_state(vec!["p"]);
-        k.add_transition(a, 99);
+        assert_eq!(
+            k.add_transition(a, 99),
+            Err(LogicError::UnknownState { id: 99, states: 1 })
+        );
+        assert_eq!(
+            k.add_transition(7, a),
+            Err(LogicError::UnknownState { id: 7, states: 1 })
+        );
+        assert_eq!(
+            k.add_initial(3),
+            Err(LogicError::UnknownState { id: 3, states: 1 })
+        );
     }
 
     #[test]
@@ -328,5 +393,31 @@ mod tests {
         assert_eq!(labels, vec!["x", "y"]);
         assert_eq!(k.len(), 1);
         assert!(!k.is_empty());
+        assert_eq!(k.successors_of(a), &[] as &[StateId]);
+        assert_eq!(k.initial_states(), &[] as &[StateId]);
+    }
+
+    #[test]
+    fn planes_agree_on_counterexample_paths() {
+        // A structure with several distinct violating lassos: both
+        // planes must report the *same* (first) witness.
+        let mut k = Kripke::new();
+        let s: Vec<_> = (0..5)
+            .map(|i| {
+                if i % 2 == 0 {
+                    k.add_state(vec!["p"])
+                } else {
+                    k.add_state(Vec::<&str>::new())
+                }
+            })
+            .collect();
+        for i in 0..5 {
+            k.add_transition(s[i], s[(i + 1) % 5]).unwrap();
+            k.add_transition(s[i], s[(i + 2) % 5]).unwrap();
+        }
+        k.add_initial(s[0]).unwrap();
+        for formula in ["G p", "F G p", "G F p", "p U (G ~p)", "X X p"] {
+            check(&k, &f(formula), 8);
+        }
     }
 }

@@ -17,13 +17,37 @@
 //! );
 //! assert!(trace.satisfies(&f));
 //! ```
+//!
+//! # Architecture: two planes, one oracle
+//!
+//! Model checking is split the same way as the `prop`, `af`, and `fol`
+//! substrates:
+//!
+//! * The name plane ([`Kripke`], [`Trace`]) keeps states labelled with
+//!   `Arc<str>` proposition sets and evaluates formulas recursively over
+//!   [`Trace`]s; [`Kripke::check_bounded_naive`] is the seed checker,
+//!   retained as the differential oracle.
+//! * The index plane ([`csr`]) compiles the structure to a [`CsrKripke`]
+//!   — compressed-sparse-row out-edges plus bitset labels over an
+//!   interned proposition universe — and the formula to a
+//!   [`CompiledLtl`] flat node arena. Candidate lassos are evaluated by
+//!   a closure table (one boolean row per node over the lasso's
+//!   positions) instead of re-hashing label strings per step.
+//!
+//! [`Kripke::check_bounded`] routes through the index plane by default
+//! and visits lassos in the oracle's exact order, so the two planes
+//! return identical results, counterexample paths included. The bench
+//! substrate (`crates/bench/src/ltl.rs`, `repro ltl`) sweeps both and
+//! cross-checks answer-for-answer.
 
 mod ast;
+mod csr;
 mod kripke;
 mod parser;
 mod trace;
 
 pub use ast::Ltl;
+pub use csr::{CompiledLtl, CsrKripke};
 pub use kripke::{CheckResult, Kripke, StateId};
 pub use parser::parse_ltl;
 pub use trace::Trace;

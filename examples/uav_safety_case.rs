@@ -40,14 +40,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cruise = model.add_state(vec!["above_min", "nonzero"]);
     let conflict = model.add_state(vec!["below_min", "nonzero"]);
     let avoiding = model.add_state(vec!["nonzero"]);
-    model.add_transition(cruise, cruise);
-    model.add_transition(cruise, conflict);
-    model.add_transition(conflict, avoiding);
-    model.add_transition(avoiding, cruise);
-    model.add_initial(cruise);
+    model.add_transition(cruise, cruise).unwrap();
+    model.add_transition(cruise, conflict).unwrap();
+    model.add_transition(conflict, avoiding).unwrap();
+    model.add_transition(avoiding, cruise).unwrap();
+    model.add_initial(cruise).unwrap();
 
     let claim = parse_ltl("G (below_min -> (nonzero U above_min))")?;
-    let result = model.check_bounded(&claim, 16);
+    let result = model.check_bounded(&claim, 16)?;
     println!("DAA claim `{claim}` holds within bound: {}", result.holds());
 
     // 3. Propagate confidence from the evidence leaves.

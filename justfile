@@ -46,6 +46,14 @@ bench-logic:
 bench-af:
     cargo run --release -q -p casekit-bench --bin repro af
 
+# FOL resolution-engine artifact (BENCH_fol.json).
+bench-fol:
+    cargo run --release -q -p casekit-bench --bin repro fol
+
+# LTL bounded-checking artifact (BENCH_ltl.json).
+bench-ltl:
+    cargo run --release -q -p casekit-bench --bin repro ltl
+
 # Experiment-runtime speedup artifact (BENCH_experiments.json).
 bench-experiments:
     cargo run --release -q -p casekit-bench --bin repro experiments

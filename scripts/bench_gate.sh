@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Bench-regression gate: run the four `repro` benchmark artifacts in
+# Bench-regression gate: run the six `repro` benchmark artifacts in
 # fast deterministic --smoke mode (small populations, fixed seeds) and
 # fail if any speedup drops below its floor or any agreement flag is
 # false. CI runs this on every push; `just ci` runs it locally.
@@ -10,10 +10,12 @@
 # Floors are deliberately far below the measured values (graph ~1700x,
 # logic sweep ~130x, hard CDCL-vs-DPLL ~3.5x at smoke scale,
 # experiments ~25x, af SAT-vs-enumeration ~50x, af grounded CSR
-# ~1000x) so the gate trips on regressions, not on machine noise.
+# ~1000x, fol interned-vs-seed ~70x, ltl CSR-vs-trace ~17x) so the
+# gate trips on regressions, not on machine noise.
 # Override via environment for experiments:
 #   GRAPH_FLOOR, LOGIC_SWEEP_FLOOR, HARD_CDCL_FLOOR, EXPERIMENTS_FLOOR,
-#   AF_FLOOR, AF_GROUNDED_FLOOR, AF_SCC_N_FLOOR, THREAD_FLOOR
+#   AF_FLOOR, AF_GROUNDED_FLOOR, AF_SCC_N_FLOOR, FOL_FLOOR, LTL_FLOOR,
+#   THREAD_FLOOR
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,6 +28,8 @@ AF_GROUNDED_FLOOR="${AF_GROUNDED_FLOOR:-50}"
 # Smallest framework the decomposed AF engine must complete
 # grounded/preferred/stable on in smoke mode.
 AF_SCC_N_FLOOR="${AF_SCC_N_FLOOR:-20000}"
+FOL_FLOOR="${FOL_FLOOR:-10}"
+LTL_FLOOR="${LTL_FLOOR:-10}"
 
 echo "==> building repro (release)"
 cargo build --release -q -p casekit-bench --bin repro
@@ -36,6 +40,10 @@ echo "==> repro logic --smoke"
 ./target/release/repro logic --smoke > /dev/null
 echo "==> repro af --smoke"
 ./target/release/repro af --smoke > /dev/null
+echo "==> repro fol --smoke"
+./target/release/repro fol --smoke > /dev/null
+echo "==> repro ltl --smoke"
+./target/release/repro ltl --smoke > /dev/null
 echo "==> repro experiments --smoke"
 ./target/release/repro experiments --smoke > /dev/null
 
@@ -100,6 +108,17 @@ require_true  BENCH_af.smoke.json grounded_agree
 require_true  BENCH_af.smoke.json scc_agree
 require_true  BENCH_af.smoke.json agrees_with_monolithic 2
 require_floor BENCH_af.smoke.json scc_largest_n "$AF_SCC_N_FLOOR"
+
+# The FOL and LTL reports lead with their report-level speedup (the
+# json_number helper takes the first match) and carry one
+# `answers_agree` flag each; per-point flags are named `agree` so they
+# never collide with the gate's count.
+require_floor BENCH_fol.smoke.json speedup "$FOL_FLOOR"
+require_true  BENCH_fol.smoke.json answers_agree
+require_true  BENCH_fol.smoke.json chain_proved
+
+require_floor BENCH_ltl.smoke.json speedup "$LTL_FLOOR"
+require_true  BENCH_ltl.smoke.json answers_agree
 
 require_floor BENCH_experiments.smoke.json speedup "$EXPERIMENTS_FLOOR"
 require_true  BENCH_experiments.smoke.json reports_agree

@@ -48,6 +48,20 @@ repro_af_gated() {
     || { echo "BENCH_af.json does not record a 100k-argument decomposed run"; return 1; }
 }
 
+repro_fol_gated() {
+  cargo run --release -q -p casekit-bench --bin repro fol || return 1
+  grep -q '"answers_agree": true' BENCH_fol.json \
+    || { echo "BENCH_fol.json does not report seed/interned answer agreement"; return 1; }
+  grep -q '"chain_proved": true' BENCH_fol.json \
+    || { echo "BENCH_fol.json does not record a proved deep chain"; return 1; }
+}
+
+repro_ltl_gated() {
+  cargo run --release -q -p casekit-bench --bin repro ltl || return 1
+  grep -q '"answers_agree": true' BENCH_ltl.json \
+    || { echo "BENCH_ltl.json does not report naive/CSR result agreement"; return 1; }
+}
+
 repro_experiments_gated() {
   cargo run --release -q -p casekit-bench --bin repro experiments || return 1
   grep -q '"reports_agree": true' BENCH_experiments.json \
@@ -63,6 +77,8 @@ run_step "repro graph (writes BENCH_graph.json)" \
   cargo run --release -q -p casekit-bench --bin repro graph
 run_step "repro logic + verdict gates (writes BENCH_logic.json)" repro_logic_gated
 run_step "repro af + agreement gates (writes BENCH_af.json)" repro_af_gated
+run_step "repro fol + agreement gates (writes BENCH_fol.json)" repro_fol_gated
+run_step "repro ltl + agreement gate (writes BENCH_ltl.json)" repro_ltl_gated
 run_step "repro experiments + agreement gate (writes BENCH_experiments.json)" \
   repro_experiments_gated
 

@@ -673,6 +673,170 @@ mod runtime_props {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Interned FOL engine: the indexed iterative machine against the seed
+// recursive engine, outcome for outcome, on fuzzed Horn programs.
+// ---------------------------------------------------------------------------
+
+mod fol_props {
+    use casekit::logic::fol::{parse_program, parse_query, KnowledgeBase, SolveConfig};
+    use proptest::prelude::*;
+
+    /// The shared budgets: deep enough to explore cyclic edge relations,
+    /// with a work budget no fuzzed instance approaches (the engines
+    /// count work differently, so the comparison is only exact while
+    /// neither trips it).
+    const CONFIG: SolveConfig = SolveConfig {
+        max_depth: 12,
+        max_work: 1_000_000_000,
+        max_solutions: 32,
+    };
+
+    /// Strategy: a program of random ground `edge/2` facts over six
+    /// constants (cycles and duplicates allowed) plus the fixed
+    /// transitive-closure rules. Every derivable answer is ground, so
+    /// the engines must agree on the exact solution list — the seed's
+    /// leaked rename counters and the interned engine's canonical
+    /// `_G{n}` names only diverge on non-ground answers.
+    fn program_strategy() -> impl Strategy<Value = KnowledgeBase> {
+        proptest::collection::vec((0usize..6, 0usize..6), 0..15).prop_map(|edges| {
+            let mut src = String::new();
+            for (a, b) in edges {
+                src.push_str(&format!("edge(c{a}, c{b}).\n"));
+            }
+            src.push_str("path(X, Y) :- edge(X, Y).\npath(X, Y) :- edge(X, Z), path(Z, Y).\n");
+            parse_program(&src).expect("generated program parses")
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        #[test]
+        fn interned_engine_matches_seed_outcome_for_outcome(kb in program_strategy()) {
+            // Bound starts, open ends, ground checks, and an all-variable
+            // query: same solutions, same order, same truncation flag.
+            for query in [
+                "path(c0, X)",
+                "path(c3, X)",
+                "path(c1, c4)",
+                "path(X, Y)",
+                "edge(X, c2)",
+            ] {
+                let goal = parse_query(query).expect("static query");
+                prop_assert_eq!(
+                    kb.solve_with(&goal, CONFIG),
+                    kb.solve_seed_with(&goal, CONFIG),
+                    "query {}", query
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deep_chains_resolve_without_overflowing_the_stack() {
+        // The old `assert!` here is the seed engine's call stack: a
+        // derivation tens of thousands of steps deep is exactly what the
+        // interned machine's explicit goal stack exists for.
+        let n = 30_000usize;
+        let mut src = String::new();
+        for i in 0..n - 1 {
+            src.push_str(&format!("edge(c{i}, c{}).\n", i + 1));
+        }
+        src.push_str("path(X, Y) :- edge(X, Y).\npath(X, Y) :- edge(X, Z), path(Z, Y).\n");
+        let kb = parse_program(&src).unwrap();
+        let goal = parse_query(&format!("path(c0, c{})", n - 1)).unwrap();
+        let out = kb.solve_with(
+            &goal,
+            SolveConfig {
+                max_depth: 3 * n,
+                max_work: 50 * n,
+                max_solutions: 1,
+            },
+        );
+        assert!(out.succeeded());
+        assert!(!out.truncated);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CSR LTL checking: the closure-table plane against the seed trace
+// checker, result for result, on fuzzed Kripke structures and formulas.
+// ---------------------------------------------------------------------------
+
+mod ltl_props {
+    use casekit::logic::ltl::{Kripke, Ltl};
+    use proptest::prelude::*;
+
+    /// Strategy: LTL formulas to nesting depth 4 over `a`/`b`/`c` — plus
+    /// the never-labelled `d`, which the CSR plane must compile to false
+    /// exactly like the trace evaluator treats an absent proposition.
+    fn ltl_strategy() -> impl Strategy<Value = Ltl> {
+        let leaf = prop_oneof![
+            Just(Ltl::True),
+            Just(Ltl::False),
+            prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")].prop_map(Ltl::prop),
+        ];
+        leaf.prop_recursive(4, 24, 2, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(Ltl::not),
+                (inner.clone(), inner.clone()).prop_map(|(p, q)| p.and(q)),
+                (inner.clone(), inner.clone()).prop_map(|(p, q)| p.or(q)),
+                (inner.clone(), inner.clone()).prop_map(|(p, q)| p.implies(q)),
+                inner.clone().prop_map(Ltl::next),
+                inner.clone().prop_map(Ltl::finally),
+                inner.clone().prop_map(Ltl::globally),
+                (inner.clone(), inner.clone()).prop_map(|(p, q)| p.until(q)),
+                (inner.clone(), inner).prop_map(|(p, q)| p.release(q)),
+            ]
+        })
+    }
+
+    /// Strategy: a Kripke structure of up to 8 states labelled over
+    /// `a`/`b`/`c`, with a random transition relation (deadlocks and
+    /// self-loops included) and state 0 always initial.
+    fn kripke_strategy() -> impl Strategy<Value = Kripke> {
+        (1usize..9).prop_flat_map(|n| {
+            (
+                proptest::collection::vec(proptest::collection::vec(0usize..3, 0..3), n..n + 1),
+                proptest::collection::vec((0..n, 0..n), 0..2 * n + 1),
+                proptest::collection::vec(0..n, 0..3),
+            )
+                .prop_map(|(labels, transitions, extra_initial)| {
+                    let names = ["a", "b", "c"];
+                    let mut k = Kripke::new();
+                    let states: Vec<_> = labels
+                        .iter()
+                        .map(|ps| k.add_state(ps.iter().map(|&p| names[p])))
+                        .collect();
+                    for (from, to) in transitions {
+                        k.add_transition(states[from], states[to])
+                            .expect("in range");
+                    }
+                    k.add_initial(states[0]).expect("in range");
+                    for s in extra_initial {
+                        k.add_initial(states[s]).expect("in range");
+                    }
+                    k
+                })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+
+        #[test]
+        fn csr_checker_matches_trace_checker_result_for_result(
+            k in kripke_strategy(),
+            f in ltl_strategy(),
+        ) {
+            // Identical verdicts AND identical counterexample lassos:
+            // the CSR plane visits candidates in the oracle's order.
+            prop_assert_eq!(k.check_bounded(&f, 6), k.check_bounded_naive(&f, 6));
+        }
+    }
+}
+
 mod af_props {
     use casekit::logic::af::scc::Decomposed;
     use casekit::logic::af::{naive, ArgId, Framework};

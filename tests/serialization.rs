@@ -75,8 +75,9 @@ fn narrative_json_round_trip() {
     n.initiates(
         parse_term("grant(U)").unwrap(),
         parse_term("access(U)").unwrap(),
-    );
-    n.happens(parse_term("grant(alice)").unwrap(), 2);
+    )
+    .unwrap();
+    n.happens(parse_term("grant(alice)").unwrap(), 2).unwrap();
     let json = serde_json::to_string(&n).unwrap();
     let back: Narrative = serde_json::from_str(&json).unwrap();
     assert_eq!(n, back);
