@@ -1,0 +1,164 @@
+//! Witness reuse for the logical passes.
+//!
+//! Most solver questions the lint passes ask are *satisfiability*
+//! questions whose expected answer is SAT: "are the premises
+//! consistent?", "is the conclusion falsifiable?", "does the argument
+//! survive dropping premise `i`?". A CDCL call answers each in tens of
+//! microseconds — but a model found for one question very often
+//! answers several of the others outright, because a single total
+//! assignment can simultaneously witness many assumption sets.
+//!
+//! [`WitnessPool`] exploits that: every satisfiable solver call stores
+//! its full model ([`Theory::witness_under`]), and every later check
+//! first scans the stored witnesses, evaluating just the assumption
+//! literals (one array read each). A hit proves SAT without touching
+//! the solver; only misses — including every genuinely UNSAT question
+//! — pay for a real search. This is the classic model-reuse trick from
+//! SAT sweeping, and it is *answer-invariant*: a witness hit returns
+//! `true` exactly when the solver would, so diagnostics are
+//! byte-identical with or without the pool.
+//!
+//! Witness validity across a session: learned clauses are consequences
+//! of the database (every stored model still satisfies them), and
+//! Tseitin definitions added later only constrain variables the stored
+//! witnesses do not cover — [`WitnessPool::covers`] rejects any
+//! assumption over a variable newer than the witness, so stale hits
+//! are impossible.
+
+use casekit_fallacies::formal::SatOracle;
+use casekit_logic::prop::{Lit, Theory};
+
+/// A pool of total assignments known to satisfy the session's clause
+/// database, reused across a lint run's satisfiability checks —
+/// together with the dual cache: assumption sets proven unsatisfiable,
+/// which answer any superset question UNSAT for free (adding
+/// assumptions can only preserve unsatisfiability).
+#[derive(Debug, Default)]
+pub(crate) struct WitnessPool {
+    witnesses: Vec<Vec<bool>>,
+    /// Assumption sets proven UNSAT, stored as sorted literal codes.
+    unsat_cores: Vec<Vec<usize>>,
+    /// Solver calls actually paid (diagnostic counters for tests).
+    pub(crate) solver_calls: usize,
+    /// Checks answered from a stored witness or unsat set.
+    pub(crate) witness_hits: usize,
+}
+
+impl WitnessPool {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether `witness` proves the assumption set satisfiable: every
+    /// assumption literal must be within the witness and true under it.
+    fn covers(witness: &[bool], assumptions: &[Lit]) -> bool {
+        assumptions.iter().all(|lit| {
+            witness
+                .get(lit.var().index())
+                .is_some_and(|&v| v == lit.is_positive())
+        })
+    }
+
+    /// `Theory::check_under(assumptions)`, answered from a stored
+    /// witness (SAT) or a subsumed unsat set (UNSAT) when possible, and
+    /// from a real solver call — whose model or assumption set joins
+    /// the pool — otherwise. Returns exactly what `check_under` would.
+    pub(crate) fn check(&mut self, theory: &mut Theory, assumptions: &[Lit]) -> bool {
+        if self.witnesses.iter().any(|w| Self::covers(w, assumptions)) {
+            self.witness_hits += 1;
+            return true;
+        }
+        let mut codes: Vec<usize> = assumptions.iter().map(|l| l.code()).collect();
+        codes.sort_unstable();
+        if self
+            .unsat_cores
+            .iter()
+            .any(|core| is_sorted_subset(core, &codes))
+        {
+            self.witness_hits += 1;
+            return false;
+        }
+        self.solver_calls += 1;
+        match theory.witness_under(assumptions.iter().copied()) {
+            Some(witness) => {
+                self.witnesses.push(witness);
+                true
+            }
+            None => {
+                self.unsat_cores.push(codes);
+                false
+            }
+        }
+    }
+}
+
+impl SatOracle for WitnessPool {
+    fn sat_check(&mut self, theory: &mut Theory, assumptions: &[Lit]) -> bool {
+        self.check(theory, assumptions)
+    }
+}
+
+/// Whether sorted `needle` is a subset of sorted `haystack`.
+fn is_sorted_subset(needle: &[usize], haystack: &[usize]) -> bool {
+    let mut it = haystack.iter();
+    needle.iter().all(|n| it.by_ref().any(|h| h == n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casekit_logic::prop::parse;
+
+    fn theory_of(srcs: &[&str]) -> Theory {
+        let mut t = Theory::new();
+        for src in srcs {
+            let f = parse(src).unwrap();
+            t.assert_formula(&f);
+        }
+        t
+    }
+
+    #[test]
+    fn witness_answers_follow_the_solver() {
+        let mut t = theory_of(&["p -> q"]);
+        let p = t.formula_lit(&parse("p").unwrap());
+        let q = t.formula_lit(&parse("q").unwrap());
+        let mut pool = WitnessPool::new();
+        assert!(pool.check(&mut t, &[p]));
+        assert!(pool.check(&mut t, &[p, q]));
+        assert!(!pool.check(&mut t, &[p, !q]));
+        // Same answers as the raw session.
+        assert!(t.check_under([p]));
+        assert!(t.check_under([p, q]));
+        assert!(!t.check_under([p, !q]));
+    }
+
+    #[test]
+    fn compatible_questions_reuse_a_witness() {
+        let mut t = theory_of(&["a & b & c"]);
+        let a = t.formula_lit(&parse("a").unwrap());
+        let b = t.formula_lit(&parse("b").unwrap());
+        let c = t.formula_lit(&parse("c").unwrap());
+        let mut pool = WitnessPool::new();
+        assert!(pool.check(&mut t, &[a]));
+        assert!(pool.check(&mut t, &[b]));
+        assert!(pool.check(&mut t, &[c]));
+        assert!(pool.check(&mut t, &[a, b, c]));
+        assert_eq!(pool.solver_calls, 1, "one model answers all four");
+        assert_eq!(pool.witness_hits, 3);
+    }
+
+    #[test]
+    fn new_variables_never_hit_stale_witnesses() {
+        let mut t = theory_of(&["p"]);
+        let p = t.formula_lit(&parse("p").unwrap());
+        let mut pool = WitnessPool::new();
+        assert!(pool.check(&mut t, &[p]));
+        // A fresh variable introduced after the stored witness: the
+        // bounds check forces a real solver call for both polarities.
+        let r = t.formula_lit(&parse("r").unwrap());
+        let calls = pool.solver_calls;
+        assert!(pool.check(&mut t, &[!r]));
+        assert_eq!(pool.solver_calls, calls + 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests for the lint engine.
+//!
+//! Two invariants ride on randomly generated assurance cases:
+//!
+//! 1. **Determinism.** The diagnostic stream for a corpus is identical
+//!    across repeated runs and across every runtime worker count — the
+//!    `diagnostics_agree` gate of `BENCH_lint.json`, exercised over
+//!    arbitrary formal content rather than the bench's fixed corpus.
+//! 2. **Redundant-premise differential.** CK104 agrees with a naive
+//!    oracle that enumerates premise subsets with the formula-level
+//!    truth-table/DPLL check, gated exactly as the pass documents:
+//!    only consistent, entailed steps are examined for idle premises.
+
+use casekit_analysis::{lint_source, lint_sources, LintCode, LintConfig};
+use casekit_logic::prop::Formula;
+use casekit_runtime::Runtime;
+use proptest::prelude::*;
+
+/// Arbitrary propositional formulas over a small atom alphabet, kept
+/// shallow so each lint run stays microseconds-scale.
+fn formula_strategy() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::True),
+        Just(Formula::False),
+        prop_oneof![Just("p"), Just("q"), Just("r"), Just("s")].prop_map(Formula::atom),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Formula::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.implies(b)),
+        ]
+    })
+}
+
+/// A random single-step case: `conclusion` at the root, one strategy,
+/// one formal premise goal per formula, each closed with a solution.
+fn case_strategy() -> impl Strategy<Value = (Vec<Formula>, Formula)> {
+    (
+        collection::vec(formula_strategy(), 1..4),
+        formula_strategy(),
+    )
+}
+
+/// Renders the generated step as DSL source — the same shape the bench
+/// corpus uses, so the engine's premise/conclusion literals line up
+/// with `premises`/`conclusion` by construction.
+fn render_case(premises: &[Formula], conclusion: &Formula) -> String {
+    use std::fmt::Write as _;
+    let mut src = String::new();
+    let _ = writeln!(src, "argument \"prop\" {{");
+    let _ = writeln!(src, "  goal g0 \"top claim\" formal \"{conclusion}\" {{");
+    let _ = writeln!(src, "    strategy s0 \"decompose\" {{");
+    for (i, premise) in premises.iter().enumerate() {
+        let _ = writeln!(
+            src,
+            "      goal pr{i} \"premise {i}\" formal \"{premise}\" {{ solution ev{i} \"evidence record {i}\" }}"
+        );
+    }
+    let _ = writeln!(src, "    }}");
+    let _ = writeln!(src, "  }}");
+    let _ = writeln!(src, "}}");
+    src
+}
+
+fn conjunction<'f>(formulas: impl Iterator<Item = &'f Formula>) -> Formula {
+    formulas.fold(Formula::True, |acc, f| acc.and(f.clone()))
+}
+
+/// `premises ⊨ conclusion`, decided at the [`Formula`] level — an
+/// implementation wholly independent of the lint engine's shared CDCL
+/// session and witness pool.
+fn entails(premises: &[&Formula], conclusion: &Formula) -> bool {
+    !conjunction(premises.iter().copied())
+        .and(conclusion.clone().not())
+        .is_satisfiable()
+}
+
+/// The naive CK104 oracle: enumerate the drop-one premise subsets and
+/// report every index whose removal leaves the conclusion entailed,
+/// under the pass's gates (consistent premises, entailed conclusion).
+fn naive_redundant(premises: &[Formula], conclusion: &Formula) -> Vec<usize> {
+    let all: Vec<&Formula> = premises.iter().collect();
+    if !conjunction(all.iter().copied()).is_satisfiable() {
+        return Vec::new(); // CK101 territory, no redundancy verdicts.
+    }
+    if !entails(&all, conclusion) {
+        return Vec::new(); // CK107 territory.
+    }
+    (0..premises.len())
+        .filter(|&i| {
+            let rest: Vec<&Formula> = premises
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, f)| f)
+                .collect();
+            entails(&rest, conclusion)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The engine's CK104 verdicts equal the subset-enumeration oracle's.
+    #[test]
+    fn redundant_premise_lint_matches_naive_oracle(case in case_strategy()) {
+        let (premises, conclusion) = case;
+        let src = render_case(&premises, &conclusion);
+        let diagnostics = lint_source(&src, &LintConfig::new()).expect("rendered case parses");
+        let mut flagged: Vec<usize> = diagnostics
+            .iter()
+            .filter(|d| d.code == LintCode::RedundantPremise)
+            .map(|d| {
+                let id = d.primary.as_ref().expect("CK104 anchors to the premise");
+                id.as_str()
+                    .strip_prefix("pr")
+                    .and_then(|n| n.parse().ok())
+                    .expect("CK104 primary is a premise goal")
+            })
+            .collect();
+        flagged.sort_unstable();
+        prop_assert_eq!(flagged, naive_redundant(&premises, &conclusion));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// One corpus, many runtimes: the diagnostic stream is byte-identical
+    /// across repeated runs and across every worker count.
+    #[test]
+    fn diagnostics_deterministic_across_worker_counts(
+        cases in collection::vec(case_strategy(), 1..4)
+    ) {
+        let sources: Vec<String> = cases
+            .iter()
+            .map(|(premises, conclusion)| render_case(premises, conclusion))
+            .collect();
+        let config = LintConfig::new();
+        let reference = lint_sources(&sources, &config, &Runtime::serial())
+            .expect("rendered corpus parses");
+        // Repeated serial run: pure determinism.
+        let again = lint_sources(&sources, &config, &Runtime::serial())
+            .expect("rendered corpus parses");
+        prop_assert_eq!(&reference, &again);
+        // Any worker count: scheduling must not reorder or change anything.
+        for workers in [2, 3, 5] {
+            let parallel = lint_sources(&sources, &config, &Runtime::with_workers(workers))
+                .expect("rendered corpus parses");
+            prop_assert_eq!(&reference, &parallel, "workers = {}", workers);
+        }
+    }
+}

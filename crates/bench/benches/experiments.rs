@@ -1,6 +1,9 @@
 //! Benchmarks of the five §VI studies at reduced scale (Criterion runs
 //! each body many times; the default configs are for the `repro` binary).
 
+// `criterion_group!`/`criterion_main!` expand to undocumented harness fns.
+#![allow(missing_docs)]
+
 use casekit_experiments::runtime::Runtime;
 use casekit_experiments::{exp_a, exp_b, exp_c, exp_d, exp_e};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -14,7 +17,7 @@ fn bench_exp_a(c: &mut Criterion) {
         seed: 0xA,
     };
     c.bench_function("exp_a_review_study", |b| {
-        b.iter(|| exp_a::run(black_box(&config)).unwrap())
+        b.iter(|| exp_a::run(black_box(&config)).unwrap());
     });
 }
 
@@ -25,7 +28,7 @@ fn bench_exp_b(c: &mut Criterion) {
         seed: 0xB,
     };
     c.bench_function("exp_b_formalisation_effort", |b| {
-        b.iter(|| exp_b::run(black_box(&config)).unwrap())
+        b.iter(|| exp_b::run(black_box(&config)).unwrap());
     });
 }
 
@@ -37,7 +40,7 @@ fn bench_exp_c(c: &mut Criterion) {
         seed: 0xC,
     };
     c.bench_function("exp_c_reading_audience", |b| {
-        b.iter(|| exp_c::run(black_box(&config)).unwrap())
+        b.iter(|| exp_c::run(black_box(&config)).unwrap());
     });
 }
 
@@ -48,7 +51,7 @@ fn bench_exp_d(c: &mut Criterion) {
         seed: 0xD,
     };
     c.bench_function("exp_d_pattern_instantiation", |b| {
-        b.iter(|| exp_d::run(black_box(&config)).unwrap())
+        b.iter(|| exp_d::run(black_box(&config)).unwrap());
     });
 }
 
@@ -59,7 +62,7 @@ fn bench_exp_e(c: &mut Criterion) {
         seed: 0xE,
     };
     c.bench_function("exp_e_sufficiency_judgments", |b| {
-        b.iter(|| exp_e::run(black_box(&config)).unwrap())
+        b.iter(|| exp_e::run(black_box(&config)).unwrap());
     });
 }
 
@@ -72,7 +75,7 @@ fn bench_exp_a_parallel_runtime(c: &mut Criterion) {
     };
     let runtime = Runtime::default();
     c.bench_function("exp_a_review_study_parallel", |b| {
-        b.iter(|| exp_a::run_with(black_box(&config), &runtime).unwrap())
+        b.iter(|| exp_a::run_with(black_box(&config), &runtime).unwrap());
     });
 }
 

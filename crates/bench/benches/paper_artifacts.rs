@@ -3,6 +3,9 @@
 //! Each iteration runs the full generating pipeline, so these double as
 //! end-to-end smoke tests under measurement.
 
+// `criterion_group!`/`criterion_main!` expand to undocumented harness fns.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -12,13 +15,13 @@ fn bench_table_i(c: &mut Criterion) {
             let pool = casekit_survey::corpus::raw_pool();
             let phase1 = casekit_survey::selection::phase1(black_box(&pool));
             casekit_survey::tables::table_i(&phase1)
-        })
+        });
     });
 }
 
 fn bench_claims(c: &mut Criterion) {
     c.bench_function("claims_aggregates", |b| {
-        b.iter(casekit_survey::characterise::aggregates)
+        b.iter(casekit_survey::characterise::aggregates);
     });
 }
 
@@ -26,7 +29,7 @@ fn bench_figure_1(c: &mut Criterion) {
     let kb = casekit_logic::fol::desert_bank_kb();
     let goal = casekit_logic::fol::parse_query("adjacent(desert_bank, river)").unwrap();
     c.bench_function("figure_1_derivation", |b| {
-        b.iter(|| black_box(&kb).proves(black_box(&goal)))
+        b.iter(|| black_box(&kb).proves(black_box(&goal)));
     });
     c.bench_function("figure_1_sort_lints", |b| {
         b.iter(|| {
@@ -34,7 +37,7 @@ fn bench_figure_1(c: &mut Criterion) {
                 casekit_logic::sorts::SortRegistry::infer_conflicts(black_box(&kb)),
                 casekit_logic::sorts::SortRegistry::infer_conflicts_linked(black_box(&kb)),
             )
-        })
+        });
     });
 }
 
@@ -43,7 +46,7 @@ fn bench_haley(c: &mut Criterion) {
         b.iter(|| {
             let proof = casekit_logic::nd::Proof::haley_example();
             proof.check().map(|()| proof.len())
-        })
+        });
     });
 }
 
@@ -59,7 +62,7 @@ fn bench_greenwell(c: &mut Criterion) {
                         .len()
                 })
                 .sum::<usize>()
-        })
+        });
     });
 }
 

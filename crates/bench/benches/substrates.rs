@@ -3,6 +3,9 @@
 //! query evaluation. These bound the cost of "mechanical validation" that
 //! the paper's cost-benefit question turns on.
 
+// `criterion_group!`/`criterion_main!` expand to undocumented harness fns.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
@@ -18,31 +21,31 @@ fn chain_formula(n: usize) -> casekit_logic::prop::Formula {
 fn bench_sat(c: &mut Criterion) {
     let unsat = chain_formula(40);
     c.bench_function("dpll_chain_40_unsat", |b| {
-        b.iter(|| casekit_logic::prop::dpll(black_box(&unsat)))
+        b.iter(|| casekit_logic::prop::dpll(black_box(&unsat)));
     });
     c.bench_function("dpll_chain_40_unsat_legacy", |b| {
-        b.iter(|| casekit_logic::prop::legacy::dpll(black_box(&unsat)))
+        b.iter(|| casekit_logic::prop::legacy::dpll(black_box(&unsat)));
     });
     let wide = casekit_logic::prop::parse(
         "(a | b | c) & (~a | d) & (~b | d) & (~c | d) & (d -> e & f) & (~e | ~g) & (g | h)",
     )
     .unwrap();
     c.bench_function("dpll_wide_sat", |b| {
-        b.iter(|| casekit_logic::prop::dpll(black_box(&wide)))
+        b.iter(|| casekit_logic::prop::dpll(black_box(&wide)));
     });
     // Session reuse: the chain theory compiled once, the endpoint
     // queried per iteration — the batch path's unit of work.
     let mut theory = casekit_logic::prop::Theory::new();
     theory.assert_formula(&chain_formula(40));
     c.bench_function("solver_session_chain_40_check", |b| {
-        b.iter(|| black_box(&mut theory).check())
+        b.iter(|| black_box(&mut theory).check());
     });
 }
 
 fn bench_resolution(c: &mut Criterion) {
     let cs = chain_formula(10).to_cnf();
     c.bench_function("resolution_chain_10", |b| {
-        b.iter(|| casekit_logic::prop::resolution_refute(black_box(&cs), 100_000))
+        b.iter(|| casekit_logic::prop::resolution_refute(black_box(&cs), 100_000));
     });
 }
 
@@ -61,12 +64,12 @@ fn bench_sld(c: &mut Criterion) {
     .unwrap();
     let goal = casekit_logic::fol::parse_query("ancestor(a0, a8)").unwrap();
     c.bench_function("sld_ancestor_depth_8", |b| {
-        b.iter(|| black_box(&kb).proves(black_box(&goal)))
+        b.iter(|| black_box(&kb).proves(black_box(&goal)));
     });
     let desert = casekit_logic::fol::desert_bank_kb();
     let bank_goal = casekit_logic::fol::parse_query("adjacent(desert_bank, river)").unwrap();
     c.bench_function("sld_desert_bank", |b| {
-        b.iter(|| black_box(&desert).proves(black_box(&bank_goal)))
+        b.iter(|| black_box(&desert).proves(black_box(&bank_goal)));
     });
 }
 
@@ -91,7 +94,7 @@ fn bench_ltl(c: &mut Criterion) {
     k.add_initial(states[0]).unwrap();
     let f = parse_ltl("G (request -> F grant)").unwrap();
     c.bench_function("ltl_check_ring_8", |b| {
-        b.iter(|| black_box(&k).check_bounded(black_box(&f), 16))
+        b.iter(|| black_box(&k).check_bounded(black_box(&f), 16));
     });
 }
 
@@ -103,7 +106,7 @@ fn bench_patterns(c: &mut Criterion) {
         ParamValue::List((0..20).map(|i| format!("hazard {i}").into()).collect()),
     );
     c.bench_function("pattern_instantiate_20_hazards", |b| {
-        b.iter(|| black_box(&pattern).instantiate(black_box(&binding)))
+        b.iter(|| black_box(&pattern).instantiate(black_box(&binding)));
     });
 }
 
@@ -117,7 +120,7 @@ fn bench_dsl_and_query(c: &mut Criterion) {
     }
     src.push_str("}\n}\n");
     c.bench_function("dsl_parse_60_nodes", |b| {
-        b.iter(|| casekit_core::dsl::parse_argument(black_box(&src)))
+        b.iter(|| casekit_core::dsl::parse_argument(black_box(&src)));
     });
 
     let arg = casekit_core::dsl::parse_argument(&src).unwrap();
@@ -144,7 +147,7 @@ fn bench_dsl_and_query(c: &mut Criterion) {
             || (),
             |()| black_box(&q).run(black_box(&arg), black_box(&store)),
             BatchSize::SmallInput,
-        )
+        );
     });
 }
 
@@ -167,7 +170,7 @@ fn bench_graph(c: &mut Criterion) {
                 total += arg.parents_idx(idx).count();
             }
             total
-        })
+        });
     });
     c.bench_function("graph_10k_children_parents_flatscan_200", |b| {
         b.iter(|| {
@@ -177,20 +180,20 @@ fn bench_graph(c: &mut Criterion) {
                 total += flat.parents_count(id);
             }
             total
-        })
+        });
     });
     c.bench_function("graph_10k_full_sweep_indexed", |b| {
-        b.iter(|| casekit_bench::graph::indexed_structural_sweep(black_box(&arg)))
+        b.iter(|| casekit_bench::graph::indexed_structural_sweep(black_box(&arg)));
     });
     c.bench_function("graph_10k_reachable_from_root", |b| {
         let root = arg.roots_idx().next().unwrap();
-        b.iter(|| arg.reachable_from(black_box(root)).len())
+        b.iter(|| arg.reachable_from(black_box(root)).len());
     });
     c.bench_function("graph_10k_is_acyclic", |b| {
-        b.iter(|| black_box(&arg).is_acyclic())
+        b.iter(|| black_box(&arg).is_acyclic());
     });
     c.bench_function("graph_10k_build", |b| {
-        b.iter(|| casekit_bench::graph::synthetic_argument(black_box(10_000)).len())
+        b.iter(|| casekit_bench::graph::synthetic_argument(black_box(10_000)).len());
     });
 }
 
@@ -205,7 +208,7 @@ fn bench_logic_core(c: &mut Criterion) {
                 .iter()
                 .map(casekit_bench::logic::LegacyEntailment::sweep)
                 .count()
-        })
+        });
     });
     c.bench_function("logic_24_theories_sweep_interned", |b| {
         b.iter(|| {
@@ -213,14 +216,14 @@ fn bench_logic_core(c: &mut Criterion) {
                 .iter()
                 .map(casekit_bench::logic::interned_sweep)
                 .count()
-        })
+        });
     });
     // One argument compiled once, every question re-asked per iteration:
     // the marginal cost of a query once compilation is paid.
     let argument = casekit_bench::logic::seeded_population(1, 0xBE7C).remove(0);
     let mut theory = casekit_core::semantics::ArgumentTheory::compile(&argument);
     c.bench_function("logic_compiled_theory_root_entailed", |b| {
-        b.iter(|| black_box(&mut theory).root_entailed())
+        b.iter(|| black_box(&mut theory).root_entailed());
     });
 }
 
@@ -230,10 +233,10 @@ fn bench_cdcl_hard(c: &mut Criterion) {
     // population measures the full three-engine population).
     let inst = casekit_bench::logic::hard_instance(12, 4, false);
     c.bench_function("hard_chain12_php4_cdcl", |b| {
-        b.iter(|| casekit_bench::logic::solve_hard_cdcl(black_box(&inst)))
+        b.iter(|| casekit_bench::logic::solve_hard_cdcl(black_box(&inst)));
     });
     c.bench_function("hard_chain12_php4_dpll", |b| {
-        b.iter(|| casekit_bench::logic::solve_hard_dpll(black_box(&inst)))
+        b.iter(|| casekit_bench::logic::solve_hard_dpll(black_box(&inst)));
     });
 }
 
@@ -244,18 +247,18 @@ fn bench_af(c: &mut Criterion) {
     // SAT path alone at a size the enumerator cannot reach.
     let smoke = casekit_bench::af::random_framework(12, 24, 0xAF);
     c.bench_function("af_12_args_semantics_naive", |b| {
-        b.iter(|| casekit_bench::af::naive_sweep(black_box(&smoke)))
+        b.iter(|| casekit_bench::af::naive_sweep(black_box(&smoke)));
     });
     c.bench_function("af_12_args_semantics_sat", |b| {
-        b.iter(|| casekit_bench::af::sat_sweep(black_box(&smoke)))
+        b.iter(|| casekit_bench::af::sat_sweep(black_box(&smoke)));
     });
     let large = casekit_bench::af::random_framework(200, 400, 0xAF);
     c.bench_function("af_200_args_preferred_sat", |b| {
-        b.iter(|| black_box(&large).preferred_extensions())
+        b.iter(|| black_box(&large).preferred_extensions());
     });
     let chain = casekit_bench::af::chain_framework(2_000);
     c.bench_function("af_2000_chain_grounded_csr", |b| {
-        b.iter(|| black_box(&chain).grounded_extension())
+        b.iter(|| black_box(&chain).grounded_extension());
     });
 }
 
@@ -272,16 +275,16 @@ fn bench_fol_engines(c: &mut Criterion) {
         max_solutions: 8,
     };
     c.bench_function("fol_200_consts_path_seed", |b| {
-        b.iter(|| black_box(&kb).solve_seed_with(black_box(&goal), config))
+        b.iter(|| black_box(&kb).solve_seed_with(black_box(&goal), config));
     });
     c.bench_function("fol_200_consts_path_interned", |b| {
-        b.iter(|| InternedKb::compile(black_box(&kb)).solve_with(black_box(&goal), config))
+        b.iter(|| InternedKb::compile(black_box(&kb)).solve_with(black_box(&goal), config));
     });
     // Compilation paid once, queries re-asked per iteration: the
     // marginal cost of a query against a standing index.
     let mut compiled = InternedKb::compile(&kb);
     c.bench_function("fol_200_consts_path_compiled_query", |b| {
-        b.iter(|| black_box(&mut compiled).solve_with(black_box(&goal), config))
+        b.iter(|| black_box(&mut compiled).solve_with(black_box(&goal), config));
     });
 }
 
@@ -293,17 +296,17 @@ fn bench_ltl_engines(c: &mut Criterion) {
     let k = casekit_bench::ltl::random_kripke(10, 30, 3, 10);
     let f = parse_ltl("G (F (tick & X (tick U tick)))").unwrap();
     c.bench_function("ltl_10_states_nested_naive", |b| {
-        b.iter(|| black_box(&k).check_bounded_naive(black_box(&f), 10))
+        b.iter(|| black_box(&k).check_bounded_naive(black_box(&f), 10));
     });
     c.bench_function("ltl_10_states_nested_csr", |b| {
-        b.iter(|| black_box(&k).check_bounded(black_box(&f), 10))
+        b.iter(|| black_box(&k).check_bounded(black_box(&f), 10));
     });
     // Structure and formula compiled once, the check re-run per
     // iteration: the marginal cost against a standing CSR plane.
     let csr = CsrKripke::compile(&k);
     let compiled = CompiledLtl::compile(&f, &csr);
     c.bench_function("ltl_10_states_nested_compiled_check", |b| {
-        b.iter(|| black_box(&csr).check_bounded(black_box(&compiled), 10))
+        b.iter(|| black_box(&csr).check_bounded(black_box(&compiled), 10));
     });
 }
 

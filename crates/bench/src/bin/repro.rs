@@ -5,7 +5,7 @@
 //! ```text
 //! repro [table1 | claims | figure1 | haley | greenwell |
 //!        exp-a | exp-b | exp-c | exp-d | exp-e | graph | logic |
-//!        af | fol | ltl | experiments | all] [--smoke]
+//!        af | fol | ltl | experiments | lint | all] [--smoke]
 //! ```
 //!
 //! `graph` additionally writes the measured legacy-vs-indexed graph-core
@@ -16,8 +16,10 @@
 //! argumentation-framework comparison (`BENCH_af.json`), `fol` for the
 //! seed-vs-interned resolution-engine comparison (`BENCH_fol.json`),
 //! `ltl` for the trace-vs-CSR bounded-checking comparison
-//! (`BENCH_ltl.json`), and `experiments` for the serial-vs-parallel
-//! experiment runtime (`BENCH_experiments.json`).
+//! (`BENCH_ltl.json`), `experiments` for the serial-vs-parallel
+//! experiment runtime (`BENCH_experiments.json`), and `lint` for the
+//! recompile-per-lint-vs-compile-once CaseLint comparison
+//! (`BENCH_lint.json`).
 //!
 //! `--smoke` runs the benchmark artifacts on small fixed-seed
 //! populations and writes them as `BENCH_*.smoke.json` instead — fast,
@@ -56,11 +58,11 @@ fn main() {
     if smoke
         && !matches!(
             arg.as_str(),
-            "graph" | "logic" | "af" | "fol" | "ltl" | "experiments"
+            "graph" | "logic" | "af" | "fol" | "ltl" | "experiments" | "lint"
         )
     {
         eprintln!(
-            "--smoke only applies to the graph, logic, af, fol, ltl, and experiments artefacts"
+            "--smoke only applies to the graph, logic, af, fol, ltl, experiments, and lint artefacts"
         );
         std::process::exit(2);
     }
@@ -182,11 +184,22 @@ fn main() {
             write_artifact(path, &bench::experiments::bench_experiments_json(&report));
             bench::experiments::render_report(&report)
         }
+        "lint" => {
+            let (config, path) = if smoke {
+                (bench::lint::smoke_config(), "BENCH_lint.smoke.json")
+            } else {
+                (bench::lint::scaled_config(), "BENCH_lint.json")
+            };
+            let report =
+                bench::lint::run_lint_bench_with(&config, bench::experiments_bench_workers());
+            write_artifact(path, &bench::lint::bench_lint_json(&report));
+            bench::lint::render_report(&report)
+        }
         "all" => bench::all(),
         other => {
             eprintln!(
                 "unknown artefact `{other}`; expected table1, claims, figure1, haley, \
-                 greenwell, exp-a..exp-e, graph, logic, af, fol, ltl, experiments, or all"
+                 greenwell, exp-a..exp-e, graph, logic, af, fol, ltl, experiments, lint, or all"
             );
             std::process::exit(2);
         }

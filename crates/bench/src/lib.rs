@@ -4,6 +4,8 @@
 //! Graydon (DSN 2015), shared by the `repro` binary and the Criterion
 //! benches. See EXPERIMENTS.md for the paper-vs-measured record.
 
+#![forbid(unsafe_code)]
+
 use casekit_experiments::runtime::Runtime;
 use casekit_experiments::{exp_a, exp_b, exp_c, exp_d, exp_e};
 use casekit_fallacies::checker::check_argument;
@@ -17,6 +19,7 @@ pub mod af;
 pub mod experiments;
 pub mod fol;
 pub mod graph;
+pub mod lint;
 pub mod logic;
 pub mod ltl;
 
@@ -225,6 +228,14 @@ pub fn ltl_bench() -> String {
     ltl::render_report(&report)
 }
 
+/// Runs the CaseLint comparison (full lint-pass set over the synthetic
+/// defect corpus, recompile-per-lint vs compile-once sweep) and renders
+/// the summary. The JSON artifact is written by `repro lint`.
+pub fn lint_bench() -> String {
+    let report = lint::run_lint_bench(experiments_bench_workers());
+    lint::render_report(&report)
+}
+
 /// Runs the experiment-runtime comparison (scaled §VI-A population,
 /// legacy vs cached-serial vs parallel) and renders the summary. The
 /// JSON artifact is written by `repro experiments`.
@@ -264,6 +275,7 @@ pub fn all() -> String {
         fol_bench(),
         ltl_bench(),
         experiments_bench(),
+        lint_bench(),
     ] {
         out.push_str(&section);
         out.push('\n');

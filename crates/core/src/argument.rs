@@ -235,7 +235,7 @@ impl Argument {
             }
         }
         let mut endpoints = Vec::with_capacity(edges.len());
-        let mut seen_edges = std::collections::HashSet::with_capacity(edges.len());
+        let mut seen_edges = HashSet::with_capacity(edges.len());
         for edge in &edges {
             let from = *index
                 .get(&edge.from)
@@ -700,7 +700,7 @@ impl ArgumentBuilder {
         }
         let idx = NodeIdx::new(self.nodes.len());
         if self.index.insert(node.id.clone(), idx).is_some() {
-            self.error = Some(ArgumentError::DuplicateId(node.id.clone()));
+            self.error = Some(ArgumentError::DuplicateId(node.id));
             return self;
         }
         self.nodes.push(node);
@@ -992,8 +992,8 @@ mod tests {
 
     #[test]
     fn node_mut_allows_enrichment() {
-        let mut a = sample();
         use casekit_logic::prop::parse;
+        let mut a = sample();
         a.node_mut(&"g2".into()).unwrap().formal = Some(crate::node::FormalPayload::Prop(
             parse("h1_mitigated").unwrap(),
         ));

@@ -156,12 +156,27 @@ pub fn generate_abstracted(
     proof: &Proof,
     style: ProofStyle,
 ) -> Result<Argument, casekit_logic::LogicError> {
+    use crate::argument::NodeIdx;
+
+    // Resolve an edge target across removed goals: a removed goal stands
+    // for whatever its (single) child strategy supported.
+    fn resolve(full: &Argument, removable: &[bool], idx: NodeIdx, out: &mut Vec<NodeIdx>) {
+        if !removable[idx.index()] {
+            out.push(idx);
+            return;
+        }
+        for strategy in full.all_children_idx(idx) {
+            for grandchild in full.all_children_idx(strategy) {
+                resolve(full, removable, grandchild, out);
+            }
+        }
+    }
+
     let full = generate_argument(proof, style)?;
     // Collapse: a non-root goal with exactly one strategy parent and
     // exactly one strategy child is an intermediate step; its consumer
     // strategy inherits its support, transitively. Membership tests use
     // arena-indexed bitmaps, so the whole pass is O(V+E).
-    use crate::argument::NodeIdx;
     let mut removable = vec![false; full.len()];
     for idx in full.node_indices() {
         if full.node_at(idx).kind != NodeKind::Goal || full.in_degree(idx) == 0 {
@@ -184,20 +199,6 @@ pub fn generate_abstracted(
                 if full.node_at(child).kind == NodeKind::Strategy {
                     orphan_strategy[child.index()] = true;
                 }
-            }
-        }
-    }
-
-    // Resolve an edge target across removed goals: a removed goal stands
-    // for whatever its (single) child strategy supported.
-    fn resolve(full: &Argument, removable: &[bool], idx: NodeIdx, out: &mut Vec<NodeIdx>) {
-        if !removable[idx.index()] {
-            out.push(idx);
-            return;
-        }
-        for strategy in full.all_children_idx(idx) {
-            for grandchild in full.all_children_idx(strategy) {
-                resolve(full, removable, grandchild, out);
             }
         }
     }

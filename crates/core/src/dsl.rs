@@ -430,8 +430,8 @@ mod tests {
 
     #[test]
     fn nesting_chooses_edge_kinds() {
-        let a = parse_argument(SAMPLE).unwrap();
         use crate::node::EdgeKind;
+        let a = parse_argument(SAMPLE).unwrap();
         let g1 = crate::node::NodeId::new("g1");
         assert_eq!(a.children(&g1, EdgeKind::InContextOf).len(), 2);
         assert_eq!(a.children(&g1, EdgeKind::SupportedBy).len(), 1);

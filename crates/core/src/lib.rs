@@ -64,6 +64,8 @@
 //! assert!(casekit_core::gsn::check(&arg).is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod autogen;
 pub mod cae;
 pub mod confidence;

@@ -305,9 +305,9 @@ mod tests {
         // Two roots citing the same evidence: prose has no cross-reference
         // marker, so the shared node must be narrated under both roots.
         let a = Argument::builder("two-roots")
-            .add("r1", crate::node::NodeKind::Goal, "Root one")
-            .add("r2", crate::node::NodeKind::Goal, "Root two")
-            .add("e", crate::node::NodeKind::Solution, "Shared evidence")
+            .add("r1", NodeKind::Goal, "Root one")
+            .add("r2", NodeKind::Goal, "Root two")
+            .add("e", NodeKind::Solution, "Shared evidence")
             .supported_by("r1", "e")
             .supported_by("r2", "e")
             .build()

@@ -45,6 +45,29 @@ pub fn formal_premises(argument: &Argument) -> Vec<&Formula> {
         .collect()
 }
 
+/// The node plane of [`formal_premises`]: indices of the formal premise
+/// leaves, in the same sorted-id order. A pure graph pass — no solver
+/// involved — so analyses that only need the *locations* of the
+/// premises (e.g. to anchor diagnostics) can ask without compiling.
+pub fn formal_premise_indices(argument: &Argument) -> Vec<NodeIdx> {
+    argument
+        .sorted_indices()
+        .filter(|idx| {
+            let n = argument.node_at(*idx);
+            matches!(n.formal, Some(FormalPayload::Prop(_)))
+                && formalised_support_children(argument, *idx).is_empty()
+        })
+        .collect()
+}
+
+/// The node plane of [`formal_conclusion`]: index of the first root with
+/// a propositional payload, if any.
+pub fn formal_conclusion_index(argument: &Argument) -> Option<NodeIdx> {
+    argument
+        .sorted_roots_idx()
+        .find(|idx| matches!(argument.node_at(*idx).formal, Some(FormalPayload::Prop(_))))
+}
+
 /// The formal conclusion: the propositional payload of the (first) root
 /// goal, if it has one. Borrowed, like [`formal_premises`].
 pub fn formal_conclusion(argument: &Argument) -> Option<&Formula> {
@@ -77,6 +100,10 @@ fn formalised_support_children(argument: &Argument, idx: NodeIdx) -> Vec<NodeIdx
 struct Step {
     parent: NodeIdx,
     parent_lit: Lit,
+    /// Propositional support children, aligned index-for-index with
+    /// `child_lits` (formalised children with temporal payloads carry no
+    /// propositional literal and are excluded from both).
+    children: Vec<NodeIdx>,
     child_lits: Vec<Lit>,
 }
 
@@ -143,13 +170,17 @@ impl ArgumentTheory {
             if children.is_empty() {
                 continue;
             }
-            let child_lits: Vec<Lit> = children.iter().filter_map(|c| lits[c.index()]).collect();
+            let (children, child_lits): (Vec<NodeIdx>, Vec<Lit>) = children
+                .iter()
+                .filter_map(|c| lits[c.index()].map(|lit| (*c, lit)))
+                .unzip();
             if child_lits.is_empty() {
                 continue;
             }
             steps.push(Step {
                 parent: idx,
                 parent_lit,
+                children,
                 child_lits,
             });
         }
@@ -198,6 +229,26 @@ impl ArgumentTheory {
     /// Index of the formal conclusion node, if any.
     pub fn conclusion_index(&self) -> Option<NodeIdx> {
         self.conclusion.map(|(idx, _)| idx)
+    }
+
+    /// The compiled literals of the support step into `idx`: the
+    /// parent's payload literal and the literals of its propositional
+    /// support children. `None` when the step is not checkable. Lets
+    /// downstream analyses (e.g. the circular-justification lint) ask
+    /// per-edge questions against this compilation instead of paying a
+    /// second Tseitin pass.
+    pub fn step_lits(&self, idx: NodeIdx) -> Option<(Lit, &[Lit])> {
+        let i = self.steps.binary_search_by_key(&idx, |s| s.parent).ok()?;
+        Some((self.steps[i].parent_lit, &self.steps[i].child_lits))
+    }
+
+    /// The propositional support children of the step into `idx`,
+    /// aligned index-for-index with the child literals of
+    /// [`step_lits`](Self::step_lits). `None` when the step is not
+    /// checkable.
+    pub fn step_children(&self, idx: NodeIdx) -> Option<&[NodeIdx]> {
+        let i = self.steps.binary_search_by_key(&idx, |s| s.parent).ok()?;
+        Some(&self.steps[i].children)
     }
 
     /// The compiled premise literals, aligned with [`formal_premises`]
@@ -454,6 +505,46 @@ mod tests {
         // fully retracted between checks).
         assert_eq!(theory.step_is_deductive(g1), Some(true));
         assert_eq!(theory.root_entailed(), Some(true));
+    }
+
+    #[test]
+    fn step_literals_align_with_step_children() {
+        let a = deductive_case();
+        let mut theory = ArgumentTheory::compile(&a);
+        // Steps reach through the unformalised strategy: the compiled
+        // step parents g1 directly onto g2/g3.
+        let g1 = a.node_idx(&"g1".into()).unwrap();
+        let (parent_lit, child_lits) = theory.step_lits(g1).expect("g1 is a compiled step");
+        let children = theory.step_children(g1).expect("g1 is a compiled step");
+        assert_eq!(child_lits.len(), 2);
+        assert_eq!(children.len(), child_lits.len());
+        let ids: Vec<&str> = children.iter().map(|c| a.id_at(*c).as_str()).collect();
+        assert_eq!(ids, vec!["g2", "g3"]);
+        // The step literals answer the same entailment question as the
+        // step API: premises assumed, parent denied, must be UNSAT.
+        let assumptions: Vec<_> = child_lits.iter().copied().chain([!parent_lit]).collect();
+        assert!(!theory.theory_mut().check_under(assumptions));
+        // Leaves compile no step.
+        let g2 = a.node_idx(&"g2".into()).unwrap();
+        assert!(theory.step_lits(g2).is_none());
+        assert!(theory.step_children(g2).is_none());
+    }
+
+    #[test]
+    fn free_premise_indices_match_compiled_theory() {
+        let a = deductive_case();
+        let theory = ArgumentTheory::compile(&a);
+        assert_eq!(formal_premise_indices(&a), theory.premise_indices());
+        assert_eq!(formal_conclusion_index(&a), theory.conclusion_index());
+        // And on an argument with no formal payloads at all.
+        let informal = Argument::builder("informal")
+            .add("g1", NodeKind::Goal, "Safe")
+            .add("e1", NodeKind::Solution, "Tests")
+            .supported_by("g1", "e1")
+            .build()
+            .unwrap();
+        assert!(formal_premise_indices(&informal).is_empty());
+        assert_eq!(formal_conclusion_index(&informal), None);
     }
 
     #[test]

@@ -149,10 +149,10 @@ pub fn run_with(config: &Config, rt: &Runtime) -> Result<Report, Error> {
                     (Background::Manager, Notation::Informal) => manager_scores.0.push(score),
                     (Background::Manager, Notation::Symbolic) => manager_scores.1.push(score),
                     (Background::SoftwareEngineer, Notation::Informal) => {
-                        engineer_scores.0.push(score)
+                        engineer_scores.0.push(score);
                     }
                     (Background::SoftwareEngineer, Notation::Symbolic) => {
-                        engineer_scores.1.push(score)
+                        engineer_scores.1.push(score);
                     }
                     _ => {}
                 }

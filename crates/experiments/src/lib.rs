@@ -50,6 +50,8 @@
 //! with [`Error`] folding together the statistics, generator, and
 //! configuration failure modes.
 
+#![forbid(unsafe_code)]
+
 pub mod exp_a;
 pub mod exp_b;
 pub mod exp_c;
@@ -114,6 +116,7 @@ mod tests {
 
     #[test]
     fn error_wraps_and_renders_its_sources() {
+        use std::error::Error as _;
         let stats_err: Error = stats::StatsError::EmptySample.into();
         assert!(stats_err.to_string().contains("statistics"));
         let gen_err: Error = generator::GeneratorError::TooFewHazards {
@@ -124,7 +127,6 @@ mod tests {
         assert!(gen_err.to_string().contains("generator"));
         let cfg_err = Error::InvalidConfig("odd leaves".into());
         assert!(cfg_err.to_string().contains("odd leaves"));
-        use std::error::Error as _;
         assert!(stats_err.source().is_some());
         assert!(cfg_err.source().is_none());
     }

@@ -230,7 +230,7 @@ mod tests {
         };
         let clueless = Subject {
             logic_skill: 0.05,
-            ..skilled.clone()
+            ..skilled
         };
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         let count = |s: &Subject, rng: &mut ChaCha8Rng| {

@@ -116,22 +116,23 @@ pub fn check_compiled(argument: &Argument, theory: &mut ArgumentTheory) -> Machi
             }
             // The detectors reuse the argument's compiled literals
             // (premise/conclusion lists are aligned by construction) —
-            // still one Tseitin pass per argument.
+            // still one Tseitin pass per argument. A formal conclusion
+            // always compiles to a literal; if it ever did not, skip
+            // the detectors rather than panic.
             let premise_lits = theory.premise_lits();
-            let conclusion_lit = theory
-                .conclusion_lit()
-                .expect("formal_conclusion implies a compiled conclusion literal");
-            for finding in formal::detect_all_compiled(
-                theory.theory_mut(),
-                premise_lits,
-                conclusion_lit,
-                &premises,
-                conclusion,
-            ) {
-                findings.push(MachineFinding::Fallacy {
-                    fallacy: finding.fallacy,
-                    detail: finding.detail,
-                });
+            if let Some(conclusion_lit) = theory.conclusion_lit() {
+                for finding in formal::detect_all_compiled(
+                    theory.theory_mut(),
+                    premise_lits,
+                    conclusion_lit,
+                    &premises,
+                    conclusion,
+                ) {
+                    findings.push(MachineFinding::Fallacy {
+                        fallacy: finding.fallacy,
+                        detail: finding.detail,
+                    });
+                }
             }
         }
     }

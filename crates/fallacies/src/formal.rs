@@ -42,17 +42,38 @@ impl fmt::Display for Finding {
     }
 }
 
+/// Answers the detectors' satisfiability questions. The contract is
+/// exact [`Theory::check_under`] semantics — implementations may only
+/// change *how* the answer is computed (e.g. CaseLint's witness pool
+/// answers SAT questions from cached models), never *what* it is, so
+/// findings are identical under every oracle.
+pub trait SatOracle {
+    /// `Theory::check_under(assumptions)`, possibly short-circuited.
+    fn sat_check(&mut self, theory: &mut Theory, assumptions: &[Lit]) -> bool;
+}
+
+/// The default oracle: every question is a real solver call.
+pub struct SolverOracle;
+
+impl SatOracle for SolverOracle {
+    fn sat_check(&mut self, theory: &mut Theory, assumptions: &[Lit]) -> bool {
+        theory.check_under(assumptions.iter().copied())
+    }
+}
+
 /// One compiled premises/conclusion theory, shared by every detector.
-struct Session<'t> {
+struct Session<'t, 'o> {
     theory: &'t mut Theory,
+    oracle: &'o mut dyn SatOracle,
     premise_lits: Vec<Lit>,
     conclusion_lit: Lit,
 }
 
-impl<'t> Session<'t> {
+impl<'t, 'o> Session<'t, 'o> {
     /// Compiles the premises and conclusion into `theory`.
     fn compile<B: Borrow<Formula>>(
         theory: &'t mut Theory,
+        oracle: &'o mut dyn SatOracle,
         premises: &[B],
         conclusion: &Formula,
     ) -> Self {
@@ -63,6 +84,7 @@ impl<'t> Session<'t> {
         let conclusion_lit = theory.formula_lit(conclusion);
         Session {
             theory,
+            oracle,
             premise_lits,
             conclusion_lit,
         }
@@ -70,9 +92,15 @@ impl<'t> Session<'t> {
 
     /// Wraps literals already compiled elsewhere (e.g. by
     /// `casekit-core::semantics::ArgumentTheory`) — no recompilation.
-    fn from_parts(theory: &'t mut Theory, premise_lits: Vec<Lit>, conclusion_lit: Lit) -> Self {
+    fn from_parts(
+        theory: &'t mut Theory,
+        oracle: &'o mut dyn SatOracle,
+        premise_lits: Vec<Lit>,
+        conclusion_lit: Lit,
+    ) -> Self {
         Session {
             theory,
+            oracle,
             premise_lits,
             conclusion_lit,
         }
@@ -80,7 +108,7 @@ impl<'t> Session<'t> {
 
     /// Satisfiability of an assumption set, with automatic retraction.
     fn sat(&mut self, assumptions: &[Lit]) -> bool {
-        self.theory.check_under(assumptions.iter().copied())
+        self.oracle.sat_check(self.theory, assumptions)
     }
 
     /// Whether the full premise set entails the conclusion.
@@ -118,7 +146,8 @@ impl<'t> Session<'t> {
 /// Runs every propositional detector over one shared solver session.
 pub fn detect_all<B: Borrow<Formula>>(premises: &[B], conclusion: &Formula) -> Vec<Finding> {
     let mut theory = Theory::new();
-    let session = Session::compile(&mut theory, premises, conclusion);
+    let mut oracle = SolverOracle;
+    let session = Session::compile(&mut theory, &mut oracle, premises, conclusion);
     detect_all_session(session, premises, conclusion)
 }
 
@@ -134,12 +163,34 @@ pub fn detect_all_compiled<B: Borrow<Formula>>(
     premises: &[B],
     conclusion: &Formula,
 ) -> Vec<Finding> {
-    let session = Session::from_parts(theory, premise_lits, conclusion_lit);
+    detect_all_compiled_with(
+        theory,
+        &mut SolverOracle,
+        premise_lits,
+        conclusion_lit,
+        premises,
+        conclusion,
+    )
+}
+
+/// [`detect_all_compiled`] with an explicit [`SatOracle`], for callers
+/// (CaseLint) that carry satisfiability caches across many questions
+/// on the same session. Findings are identical for every conforming
+/// oracle.
+pub fn detect_all_compiled_with<B: Borrow<Formula>>(
+    theory: &mut Theory,
+    oracle: &mut dyn SatOracle,
+    premise_lits: Vec<Lit>,
+    conclusion_lit: Lit,
+    premises: &[B],
+    conclusion: &Formula,
+) -> Vec<Finding> {
+    let session = Session::from_parts(theory, oracle, premise_lits, conclusion_lit);
     detect_all_session(session, premises, conclusion)
 }
 
 fn detect_all_session<B: Borrow<Formula>>(
-    mut session: Session<'_>,
+    mut session: Session<'_, '_>,
     premises: &[B],
     conclusion: &Formula,
 ) -> Vec<Finding> {
@@ -161,7 +212,8 @@ pub fn begging_the_question<B: Borrow<Formula>>(
     conclusion: &Formula,
 ) -> Vec<Finding> {
     let mut theory = Theory::new();
-    let mut session = Session::compile(&mut theory, premises, conclusion);
+    let mut oracle = SolverOracle;
+    let mut session = Session::compile(&mut theory, &mut oracle, premises, conclusion);
     begging_in(&mut session, premises, conclusion)
 }
 
@@ -189,7 +241,8 @@ pub fn incompatible_premises<B: Borrow<Formula>>(premises: &[B]) -> Vec<Finding>
         return Vec::new();
     }
     let mut theory = Theory::new();
-    let mut session = Session::compile(&mut theory, premises, &Formula::True);
+    let mut oracle = SolverOracle;
+    let mut session = Session::compile(&mut theory, &mut oracle, premises, &Formula::True);
     incompatible_in(&mut session, premises)
 }
 
@@ -208,7 +261,14 @@ fn incompatible_in<B: Borrow<Formula>>(session: &mut Session, premises: &[B]) ->
             }];
         }
     }
-    unreachable!("conjunction of all premises was contradictory");
+    // The full conjunction is contradictory, so the final prefix probe
+    // must have fired above; if an oracle ever answers inconsistently,
+    // implicate every premise rather than panic.
+    vec![Finding {
+        fallacy: FormalFallacy::IncompatiblePremises,
+        premises: (0..premises.len()).collect(),
+        detail: "the premises cannot all be true together".into(),
+    }]
 }
 
 /// Some premise contradicts the conclusion (while the premises themselves
@@ -218,7 +278,8 @@ pub fn premise_conclusion_contradiction<B: Borrow<Formula>>(
     conclusion: &Formula,
 ) -> Vec<Finding> {
     let mut theory = Theory::new();
-    let mut session = Session::compile(&mut theory, premises, conclusion);
+    let mut oracle = SolverOracle;
+    let mut session = Session::compile(&mut theory, &mut oracle, premises, conclusion);
     contradiction_in(&mut session, premises, conclusion)
 }
 
@@ -257,7 +318,8 @@ pub fn denying_the_antecedent<B: Borrow<Formula>>(
 /// One-off entailment check for the standalone detector entry points.
 fn entailed_fresh<B: Borrow<Formula>>(premises: &[B], conclusion: &Formula) -> bool {
     let mut theory = Theory::new();
-    Session::compile(&mut theory, premises, conclusion).entailed()
+    let mut oracle = SolverOracle;
+    Session::compile(&mut theory, &mut oracle, premises, conclusion).entailed()
 }
 
 fn denying_in<B: Borrow<Formula>>(

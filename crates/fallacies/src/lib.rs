@@ -19,6 +19,8 @@
 //!   runs every formal detector; by construction it can never return an
 //!   informal finding (the paper's Figure 1 point, executable).
 
+#![forbid(unsafe_code)]
+
 pub mod checker;
 pub mod formal;
 pub mod informal;

@@ -229,7 +229,7 @@ impl Syllogism {
 
         // Rule 1: middle distributed at least once.
         if !self.major_premise.distributes(&middle) && !self.minor_premise.distributes(&middle) {
-            issues.push(SyllogismIssue::UndistributedMiddle(middle.clone()));
+            issues.push(SyllogismIssue::UndistributedMiddle(middle));
         }
 
         // Rule 2: end terms distributed in the conclusion must be
@@ -237,14 +237,14 @@ impl Syllogism {
         if self.conclusion.distributes(&major_term) && !self.major_premise.distributes(&major_term)
         {
             issues.push(SyllogismIssue::IllicitDistribution {
-                term: major_term.clone(),
+                term: major_term,
                 major: true,
             });
         }
         if self.conclusion.distributes(&minor_term) && !self.minor_premise.distributes(&minor_term)
         {
             issues.push(SyllogismIssue::IllicitDistribution {
-                term: minor_term.clone(),
+                term: minor_term,
                 major: false,
             });
         }

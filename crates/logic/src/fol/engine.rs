@@ -121,7 +121,7 @@ impl KnowledgeBase {
             truncated: false,
             query_vars: goal.variables(),
         };
-        search.prove(vec![goal.clone()], Substitution::new(), 0);
+        search.prove(std::slice::from_ref(goal), &Substitution::new(), 0);
         SolveOutcome {
             solutions: search.solutions,
             truncated: search.truncated,
@@ -172,7 +172,7 @@ struct Search<'a> {
 
 impl Search<'_> {
     /// Depth-first SLD: prove all `goals` under `subst`.
-    fn prove(&mut self, goals: Vec<Term>, subst: Substitution, depth: usize) {
+    fn prove(&mut self, goals: &[Term], subst: &Substitution, depth: usize) {
         if self.solutions.len() >= self.config.max_solutions {
             return;
         }
@@ -185,7 +185,7 @@ impl Search<'_> {
                 }
                 return;
             }
-            Some((g, r)) => (g.clone(), r.to_vec()),
+            Some((g, r)) => (g.clone(), r),
         };
         if depth >= self.config.max_depth {
             self.truncated = true;
@@ -199,10 +199,10 @@ impl Search<'_> {
             }
             self.fresh += 1;
             let renamed = clause.rename_variables(self.fresh);
-            if let Some(next_subst) = unify(&goal, &renamed.head, &subst) {
+            if let Some(next_subst) = unify(&goal, &renamed.head, subst) {
                 let mut next_goals = renamed.body.clone();
                 next_goals.extend(rest.iter().cloned());
-                self.prove(next_goals, next_subst, depth + 1);
+                self.prove(&next_goals, &next_subst, depth + 1);
                 if self.solutions.len() >= self.config.max_solutions {
                     return;
                 }

@@ -88,6 +88,8 @@
 //! single entry point and routes to the index plane internally, and the
 //! fallible operations return [`LogicError`] instead of panicking.
 
+#![forbid(unsafe_code)]
+
 pub mod af;
 pub mod ec;
 pub mod fol;

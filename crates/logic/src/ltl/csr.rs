@@ -379,10 +379,10 @@ impl LassoEval {
                     row[len - 1] = get(a, loop_start);
                 }
                 CNode::Finally(a) => {
-                    fixpoint_backward(row, loop_start, false, |i, nxt| get(a, i) || nxt)
+                    fixpoint_backward(row, loop_start, false, |i, nxt| get(a, i) || nxt);
                 }
                 CNode::Globally(a) => {
-                    fixpoint_backward(row, loop_start, true, |i, nxt| get(a, i) && nxt)
+                    fixpoint_backward(row, loop_start, true, |i, nxt| get(a, i) && nxt);
                 }
                 CNode::Until(a, b) => fixpoint_backward(row, loop_start, false, |i, nxt| {
                     get(b, i) || (get(a, i) && nxt)

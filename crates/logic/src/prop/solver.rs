@@ -185,6 +185,14 @@ pub struct Solver {
     gc_floor: usize,
     /// Current clause-activity bump increment.
     cla_inc: f64,
+    /// Whether the level-0 prefix of the trail is a propagation
+    /// fixpoint of the current database, reusable by the next check
+    /// without re-propagating every persisted unit. Invalidated by any
+    /// database mutation (every mutation path runs [`Solver::unwind_all`]).
+    root_trail_valid: bool,
+    /// How many entries of `units` the persistent root trail already
+    /// accounts for; a check only enqueues the suffix.
+    units_propagated: usize,
     /// Cumulative search counters.
     stats: SolverStats,
 }
@@ -269,6 +277,8 @@ impl Default for Solver {
             budget_override: None,
             gc_floor: 0,
             cla_inc: 1.0,
+            root_trail_valid: false,
+            units_propagated: 0,
             stats: SolverStats::default(),
         }
     }
@@ -423,21 +433,41 @@ impl Solver {
     /// Clauses learned while answering one check persist into the next:
     /// assumptions enter the search as decisions, so every learned
     /// clause is a consequence of the database alone.
+    ///
+    /// The level-0 trail also persists between checks (incremental-SAT
+    /// style): every literal on it is a consequence of the database
+    /// alone — units, their propagation cone, and learned root facts —
+    /// so a back-to-back check resumes from that fixpoint instead of
+    /// re-propagating it, and only enqueues units persisted since. Any
+    /// database mutation unwinds the trail and drops the reuse.
     pub fn check(&mut self) -> bool {
-        self.unwind_all();
         if self.empty_clause {
             return false;
         }
-        // Root level: every persisted unit (caller-added and learned).
-        for i in 0..self.units.len() {
+        if self.root_trail_valid {
+            self.cancel_until(0);
+        } else {
+            self.unwind_all();
+        }
+        // Root level: every persisted unit (caller-added and learned)
+        // the trail does not already carry.
+        for i in self.units_propagated..self.units.len() {
             let lit = self.units[i];
             match self.lit_value(lit) {
                 Some(true) => {}
-                Some(false) => return false,
+                Some(false) => {
+                    // Two persisted units conflict: the database itself
+                    // is unsatisfiable.
+                    self.empty_clause = true;
+                    return false;
+                }
                 None => self.enqueue(lit, NO_REASON),
             }
         }
-        self.search()
+        self.units_propagated = self.units.len();
+        let sat = self.search();
+        self.root_trail_valid = !self.empty_clause;
+        sat
     }
 
     /// The literal's value under the current (partial) assignment.
@@ -489,6 +519,8 @@ impl Solver {
     /// and every popped variable is (or already was) assigned — i.e.
     /// on the trail.
     fn unwind_all(&mut self) {
+        self.root_trail_valid = false;
+        self.units_propagated = 0;
         for i in (0..self.trail.len()).rev() {
             let lit = self.trail[i];
             let vi = lit.var().index();
@@ -818,6 +850,9 @@ impl Solver {
                 }
             }
         }
+        // The rebuilt unit store is exactly the root trail (plus the
+        // newly-unit clauses enqueued above): all accounted for.
+        self.units_propagated = self.units.len();
         true
     }
 }
@@ -1031,6 +1066,45 @@ impl Theory {
             self.solver.retract();
         }
         model
+    }
+
+    /// Like [`Theory::check_under`], but on satisfiability returns the
+    /// complete variable assignment as a dense vector indexed by
+    /// [`Var::index`] (variables the search left unassigned read as
+    /// `false`, which keeps the vector a model: a SAT answer with
+    /// unassigned variables means every clause over them is already
+    /// satisfied).
+    ///
+    /// Witness-reusing probe engines (CaseLint's logical passes) store
+    /// these vectors and answer later satisfiability questions by
+    /// evaluating the assumption literals against stored witnesses —
+    /// a handful of array reads — falling back to a real solver call
+    /// only when no witness covers the assumptions. A stored witness
+    /// stays valid across later checks on the same session: learned
+    /// clauses are consequences of the database, and Tseitin
+    /// definitions added later only constrain the fresh variables,
+    /// which an index-bounds check excludes.
+    pub fn witness_under<I: IntoIterator<Item = Lit>>(
+        &mut self,
+        assumptions: I,
+    ) -> Option<Vec<bool>> {
+        let depth = self.solver.assumptions().len();
+        for lit in assumptions {
+            self.solver.assume(lit);
+        }
+        let witness = if self.solver.check() {
+            Some(
+                (0..self.solver.num_vars())
+                    .map(|i| self.solver.var_value(Var(i as u32)) == Some(true))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        while self.solver.assumptions().len() > depth {
+            self.solver.retract();
+        }
+        witness
     }
 
     /// After a satisfiable check: the value of `atom` in the model.

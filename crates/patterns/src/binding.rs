@@ -156,7 +156,7 @@ impl fmt::Display for TypeError {
 impl std::error::Error for TypeError {}
 
 /// Checks a value against a type.
-pub fn type_check(param: &str, value: &ParamValue, ty: &ParamType) -> Result<(), TypeError> {
+pub(crate) fn type_check(param: &str, value: &ParamValue, ty: &ParamType) -> Result<(), TypeError> {
     let err = |message: String| {
         Err(TypeError {
             param: param.to_string(),

@@ -19,6 +19,8 @@
 //!
 //! [`notation`] parses Matsuno's bracket notation `[2/x, /y, "hello"/z]`.
 
+#![forbid(unsafe_code)]
+
 pub mod library;
 pub mod notation;
 

@@ -151,8 +151,9 @@ fn find_top_level(input: &str, target: char) -> Option<usize> {
 pub fn render_annotation(annotation: &Annotation) -> String {
     let mut parts: Vec<String> = Vec::new();
     for param in annotation.binding.params() {
-        let value = annotation.binding.get(param).expect("bound");
-        parts.push(format!("{}/{param}", render_value(value)));
+        if let Some(value) = annotation.binding.get(param) {
+            parts.push(format!("{}/{param}", render_value(value)));
+        }
     }
     for param in &annotation.uninstantiated {
         parts.push(format!("/{param}"));

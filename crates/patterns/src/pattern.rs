@@ -332,11 +332,12 @@ impl Pattern {
             b = b.edge(p, &concrete_id, edge_kind);
         }
         for edge in self.edges.iter().filter(|e| e.from == node.id) {
-            let child = self
-                .nodes
-                .iter()
-                .find(|n| n.id == edge.to)
-                .expect("validated edge target");
+            let child = self.nodes.iter().find(|n| n.id == edge.to).ok_or_else(|| {
+                InstantiationError::Malformed(format!(
+                    "edge target `{}` is not a declared node",
+                    edge.to
+                ))
+            })?;
             match &edge.multiplicity {
                 Multiplicity::One => {
                     b = self.emit(

@@ -40,6 +40,8 @@
 //! assert_eq!(hits.len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod annotation;
 mod ontology;
 mod query;

@@ -2,7 +2,7 @@
 //! matches — the matched nodes, every ancestor up to the roots, and the
 //! matched nodes' immediate evidence.
 
-use casekit_core::{Argument, NodeId, NodeIdx};
+use casekit_core::{Argument, ArgumentError, NodeId, NodeIdx};
 
 /// Extracts the traceability view for `matches`: a new [`Argument`]
 /// containing each matched node, all of its ancestors (so the reader sees
@@ -10,7 +10,16 @@ use casekit_core::{Argument, NodeId, NodeIdx};
 /// and every edge among the retained nodes.
 ///
 /// Unknown ids in `matches` are ignored.
-pub fn traceability_view(argument: &Argument, matches: &[NodeId]) -> Argument {
+///
+/// # Errors
+///
+/// Propagates [`ArgumentError`] if the retained subgraph fails the
+/// builder's structural checks — impossible for a subgraph of a valid
+/// argument, but surfaced rather than panicked on.
+pub fn traceability_view(
+    argument: &Argument,
+    matches: &[NodeId],
+) -> Result<Argument, ArgumentError> {
     // Arena-indexed bitmap membership: the whole extraction is O(V+E).
     let mut keep = vec![false; argument.len()];
     for id in matches {
@@ -49,7 +58,7 @@ pub fn traceability_view(argument: &Argument, matches: &[NodeId]) -> Argument {
             );
         }
     }
-    builder.build().expect("subgraph of a valid argument")
+    builder.build()
 }
 
 #[cfg(test)]
@@ -74,7 +83,7 @@ mod tests {
     #[test]
     fn view_contains_match_ancestors_and_evidence() {
         let arg = sample();
-        let view = traceability_view(&arg, &[NodeId::new("g2")]);
+        let view = traceability_view(&arg, &[NodeId::new("g2")]).unwrap();
         // g2 + ancestors (s1, g1) + child e1 — but not g3/e2.
         assert_eq!(view.len(), 4);
         assert!(view.node(&"g2".into()).is_some());
@@ -88,35 +97,35 @@ mod tests {
     #[test]
     fn edges_restricted_to_kept_nodes() {
         let arg = sample();
-        let view = traceability_view(&arg, &[NodeId::new("g2")]);
+        let view = traceability_view(&arg, &[NodeId::new("g2")]).unwrap();
         assert_eq!(view.edges().len(), 3); // g1->s1, s1->g2, g2->e1
     }
 
     #[test]
     fn multiple_matches_union() {
         let arg = sample();
-        let view = traceability_view(&arg, &[NodeId::new("g2"), NodeId::new("g3")]);
+        let view = traceability_view(&arg, &[NodeId::new("g2"), NodeId::new("g3")]).unwrap();
         assert_eq!(view.len(), arg.len());
     }
 
     #[test]
     fn empty_matches_empty_view() {
         let arg = sample();
-        let view = traceability_view(&arg, &[]);
+        let view = traceability_view(&arg, &[]).unwrap();
         assert!(view.is_empty());
     }
 
     #[test]
     fn unknown_ids_ignored() {
         let arg = sample();
-        let view = traceability_view(&arg, &[NodeId::new("nope")]);
+        let view = traceability_view(&arg, &[NodeId::new("nope")]).unwrap();
         assert!(view.is_empty());
     }
 
     #[test]
     fn view_of_root_is_root_plus_children() {
         let arg = sample();
-        let view = traceability_view(&arg, &[NodeId::new("g1")]);
+        let view = traceability_view(&arg, &[NodeId::new("g1")]).unwrap();
         assert_eq!(view.len(), 2); // g1 + s1
     }
 
@@ -132,7 +141,7 @@ mod tests {
             }"#,
         )
         .unwrap();
-        let view = traceability_view(&arg, &[NodeId::new("g4")]);
+        let view = traceability_view(&arg, &[NodeId::new("g4")]).unwrap();
         // g4's ancestors: g2, g3, g1 (both paths).
         assert!(view.node(&"g2".into()).is_some());
         assert!(view.node(&"g3".into()).is_some());

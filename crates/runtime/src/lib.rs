@@ -36,6 +36,8 @@
 //! no rayon, and the fan-out shape here — one balanced pass over a
 //! slice — does not need work stealing.
 
+#![forbid(unsafe_code)]
+
 use serde::{Deserialize, Serialize};
 
 /// Minimum number of items per worker before [`Runtime::map`] spawns

@@ -19,6 +19,8 @@
 //! assert_eq!(table.unique_total, 72);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod characterise;
 pub mod corpus;
 pub mod paper;

@@ -81,7 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("query `{query}` matches: {matches:?}");
 
     // 5. Extract the traceability view a reviewer would read.
-    let view = traceability_view(&argument, &matches);
+    let view = traceability_view(&argument, &matches)?;
     println!(
         "\n--- traceability view ---\n{}",
         casekit::core::render::ascii_tree(&view)

@@ -6,12 +6,14 @@ check:
     ./scripts/check.sh
 
 # Mirror the CI pipeline locally, in job order: fmt, clippy, release
-# build + tests, then the smoke bench-regression gate.
+# build + tests, the deny-level example lint, then the smoke
+# bench-regression gate.
 ci:
     cargo fmt --all --check
     cargo clippy --workspace --all-targets -- -D warnings
     cargo build --release
     cargo test -q
+    cargo run --release -q -p casekit-analysis --bin caselint -- --deny examples/cases
     ./scripts/bench_gate.sh
 
 # The smoke bench-regression gate alone (BENCH_*.smoke.json + floors).
@@ -23,8 +25,12 @@ fmt:
     cargo fmt --all
 
 # Clippy with warnings denied, all targets.
-lint:
+clippy:
     cargo clippy --workspace --all-targets -- -D warnings
+
+# CaseLint over the bundled example corpus, every lint at deny level.
+lint:
+    cargo run --release -q -p casekit-analysis --bin caselint -- --deny examples/cases
 
 # The test suite (workspace defaults: every product crate).
 test:
@@ -57,6 +63,10 @@ bench-ltl:
 # Experiment-runtime speedup artifact (BENCH_experiments.json).
 bench-experiments:
     cargo run --release -q -p casekit-bench --bin repro experiments
+
+# CaseLint engine-vs-standalone-tools artifact (BENCH_lint.json).
+bench-lint:
+    cargo run --release -q -p casekit-bench --bin repro lint
 
 # Regenerate every paper artifact.
 repro:

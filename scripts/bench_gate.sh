@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Bench-regression gate: run the six `repro` benchmark artifacts in
+# Bench-regression gate: run the seven `repro` benchmark artifacts in
 # fast deterministic --smoke mode (small populations, fixed seeds) and
 # fail if any speedup drops below its floor or any agreement flag is
 # false. CI runs this on every push; `just ci` runs it locally.
@@ -10,12 +10,14 @@
 # Floors are deliberately far below the measured values (graph ~1700x,
 # logic sweep ~130x, hard CDCL-vs-DPLL ~3.5x at smoke scale,
 # experiments ~25x, af SAT-vs-enumeration ~50x, af grounded CSR
-# ~1000x, fol interned-vs-seed ~70x, ltl CSR-vs-trace ~17x) so the
-# gate trips on regressions, not on machine noise.
+# ~1000x, fol interned-vs-seed ~70x, ltl CSR-vs-trace ~17x, lint
+# compile-once ~12x) so the gate trips on regressions, not on machine
+# noise. Exception: LINT_FLOOR is the issue's hard >=10x acceptance
+# criterion, enforced at its stated value.
 # Override via environment for experiments:
 #   GRAPH_FLOOR, LOGIC_SWEEP_FLOOR, HARD_CDCL_FLOOR, EXPERIMENTS_FLOOR,
 #   AF_FLOOR, AF_GROUNDED_FLOOR, AF_SCC_N_FLOOR, FOL_FLOOR, LTL_FLOOR,
-#   THREAD_FLOOR
+#   LINT_FLOOR, THREAD_FLOOR
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,6 +32,7 @@ AF_GROUNDED_FLOOR="${AF_GROUNDED_FLOOR:-50}"
 AF_SCC_N_FLOOR="${AF_SCC_N_FLOOR:-20000}"
 FOL_FLOOR="${FOL_FLOOR:-10}"
 LTL_FLOOR="${LTL_FLOOR:-10}"
+LINT_FLOOR="${LINT_FLOOR:-10}"
 
 echo "==> building repro (release)"
 cargo build --release -q -p casekit-bench --bin repro
@@ -46,6 +49,8 @@ echo "==> repro ltl --smoke"
 ./target/release/repro ltl --smoke > /dev/null
 echo "==> repro experiments --smoke"
 ./target/release/repro experiments --smoke > /dev/null
+echo "==> repro lint --smoke"
+./target/release/repro lint --smoke > /dev/null
 
 FAILURES=0
 
@@ -122,6 +127,12 @@ require_true  BENCH_ltl.smoke.json answers_agree
 
 require_floor BENCH_experiments.smoke.json speedup "$EXPERIMENTS_FLOOR"
 require_true  BENCH_experiments.smoke.json reports_agree
+
+# The lint engine must beat the one-tool-per-lint cost model by the
+# issue's 10x acceptance floor, with byte-identical diagnostics across
+# the naive loop, the serial engine, and every probed worker count.
+require_floor BENCH_lint.smoke.json speedup "$LINT_FLOOR"
+require_true  BENCH_lint.smoke.json diagnostics_agree
 # thread_speedup (serial-plan vs parallel-plan, identical work) is only
 # a real speedup when the host has idle cores to farm to: on a
 # multi-core host the parallel plan must win outright; on a single-core

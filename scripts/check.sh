@@ -68,9 +68,17 @@ repro_experiments_gated() {
     || { echo "BENCH_experiments.json does not report serial/parallel agreement"; return 1; }
 }
 
+repro_lint_gated() {
+  cargo run --release -q -p casekit-bench --bin repro lint || return 1
+  grep -q '"diagnostics_agree": true' BENCH_lint.json \
+    || { echo "BENCH_lint.json does not report cross-engine/cross-worker diagnostic agreement"; return 1; }
+}
+
 run_step "cargo fmt --check" cargo fmt --all --check
 run_step "cargo clippy -D warnings" cargo clippy --workspace --all-targets -- -D warnings
 run_step "cargo test" cargo test -q
+run_step "caselint examples/cases (deny level)" \
+  cargo run --release -q -p casekit-analysis --bin caselint -- --deny examples/cases
 run_step "cargo bench (short measurement budget)" \
   env CASEKIT_BENCH_MS="${CASEKIT_BENCH_MS:-25}" cargo bench -q -p casekit-bench
 run_step "repro graph (writes BENCH_graph.json)" \
@@ -81,6 +89,7 @@ run_step "repro fol + agreement gates (writes BENCH_fol.json)" repro_fol_gated
 run_step "repro ltl + agreement gate (writes BENCH_ltl.json)" repro_ltl_gated
 run_step "repro experiments + agreement gate (writes BENCH_experiments.json)" \
   repro_experiments_gated
+run_step "repro lint + agreement gate (writes BENCH_lint.json)" repro_lint_gated
 
 echo
 echo "== step summary =="

@@ -9,11 +9,16 @@
 //! * [`logic`] — deductive substrates (propositional, natural deduction,
 //!   Horn clauses, LTL, event calculus, sorts).
 //! * [`fallacies`] — formal/informal fallacy taxonomy and detectors.
+//! * [`analysis`] — CaseLint: multi-pass static analyzer over built
+//!   arguments with a unified diagnostic substrate.
 //! * [`patterns`] — formalised GSN patterns with typed parameters.
 //! * [`query`] — metadata annotation and structured querying.
 //! * [`survey`] — the paper's systematic literature survey pipeline.
 //! * [`experiments`] — simulated studies from the paper's section VI.
 
+#![forbid(unsafe_code)]
+
+pub use casekit_analysis as analysis;
 pub use casekit_core as core;
 pub use casekit_experiments as experiments;
 pub use casekit_fallacies as fallacies;

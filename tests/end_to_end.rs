@@ -91,7 +91,7 @@ fn full_pipeline_clean_argument() {
     assert_eq!(hits, vec![NodeId::new("g3"), NodeId::new("g4")]);
 
     // The traceability view keeps matches, ancestors, and their evidence.
-    let view = traceability_view(&arg, &hits);
+    let view = traceability_view(&arg, &hits).unwrap();
     assert!(view.node(&"g1".into()).is_some());
     assert!(view.node(&"e2".into()).is_some());
     assert!(view.node(&"e1".into()).is_none());

@@ -32,7 +32,7 @@ fn term_strategy() -> impl Strategy<Value = Term> {
     leaf.prop_recursive(3, 16, 2, |inner| {
         (
             prop_oneof![Just("f"), Just("g")],
-            proptest::collection::vec(inner, 1..3),
+            collection::vec(inner, 1..3),
         )
             .prop_map(|(functor, args)| Term::compound(functor, args))
     })
@@ -201,7 +201,7 @@ proptest! {
 
     #[test]
     fn sessions_agree_with_monolithic_solves(
-        premises in proptest::collection::vec(wide_formula_strategy(), 1..5),
+        premises in collection::vec(wide_formula_strategy(), 1..5),
         conclusion in wide_formula_strategy(),
     ) {
         // An assume/check/retract session over one compiled theory must
@@ -229,12 +229,12 @@ proptest! {
 
     #[test]
     fn cdcl_learning_never_changes_session_verdicts(
-        clauses in proptest::collection::vec(
-            proptest::collection::vec((0u32..10, 0u8..2), 1..4),
+        clauses in collection::vec(
+            collection::vec((0u32..10, 0u8..2), 1..4),
             1..24,
         ),
-        rounds in proptest::collection::vec(
-            proptest::collection::vec((0u32..10, 0u8..2), 0..4),
+        rounds in collection::vec(
+            collection::vec((0u32..10, 0u8..2), 0..4),
             1..8,
         ),
     ) {
@@ -285,7 +285,7 @@ proptest! {
 
     #[test]
     fn hazard_pattern_instances_always_well_formed(
-        hazards in proptest::collection::vec("[a-z]{1,12}", 1..12),
+        hazards in collection::vec("[a-z]{1,12}", 1..12),
         system in "[A-Za-z ]{1,20}",
     ) {
         use casekit::patterns::{library, Binding, ParamValue};
@@ -305,7 +305,7 @@ proptest! {
 
     #[test]
     fn query_results_are_subset_of_annotated_nodes(
-        severities in proptest::collection::vec(0usize..3, 3..10),
+        severities in collection::vec(0usize..3, 3..10),
     ) {
         use casekit::core::{Argument, NodeKind};
         use casekit::query::{parse_query, AnnotationStore, FieldType, Ontology};
@@ -407,8 +407,8 @@ mod arena_props {
     fn built_argument() -> impl Strategy<Value = Argument> {
         (
             2usize..32,
-            proptest::collection::vec(0usize..1_000_000, 1..32),
-            proptest::collection::vec((0usize..1_000_000, 0usize..1_000_000), 0..16),
+            collection::vec(0usize..1_000_000, 1..32),
+            collection::vec((0usize..1_000_000, 0usize..1_000_000), 0..16),
             0usize..6,
         )
             .prop_map(|(n, parent_picks, extra_picks, kind_offset)| {
@@ -699,7 +699,7 @@ mod fol_props {
     /// leaked rename counters and the interned engine's canonical
     /// `_G{n}` names only diverge on non-ground answers.
     fn program_strategy() -> impl Strategy<Value = KnowledgeBase> {
-        proptest::collection::vec((0usize..6, 0usize..6), 0..15).prop_map(|edges| {
+        collection::vec((0usize..6, 0usize..6), 0..15).prop_map(|edges| {
             let mut src = String::new();
             for (a, b) in edges {
                 src.push_str(&format!("edge(c{a}, c{b}).\n"));
@@ -798,9 +798,9 @@ mod ltl_props {
     fn kripke_strategy() -> impl Strategy<Value = Kripke> {
         (1usize..9).prop_flat_map(|n| {
             (
-                proptest::collection::vec(proptest::collection::vec(0usize..3, 0..3), n..n + 1),
-                proptest::collection::vec((0..n, 0..n), 0..2 * n + 1),
-                proptest::collection::vec(0..n, 0..3),
+                collection::vec(collection::vec(0usize..3, 0..3), n..n + 1),
+                collection::vec((0..n, 0..n), 0..2 * n + 1),
+                collection::vec(0..n, 0..3),
             )
                 .prop_map(|(labels, transitions, extra_initial)| {
                     let names = ["a", "b", "c"];
@@ -847,7 +847,7 @@ mod af_props {
     /// random attack relation (self-attacks included).
     fn framework_strategy(max_args: usize) -> impl Strategy<Value = Framework> {
         (1..max_args + 1).prop_flat_map(|n| {
-            proptest::collection::vec((0..n, 0..n), 0..3 * n + 1).prop_map(move |attacks| {
+            collection::vec((0..n, 0..n), 0..3 * n + 1).prop_map(move |attacks| {
                 let mut af = Framework::new();
                 for i in 0..n {
                     af.add_argument(format!("a{i}"));
