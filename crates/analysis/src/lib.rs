@@ -65,6 +65,7 @@ mod structural;
 mod witness;
 
 pub use diagnostic::{Diagnostic, Level, LintCode, LintConfig, LintDescriptor, PassKind, Severity};
+pub use witness::WitnessPool;
 
 use casekit_core::dsl::parse_argument;
 use casekit_core::semantics::{ArgumentTheory, TheoryCache};
@@ -121,6 +122,24 @@ pub fn lint_compiled(
     let mut sink = diagnostic::Sink::new(config);
     structural::run(argument, &mut sink);
     logical::run_all(argument, theory, &mut sink);
+    sink.finish()
+}
+
+/// [`lint_compiled`] against a caller-owned [`WitnessPool`]. Long-lived
+/// sessions — the incremental `CaseService` — keep one pool per case so
+/// models found answering one revision's questions keep answering the
+/// next revision's (sound whenever the session's clause database only
+/// grows between calls). The pool is answer-invariant: warm or cold,
+/// diagnostics are byte-identical to [`lint_compiled`].
+pub fn lint_compiled_with_pool(
+    argument: &Argument,
+    theory: &mut ArgumentTheory,
+    pool: &mut WitnessPool,
+    config: &LintConfig,
+) -> Vec<Diagnostic> {
+    let mut sink = diagnostic::Sink::new(config);
+    structural::run(argument, &mut sink);
+    logical::run_all_with(argument, theory, pool, &mut sink);
     sink.finish()
 }
 

@@ -28,14 +28,28 @@ use casekit_logic::prop::Lit;
 /// per-tool sessions share nothing).
 pub(crate) fn run_all(argument: &Argument, theory: &mut ArgumentTheory, sink: &mut Sink<'_>) {
     let mut pool = WitnessPool::new();
+    run_all_with(argument, theory, &mut pool, sink);
+}
+
+/// [`run_all`] against a caller-owned [`WitnessPool`] — the entry point
+/// for long-lived sessions (the incremental service) whose pool
+/// outlives any single lint run. Answer-invariant with respect to the
+/// pool's contents, so warm and cold pools produce byte-identical
+/// diagnostics.
+pub(crate) fn run_all_with(
+    argument: &Argument,
+    theory: &mut ArgumentTheory,
+    pool: &mut WitnessPool,
+    sink: &mut Sink<'_>,
+) {
     pass_non_deductive(argument, theory, sink);
-    pass_inconsistent_premises(argument, theory, &mut pool, sink);
-    pass_tautological_conclusion(argument, theory, &mut pool, sink);
-    pass_unsatisfiable_conclusion(argument, theory, &mut pool, sink);
-    pass_entailment(argument, theory, &mut pool, sink);
-    pass_redundant_premises(argument, theory, &mut pool, sink);
-    pass_circular_steps(argument, theory, &mut pool, sink);
-    pass_fallacies(argument, theory, &mut pool, sink);
+    pass_inconsistent_premises(argument, theory, pool, sink);
+    pass_tautological_conclusion(argument, theory, pool, sink);
+    pass_unsatisfiable_conclusion(argument, theory, pool, sink);
+    pass_entailment(argument, theory, pool, sink);
+    pass_redundant_premises(argument, theory, pool, sink);
+    pass_circular_steps(argument, theory, pool, sink);
+    pass_fallacies(argument, theory, pool, sink);
     pass_quantifier(argument, sink);
 }
 

@@ -33,20 +33,58 @@ use casekit_logic::prop::{Lit, Theory};
 /// together with the dual cache: assumption sets proven unsatisfiable,
 /// which answer any superset question UNSAT for free (adding
 /// assumptions can only preserve unsatisfiability).
+///
+/// The pool is also sound to keep alive *across edits* of the argument
+/// it serves, provided the session's clause database only grows (the
+/// incremental service's contract): stored models stay models of every
+/// clause they were checked against, UNSAT cores stay UNSAT under
+/// clause addition, and the bounds check above fences off variables
+/// introduced after a witness was stored.
 #[derive(Debug, Default)]
-pub(crate) struct WitnessPool {
+pub struct WitnessPool {
     witnesses: Vec<Vec<bool>>,
     /// Assumption sets proven UNSAT, stored as sorted literal codes.
     unsat_cores: Vec<Vec<usize>>,
     /// Solver calls actually paid (diagnostic counters for tests).
-    pub(crate) solver_calls: usize,
+    solver_calls: usize,
     /// Checks answered from a stored witness or unsat set.
-    pub(crate) witness_hits: usize,
+    witness_hits: usize,
 }
 
 impl WitnessPool {
-    pub(crate) fn new() -> Self {
+    /// An empty pool.
+    pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Stored witnesses plus cached UNSAT cores.
+    pub fn len(&self) -> usize {
+        self.witnesses.len() + self.unsat_cores.len()
+    }
+
+    /// Whether the pool holds no witnesses and no UNSAT cores.
+    pub fn is_empty(&self) -> bool {
+        self.witnesses.is_empty() && self.unsat_cores.is_empty()
+    }
+
+    /// Solver calls actually paid (cumulative; survives [`clear`](Self::clear)).
+    pub fn solver_calls(&self) -> usize {
+        self.solver_calls
+    }
+
+    /// Checks answered from a stored witness or UNSAT core.
+    pub fn witness_hits(&self) -> usize {
+        self.witness_hits
+    }
+
+    /// Drops every stored witness and UNSAT core (the counters are
+    /// kept — they describe the pool's lifetime, not its contents).
+    /// Required when the session it serves is rebuilt from scratch:
+    /// literal codes are only meaningful against the database that
+    /// assigned them.
+    pub fn clear(&mut self) {
+        self.witnesses.clear();
+        self.unsat_cores.clear();
     }
 
     /// Whether `witness` proves the assumption set satisfiable: every
@@ -63,7 +101,7 @@ impl WitnessPool {
     /// witness (SAT) or a subsumed unsat set (UNSAT) when possible, and
     /// from a real solver call — whose model or assumption set joins
     /// the pool — otherwise. Returns exactly what `check_under` would.
-    pub(crate) fn check(&mut self, theory: &mut Theory, assumptions: &[Lit]) -> bool {
+    pub fn check(&mut self, theory: &mut Theory, assumptions: &[Lit]) -> bool {
         if self.witnesses.iter().any(|w| Self::covers(w, assumptions)) {
             self.witness_hits += 1;
             return true;

@@ -5,7 +5,7 @@
 //! ```text
 //! repro [table1 | claims | figure1 | haley | greenwell |
 //!        exp-a | exp-b | exp-c | exp-d | exp-e | graph | logic |
-//!        af | fol | ltl | experiments | lint | all] [--smoke]
+//!        af | fol | ltl | experiments | lint | service | all] [--smoke]
 //! ```
 //!
 //! `graph` additionally writes the measured legacy-vs-indexed graph-core
@@ -17,9 +17,11 @@
 //! seed-vs-interned resolution-engine comparison (`BENCH_fol.json`),
 //! `ltl` for the trace-vs-CSR bounded-checking comparison
 //! (`BENCH_ltl.json`), `experiments` for the serial-vs-parallel
-//! experiment runtime (`BENCH_experiments.json`), and `lint` for the
+//! experiment runtime (`BENCH_experiments.json`), `lint` for the
 //! recompile-per-lint-vs-compile-once CaseLint comparison
-//! (`BENCH_lint.json`).
+//! (`BENCH_lint.json`), and `service` for the
+//! recompile-per-query-vs-incremental CaseService comparison under
+//! mixed edit/query traffic (`BENCH_service.json`).
 //!
 //! `--smoke` runs the benchmark artifacts on small fixed-seed
 //! populations and writes them as `BENCH_*.smoke.json` instead — fast,
@@ -58,11 +60,11 @@ fn main() {
     if smoke
         && !matches!(
             arg.as_str(),
-            "graph" | "logic" | "af" | "fol" | "ltl" | "experiments" | "lint"
+            "graph" | "logic" | "af" | "fol" | "ltl" | "experiments" | "lint" | "service"
         )
     {
         eprintln!(
-            "--smoke only applies to the graph, logic, af, fol, ltl, experiments, and lint artefacts"
+            "--smoke only applies to the graph, logic, af, fol, ltl, experiments, lint, and service artefacts"
         );
         std::process::exit(2);
     }
@@ -195,11 +197,23 @@ fn main() {
             write_artifact(path, &bench::lint::bench_lint_json(&report));
             bench::lint::render_report(&report)
         }
+        "service" => {
+            let (config, path) = if smoke {
+                (bench::service::smoke_config(), "BENCH_service.smoke.json")
+            } else {
+                (bench::service::scaled_config(), "BENCH_service.json")
+            };
+            let report =
+                bench::service::run_service_bench_with(&config, bench::experiments_bench_workers());
+            write_artifact(path, &bench::service::bench_service_json(&report));
+            bench::service::render_report(&report)
+        }
         "all" => bench::all(),
         other => {
             eprintln!(
                 "unknown artefact `{other}`; expected table1, claims, figure1, haley, \
-                 greenwell, exp-a..exp-e, graph, logic, af, fol, ltl, experiments, lint, or all"
+                 greenwell, exp-a..exp-e, graph, logic, af, fol, ltl, experiments, lint, \
+                 service, or all"
             );
             std::process::exit(2);
         }

@@ -22,6 +22,7 @@ pub mod graph;
 pub mod lint;
 pub mod logic;
 pub mod ltl;
+pub mod service;
 
 /// Runs `f` `runs` times and returns the fastest wall-clock time in
 /// milliseconds together with the last result (benchmark arms are
@@ -236,6 +237,15 @@ pub fn lint_bench() -> String {
     lint::render_report(&report)
 }
 
+/// Runs the CaseService comparison (a fleet of live cases under mixed
+/// edit/query traffic, recompile-per-query vs incremental sessions)
+/// and renders the summary. The JSON artifact is written by `repro
+/// service`.
+pub fn service_bench() -> String {
+    let report = service::run_service_bench(experiments_bench_workers());
+    service::render_report(&report)
+}
+
 /// Runs the experiment-runtime comparison (scaled §VI-A population,
 /// legacy vs cached-serial vs parallel) and renders the summary. The
 /// JSON artifact is written by `repro experiments`.
@@ -276,6 +286,7 @@ pub fn all() -> String {
         ltl_bench(),
         experiments_bench(),
         lint_bench(),
+        service_bench(),
     ] {
         out.push_str(&section);
         out.push('\n');

@@ -62,7 +62,7 @@ pub fn smoke_config() -> LintBenchConfig {
 /// formalised cases carry ("`hazard_h7_mitigation_verified`", not
 /// "`p3`"): the frontend pays to lex and intern them, which is exactly
 /// the cost a parse-once engine amortises.
-fn atom(i: usize, j: usize) -> String {
+pub(crate) fn atom(i: usize, j: usize) -> String {
     format!(
         "independent_verification_activity_for_subsystem_component_{i}_confirms_the_stage_{j}_safety_requirement_allocation"
     )
@@ -72,7 +72,7 @@ fn atom(i: usize, j: usize) -> String {
 /// `width`-link implication chain, `a{i}_0 & (a{i}_0 -> a{i}_1) & …`.
 /// Chains of distinct premises share no atoms, so every premise except
 /// the deliberately redundant last one is critical to the conclusion.
-fn premise_src(i: usize, width: usize) -> String {
+pub(crate) fn premise_src(i: usize, width: usize) -> String {
     let mut src = atom(i, 0);
     for j in 0..width {
         let _ = write!(src, " & ({} -> {})", atom(i, j), atom(i, j + 1));

@@ -8,7 +8,7 @@
 //! with `BTreeMap` valuations — once per step check, once for the root,
 //! and once per premise probed. [`LegacyEntailment`] reproduces that
 //! access pattern faithfully against the preserved
-//! [`legacy`](casekit_logic::prop::legacy) solver, so the speedup stays
+//! [`legacy`] solver, so the speedup stays
 //! measurable after the hot path moved on. [`interned_sweep`] is the
 //! replacement: one [`ArgumentTheory`] compilation per argument, every
 //! question an assume/check/retract round. [`bench_logic_json`] emits

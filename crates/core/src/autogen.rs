@@ -1,8 +1,8 @@
 //! Automatic generation of safety-argument fragments from formal proofs,
-//! after Basir, Denney & Fischer (Graydon §III-E, refs [6], [7], [10]).
+//! after Basir, Denney & Fischer (Graydon §III-E, refs \[6\], \[7\], \[10\]).
 //!
 //! Their proposal turns a machine-found proof into a GSN argument whose
-//! structure "follow[s] that of the proof from which it is generated":
+//! structure "follow\[s\] that of the proof from which it is generated":
 //! each derived line becomes a goal supported by the lines it cites, each
 //! premise becomes an assumed leaf, and the rule name becomes a strategy
 //! description. Two of the paper's observations are reproduced here
@@ -12,7 +12,7 @@
 //!   the propositions GSN wants (the authors' 2010 paper has exactly this
 //!   defect, which Graydon notes); [`ProofStyle::Literal`] reproduces it,
 //!   [`ProofStyle::Propositional`] generates proper propositions;
-//! * straightforward conversion "contain[s] too many details":
+//! * straightforward conversion "contain\[s\] too many details":
 //!   [`generate_argument`] emits one goal per proof line, and
 //!   [`generate_abstracted`] implements the abstraction the 2009 paper
 //!   lists as future work — eliding reiterations and single-use

@@ -1,7 +1,7 @@
 //! Quantitative confidence propagation over arguments.
 //!
 //! Graydon §V-B mentions that "argument confidence is assessed mechanically
-//! (e.g., through BBN modelling)" in some proposals (his ref [34] surveys
+//! (e.g., through BBN modelling)" in some proposals (his ref \[34\] surveys
 //! the mechanisms and finds none adequate in all cases). This module
 //! implements two of the simplest, clearly-labelled models so that the
 //! evidence-sufficiency experiment (§VI-E) can compare judgment procedures:

@@ -3,7 +3,7 @@
 //!
 //! A [`View`] tracks which nodes are collapsed; rendering shows a collapsed
 //! node as a summary line with the count of hidden descendants, letting a
-//! reader "evaluat[e] a smaller, abstract argument structure … instead of
+//! reader "evaluat\[e\] a smaller, abstract argument structure … instead of
 //! its larger concrete instantiation".
 
 use crate::argument::{Argument, NodeIdx};

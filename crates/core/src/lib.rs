@@ -21,7 +21,7 @@
 //! * [`semantics`] — compiling formal node payloads into a logical theory
 //!   and checking deductive support relations;
 //! * [`confidence`] — simple quantitative confidence propagation (the
-//!   BBN-style modelling the paper's ref [34] discusses).
+//!   BBN-style modelling the paper's ref \[34\] discusses).
 //!
 //! # Architecture: the indexed arena graph core
 //!

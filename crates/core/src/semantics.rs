@@ -24,7 +24,7 @@ use crate::argument::{Argument, NodeIdx};
 use crate::node::{EdgeKind, FormalPayload, NodeId, NodeKind};
 use casekit_logic::probe::{PremiseImpact, ProbeReport};
 use casekit_logic::prop::{Atom, Formula, Lit, Theory};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
 /// The formal premises of an argument: the propositional payloads of its
 /// formalised support *leaves* (solutions/evidence are cited through their
@@ -94,6 +94,162 @@ fn formalised_support_children(argument: &Argument, idx: NodeIdx) -> Vec<NodeIdx
     out
 }
 
+/// Parents of the support steps an edit to `touched` can affect: the
+/// touched node itself plus every formalised ancestor that reaches it
+/// through `SupportedBy` edges crossing only unformalised strategies
+/// (the exact paths `formalised_support_children` recurses through).
+/// An editor that changed one premise re-verifies only these steps; all
+/// other step verdicts are untouched by construction, because a step's
+/// truth depends only on its parent payload and the payloads of its
+/// formalised support children.
+pub fn affected_step_parents(
+    argument: &Argument,
+    touched: impl IntoIterator<Item = NodeIdx>,
+) -> BTreeSet<NodeIdx> {
+    let mut affected = BTreeSet::new();
+    let mut stack: Vec<NodeIdx> = touched.into_iter().collect();
+    // Every touched node is itself a candidate step parent.
+    affected.extend(stack.iter().copied());
+    while let Some(idx) = stack.pop() {
+        for parent in argument.parents_by_kind_idx(idx, EdgeKind::SupportedBy) {
+            let node = argument.node_at(parent);
+            if node.is_formalised() {
+                // A formalised parent anchors a step; the chain stops
+                // here because grandparent steps see only this parent's
+                // payload, which the edit did not change.
+                affected.insert(parent);
+            } else if node.kind == NodeKind::Strategy && affected.insert(parent) {
+                // Unformalised strategies are transparent to
+                // `formalised_support_children`; keep climbing.
+                stack.push(parent);
+            }
+        }
+    }
+    affected
+}
+
+/// Per-node memo of compiled payload literals for
+/// [`ArgumentTheory::recompile`]: which formula each node last compiled
+/// to, the packed literal it received, and what that compilation cost
+/// in fresh solver variables (the garbage left behind if the payload is
+/// later replaced or the node removed).
+#[derive(Debug, Clone, Default)]
+pub struct PayloadCache {
+    entries: HashMap<NodeId, CachedPayload>,
+    /// Solver variables spent on payloads since retired — definitional
+    /// clauses nothing references, carried by the session as dead
+    /// weight until whole-theory invalidation compacts them.
+    garbage: usize,
+    /// Solver variables backing currently-live payloads.
+    live: usize,
+}
+
+#[derive(Debug, Clone)]
+struct CachedPayload {
+    formula: Formula,
+    lit: Lit,
+    cost: usize,
+}
+
+impl PayloadCache {
+    /// Number of cached payload literals.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Solver variables backing retired payloads (dead definitional
+    /// clauses accumulated across edits).
+    pub fn garbage_cost(&self) -> usize {
+        self.garbage
+    }
+
+    /// Solver variables backing live payloads.
+    pub fn live_cost(&self) -> usize {
+        self.live
+    }
+
+    /// The literal for `id`'s payload, reusing the cached compilation
+    /// when the formula is unchanged and compiling a fresh definition
+    /// otherwise.
+    fn lit_for(
+        &mut self,
+        theory: &mut Theory,
+        id: &NodeId,
+        formula: &Formula,
+        stats: &mut RecompileStats,
+    ) -> Lit {
+        if let Some(entry) = self.entries.get(id) {
+            if entry.formula == *formula {
+                stats.reused_payloads += 1;
+                return entry.lit;
+            }
+        }
+        let before = theory.num_vars();
+        let lit = theory.formula_lit(formula);
+        let cost = theory.num_vars() - before;
+        stats.fresh_payloads += 1;
+        self.live += cost;
+        if let Some(old) = self.entries.insert(
+            id.clone(),
+            CachedPayload {
+                formula: formula.clone(),
+                lit,
+                cost,
+            },
+        ) {
+            self.garbage += old.cost;
+            self.live -= old.cost;
+        }
+        lit
+    }
+
+    /// Retires cache entries whose node no longer exists (or no longer
+    /// carries a propositional payload), moving their cost to garbage.
+    fn retire_missing(&mut self, argument: &Argument, stats: &mut RecompileStats) {
+        let mut garbage = 0usize;
+        let mut retired = 0u32;
+        self.entries.retain(|id, entry| {
+            let alive = argument.node_idx(id).is_some_and(|idx| {
+                matches!(argument.node_at(idx).formal, Some(FormalPayload::Prop(_)))
+            });
+            if !alive {
+                garbage += entry.cost;
+                retired += 1;
+            }
+            alive
+        });
+        self.garbage += garbage;
+        self.live -= garbage;
+        stats.retired_payloads += retired;
+    }
+}
+
+/// What one [`ArgumentTheory::recompile`] round did: how much of the
+/// previous compilation survived, and how much dead weight the session
+/// is carrying. `garbage_cost / max(1, live_cost)` is the natural
+/// compaction trigger.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecompileStats {
+    /// Payloads whose cached literal was reused unchanged.
+    pub reused_payloads: u32,
+    /// Payloads compiled fresh (new nodes or changed formulas).
+    pub fresh_payloads: u32,
+    /// Cache entries dropped because their node vanished or lost its
+    /// propositional payload.
+    pub retired_payloads: u32,
+    /// Total solver variables after this round.
+    pub num_vars: usize,
+    /// Cumulative variables backing retired payloads.
+    pub garbage_cost: usize,
+    /// Variables backing live payloads.
+    pub live_cost: usize,
+}
+
 /// One checkable support step: a parent with a propositional payload and
 /// formalised support including at least one propositional payload.
 #[derive(Debug, Clone)]
@@ -159,6 +315,65 @@ impl ArgumentTheory {
                 lits[idx.index()] = Some(theory.formula_lit(f));
             }
         }
+        Self::assemble(argument, theory, &lits)
+    }
+
+    /// Recompiles an *edited* argument against a live solver session,
+    /// reusing the payload literals of unchanged nodes.
+    ///
+    /// This is the incremental counterpart of [`compile`](Self::compile)
+    /// for long-lived case sessions: `theory` is the clause database of
+    /// the previous revision (extract it with
+    /// [`into_theory`](Self::into_theory)) and `cache` maps node ids to
+    /// the literal their payload compiled to last time. Unchanged
+    /// payloads keep their literals without touching the Tseitin
+    /// compiler; changed or new payloads pay exactly their own
+    /// compilation delta. Because payloads are compiled as
+    /// *definitional* biconditionals (never asserted), the clause
+    /// database only ever grows, so everything the solver learned
+    /// answering earlier revisions' questions remains a consequence and
+    /// keeps accelerating future checks. Retired payloads leave their
+    /// (unreferenced, non-constraining) definition clauses behind as
+    /// garbage; the returned [`RecompileStats`] report the accumulated
+    /// garbage so callers can fall back to whole-theory invalidation —
+    /// a fresh [`compile`](Self::compile) with an empty cache — when
+    /// compaction is worth more than the retained learning.
+    ///
+    /// Passing a fresh `Theory` and an empty cache is exactly
+    /// [`compile`](Self::compile) (same literal numbering, same
+    /// tables), which is what makes the two paths differentially
+    /// testable.
+    pub fn recompile(
+        argument: &Argument,
+        theory: Theory,
+        cache: &mut PayloadCache,
+    ) -> (Self, RecompileStats) {
+        let mut theory = theory;
+        let mut stats = RecompileStats::default();
+        let mut lits: Vec<Option<Lit>> = vec![None; argument.len()];
+        for idx in argument.node_indices() {
+            if let Some(FormalPayload::Prop(f)) = &argument.node_at(idx).formal {
+                let id = argument.id_at(idx);
+                lits[idx.index()] = Some(cache.lit_for(&mut theory, id, f, &mut stats));
+            }
+        }
+        cache.retire_missing(argument, &mut stats);
+        stats.num_vars = theory.num_vars();
+        stats.garbage_cost = cache.garbage;
+        stats.live_cost = cache.live;
+        (Self::assemble(argument, theory, &lits), stats)
+    }
+
+    /// Consumes the session, releasing the underlying solver (clause
+    /// database, learned clauses, interner) for
+    /// [`recompile`](Self::recompile) against an edited argument.
+    pub fn into_theory(self) -> Theory {
+        self.theory
+    }
+
+    /// Builds the step/premise/conclusion tables over compiled payload
+    /// literals (one per arena slot, arena order).
+    fn assemble(argument: &Argument, theory: Theory, lits: &[Option<Lit>]) -> Self {
         // Checkable support steps, in arena order (the legacy report
         // order of `non_deductive_steps`).
         let mut steps = Vec::new();
@@ -652,5 +867,114 @@ mod tests {
         assert_eq!(step_is_deductive(&a, &"g1".into()), None);
         assert!(formal_premises(&a).is_empty());
         assert!(formal_conclusion(&a).is_none());
+    }
+
+    #[test]
+    fn recompile_with_empty_cache_matches_compile() {
+        let a = deductive_case();
+        let mut batch = ArgumentTheory::compile(&a);
+        let mut cache = PayloadCache::default();
+        let (mut inc, stats) = ArgumentTheory::recompile(&a, Theory::new(), &mut cache);
+        // Same tables, same literal numbering, same verdicts.
+        assert_eq!(inc.premise_indices(), batch.premise_indices());
+        assert_eq!(inc.step_indices(), batch.step_indices());
+        assert_eq!(inc.conclusion_index(), batch.conclusion_index());
+        assert_eq!(inc.premise_lits(), batch.premise_lits());
+        assert_eq!(inc.conclusion_lit(), batch.conclusion_lit());
+        assert_eq!(inc.root_entailed(), batch.root_entailed());
+        assert_eq!(
+            inc.non_deductive_step_indices(),
+            batch.non_deductive_step_indices()
+        );
+        assert_eq!(stats.fresh_payloads, 3);
+        assert_eq!(stats.reused_payloads, 0);
+        assert_eq!(stats.garbage_cost, 0);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn recompile_reuses_unchanged_payloads_and_tracks_garbage() {
+        let mut a = deductive_case();
+        let mut cache = PayloadCache::default();
+        let (mut inc, _) = ArgumentTheory::recompile(&a, Theory::new(), &mut cache);
+        assert_eq!(inc.root_entailed(), Some(true));
+        // Break the rule premise: g2 now says p -> r, so q is no longer
+        // entailed.
+        a.node_mut(&"g2".into()).unwrap().formal = Some(payload("p -> r"));
+        let (mut inc, stats) = ArgumentTheory::recompile(&a, inc.into_theory(), &mut cache);
+        assert_eq!(stats.reused_payloads, 2);
+        assert_eq!(stats.fresh_payloads, 1);
+        assert!(stats.garbage_cost > 0, "replaced payload leaves garbage");
+        assert_eq!(inc.root_entailed(), Some(false));
+        // Restore it; the verdict round-trips on the same session.
+        a.node_mut(&"g2".into()).unwrap().formal = Some(payload("p -> q"));
+        let (mut inc, stats) = ArgumentTheory::recompile(&a, inc.into_theory(), &mut cache);
+        assert_eq!(stats.fresh_payloads, 1);
+        assert_eq!(inc.root_entailed(), Some(true));
+        assert_eq!(
+            inc.probe().unwrap().critical_indices(),
+            ArgumentTheory::compile(&a)
+                .probe()
+                .unwrap()
+                .critical_indices()
+        );
+    }
+
+    #[test]
+    fn recompile_retires_payloads_of_removed_nodes() {
+        let a = deductive_case();
+        let mut cache = PayloadCache::default();
+        let (inc, _) = ArgumentTheory::recompile(&a, Theory::new(), &mut cache);
+        let live_before = cache.live_cost();
+        // Rebuild the argument without g2/e1 (the `p -> q` rule — a
+        // compound payload, so retiring it strands Tseitin variables).
+        let nodes: Vec<Node> = a
+            .arena()
+            .iter()
+            .filter(|n| n.id != "g2".into() && n.id != "e1".into())
+            .cloned()
+            .collect();
+        let edges: Vec<_> = a
+            .edges()
+            .iter()
+            .filter(|e| e.from != "g2".into() && e.to != "g2".into() && e.to != "e1".into())
+            .cloned()
+            .collect();
+        let shrunk = Argument::from_parts("mp", nodes, edges).unwrap();
+        let (mut inc, stats) = ArgumentTheory::recompile(&shrunk, inc.into_theory(), &mut cache);
+        assert_eq!(stats.retired_payloads, 1);
+        assert!(cache.garbage_cost() > 0);
+        assert!(cache.live_cost() < live_before);
+        assert_eq!(cache.len(), 2);
+        // Without the rule, modus ponens no longer closes.
+        assert_eq!(inc.root_entailed(), Some(false));
+    }
+
+    #[test]
+    fn affected_step_parents_climbs_through_unformalised_strategies_only() {
+        let a = deductive_case();
+        let g3 = a.node_idx(&"g3".into()).unwrap();
+        let s1 = a.node_idx(&"s1".into()).unwrap();
+        let g1 = a.node_idx(&"g1".into()).unwrap();
+        // Touching the `p` premise reaches g1's step through the
+        // transparent strategy s1.
+        let affected = affected_step_parents(&a, [g3]);
+        assert_eq!(affected, BTreeSet::from([g3, s1, g1]));
+        // A formalised parent stops the climb: stack another goal above
+        // g1 and confirm a g3 edit never reaches it.
+        let mut nodes: Vec<Node> = a.arena().to_vec();
+        nodes.push(Node::new("g0", NodeKind::Goal, "top").with_formal(payload("q | z")));
+        let mut edges: Vec<_> = a.edges().to_vec();
+        edges.push(crate::argument::Edge {
+            from: "g0".into(),
+            to: "g1".into(),
+            kind: EdgeKind::SupportedBy,
+        });
+        let tall = Argument::from_parts("tall", nodes, edges).unwrap();
+        let g3t = tall.node_idx(&"g3".into()).unwrap();
+        let g0t = tall.node_idx(&"g0".into()).unwrap();
+        let affected = affected_step_parents(&tall, [g3t]);
+        assert!(affected.contains(&tall.node_idx(&"g1".into()).unwrap()));
+        assert!(!affected.contains(&g0t), "formalised parents stop the walk");
     }
 }

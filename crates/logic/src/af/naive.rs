@@ -5,7 +5,7 @@
 //! Every function here walks all `2^n` argument subsets, so everything
 //! is capped at [`ENUMERATION_LIMIT`] arguments and returns
 //! [`LogicError::TooManyAtoms`] beyond it. The public
-//! [`Framework`](super::Framework) API has no such ceiling — it routes
+//! [`Framework`] API has no such ceiling — it routes
 //! through the solver — but on tiny frameworks the enumerator is an
 //! independent implementation of the same semantics, which is exactly
 //! what the cross-checking proptests and `repro af` need.

@@ -74,7 +74,7 @@ use crate::prop::solver::Solver;
 use casekit_runtime::Runtime;
 use std::collections::{BTreeSet, HashMap, HashSet};
 
-/// Argument count at which [`Framework`](super::Framework)'s semantics
+/// Argument count at which [`Framework`]'s semantics
 /// methods switch from the monolithic SAT encoding to the
 /// SCC-decomposed engine. Below it the monolithic path is typically
 /// faster (one small encoding beats condensation bookkeeping) and

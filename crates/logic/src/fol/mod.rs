@@ -22,12 +22,12 @@
 //! Like `prop` and `af`, the FOL substrate is split into a *name plane*
 //! and an *index plane*:
 //!
-//! * The name plane ([`term`], [`unify`], [`parser`]) is the readable
+//! * The name plane (`term`, [`unify`], `parser`) is the readable
 //!   surface: [`Term`] trees over `Arc<str>` names, map-backed
 //!   [`Substitution`]s, and the recursive seed engine reachable through
 //!   [`KnowledgeBase::solve_seed_with`]. It is kept as the differential
 //!   oracle the fast plane is checked against.
-//! * The index plane ([`interned`]) compiles a [`KnowledgeBase`] into an
+//! * The index plane (`interned`) compiles a [`KnowledgeBase`] into an
 //!   [`InternedKb`]: symbols intern to `u32` ids, terms hash-cons into a
 //!   flat arena ([`TermId`] nodes with argument slices in one shared
 //!   pool), clauses index by predicate and first-argument functor, and

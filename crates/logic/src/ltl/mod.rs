@@ -27,7 +27,7 @@
 //!   `Arc<str>` proposition sets and evaluates formulas recursively over
 //!   [`Trace`]s; [`Kripke::check_bounded_naive`] is the seed checker,
 //!   retained as the differential oracle.
-//! * The index plane ([`csr`]) compiles the structure to a [`CsrKripke`]
+//! * The index plane (`csr`) compiles the structure to a [`CsrKripke`]
 //!   — compressed-sparse-row out-edges plus bitset labels over an
 //!   interned proposition universe — and the formula to a
 //!   [`CompiledLtl`] flat node arena. Candidate lassos are evaluated by

@@ -81,7 +81,7 @@ impl Formula {
 
     /// True when some valuation satisfies the formula.
     ///
-    /// Decided by the DPLL solver in [`super::sat`]; formulas from assurance
+    /// Decided by the DPLL solver in `sat`; formulas from assurance
     /// arguments are small, but arguments compiled from generated corpora
     /// can reach thousands of clauses, which enumeration would not handle.
     pub fn is_satisfiable(&self) -> bool {
@@ -160,7 +160,7 @@ impl TruthTable {
 
 /// Builds the full truth table of `formula`.
 ///
-/// Returns [`LogicError::TooManyAtoms`] above 24 atoms (2^24 rows):
+/// Returns [`TooManyAtoms`](crate::LogicError::TooManyAtoms) above 24 atoms (2^24 rows):
 /// truth tables are for explanation, not deciding — use
 /// [`super::dpll`] or a [`super::solver::Theory`] session for that.
 pub fn truth_table(formula: &Formula) -> Result<TruthTable, crate::error::LogicError> {

@@ -14,7 +14,7 @@
 //!   — is what arguments store and humans read; atoms are interned
 //!   strings, clauses are ordered sets;
 //! * the index plane — [`solver`] with its [`AtomTable`](solver::Theory)
-//!   interner, packed [`Lit`](intern::Lit)s, flat clause arenas, and
+//!   interner, packed [`Lit`]s, flat clause arenas, and
 //!   the CDCL core (first-UIP clause learning, non-chronological
 //!   backjumping, VSIDS decisions, learned-clause GC) — is what
 //!   actually decides; everything is a dense `u32`.

@@ -45,7 +45,7 @@
 //! The trail is partitioned into decision levels by `trail_lim`
 //! (`trail_lim[d]` is the index of the first literal of level `d + 1`;
 //! level 0 holds root facts). Every trail literal is either a decision
-//! (reason [`NO_REASON`]) or was forced by exactly one clause whose
+//! (reason `NO_REASON`) or was forced by exactly one clause whose
 //! other literals were all false earlier on the trail — that clause is
 //! its reason, and the reasons form the implication graph. Propagation
 //! maintains the watched-literal invariant: a watched literal is only
@@ -345,6 +345,43 @@ impl Solver {
     fn learned_budget(&self) -> usize {
         self.budget_override
             .unwrap_or_else(|| 2000 + self.problem_count / 2)
+    }
+
+    /// Drops every learned non-unit clause, keeping the problem clauses
+    /// (and the persisted unit store) intact.
+    ///
+    /// This is the conservative session-invalidation hook for
+    /// long-lived incremental callers: learned clauses are consequences
+    /// of the clause database, so a session whose database only ever
+    /// *grows* (the `Theory::formula_lit` compilation discipline) never
+    /// needs this — but a caller that cannot establish that invariant,
+    /// or that wants to bound learnt-store memory across thousands of
+    /// edit rounds, can forget the learnt set wholesale and let the
+    /// search re-derive what the next queries need. Learned *units*
+    /// have already merged into the persistent unit store and stay (a
+    /// unit consequence of a monotonically-grown database remains a
+    /// consequence); a caller that cannot even trust those must rebuild
+    /// the theory from scratch — whole-theory invalidation is the
+    /// correct fallback, not a partial one.
+    pub fn forget_learned(&mut self) {
+        self.unwind_all();
+        let old_lits = std::mem::take(&mut self.lits);
+        let old_headers = std::mem::take(&mut self.headers);
+        for w in &mut self.watches {
+            w.clear();
+        }
+        self.problem_count = 0;
+        self.stats.learned_dropped += self.learned_live as u64;
+        self.learned_live = 0;
+        self.gc_floor = 0;
+        for h in &old_headers {
+            if h.learned {
+                continue;
+            }
+            let clause = &old_lits[h.start as usize..(h.start + h.len) as usize];
+            self.store_clause(clause, false, h.lbd);
+            self.problem_count += 1;
+        }
     }
 
     /// Adds a permanent clause (a disjunction of `lits`).
@@ -914,6 +951,23 @@ impl Theory {
         self.solver.stats()
     }
 
+    /// Number of live learned (non-unit) clauses in the session.
+    pub fn num_learned(&self) -> usize {
+        self.solver.num_learned()
+    }
+
+    /// Drops the session's learned non-unit clauses
+    /// ([`Solver::forget_learned`]): the conservative invalidation hook
+    /// for incremental callers that cannot establish the learnt set is
+    /// still a consequence of their edited database, or that want to
+    /// bound its memory across many edit rounds. Sessions compiled
+    /// exclusively through [`Theory::formula_lit`] (definitional
+    /// clauses only, database only grows) never *need* this for
+    /// soundness.
+    pub fn forget_learned(&mut self) {
+        self.solver.forget_learned();
+    }
+
     /// The positive literal for `atom`, interning it on first sight.
     pub fn atom_lit(&mut self, atom: &Atom) -> Lit {
         let solver = &mut self.solver;
@@ -1346,6 +1400,57 @@ mod tests {
         );
         // Knowledge persisted (units or stored learned clauses).
         assert!(s.num_learned() + learned_units > 0);
+    }
+
+    #[test]
+    fn forget_learned_preserves_verdicts_and_problem_clauses() {
+        // The relaxed-pigeonhole shape: conflict-rich under ~r,
+        // satisfiable under r. Forgetting the learnt set between rounds
+        // must leave every verdict unchanged — the search just re-earns
+        // its shortcuts.
+        let mut s = Solver::new();
+        let r = s.new_var();
+        let at: Vec<Vec<Var>> = (0..5)
+            .map(|_| (0..4).map(|_| s.new_var()).collect())
+            .collect();
+        for p in &at {
+            let clause: Vec<Lit> = p.iter().map(|v| v.positive()).collect();
+            s.add_clause(&clause);
+        }
+        for a in 0..5 {
+            for b in a + 1..5 {
+                for (x, y) in at[a].iter().zip(&at[b]) {
+                    s.add_clause(&[x.negative(), y.negative(), r.positive()]);
+                }
+            }
+        }
+        let problem_clauses = s.num_clauses();
+        for round in 0..4 {
+            s.assume(r.negative());
+            assert!(!s.check(), "strict pigeonhole stays unsat (round {round})");
+            s.retract_all();
+            s.assume(r.positive());
+            assert!(s.check(), "relaxed pigeonhole stays sat (round {round})");
+            s.retract_all();
+            s.forget_learned();
+            assert_eq!(s.num_learned(), 0, "learnt store empty after forget");
+        }
+        // Problem clauses survive every forget pass (the unit store may
+        // have grown by derived root facts, which are consequences and
+        // deliberately kept).
+        assert!(s.num_clauses() >= problem_clauses - s.units.len());
+        assert!(s.stats().conflicts > 0);
+
+        // The Theory wrapper exposes the same hook.
+        let mut th = Theory::new();
+        let f = parse("(p -> q) & (q -> r) & p").unwrap();
+        let lit = th.formula_lit(&f);
+        let r_lit = th.formula_lit(&parse("r").unwrap());
+        assert!(!th.check_under([lit, !r_lit]));
+        th.forget_learned();
+        assert_eq!(th.num_learned(), 0);
+        assert!(!th.check_under([lit, !r_lit]));
+        assert!(th.check_under([lit, r_lit]));
     }
 
     #[test]

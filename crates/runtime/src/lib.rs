@@ -174,6 +174,61 @@ impl Runtime {
         }
         out
     }
+
+    /// [`Runtime::map`] over *mutable* items: applies `f` to every item
+    /// in place, returning the per-item results in input order.
+    ///
+    /// This is the executor for stateful shards — e.g. a service that
+    /// owns one long-lived compiled session per case and wants a batch
+    /// of independent per-session workloads farmed across cores. The
+    /// purity contract shifts accordingly: `f(i, &mut items[i])` may
+    /// mutate its own item freely, but the result (and the item's final
+    /// state) must be a function of the item's prior state and `i`
+    /// alone — items must not communicate. Under that contract the
+    /// worker count stays unobservable, exactly as for [`Runtime::map`]:
+    /// the chunking is deterministic, every item is visited exactly
+    /// once, and outputs are concatenated back in input order.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f` (the scope joins every worker
+    /// first).
+    pub fn map_mut<T, R, F>(&self, items: &mut [T], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut T) -> R + Sync,
+    {
+        let workers = self.effective_workers(items.len());
+        if workers <= 1 {
+            return items.iter_mut().enumerate().map(|(i, x)| f(i, x)).collect();
+        }
+        let chunk_len = items.len().div_ceil(workers);
+        let chunks: Vec<Vec<R>> = std::thread::scope(|scope| {
+            let f = &f;
+            let handles: Vec<_> = items
+                .chunks_mut(chunk_len)
+                .enumerate()
+                .map(|(chunk_index, chunk)| {
+                    scope.spawn(move || {
+                        let base = chunk_index * chunk_len;
+                        let mut out = Vec::with_capacity(chunk.len());
+                        out.extend(chunk.iter_mut().enumerate().map(|(j, x)| f(base + j, x)));
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("runtime worker panicked"))
+                .collect()
+        });
+        let mut out = Vec::with_capacity(items.len());
+        for chunk in chunks {
+            out.extend(chunk);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -213,6 +268,38 @@ mod tests {
         // An explicit count is honored past the core count, but never
         // past one worker per MIN_CHUNK items.
         assert_eq!(Runtime::with_workers(1000).effective_workers(103), 7);
+    }
+
+    #[test]
+    fn map_mut_mutates_every_item_once_in_order_for_every_worker_count() {
+        let reference: Vec<(usize, u64)> = (0..103).map(|i| (i, i as u64 * 3 + 1)).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let mut items: Vec<u64> = (0..103).collect();
+            let results = Runtime::with_workers(workers).map_mut(&mut items, |i, x| {
+                *x = *x * 3 + 1;
+                (i, *x)
+            });
+            assert_eq!(results, reference, "workers = {workers}");
+            let finals: Vec<u64> = reference.iter().map(|&(_, v)| v).collect();
+            assert_eq!(items, finals, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn map_mut_handles_empty_and_tiny_inputs() {
+        let mut empty: Vec<u8> = Vec::new();
+        assert!(Runtime::with_workers(8)
+            .map_mut(&mut empty, |_, x| *x)
+            .is_empty());
+        let mut one = [7u8];
+        assert_eq!(
+            Runtime::with_workers(8).map_mut(&mut one, |i, x| {
+                *x += 1;
+                (i, *x)
+            }),
+            vec![(0, 8)]
+        );
+        assert_eq!(one, [8]);
     }
 
     #[test]

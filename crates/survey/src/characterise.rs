@@ -81,7 +81,7 @@ pub struct Characterisation {
 }
 
 /// The characterisation table: the twenty selected papers plus Sokolsky
-/// et al. [39], which Graydon characterises alongside them.
+/// et al. \[39\], which Graydon characterises alongside them.
 pub fn characterisations() -> Vec<Characterisation> {
     use Aspect::*;
     use Relationship::*;

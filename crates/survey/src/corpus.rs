@@ -22,7 +22,7 @@ use crate::paper::{AbstractSignals, Attribution, Domain, FullTextSignals, Librar
 /// Ref 39 (Sokolsky et al.) is characterised by Graydon alongside the
 /// twenty selected papers but is not among refs 6–25; we encode it as
 /// surfacing in phase 1 and *not* phase-2 selected, matching "phase two
-/// yielded twenty selected papers [6]–[25]".
+/// yielded twenty selected papers \[6\]–\[25\]".
 const REAL_PAPERS: &[(u8, u16, &str, bool, bool)] = &[
     (
         6,

@@ -3,7 +3,7 @@
 //! The build environment has no network access and no crates.io cache, so
 //! the real serde stack is unavailable. This proc-macro derives the
 //! simplified `Serialize`/`Deserialize` traits exposed by the vendored
-//! `serde` crate (tree-structured [`serde::Value`] data model, externally
+//! `serde` crate (tree-structured `serde::Value` data model, externally
 //! tagged enums — the same wire shape serde_json would produce for the
 //! derive defaults used in this workspace).
 //!

@@ -5,12 +5,13 @@
 check:
     ./scripts/check.sh
 
-# Mirror the CI pipeline locally, in job order: fmt, clippy, release
-# build + tests, the deny-level example lint, then the smoke
-# bench-regression gate.
+# Mirror the CI pipeline locally, in job order: fmt, clippy, rustdoc
+# with warnings denied, release build + tests, the deny-level example
+# lint, then the smoke bench-regression gate.
 ci:
     cargo fmt --all --check
     cargo clippy --workspace --all-targets -- -D warnings
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
     cargo build --release
     cargo test -q
     cargo run --release -q -p casekit-analysis --bin caselint -- --deny examples/cases
@@ -67,6 +68,14 @@ bench-experiments:
 # CaseLint engine-vs-standalone-tools artifact (BENCH_lint.json).
 bench-lint:
     cargo run --release -q -p casekit-bench --bin repro lint
+
+# CaseService incremental-vs-batch artifact (BENCH_service.json).
+bench-service:
+    cargo run --release -q -p casekit-bench --bin repro service
+
+# Rustdoc for the workspace with warnings denied (the CI docs job).
+docs:
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
 # Regenerate every paper artifact.
 repro:

@@ -74,6 +74,12 @@ repro_lint_gated() {
     || { echo "BENCH_lint.json does not report cross-engine/cross-worker diagnostic agreement"; return 1; }
 }
 
+repro_service_gated() {
+  cargo run --release -q -p casekit-bench --bin repro service || return 1
+  grep -q '"answers_agree": true' BENCH_service.json \
+    || { echo "BENCH_service.json does not report incremental/batch answer agreement"; return 1; }
+}
+
 run_step "cargo fmt --check" cargo fmt --all --check
 run_step "cargo clippy -D warnings" cargo clippy --workspace --all-targets -- -D warnings
 run_step "cargo test" cargo test -q
@@ -90,6 +96,7 @@ run_step "repro ltl + agreement gate (writes BENCH_ltl.json)" repro_ltl_gated
 run_step "repro experiments + agreement gate (writes BENCH_experiments.json)" \
   repro_experiments_gated
 run_step "repro lint + agreement gate (writes BENCH_lint.json)" repro_lint_gated
+run_step "repro service + agreement gate (writes BENCH_service.json)" repro_service_gated
 
 echo
 echo "== step summary =="

@@ -15,6 +15,8 @@
 //! * [`query`] — metadata annotation and structured querying.
 //! * [`survey`] — the paper's systematic literature survey pipeline.
 //! * [`experiments`] — simulated studies from the paper's section VI.
+//! * [`service`] — long-lived incremental case sessions with dirty-step
+//!   re-verification and batched multi-question answering.
 
 #![forbid(unsafe_code)]
 
@@ -25,4 +27,5 @@ pub use casekit_fallacies as fallacies;
 pub use casekit_logic as logic;
 pub use casekit_patterns as patterns;
 pub use casekit_query as query;
+pub use casekit_service as service;
 pub use casekit_survey as survey;
