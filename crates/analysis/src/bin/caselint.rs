@@ -5,10 +5,14 @@
 //! ```
 //!
 //! Each `.case` file (or every `.case` file under a directory, sorted)
-//! is parsed with the core DSL and linted with the full pass set.
-//! Diagnostics print one per line in canonical order. Exit status is 1
-//! if any file fails to parse or any diagnostic of error severity is
-//! emitted, 0 otherwise.
+//! is parsed with the error-recovering core DSL frontend and linted
+//! with the full pass set. Malformed files no longer stop at the first
+//! error: every recovered syntax error is reported as a `CK2xx`
+//! diagnostic, and whatever argument survived recovery is still linted.
+//! Diagnostics print one per line as
+//! `file:line:col: severity[code]: message` followed by a caret excerpt
+//! of the offending source line. Exit status is 1 if any diagnostic of
+//! error severity is emitted, 0 otherwise.
 //!
 //! `--deny` promotes every lint to deny level (any diagnostic is an
 //! error) — the mode CI uses over the example corpus. `--list` prints
@@ -16,8 +20,8 @@
 
 #![forbid(unsafe_code)]
 
-use casekit_analysis::{lint_argument, Level, LintCode, LintConfig, Severity};
-use casekit_core::dsl::parse_argument;
+use casekit_analysis::{check_source, excerpt, Level, LintCode, LintConfig, Severity};
+use casekit_logic::LineIndex;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -102,16 +106,19 @@ fn run(args: &[String]) -> Result<bool, String> {
     for file in &files {
         let source =
             std::fs::read_to_string(file).map_err(|e| format!("{}: {e}", file.display()))?;
-        let argument = match parse_argument(&source) {
-            Ok(argument) => argument,
-            Err(e) => {
-                eprintln!("{}: parse error: {e}", file.display());
-                clean = false;
-                continue;
+        let analysis = check_source(&source, &config);
+        let index = LineIndex::new(&source);
+        for diagnostic in &analysis.diagnostics {
+            match diagnostic.span {
+                Some(span) => {
+                    let (line, col) = index.line_col(span.start);
+                    println!("{}:{line}:{col}: {diagnostic}", file.display());
+                    if let Some(lines) = excerpt(&source, &index, span) {
+                        println!("{lines}");
+                    }
+                }
+                None => println!("{}: {diagnostic}", file.display()),
             }
-        };
-        for diagnostic in lint_argument(&argument, &config) {
-            println!("{}: {diagnostic}", file.display());
             total += 1;
             if diagnostic.severity == Severity::Error {
                 clean = false;

@@ -4,13 +4,14 @@
 //! Codes are *stable*: once published they never change meaning, so
 //! tooling (CI gates, editor integrations, suppression lists) can key on
 //! them. `CK0xx` codes are structural (graph-shape) lints, `CK1xx` are
-//! logical (solver-backed) and fallacy lints. The registry
+//! logical (solver-backed) and fallacy lints, and `CK2xx` are syntax
+//! diagnostics raised by the recovering DSL frontend. The registry
 //! ([`LintCode::ALL`], [`LintCode::descriptor`]) is the single source of
 //! truth for names, default levels, and pass classification — the README
 //! lint table is generated from the same data the engine dispatches on.
 
 use casekit_core::NodeId;
-use casekit_logic::Span;
+use casekit_logic::{LineIndex, Span};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::str::FromStr;
@@ -72,6 +73,8 @@ impl fmt::Display for Severity {
 /// Which plane a lint runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PassKind {
+    /// Source-plane diagnostics from the recovering DSL frontend.
+    Syntax,
     /// O(V+E) graph-shape passes on the arena/CSR index plane.
     Structural,
     /// Solver-backed passes on a compiled [`casekit_core::semantics::ArgumentTheory`] session.
@@ -83,6 +86,7 @@ pub enum PassKind {
 impl fmt::Display for PassKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
+            PassKind::Syntax => "syntax",
             PassKind::Structural => "structural",
             PassKind::Logical => "logical",
             PassKind::Fallacy => "fallacy",
@@ -92,7 +96,8 @@ impl fmt::Display for PassKind {
 
 macro_rules! lint_codes {
     ($( $variant:ident = ($code:expr, $num:expr, $name:expr, $default:expr, $pass:expr, $summary:expr), )*) => {
-        /// Stable lint codes. `CK0xx` structural, `CK1xx` logical/fallacy.
+        /// Stable lint codes. `CK0xx` structural, `CK1xx`
+        /// logical/fallacy, `CK2xx` syntax.
         #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
         pub enum LintCode {
             $(
@@ -185,6 +190,16 @@ lint_codes! {
         "term distributed in the conclusion but not in its premise (reserved for syllogistic analyses)"),
     QuantifierMismatch = ("CK120", 120, "quantifier-mismatch", Level::Warn, PassKind::Fallacy,
         "a universal claim supported only by partial evidence (lexical cue)"),
+    SyntaxGeneral = ("CK201", 201, "syntax-error", Level::Deny, PassKind::Syntax,
+        "the source text could not be parsed at this point"),
+    UnterminatedString = ("CK202", 202, "unterminated-string", Level::Deny, PassKind::Syntax,
+        "a string literal runs to the end of the file without a closing quote"),
+    UnknownKeyword = ("CK203", 203, "unknown-keyword", Level::Deny, PassKind::Syntax,
+        "a word appears where a node kind was expected but names no known kind"),
+    MalformedPayload = ("CK204", 204, "malformed-payload", Level::Deny, PassKind::Syntax,
+        "a `formal` or `temporal` payload is not a well-formed formula"),
+    InvalidStructure = ("CK205", 205, "invalid-structure", Level::Deny, PassKind::Syntax,
+        "a declaration is syntactically fine but structurally ill-formed (duplicate id, bad `ref`, …)"),
 }
 
 impl fmt::Display for LintCode {
@@ -270,9 +285,11 @@ impl LintConfig {
 /// One finding: a stable code, a severity, the node it anchors to, any
 /// related nodes, a human-readable message, and an optional fix-it hint.
 ///
-/// `primary` is `None` only for findings with no node anchor (reserved
-/// for source-level diagnostics — the error-recovering DSL frontend on
-/// the roadmap will reuse this type with `span` populated instead).
+/// `primary` is `None` only for findings with no node anchor (header
+/// syntax errors, trailing input, …). Diagnostics raised from source
+/// text — the `CK2xx` family, and graph lints routed through
+/// [`crate::check_source`] — additionally carry a byte `span` into the
+/// source they were raised from.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     /// The stable lint code.
@@ -287,9 +304,11 @@ pub struct Diagnostic {
     pub message: String,
     /// How to fix it, when the pass can tell.
     pub hint: Option<String>,
-    /// Source span, for diagnostics raised from text rather than a
-    /// built argument (unused by the graph passes; reserved for the
-    /// DSL frontend).
+    /// Byte span into the source text this finding was raised from.
+    /// `None` when the diagnostic came from a pre-built [`Argument`]
+    /// with no source attached.
+    ///
+    /// [`Argument`]: casekit_core::Argument
     pub span: Option<Span>,
 }
 
@@ -302,6 +321,33 @@ impl Diagnostic {
             self.primary.as_ref().map_or("", |id| id.as_str()),
             &self.message,
         )
+    }
+
+    /// Renders this diagnostic with a `line:col` prefix resolved through
+    /// a precomputed [`LineIndex`] over the source it was raised from.
+    ///
+    /// Diagnostics without a span fall back to the plain [`Display`]
+    /// form.
+    ///
+    /// [`Display`]: fmt::Display
+    ///
+    /// ```
+    /// use casekit_analysis::{check_source, LintConfig};
+    /// use casekit_logic::LineIndex;
+    /// let src = "argument \"a\" {\n  gaol g1 \"top\"\n}\n";
+    /// let analysis = check_source(src, &LintConfig::new());
+    /// let index = LineIndex::new(src);
+    /// let first = analysis.diagnostics.first().unwrap();
+    /// assert!(first.located(&index).starts_with("2:3: "));
+    /// ```
+    pub fn located(&self, index: &LineIndex) -> String {
+        match self.span {
+            Some(span) => {
+                let (line, col) = index.line_col(span.start);
+                format!("{line}:{col}: {self}")
+            }
+            None => self.to_string(),
+        }
     }
 }
 
@@ -365,6 +411,32 @@ impl<'c> Sink<'c> {
         });
     }
 
+    /// Emits one diagnostic anchored to a source span, unless the lint
+    /// is allowed away.
+    pub(crate) fn emit_at(
+        &mut self,
+        code: LintCode,
+        primary: Option<NodeId>,
+        message: String,
+        hint: Option<String>,
+        span: Span,
+    ) {
+        let severity = match self.config.level(code) {
+            Level::Allow => return,
+            Level::Warn => Severity::Warning,
+            Level::Deny => Severity::Error,
+        };
+        self.out.push(Diagnostic {
+            code,
+            severity,
+            primary,
+            related: Vec::new(),
+            message,
+            hint,
+            span: Some(span),
+        });
+    }
+
     /// The collected diagnostics, in canonical order.
     pub(crate) fn finish(mut self) -> Vec<Diagnostic> {
         self.out.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
@@ -380,6 +452,8 @@ mod tests {
     fn codes_are_stable_and_ordered() {
         assert_eq!(LintCode::UnreachableNode.as_str(), "CK001");
         assert_eq!(LintCode::QuantifierMismatch.as_str(), "CK120");
+        assert_eq!(LintCode::SyntaxGeneral.as_str(), "CK201");
+        assert_eq!(LintCode::InvalidStructure.as_str(), "CK205");
         let numbers: Vec<u16> = LintCode::ALL.iter().map(|c| c.number()).collect();
         let mut sorted = numbers.clone();
         sorted.sort_unstable();

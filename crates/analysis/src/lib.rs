@@ -24,6 +24,12 @@
 //!   (with CDCL learned clauses shared between questions). The
 //!   informal quantifier cue rides along as `CK120`.
 //!
+//! * **Syntax passes** ([`diagnostic::PassKind::Syntax`], `CK2xx`)
+//!   come from the error-recovering DSL frontend: [`check_source`]
+//!   turns every recovered parse error into a span-carrying diagnostic
+//!   and anchors the graph/solver findings to their node's declaration
+//!   span through the parser's source map.
+//!
 //! Each lint has a stable code, a default [`Level`], and a per-run
 //! override in [`LintConfig`] (allow/warn/deny). Output order is
 //! canonical — sorted by code, then primary node — so diagnostics are
@@ -61,10 +67,12 @@
 pub mod baseline;
 mod diagnostic;
 mod logical;
+mod source;
 mod structural;
 mod witness;
 
 pub use diagnostic::{Diagnostic, Level, LintCode, LintConfig, LintDescriptor, PassKind, Severity};
+pub use source::{check_source, check_sources, check_syntax, excerpt, SourceAnalysis};
 pub use witness::WitnessPool;
 
 use casekit_core::dsl::parse_argument;

@@ -5,7 +5,7 @@
 //! ```text
 //! repro [table1 | claims | figure1 | haley | greenwell |
 //!        exp-a | exp-b | exp-c | exp-d | exp-e | graph | logic |
-//!        af | fol | ltl | experiments | lint | service | all] [--smoke]
+//!        af | fol | ltl | experiments | lint | service | dsl | all] [--smoke]
 //! ```
 //!
 //! `graph` additionally writes the measured legacy-vs-indexed graph-core
@@ -19,9 +19,11 @@
 //! (`BENCH_ltl.json`), `experiments` for the serial-vs-parallel
 //! experiment runtime (`BENCH_experiments.json`), `lint` for the
 //! recompile-per-lint-vs-compile-once CaseLint comparison
-//! (`BENCH_lint.json`), and `service` for the
+//! (`BENCH_lint.json`), `service` for the
 //! recompile-per-query-vs-incremental CaseService comparison under
-//! mixed edit/query traffic (`BENCH_service.json`).
+//! mixed edit/query traffic (`BENCH_service.json`), and `dsl` for the
+//! recovering-frontend corpus-ingestion comparison against the
+//! abort-on-first-error seed parser (`BENCH_dsl.json`).
 //!
 //! `--smoke` runs the benchmark artifacts on small fixed-seed
 //! populations and writes them as `BENCH_*.smoke.json` instead — fast,
@@ -60,11 +62,11 @@ fn main() {
     if smoke
         && !matches!(
             arg.as_str(),
-            "graph" | "logic" | "af" | "fol" | "ltl" | "experiments" | "lint" | "service"
+            "graph" | "logic" | "af" | "fol" | "ltl" | "experiments" | "lint" | "service" | "dsl"
         )
     {
         eprintln!(
-            "--smoke only applies to the graph, logic, af, fol, ltl, experiments, lint, and service artefacts"
+            "--smoke only applies to the graph, logic, af, fol, ltl, experiments, lint, service, and dsl artefacts"
         );
         std::process::exit(2);
     }
@@ -208,12 +210,23 @@ fn main() {
             write_artifact(path, &bench::service::bench_service_json(&report));
             bench::service::render_report(&report)
         }
+        "dsl" => {
+            let (config, path) = if smoke {
+                (bench::dsl::smoke_config(), "BENCH_dsl.smoke.json")
+            } else {
+                (bench::dsl::scaled_config(), "BENCH_dsl.json")
+            };
+            let report =
+                bench::dsl::run_dsl_bench_with(&config, bench::experiments_bench_workers());
+            write_artifact(path, &bench::dsl::bench_dsl_json(&report));
+            bench::dsl::render_report(&report)
+        }
         "all" => bench::all(),
         other => {
             eprintln!(
                 "unknown artefact `{other}`; expected table1, claims, figure1, haley, \
                  greenwell, exp-a..exp-e, graph, logic, af, fol, ltl, experiments, lint, \
-                 service, or all"
+                 service, dsl, or all"
             );
             std::process::exit(2);
         }

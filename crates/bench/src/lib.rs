@@ -16,6 +16,7 @@ use casekit_logic::sorts::SortRegistry;
 use std::fmt::Write as _;
 
 pub mod af;
+pub mod dsl;
 pub mod experiments;
 pub mod fol;
 pub mod graph;
@@ -246,6 +247,15 @@ pub fn service_bench() -> String {
     service::render_report(&report)
 }
 
+/// Runs the DSL-frontend comparison (sharded recover-and-continue
+/// corpus ingestion vs the serial abort-on-first-error seed parser on a
+/// defect-striped 10k-file corpus) and renders the summary. The JSON
+/// artifact is written by `repro dsl`.
+pub fn dsl_bench() -> String {
+    let report = dsl::run_dsl_bench(experiments_bench_workers());
+    dsl::render_report(&report)
+}
+
 /// Runs the experiment-runtime comparison (scaled §VI-A population,
 /// legacy vs cached-serial vs parallel) and renders the summary. The
 /// JSON artifact is written by `repro experiments`.
@@ -287,6 +297,7 @@ pub fn all() -> String {
         experiments_bench(),
         lint_bench(),
         service_bench(),
+        dsl_bench(),
     ] {
         out.push_str(&section);
         out.push('\n');

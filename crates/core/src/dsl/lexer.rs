@@ -1,0 +1,238 @@
+//! Error-tolerant lexer for the `.case` DSL.
+//!
+//! Unlike the retained seed lexer (see [`super::seed`]), this lexer never
+//! aborts: characters no token can start with and unterminated string
+//! literals are reported as [`ParseError`]s and skipped (an unterminated
+//! string still yields its partial content as a token), so the parser
+//! always receives the full token stream. It also iterates
+//! [`str::char_indices`] directly instead of materializing a `Vec<char>`
+//! plus a parallel byte-offset table — corpus ingestion lexes each file
+//! with no per-file scratch allocations beyond the token vector itself.
+
+use casekit_logic::{ParseError, Span, SyntaxError, SyntaxErrorKind};
+
+/// A DSL token.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Tok {
+    /// A bare word: a kind keyword, modifier, `ref`, or identifier.
+    Word(String),
+    /// A quoted string literal (content, unescaped).
+    Str(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+}
+
+impl Tok {
+    /// How the token reads in an "expected X, found Y" message.
+    pub(crate) fn describe(&self) -> String {
+        match self {
+            Tok::Word(w) => format!("`{w}`"),
+            Tok::Str(_) => "a string".to_string(),
+            Tok::LBrace => "`{`".to_string(),
+            Tok::RBrace => "`}`".to_string(),
+        }
+    }
+}
+
+/// A token plus the byte range of source text it came from.
+#[derive(Debug, Clone)]
+pub(crate) struct Lexed {
+    pub(crate) tok: Tok,
+    pub(crate) span: Span,
+}
+
+/// Lexes `input` to the end, collecting errors instead of stopping.
+///
+/// Every byte is either consumed by a token, skipped as
+/// whitespace/comment, or skipped with an error — so the parser behind
+/// this lexer sees everything the author wrote.
+pub(crate) fn lex(input: &str) -> (Vec<Lexed>, Vec<ParseError>) {
+    let mut toks = Vec::new();
+    let mut errors = Vec::new();
+    let mut chars = input.char_indices().peekable();
+    while let Some(&(i, c)) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '#' || (c == '/' && input[i + 1..].starts_with('/')) {
+            // Comment to end of line.
+            for (_, d) in chars.by_ref() {
+                if d == '\n' {
+                    break;
+                }
+            }
+        } else if c == '{' {
+            chars.next();
+            toks.push(Lexed {
+                tok: Tok::LBrace,
+                span: Span::new(i, i + 1),
+            });
+        } else if c == '}' {
+            chars.next();
+            toks.push(Lexed {
+                tok: Tok::RBrace,
+                span: Span::new(i, i + 1),
+            });
+        } else if c == '"' {
+            chars.next();
+            let mut content = String::new();
+            let mut closed = false;
+            let mut end = input.len();
+            while let Some((j, d)) = chars.next() {
+                match d {
+                    '"' => {
+                        closed = true;
+                        end = j + 1;
+                        break;
+                    }
+                    '\\' if matches!(chars.peek(), Some(&(_, '"')) | Some(&(_, '\\'))) => {
+                        let (_, escaped) = chars.next().expect("peeked");
+                        content.push(escaped);
+                    }
+                    other => content.push(other),
+                }
+            }
+            if !closed {
+                errors.push(
+                    SyntaxError::with_kind(
+                        SyntaxErrorKind::UnterminatedString,
+                        "unterminated string literal",
+                        Span::new(i, input.len()),
+                    )
+                    .with_hint("add a closing `\"`"),
+                );
+            }
+            toks.push(Lexed {
+                tok: Tok::Str(content),
+                span: Span::new(i, end),
+            });
+        } else if c.is_alphanumeric() || c == '_' {
+            let start = i;
+            let mut end = i + c.len_utf8();
+            chars.next();
+            while let Some(&(j, d)) = chars.peek() {
+                if d.is_alphanumeric() || d == '_' {
+                    end = j + d.len_utf8();
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            toks.push(Lexed {
+                tok: Tok::Word(input[start..end].to_string()),
+                span: Span::new(start, end),
+            });
+        } else {
+            chars.next();
+            errors.push(SyntaxError::with_kind(
+                SyntaxErrorKind::UnexpectedChar,
+                format!("unexpected character `{c}`"),
+                Span::new(i, i + c.len_utf8()),
+            ));
+        }
+    }
+    (toks, errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(src: &str) -> Vec<Tok> {
+        let (toks, errors) = lex(src);
+        assert!(errors.is_empty(), "unexpected lex errors: {errors:?}");
+        toks.into_iter().map(|l| l.tok).collect()
+    }
+
+    #[test]
+    fn lexes_the_four_token_kinds() {
+        assert_eq!(
+            words(r#"goal g1 "text" { }"#),
+            vec![
+                Tok::Word("goal".into()),
+                Tok::Word("g1".into()),
+                Tok::Str("text".into()),
+                Tok::LBrace,
+                Tok::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_are_byte_accurate() {
+        let (toks, _) = lex(r#"goal g1 "t""#);
+        assert_eq!(toks[0].span, Span::new(0, 4));
+        assert_eq!(toks[1].span, Span::new(5, 7));
+        assert_eq!(toks[2].span, Span::new(8, 11));
+    }
+
+    #[test]
+    fn comments_skipped_both_styles() {
+        assert_eq!(
+            words("a // to eol\nb # hash\nc"),
+            vec![
+                Tok::Word("a".into()),
+                Tok::Word("b".into()),
+                Tok::Word("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lone_slash_is_an_error_not_a_comment() {
+        let (toks, errors) = lex("a / b");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].kind, SyntaxErrorKind::UnexpectedChar);
+        assert!(errors[0].message.contains('/'));
+        assert_eq!(errors[0].span, Span::new(2, 3));
+    }
+
+    #[test]
+    fn escapes_in_strings() {
+        assert_eq!(
+            words(r#""a \"quoted\" \\ name""#),
+            vec![Tok::Str(r#"a "quoted" \ name"#.into())]
+        );
+        // A backslash before anything else is kept literally (seed behavior).
+        assert_eq!(words(r#""a \n b""#), vec![Tok::Str(r"a \n b".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_reported_and_tokenized() {
+        let (toks, errors) = lex(r#"goal g1 "never ends"#);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].kind, SyntaxErrorKind::UnterminatedString);
+        assert_eq!(errors[0].span, Span::new(8, 19));
+        // The partial content still reaches the parser.
+        assert_eq!(toks.last().unwrap().tok, Tok::Str("never ends".into()));
+    }
+
+    #[test]
+    fn stray_characters_skipped_with_errors() {
+        let (toks, errors) = lex("goal $ g1 @");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(errors.len(), 2);
+        assert!(errors[0].message.contains('$'));
+        assert!(errors[1].message.contains('@'));
+    }
+
+    #[test]
+    fn multibyte_characters_keep_byte_spans() {
+        let (toks, errors) = lex("é \"café\" ☃");
+        // `é` is alphanumeric → a word; `☃` is not → an error.
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].tok, Tok::Str("café".into()));
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].span.len(), '☃'.len_utf8());
+    }
+
+    #[test]
+    fn empty_and_comment_only_inputs() {
+        assert!(words("").is_empty());
+        assert!(words("// only a comment").is_empty());
+        assert!(words("# only a comment").is_empty());
+    }
+}

@@ -1,0 +1,602 @@
+//! The recover-and-continue DSL parser.
+//!
+//! Where the retained seed parser ([`super::seed`]) returns at the first
+//! problem, this parser records a diagnostic and *synchronizes*: it skips
+//! to the next place the grammar could plausibly resume (a closing `}` at
+//! the current nesting depth, the next node-kind keyword, a `ref`, or end
+//! of input) and keeps going. One bad node costs that node, not the file.
+//!
+//! Recovery decisions, in grammar order:
+//!
+//! - **Header** (`argument "name" {`): each missing piece is reported
+//!   and skipped independently; a missing *name* means no [`Argument`]
+//!   can be produced, but the body is still parsed for diagnostics.
+//! - **Unknown kind / missing identifier**: the node's remaining header
+//!   and body are parsed (so nested problems still surface) but nothing
+//!   is recorded — the subtree is *suppressed*.
+//! - **Missing text / missing payload string**: reported; the node is
+//!   kept with placeholder text so its children survive.
+//! - **Bad `formal`/`temporal` payload**: reported as a node-anchored
+//!   diagnostic located *inside* the quoted string; the node is kept
+//!   without the payload.
+//! - **Duplicate id**: reported at the re-declaration; the duplicate
+//!   node is dropped but its children attach to the original.
+//! - **Bad edges** (`ref` to an undeclared node, self-loops, repeated
+//!   edges): reported at the `ref`; the edge is dropped. Matching the
+//!   seed parser (and the builder), `ref` targets must already be
+//!   declared — there are no forward references.
+//!
+//! Everything that survives is fed to [`ArgumentBuilder`], which — by
+//! construction — accepts it, so a file with errors still yields a
+//! best-effort [`Argument`] plus a sorted diagnostic stream.
+
+use std::collections::HashSet;
+
+use casekit_logic::{ltl::parse_ltl, prop, ParseError, Span, SyntaxError, SyntaxErrorKind};
+
+use super::lexer::{lex, Lexed, Tok};
+use super::source_map::{NodeSpans, SourceMap};
+use super::{edge_kind_for, kind_of, DslError, ParseOutcome};
+use crate::argument::Argument;
+use crate::node::{EdgeKind, FormalPayload, Node, NodeId, NodeKind};
+
+/// Parses `input`, recovering at every error. See the module docs for
+/// the recovery strategy.
+pub(crate) fn parse(input: &str) -> ParseOutcome {
+    let (toks, lex_errors) = lex(input);
+    let mut p = Parser {
+        input,
+        toks,
+        pos: 0,
+        end: input.len(),
+        errors: lex_errors
+            .into_iter()
+            .map(|error| DslError { error, node: None })
+            .collect(),
+        declared: HashSet::new(),
+        nodes: Vec::new(),
+        edges: Vec::new(),
+        edge_set: HashSet::new(),
+        source_map: SourceMap::new(),
+    };
+    let name = p.header();
+    // A file whose header already failed *and* ended needs no synthetic
+    // "expected `}`" cascade; otherwise parse the body (even without a
+    // name — the diagnostics are still real).
+    if !(name.is_none() && p.pos >= p.toks.len()) {
+        p.node_list(None, false);
+    }
+    p.trailing();
+
+    let argument = name.and_then(|name| {
+        let mut builder = Argument::builder(name);
+        for node in std::mem::take(&mut p.nodes) {
+            builder = builder.node(node);
+        }
+        for (from, to, kind) in std::mem::take(&mut p.edges) {
+            builder = builder.edge(from.as_str(), to.as_str(), kind);
+        }
+        match builder.build() {
+            Ok(argument) => Some(argument),
+            Err(e) => {
+                // Unreachable by construction (everything was pre-validated),
+                // but never let a builder refusal turn into a panic.
+                p.push_err(
+                    SyntaxError::with_kind(
+                        SyntaxErrorKind::Structure,
+                        e.to_string(),
+                        Span::point(p.end),
+                    ),
+                    None,
+                );
+                None
+            }
+        }
+    });
+
+    let mut errors = p.errors;
+    errors.sort_by(|a, b| {
+        (a.error.span.start, a.error.span.end, &a.error.message).cmp(&(
+            b.error.span.start,
+            b.error.span.end,
+            &b.error.message,
+        ))
+    });
+    ParseOutcome {
+        argument,
+        source_map: p.source_map,
+        errors,
+    }
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    toks: Vec<Lexed>,
+    pos: usize,
+    end: usize,
+    errors: Vec<DslError>,
+    declared: HashSet<NodeId>,
+    nodes: Vec<Node>,
+    edges: Vec<(NodeId, NodeId, EdgeKind)>,
+    edge_set: HashSet<(NodeId, NodeId, EdgeKind)>,
+    source_map: SourceMap,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|l| &l.tok)
+    }
+
+    fn here(&self) -> Span {
+        self.toks
+            .get(self.pos)
+            .map(|l| l.span)
+            .unwrap_or(Span::point(self.end))
+    }
+
+    fn next(&mut self) -> Option<Lexed> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn push_err(&mut self, error: ParseError, node: Option<NodeId>) {
+        // EOF unwinding reports "expected `}`" once per open block at the
+        // same point; collapse consecutive identical reports.
+        if self.errors.last().is_some_and(|last| last.error == error) {
+            return;
+        }
+        self.errors.push(DslError { error, node });
+    }
+
+    /// Reports "expected X, found Y" at the cursor without consuming, so
+    /// the offending token can still be claimed by a later production.
+    fn err_expected(&mut self, expected: &str) {
+        let span = self.here();
+        let found = self.peek().map(|t| t.describe());
+        self.push_err(SyntaxError::expected_found(expected, found, span), None);
+    }
+
+    /// Skips tokens until the grammar can plausibly resume: a `}` at the
+    /// current depth (left for the caller), the next kind keyword or
+    /// `ref` at the current depth, or end of input.
+    fn sync(&mut self) {
+        let mut depth = 0usize;
+        while let Some(tok) = self.peek() {
+            match tok {
+                Tok::RBrace => {
+                    if depth == 0 {
+                        return;
+                    }
+                    depth -= 1;
+                    self.next();
+                }
+                Tok::LBrace => {
+                    depth += 1;
+                    self.next();
+                }
+                Tok::Word(w) if depth == 0 && (kind_of(w).is_some() || w == "ref") => return,
+                _ => {
+                    self.next();
+                }
+            }
+        }
+    }
+
+    /// Parses `argument "name" {`, recovering each piece independently.
+    /// Returns the name when one was present.
+    fn header(&mut self) -> Option<String> {
+        match self.peek() {
+            Some(Tok::Word(w)) if w == "argument" => {
+                self.next();
+            }
+            Some(Tok::Word(_)) => {
+                self.err_expected("`argument`");
+                self.next();
+            }
+            _ => self.err_expected("`argument`"),
+        }
+        let name = match self.peek() {
+            Some(Tok::Str(_)) => {
+                let span = self.here();
+                let Some(Tok::Str(s)) = self.next().map(|l| l.tok) else {
+                    unreachable!("peeked a string")
+                };
+                self.source_map.name = Some(span);
+                Some(s)
+            }
+            _ => {
+                self.err_expected("argument name string");
+                None
+            }
+        };
+        match self.peek() {
+            Some(Tok::LBrace) => {
+                self.next();
+            }
+            _ => self.err_expected("`{`"),
+        }
+        name
+    }
+
+    /// Parses nodes/refs until the matching `}` (consumed) or end of
+    /// input (reported). `parent` is `None` at top level. `suppress`
+    /// parses without recording — used inside unrecoverable subtrees.
+    fn node_list(&mut self, parent: Option<(&NodeId, NodeKind)>, suppress: bool) {
+        loop {
+            match self.peek() {
+                None => {
+                    self.err_expected("`}`");
+                    return;
+                }
+                Some(Tok::RBrace) => {
+                    self.next();
+                    return;
+                }
+                Some(Tok::Word(w)) if w == "ref" => self.reference(parent, suppress),
+                Some(Tok::Word(_)) => self.node(parent, suppress),
+                Some(_) => {
+                    self.err_expected("a node kind");
+                    self.sync();
+                }
+            }
+        }
+    }
+
+    /// Parses `ref IDENT`, validating the edge at the reference site
+    /// (matching the seed parser's no-forward-reference semantics).
+    fn reference(&mut self, parent: Option<(&NodeId, NodeKind)>, suppress: bool) {
+        let kw_span = self.here();
+        self.next(); // `ref`
+        let (target, target_span) = match self.peek() {
+            Some(Tok::Word(w)) if kind_of(w).is_none() && w != "ref" => {
+                let span = self.here();
+                let Some(Tok::Word(w)) = self.next().map(|l| l.tok) else {
+                    unreachable!("peeked a word")
+                };
+                (w, span)
+            }
+            _ => {
+                self.err_expected("a node identifier");
+                return;
+            }
+        };
+        match parent {
+            None => self.push_err(
+                SyntaxError::with_kind(
+                    SyntaxErrorKind::Structure,
+                    "`ref` is only allowed inside a node body",
+                    kw_span,
+                )
+                .with_hint("nest `ref` under the node it supports"),
+                None,
+            ),
+            Some((parent_id, _)) if !suppress => {
+                // Edge kind depends on the *referenced* node's kind, which
+                // may not be known yet; we default to SupportedBy — a ref
+                // to a context node should use nesting instead.
+                self.add_edge(
+                    parent_id.clone(),
+                    NodeId::new(target),
+                    EdgeKind::SupportedBy,
+                    target_span,
+                );
+            }
+            Some(_) => {}
+        }
+    }
+
+    /// Validates and records one edge, reporting (and dropping) exactly
+    /// the edges the [`ArgumentBuilder`](crate::argument::ArgumentBuilder)
+    /// would refuse — so the builder never fails on what survives.
+    fn add_edge(&mut self, from: NodeId, to: NodeId, kind: EdgeKind, span: Span) {
+        if from == to {
+            self.push_err(
+                SyntaxError::with_kind(
+                    SyntaxErrorKind::Structure,
+                    format!("self-loop on `{from}`"),
+                    span,
+                ),
+                Some(from),
+            );
+            return;
+        }
+        if !self.declared.contains(&to) {
+            self.push_err(
+                SyntaxError::with_kind(
+                    SyntaxErrorKind::Structure,
+                    format!("unknown node `{to}`"),
+                    span,
+                )
+                .with_hint("`ref` targets must be declared earlier in the file"),
+                None,
+            );
+            return;
+        }
+        if !self.edge_set.insert((from.clone(), to.clone(), kind)) {
+            self.push_err(
+                SyntaxError::with_kind(
+                    SyntaxErrorKind::Structure,
+                    format!("duplicate edge `{from}` -> `{to}`"),
+                    span,
+                ),
+                Some(to),
+            );
+            return;
+        }
+        self.edges.push((from, to, kind));
+    }
+
+    /// Parses one node declaration (and its body).
+    fn node(&mut self, parent: Option<(&NodeId, NodeKind)>, suppress: bool) {
+        let kw_span = self.here();
+        let Some(Tok::Word(kind_word)) = self.next().map(|l| l.tok) else {
+            unreachable!("caller peeked a word")
+        };
+        let kind = match kind_of(&kind_word) {
+            Some(kind) => Some(kind),
+            None => {
+                let mut e = SyntaxError::with_kind(
+                    SyntaxErrorKind::UnknownKeyword,
+                    format!("unknown node kind `{kind_word}`"),
+                    kw_span,
+                );
+                if let Some(suggestion) = nearest_kind(&kind_word) {
+                    e = e.with_hint(format!("did you mean `{suggestion}`?"));
+                }
+                self.push_err(e, None);
+                None
+            }
+        };
+
+        let (id, id_span) = match self.peek() {
+            Some(Tok::Word(w)) if kind_of(w).is_none() && w != "ref" => {
+                let span = self.here();
+                let Some(Tok::Word(w)) = self.next().map(|l| l.tok) else {
+                    unreachable!("peeked a word")
+                };
+                (Some(w), span)
+            }
+            _ => {
+                self.err_expected("a node identifier");
+                (None, self.here())
+            }
+        };
+
+        // A node we can't name or kind can't be recorded; keep parsing
+        // its remainder (and body) for diagnostics only.
+        let suppress = suppress || kind.is_none() || id.is_none();
+        let node_id = NodeId::new(id.as_deref().unwrap_or(""));
+
+        let mut duplicate = false;
+        if !suppress && self.declared.contains(&node_id) {
+            self.push_err(
+                SyntaxError::with_kind(
+                    SyntaxErrorKind::Structure,
+                    format!("duplicate node id `{node_id}`"),
+                    id_span,
+                )
+                .with_hint("rename one of the declarations, or use `ref` to share a node"),
+                Some(node_id.clone()),
+            );
+            duplicate = true;
+        }
+
+        let (text, text_span) = match self.peek() {
+            Some(Tok::Str(_)) => {
+                let span = self.here();
+                let Some(Tok::Str(s)) = self.next().map(|l| l.tok) else {
+                    unreachable!("peeked a string")
+                };
+                (s, span)
+            }
+            _ => {
+                self.err_expected("node text string");
+                (String::new(), Span::point(self.here().start))
+            }
+        };
+
+        let mut formal: Option<FormalPayload> = None;
+        let mut undeveloped = false;
+        let mut payload_span: Option<Span> = None;
+        let mut header_end = text_span.end.max(id_span.end).max(kw_span.end);
+        loop {
+            match self.peek() {
+                Some(Tok::Word(w)) if w == "formal" => {
+                    self.next();
+                    if let Some((src, span)) = self.payload_string("formula") {
+                        payload_span = Some(span);
+                        header_end = header_end.max(span.end);
+                        match prop::parse(&src) {
+                            Ok(f) => formal = Some(FormalPayload::Prop(f)),
+                            Err(e) => self.payload_error("formal", &node_id, span, &src, &e),
+                        }
+                    }
+                }
+                Some(Tok::Word(w)) if w == "temporal" => {
+                    self.next();
+                    if let Some((src, span)) = self.payload_string("LTL formula") {
+                        payload_span = Some(span);
+                        header_end = header_end.max(span.end);
+                        match parse_ltl(&src) {
+                            Ok(f) => formal = Some(FormalPayload::Temporal(f)),
+                            Err(e) => self.payload_error("temporal", &node_id, span, &src, &e),
+                        }
+                    }
+                }
+                Some(Tok::Word(w)) if w == "undeveloped" => {
+                    header_end = header_end.max(self.here().end);
+                    self.next();
+                    undeveloped = true;
+                }
+                _ => break,
+            }
+        }
+
+        if !suppress && !duplicate {
+            let kind = kind.expect("suppress covers kind.is_none()");
+            let mut node = Node::new(node_id.clone(), kind, text);
+            node.formal = formal;
+            node.undeveloped = undeveloped;
+            self.declared.insert(node_id.clone());
+            self.nodes.push(node);
+            self.source_map.record(
+                node_id.clone(),
+                NodeSpans {
+                    keyword: kw_span,
+                    id: id_span,
+                    text: text_span,
+                    payload: payload_span,
+                    header: Span::new(kw_span.start, header_end),
+                },
+            );
+            if let Some((parent_id, _)) = parent {
+                self.add_edge(
+                    parent_id.clone(),
+                    node_id.clone(),
+                    edge_kind_for(kind),
+                    id_span,
+                );
+            }
+        }
+
+        if matches!(self.peek(), Some(Tok::LBrace)) {
+            self.next();
+            // Children of a duplicate declaration attach to the original
+            // node (same id); children of a suppressed subtree are parsed
+            // for diagnostics only.
+            self.node_list(Some((&node_id, kind.unwrap_or(NodeKind::Goal))), suppress);
+        }
+    }
+
+    /// Consumes the quoted payload string after `formal`/`temporal`,
+    /// reporting (without consuming) anything else.
+    fn payload_string(&mut self, what: &str) -> Option<(String, Span)> {
+        match self.peek() {
+            Some(Tok::Str(_)) => {
+                let span = self.here();
+                let Some(Tok::Str(s)) = self.next().map(|l| l.tok) else {
+                    unreachable!("peeked a string")
+                };
+                Some((s, span))
+            }
+            _ => {
+                self.err_expected(&format!("{what} string"));
+                None
+            }
+        }
+    }
+
+    /// Reports an embedded formula error, re-anchored from the payload's
+    /// own coordinates into the enclosing file.
+    fn payload_error(
+        &mut self,
+        which: &str,
+        node: &NodeId,
+        tok_span: Span,
+        src: &str,
+        e: &ParseError,
+    ) {
+        let span = self.anchor_payload(tok_span, src, e.span);
+        self.push_err(
+            SyntaxError::with_kind(
+                SyntaxErrorKind::BadPayload,
+                format!("in {which} payload of `{node}`: {}", e.message),
+                span,
+            ),
+            Some(node.clone()),
+        );
+    }
+
+    /// Maps a span inside a payload string's *content* to file
+    /// coordinates. Exact when the literal has no escapes (content bytes
+    /// align one-to-one after the opening quote); otherwise the whole
+    /// literal is blamed.
+    fn anchor_payload(&self, tok_span: Span, content: &str, inner: Span) -> Span {
+        let raw = &self.input[tok_span.start..tok_span.end];
+        let unescaped = raw.len() == content.len() + 2;
+        if unescaped && inner.start <= content.len() {
+            Span::new(
+                tok_span.start + 1 + inner.start,
+                (tok_span.start + 1 + inner.end).min(tok_span.end),
+            )
+        } else {
+            tok_span
+        }
+    }
+
+    /// Reports anything left after the argument's closing `}`.
+    fn trailing(&mut self) {
+        if let Some(extra) = self.toks.get(self.pos) {
+            self.push_err(
+                SyntaxError::with_kind(
+                    SyntaxErrorKind::TrailingInput,
+                    "unexpected trailing input",
+                    extra.span,
+                ),
+                None,
+            );
+        }
+    }
+}
+
+/// The closest node-kind keyword within edit distance 2, for "did you
+/// mean" hints on unknown kinds.
+fn nearest_kind(word: &str) -> Option<&'static str> {
+    const KINDS: [&str; 9] = [
+        "goal",
+        "strategy",
+        "solution",
+        "context",
+        "assumption",
+        "justification",
+        "claim",
+        "argnode",
+        "evidence",
+    ];
+    KINDS
+        .iter()
+        .map(|k| (edit_distance(word, k), *k))
+        .filter(|&(d, _)| d <= 2)
+        .min_by_key(|&(d, k)| (d, k))
+        .map(|(_, k)| k)
+}
+
+/// Levenshtein distance, two-row DP.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("goal", "goal"), 0);
+        assert_eq!(edit_distance("gaol", "goal"), 2);
+        assert_eq!(edit_distance("", "goal"), 4);
+        assert_eq!(edit_distance("claim", "clam"), 1);
+    }
+
+    #[test]
+    fn nearest_kind_suggests_and_gives_up() {
+        assert_eq!(nearest_kind("gaol"), Some("goal"));
+        assert_eq!(nearest_kind("strateg"), Some("strategy"));
+        assert_eq!(nearest_kind("widget"), None);
+    }
+}

@@ -1,0 +1,107 @@
+//! Byte-span records for everything the DSL parser builds.
+//!
+//! A [`SourceMap`] is produced beside the [`Argument`](crate::argument::Argument)
+//! by [`parse_argument_recovering`](super::parse_argument_recovering). It maps
+//! each parsed construct back to the byte range of source text that declared
+//! it, so downstream tooling (CaseLint, editors) can anchor diagnostics about
+//! a *node* at the node's declaration site instead of reporting them
+//! span-less.
+
+use casekit_logic::Span;
+use std::collections::BTreeMap;
+
+use crate::node::NodeId;
+
+/// The source spans recorded for one node declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeSpans {
+    /// The kind keyword (`goal`, `strategy`, …).
+    pub keyword: Span,
+    /// The node identifier.
+    pub id: Span,
+    /// The quoted text string (including quotes).
+    pub text: Span,
+    /// The quoted `formal`/`temporal` payload string, if any.
+    pub payload: Option<Span>,
+    /// The whole header: keyword through the last modifier (body excluded).
+    pub header: Span,
+}
+
+/// Source spans for an entire parsed `.case` file: the argument name and
+/// one [`NodeSpans`] per declared node (first declaration wins when the
+/// source erroneously re-declares an id).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SourceMap {
+    /// Span of the quoted argument name, when the header parsed.
+    pub name: Option<Span>,
+    nodes: BTreeMap<NodeId, NodeSpans>,
+}
+
+impl SourceMap {
+    /// An empty map (no header, no nodes).
+    pub fn new() -> Self {
+        SourceMap::default()
+    }
+
+    /// The spans recorded for `id`, if the source declared it.
+    pub fn node(&self, id: &NodeId) -> Option<&NodeSpans> {
+        self.nodes.get(id)
+    }
+
+    /// Records spans for a node declaration. The first declaration of an
+    /// id wins; re-insertions (duplicate ids in the source) are ignored so
+    /// diagnostics keep pointing at the node that actually exists.
+    pub(crate) fn record(&mut self, id: NodeId, spans: NodeSpans) {
+        self.nodes.entry(id).or_insert(spans);
+    }
+
+    /// Number of nodes with recorded spans.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no node spans were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterates `(id, spans)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (&NodeId, &NodeSpans)> {
+        self.nodes.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_declaration_wins() {
+        let mut map = SourceMap::new();
+        let first = NodeSpans {
+            keyword: Span::new(0, 4),
+            ..NodeSpans::default()
+        };
+        let second = NodeSpans {
+            keyword: Span::new(50, 54),
+            ..NodeSpans::default()
+        };
+        map.record(NodeId::new("g1"), first);
+        map.record(NodeId::new("g1"), second);
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.node(&NodeId::new("g1")), Some(&first));
+    }
+
+    #[test]
+    fn lookup_and_iteration() {
+        let mut map = SourceMap::new();
+        assert!(map.is_empty());
+        map.record(NodeId::new("b"), NodeSpans::default());
+        map.record(NodeId::new("a"), NodeSpans::default());
+        assert_eq!(map.len(), 2);
+        assert!(map.node(&NodeId::new("a")).is_some());
+        assert!(map.node(&NodeId::new("zzz")).is_none());
+        let ids: Vec<&str> = map.iter().map(|(id, _)| id.as_str()).collect();
+        assert_eq!(ids, ["a", "b"]);
+    }
+}

@@ -100,4 +100,4 @@ pub mod prop;
 pub mod sorts;
 
 mod error;
-pub use error::{LogicError, ParseError, Span};
+pub use error::{LineIndex, Located, LogicError, ParseError, Span, SyntaxError, SyntaxErrorKind};

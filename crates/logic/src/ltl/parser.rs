@@ -13,7 +13,7 @@
 //! Unicode aliases `¬ ∧ ∨ → ◇ □ ○` are accepted (`◇` = F, `□` = G, `○` = X).
 
 use super::ast::Ltl;
-use crate::error::{ParseError, Span};
+use crate::error::{ParseError, Span, SyntaxError};
 
 struct P<'a> {
     input: &'a str,
@@ -67,6 +67,12 @@ impl<'a> P<'a> {
         let w = self.peek_word()?;
         self.pos += w.len();
         Some(w)
+    }
+
+    /// What sits at the cursor, rendered for an "expected X, found Y"
+    /// message (`None` at end of input).
+    fn found_here(&mut self) -> Option<String> {
+        self.peek().map(|c| format!("`{c}`"))
     }
 
     fn implies(&mut self) -> Result<Ltl, ParseError> {
@@ -170,16 +176,24 @@ impl<'a> P<'a> {
         if self.try_eat("(") {
             let inner = self.implies()?;
             if !self.try_eat(")") {
-                return Err(ParseError::new("expected `)`", Span::point(self.pos)));
+                let found = self.found_here();
+                return Err(
+                    SyntaxError::expected_found("`)`", found, Span::point(self.pos))
+                        .with_hint("close the parenthesized group"),
+                );
             }
             return Ok(inner);
         }
         match self.eat_word() {
             Some(w) if !matches!(w, "U" | "R") => Ok(Ltl::prop(w)),
-            _ => Err(ParseError::new(
-                "expected an LTL formula",
-                Span::point(self.pos),
-            )),
+            _ => {
+                let found = self.found_here();
+                Err(SyntaxError::expected_found(
+                    "an LTL formula",
+                    found,
+                    Span::point(self.pos),
+                ))
+            }
         }
     }
 }
@@ -202,7 +216,8 @@ pub fn parse_ltl(input: &str) -> Result<Ltl, ParseError> {
     let f = p.implies()?;
     p.skip_ws();
     if p.pos < input.len() {
-        return Err(ParseError::new(
+        return Err(SyntaxError::with_kind(
+            crate::error::SyntaxErrorKind::TrailingInput,
             "unexpected trailing input",
             Span::point(p.pos),
         ));

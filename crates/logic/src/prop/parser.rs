@@ -15,7 +15,7 @@
 //! `⇒`/`→` for `->`, `⇔`/`↔` for `<->`.
 
 use super::ast::Formula;
-use crate::error::{ParseError, Span};
+use crate::error::{ParseError, Span, SyntaxError, SyntaxErrorKind};
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Tok {
@@ -116,10 +116,12 @@ fn lex(input: &str) -> Result<Vec<Lexed>, ParseError> {
                         });
                     }
                     _ => {
-                        return Err(ParseError::new(
+                        return Err(SyntaxError::with_kind(
+                            SyntaxErrorKind::UnexpectedChar,
                             "expected `>` after `-` (implication is `->`)",
                             Span::new(i, i + 1),
-                        ))
+                        )
+                        .with_hint("write implication as `->`"))
                     }
                 }
             }
@@ -137,10 +139,12 @@ fn lex(input: &str) -> Result<Vec<Lexed>, ParseError> {
                         continue;
                     }
                 }
-                return Err(ParseError::new(
+                return Err(SyntaxError::with_kind(
+                    SyntaxErrorKind::UnexpectedChar,
                     "expected `<->` (biconditional)",
                     Span::new(i, i + 1),
-                ));
+                )
+                .with_hint("write the biconditional as `<->`"));
             }
             c if c.is_alphabetic() || c == '_' => {
                 let start = i;
@@ -165,7 +169,8 @@ fn lex(input: &str) -> Result<Vec<Lexed>, ParseError> {
                 });
             }
             other => {
-                return Err(ParseError::new(
+                return Err(SyntaxError::with_kind(
+                    SyntaxErrorKind::UnexpectedChar,
                     format!("unexpected character `{other}`"),
                     Span::new(i, i + other.len_utf8()),
                 ))
@@ -173,6 +178,22 @@ fn lex(input: &str) -> Result<Vec<Lexed>, ParseError> {
         }
     }
     Ok(out)
+}
+
+/// How a token reads in an "expected X, found Y" message.
+fn describe(tok: &Tok) -> String {
+    match tok {
+        Tok::Not => "`~`".into(),
+        Tok::And => "`&`".into(),
+        Tok::Or => "`|`".into(),
+        Tok::Implies => "`->`".into(),
+        Tok::Iff => "`<->`".into(),
+        Tok::LParen => "`(`".into(),
+        Tok::RParen => "`)`".into(),
+        Tok::True => "`T`".into(),
+        Tok::False => "`F`".into(),
+        Tok::Ident(name) => format!("`{name}`"),
+    }
 }
 
 struct Parser {
@@ -246,16 +267,26 @@ impl Parser {
             Some(Tok::Not) => Ok(self.parse_unary()?.not()),
             Some(Tok::LParen) => {
                 let inner = self.parse_iff()?;
+                let found = self.peek().map(|l| describe(&l.tok));
                 match self.next().map(|l| l.tok) {
                     Some(Tok::RParen) => Ok(inner),
-                    _ => Err(ParseError::new("expected `)`", self.here())),
+                    _ => Err(SyntaxError::expected_found("`)`", found, self.here())
+                        .with_hint("close the parenthesized group")),
                 }
             }
             Some(Tok::True) => Ok(Formula::True),
             Some(Tok::False) => Ok(Formula::False),
             Some(Tok::Ident(name)) => Ok(Formula::atom(name)),
-            Some(_) => Err(ParseError::new("expected a formula", span)),
-            None => Err(ParseError::new("unexpected end of input", span)),
+            Some(tok) => Err(SyntaxError::expected_found(
+                "a formula",
+                Some(describe(&tok)),
+                span,
+            )),
+            None => Err(SyntaxError::with_kind(
+                SyntaxErrorKind::UnexpectedEof,
+                "unexpected end of input",
+                span,
+            )),
         }
     }
 }
@@ -283,7 +314,11 @@ pub fn parse(input: &str) -> Result<Formula, ParseError> {
     };
     let f = p.parse_iff()?;
     if let Some(extra) = p.peek() {
-        return Err(ParseError::new("unexpected trailing input", extra.span));
+        return Err(SyntaxError::with_kind(
+            SyntaxErrorKind::TrailingInput,
+            "unexpected trailing input",
+            extra.span,
+        ));
     }
     Ok(f)
 }

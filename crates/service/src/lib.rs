@@ -90,13 +90,15 @@
 
 #![forbid(unsafe_code)]
 
+mod loader;
 mod ops;
 mod session;
 
+pub use loader::{CorpusLoader, LoadedCase};
 pub use ops::{CaseAnswers, CaseOp, EditError, EditOp, ProbeAnswer};
 pub use session::{batch_answers, batch_transcript, CaseSession, SessionStats};
 
-use casekit_analysis::LintConfig;
+use casekit_analysis::{check_source, Diagnostic, LintConfig};
 use casekit_core::Argument;
 use casekit_runtime::Runtime;
 
@@ -130,6 +132,21 @@ impl CaseService {
         self.sessions
             .push(CaseSession::open(argument, self.config.clone()));
         self.sessions.len() - 1
+    }
+
+    /// Opens a session straight from `.case` source text via the
+    /// error-recovering DSL frontend.
+    ///
+    /// Returns the new case index when enough of the file parsed to
+    /// build an argument (even if it carried recoverable errors), plus
+    /// the full span-carrying diagnostic stream — syntax (`CK2xx`) and
+    /// graph/solver findings — under this service's lint configuration.
+    /// A file too broken to yield an argument returns `(None, ...)` and
+    /// opens nothing.
+    pub fn open_source(&mut self, src: &str) -> (Option<usize>, Vec<Diagnostic>) {
+        let analysis = check_source(src, &self.config);
+        let case = analysis.argument.map(|argument| self.open(argument));
+        (case, analysis.diagnostics)
     }
 
     /// Number of open sessions.
@@ -415,6 +432,25 @@ mod tests {
                 Some(expected) => assert_eq!(&transcript, expected, "workers = {workers}"),
             }
         }
+    }
+
+    #[test]
+    fn open_source_recovers_and_opens_when_possible() {
+        let mut service = CaseService::new();
+        // A typo'd node is dropped, but the file still opens.
+        let (case, diagnostics) = service.open_source(
+            "argument \"typo\" {\n  gaol g1 \"dropped\"\n  goal g2 \"kept\" { solution e1 \"log\" }\n}\n",
+        );
+        let case = case.expect("recovery yields an openable case");
+        assert!(!diagnostics.is_empty());
+        assert!(diagnostics.iter().all(|d| d.span.is_some()));
+        assert_eq!(service.session(case).unwrap().argument().nodes().count(), 2);
+        assert!(service.answers(case).is_some());
+        // A file with no header opens nothing.
+        let (none, diagnostics) = service.open_source("widget { }");
+        assert_eq!(none, None);
+        assert!(!diagnostics.is_empty());
+        assert_eq!(service.len(), 1);
     }
 
     #[test]

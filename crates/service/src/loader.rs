@@ -1,0 +1,136 @@
+//! Sharded corpus ingestion: many `.case` texts in, recovered
+//! arguments and span-carrying diagnostics out.
+//!
+//! [`CorpusLoader`] is the bulk front door of the service: it runs the
+//! error-recovering DSL frontend over a whole corpus, sharded across
+//! `casekit-runtime` workers, and returns one [`LoadedCase`] per
+//! source — the recovered [`Argument`] (when one could be built) plus
+//! every syntax diagnostic as a `CK2xx` [`Diagnostic`] with its byte
+//! span. Per-file analysis is a pure function and
+//! [`Runtime::map`](casekit_runtime::Runtime::map) preserves order, so
+//! the diagnostic stream is byte-identical at any worker count — the
+//! invariant `repro dsl` re-checks on every run.
+
+use casekit_analysis::{check_syntax, Diagnostic, LintConfig};
+use casekit_core::Argument;
+use casekit_runtime::Runtime;
+
+/// One corpus entry after ingestion: whatever argument survived
+/// recovery, and every diagnostic the file produced.
+#[derive(Debug, Clone)]
+pub struct LoadedCase {
+    /// The recovered argument; `None` when the header was missing or a
+    /// structural error made the file unbuildable.
+    pub argument: Option<Argument>,
+    /// Span-carrying syntax diagnostics, in canonical order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LoadedCase {
+    /// True when the file parsed without a single diagnostic.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Parses corpora of `.case` sources across runtime workers with the
+/// recovering frontend.
+///
+/// ```
+/// use casekit_runtime::Runtime;
+/// use casekit_service::CorpusLoader;
+///
+/// let sources = vec![
+///     "argument \"ok\" { goal g1 \"top\" { solution e1 \"log\" } }".to_string(),
+///     "argument \"typo\" { gaol g1 \"top\" }".to_string(),
+/// ];
+/// let loaded = CorpusLoader::new().load(&sources, &Runtime::with_workers(2));
+/// assert!(loaded[0].is_clean());
+/// assert!(loaded[1].argument.is_some(), "recovery still yields an argument");
+/// assert!(!loaded[1].is_clean());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CorpusLoader {
+    config: LintConfig,
+}
+
+impl CorpusLoader {
+    /// A loader reporting syntax diagnostics at their default levels
+    /// (every `CK2xx` code denies by default).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A loader whose diagnostics are levelled by `config`.
+    pub fn with_config(config: LintConfig) -> Self {
+        CorpusLoader { config }
+    }
+
+    /// Ingests `sources`, sharded across the runtime's workers. Output
+    /// is index-aligned with `sources` and byte-identical at any worker
+    /// count.
+    pub fn load(&self, sources: &[String], runtime: &Runtime) -> Vec<LoadedCase> {
+        runtime.map(sources, |_, src| {
+            let analysis = check_syntax(src, &self.config);
+            LoadedCase {
+                argument: analysis.argument,
+                diagnostics: analysis.diagnostics,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casekit_analysis::LintCode;
+
+    fn corpus() -> Vec<String> {
+        (0..30)
+            .map(|i| match i % 3 {
+                0 => format!(
+                    "argument \"c{i}\" {{\n  goal g1 \"top\" {{ solution e1 \"log {i}\" }}\n}}\n"
+                ),
+                1 => format!("argument \"c{i}\" {{\n  gaol g1 \"typo\"\n  goal g2 \"ok\" \n}}\n"),
+                _ => format!("argument \"c{i}\" {{\n  goal g1 \"unterminated {i}\n"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn loads_are_index_aligned_and_worker_invariant() {
+        let sources = corpus();
+        let loader = CorpusLoader::new();
+        let serial = loader.load(&sources, &Runtime::with_workers(1));
+        assert_eq!(serial.len(), sources.len());
+        for (i, loaded) in serial.iter().enumerate() {
+            match i % 3 {
+                0 => assert!(loaded.is_clean() && loaded.argument.is_some()),
+                1 => {
+                    assert!(loaded.argument.is_some(), "typo file still recovers");
+                    assert!(loaded
+                        .diagnostics
+                        .iter()
+                        .any(|d| d.code == LintCode::UnknownKeyword));
+                }
+                _ => assert!(loaded
+                    .diagnostics
+                    .iter()
+                    .any(|d| d.code == LintCode::UnterminatedString)),
+            }
+        }
+        for workers in [2, 4, 8] {
+            let sharded = loader.load(&sources, &Runtime::with_workers(workers));
+            let serial_diags: Vec<_> = serial.iter().map(|l| &l.diagnostics).collect();
+            let sharded_diags: Vec<_> = sharded.iter().map(|l| &l.diagnostics).collect();
+            assert_eq!(sharded_diags, serial_diags, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn allow_all_loader_reports_nothing() {
+        let loader = CorpusLoader::with_config(LintConfig::allow_all());
+        let loaded = loader.load(&corpus(), &Runtime::with_workers(2));
+        assert!(loaded.iter().all(LoadedCase::is_clean));
+    }
+}

@@ -14,7 +14,7 @@ ci:
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
     cargo build --release
     cargo test -q
-    cargo run --release -q -p casekit-analysis --bin caselint -- --deny examples/cases
+    cargo run --release -q -p casekit-analysis --bin caselint -- --deny examples/cases/*.case
     ./scripts/bench_gate.sh
 
 # The smoke bench-regression gate alone (BENCH_*.smoke.json + floors).
@@ -30,8 +30,10 @@ clippy:
     cargo clippy --workspace --all-targets -- -D warnings
 
 # CaseLint over the bundled example corpus, every lint at deny level.
+# The malformed fixtures under examples/cases/malformed/ are exercised
+# by their own gate in scripts/check.sh (they must *fail* caselint).
 lint:
-    cargo run --release -q -p casekit-analysis --bin caselint -- --deny examples/cases
+    cargo run --release -q -p casekit-analysis --bin caselint -- --deny examples/cases/*.case
 
 # The test suite (workspace defaults: every product crate).
 test:
@@ -72,6 +74,10 @@ bench-lint:
 # CaseService incremental-vs-batch artifact (BENCH_service.json).
 bench-service:
     cargo run --release -q -p casekit-bench --bin repro service
+
+# DSL-frontend corpus-ingestion artifact (BENCH_dsl.json).
+bench-dsl:
+    cargo run --release -q -p casekit-bench --bin repro dsl
 
 # Rustdoc for the workspace with warnings denied (the CI docs job).
 docs:

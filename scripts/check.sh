@@ -80,11 +80,35 @@ repro_service_gated() {
     || { echo "BENCH_service.json does not report incremental/batch answer agreement"; return 1; }
 }
 
+repro_dsl_gated() {
+  cargo run --release -q -p casekit-bench --bin repro dsl || return 1
+  grep -q '"diagnostics_roundtrip": true' BENCH_dsl.json \
+    || { echo "BENCH_dsl.json does not report seed containment + worker-invariant diagnostics"; return 1; }
+}
+
+# The malformed fixture corpus must fail caselint, with every syntax
+# code class represented — the CLI face of the recovery tests in
+# crates/analysis/tests/malformed_fixtures.rs.
+caselint_malformed_gated() {
+  local out
+  if out="$(cargo run --release -q -p casekit-analysis --bin caselint -- examples/cases/malformed)"; then
+    echo "caselint unexpectedly passed on examples/cases/malformed"
+    return 1
+  fi
+  local code
+  for code in CK201 CK202 CK203 CK204 CK205; do
+    printf '%s' "$out" | grep -q "\[$code\]" \
+      || { echo "malformed fixtures produced no $code diagnostic"; return 1; }
+  done
+}
+
 run_step "cargo fmt --check" cargo fmt --all --check
 run_step "cargo clippy -D warnings" cargo clippy --workspace --all-targets -- -D warnings
 run_step "cargo test" cargo test -q
 run_step "caselint examples/cases (deny level)" \
-  cargo run --release -q -p casekit-analysis --bin caselint -- --deny examples/cases
+  cargo run --release -q -p casekit-analysis --bin caselint -- --deny examples/cases/*.case
+run_step "caselint examples/cases/malformed (expected codes, nonzero exit)" \
+  caselint_malformed_gated
 run_step "cargo bench (short measurement budget)" \
   env CASEKIT_BENCH_MS="${CASEKIT_BENCH_MS:-25}" cargo bench -q -p casekit-bench
 run_step "repro graph (writes BENCH_graph.json)" \
@@ -97,6 +121,7 @@ run_step "repro experiments + agreement gate (writes BENCH_experiments.json)" \
   repro_experiments_gated
 run_step "repro lint + agreement gate (writes BENCH_lint.json)" repro_lint_gated
 run_step "repro service + agreement gate (writes BENCH_service.json)" repro_service_gated
+run_step "repro dsl + roundtrip gate (writes BENCH_dsl.json)" repro_dsl_gated
 
 echo
 echo "== step summary =="
